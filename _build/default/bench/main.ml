@@ -1,0 +1,650 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §4 for the experiment index) and provides
+   Bechamel micro-benchmarks of the major algorithms.
+
+     dune exec bench/main.exe             # all tables and figures
+     dune exec bench/main.exe -- table1   # a single experiment
+     dune exec bench/main.exe -- perf     # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- ablation # design-choice ablations *)
+
+module D = Hexlib.Direction
+module M = Logic.Mapped
+module L = Sidb.Lattice
+
+let section title =
+  Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: layout data for the benchmark suite                        *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: generated layout data (paper values in parentheses)";
+  Format.printf "%-14s %-12s %-14s %-18s %-4s %s@." "Name" "w x h = A"
+    "SiDBs" "nm^2" "eq" "time";
+  let rows = Core.Table1.generate () in
+  List.iter2
+    (fun row (pname, (pw, ph, psidbs, pnm2)) ->
+      match row with
+      | Error e -> Format.printf "%-14s FAILED: %s@." pname e
+      | Ok r ->
+          Format.printf
+            "%-14s %dx%-2d=%-3d (%dx%d=%d) %4d (%4d) %9.2f (%9.2f) %-4s %5.1fs@."
+            r.Core.Table1.name r.Core.Table1.width r.Core.Table1.height
+            r.Core.Table1.area_tiles pw ph (pw * ph) r.Core.Table1.sidbs
+            psidbs r.Core.Table1.area_nm2 pnm2
+            (if r.Core.Table1.equivalent then "eq" else "??")
+            r.Core.Table1.runtime_s)
+    rows Core.Table1.paper_rows;
+  let exact_dims =
+    List.fold_left2
+      (fun acc row (_, (pw, ph, _, _)) ->
+        match row with
+        | Ok r when r.Core.Table1.width = pw && r.Core.Table1.height = ph ->
+            acc + 1
+        | _ -> acc)
+      0 rows Core.Table1.paper_rows
+  in
+  Format.printf
+    "@.%d/14 layouts match the paper's aspect ratio exactly; throughput is 1/1 by construction (row clocking balances all paths).@."
+    exact_dims
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1c: the Y-shaped OR gate, Huff-style presence/absence inputs   *)
+(* ------------------------------------------------------------------ *)
+
+let fig1c () =
+  section
+    "Fig. 1c: OR-gate ground states with Huff et al.'s input encoding (mu- = -0.28 eV)";
+  let tile =
+    Layout.Tile.Gate
+      { fn = M.Or2; ins = [ D.North_west; D.North_east ]; outs = [ D.South_east ] }
+  in
+  match Bestagon.Library.validation_structure tile with
+  | None -> Format.printf "no OR structure@."
+  | Some s ->
+      (* Huff-style I/O: logic 1 = perturber present (near site), logic
+         0 = perturber absent entirely. *)
+      let huff_structure =
+        {
+          s with
+          Sidb.Bdl.inputs =
+            Array.map
+              (fun driver -> { driver with Sidb.Bdl.far = [] })
+              s.Sidb.Bdl.inputs;
+        }
+      in
+      let model = Sidb.Model.huff_or in
+      let report =
+        Sidb.Bdl.check ~model huff_structure ~spec:(fun i ->
+            [| i.(0) || i.(1) |])
+      in
+      List.iter
+        (fun row ->
+          Format.printf "  inputs %s: E0 = %.4f eV, output reads %s (expect %s)@."
+            (String.concat ""
+               (List.map (fun b -> if b then "1" else "0")
+                  (Array.to_list row.Sidb.Bdl.assignment)))
+            row.Sidb.Bdl.ground_energy
+            (match row.Sidb.Bdl.observed with
+            | obs :: _ -> (
+                match obs.(0) with
+                | Some true -> "1"
+                | Some false -> "0"
+                | None -> "?")
+            | [] -> "?")
+            (String.concat ""
+               (List.map (fun b -> if b then "1" else "0")
+                  (Array.to_list row.Sidb.Bdl.expected))))
+        report.Sidb.Bdl.rows;
+      Format.printf "  gate %s under presence/absence inputs@."
+        (if report.Sidb.Bdl.functional then "operates correctly"
+         else "mis-reads some rows (motivating the paper's near/far refinement)");
+      (* The same gate under the paper's near/far encoding. *)
+      let near_far =
+        Sidb.Bdl.check ~model:Sidb.Model.default s ~spec:(fun i ->
+            [| i.(0) || i.(1) |])
+      in
+      Format.printf "  same tile with the paper's near/far encoding: %s@."
+        (if near_far.Sidb.Bdl.functional then "operational" else "broken")
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: clocking by charge population modulation                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "Fig. 2: four-phase clocking pipeline";
+  Format.printf
+    "zone phases cycle hold/release/relax/switch; signal position over time@.";
+  Format.printf "(8 zones in a row-clocked wire, X = zone holding the signal):@.";
+  for step = 0 to 7 do
+    Format.printf "  t=%d  " step;
+    for zone = 0 to 7 do
+      if (step - zone) mod 4 = 0 && step >= zone then Format.printf "X"
+      else Format.printf "."
+    done;
+    Format.printf "@."
+  done;
+  Format.printf "@.legal transitions: ";
+  for z = 0 to 3 do
+    Format.printf "%d->%d " z ((z + 1) mod 4)
+  done;
+  Format.printf "@.";
+  (* External potential deactivates a region: a charged wire loses its
+     electrons when the clock field lifts the local potential. *)
+  let sites = [| L.site 0 0 0; L.site 1 0 0 |] in
+  let active = Sidb.Charge_system.create Sidb.Model.default sites in
+  let deactivated =
+    Sidb.Charge_system.create ~v_ext:[| 0.5; 0.5 |] Sidb.Model.default sites
+  in
+  let count sys =
+    match (Sidb.Ground_state.exhaustive sys).Sidb.Ground_state.states with
+    | occ :: _ -> Array.fold_left (fun a b -> if b then a + 1 else a) 0 occ
+    | [] -> 0
+  in
+  Format.printf
+    "@.charge-population modulation: %d electron(s) when active, %d when the clock field raises the local potential by 0.5 eV@."
+    (count active) (count deactivated)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: Y-shaped gates on Cartesian vs hexagonal grids              *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section "Fig. 3: topology fit of Y-shaped gates";
+  Format.printf
+    "A Y-shaped SiDB gate has two inputs at the top at +-60 degrees and one output at the bottom.@.@.";
+  Format.printf
+    "Cartesian grid: each tile has 4 orthogonal neighbors (N/E/S/W).  A Y-gate's@.input ports point towards NW and NE - neither is a Cartesian neighbor, so two@.stacked Y-gates cannot connect without distorting the demonstrated gate shape.@.@.";
+  Format.printf
+    "Hexagonal (odd-r, pointy-top): every tile's NW and NE borders face in-grid@.neighbors, and SW/SE carry outputs.  All sixteen Bestagon port configurations@.used by the physical design are realizable:@.";
+  let count = ref 0 in
+  List.iter
+    (fun tile ->
+      match Bestagon.Library.implement tile with
+      | Ok _ -> incr count
+      | Error _ -> ())
+    ([
+       Layout.Tile.Pi { name = "x"; out = D.South_east };
+       Layout.Tile.Pi { name = "x"; out = D.South_west };
+       Layout.Tile.Po { name = "y"; inp = D.North_west };
+       Layout.Tile.Po { name = "y"; inp = D.North_east };
+       Layout.Tile.Wire { segments = [ (D.North_west, D.South_east) ] };
+       Layout.Tile.Wire { segments = [ (D.North_west, D.South_west) ] };
+       Layout.Tile.Wire { segments = [ (D.North_east, D.South_west) ] };
+       Layout.Tile.Wire { segments = [ (D.North_east, D.South_east) ] };
+       Layout.Tile.Fanout
+         { inp = D.North_west; outs = [ D.South_west; D.South_east ] };
+       Layout.Tile.Fanout
+         { inp = D.North_east; outs = [ D.South_west; D.South_east ] };
+     ]
+    @ List.concat_map
+        (fun fn ->
+          [
+            Layout.Tile.Gate
+              {
+                fn;
+                ins = [ D.North_west; D.North_east ];
+                outs = [ D.South_east ];
+              };
+            Layout.Tile.Gate
+              {
+                fn;
+                ins = [ D.North_west; D.North_east ];
+                outs = [ D.South_west ];
+              };
+          ])
+        [ M.And2; M.Or2; M.Xor2 ]);
+  Format.printf "  %d/16 configurations implemented by the library@." !count;
+  (* And a two-level tree of Y-gates placed and routed on the hexagonal
+     grid, which is exactly what the Cartesian grid cannot host. *)
+  let ntk = Logic.Network.create () in
+  let a = Logic.Network.pi ntk "a"
+  and b = Logic.Network.pi ntk "b"
+  and c = Logic.Network.pi ntk "c"
+  and d = Logic.Network.pi ntk "d" in
+  Logic.Network.po ntk "y"
+    (Logic.Network.or_ ntk
+       (Logic.Network.and_ ntk a b)
+       (Logic.Network.and_ ntk c d));
+  match Core.Flow.run ntk with
+  | Ok result ->
+      Format.printf "@.two-level Y-gate tree on the hexagonal grid:@.%s@."
+        (Layout.Render.layout result.Core.Flow.gate_layout)
+  | Error e -> Format.printf "flow failed: %s@." e
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: tile template and super-tiles                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "Fig. 4: Bestagon tile template and super-tile dimensions";
+  Format.printf
+    "standard tile: %d x %d lattice sites = %.2f nm x %.2f nm@."
+    Bestagon.Geometry.tile_columns (2 * Bestagon.Geometry.tile_rows)
+    Layout.Supertile.tile_width_nm Layout.Supertile.tile_height_nm;
+  Format.printf "Huff et al.'s OR gate: ~5 nm x 6 nm (30 nm^2), well below@.";
+  Format.printf "the %.0f nm minimum metal pitch of 7 nm lithography [54],@."
+    Layout.Supertile.default_metal_pitch_nm;
+  Format.printf "hence %d tile rows share each clocking electrode.@.@."
+    (Layout.Supertile.rows_per_zone ());
+  (* Render the 2-in-1-out template: stub dots S, canvas window '.'. *)
+  let scaffold =
+    Bestagon.Scaffold.make
+      ~in_ports:[ D.North_west; D.North_east ]
+      ~out_ports:[ D.South_east ] ()
+  in
+  Format.printf "2-in-1-out template (S = standard wire dot, . = canvas):@.";
+  let (n0, m0), (n1, m1) = scaffold.Bestagon.Scaffold.canvas_window in
+  for m = 0 to Bestagon.Geometry.tile_rows - 1 do
+    let line = Buffer.create 70 in
+    for n = 0 to Bestagon.Geometry.tile_columns - 1 do
+      let has_dot =
+        List.exists
+          (fun (s : L.site) -> s.L.n = n && s.L.m = m)
+          scaffold.Bestagon.Scaffold.stub_dots
+      in
+      if has_dot then Buffer.add_char line 'S'
+      else if n >= n0 && n <= n1 && m >= m0 && m <= m1 then
+        Buffer.add_char line '.'
+      else Buffer.add_char line ' '
+    done;
+    Format.printf "  |%s|@." (Buffer.contents line)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: simulation of the Bestagon gates                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section
+    "Fig. 5: exact ground-state validation of Bestagon gates (mu- = -0.32 eV, eps_r = 5.6, lambda_TF = 5 nm)";
+  let gate2 fn =
+    Layout.Tile.Gate
+      { fn; ins = [ D.North_west; D.North_east ]; outs = [ D.South_east ] }
+  in
+  let tiles =
+    List.map (fun fn -> (M.fn_name fn, gate2 fn))
+      [ M.Or2; M.And2; M.Nor2; M.Nand2; M.Xor2; M.Xnor2 ]
+    @ [
+        ("INV/diag",
+         Layout.Tile.Gate
+           { fn = M.Inv; ins = [ D.North_west ]; outs = [ D.South_east ] });
+        ("INV/str",
+         Layout.Tile.Gate
+           { fn = M.Inv; ins = [ D.North_west ]; outs = [ D.South_west ] });
+        ("wire/diag",
+         Layout.Tile.Wire { segments = [ (D.North_west, D.South_east) ] });
+        ("wire/str",
+         Layout.Tile.Wire { segments = [ (D.North_west, D.South_west) ] });
+        ("fanout",
+         Layout.Tile.Fanout
+           { inp = D.North_west; outs = [ D.South_west; D.South_east ] });
+        ("crossing",
+         Layout.Tile.Wire
+           {
+             segments =
+               [ (D.North_west, D.South_east); (D.North_east, D.South_west) ];
+           });
+        ("HA",
+         Layout.Tile.Gate
+           {
+             fn = M.Ha;
+             ins = [ D.North_west; D.North_east ];
+             outs = [ D.South_west; D.South_east ];
+           });
+      ]
+  in
+  List.iter
+    (fun (name, tile) ->
+      match
+        ( Bestagon.Library.validation_structure tile,
+          Bestagon.Library.tile_spec tile )
+      with
+      | Some s, Some spec ->
+          let report = Sidb.Bdl.check s ~spec in
+          let rows =
+            String.concat " "
+              (List.map
+                 (fun row ->
+                   Printf.sprintf "%s->%s"
+                     (String.concat ""
+                        (List.map (fun b -> if b then "1" else "0")
+                           (Array.to_list row.Sidb.Bdl.assignment)))
+                     (match row.Sidb.Bdl.observed with
+                     | obs :: _ ->
+                         String.concat ""
+                           (List.map
+                              (function
+                                | Some true -> "1"
+                                | Some false -> "0"
+                                | None -> "?")
+                              (Array.to_list obs))
+                     | [] -> "?"))
+                 report.Sidb.Bdl.rows)
+          in
+          Format.printf "  %-10s %-18s %s@." name
+            (if report.Sidb.Bdl.functional then "operational"
+             else "NOT operational")
+            rows
+      | _ -> Format.printf "  %-10s (no structure)@." name)
+    tiles;
+  Format.printf
+    "@.(The two-output tiles are structural designs pending a successful design run;@. see EXPERIMENTS.md for the boundary-bias analysis.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: the par_check layout                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Fig. 6: synthesized par_check layout (row clocking, verified)";
+  match Core.Flow.run_benchmark "par_check" with
+  | Error e -> Format.printf "flow failed: %s@." e
+  | Ok result ->
+      Format.printf "%a@." Core.Flow.pp_summary result;
+      Format.printf "@.%s@."
+        (Layout.Render.flow result.Core.Flow.gate_layout);
+      (match Core.Flow.export_sqd result ~path:"par_check.sqd" () with
+      | Ok () -> Format.printf "wrote par_check.sqd@."
+      | Error e -> Format.printf "sqd export failed: %s@." e)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md §5)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation: XAG vs AIG as the logic representation";
+  Format.printf "%-14s %-16s %-16s@." "Name" "XAG gates/area" "AIG gates/area";
+  Format.printf "(rewriting disabled for both, so the AIG cannot be re-XAG-ified)@.";
+  List.iter
+    (fun name ->
+      let b = Logic.Benchmarks.find name in
+      let run ntk =
+        let options = { Core.Flow.default_options with rewrite = false } in
+        match Core.Flow.run ~options ntk with
+        | Ok r ->
+            let st = Layout.Gate_layout.stats r.Core.Flow.gate_layout in
+            Printf.sprintf "%d / %dx%d" (Logic.Network.num_gates r.Core.Flow.optimized)
+              st.Layout.Gate_layout.bounding_width
+              st.Layout.Gate_layout.bounding_height
+        | Error _ -> "failed"
+      in
+      let xag = run (b.Logic.Benchmarks.build ()) in
+      let aig =
+        run (Logic.Network.to_aig (b.Logic.Benchmarks.build ()))
+      in
+      Format.printf "%-14s %-16s %-16s@." name xag aig)
+    [ "xor2"; "par_gen"; "par_check"; "xor5_r1"; "c17" ];
+  section "Ablation: cut rewriting on/off (optimized gate counts)";
+  Format.printf "%-14s %-10s %-10s@." "Name" "raw" "rewritten";
+  List.iter
+    (fun name ->
+      let b = Logic.Benchmarks.find name in
+      let raw = Logic.Network.num_gates (b.Logic.Benchmarks.build ()) in
+      let rewritten =
+        Logic.Network.num_gates
+          (Logic.Rewrite.rewrite_to_fixpoint (b.Logic.Benchmarks.build ()))
+      in
+      Format.printf "%-14s %-10d %-10d@." name raw rewritten)
+    [ "xor5_majority"; "majority"; "majority_5_r1"; "cm82a_5" ];
+  section "Ablation: exact vs scalable physical design";
+  Format.printf "%-14s %-18s %-18s@." "Name" "exact (tiles, s)" "scalable (tiles, s)";
+  List.iter
+    (fun name ->
+      let run engine =
+        let t0 = Unix.gettimeofday () in
+        let options = { Core.Flow.default_options with engine } in
+        match Core.Flow.run_benchmark ~options name with
+        | Ok r ->
+            let st = Layout.Gate_layout.stats r.Core.Flow.gate_layout in
+            Printf.sprintf "%3d in %5.2fs" st.Layout.Gate_layout.area_tiles
+              (Unix.gettimeofday () -. t0)
+        | Error _ -> "failed"
+      in
+      Format.printf "%-14s %-18s %-18s@." name
+        (run (Core.Flow.Exact Physdesign.Exact.default_config))
+        (run Core.Flow.Scalable))
+    [ "xor2"; "par_gen"; "mux21"; "par_check"; "c17" ];
+  section "Ablation: half-adder fusion";
+  let ha_demo fuse =
+    let ntk = Logic.Network.create () in
+    let a = Logic.Network.pi ntk "a" and b = Logic.Network.pi ntk "b" in
+    Logic.Network.po ntk "s" (Logic.Network.xor_ ntk a b);
+    Logic.Network.po ntk "c" (Logic.Network.and_ ntk a b);
+    let options = { Core.Flow.default_options with fuse_half_adders = fuse; rewrite = false } in
+    match Core.Flow.run ~options ntk with
+    | Ok r ->
+        let st = Layout.Gate_layout.stats r.Core.Flow.gate_layout in
+        Printf.sprintf "%d gate tiles, %dx%d" st.Layout.Gate_layout.gate_tiles
+          st.Layout.Gate_layout.bounding_width
+          st.Layout.Gate_layout.bounding_height
+    | Error e -> "failed: " ^ e
+  in
+  Format.printf "half adder with fusion:    %s@." (ha_demo true);
+  Format.printf "half adder without fusion: %s@." (ha_demo false);
+  section "Ablation: clocking scheme legality (re-clocking a Row layout)";
+  (match Core.Flow.run_benchmark "par_check" with
+  | Ok r ->
+      List.iter
+        (fun scheme ->
+          let relocked =
+            Layout.Gate_layout.with_clocking r.Core.Flow.gate_layout
+              (Layout.Gate_layout.Scheme scheme)
+          in
+          let violations =
+            List.length
+              (List.filter
+                 (fun v -> v.Layout.Design_rules.rule = "clocking")
+                 (Layout.Design_rules.check relocked))
+          in
+          Format.printf "  %-9s %d clocking violations@."
+            (Layout.Clocking.to_string scheme)
+            violations)
+        [ Layout.Clocking.Row; Layout.Clocking.Columnar;
+          Layout.Clocking.Two_d_d_wave; Layout.Clocking.Use ]
+  | Error e -> Format.printf "flow failed: %s@." e);
+  section "Ablation: input encoding (near/far vs presence/absence)";
+  Format.printf
+    "see fig1c: the paper's near/far refinement keeps upstream influence in both logic states.@."
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: operational domain and critical temperature             *)
+(* (the future work called out in the paper's Sec. 6)                  *)
+(* ------------------------------------------------------------------ *)
+
+let extensions () =
+  section
+    "Extension: operational domain of the OR tile (paper Sec. 6 future work)";
+  let tile =
+    Layout.Tile.Gate
+      { fn = M.Or2; ins = [ D.North_west; D.North_east ]; outs = [ D.South_east ] }
+  in
+  (match
+     (Bestagon.Library.validation_structure tile, Bestagon.Library.tile_spec tile)
+   with
+  | Some s, Some spec ->
+      let dom =
+        Sidb.Operational_domain.sweep
+          ~x_axis:
+            {
+              Sidb.Operational_domain.parameter = Sidb.Operational_domain.Mu_minus;
+              from_value = -0.40;
+              to_value = -0.20;
+              steps = 11;
+            }
+          ~y_axis:
+            {
+              Sidb.Operational_domain.parameter = Sidb.Operational_domain.Lambda_tf;
+              from_value = 3.0;
+              to_value = 8.0;
+              steps = 6;
+            }
+          s ~spec
+      in
+      Format.printf
+        "x: mu- in [-0.40, -0.20] eV (11 steps), y: lambda_TF in [3, 8] nm (6 steps)@.('#' = operational; the paper's parameters are mu- = -0.32, lambda_TF = 5):@.%s@.operational fraction: %.2f@."
+        (Sidb.Operational_domain.to_ascii dom)
+        dom.Sidb.Operational_domain.operational_fraction;
+      section "Extension: critical temperature of the validated tiles";
+      Format.printf
+        "Boltzmann-weighted probability of a correct read-out (worst input row):@.";
+      List.iter
+        (fun t ->
+          Format.printf "  P(correct at %3.0f K) = %.4f@." t
+            (Sidb.Temperature.correctness_probability s ~spec ~temperature_k:t
+               ()))
+        [ 4.; 77.; 300. ];
+      Format.printf
+        "  critical temperature (90%% confidence): %.0f K@."
+        (Sidb.Temperature.critical_temperature s ~spec);
+      Format.printf
+        "@.The stochastic designer optimizes logical correctness only, so several@.designs sit sub-meV above competing states: functionally exact at T = 0 but@.thermally fragile.  A margin-aware design objective is the natural next step@.(and exactly the 'operational domain evaluation' the paper lists as future work).@."
+  | _ -> Format.printf "no OR structure@.")
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let perf () =
+  section "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let open Toolkit in
+  let or_structure =
+    match
+      Bestagon.Library.validation_structure
+        (Layout.Tile.Gate
+           {
+             fn = M.Or2;
+             ins = [ D.North_west; D.North_east ];
+             outs = [ D.South_east ];
+           })
+    with
+    | Some s -> s
+    | None -> assert false
+  in
+  let or_sites = Sidb.Bdl.sites_for or_structure [| true; false |] in
+  let mapped_c17 =
+    fst (Logic.Tech_map.map (Logic.Benchmarks.c17 ()))
+  in
+  let tests =
+    [
+      (* One Test.make per experiment driver (Table 1 and each figure
+         pipeline stage). *)
+      Test.make ~name:"table1:flow-xor2" (Staged.stage (fun () ->
+          match Core.Flow.run_benchmark "xor2" with
+          | Ok _ -> ()
+          | Error _ -> ()));
+      Test.make ~name:"table1:flow-c17" (Staged.stage (fun () ->
+          match Core.Flow.run_benchmark "c17" with
+          | Ok _ -> ()
+          | Error _ -> ()));
+      Test.make ~name:"fig5:ground-state-or" (Staged.stage (fun () ->
+          ignore
+            (Sidb.Ground_state.branch_and_bound
+               (Sidb.Charge_system.create Sidb.Model.default or_sites))));
+      Test.make ~name:"fig5:simanneal-or" (Staged.stage (fun () ->
+          ignore
+            (Sidb.Simanneal.run
+               ~params:
+                 {
+                   Sidb.Simanneal.default_params with
+                   instances = 4;
+                   sweeps = 100;
+                 }
+               (Sidb.Charge_system.create Sidb.Model.default or_sites))));
+      Test.make ~name:"flow:rewrite-cm82a" (Staged.stage (fun () ->
+          ignore (Logic.Rewrite.rewrite_to_fixpoint (Logic.Benchmarks.cm82a_5 ()))));
+      Test.make ~name:"flow:tech-map-c17" (Staged.stage (fun () ->
+          ignore (Logic.Tech_map.map (Logic.Benchmarks.c17 ()))));
+      Test.make ~name:"flow:exact-pnr-c17" (Staged.stage (fun () ->
+          ignore
+            (Physdesign.Exact.place_and_route
+               (Physdesign.Netlist.of_mapped mapped_c17))));
+      Test.make ~name:"flow:scalable-pnr-c17" (Staged.stage (fun () ->
+          ignore
+            (Physdesign.Scalable.place_and_route
+               (Physdesign.Netlist.of_mapped mapped_c17))));
+      Test.make ~name:"fig6:equivalence-par_check" (Staged.stage (fun () ->
+          ignore
+            (Verify.Equivalence.check
+               (Logic.Benchmarks.par_check ())
+               (Logic.Benchmarks.par_check ()))));
+      Test.make ~name:"sat:php-7-6" (Staged.stage (fun () ->
+          let s = Sat.Solver.create () in
+          let v =
+            Array.init 7 (fun _ -> Array.init 6 (fun _ -> Sat.Solver.new_var s))
+          in
+          for p = 0 to 6 do
+            Sat.Solver.add_clause s (Array.to_list v.(p))
+          done;
+          for h = 0 to 5 do
+            for p1 = 0 to 6 do
+              for p2 = p1 + 1 to 6 do
+                Sat.Solver.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+              done
+            done
+          done;
+          ignore (Sat.Solver.solve s)));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              let t, unit =
+                if est > 1e9 then (est /. 1e9, "s")
+                else if est > 1e6 then (est /. 1e6, "ms")
+                else if est > 1e3 then (est /. 1e3, "us")
+                else (est, "ns")
+              in
+              Format.printf "  %-28s %8.2f %s/run@." name t unit
+          | _ -> Format.printf "  %-28s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all = [ "table1"; "fig1c"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
+
+let run = function
+  | "table1" -> table1 ()
+  | "fig1c" -> fig1c ()
+  | "fig2" -> fig2 ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "fig6" -> fig6 ()
+  | "ablation" -> ablation ()
+  | "extensions" -> extensions ()
+  | "perf" -> perf ()
+  | other ->
+      Format.printf
+        "unknown experiment %S (try: %s, ablation, extensions, perf)@." other
+        (String.concat ", " all)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] ->
+      List.iter run all;
+      ablation ();
+      extensions ();
+      perf ()
+  | _ :: experiments -> List.iter run experiments
+  | [] -> ()

@@ -1,0 +1,195 @@
+(* fictionette — command-line driver for the SiDB design-automation
+   flow. *)
+
+open Cmdliner
+
+let engine_conv =
+  let parse = function
+    | "exact" -> Ok (Core.Flow.Exact Physdesign.Exact.default_config)
+    | "scalable" -> Ok Core.Flow.Scalable
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  let print ppf = function
+    | Core.Flow.Exact _ -> Format.pp_print_string ppf "exact"
+    | Core.Flow.Scalable -> Format.pp_print_string ppf "scalable"
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  let doc = "Physical design engine: $(b,exact) or $(b,scalable)." in
+  Arg.(
+    value
+    & opt engine_conv (Core.Flow.Exact Physdesign.Exact.default_config)
+    & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let no_rewrite_arg =
+  Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip logic rewriting (step 2).")
+
+let no_ha_arg =
+  Arg.(value & flag & info [ "no-half-adders" ] ~doc:"Disable half-adder fusion.")
+
+let sqd_arg =
+  let doc = "Write the resulting SiDB layout as a SiQAD design file." in
+  Arg.(value & opt (some string) None & info [ "o"; "sqd" ] ~docv:"FILE" ~doc)
+
+let show_layout_arg =
+  Arg.(value & flag & info [ "l"; "layout" ] ~doc:"Print the gate-level layout.")
+
+let zones_arg =
+  Arg.(value & flag & info [ "z"; "zones" ] ~doc:"Annotate tiles with clock numbers.")
+
+let options_of engine no_rewrite no_ha =
+  {
+    Core.Flow.default_options with
+    engine;
+    rewrite = not no_rewrite;
+    fuse_half_adders = not no_ha;
+  }
+
+let report result sqd show_layout zones =
+  Format.printf "%a" Core.Flow.pp_summary result;
+  if show_layout then
+    Format.printf "@.%s@."
+      (Layout.Render.layout ~show_zones:zones result.Core.Flow.supertiled);
+  match sqd with
+  | None -> 0
+  | Some path -> (
+      match Core.Flow.export_sqd result ~path () with
+      | Ok () ->
+          Format.printf "wrote %s@." path;
+          0
+      | Error e ->
+          Format.eprintf "sqd export failed: %s@." e;
+          1)
+
+let run_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (see $(b,fictionette list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let action name engine no_rewrite no_ha sqd show_layout zones =
+    match
+      Core.Flow.run_benchmark ~options:(options_of engine no_rewrite no_ha)
+        name
+    with
+    | Ok result -> report result sqd show_layout zones
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+  in
+  let term =
+    Term.(
+      const action $ bench_arg $ engine_arg $ no_rewrite_arg $ no_ha_arg
+      $ sqd_arg $ show_layout_arg $ zones_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the full flow on a built-in benchmark.")
+    term
+
+let verilog_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.v")
+  in
+  let action path engine no_rewrite no_ha sqd show_layout zones =
+    let ic = open_in path in
+    let source = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match
+      Core.Flow.run_verilog ~options:(options_of engine no_rewrite no_ha)
+        source
+    with
+    | Ok result -> report result sqd show_layout zones
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+  in
+  let term =
+    Term.(
+      const action $ file_arg $ engine_arg $ no_rewrite_arg $ no_ha_arg
+      $ sqd_arg $ show_layout_arg $ zones_arg)
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Run the full flow on a gate-level Verilog file.")
+    term
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun b ->
+        Printf.printf "%-16s (%s)\n" b.Logic.Benchmarks.name
+          b.Logic.Benchmarks.source)
+      Logic.Benchmarks.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark circuits.")
+    Term.(const action $ const ())
+
+let table1_cmd =
+  let action engine =
+    let options = { Core.Flow.default_options with engine } in
+    let rows = Core.Table1.generate ~options () in
+    Format.printf "%a" Core.Table1.pp_table rows;
+    if List.for_all Result.is_ok rows then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.")
+    Term.(const action $ engine_arg)
+
+let gates_cmd =
+  let action () =
+    let tiles =
+      [
+        ("wire (NW->SE)",
+         Layout.Tile.Wire
+           { segments = [ (Hexlib.Direction.North_west, Hexlib.Direction.South_east) ] });
+        ("inverter",
+         Layout.Tile.Gate
+           {
+             fn = Logic.Mapped.Inv;
+             ins = [ Hexlib.Direction.North_west ];
+             outs = [ Hexlib.Direction.South_east ];
+           });
+      ]
+      @ List.map
+          (fun fn ->
+            ( Logic.Mapped.fn_name fn,
+              Layout.Tile.Gate
+                {
+                  fn;
+                  ins =
+                    [ Hexlib.Direction.North_west; Hexlib.Direction.North_east ];
+                  outs = [ Hexlib.Direction.South_east ];
+                } ))
+          [
+            Logic.Mapped.Or2; Logic.Mapped.And2; Logic.Mapped.Nor2;
+            Logic.Mapped.Nand2; Logic.Mapped.Xor2; Logic.Mapped.Xnor2;
+          ]
+    in
+    List.iter
+      (fun (name, tile) ->
+        match Bestagon.Library.validation_structure tile with
+        | None -> Printf.printf "%-14s (no structure)\n" name
+        | Some s -> (
+            match Bestagon.Library.tile_spec tile with
+            | None -> Printf.printf "%-14s (no spec)\n" name
+            | Some spec ->
+                let report = Sidb.Bdl.check s ~spec in
+                Printf.printf "%-14s %s\n%!" name
+                  (if report.Sidb.Bdl.functional then "operational"
+                   else "NOT OPERATIONAL")))
+      tiles;
+    0
+  in
+  Cmd.v
+    (Cmd.info "gates"
+       ~doc:"Validate the Bestagon gate designs by exact simulation (Fig. 5).")
+    Term.(const action $ const ())
+
+let main =
+  let doc = "Design automation for silicon dangling bond logic" in
+  Cmd.group
+    (Cmd.info "fictionette" ~version:"0.1" ~doc)
+    [ run_cmd; verilog_cmd; list_cmd; table1_cmd; gates_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/clocking_demo.ml: Format Hexlib Layout List

@@ -1,0 +1,1 @@
+examples/clocking_demo.mli:

@@ -1,0 +1,1 @@
+examples/gate_workshop.ml: Array Bestagon Format Hexlib List Sidb String

@@ -1,0 +1,1 @@
+examples/gate_workshop.mli:

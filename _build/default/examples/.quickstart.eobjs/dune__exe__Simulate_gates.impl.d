@@ -1,0 +1,1 @@
+examples/simulate_gates.ml: Array Bestagon Buffer Format Hexlib Layout List Logic Sidb Sys

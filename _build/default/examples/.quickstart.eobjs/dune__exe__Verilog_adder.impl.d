@@ -1,0 +1,1 @@
+examples/verilog_adder.ml: Bestagon Core Format Layout Physdesign Verify

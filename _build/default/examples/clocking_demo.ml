@@ -1,0 +1,56 @@
+(* Clocking demo (Fig. 2 / Fig. 4 of the paper): four-phase zones on the
+   hexagonal floor plan, information flow legality, and super-tile
+   formation under the 40 nm metal-pitch constraint.
+
+     dune exec examples/clocking_demo.exe *)
+
+module C = Hexlib.Coord
+module Cl = Layout.Clocking
+
+let () =
+  Format.printf "Four-phase clock zones under the paper's Row scheme@.";
+  Format.printf "(tile (x, y) is driven by clock y mod 4):@.@.";
+  for row = 0 to 7 do
+    if row land 1 = 1 then Format.printf "  ";
+    for col = 0 to 7 do
+      Format.printf "%d   " (Cl.zone Cl.Row { C.col; row })
+    done;
+    Format.printf "@."
+  done;
+  Format.printf
+    "@.A signal may only move from zone z into zone (z+1) mod 4:@.";
+  List.iter
+    (fun (f, t) ->
+      Format.printf "  zone %d -> zone %d: %s@." f t
+        (if Cl.legal_flow ~from_zone:f ~to_zone:t then "legal" else "illegal"))
+    [ (0, 1); (3, 0); (1, 1); (2, 1) ];
+  (* Pipeline animation of a signal on an 8-tile wire. *)
+  Format.printf
+    "@.Pipeline view: X = activated zone holding the signal, . = relaxed@.";
+  for step = 0 to 7 do
+    Format.printf "  t=%d  " step;
+    for row = 0 to 7 do
+      let _phase = Cl.zone Cl.Row { C.col = 0; row } in
+      if (step - row) mod 4 = 0 && step >= row then Format.printf "X"
+      else Format.printf "."
+    done;
+    Format.printf "@."
+  done;
+  (* Super-tiles: the fabrication constraint of Sec. 4.1. *)
+  Format.printf "@.Super-tiles (Fig. 4): tile height %.2f nm, metal pitch %.0f nm@."
+    Layout.Supertile.tile_height_nm Layout.Supertile.default_metal_pitch_nm;
+  Format.printf "-> %d tile rows per clocking electrode@."
+    (Layout.Supertile.rows_per_zone ());
+  Format.printf "Expanded zones (three rows share an electrode):@.";
+  for row = 0 to 11 do
+    Format.printf "  row %2d: zone %d -> super-tile zone %d@." row
+      (Cl.zone Cl.Row { C.col = 0; row })
+      (Cl.zone_expanded Cl.Row ~rows_per_zone:3 { C.col = 0; row })
+  done;
+  (* Scheme comparison. *)
+  Format.printf "@.Scheme comparison on the hexagonal grid:@.";
+  List.iter
+    (fun s ->
+      Format.printf "  %-9s feed-forward=%b@." (Cl.to_string s)
+        (Cl.is_feed_forward s))
+    Cl.all

@@ -1,0 +1,58 @@
+(* Gate workshop: design a new Bestagon standard tile from scratch with
+   the stochastic designer (the role the RL agent of [28] plays in the
+   original work), validate it with the exact ground-state engine, and
+   export it as a SiQAD file.
+
+     dune exec examples/gate_workshop.exe *)
+
+module D = Hexlib.Direction
+
+let () =
+  Format.printf "Designing a NOR tile (inputs NW/NE, output SE)...@.";
+  let scaffold =
+    Bestagon.Scaffold.make
+      ~in_ports:[ D.North_west; D.North_east ]
+      ~out_ports:[ D.South_east ] ()
+  in
+  let spec i = [| not (i.(0) || i.(1)) |] in
+  let outcome =
+    Bestagon.Designer.design
+      ~params:{ Bestagon.Designer.default_params with iterations = 4000 }
+      ~seed:42
+      ~initial:[ Sidb.Lattice.site 30 10 0; Sidb.Lattice.site 30 11 0 ]
+      scaffold ~name:"nor-workshop" ~spec
+  in
+  Format.printf "search: %d simulator evaluations, score %.1f/100, %s@."
+    outcome.Bestagon.Designer.evaluations outcome.Bestagon.Designer.score
+    (if outcome.Bestagon.Designer.functional then "FUNCTIONAL"
+     else "not functional");
+  List.iter
+    (fun s ->
+      Format.printf "  canvas dot %a@." Sidb.Lattice.pp s)
+    outcome.Bestagon.Designer.canvas;
+  if outcome.Bestagon.Designer.functional then begin
+    (* Exercise the gate on every input row and show the read-out. *)
+    let s = outcome.Bestagon.Designer.structure in
+    let report = Sidb.Bdl.check s ~spec in
+    List.iter
+      (fun row ->
+        Format.printf "  %s -> ground energy %.4f eV, output %s@."
+          (String.concat ""
+             (List.map (fun b -> if b then "1" else "0")
+                (Array.to_list row.Sidb.Bdl.assignment)))
+          row.Sidb.Bdl.ground_energy
+          (match row.Sidb.Bdl.observed with
+          | obs :: _ -> (
+              match obs.(0) with
+              | Some true -> "1"
+              | Some false -> "0"
+              | None -> "?")
+          | [] -> "?"))
+      report.Sidb.Bdl.rows;
+    let path = "nor_workshop.sqd" in
+    let text = Bestagon.Sqd.of_structure s ~assignment:[| true; false |] in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Format.printf "wrote %s (input assignment 10)@." path
+  end

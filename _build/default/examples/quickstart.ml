@@ -1,0 +1,33 @@
+(* Quickstart: run the complete SiDB design-automation flow on a small
+   logic network built through the public API.
+
+     dune exec examples/quickstart.exe
+
+   The flow (Sec. 4.2 of the paper): XAG -> rewriting -> technology
+   mapping -> exact SAT placement & routing on hexagonal tiles -> formal
+   verification -> super-tiles -> dot-accurate SiDB layout. *)
+
+let () =
+  (* 1. Describe the function as an XAG: a one-bit full adder. *)
+  let ntk = Logic.Network.create () in
+  let a = Logic.Network.pi ntk "a"
+  and b = Logic.Network.pi ntk "b"
+  and cin = Logic.Network.pi ntk "cin" in
+  let sum, carry = Logic.Network.full_adder ntk a b cin in
+  Logic.Network.po ntk "sum" sum;
+  Logic.Network.po ntk "carry" carry;
+  Format.printf "specification: %a@." Logic.Network.pp_stats ntk;
+
+  (* 2. Run the whole flow with default options (exact physical design,
+     equivalence checking, super-tile formation, Bestagon library). *)
+  match Core.Flow.run ntk with
+  | Error e -> Format.printf "flow failed: %s@." e
+  | Ok result ->
+      Format.printf "@.%a@." Core.Flow.pp_summary result;
+      Format.printf "@.gate-level layout (clock zones as suffixes):@.%s@."
+        (Layout.Render.layout ~show_zones:true result.Core.Flow.supertiled);
+      (* 3. Export a SiQAD design file for physical simulation. *)
+      let path = "full_adder.sqd" in
+      (match Core.Flow.export_sqd result ~path () with
+      | Ok () -> Format.printf "wrote %s (open it in SiQAD)@." path
+      | Error e -> Format.printf "export failed: %s@." e)

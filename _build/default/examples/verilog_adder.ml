@@ -1,0 +1,46 @@
+(* Verilog entry point: the flow consumes gate-level Verilog (step 1 of
+   Sec. 4.2), here a full adder, and compares the exact and scalable
+   physical-design engines on the same netlist.
+
+     dune exec examples/verilog_adder.exe *)
+
+let source =
+  {|
+// one-bit full adder
+module full_adder (a, b, cin, s, cout);
+  input a, b, cin;
+  output s, cout;
+  assign s = a ^ b ^ cin;
+  assign cout = (a & b) | (cin & (a ^ b));
+endmodule
+|}
+
+let describe name engine =
+  let options = { Core.Flow.default_options with engine } in
+  match Core.Flow.run_verilog ~options source with
+  | Error e -> Format.printf "%s failed: %s@." name e
+  | Ok result ->
+      let stats = Layout.Gate_layout.stats result.Core.Flow.gate_layout in
+      Format.printf
+        "%s engine: %dx%d tiles (%d gates, %d wires, %d crossings), %s, physical design %.2fs@."
+        name stats.Layout.Gate_layout.bounding_width
+        stats.Layout.Gate_layout.bounding_height
+        stats.Layout.Gate_layout.gate_tiles
+        stats.Layout.Gate_layout.wire_tiles
+        stats.Layout.Gate_layout.crossing_tiles
+        (match result.Core.Flow.equivalence with
+        | Some Verify.Equivalence.Equivalent -> "formally equivalent"
+        | _ -> "NOT verified")
+        result.Core.Flow.timing.Core.Flow.physical_design_s;
+      match result.Core.Flow.sidb with
+      | Some sidb ->
+          Format.printf "  -> %d SiDBs over %.2f nm^2@."
+            sidb.Bestagon.Library.sidb_count sidb.Bestagon.Library.area_nm2
+      | None -> ()
+
+let () =
+  Format.printf "full adder through both physical-design engines:@.@.";
+  describe "exact   "
+    (Core.Flow.Exact
+       { Physdesign.Exact.default_config with conflict_budget = Some 500000 });
+  describe "scalable" Core.Flow.Scalable

@@ -1,0 +1,1 @@
+lib/bestagon/designer.ml: Array Hashtbl List Option Random Scaffold Sidb

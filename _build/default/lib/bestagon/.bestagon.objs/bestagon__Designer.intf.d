@@ -1,0 +1,1 @@
+lib/bestagon/designer.mli: Scaffold Sidb

@@ -1,0 +1,1 @@
+lib/bestagon/designs.mli: Sidb

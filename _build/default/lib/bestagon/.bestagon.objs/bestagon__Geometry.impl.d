@@ -1,0 +1,1 @@
+lib/bestagon/geometry.ml: Float Hexlib List Sidb

@@ -1,0 +1,1 @@
+lib/bestagon/geometry.mli: Hexlib Sidb

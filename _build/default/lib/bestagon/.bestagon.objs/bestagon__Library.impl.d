@@ -1,0 +1,1 @@
+lib/bestagon/library.ml: Array Designs Format Geometry Hashtbl Hexlib Layout List Logic Option Scaffold Sidb

@@ -1,0 +1,1 @@
+lib/bestagon/library.mli: Layout Sidb

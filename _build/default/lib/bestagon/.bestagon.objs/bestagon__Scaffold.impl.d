@@ -1,0 +1,1 @@
+lib/bestagon/scaffold.ml: Array Float Geometry Hexlib List Sidb

@@ -1,0 +1,1 @@
+lib/bestagon/scaffold.mli: Hexlib Sidb

@@ -1,0 +1,1 @@
+lib/bestagon/sqd.ml: Array Buffer List Printf Sidb

@@ -1,0 +1,1 @@
+lib/bestagon/sqd.mli: Sidb

@@ -1,0 +1,54 @@
+(** The dot-level canvas designs of the Bestagon library.
+
+    Each canvas was found by the stochastic {!Designer} (the substitute
+    for the RL agent of [28]) inside the standard {!Scaffold} frame and
+    validated by exact ground-state simulation; the test suite re-checks
+    every design marked [validated].  Canonical designs use input ports
+    NW/NE and output port(s) to the south-east; west-facing variants are
+    derived by mirroring.
+
+    Coordinates are tile-local SiQAD lattice coordinates [(n, m, l)]. *)
+
+type design = {
+  canvas : Sidb.Lattice.site list;
+  validated : bool;
+      (** Whether exact simulation confirms the Boolean function on all
+          input rows (designs without this flag are structural
+          placeholders awaiting a successful design run). *)
+}
+
+val or2 : design
+val and2 : design
+val nand2 : design
+val nor2 : design
+val xor2 : design
+val xnor2 : design
+
+val inv_diagonal : design
+(** Inverter NW → SE. *)
+
+val inv_straight : design
+(** Inverter NW → SW. *)
+
+val wire_diagonal : design
+(** Wire NW → SE. *)
+
+val wire_straight : design
+(** Wire NW → SW. *)
+
+val fanout : design
+(** NW → SW and SE. *)
+
+val crossing : design
+(** NW → SE crossed with NE → SW. *)
+
+val double_wire : design
+(** NW → SW parallel to NE → SE. *)
+
+val half_adder : design
+(** NW, NE → sum on SW, carry on SE. *)
+
+val mirror_site : Sidb.Lattice.site -> Sidb.Lattice.site
+(** Reflect a tile-local site across the tile's vertical center line. *)
+
+val mirror : design -> design

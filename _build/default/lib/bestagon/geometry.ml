@@ -1,0 +1,66 @@
+module D = Hexlib.Direction
+
+let tile_columns = 60
+let tile_rows = 23
+let row_shift_columns = 30
+
+let col_pitch = Sidb.Lattice.lattice_a
+let row_pitch = Sidb.Lattice.lattice_b
+
+let port_anchor = function
+  | D.North_west -> (15. *. col_pitch, 1. *. row_pitch)
+  | D.North_east -> (45. *. col_pitch, 1. *. row_pitch)
+  | D.South_west -> (15. *. col_pitch, 21. *. row_pitch)
+  | D.South_east -> (45. *. col_pitch, 21. *. row_pitch)
+  | D.East | D.West ->
+      invalid_arg "Geometry.port_anchor: lateral borders carry no data"
+
+let center = (30. *. col_pitch, 11. *. row_pitch)
+
+let snap (x, y) =
+  let n = int_of_float (Float.round (x /. col_pitch)) in
+  let cell = int_of_float (Float.floor (y /. row_pitch)) in
+  let candidates =
+    List.concat_map
+      (fun dm -> [ (cell + dm, 0); (cell + dm, 1) ])
+      [ -1; 0; 1; 2 ]
+  in
+  let best =
+    List.fold_left
+      (fun acc (m, l) ->
+        if l <> 0 && l <> 1 then acc
+        else
+          let s = Sidb.Lattice.site n m l in
+          let _, sy = Sidb.Lattice.position s in
+          let d = Float.abs (sy -. y) in
+          match acc with
+          | Some (_, bd) when bd <= d -> acc
+          | Some _ | None -> Some (s, d))
+      None candidates
+  in
+  match best with Some (s, _) -> s | None -> assert false
+
+let pair_pitch = 30.72
+let intra_pair = 7.68
+
+let bdl_chain ~from ~towards ~pairs =
+  let x0, y0 = from and x1, y1 = towards in
+  let len = Float.hypot (x1 -. x0) (y1 -. y0) in
+  if len <= 0. then invalid_arg "Geometry.bdl_chain: zero direction";
+  let ux = (x1 -. x0) /. len and uy = (y1 -. y0) /. len in
+  let at s = snap (x0 +. (ux *. s), y0 +. (uy *. s)) in
+  List.init pairs (fun k ->
+      let base = float_of_int k *. pair_pitch in
+      (at base, at (base +. intra_pair)))
+
+let near_distance = 15.36
+let far_distance = 46.08
+let output_perturber_distance = 23.04
+
+let tile_origin (c : Hexlib.Coord.offset) =
+  let shift = if c.row land 1 = 1 then row_shift_columns else 0 in
+  ((c.col * tile_columns) + shift, c.row * tile_rows)
+
+let translate_site s ~at =
+  let dn, dm = tile_origin at in
+  Sidb.Lattice.translate s ~dn ~dm

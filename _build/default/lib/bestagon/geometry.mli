@@ -1,0 +1,55 @@
+(** Geometry of Bestagon standard tiles.
+
+    A tile occupies 60 dimer columns × 23 dimer rows of the
+    H-Si(100)-2×1 surface (60 × 46 sites at 0.384 nm pitch — the footprint
+    that reproduces Table 1's area figures exactly).  Hexagonal tiles are
+    pointy-top with odd rows shifted 30 columns right.  Signal ports sit
+    on the four data borders; BDL wires run between ports through the
+    central logic-design canvas (Fig. 4). *)
+
+val tile_columns : int
+(** 60 dimer columns. *)
+
+val tile_rows : int
+(** 23 dimer rows (= 46 half-row sites). *)
+
+val row_shift_columns : int
+(** Odd-row horizontal shift: 30 columns. *)
+
+val port_anchor : Hexlib.Direction.t -> float * float
+(** Ångström position (tile-local) of the first wire dot at a border:
+    NW = column 15 near the top, SE = column 45 near the bottom, etc.
+    @raise Invalid_argument for [East]/[West] (no data ports). *)
+
+val center : float * float
+(** Center of the logic design canvas. *)
+
+val snap : float * float -> Sidb.Lattice.site
+(** Nearest lattice site to an Ångström position. *)
+
+val bdl_chain :
+  from:(float * float) ->
+  towards:(float * float) ->
+  pairs:int ->
+  (Sidb.Lattice.site * Sidb.Lattice.site) list
+(** A BDL wire starting at [from], advancing towards [towards]: pairs at
+    30.72 Å pitch with 7.68 Å intra-pair spacing, snapped to the lattice.
+    The chain direction is the normalized difference of the two points;
+    the chain is not clipped at [towards]. *)
+
+val near_distance : float
+(** 15.36 Å — perturber distance emulating logic 1. *)
+
+val far_distance : float
+(** 46.08 Å — perturber distance emulating logic 0 (paper Sec. 4.1:
+    the perturber is present in both states, nearer for 1). *)
+
+val output_perturber_distance : float
+(** 23.04 Å beyond the last output dot. *)
+
+val tile_origin : Hexlib.Coord.offset -> int * int
+(** Dimer-coordinate origin (n, m) of a tile in a layout, including the
+    odd-row shift. *)
+
+val translate_site : Sidb.Lattice.site -> at:Hexlib.Coord.offset -> Sidb.Lattice.site
+(** Place a tile-local site into layout coordinates. *)

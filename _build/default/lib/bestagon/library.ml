@@ -1,0 +1,247 @@
+module D = Hexlib.Direction
+module M = Logic.Mapped
+
+type tile_impl = { sites : Sidb.Lattice.site list; validated : bool }
+
+(* Canonical scaffolds are cached: they are pure functions of the port
+   lists. *)
+let scaffold_cache : (D.t list * D.t list, Scaffold.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let scaffold ins outs =
+  match Hashtbl.find_opt scaffold_cache (ins, outs) with
+  | Some s -> s
+  | None ->
+      let s = Scaffold.make ~in_ports:ins ~out_ports:outs () in
+      Hashtbl.replace scaffold_cache (ins, outs) s;
+      s
+
+let sort_dirs = List.sort D.compare
+
+(* Choose the canvas design and port frame for a tile; [`Mirror] derives
+   the west-facing variant.  Returns (ins, outs, design) in scaffold
+   port order. *)
+let design_for tile =
+  match tile with
+  | Layout.Tile.Empty -> Error "empty tile has no realization"
+  | Layout.Tile.Pi { out; _ } -> (
+      (* An input pad is a wire driven from the NW border by the external
+         world. *)
+      match out with
+      | D.South_east -> Ok ([ D.North_west ], [ D.South_east ], Designs.wire_diagonal)
+      | D.South_west -> Ok ([ D.North_west ], [ D.South_west ], Designs.wire_straight)
+      | D.North_west | D.North_east | D.East | D.West ->
+          Error "input pad must emit through a south border")
+  | Layout.Tile.Po { inp; _ } -> (
+      (* An output pad is a wire into a read-out stub; its output
+         perturber is added by [implement]. *)
+      match inp with
+      | D.North_west -> Ok ([ D.North_west ], [ D.South_east ], Designs.wire_diagonal)
+      | D.North_east ->
+          Ok ([ D.North_east ], [ D.South_west ], Designs.mirror Designs.wire_diagonal)
+      | D.South_east | D.South_west | D.East | D.West ->
+          Error "output pad must consume through a north border")
+  | Layout.Tile.Wire { segments } -> (
+      match List.map (fun (i, o) -> (i, o)) segments with
+      | [ (D.North_west, D.South_east) ] ->
+          Ok ([ D.North_west ], [ D.South_east ], Designs.wire_diagonal)
+      | [ (D.North_east, D.South_west) ] ->
+          Ok ([ D.North_east ], [ D.South_west ], Designs.mirror Designs.wire_diagonal)
+      | [ (D.North_west, D.South_west) ] ->
+          Ok ([ D.North_west ], [ D.South_west ], Designs.wire_straight)
+      | [ (D.North_east, D.South_east) ] ->
+          Ok ([ D.North_east ], [ D.South_east ], Designs.mirror Designs.wire_straight)
+      | [ s1; s2 ] -> (
+          match List.sort compare [ s1; s2 ] with
+          | [ (D.North_west, D.South_west); (D.North_east, D.South_east) ] ->
+              Ok
+                ( [ D.North_west; D.North_east ],
+                  [ D.South_west; D.South_east ],
+                  Designs.double_wire )
+          | [ (D.North_west, D.South_east); (D.North_east, D.South_west) ] ->
+              Ok
+                ( [ D.North_west; D.North_east ],
+                  [ D.South_west; D.South_east ],
+                  Designs.crossing )
+          | _ -> Error "unsupported wire segment combination")
+      | _ -> Error "unsupported wire tile")
+  | Layout.Tile.Fanout { inp; outs } -> (
+      match (inp, sort_dirs outs) with
+      | D.North_west, [ D.South_east; D.South_west ] ->
+          Ok ([ D.North_west ], [ D.South_west; D.South_east ], Designs.fanout)
+      | D.North_east, [ D.South_east; D.South_west ] ->
+          Ok
+            ( [ D.North_east ],
+              [ D.South_west; D.South_east ],
+              Designs.mirror Designs.fanout )
+      | _ -> Error "unsupported fan-out configuration")
+  | Layout.Tile.Gate { fn; ins; outs } -> (
+      let two_in_one_out design =
+        match (sort_dirs ins, outs) with
+        | [ D.North_west; D.North_east ], [ D.South_east ] ->
+            Ok ([ D.North_west; D.North_east ], [ D.South_east ], design)
+        | [ D.North_west; D.North_east ], [ D.South_west ] ->
+            Ok
+              ( [ D.North_west; D.North_east ],
+                [ D.South_west ],
+                Designs.mirror design )
+        | _ -> Error (M.fn_name fn ^ ": unsupported port configuration")
+      in
+      match fn with
+      | M.And2 -> two_in_one_out Designs.and2
+      | M.Or2 -> two_in_one_out Designs.or2
+      | M.Nand2 -> two_in_one_out Designs.nand2
+      | M.Nor2 -> two_in_one_out Designs.nor2
+      | M.Xor2 -> two_in_one_out Designs.xor2
+      | M.Xnor2 -> two_in_one_out Designs.xnor2
+      | M.Inv | M.Buf -> (
+          let straight = Designs.inv_straight and diagonal = Designs.inv_diagonal in
+          let straight, diagonal =
+            if fn = M.Buf then (Designs.wire_straight, Designs.wire_diagonal)
+            else (straight, diagonal)
+          in
+          match (ins, outs) with
+          | [ D.North_west ], [ D.South_east ] ->
+              Ok ([ D.North_west ], [ D.South_east ], diagonal)
+          | [ D.North_east ], [ D.South_west ] ->
+              Ok ([ D.North_east ], [ D.South_west ], Designs.mirror diagonal)
+          | [ D.North_west ], [ D.South_west ] ->
+              Ok ([ D.North_west ], [ D.South_west ], straight)
+          | [ D.North_east ], [ D.South_east ] ->
+              Ok ([ D.North_east ], [ D.South_east ], Designs.mirror straight)
+          | _ -> Error (M.fn_name fn ^ ": unsupported port configuration"))
+      | M.Ha -> (
+          (* Port order: sum first, carry second. *)
+          match (sort_dirs ins, outs) with
+          | [ D.North_west; D.North_east ], [ D.South_west; D.South_east ] ->
+              Ok
+                ( [ D.North_west; D.North_east ],
+                  [ D.South_west; D.South_east ],
+                  Designs.half_adder )
+          | [ D.North_west; D.North_east ], [ D.South_east; D.South_west ] ->
+              Ok
+                ( [ D.North_west; D.North_east ],
+                  [ D.South_east; D.South_west ],
+                  Designs.mirror Designs.half_adder )
+          | _ -> Error "HA: unsupported port configuration"))
+
+let implement tile =
+  match design_for tile with
+  | Error e -> Error e
+  | Ok (ins, outs, design) ->
+      let frame = scaffold ins outs in
+      let sites = frame.Scaffold.stub_dots @ design.Designs.canvas in
+      (* Output pads keep their read-out perturber: nothing is attached
+         downstream. *)
+      let sites =
+        if Layout.Tile.is_po tile then
+          sites @ frame.Scaffold.output_perturbers
+        else sites
+      in
+      Ok { sites; validated = design.Designs.validated }
+
+let validation_structure tile =
+  match design_for tile with
+  | Error _ -> None
+  | Ok (ins, outs, design) ->
+      let frame = scaffold ins outs in
+      Some
+        (Scaffold.structure frame ~name:(Layout.Tile.label tile)
+           ~canvas:design.Designs.canvas)
+
+let tile_spec tile =
+  match tile with
+  | Layout.Tile.Empty | Layout.Tile.Pi _ -> None
+  | Layout.Tile.Po _ -> Some (fun i -> [| i.(0) |])
+  | Layout.Tile.Wire { segments = [ _ ] } -> Some (fun i -> [| i.(0) |])
+  | Layout.Tile.Wire { segments = [ s1; s2 ] } -> (
+      (* Output order in the validation scaffold is [SW; SE]. *)
+      match List.sort compare [ s1; s2 ] with
+      | [ (D.North_west, D.South_west); (D.North_east, D.South_east) ] ->
+          Some (fun i -> [| i.(0); i.(1) |])
+      | [ (D.North_west, D.South_east); (D.North_east, D.South_west) ] ->
+          Some (fun i -> [| i.(1); i.(0) |])
+      | _ -> None)
+  | Layout.Tile.Wire _ -> None
+  | Layout.Tile.Fanout _ -> Some (fun i -> [| i.(0); i.(0) |])
+  | Layout.Tile.Gate { fn; _ } -> (
+      match fn with
+      | M.And2 -> Some (fun i -> [| i.(0) && i.(1) |])
+      | M.Or2 -> Some (fun i -> [| i.(0) || i.(1) |])
+      | M.Nand2 -> Some (fun i -> [| not (i.(0) && i.(1)) |])
+      | M.Nor2 -> Some (fun i -> [| not (i.(0) || i.(1)) |])
+      | M.Xor2 -> Some (fun i -> [| i.(0) <> i.(1) |])
+      | M.Xnor2 -> Some (fun i -> [| i.(0) = i.(1) |])
+      | M.Inv -> Some (fun i -> [| not i.(0) |])
+      | M.Buf -> Some (fun i -> [| i.(0) |])
+      | M.Ha -> Some (fun i -> [| i.(0) <> i.(1); i.(0) && i.(1) |]))
+
+type sidb_layout = {
+  sites : Sidb.Lattice.site list;
+  sidb_count : int;
+  width_tiles : int;
+  height_tiles : int;
+  area_nm2 : float;
+  all_validated : bool;
+}
+
+let area_nm2 ~width_tiles ~height_tiles =
+  ((60. *. float_of_int width_tiles) -. 1.)
+  *. 0.384
+  *. (((46. *. float_of_int height_tiles) -. 1.) *. 0.384)
+
+let apply ?(inputs = []) layout =
+  let error = ref None in
+  let sites = ref [] and all_validated = ref true in
+  Layout.Gate_layout.iter layout (fun c tile ->
+      if !error = None && not (Layout.Tile.is_empty tile) then
+        match implement tile with
+        | Error e ->
+            error :=
+              Some
+                (Format.asprintf "%a: %s" Hexlib.Coord.pp_offset c e)
+        | Ok impl ->
+            if not impl.validated then all_validated := false;
+            let placed =
+              List.map (Geometry.translate_site ~at:c) impl.sites
+            in
+            sites := placed :: !sites;
+            (* Input pads get their external driver perturber. *)
+            (match tile with
+            | Layout.Tile.Pi { name; _ } -> (
+                let value =
+                  Option.value ~default:false (List.assoc_opt name inputs)
+                in
+                match design_for tile with
+                | Ok (ins, outs, _) -> (
+                    let frame = scaffold ins outs in
+                    match frame.Scaffold.drivers with
+                    | [| driver |] ->
+                        let pert =
+                          if value then driver.Sidb.Bdl.near
+                          else driver.Sidb.Bdl.far
+                        in
+                        sites :=
+                          List.map (Geometry.translate_site ~at:c) pert
+                          :: !sites
+                    | _ -> ())
+                | Error _ -> ())
+            | Layout.Tile.Empty | Layout.Tile.Po _ | Layout.Tile.Gate _
+            | Layout.Tile.Wire _ | Layout.Tile.Fanout _ ->
+                ()));
+  match !error with
+  | Some e -> Error e
+  | None ->
+      let all_sites = List.concat (List.rev !sites) in
+      let stats = Layout.Gate_layout.stats layout in
+      let w = stats.Layout.Gate_layout.bounding_width
+      and h = stats.Layout.Gate_layout.bounding_height in
+      Ok
+        {
+          sites = all_sites;
+          sidb_count = List.length all_sites;
+          width_tiles = w;
+          height_tiles = h;
+          area_nm2 = area_nm2 ~width_tiles:w ~height_tiles:h;
+          all_validated = !all_validated;
+        }

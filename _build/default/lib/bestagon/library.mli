@@ -1,0 +1,50 @@
+(** The Bestagon gate library: mapping gate-level tiles to dot-accurate
+    SiDB realizations (flow step 7).
+
+    Every {!Layout.Tile.t} variant used by the physical design maps to a
+    standard hexagonal tile: wire stubs from the {!Scaffold} frame plus a
+    logic-canvas design from {!Designs} (west-facing variants are
+    mirrored from the canonical east-facing designs).  Applying the
+    library to a whole gate-level layout yields the final SiDB layout. *)
+
+type tile_impl = {
+  sites : Sidb.Lattice.site list;
+      (** Tile-local dots, composable (no inter-tile perturbers). *)
+  validated : bool;  (** The canvas is simulation-confirmed. *)
+}
+
+val implement : Layout.Tile.t -> (tile_impl, string) result
+(** [Error] for tile configurations outside the library (e.g. a gate
+    consuming through a south border). *)
+
+val validation_structure : Layout.Tile.t -> Sidb.Bdl.structure option
+(** The simulatable harness (with input drivers and output perturbers)
+    for a tile, when it carries logic; [None] for empty tiles. *)
+
+val tile_spec : Layout.Tile.t -> (bool array -> bool array) option
+(** Expected Boolean behaviour of a tile (input order = port order of
+    {!Layout.Tile.inputs}); [None] for empty/[Pi] tiles. *)
+
+(** {2 Whole-layout application} *)
+
+type sidb_layout = {
+  sites : Sidb.Lattice.site list;  (** Global lattice coordinates. *)
+  sidb_count : int;
+  width_tiles : int;
+  height_tiles : int;
+  area_nm2 : float;
+  all_validated : bool;
+      (** Every placed tile's canvas is simulation-confirmed. *)
+}
+
+val apply :
+  ?inputs:(string * bool) list ->
+  Layout.Gate_layout.t ->
+  (sidb_layout, string) result
+(** Realize a gate-level layout dot-accurately.  Primary-input drivers
+    are placed at the near/far position per the given values (default:
+    all 0). *)
+
+val area_nm2 : width_tiles:int -> height_tiles:int -> float
+(** The Table 1 area model:
+    [((60 w - 1) * 0.384) * ((46 h - 1) * 0.384)] nm². *)

@@ -1,0 +1,107 @@
+module D = Hexlib.Direction
+
+type t = {
+  in_ports : D.t list;
+  out_ports : D.t list;
+  drivers : Sidb.Bdl.input_driver array;
+  stub_dots : Sidb.Lattice.site list;
+  output_perturbers : Sidb.Lattice.site list;
+  output_pairs : Sidb.Bdl.pair array;
+  canvas_window : (int * int) * (int * int);
+}
+
+let vsub (x, y) (a, b) = (x -. a, y -. b)
+let vadd (x, y) (a, b) = (x +. a, y +. b)
+let vscale k (x, y) = (k *. x, k *. y)
+
+let vnorm (x, y) =
+  let l = Float.hypot x y in
+  (x /. l, y /. l)
+
+let pair_pitch = 30.72
+let intra_pair = 7.68
+
+let make ?(stub_pairs = 2) ~in_ports ~out_ports () =
+  let drivers =
+    Array.of_list
+      (List.map
+         (fun port ->
+           let a = Geometry.port_anchor port in
+           let dir = vnorm (vsub Geometry.center a) in
+           {
+             Sidb.Bdl.near =
+               [ Geometry.snap (vsub a (vscale Geometry.near_distance dir)) ];
+             far =
+               [ Geometry.snap (vsub a (vscale Geometry.far_distance dir)) ];
+           })
+         in_ports)
+  in
+  let in_stub port =
+    let a = Geometry.port_anchor port in
+    Geometry.bdl_chain ~from:a ~towards:Geometry.center ~pairs:stub_pairs
+  in
+  let out_stub port =
+    let a = Geometry.port_anchor port in
+    let dir = vnorm (vsub a Geometry.center) in
+    let span = (float_of_int (stub_pairs - 1) *. pair_pitch) +. intra_pair in
+    let start = vsub a (vscale span dir) in
+    let chain = Geometry.bdl_chain ~from:start ~towards:a ~pairs:stub_pairs in
+    let perturber =
+      Geometry.snap (vadd a (vscale Geometry.output_perturber_distance dir))
+    in
+    (chain, perturber)
+  in
+  let in_dots = List.concat_map in_stub in_ports in
+  let out_stubs = List.map out_stub out_ports in
+  let output_pairs =
+    Array.of_list
+      (List.map
+         (fun (chain, _) ->
+           let z, o = List.nth chain (stub_pairs - 1) in
+           { Sidb.Bdl.zero = z; one = o })
+         out_stubs)
+  in
+  let stub_dots =
+    List.concat_map (fun (a, b) -> [ a; b ]) in_dots
+    @ List.concat_map
+        (fun (chain, _) -> List.concat_map (fun (a, b) -> [ a; b ]) chain)
+        out_stubs
+  in
+  {
+    in_ports;
+    out_ports;
+    drivers;
+    stub_dots;
+    output_perturbers = List.map snd out_stubs;
+    output_pairs;
+    canvas_window = ((20, 6), (40, 16));
+  }
+
+let structure t ~name ~canvas =
+  {
+    Sidb.Bdl.name;
+    inputs = t.drivers;
+    outputs = t.output_pairs;
+    fixed = t.stub_dots @ t.output_perturbers @ canvas;
+  }
+
+let canvas_sites t =
+  let (n0, m0), (n1, m1) = t.canvas_window in
+  let sites = ref [] in
+  for n = n0 to n1 do
+    for m = m0 to m1 do
+      for l = 0 to 1 do
+        let s = Sidb.Lattice.site n m l in
+        let clear =
+          List.for_all
+            (fun d -> Sidb.Lattice.distance s d >= 7.5)
+            t.stub_dots
+        in
+        if clear then sites := s :: !sites
+      done
+    done
+  done;
+  List.rev !sites
+
+let last_stub_dot_positions t =
+  List.map Sidb.Lattice.position t.stub_dots

@@ -1,0 +1,45 @@
+(** Tile scaffolds: the fixed wire framework of a Bestagon tile.
+
+    Every tile template (Fig. 4) consists of standard input BDL wire
+    stubs at its input ports, output wire stubs (with output perturbers)
+    at its output ports, and a free logic-design canvas in the middle.
+    The gate designer ({!Designer}) searches canvas dot placements inside
+    this frame. *)
+
+type t = {
+  in_ports : Hexlib.Direction.t list;
+  out_ports : Hexlib.Direction.t list;
+  drivers : Sidb.Bdl.input_driver array;  (** One per input port. *)
+  stub_dots : Sidb.Lattice.site list;
+      (** Input and output wire pairs (no perturbers). *)
+  output_perturbers : Sidb.Lattice.site list;
+      (** One read-out perturber per output stub; included in validation
+          structures but omitted when tiles are composed into a layout
+          (the downstream tile provides the load). *)
+  output_pairs : Sidb.Bdl.pair array;  (** Last pair of each output stub. *)
+  canvas_window : (int * int) * (int * int);
+      (** Inclusive dimer-coordinate corners ((n0, m0), (n1, m1)) of the
+          canvas region. *)
+}
+
+val make :
+  ?stub_pairs:int ->
+  in_ports:Hexlib.Direction.t list ->
+  out_ports:Hexlib.Direction.t list ->
+  unit ->
+  t
+(** Build the frame with [stub_pairs] BDL pairs per stub (default 2).
+    Input stubs run from the port towards the canvas center; output stubs
+    from the canvas edge to the port, ending in an output perturber. *)
+
+val structure :
+  t -> name:string -> canvas:Sidb.Lattice.site list -> Sidb.Bdl.structure
+(** Assemble a simulatable structure from the scaffold plus canvas
+    dots. *)
+
+val canvas_sites : t -> Sidb.Lattice.site list
+(** All lattice sites inside the canvas window that keep at least two
+    dimer columns of clearance from every stub dot — the designer's
+    search space. *)
+
+val last_stub_dot_positions : t -> (float * float) list

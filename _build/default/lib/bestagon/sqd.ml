@@ -1,0 +1,57 @@
+let header ?(name = "fictionette layout") ?(program_version = "0.1") () =
+  Printf.sprintf
+    {|<?xml version="1.0" encoding="UTF-8"?>
+<siqad>
+  <program>
+    <file_purpose>save</file_purpose>
+    <name>%s</name>
+    <version>%s</version>
+  </program>
+  <gui>
+    <zoom>0.1</zoom>
+    <displayed_region x1="0" y1="0" x2="100" y2="100"/>
+  </gui>
+  <layers>
+    <layer_prop>
+      <name>Lattice</name>
+      <type>Lattice</type>
+      <role>Design</role>
+      <visible>1</visible>
+      <active>0</active>
+    </layer_prop>
+    <layer_prop>
+      <name>Surface</name>
+      <type>DB</type>
+      <role>Design</role>
+      <visible>1</visible>
+      <active>0</active>
+    </layer_prop>
+  </layers>
+|}
+    name program_version
+
+let footer = "</siqad>\n"
+
+let of_sites ?name ?program_version sites =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ?name ?program_version ());
+  Buffer.add_string buf "  <design>\n    <layer type=\"Lattice\"/>\n    <layer type=\"Misc\"/>\n    <layer type=\"DB\">\n";
+  List.iter
+    (fun (s : Sidb.Lattice.site) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      <dbdot>\n        <layer_id>2</layer_id>\n        <latcoord n=\"%d\" m=\"%d\" l=\"%d\"/>\n      </dbdot>\n"
+           s.Sidb.Lattice.n s.Sidb.Lattice.m s.Sidb.Lattice.l))
+    sites;
+  Buffer.add_string buf "    </layer>\n  </design>\n";
+  Buffer.add_string buf footer;
+  Buffer.contents buf
+
+let write_file ~path sites =
+  let oc = open_out path in
+  output_string oc (of_sites sites);
+  close_out oc
+
+let of_structure s ~assignment =
+  let sites = Array.to_list (Sidb.Bdl.sites_for s assignment) in
+  of_sites ~name:s.Sidb.Bdl.name sites

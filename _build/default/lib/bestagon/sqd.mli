@@ -1,0 +1,16 @@
+(** SiQAD design-file (.sqd) export (flow step 8).
+
+    Writes the XML format consumed by SiQAD [30] so that generated
+    layouts and individual Bestagon tiles can be opened, inspected, and
+    re-simulated there.  Sites are emitted as [dbdot] elements with
+    SiQAD's [(n, m, l)] lattice coordinates. *)
+
+val of_sites :
+  ?name:string -> ?program_version:string -> Sidb.Lattice.site list -> string
+(** Complete .sqd document for a set of SiDBs. *)
+
+val write_file : path:string -> Sidb.Lattice.site list -> unit
+
+val of_structure : Sidb.Bdl.structure -> assignment:bool array -> string
+(** Export a BDL structure under a concrete input assignment (perturbers
+    at their near/far positions accordingly). *)

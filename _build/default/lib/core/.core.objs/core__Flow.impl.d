@@ -1,0 +1,1 @@
+lib/core/flow.ml: Bestagon Format Layout List Logic Physdesign Printf String Sys Verify

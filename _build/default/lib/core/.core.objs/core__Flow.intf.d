@@ -1,0 +1,1 @@
+lib/core/flow.mli: Bestagon Format Layout Logic Physdesign Stdlib Verify

@@ -1,0 +1,1 @@
+lib/core/table1.ml: Bestagon Flow Format Layout List Logic Printf Unix Verify

@@ -1,0 +1,163 @@
+type engine = Exact of Physdesign.Exact.config | Scalable
+
+type options = {
+  rewrite : bool;
+  fuse_half_adders : bool;
+  engine : engine;
+  check_equivalence : bool;
+  expand_supertiles : bool;
+  apply_library : bool;
+}
+
+let default_options =
+  {
+    rewrite = true;
+    fuse_half_adders = true;
+    engine = Exact Physdesign.Exact.default_config;
+    check_equivalence = true;
+    expand_supertiles = true;
+    apply_library = true;
+  }
+
+type timing = {
+  synthesis_s : float;
+  physical_design_s : float;
+  verification_s : float;
+  library_s : float;
+}
+
+type result = {
+  specification : Logic.Network.t;
+  optimized : Logic.Network.t;
+  mapped : Logic.Mapped.t;
+  gate_layout : Layout.Gate_layout.t;
+  supertiled : Layout.Gate_layout.t;
+  drc_violations : Layout.Design_rules.violation list;
+  equivalence : Verify.Equivalence.verdict option;
+  sidb : Bestagon.Library.sidb_layout option;
+  timing : timing;
+}
+
+let now = Sys.time
+
+let run ?(options = default_options) specification =
+  (* Step 2: logic rewriting. *)
+  let t0 = now () in
+  let optimized =
+    if options.rewrite then Logic.Rewrite.rewrite_to_fixpoint specification
+    else Logic.Network.cleanup specification
+  in
+  (* Step 3: technology mapping. *)
+  let mapped, _map_stats =
+    Logic.Tech_map.map ~fuse_half_adders:options.fuse_half_adders optimized
+  in
+  let synthesis_s = now () -. t0 in
+  (* Step 4: physical design. *)
+  let t1 = now () in
+  let netlist = Physdesign.Netlist.of_mapped mapped in
+  let layout_result =
+    match options.engine with
+    | Exact config -> (
+        match Physdesign.Exact.place_and_route ~config netlist with
+        | Ok r -> Ok r.Physdesign.Exact.layout
+        | Error e -> Error ("exact physical design: " ^ e))
+    | Scalable -> (
+        match Physdesign.Scalable.place_and_route netlist with
+        | Ok r -> Ok r.Physdesign.Scalable.layout
+        | Error e -> Error ("scalable physical design: " ^ e))
+  in
+  match layout_result with
+  | Error e -> Error e
+  | Ok gate_layout ->
+      let physical_design_s = now () -. t1 in
+      let drc_violations = Layout.Design_rules.check gate_layout in
+      (* Step 5: formal verification. *)
+      let t2 = now () in
+      let equivalence =
+        if options.check_equivalence then
+          match Verify.Equivalence.check_layout specification gate_layout with
+          | Ok verdict -> Some verdict
+          | Error msg ->
+              Some (Verify.Equivalence.Interface_mismatch ("extraction: " ^ msg))
+        else None
+      in
+      let verification_s = now () -. t2 in
+      (* Step 6: super-tile formation. *)
+      let supertiled =
+        if options.expand_supertiles then Layout.Supertile.expand gate_layout
+        else gate_layout
+      in
+      (* Step 7: Bestagon library application. *)
+      let t3 = now () in
+      let sidb =
+        if options.apply_library then
+          match Bestagon.Library.apply supertiled with
+          | Ok l -> Some l
+          | Error _ -> None
+        else None
+      in
+      let library_s = now () -. t3 in
+      Ok
+        {
+          specification;
+          optimized;
+          mapped;
+          gate_layout;
+          supertiled;
+          drc_violations;
+          equivalence;
+          sidb;
+          timing = { synthesis_s; physical_design_s; verification_s; library_s };
+        }
+
+let run_verilog ?options source =
+  match Logic.Verilog.parse source with
+  | exception Logic.Verilog.Parse_error msg -> Error ("parse: " ^ msg)
+  | network -> run ?options network
+
+let run_benchmark ?options name =
+  match Logic.Benchmarks.find name with
+  | exception Not_found -> Error (Printf.sprintf "unknown benchmark %S" name)
+  | b -> run ?options (b.Logic.Benchmarks.build ())
+
+let export_sqd result ?(inputs = []) ~path () =
+  match Bestagon.Library.apply ~inputs result.supertiled with
+  | Error e -> Error e
+  | Ok l ->
+      Bestagon.Sqd.write_file ~path l.Bestagon.Library.sites;
+      Ok ()
+
+let pp_summary ppf r =
+  let stats = Layout.Gate_layout.stats r.gate_layout in
+  Format.fprintf ppf "spec: %a@." Logic.Network.pp_stats r.specification;
+  Format.fprintf ppf "optimized: %a@." Logic.Network.pp_stats r.optimized;
+  Format.fprintf ppf "mapped: %a@." Logic.Mapped.pp_stats r.mapped;
+  Format.fprintf ppf "layout: %dx%d = %d tiles (%d gates, %d wires, %d crossings, %d fan-outs)@."
+    stats.Layout.Gate_layout.bounding_width
+    stats.Layout.Gate_layout.bounding_height
+    stats.Layout.Gate_layout.area_tiles stats.Layout.Gate_layout.gate_tiles
+    stats.Layout.Gate_layout.wire_tiles
+    stats.Layout.Gate_layout.crossing_tiles
+    stats.Layout.Gate_layout.fanout_tiles;
+  Format.fprintf ppf "drc: %d violation(s)@." (List.length r.drc_violations);
+  (match r.equivalence with
+  | None -> ()
+  | Some Verify.Equivalence.Equivalent ->
+      Format.fprintf ppf "verification: equivalent@."
+  | Some (Verify.Equivalence.Counterexample cex) ->
+      Format.fprintf ppf "verification: COUNTEREXAMPLE %s@."
+        (String.concat ","
+           (List.map (fun (n, v) -> Printf.sprintf "%s=%b" n v) cex))
+  | Some (Verify.Equivalence.Interface_mismatch m) ->
+      Format.fprintf ppf "verification: interface mismatch (%s)@." m);
+  (match r.sidb with
+  | None -> ()
+  | Some l ->
+      Format.fprintf ppf "sidb: %d dots, %.2f nm^2%s@."
+        l.Bestagon.Library.sidb_count l.Bestagon.Library.area_nm2
+        (if l.Bestagon.Library.all_validated then ""
+         else " (some tiles unvalidated)"));
+  Format.fprintf ppf
+    "time: synth %.3fs, physical %.3fs, verify %.3fs, library %.3fs@."
+    r.timing.synthesis_s r.timing.physical_design_s r.timing.verification_s
+    r.timing.library_s

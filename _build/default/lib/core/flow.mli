@@ -1,0 +1,69 @@
+(** The complete SiDB design-automation flow (Sec. 4.2).
+
+    The eight steps, end to end:
+
+    + parse / build the specification as an XAG ({!Logic.Network},
+      {!Logic.Verilog});
+    + cut-based rewriting against an exact NPN database
+      ({!Logic.Rewrite});
+    + technology mapping onto the Bestagon gate set ({!Logic.Tech_map});
+    + SMT/SAT-based exact physical design on the hexagonal grid under
+      row clocking ({!Physdesign.Exact}; optionally the scalable
+      heuristic {!Physdesign.Scalable});
+    + SAT-based equivalence checking of specification vs. layout
+      ({!Verify.Equivalence});
+    + super-tile formation by clock-zone expansion
+      ({!Layout.Supertile});
+    + application of the Bestagon library for a dot-accurate SiDB layout
+      ({!Bestagon.Library});
+    + design-file generation ({!Bestagon.Sqd}). *)
+
+type engine =
+  | Exact of Physdesign.Exact.config
+  | Scalable
+
+type options = {
+  rewrite : bool;  (** Step 2 (default on). *)
+  fuse_half_adders : bool;  (** Step 3 option (default on). *)
+  engine : engine;  (** Step 4 (default [Exact default_config]). *)
+  check_equivalence : bool;  (** Step 5 (default on). *)
+  expand_supertiles : bool;  (** Step 6 (default on). *)
+  apply_library : bool;  (** Step 7 (default on). *)
+}
+
+val default_options : options
+
+type timing = {
+  synthesis_s : float;
+  physical_design_s : float;
+  verification_s : float;
+  library_s : float;
+}
+
+type result = {
+  specification : Logic.Network.t;
+  optimized : Logic.Network.t;
+  mapped : Logic.Mapped.t;
+  gate_layout : Layout.Gate_layout.t;  (** After step 4. *)
+  supertiled : Layout.Gate_layout.t;  (** After step 6 (same as
+      [gate_layout] when expansion is off). *)
+  drc_violations : Layout.Design_rules.violation list;
+  equivalence : Verify.Equivalence.verdict option;
+  sidb : Bestagon.Library.sidb_layout option;
+  timing : timing;
+}
+
+val run : ?options:options -> Logic.Network.t -> (result, string) Stdlib.result
+(** [Error] on physical-design failure; a failed equivalence check or
+    DRC violations are reported in the result, not as errors. *)
+
+val run_verilog : ?options:options -> string -> (result, string) Stdlib.result
+(** Convenience: parse Verilog source (step 1) and run. *)
+
+val run_benchmark : ?options:options -> string -> (result, string) Stdlib.result
+(** Run on a named circuit from {!Logic.Benchmarks}. *)
+
+val export_sqd : result -> ?inputs:(string * bool) list -> path:string -> unit -> (unit, string) Stdlib.result
+(** Step 8: write the SiDB layout as a SiQAD design file. *)
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,87 @@
+type row = {
+  name : string;
+  source : string;
+  width : int;
+  height : int;
+  area_tiles : int;
+  sidbs : int;
+  area_nm2 : float;
+  equivalent : bool;
+  runtime_s : float;
+}
+
+let paper_rows =
+  [
+    ("xor2", (2, 3, 58, 2403.98));
+    ("xnor2", (2, 3, 58, 2403.98));
+    ("par_gen", (3, 4, 103, 4830.22));
+    ("mux21", (3, 6, 196, 7258.52));
+    ("par_check", (4, 7, 284, 11312.68));
+    ("xor5_r1", (5, 6, 232, 12124.57));
+    ("xor5_majority", (5, 6, 244, 12124.57));
+    ("t", (5, 8, 426, 16180.79));
+    ("t_5", (5, 8, 448, 16180.79));
+    ("c17", (5, 8, 396, 16180.79));
+    ("majority", (5, 11, 651, 22265.12));
+    ("majority_5_r1", (5, 12, 737, 24293.23));
+    ("cm82a_5", (5, 15, 1211, 30377.56));
+    ("newtag", (8, 10, 651, 32419.82));
+  ]
+
+let generate ?names ?options () =
+  let names =
+    match names with Some n -> n | None -> List.map fst paper_rows
+  in
+  List.map
+    (fun name ->
+      let t0 = Unix.gettimeofday () in
+      match Flow.run_benchmark ?options name with
+      | Error e -> Error (Printf.sprintf "%s: %s" name e)
+      | Ok result ->
+          let runtime_s = Unix.gettimeofday () -. t0 in
+          let stats = Layout.Gate_layout.stats result.Flow.gate_layout in
+          let w = stats.Layout.Gate_layout.bounding_width
+          and h = stats.Layout.Gate_layout.bounding_height in
+          let sidbs, area_nm2 =
+            match result.Flow.sidb with
+            | Some l ->
+                (l.Bestagon.Library.sidb_count, l.Bestagon.Library.area_nm2)
+            | None ->
+                (0, Bestagon.Library.area_nm2 ~width_tiles:w ~height_tiles:h)
+          in
+          let source =
+            match Logic.Benchmarks.find name with
+            | b -> b.Logic.Benchmarks.source
+            | exception Not_found -> "?"
+          in
+          Ok
+            {
+              name;
+              source;
+              width = w;
+              height = h;
+              area_tiles = w * h;
+              sidbs;
+              area_nm2;
+              equivalent =
+                result.Flow.equivalence = Some Verify.Equivalence.Equivalent;
+              runtime_s;
+            })
+    names
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-14s %2dx%-2d =%3d  %5d  %10.2f  %s  %6.2fs" r.name
+    r.width r.height r.area_tiles r.sidbs r.area_nm2
+    (if r.equivalent then "eq" else "??")
+    r.runtime_s
+
+let pp_table ppf rows =
+  Format.fprintf ppf
+    "%-14s %-9s %-5s  %-10s  %-2s  %s@." "Name" "w x h = A" "SiDBs"
+    "nm^2" "eq" "time";
+  List.iter
+    (fun row ->
+      match row with
+      | Ok r -> Format.fprintf ppf "%a@." pp_row r
+      | Error e -> Format.fprintf ppf "FAILED: %s@." e)
+    rows

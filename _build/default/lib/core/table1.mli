@@ -1,0 +1,29 @@
+(** Generation of Table 1: layout data for the benchmark suite.
+
+    For every circuit the flow reports the layout aspect ratio in
+    hexagonal tiles (w × h), the tile area, the number of SiDBs of the
+    dot-accurate realization, and the physical area in nm²
+    (cf. DESIGN.md §3 for the area model). *)
+
+type row = {
+  name : string;
+  source : string;
+  width : int;
+  height : int;
+  area_tiles : int;
+  sidbs : int;
+  area_nm2 : float;
+  equivalent : bool;
+  runtime_s : float;
+}
+
+val generate :
+  ?names:string list -> ?options:Flow.options -> unit -> (row, string) Stdlib.result list
+(** One row per benchmark (default: all of Table 1, paper order). *)
+
+val paper_rows : (string * (int * int * int * float)) list
+(** The published Table 1 values: name -> (w, h, SiDBs, nm²), for
+    side-by-side comparison in the benchmark harness. *)
+
+val pp_row : Format.formatter -> row -> unit
+val pp_table : Format.formatter -> (row, string) Stdlib.result list -> unit

@@ -1,0 +1,1 @@
+lib/hexlib/coord.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/hexlib/coord.mli: Format

@@ -1,0 +1,1 @@
+lib/hexlib/direction.ml: Coord Format Stdlib

@@ -1,0 +1,1 @@
+lib/hexlib/direction.mli: Coord Format

@@ -1,0 +1,1 @@
+lib/hexlib/hex_grid.ml: Array Coord Direction Format List Printf

@@ -1,0 +1,1 @@
+lib/hexlib/hex_grid.mli: Coord Direction

@@ -1,0 +1,125 @@
+type cube = { x : int; y : int; z : int }
+type axial = { q : int; r : int }
+type offset = { col : int; row : int }
+
+let cube x y z =
+  if x + y + z <> 0 then
+    invalid_arg
+      (Printf.sprintf "Coord.cube: %d + %d + %d <> 0" x y z)
+  else { x; y; z }
+
+let cube_of_axial { q; r } = { x = q; y = -q - r; z = r }
+let axial_of_cube { x; z; _ } = { q = x; r = z }
+
+(* Parity via [land 1] is correct for negative rows as well, thanks to
+   two's-complement representation. *)
+let offset_of_axial { q; r } = { col = q + ((r - (r land 1)) / 2); row = r }
+let axial_of_offset { col; row } = { q = col - ((row - (row land 1)) / 2); r = row }
+let offset_of_cube c = offset_of_axial (axial_of_cube c)
+let cube_of_offset o = cube_of_axial (axial_of_offset o)
+
+let axial_add a b = { q = a.q + b.q; r = a.r + b.r }
+let axial_sub a b = { q = a.q - b.q; r = a.r - b.r }
+let axial_scale k a = { q = k * a.q; r = k * a.r }
+
+let equal_axial (a : axial) (b : axial) = a.q = b.q && a.r = b.r
+
+let compare_axial (a : axial) (b : axial) =
+  let c = compare a.r b.r in
+  if c <> 0 then c else compare a.q b.q
+
+let equal_offset (a : offset) (b : offset) = a.col = b.col && a.row = b.row
+
+let compare_offset (a : offset) (b : offset) =
+  let c = compare a.row b.row in
+  if c <> 0 then c else compare a.col b.col
+
+let distance a b =
+  let d = cube_of_axial (axial_sub a b) in
+  (abs d.x + abs d.y + abs d.z) / 2
+
+let distance_offset a b = distance (axial_of_offset a) (axial_of_offset b)
+
+let rotate_left a =
+  let { x; y; z } = cube_of_axial a in
+  axial_of_cube { x = -z; y = -x; z = -y }
+
+let rotate_right a =
+  let { x; y; z } = cube_of_axial a in
+  axial_of_cube { x = -y; y = -z; z = -x }
+
+let reflect_q a =
+  let { x; y; z } = cube_of_axial a in
+  axial_of_cube { x; y = z; z = y }
+
+(* Rounding of fractional cube coordinates to the nearest hex: round each
+   component and fix the one with the largest rounding error so that the
+   cube invariant is restored. *)
+let cube_round fx fy fz =
+  let rx = Float.round fx and ry = Float.round fy and rz = Float.round fz in
+  let dx = Float.abs (rx -. fx)
+  and dy = Float.abs (ry -. fy)
+  and dz = Float.abs (rz -. fz) in
+  let rx, ry, rz =
+    if dx > dy && dx > dz then (-.ry -. rz, ry, rz)
+    else if dy > dz then (rx, -.rx -. rz, rz)
+    else (rx, ry, -.rx -. ry)
+  in
+  { x = int_of_float rx; y = int_of_float ry; z = int_of_float rz }
+
+let line a b =
+  let n = distance a b in
+  if n = 0 then [ a ]
+  else
+    let ca = cube_of_axial a and cb = cube_of_axial b in
+    let lerp s t k = s +. ((t -. s) *. k) in
+    (* A tiny epsilon nudge breaks ties consistently when the line passes
+       exactly through hex corners. *)
+    let eps = 1e-6 in
+    let fa = (float_of_int ca.x +. eps, float_of_int ca.y +. eps, float_of_int ca.z -. (2. *. eps))
+    and fb = (float_of_int cb.x +. eps, float_of_int cb.y +. eps, float_of_int cb.z -. (2. *. eps)) in
+    let hex_at i =
+      let k = float_of_int i /. float_of_int n in
+      let ax, ay, az = fa and bx, by, bz = fb in
+      axial_of_cube (cube_round (lerp ax bx k) (lerp ay by k) (lerp az bz k))
+    in
+    List.init (n + 1) hex_at
+
+(* The six pointy-top direction vectors, starting east and proceeding
+   counter-clockwise. *)
+let dir_vectors =
+  [| { q = 1; r = 0 }; { q = 1; r = -1 }; { q = 0; r = -1 };
+     { q = -1; r = 0 }; { q = -1; r = 1 }; { q = 0; r = 1 } |]
+
+let ring ~center ~radius =
+  if radius < 0 then invalid_arg "Coord.ring: negative radius"
+  else if radius = 0 then [ center ]
+  else
+    (* Start [radius] steps to the south-west and walk each of the six
+       edges of the ring. *)
+    let start = axial_add center (axial_scale radius dir_vectors.(4)) in
+    let result = ref [] in
+    let pos = ref start in
+    for side = 0 to 5 do
+      for _ = 1 to radius do
+        result := !pos :: !result;
+        pos := axial_add !pos dir_vectors.(side)
+      done
+    done;
+    List.rev !result
+
+let spiral ~center ~radius =
+  if radius < 0 then invalid_arg "Coord.spiral: negative radius"
+  else
+    List.concat (List.init (radius + 1) (fun k -> ring ~center ~radius:k))
+
+let sqrt3 = sqrt 3.
+
+let to_pixel ~size a =
+  let qf = float_of_int a.q and rf = float_of_int a.r in
+  let px = size *. ((sqrt3 *. qf) +. (sqrt3 /. 2. *. rf)) in
+  let py = size *. (3. /. 2. *. rf) in
+  (px, py)
+
+let pp_axial ppf a = Format.fprintf ppf "(q=%d, r=%d)" a.q a.r
+let pp_offset ppf o = Format.fprintf ppf "(%d, %d)" o.col o.row

@@ -1,0 +1,77 @@
+(** Hexagonal grid coordinates.
+
+    This module implements the standard coordinate systems for hexagonal
+    grids — cube, axial, and offset — for {e pointy-top} hexagons with
+    {e odd rows shifted right} (the "odd-r" layout).  This is the
+    orientation used throughout the Bestagon floor plan: every tile has two
+    incoming borders at the top ({e north-west} and {e north-east}) and two
+    outgoing borders at the bottom ({e south-west} and {e south-east}),
+    matching the Y-shaped SiDB gate structure.
+
+    The [r]/[row] axis grows {e southwards} (downwards), matching both
+    screen coordinates and the paper's top-to-bottom information flow. *)
+
+(** Cube coordinates [(x, y, z)] with the invariant [x + y + z = 0]. *)
+type cube = private { x : int; y : int; z : int }
+
+(** Axial coordinates; [q] is the column axis, [r] grows southwards. *)
+type axial = { q : int; r : int }
+
+(** Offset ("odd-r") coordinates; plain column/row indices into a
+    rectangular field with odd rows shifted half a hexagon to the right. *)
+type offset = { col : int; row : int }
+
+val cube : int -> int -> int -> cube
+(** [cube x y z] constructs a cube coordinate.
+    @raise Invalid_argument if [x + y + z <> 0]. *)
+
+val cube_of_axial : axial -> cube
+val axial_of_cube : cube -> axial
+val offset_of_axial : axial -> offset
+val axial_of_offset : offset -> axial
+val offset_of_cube : cube -> offset
+val cube_of_offset : offset -> cube
+
+val axial_add : axial -> axial -> axial
+val axial_sub : axial -> axial -> axial
+val axial_scale : int -> axial -> axial
+
+val equal_axial : axial -> axial -> bool
+val compare_axial : axial -> axial -> int
+val equal_offset : offset -> offset -> bool
+val compare_offset : offset -> offset -> int
+
+val distance : axial -> axial -> int
+(** [distance a b] is the length of a shortest hex-grid path from [a] to
+    [b] (the hexagonal Manhattan distance). *)
+
+val distance_offset : offset -> offset -> int
+
+val rotate_left : axial -> axial
+(** Rotation by 60° counter-clockwise around the origin. *)
+
+val rotate_right : axial -> axial
+(** Rotation by 60° clockwise around the origin. *)
+
+val reflect_q : axial -> axial
+(** Reflection across the [q] axis (vertical mirror for pointy-top). *)
+
+val line : axial -> axial -> axial list
+(** [line a b] is the sequence of hexes on a straight line from [a] to [b],
+    inclusive, computed by cube-coordinate linear interpolation and
+    rounding.  Its length is [distance a b + 1]. *)
+
+val ring : center:axial -> radius:int -> axial list
+(** The hexes at exactly [radius] steps from [center]; empty ring of radius
+    0 is [[center]].  A radius-[k] ring has [6 * k] hexes for [k >= 1]. *)
+
+val spiral : center:axial -> radius:int -> axial list
+(** All hexes within [radius] steps of [center], ordered by increasing
+    ring.  Contains [1 + 3 * radius * (radius + 1)] hexes. *)
+
+val to_pixel : size:float -> axial -> float * float
+(** Center of a pointy-top hexagon of circumradius [size]; the origin hex
+    is centred at [(0., 0.)] and [y] grows downwards. *)
+
+val pp_axial : Format.formatter -> axial -> unit
+val pp_offset : Format.formatter -> offset -> unit

@@ -1,0 +1,56 @@
+type t = North_west | North_east | East | South_east | South_west | West
+
+let all = [ North_west; North_east; East; South_east; South_west; West ]
+let inputs = [ North_west; North_east ]
+let outputs = [ South_west; South_east ]
+
+let opposite = function
+  | North_west -> South_east
+  | North_east -> South_west
+  | East -> West
+  | South_east -> North_west
+  | South_west -> North_east
+  | West -> East
+
+let is_input = function
+  | North_west | North_east -> true
+  | East | South_east | South_west | West -> false
+
+let is_output = function
+  | South_west | South_east -> true
+  | North_west | North_east | East | West -> false
+
+let axial_delta : t -> Coord.axial = function
+  | East -> { q = 1; r = 0 }
+  | North_east -> { q = 1; r = -1 }
+  | North_west -> { q = 0; r = -1 }
+  | West -> { q = -1; r = 0 }
+  | South_west -> { q = -1; r = 1 }
+  | South_east -> { q = 0; r = 1 }
+
+let neighbor a d = Coord.axial_add a (axial_delta d)
+
+let neighbor_offset o d =
+  Coord.offset_of_axial (neighbor (Coord.axial_of_offset o) d)
+
+let of_neighbors a b =
+  let rec find = function
+    | [] -> None
+    | d :: rest ->
+        if Coord.equal_offset (neighbor_offset a d) b then Some d
+        else find rest
+  in
+  find all
+
+let equal (a : t) (b : t) = a = b
+let compare = Stdlib.compare
+
+let to_string = function
+  | North_west -> "NW"
+  | North_east -> "NE"
+  | East -> "E"
+  | South_east -> "SE"
+  | South_west -> "SW"
+  | West -> "W"
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,45 @@
+(** The six border directions of a pointy-top hexagonal tile.
+
+    In the Bestagon floor plan information flows from top to bottom:
+    signals enter a tile through its {e north-west} or {e north-east}
+    border and leave through its {e south-west} or {e south-east} border.
+    The lateral {e east}/{e west} borders connect tiles within the same
+    row (and hence, under row-based clocking, the same clock zone); they
+    are tracked for completeness but carry no data in feed-forward
+    clocking schemes. *)
+
+type t = North_west | North_east | East | South_east | South_west | West
+
+val all : t list
+(** All six directions in clockwise order starting at [North_west]. *)
+
+val inputs : t list
+(** The directions through which a tile may receive data: [North_west]
+    and [North_east]. *)
+
+val outputs : t list
+(** The directions through which a tile may emit data: [South_west] and
+    [South_east]. *)
+
+val opposite : t -> t
+(** [opposite d] is the direction seen from the neighboring tile, e.g.
+    [opposite North_west = South_east]. *)
+
+val is_input : t -> bool
+val is_output : t -> bool
+
+val axial_delta : t -> Coord.axial
+(** Displacement to the adjacent hex in direction [d]. *)
+
+val neighbor : Coord.axial -> t -> Coord.axial
+val neighbor_offset : Coord.offset -> t -> Coord.offset
+(** Neighbor in offset coordinates; handles the odd-row shift. *)
+
+val of_neighbors : Coord.offset -> Coord.offset -> t option
+(** [of_neighbors a b] is [Some d] when [b] is the neighbor of [a] in
+    direction [d], and [None] when the tiles are not adjacent. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

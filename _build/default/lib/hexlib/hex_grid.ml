@@ -1,0 +1,76 @@
+type 'a t = { width : int; height : int; cells : 'a array }
+
+let create ~width ~height ~default =
+  if width <= 0 || height <= 0 then
+    invalid_arg
+      (Printf.sprintf "Hex_grid.create: non-positive dimensions %dx%d" width
+         height)
+  else { width; height; cells = Array.make (width * height) default }
+
+let width t = t.width
+let height t = t.height
+let size t = t.width * t.height
+
+let in_bounds t (o : Coord.offset) =
+  o.col >= 0 && o.col < t.width && o.row >= 0 && o.row < t.height
+
+let index t (o : Coord.offset) = (o.row * t.width) + o.col
+
+let get t o =
+  if in_bounds t o then t.cells.(index t o)
+  else
+    invalid_arg
+      (Format.asprintf "Hex_grid.get: %a out of %dx%d bounds" Coord.pp_offset
+         o t.width t.height)
+
+let set t o v =
+  if in_bounds t o then t.cells.(index t o) <- v
+  else
+    invalid_arg
+      (Format.asprintf "Hex_grid.set: %a out of %dx%d bounds" Coord.pp_offset
+         o t.width t.height)
+
+let find_opt t o = if in_bounds t o then Some t.cells.(index t o) else None
+
+let neighbor t o d =
+  let n = Direction.neighbor_offset o d in
+  if in_bounds t n then Some n else None
+
+let neighbors t o =
+  List.filter_map
+    (fun d ->
+      match neighbor t o d with None -> None | Some n -> Some (d, n))
+    Direction.all
+
+let iter t f =
+  for row = 0 to t.height - 1 do
+    for col = 0 to t.width - 1 do
+      let o : Coord.offset = { col; row } in
+      f o t.cells.(index t o)
+    done
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun o v -> acc := f !acc o v);
+  !acc
+
+let map t ~f =
+  {
+    width = t.width;
+    height = t.height;
+    cells =
+      Array.init (t.width * t.height) (fun i ->
+          let o : Coord.offset = { col = i mod t.width; row = i / t.width } in
+          f o t.cells.(i));
+  }
+
+let copy t = { t with cells = Array.copy t.cells }
+
+let coordinates t =
+  List.concat
+    (List.init t.height (fun row ->
+         List.init t.width (fun col : Coord.offset -> { col; row })))
+
+let count t ~f =
+  Array.fold_left (fun acc v -> if f v then acc + 1 else acc) 0 t.cells

@@ -1,0 +1,45 @@
+(** A bounded rectangular field of hexagonal tiles in offset coordinates.
+
+    The field covers columns [0 .. width - 1] and rows [0 .. height - 1];
+    odd rows are understood to be shifted half a tile to the right
+    (odd-r layout).  Contents are mutable, array-backed. *)
+
+type 'a t
+
+val create : width:int -> height:int -> default:'a -> 'a t
+(** A [width] × [height] field with every tile set to [default].
+    @raise Invalid_argument if either dimension is non-positive. *)
+
+val width : 'a t -> int
+val height : 'a t -> int
+val size : 'a t -> int
+(** Number of tiles, i.e. [width * height]. *)
+
+val in_bounds : 'a t -> Coord.offset -> bool
+
+val get : 'a t -> Coord.offset -> 'a
+(** @raise Invalid_argument if the coordinate is out of bounds. *)
+
+val set : 'a t -> Coord.offset -> 'a -> unit
+(** @raise Invalid_argument if the coordinate is out of bounds. *)
+
+val find_opt : 'a t -> Coord.offset -> 'a option
+(** [None] when out of bounds, [Some] contents otherwise. *)
+
+val neighbor : 'a t -> Coord.offset -> Direction.t -> Coord.offset option
+(** In-bounds neighbor in the given direction, if any. *)
+
+val neighbors : 'a t -> Coord.offset -> (Direction.t * Coord.offset) list
+(** All in-bounds neighbors, in [Direction.all] order. *)
+
+val iter : 'a t -> (Coord.offset -> 'a -> unit) -> unit
+(** Row-major iteration (top row first, west to east). *)
+
+val fold : 'a t -> init:'b -> f:('b -> Coord.offset -> 'a -> 'b) -> 'b
+val map : 'a t -> f:(Coord.offset -> 'a -> 'b) -> 'b t
+val copy : 'a t -> 'a t
+
+val coordinates : 'a t -> Coord.offset list
+(** All coordinates in row-major order. *)
+
+val count : 'a t -> f:('a -> bool) -> int

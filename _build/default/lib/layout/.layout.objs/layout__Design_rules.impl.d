@@ -1,0 +1,1 @@
+lib/layout/design_rules.ml: Clocking Format Gate_layout Hexlib List Printf Tile

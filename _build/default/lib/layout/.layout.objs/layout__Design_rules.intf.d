@@ -1,0 +1,1 @@
+lib/layout/design_rules.mli: Format Gate_layout Hexlib

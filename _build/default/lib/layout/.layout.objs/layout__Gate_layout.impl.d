@@ -1,0 +1,1 @@
+lib/layout/gate_layout.ml: Clocking Hexlib List Tile

@@ -1,0 +1,1 @@
+lib/layout/gate_layout.mli: Clocking Hexlib Tile

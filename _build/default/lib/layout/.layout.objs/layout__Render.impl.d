@@ -1,0 +1,1 @@
+lib/layout/render.ml: Buffer Bytes Gate_layout Hexlib List Printf String Tile

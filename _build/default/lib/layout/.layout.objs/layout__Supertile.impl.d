@@ -1,0 +1,1 @@
+lib/layout/supertile.ml: Clocking Gate_layout

@@ -1,0 +1,1 @@
+lib/layout/supertile.mli: Gate_layout

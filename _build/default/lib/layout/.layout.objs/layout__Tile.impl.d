@@ -1,0 +1,1 @@
+lib/layout/tile.ml: Array Format Hexlib List Logic Printf String

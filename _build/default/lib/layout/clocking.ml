@@ -1,0 +1,54 @@
+type scheme = Row | Columnar | Two_d_d_wave | Use
+
+let num_phases = 4
+
+(* Euclidean remainder, robust for negative coordinates. *)
+let emod a b =
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+(* The 4x4 USE pattern of Campos et al. [9]. *)
+let use_matrix =
+  [|
+    [| 0; 1; 2; 3 |];
+    [| 3; 2; 1; 0 |];
+    [| 2; 3; 0; 1 |];
+    [| 1; 0; 3; 2 |];
+  |]
+
+let zone scheme (o : Hexlib.Coord.offset) =
+  match scheme with
+  | Row -> emod o.row num_phases
+  | Columnar -> emod o.col num_phases
+  | Two_d_d_wave -> emod (o.col + o.row) num_phases
+  | Use -> use_matrix.(emod o.row 4).(emod o.col 4)
+
+let zone_expanded scheme ~rows_per_zone (o : Hexlib.Coord.offset) =
+  if rows_per_zone <= 0 then
+    invalid_arg "Clocking.zone_expanded: non-positive factor";
+  match scheme with
+  | Row -> emod (o.row / rows_per_zone) num_phases
+  | Columnar -> emod (o.col / rows_per_zone) num_phases
+  | Two_d_d_wave -> emod ((o.col + o.row) / rows_per_zone) num_phases
+  | Use -> invalid_arg "Clocking.zone_expanded: USE has no linear expansion"
+
+let is_feed_forward = function
+  | Row | Columnar | Two_d_d_wave -> true
+  | Use -> false
+
+let legal_flow ~from_zone ~to_zone = to_zone = (from_zone + 1) mod num_phases
+
+let all = [ Row; Columnar; Two_d_d_wave; Use ]
+
+let to_string = function
+  | Row -> "row"
+  | Columnar -> "columnar"
+  | Two_d_d_wave -> "2ddwave"
+  | Use -> "use"
+
+let of_string = function
+  | "row" -> Some Row
+  | "columnar" -> Some Columnar
+  | "2ddwave" -> Some Two_d_d_wave
+  | "use" -> Some Use
+  | _ -> None

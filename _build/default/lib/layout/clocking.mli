@@ -1,0 +1,42 @@
+(** Clocking schemes for hexagonal FCN layouts.
+
+    Four-phase clocking divides the layout into zones cycling through the
+    phases hold → release → relax → switch (Fig. 2); information may only
+    flow from a zone with phase [p] into an adjacent zone with phase
+    [(p + 1) mod 4].
+
+    The feed-forward schemes the paper relies on assign phases by simple
+    tile-coordinate arithmetic.  [Row] — the paper's choice — is
+    {e Columnar rotated by 90°}: tile [(x, y)] is driven by clock
+    [y mod 4], so signals flow strictly top-to-bottom and all signal
+    paths are inherently balanced (Sec. 4.1, Fig. 6). *)
+
+type scheme =
+  | Row  (** Zone [y mod 4]; the paper's configuration. *)
+  | Columnar  (** Zone [x mod 4] [26]. *)
+  | Two_d_d_wave  (** Zone [(x + y) mod 4] [44]. *)
+  | Use  (** The 4×4 USE pattern [9]; not feed-forward. *)
+
+val num_phases : int
+(** Four, throughout this work. *)
+
+val zone : scheme -> Hexlib.Coord.offset -> int
+(** Clock number of a tile (0 to 3). *)
+
+val zone_expanded : scheme -> rows_per_zone:int -> Hexlib.Coord.offset -> int
+(** Zone assignment after super-tile expansion: [rows_per_zone]
+    consecutive rows (columns for [Columnar]) share one electrode.  Only
+    meaningful for linear schemes.
+    @raise Invalid_argument for [Use] or non-positive factor. *)
+
+val is_feed_forward : scheme -> bool
+(** Whether all legal data movement is strictly from the input side to the
+    output side (no cycles possible). *)
+
+val legal_flow : from_zone:int -> to_zone:int -> bool
+(** Whether data may cross from one clock zone into another:
+    the target is the successor phase. *)
+
+val all : scheme list
+val to_string : scheme -> string
+val of_string : string -> scheme option

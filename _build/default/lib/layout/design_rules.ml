@@ -1,0 +1,100 @@
+module Coord = Hexlib.Coord
+module D = Hexlib.Direction
+
+type violation = { at : Coord.offset; rule : string; message : string }
+
+let check ?(require_border_io = true) layout =
+  let violations = ref [] in
+  let report at rule message = violations := { at; rule; message } :: !violations in
+  let feed_forward =
+    match Gate_layout.clocking layout with
+    | Gate_layout.Scheme s | Gate_layout.Expanded (s, _) ->
+        Clocking.is_feed_forward s
+  in
+  let same_supertile_allowed =
+    match Gate_layout.clocking layout with
+    | Gate_layout.Expanded _ -> true
+    | Gate_layout.Scheme _ -> false
+  in
+  Gate_layout.iter layout (fun c tile ->
+      if not (Tile.is_empty tile) then begin
+        (* Local structure. *)
+        (match Tile.well_formed tile with
+        | Ok () -> ()
+        | Error msg -> report c "tile" msg);
+        (* Orientation. *)
+        if feed_forward then begin
+          List.iter
+            (fun d ->
+              if not (D.is_input d) then
+                report c "orientation"
+                  (Printf.sprintf "consumes through %s (north borders only)"
+                     (D.to_string d)))
+            (Tile.inputs tile);
+          List.iter
+            (fun d ->
+              if not (D.is_output d) then
+                report c "orientation"
+                  (Printf.sprintf "emits through %s (south borders only)"
+                     (D.to_string d)))
+            (Tile.outputs tile)
+        end;
+        (* Connectivity and clocking, checked on the emitting side. *)
+        List.iter
+          (fun d ->
+            let n = D.neighbor_offset c d in
+            if not (Gate_layout.in_bounds layout n) then
+              report c "connectivity"
+                (Printf.sprintf "emits %s out of bounds" (D.to_string d))
+            else
+              let facing = D.opposite d in
+              let neighbor_tile = Gate_layout.get layout n in
+              if
+                not
+                  (List.exists (D.equal facing) (Tile.inputs neighbor_tile))
+              then
+                report c "connectivity"
+                  (Printf.sprintf "signal emitted %s is not consumed"
+                     (D.to_string d))
+              else begin
+                let zf = Gate_layout.zone layout c
+                and zt = Gate_layout.zone layout n in
+                let legal =
+                  Clocking.legal_flow ~from_zone:zf ~to_zone:zt
+                  || (same_supertile_allowed && zf = zt)
+                in
+                if not legal then
+                  report c "clocking"
+                    (Printf.sprintf
+                       "flow from zone %d into zone %d via %s" zf zt
+                       (D.to_string d))
+              end)
+          (Tile.outputs tile);
+        (* Dangling inputs, checked on the consuming side. *)
+        List.iter
+          (fun d ->
+            match Gate_layout.signal_source layout c d with
+            | Some _ -> ()
+            | None ->
+                report c "connectivity"
+                  (Printf.sprintf "input border %s is not driven"
+                     (D.to_string d)))
+          (Tile.inputs tile);
+        (* Border I/O. *)
+        if require_border_io then begin
+          (match tile with
+          | Tile.Pi _ ->
+              if c.row <> 0 then
+                report c "border-io" "input pad not in the top row"
+          | Tile.Po _ ->
+              if c.row <> Gate_layout.height layout - 1 then
+                report c "border-io" "output pad not in the bottom row"
+          | Tile.Empty | Tile.Gate _ | Tile.Wire _ | Tile.Fanout _ -> ())
+        end
+      end);
+  List.rev !violations
+
+let is_clean ?require_border_io layout = check ?require_border_io layout = []
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%a [%s] %s" Coord.pp_offset v.at v.rule v.message

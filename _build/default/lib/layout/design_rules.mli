@@ -1,0 +1,30 @@
+(** Design-rule checking for hexagonal gate-level layouts (Sec. 4
+    design-rule framework, gate level).
+
+    Checks performed:
+    - local tile well-formedness ({!Tile.well_formed});
+    - connectivity: every emitted signal is consumed by the facing border
+      of an adjacent tile and vice versa (no dangling borders);
+    - clocking legality: connected tiles lie in consecutive clock zones —
+      or in the same super-tile zone when the layout uses an [Expanded]
+      assignment (information may flow within one electrode region, in
+      the feed-forward direction);
+    - feed-forward orientation (for feed-forward schemes): tiles consume
+      only through their north borders and emit only through their south
+      borders;
+    - optional border I/O: input pads in the top row, output pads in the
+      bottom row (fabrication accessibility). *)
+
+type violation = {
+  at : Hexlib.Coord.offset;
+  rule : string;  (** Short rule identifier, e.g. "connectivity". *)
+  message : string;
+}
+
+val check : ?require_border_io:bool -> Gate_layout.t -> violation list
+(** All violations ([] means the layout is clean).  [require_border_io]
+    defaults to [true]. *)
+
+val is_clean : ?require_border_io:bool -> Gate_layout.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

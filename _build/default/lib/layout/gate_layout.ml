@@ -1,0 +1,121 @@
+module Coord = Hexlib.Coord
+module D = Hexlib.Direction
+module Grid = Hexlib.Hex_grid
+
+type clock_assignment =
+  | Scheme of Clocking.scheme
+  | Expanded of Clocking.scheme * int
+
+type t = { grid : Tile.t Grid.t; clocking : clock_assignment }
+
+let create ~width ~height ~clocking =
+  { grid = Grid.create ~width ~height ~default:Tile.Empty; clocking }
+
+let width t = Grid.width t.grid
+let height t = Grid.height t.grid
+let clocking t = t.clocking
+let get t c = Grid.get t.grid c
+let set t c v = Grid.set t.grid c v
+let in_bounds t c = Grid.in_bounds t.grid c
+
+let zone t c =
+  match t.clocking with
+  | Scheme s -> Clocking.zone s c
+  | Expanded (s, rows) -> Clocking.zone_expanded s ~rows_per_zone:rows c
+
+let with_clocking t clocking = { grid = Grid.copy t.grid; clocking }
+
+let iter t f = Grid.iter t.grid f
+let fold t ~init ~f = Grid.fold t.grid ~init ~f
+
+let pis t =
+  List.rev
+    (fold t ~init:[] ~f:(fun acc c tile ->
+         match tile with
+         | Tile.Pi { name; _ } -> (c, name) :: acc
+         | Tile.Empty | Tile.Po _ | Tile.Gate _ | Tile.Wire _
+         | Tile.Fanout _ ->
+             acc))
+
+let pos t =
+  List.rev
+    (fold t ~init:[] ~f:(fun acc c tile ->
+         match tile with
+         | Tile.Po { name; _ } -> (c, name) :: acc
+         | Tile.Empty | Tile.Pi _ | Tile.Gate _ | Tile.Wire _
+         | Tile.Fanout _ ->
+             acc))
+
+let signal_source t c d =
+  match Grid.neighbor t.grid c d with
+  | None -> None
+  | Some n ->
+      let emitting = D.opposite d in
+      if List.exists (D.equal emitting) (Tile.outputs (get t n)) then
+        Some (n, emitting)
+      else None
+
+type stats = {
+  bounding_width : int;
+  bounding_height : int;
+  area_tiles : int;
+  gate_tiles : int;
+  wire_tiles : int;
+  crossing_tiles : int;
+  fanout_tiles : int;
+  pi_tiles : int;
+  po_tiles : int;
+}
+
+let bounding_box t =
+  fold t ~init:None ~f:(fun acc (c : Coord.offset) tile ->
+      if Tile.is_empty tile then acc
+      else
+        match acc with
+        | None -> Some (c.col, c.row, c.col, c.row)
+        | Some (x0, y0, x1, y1) ->
+            Some (min x0 c.col, min y0 c.row, max x1 c.col, max y1 c.row))
+
+let stats t =
+  let x0, y0, x1, y1 =
+    match bounding_box t with
+    | Some b -> b
+    | None -> (0, 0, -1, -1)
+  in
+  let bounding_width = x1 - x0 + 1 and bounding_height = y1 - y0 + 1 in
+  let count f = fold t ~init:0 ~f:(fun acc _ tile -> if f tile then acc + 1 else acc) in
+  {
+    bounding_width = max 0 bounding_width;
+    bounding_height = max 0 bounding_height;
+    area_tiles = max 0 bounding_width * max 0 bounding_height;
+    gate_tiles = count Tile.is_gate;
+    wire_tiles = count (fun tile -> Tile.is_wire tile && not (Tile.is_crossing tile));
+    crossing_tiles = count Tile.is_crossing;
+    fanout_tiles =
+      count (function
+        | Tile.Fanout _ -> true
+        | Tile.Empty | Tile.Pi _ | Tile.Po _ | Tile.Gate _ | Tile.Wire _ ->
+            false);
+    pi_tiles = count Tile.is_pi;
+    po_tiles = count Tile.is_po;
+  }
+
+let copy t = { grid = Grid.copy t.grid; clocking = t.clocking }
+
+let crop t =
+  match bounding_box t with
+  | None -> { grid = Grid.create ~width:1 ~height:1 ~default:Tile.Empty; clocking = t.clocking }
+  | Some (x0, y0, x1, y1) ->
+      (* Shifting rows changes hexagonal row parity; shift by even row
+         offsets only so that neighbor relations are preserved. *)
+      let y0 = y0 - (y0 land 1) in
+      let fresh =
+        Grid.create ~width:(x1 - x0 + 1) ~height:(y1 - y0 + 1)
+          ~default:Tile.Empty
+      in
+      let w = x1 - x0 + 1 and h = y1 - y0 + 1 in
+      Grid.iter t.grid (fun (c : Coord.offset) tile ->
+          let c' : Coord.offset = { col = c.col - x0; row = c.row - y0 } in
+          if c'.col >= 0 && c'.col < w && c'.row >= 0 && c'.row < h then
+            Grid.set fresh c' tile);
+      { grid = fresh; clocking = t.clocking }

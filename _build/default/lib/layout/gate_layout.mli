@@ -1,0 +1,70 @@
+(** Clocked gate-level layouts on hexagonal grids.
+
+    A layout is a bounded hexagonal field of {!Tile} contents together
+    with a clock-zone assignment.  This is the output of physical design
+    (flow step 4) and the input to super-tile merging (step 6) and the
+    Bestagon library application (step 7). *)
+
+type clock_assignment =
+  | Scheme of Clocking.scheme
+  | Expanded of Clocking.scheme * int
+      (** Scheme expanded to super-tiles: [rows_per_zone] rows share one
+          clocking electrode (flow step 6). *)
+
+type t
+
+val create :
+  width:int -> height:int -> clocking:clock_assignment -> t
+(** An empty layout. *)
+
+val width : t -> int
+val height : t -> int
+val clocking : t -> clock_assignment
+
+val get : t -> Hexlib.Coord.offset -> Tile.t
+val set : t -> Hexlib.Coord.offset -> Tile.t -> unit
+val in_bounds : t -> Hexlib.Coord.offset -> bool
+
+val zone : t -> Hexlib.Coord.offset -> int
+(** Clock number of a tile under the layout's assignment. *)
+
+val with_clocking : t -> clock_assignment -> t
+(** Same tiles, different clock assignment (shares no mutable state). *)
+
+val iter : t -> (Hexlib.Coord.offset -> Tile.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Hexlib.Coord.offset -> Tile.t -> 'a) -> 'a
+
+val pis : t -> (Hexlib.Coord.offset * string) list
+(** Input pads in row-major order. *)
+
+val pos : t -> (Hexlib.Coord.offset * string) list
+
+val signal_source : t -> Hexlib.Coord.offset -> Hexlib.Direction.t -> (Hexlib.Coord.offset * Hexlib.Direction.t) option
+(** [signal_source l c d] is the neighbor tile feeding border [d] of tile
+    [c] (i.e. the tile at direction [d] together with its emitting
+    border), when that neighbor exists and does emit towards [c]. *)
+
+(** {2 Statistics (Table 1 columns)} *)
+
+type stats = {
+  bounding_width : int;  (** Tiles per row of the used bounding box. *)
+  bounding_height : int;
+  area_tiles : int;  (** [bounding_width * bounding_height]. *)
+  gate_tiles : int;  (** Logic gates (including inverters and pads excluded). *)
+  wire_tiles : int;
+  crossing_tiles : int;
+  fanout_tiles : int;
+  pi_tiles : int;
+  po_tiles : int;
+}
+
+val stats : t -> stats
+(** Bounding box over non-empty tiles (normalized to the origin in the
+    sense that leading empty rows/columns still count — layouts produced
+    by the physical design always start at the origin). *)
+
+val crop : t -> t
+(** Smallest layout containing all non-empty tiles (origin preserved:
+    tiles are shifted so the bounding box starts at [(0, 0)]). *)
+
+val copy : t -> t

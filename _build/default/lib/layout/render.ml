@@ -1,0 +1,67 @@
+module D = Hexlib.Direction
+
+let cell_width = 9
+
+let pad s =
+  let truncated =
+    if String.length s > cell_width - 2 then String.sub s 0 (cell_width - 2)
+    else s
+  in
+  let total = cell_width - 2 - String.length truncated in
+  let left = total / 2 in
+  String.make left ' ' ^ truncated ^ String.make (total - left) ' '
+
+let layout ?(show_zones = false) l =
+  let buf = Buffer.create 1024 in
+  for row = 0 to Gate_layout.height l - 1 do
+    if row land 1 = 1 then Buffer.add_string buf (String.make (cell_width / 2) ' ');
+    for col = 0 to Gate_layout.width l - 1 do
+      let c : Hexlib.Coord.offset = { col; row } in
+      let tile = Gate_layout.get l c in
+      let label =
+        if Tile.is_empty tile then ""
+        else if show_zones then
+          Printf.sprintf "%s%d" (Tile.label tile) (Gate_layout.zone l c)
+        else Tile.label tile
+      in
+      Buffer.add_string buf ("|" ^ pad label ^ "|")
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* Signal-flow rendering: under each row, draw the south-going arrows. *)
+let flow l =
+  let buf = Buffer.create 1024 in
+  for row = 0 to Gate_layout.height l - 1 do
+    let indent = if row land 1 = 1 then cell_width / 2 else 0 in
+    Buffer.add_string buf (String.make indent ' ');
+    for col = 0 to Gate_layout.width l - 1 do
+      let c : Hexlib.Coord.offset = { col; row } in
+      Buffer.add_string buf ("|" ^ pad (Tile.label (Gate_layout.get l c)) ^ "|")
+    done;
+    Buffer.add_char buf '\n';
+    if row < Gate_layout.height l - 1 then begin
+      (* Arrow line: for each tile, mark SW / SE emissions. *)
+      let line = Bytes.make ((Gate_layout.width l + 1) * cell_width + indent) ' ' in
+      for col = 0 to Gate_layout.width l - 1 do
+        let c : Hexlib.Coord.offset = { col; row } in
+        let outs = Tile.outputs (Gate_layout.get l c) in
+        let base = indent + (col * cell_width) in
+        List.iter
+          (fun d ->
+            match d with
+            | D.South_west ->
+                let p = base + 1 in
+                if p >= 0 && p < Bytes.length line then Bytes.set line p '/'
+            | D.South_east ->
+                let p = base + cell_width - 2 in
+                if p >= 0 && p < Bytes.length line then Bytes.set line p '\\'
+            | D.North_west | D.North_east | D.East | D.West -> ())
+          outs
+      done;
+      Buffer.add_string buf (Bytes.to_string line);
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** ASCII rendering of hexagonal layouts (used for the Fig. 3/4/6
+    reproductions and the CLI).
+
+    Each hexagonal tile is drawn as a fixed-width cell; odd rows are
+    indented by half a cell, so adjacency in the picture matches the
+    odd-r hexagonal neighborhoods. *)
+
+val layout : ?show_zones:bool -> Gate_layout.t -> string
+(** Multi-line picture of tile labels, e.g.
+
+    {v
+    | PI:a  | PI:b  |
+       | XOR   |
+    | PO:f  |
+    v}
+
+    With [show_zones], each cell is suffixed with its clock number. *)
+
+val flow : Gate_layout.t -> string
+(** Render the tile borders in use: arrows showing the signal flow
+    between tiles. *)

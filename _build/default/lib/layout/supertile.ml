@@ -1,0 +1,42 @@
+let lattice_pitch_nm = 0.384
+let tile_width_nm = 60. *. lattice_pitch_nm
+let tile_height_nm = 46. *. lattice_pitch_nm
+let default_metal_pitch_nm = 40.
+
+let rows_per_zone ?(metal_pitch_nm = default_metal_pitch_nm) () =
+  max 1 (int_of_float (ceil (metal_pitch_nm /. tile_height_nm)))
+
+let expand ?metal_pitch_nm layout =
+  let rows = rows_per_zone ?metal_pitch_nm () in
+  match Gate_layout.clocking layout with
+  | Gate_layout.Scheme Clocking.Use | Gate_layout.Expanded (Clocking.Use, _)
+    ->
+      invalid_arg "Supertile.expand: USE is not a linear scheme"
+  | Gate_layout.Scheme s | Gate_layout.Expanded (s, _) ->
+      Gate_layout.with_clocking layout (Gate_layout.Expanded (s, rows))
+
+let electrode_count layout =
+  match Gate_layout.clocking layout with
+  | Gate_layout.Scheme Clocking.Use ->
+      (* One electrode per tile under USE (no linear banding). *)
+      Gate_layout.width layout * Gate_layout.height layout
+  | Gate_layout.Scheme s ->
+      let extent =
+        match s with
+        | Clocking.Row -> Gate_layout.height layout
+        | Clocking.Columnar -> Gate_layout.width layout
+        | Clocking.Two_d_d_wave ->
+            Gate_layout.width layout + Gate_layout.height layout - 1
+        | Clocking.Use -> assert false
+      in
+      extent
+  | Gate_layout.Expanded (s, rows) ->
+      let extent =
+        match s with
+        | Clocking.Row -> Gate_layout.height layout
+        | Clocking.Columnar -> Gate_layout.width layout
+        | Clocking.Two_d_d_wave ->
+            Gate_layout.width layout + Gate_layout.height layout - 1
+        | Clocking.Use -> Gate_layout.height layout
+      in
+      (extent + rows - 1) / rows

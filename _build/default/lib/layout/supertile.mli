@@ -1,0 +1,31 @@
+(** Super-tile formation (flow step 6).
+
+    Individual Bestagon tiles (60 × 46 lattice sites ≈ 23.0 nm × 17.7 nm)
+    are smaller than the minimum metal pitch of state-of-the-art
+    lithography (40 nm at the 7 nm node [54]), so a single clocking
+    electrode cannot address one tile.  Adjacent tiles are therefore
+    grouped into super-tiles driven by one electrode; under the linear
+    (row-based) clocking schemes a super-tile is a band of consecutive
+    rows (Fig. 4). *)
+
+val tile_width_nm : float
+(** 60 sites × 0.384 nm = 23.04 nm. *)
+
+val tile_height_nm : float
+(** 46 sites × 0.384 nm ≈ 17.66 nm. *)
+
+val default_metal_pitch_nm : float
+(** 40 nm [54]. *)
+
+val rows_per_zone : ?metal_pitch_nm:float -> unit -> int
+(** Minimum number of tile rows per electrode so the electrode pitch is
+    at least the metal pitch: ceil(pitch / tile height); 3 at 40 nm. *)
+
+val expand : ?metal_pitch_nm:float -> Gate_layout.t -> Gate_layout.t
+(** Re-clock a layout with super-tile zones (each zone spans
+    {!rows_per_zone} rows).  Tiles are unchanged.
+    @raise Invalid_argument when the layout's scheme is not linear. *)
+
+val electrode_count : Gate_layout.t -> int
+(** Number of distinct electrodes (zone bands intersecting the layout)
+    under the layout's clock assignment. *)

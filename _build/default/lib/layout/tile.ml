@@ -1,0 +1,162 @@
+module D = Hexlib.Direction
+
+type t =
+  | Empty
+  | Pi of { name : string; out : D.t }
+  | Po of { name : string; inp : D.t }
+  | Gate of { fn : Logic.Mapped.fn; ins : D.t list; outs : D.t list }
+  | Wire of { segments : (D.t * D.t) list }
+  | Fanout of { inp : D.t; outs : D.t list }
+
+let is_empty = function
+  | Empty -> true
+  | Pi _ | Po _ | Gate _ | Wire _ | Fanout _ -> false
+
+let is_gate = function
+  | Gate _ -> true
+  | Empty | Pi _ | Po _ | Wire _ | Fanout _ -> false
+
+let is_wire = function
+  | Wire _ -> true
+  | Empty | Pi _ | Po _ | Gate _ | Fanout _ -> false
+
+(* Two segments cross when their endpoints interleave around the hexagon
+   border.  With inputs restricted to {NW, NE} and outputs to {SW, SE}
+   this reduces to: NW->SE together with NE->SW. *)
+let segments_cross (i1, o1) (i2, o2) =
+  let rank d =
+    match d with
+    | D.North_west -> 0
+    | D.North_east -> 1
+    | D.East -> 2
+    | D.South_east -> 3
+    | D.South_west -> 4
+    | D.West -> 5
+  in
+  (* Endpoints of segment 2 separate the endpoints of segment 1 on the
+     circular border order. *)
+  let between a b x =
+    (* x strictly between a and b walking clockwise from a. *)
+    let rec walk p steps =
+      if steps > 6 then false
+      else
+        let p' = (p + 1) mod 6 in
+        if p' = rank b then false
+        else if p' = rank x then true
+        else walk p' (steps + 1)
+    in
+    walk (rank a) 0
+  in
+  let x_in = between i1 o1 i2 and x_out = between i1 o1 o2 in
+  x_in <> x_out
+
+let is_crossing = function
+  | Wire { segments = [ s1; s2 ] } -> segments_cross s1 s2
+  | Wire _ | Empty | Pi _ | Po _ | Gate _ | Fanout _ -> false
+
+let is_pi = function
+  | Pi _ -> true
+  | Empty | Po _ | Gate _ | Wire _ | Fanout _ -> false
+
+let is_po = function
+  | Po _ -> true
+  | Empty | Pi _ | Gate _ | Wire _ | Fanout _ -> false
+
+let inputs = function
+  | Empty | Pi _ -> []
+  | Po { inp; _ } -> [ inp ]
+  | Gate { ins; _ } -> ins
+  | Wire { segments } -> List.map fst segments
+  | Fanout { inp; _ } -> [ inp ]
+
+let outputs = function
+  | Empty | Po _ -> []
+  | Pi { out; _ } -> [ out ]
+  | Gate { outs; _ } -> outs
+  | Wire { segments } -> List.map snd segments
+  | Fanout { outs; _ } -> outs
+
+let rec has_duplicate = function
+  | [] -> false
+  | d :: rest -> List.exists (D.equal d) rest || has_duplicate rest
+
+let well_formed t =
+  let dirs = inputs t @ outputs t in
+  if has_duplicate dirs then Error "tile uses a border twice"
+  else
+    match t with
+    | Empty | Pi _ | Po _ -> Ok ()
+    | Gate { fn; ins; outs } ->
+        if List.length ins <> Logic.Mapped.fn_arity fn then
+          Error
+            (Printf.sprintf "%s expects %d inputs"
+               (Logic.Mapped.fn_name fn)
+               (Logic.Mapped.fn_arity fn))
+        else if List.length outs <> Logic.Mapped.fn_outputs fn then
+          Error
+            (Printf.sprintf "%s drives %d outputs"
+               (Logic.Mapped.fn_name fn)
+               (Logic.Mapped.fn_outputs fn))
+        else Ok ()
+    | Wire { segments } ->
+        if segments = [] || List.length segments > 2 then
+          Error "wire tiles hold one or two segments"
+        else Ok ()
+    | Fanout { outs; _ } ->
+        if List.length outs <> 2 then Error "fan-outs have degree 2"
+        else Ok ()
+
+let eval t border_values =
+  let value d =
+    match List.find_opt (fun (d', _) -> D.equal d d') border_values with
+    | Some (_, v) -> v
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Tile.eval: missing value on border %s"
+             (D.to_string d))
+  in
+  match t with
+  | Empty -> invalid_arg "Tile.eval: empty tile"
+  | Pi _ -> invalid_arg "Tile.eval: input pads produce external values"
+  | Po _ -> []
+  | Gate { fn; ins; outs } ->
+      let args = Array.of_list (List.map value ins) in
+      let results = Logic.Mapped.eval_fn fn args in
+      List.mapi (fun i d -> (d, results.(i))) outs
+  | Wire { segments } -> List.map (fun (i, o) -> (o, value i)) segments
+  | Fanout { inp; outs } ->
+      let v = value inp in
+      List.map (fun d -> (d, v)) outs
+
+let label = function
+  | Empty -> "."
+  | Pi { name; _ } -> "PI:" ^ name
+  | Po { name; _ } -> "PO:" ^ name
+  | Gate { fn; _ } -> Logic.Mapped.fn_name fn
+  | Wire { segments = [ _ ] } -> "wire"
+  | Wire { segments } as t ->
+      if is_crossing t then "cross"
+      else if List.length segments = 2 then "wire2"
+      else "wire?"
+  | Fanout _ -> "fan"
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t =
+  let dir_list dirs = String.concat "," (List.map D.to_string dirs) in
+  match t with
+  | Empty -> Format.pp_print_string ppf "empty"
+  | Pi { name; out } -> Format.fprintf ppf "PI(%s)->%s" name (D.to_string out)
+  | Po { name; inp } -> Format.fprintf ppf "%s->PO(%s)" (D.to_string inp) name
+  | Gate { fn; ins; outs } ->
+      Format.fprintf ppf "%s(%s)->(%s)"
+        (Logic.Mapped.fn_name fn)
+        (dir_list ins) (dir_list outs)
+  | Wire { segments } ->
+      Format.fprintf ppf "wire[%s]"
+        (String.concat ";"
+           (List.map
+              (fun (i, o) -> D.to_string i ^ ">" ^ D.to_string o)
+              segments))
+  | Fanout { inp; outs } ->
+      Format.fprintf ppf "fanout(%s)->(%s)" (D.to_string inp) (dir_list outs)

@@ -1,0 +1,52 @@
+(** Contents of a single hexagonal standard tile.
+
+    Every non-empty tile realizes one Bestagon standard cell: an I/O pad,
+    a library gate, a wire segment (possibly two segments — parallel or
+    crossing), or a fan-out.  Connections are expressed as border
+    directions; two adjacent tiles are connected when one's output
+    direction faces the other's input direction. *)
+
+type t =
+  | Empty
+  | Pi of { name : string; out : Hexlib.Direction.t }
+      (** Primary-input pad emitting towards [out]. *)
+  | Po of { name : string; inp : Hexlib.Direction.t }
+      (** Primary-output pad consuming from [inp]. *)
+  | Gate of {
+      fn : Logic.Mapped.fn;
+      ins : Hexlib.Direction.t list;  (** Port-ordered input borders. *)
+      outs : Hexlib.Direction.t list;  (** Port-ordered output borders. *)
+    }
+  | Wire of { segments : (Hexlib.Direction.t * Hexlib.Direction.t) list }
+      (** One segment = plain wire; two parallel segments = double wire;
+          two crossing segments = the crossover tile. *)
+  | Fanout of { inp : Hexlib.Direction.t; outs : Hexlib.Direction.t list }
+
+val is_empty : t -> bool
+val is_gate : t -> bool
+val is_wire : t -> bool
+val is_crossing : t -> bool
+(** Whether this is a wire tile whose two segments cross. *)
+
+val is_pi : t -> bool
+val is_po : t -> bool
+
+val inputs : t -> Hexlib.Direction.t list
+(** All borders through which the tile consumes a signal. *)
+
+val outputs : t -> Hexlib.Direction.t list
+
+val well_formed : t -> (unit, string) result
+(** Local sanity: no duplicate borders, correct gate arity, fan-out
+    degree 2, wire tiles with 1 or 2 segments. *)
+
+val eval : t -> (Hexlib.Direction.t * bool) list -> (Hexlib.Direction.t * bool) list
+(** Values on output borders given values on input borders.
+    @raise Invalid_argument if an input border value is missing, or on
+    [Pi]/[Empty] tiles (which produce no computable outputs). *)
+
+val label : t -> string
+(** Short label for rendering, e.g. "XOR", "x" (crossing), "PI:a". *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/logic/balance.ml: Array List Network

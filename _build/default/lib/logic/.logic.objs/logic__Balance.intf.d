@@ -1,0 +1,1 @@
+lib/logic/balance.mli: Network

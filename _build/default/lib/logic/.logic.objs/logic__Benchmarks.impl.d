@@ -1,0 +1,1 @@
+lib/logic/benchmarks.ml: Array List Network Printf

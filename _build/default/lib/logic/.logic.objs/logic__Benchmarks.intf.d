@@ -1,0 +1,1 @@
+lib/logic/benchmarks.mli: Network

@@ -1,0 +1,1 @@
+lib/logic/cuts.ml: Array Format Hashtbl List Network Truth_table

@@ -1,0 +1,1 @@
+lib/logic/cuts.mli: Format Network Truth_table

@@ -1,0 +1,1 @@
+lib/logic/exact_synth.ml: Array List Network Printf Sat Truth_table

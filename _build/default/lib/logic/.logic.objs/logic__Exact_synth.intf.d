@@ -1,0 +1,1 @@
+lib/logic/exact_synth.mli: Network Truth_table

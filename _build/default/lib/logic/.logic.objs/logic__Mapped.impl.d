@@ -1,0 +1,1 @@
+lib/logic/mapped.ml: Array Format Hashtbl List Network Option Printf String Truth_table

@@ -1,0 +1,1 @@
+lib/logic/mapped.mli: Format Network Truth_table

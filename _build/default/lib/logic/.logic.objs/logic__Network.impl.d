@@ -1,0 +1,1 @@
+lib/logic/network.ml: Array Format Hashtbl Int64 List Printf Random Truth_table

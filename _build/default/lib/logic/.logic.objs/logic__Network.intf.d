@@ -1,0 +1,1 @@
+lib/logic/network.mli: Format Truth_table

@@ -1,0 +1,1 @@
+lib/logic/npn_db.ml: Array Exact_synth Hashtbl Network Npn Truth_table

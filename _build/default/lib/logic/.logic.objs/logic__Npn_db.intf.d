@@ -1,0 +1,1 @@
+lib/logic/npn_db.mli: Exact_synth Network Npn Truth_table

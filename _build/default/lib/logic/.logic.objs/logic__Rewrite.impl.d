@@ -1,0 +1,1 @@
+lib/logic/rewrite.ml: Array Cuts Hashtbl List Network Npn_db

@@ -1,0 +1,1 @@
+lib/logic/rewrite.mli: Network Npn_db

@@ -1,0 +1,1 @@
+lib/logic/tech_map.ml: Array Hashtbl List Mapped Network Printf

@@ -1,0 +1,1 @@
+lib/logic/tech_map.mli: Mapped Network

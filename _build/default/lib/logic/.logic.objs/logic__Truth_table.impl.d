@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Array Char Hashtbl Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/verilog.ml: Buffer Hashtbl List Network Option Printf String

@@ -1,0 +1,81 @@
+module N = Network
+
+type op = Op_and | Op_xor
+
+(* Collect the operand signals of the maximal same-operator tree rooted
+   at [s].  The walk only descends through non-complemented edges into
+   nodes of the same operator (a complemented AND edge is a NAND
+   boundary and must not be flattened; XOR constructors strip fanin
+   complements anyway). *)
+let rec collect ntk op s acc =
+  let id = N.node_of_signal s in
+  if N.is_complemented s then s :: acc
+  else
+    match (N.kind ntk id, op) with
+    | N.And (a, b), Op_and -> collect ntk op a (collect ntk op b acc)
+    | N.Xor (a, b), Op_xor -> collect ntk op a (collect ntk op b acc)
+    | (N.Const | N.Pi _ | N.And _ | N.Xor _), _ -> s :: acc
+
+let balance ntk =
+  let fresh = N.create () in
+  let pi_map = Array.make (max 1 (N.num_pis ntk)) N.const0 in
+  for i = 0 to N.num_pis ntk - 1 do
+    pi_map.(i) <- N.pi fresh (N.pi_name ntk i)
+  done;
+  (* Mapping from old node id to new signal. *)
+  let mapping = Array.make (N.num_nodes ntk) N.const0 in
+  mapping.(0) <- N.const0;
+  let map_signal s =
+    let m = mapping.(N.node_of_signal s) in
+    if N.is_complemented s then N.not_ m else m
+  in
+  (* Combine mapped operands into a balanced tree: repeatedly join the
+     two shallowest operands (Huffman construction minimizes the
+     resulting depth). *)
+  let combine op operands =
+    let level s = N.level fresh (N.node_of_signal s) in
+    let sorted = List.sort (fun a b -> compare (level a) (level b)) operands in
+    let rec reduce = function
+      | [] -> N.const0
+      | [ s ] -> s
+      | a :: b :: rest ->
+          let joined =
+            match op with
+            | Op_and -> N.and_ fresh a b
+            | Op_xor -> N.xor_ fresh a b
+          in
+          (* Insert by level to keep the pool sorted. *)
+          let rec insert x = function
+            | [] -> [ x ]
+            | y :: ys ->
+                if level x <= level y then x :: y :: ys else y :: insert x ys
+          in
+          reduce (insert joined rest)
+    in
+    reduce sorted
+  in
+  for id = 0 to N.num_nodes ntk - 1 do
+    match N.kind ntk id with
+    | N.Const -> ()
+    | N.Pi i -> mapping.(id) <- pi_map.(i)
+    | N.And _ ->
+        let operands = collect ntk Op_and (N.signal_of_node id) [] in
+        mapping.(id) <- combine Op_and (List.map map_signal operands)
+    | N.Xor _ ->
+        let operands = collect ntk Op_xor (N.signal_of_node id) [] in
+        mapping.(id) <- combine Op_xor (List.map map_signal operands)
+  done;
+  for i = 0 to N.num_pos ntk - 1 do
+    N.po fresh (N.po_name ntk i) (map_signal (N.po_signal ntk i))
+  done;
+  let result = N.cleanup fresh in
+  if N.depth result <= N.depth ntk then result else ntk
+
+let balance_to_fixpoint ?(max_rounds = 4) ntk =
+  let rec go ntk round =
+    if round >= max_rounds then ntk
+    else
+      let next = balance ntk in
+      if N.depth next < N.depth ntk then go next (round + 1) else ntk
+  in
+  go ntk 0

@@ -1,0 +1,14 @@
+(** Depth balancing of XAGs.
+
+    Cut rewriting (flow step 2) targets size {e and depth} [38]; this
+    pass attacks depth directly: maximal same-operator chains are
+    flattened and rebuilt as balanced trees (shallowest operands first,
+    Huffman style), which shortens the critical path and therefore the
+    height of the row-clocked layouts produced by physical design. *)
+
+val balance : Network.t -> Network.t
+(** Semantics-preserving; never increases depth.  Sharing is kept via
+    structural hashing and per-node memoization. *)
+
+val balance_to_fixpoint : ?max_rounds:int -> Network.t -> Network.t
+(** Iterate until the depth stops improving (default at most 4 rounds). *)

@@ -1,0 +1,198 @@
+type benchmark = {
+  name : string;
+  source : string;
+  build : unit -> Network.t;
+}
+
+let xor2 () =
+  let n = Network.create () in
+  let a = Network.pi n "a" and b = Network.pi n "b" in
+  Network.po n "f" (Network.xor_ n a b);
+  n
+
+let xnor2 () =
+  let n = Network.create () in
+  let a = Network.pi n "a" and b = Network.pi n "b" in
+  Network.po n "f" (Network.xnor_ n a b);
+  n
+
+let par_gen () =
+  let n = Network.create () in
+  let a = Network.pi n "a" and b = Network.pi n "b" and c = Network.pi n "c" in
+  Network.po n "p" (Network.xor_ n (Network.xor_ n a b) c);
+  n
+
+let mux21 () =
+  let n = Network.create () in
+  let a = Network.pi n "in0"
+  and b = Network.pi n "in1"
+  and s = Network.pi n "sel" in
+  Network.po n "f" (Network.mux n ~sel:s ~f:a ~t_:b);
+  n
+
+let par_check () =
+  let n = Network.create () in
+  let a = Network.pi n "a"
+  and b = Network.pi n "b"
+  and c = Network.pi n "c"
+  and p = Network.pi n "p" in
+  (* Error flag: the XOR of the three data bits must match the parity
+     bit. *)
+  let data_parity = Network.xor_ n (Network.xor_ n a b) c in
+  Network.po n "err" (Network.xor_ n data_parity p);
+  n
+
+let xor5_r1 () =
+  let n = Network.create () in
+  let xs = Array.init 5 (fun i -> Network.pi n (Printf.sprintf "x%d" i)) in
+  let x01 = Network.xor_ n xs.(0) xs.(1)
+  and x23 = Network.xor_ n xs.(2) xs.(3) in
+  Network.po n "f" (Network.xor_ n (Network.xor_ n x01 x23) xs.(4));
+  n
+
+let xor5_majority () =
+  let n = Network.create () in
+  let xs = Array.init 5 (fun i -> Network.pi n (Printf.sprintf "x%d" i)) in
+  (* The majority-based realization from [13]: 3-input XOR through the
+     classic majority identity
+       a xor b xor c = M(!M(a,b,c), M(a,b,!c), c)
+     applied twice. *)
+  let xor3 a b c =
+    let m1 = Network.maj3 n a b c in
+    let m2 = Network.maj3 n a b (Network.not_ c) in
+    Network.maj3 n (Network.not_ m1) m2 c
+  in
+  Network.po n "f" (xor3 (xor3 xs.(0) xs.(1) xs.(2)) xs.(3) xs.(4));
+  n
+
+let t () =
+  (* Reconstruction of the fontes18 't' control block: 5 inputs, 2
+     outputs, a mix of AND/OR/XOR logic of depth 4. *)
+  let n = Network.create () in
+  let a = Network.pi n "a"
+  and b = Network.pi n "b"
+  and c = Network.pi n "c"
+  and d = Network.pi n "d"
+  and e = Network.pi n "e" in
+  let ab = Network.and_ n a b in
+  let cd = Network.or_ n c d in
+  let sel = Network.xor_ n ab cd in
+  let g = Network.and_ n sel e in
+  Network.po n "f0" (Network.or_ n g (Network.and_ n a (Network.not_ d)));
+  Network.po n "f1" (Network.xor_ n g (Network.and_ n b c));
+  n
+
+let t_5 () =
+  (* Same pair of functions as [t], restructured (the fontes18 _5 suffix
+     denotes a re-mapped variant of the same circuit). *)
+  let n = Network.create () in
+  let a = Network.pi n "a"
+  and b = Network.pi n "b"
+  and c = Network.pi n "c"
+  and d = Network.pi n "d"
+  and e = Network.pi n "e" in
+  (* f0 = (((a&b) ^ (c|d)) & e) | (a & !d), expanded differently. *)
+  let ab = Network.and_ n a b in
+  let cd = Network.nor_ n c d in
+  let sel = Network.xnor_ n ab cd in
+  let g = Network.and_ n sel e in
+  let a_not_d = Network.and_ n a (Network.not_ d) in
+  Network.po n "f0" (Network.or_ n g a_not_d);
+  Network.po n "f1" (Network.xor_ n g (Network.and_ n c b));
+  n
+
+let c17 () =
+  let n = Network.create () in
+  let i1 = Network.pi n "N1"
+  and i2 = Network.pi n "N2"
+  and i3 = Network.pi n "N3"
+  and i6 = Network.pi n "N6"
+  and i7 = Network.pi n "N7" in
+  (* The canonical six-NAND netlist [7]. *)
+  let n10 = Network.nand_ n i1 i3 in
+  let n11 = Network.nand_ n i3 i6 in
+  let n16 = Network.nand_ n i2 n11 in
+  let n19 = Network.nand_ n n11 i7 in
+  let n22 = Network.nand_ n n10 n16 in
+  let n23 = Network.nand_ n n16 n19 in
+  Network.po n "N22" n22;
+  Network.po n "N23" n23;
+  n
+
+let majority () =
+  let n = Network.create () in
+  let a = Network.pi n "a" and b = Network.pi n "b" and c = Network.pi n "c" in
+  Network.po n "f" (Network.maj3 n a b c);
+  n
+
+let majority_5_r1 () =
+  let n = Network.create () in
+  let xs = Array.init 5 (fun i -> Network.pi n (Printf.sprintf "x%d" i)) in
+  (* Adder-tree realization: sum the five bits and test >= 3 via
+     full adders. *)
+  let s0, c0 = Network.full_adder n xs.(0) xs.(1) xs.(2) in
+  let s1, c1 = Network.full_adder n s0 xs.(3) xs.(4) in
+  (* Total = s1 + 2*(c0 + c1); majority iff (c0 & c1) or
+     ((c0 or c1) & s1). *)
+  let both = Network.and_ n c0 c1 in
+  let one = Network.or_ n c0 c1 in
+  Network.po n "f" (Network.or_ n both (Network.and_ n one s1));
+  n
+
+let cm82a_5 () =
+  let n = Network.create () in
+  (* MCNC cm82a: a + b with carry-in over 2-bit operands. *)
+  let a0 = Network.pi n "a0"
+  and b0 = Network.pi n "b0"
+  and cin = Network.pi n "cin"
+  and a1 = Network.pi n "a1"
+  and b1 = Network.pi n "b1" in
+  let s0, c0 = Network.full_adder n a0 b0 cin in
+  let s1, c1 = Network.full_adder n a1 b1 c0 in
+  Network.po n "s0" s0;
+  Network.po n "s1" s1;
+  Network.po n "cout" c1;
+  n
+
+let newtag () =
+  let n = Network.create () in
+  (* Reconstruction of the MCNC two-level 'newtag' benchmark: an 8-input
+     tag-match style single-output function
+       f = a & !(b & c & d) & !(e | f | g | h)  variant with one OR arm,
+     kept as a flat two-level structure. *)
+  let a = Network.pi n "a"
+  and b = Network.pi n "b"
+  and c = Network.pi n "c"
+  and d = Network.pi n "d"
+  and e = Network.pi n "e"
+  and f = Network.pi n "f"
+  and g = Network.pi n "g"
+  and h = Network.pi n "h" in
+  let bcd = Network.and_ n (Network.and_ n b c) d in
+  let efgh =
+    Network.or_ n (Network.or_ n e f) (Network.or_ n g h)
+  in
+  let guard = Network.and_ n a (Network.not_ bcd) in
+  Network.po n "y" (Network.or_ n guard (Network.and_ n bcd (Network.not_ efgh)));
+  n
+
+let all =
+  [
+    { name = "xor2"; source = "trindade16"; build = xor2 };
+    { name = "xnor2"; source = "trindade16"; build = xnor2 };
+    { name = "par_gen"; source = "trindade16"; build = par_gen };
+    { name = "mux21"; source = "trindade16"; build = mux21 };
+    { name = "par_check"; source = "trindade16"; build = par_check };
+    { name = "xor5_r1"; source = "fontes18"; build = xor5_r1 };
+    { name = "xor5_majority"; source = "fontes18"; build = xor5_majority };
+    { name = "t"; source = "fontes18"; build = t };
+    { name = "t_5"; source = "fontes18"; build = t_5 };
+    { name = "c17"; source = "iscas85"; build = c17 };
+    { name = "majority"; source = "fontes18"; build = majority };
+    { name = "majority_5_r1"; source = "fontes18"; build = majority_5_r1 };
+    { name = "cm82a_5"; source = "fontes18"; build = cm82a_5 };
+    { name = "newtag"; source = "fontes18"; build = newtag };
+  ]
+
+let find name = List.find (fun b -> b.name = name) all
+let names = List.map (fun b -> b.name) all

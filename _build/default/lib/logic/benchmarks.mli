@@ -1,0 +1,62 @@
+(** The benchmark circuits of Table 1.
+
+    The paper evaluates on the established FCN benchmark sets of
+    Trindade et al. [43] and Fontes et al. [13] (plus ISCAS-85's c17).
+    The original netlist files are not redistributable here, so the
+    circuits are reconstructed from their published functions; see
+    DESIGN.md §2.6 for the fidelity discussion.  Functions marked
+    {e reconstruction} implement a documented stand-in of the same size
+    class where the exact original netlist is not public. *)
+
+type benchmark = {
+  name : string;
+  source : string;  (** "trindade16", "fontes18", or "iscas85". *)
+  build : unit -> Network.t;
+}
+
+val all : benchmark list
+(** The 14 circuits of Table 1, in the paper's order. *)
+
+val find : string -> benchmark
+(** @raise Not_found for unknown names. *)
+
+val names : string list
+
+(** Individual constructors (used by tests). *)
+
+val xor2 : unit -> Network.t
+val xnor2 : unit -> Network.t
+val par_gen : unit -> Network.t
+(** 3-bit even-parity generator. *)
+
+val mux21 : unit -> Network.t
+val par_check : unit -> Network.t
+(** 3 data bits + parity bit checker. *)
+
+val xor5_r1 : unit -> Network.t
+(** 5-input XOR, balanced-tree realization. *)
+
+val xor5_majority : unit -> Network.t
+(** 5-input XOR realized through majority-of-3 subfunctions as in [13]. *)
+
+val t : unit -> Network.t
+(** Reconstruction: 5-input, 2-output control function from [13]. *)
+
+val t_5 : unit -> Network.t
+(** Reconstruction: re-mapped variant of [t] (same functions, different
+    structure). *)
+
+val c17 : unit -> Network.t
+(** ISCAS-85 c17: 5 inputs, 2 outputs, six NAND gates. *)
+
+val majority : unit -> Network.t
+(** 3-input majority. *)
+
+val majority_5_r1 : unit -> Network.t
+(** 5-input majority, adder-tree realization. *)
+
+val cm82a_5 : unit -> Network.t
+(** MCNC cm82a: 2-bit ripple-carry adder with carry-in (5 in, 3 out). *)
+
+val newtag : unit -> Network.t
+(** Reconstruction: 8-input, 1-output two-level tag-match function. *)

@@ -1,0 +1,209 @@
+type cut = { leaves : int array; table : Truth_table.t }
+
+type t = { network : Network.t; cuts : cut list array }
+
+let network t = t.network
+
+(* Sorted-array union; [None] when exceeding [k]. *)
+let union_leaves k a b =
+  let la = Array.length a and lb = Array.length b in
+  let result = Array.make (la + lb) 0 in
+  let i = ref 0 and j = ref 0 and n = ref 0 in
+  (try
+     while !i < la || !j < lb do
+       let next =
+         if !i >= la then begin
+           let v = b.(!j) in
+           incr j;
+           v
+         end
+         else if !j >= lb then begin
+           let v = a.(!i) in
+           incr i;
+           v
+         end
+         else if a.(!i) < b.(!j) then begin
+           let v = a.(!i) in
+           incr i;
+           v
+         end
+         else if a.(!i) > b.(!j) then begin
+           let v = b.(!j) in
+           incr j;
+           v
+         end
+         else begin
+           let v = a.(!i) in
+           incr i;
+           incr j;
+           v
+         end
+       in
+       if !n >= k then raise Exit;
+       result.(!n) <- next;
+       incr n
+     done;
+     ()
+   with Exit -> n := k + 1);
+  if !n > k then None else Some (Array.sub result 0 !n)
+
+(* Re-express [table] (over [leaves]) over the superset [union]. *)
+let lift_table table leaves union =
+  let m = Array.length union in
+  let positions =
+    Array.map
+      (fun leaf ->
+        let rec find i = if union.(i) = leaf then i else find (i + 1) in
+        find 0)
+      leaves
+  in
+  let result = ref (Truth_table.create m) in
+  for idx = 0 to (1 lsl m) - 1 do
+    let sub = ref 0 in
+    Array.iteri
+      (fun v pos -> if (idx lsr pos) land 1 = 1 then sub := !sub lor (1 lsl v))
+      positions;
+    if Truth_table.get_bit table !sub then
+      result := Truth_table.set_bit !result idx true
+  done;
+  !result
+
+let is_subset a b =
+  (* Both sorted ascending. *)
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la then true
+    else if j >= lb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let filter_dominated cuts =
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun c' ->
+             c != c'
+             && Array.length c'.leaves < Array.length c.leaves
+             && is_subset c'.leaves c.leaves)
+           cuts))
+    cuts
+
+let enumerate ?(k = 4) ?(max_cuts = 12) ntk =
+  let n = Network.num_nodes ntk in
+  let cuts = Array.make n [] in
+  for id = 0 to n - 1 do
+    let computed =
+      match Network.kind ntk id with
+      | Network.Const ->
+          [ { leaves = [||]; table = Truth_table.const0 0 } ]
+      | Network.Pi _ ->
+          [ { leaves = [| id |]; table = Truth_table.var 1 0 } ]
+      | Network.And (a, b) | Network.Xor (a, b) ->
+          let na = Network.node_of_signal a
+          and nb = Network.node_of_signal b in
+          let combine ca cb acc =
+            match union_leaves k ca.leaves cb.leaves with
+            | None -> acc
+            | Some union ->
+                let m = Array.length union in
+                let ta = lift_table ca.table ca.leaves union
+                and tb = lift_table cb.table cb.leaves union in
+                let ta =
+                  if Network.is_complemented a then Truth_table.lnot ta
+                  else ta
+                and tb =
+                  if Network.is_complemented b then Truth_table.lnot tb
+                  else tb
+                in
+                let table =
+                  match Network.kind ntk id with
+                  | Network.And _ -> Truth_table.land_ ta tb
+                  | Network.Xor _ -> Truth_table.lxor_ ta tb
+                  | Network.Const | Network.Pi _ -> assert false
+                in
+                ignore m;
+                { leaves = union; table } :: acc
+          in
+          let merged =
+            List.fold_left
+              (fun acc ca ->
+                List.fold_left (fun acc cb -> combine ca cb acc) acc
+                  cuts.(nb))
+              [] cuts.(na)
+          in
+          (* Deduplicate by leaves, drop dominated cuts, keep the best. *)
+          let dedup =
+            let seen = Hashtbl.create 16 in
+            List.filter
+              (fun c ->
+                if Hashtbl.mem seen c.leaves then false
+                else begin
+                  Hashtbl.replace seen c.leaves ();
+                  true
+                end)
+              merged
+          in
+          let kept =
+            filter_dominated dedup
+            |> List.sort (fun c1 c2 ->
+                   compare (Array.length c1.leaves) (Array.length c2.leaves))
+          in
+          let rec take n = function
+            | [] -> []
+            | _ when n = 0 -> []
+            | c :: rest -> c :: take (n - 1) rest
+          in
+          take (max_cuts - 1) kept
+          @ [ { leaves = [| id |]; table = Truth_table.var 1 0 } ]
+    in
+    cuts.(id) <- computed
+  done;
+  { network = ntk; cuts }
+
+let cuts_of t id = t.cuts.(id)
+
+let cut_volume ntk _root cut =
+  let in_leaves id = Array.exists (( = ) id) cut.leaves in
+  let visited = Hashtbl.create 16 in
+  let rec count id =
+    if Hashtbl.mem visited id || in_leaves id then 0
+    else begin
+      Hashtbl.replace visited id ();
+      match Network.kind ntk id with
+      | Network.Const | Network.Pi _ -> 0
+      | Network.And (a, b) | Network.Xor (a, b) ->
+          1
+          + count (Network.node_of_signal a)
+          + count (Network.node_of_signal b)
+    end
+  in
+  count _root
+
+let mffc_size ntk fanout_counts root =
+  let counts = Array.copy fanout_counts in
+  let rec deref id =
+    match Network.kind ntk id with
+    | Network.Const | Network.Pi _ -> 0
+    | Network.And (a, b) | Network.Xor (a, b) ->
+        let size = ref 1 in
+        List.iter
+          (fun s ->
+            let f = Network.node_of_signal s in
+            counts.(f) <- counts.(f) - 1;
+            if counts.(f) = 0 then size := !size + deref f)
+          [ a; b ];
+        !size
+  in
+  deref root
+
+let pp_cut ppf c =
+  Format.fprintf ppf "{%a : %s}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list c.leaves)
+    (Truth_table.to_hex c.table)

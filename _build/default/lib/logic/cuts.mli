@@ -1,0 +1,36 @@
+(** K-feasible cut enumeration on networks.
+
+    A {e cut} of a node [n] is a set of nodes (leaves) such that every
+    path from a primary input to [n] passes through a leaf.  Cuts with at
+    most [k] leaves drive both cut rewriting (Sec. 4.2 step 2) and
+    technology mapping (step 3).  Each cut carries the local function of
+    [n] expressed over its leaves as a truth table. *)
+
+type cut = {
+  leaves : int array;  (** Leaf node ids, strictly ascending. *)
+  table : Truth_table.t;
+      (** Function of the (non-complemented) root node over the leaves;
+          variable [i] corresponds to [leaves.(i)]. *)
+}
+
+type t
+
+val enumerate : ?k:int -> ?max_cuts:int -> Network.t -> t
+(** Enumerate up to [max_cuts] (default 12) cuts of at most [k] leaves
+    (default 4) per node.  The trivial cut [{n}] is always included. *)
+
+val cuts_of : t -> int -> cut list
+(** Cuts of a node, trivial cut last. *)
+
+val network : t -> Network.t
+
+val cut_volume : Network.t -> int -> cut -> int
+(** Number of gates strictly inside the cone of the cut (between the root
+    and the leaves, root included when it is a gate). *)
+
+val mffc_size : Network.t -> int array -> int -> int
+(** [mffc_size ntk fanout_counts root] is the size of the maximum
+    fanout-free cone of [root]: the number of gates that would become
+    dangling if [root] were removed. *)
+
+val pp_cut : Format.formatter -> cut -> unit

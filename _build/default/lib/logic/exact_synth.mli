@@ -1,0 +1,44 @@
+(** SAT-based exact synthesis of XAGs for small functions.
+
+    Finds a minimum-size chain of two-input gates (each realizable as a
+    single XAG node with complemented edges) computing a given function of
+    up to 4 variables, following the classic Boolean-chain encoding used
+    by the exact-synthesis rewriting of [38].  The search iterates over
+    the number of gates, issuing one SAT instance per size, using the
+    {!Sat.Solver} substrate.
+
+    Results are the basis of the NPN database used by {!Rewrite}. *)
+
+(** A synthesized chain.  Step [i] defines an internal signal
+    [n + i] over operands indexed [0 .. n + i - 1] where indices below
+    [n] denote the chain inputs. *)
+type step = {
+  op : int;
+      (** Gate function as 3 bits [c1 c2 c3] (values 1..7, never a
+          vacuous function): the gate computes
+          [c1(!a & b) + c2(a & !b) + c3(a & b)]. *)
+  fanin1 : int;
+  fanin2 : int;
+}
+
+type chain = {
+  arity : int;
+  steps : step array;
+  output : int;  (** Index of the output operand. *)
+  output_complement : bool;
+}
+
+val synthesize : ?max_gates:int -> Truth_table.t -> chain option
+(** Minimum-size chain for the given function (up to 4 variables),
+    or [None] if none exists within [max_gates] (default 7).
+    @raise Invalid_argument above 4 variables. *)
+
+val instantiate :
+  chain -> Network.t -> Network.signal array -> Network.signal
+(** Build the chain inside a network on the given leaf signals (length
+    must equal [arity]); returns the output signal. *)
+
+val chain_table : chain -> Truth_table.t
+(** Simulate a chain back into a truth table (for validation). *)
+
+val chain_size : chain -> int

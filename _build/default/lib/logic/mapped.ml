@@ -1,0 +1,239 @@
+type fn = And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Inv | Buf | Ha
+
+type source = int * int
+
+type node = Input of int * string | Gate of fn * source array
+
+type t = {
+  mutable nodes : node array;
+  mutable node_count : int;
+  mutable inputs : int list;  (* node ids, reversed *)
+  mutable input_count : int;
+  mutable outputs : (string * source) list;  (* reversed *)
+  mutable output_count : int;
+}
+
+let create () =
+  {
+    nodes = Array.make 32 (Input (0, ""));
+    node_count = 0;
+    inputs = [];
+    input_count = 0;
+    outputs = [];
+    output_count = 0;
+  }
+
+let fn_arity = function
+  | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Ha -> 2
+  | Inv | Buf -> 1
+
+let fn_outputs = function
+  | Ha -> 2
+  | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Inv | Buf -> 1
+
+let fn_name = function
+  | And2 -> "AND"
+  | Or2 -> "OR"
+  | Nand2 -> "NAND"
+  | Nor2 -> "NOR"
+  | Xor2 -> "XOR"
+  | Xnor2 -> "XNOR"
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Ha -> "HA"
+
+let push_node t n =
+  if t.node_count >= Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) (Input (0, "")) in
+    Array.blit t.nodes 0 bigger 0 t.node_count;
+    t.nodes <- bigger
+  end;
+  t.nodes.(t.node_count) <- n;
+  t.node_count <- t.node_count + 1;
+  t.node_count - 1
+
+let add_input t name =
+  let id = push_node t (Input (t.input_count, name)) in
+  t.inputs <- id :: t.inputs;
+  t.input_count <- t.input_count + 1;
+  (id, 0)
+
+let add_gate t fn fanins =
+  if List.length fanins <> fn_arity fn then
+    invalid_arg
+      (Printf.sprintf "Mapped.add_gate: %s expects %d fanins" (fn_name fn)
+         (fn_arity fn));
+  List.iter
+    (fun (id, port) ->
+      if id < 0 || id >= t.node_count then
+        invalid_arg "Mapped.add_gate: unknown fanin node";
+      let max_port =
+        match t.nodes.(id) with
+        | Input _ -> 1
+        | Gate (g, _) -> fn_outputs g
+      in
+      if port < 0 || port >= max_port then
+        invalid_arg "Mapped.add_gate: invalid fanin port")
+    fanins;
+  let id = push_node t (Gate (fn, Array.of_list fanins)) in
+  (id, 0)
+
+let add_output t name src =
+  t.outputs <- (name, src) :: t.outputs;
+  t.output_count <- t.output_count + 1
+
+let node t id =
+  if id < 0 || id >= t.node_count then
+    invalid_arg (Printf.sprintf "Mapped.node: %d" id)
+  else t.nodes.(id)
+
+let num_nodes t = t.node_count
+let num_inputs t = t.input_count
+let num_outputs t = t.output_count
+let num_gates t = t.node_count - t.input_count
+
+let outputs t = List.rev t.outputs
+
+let output t i =
+  match List.nth_opt (outputs t) i with
+  | Some o -> o
+  | None -> invalid_arg (Printf.sprintf "Mapped.output: %d" i)
+
+let input_name t i =
+  let rec find = function
+    | [] -> invalid_arg (Printf.sprintf "Mapped.input_name: %d" i)
+    | id :: rest -> (
+        match t.nodes.(id) with
+        | Input (j, name) when j = i -> name
+        | Input _ | Gate _ -> find rest)
+  in
+  find (List.rev t.inputs)
+
+let all_fns = [ And2; Or2; Nand2; Nor2; Xor2; Xnor2; Inv; Buf; Ha ]
+
+let gate_counts t =
+  let counts = Hashtbl.create 16 in
+  for id = 0 to t.node_count - 1 do
+    match t.nodes.(id) with
+    | Input _ -> ()
+    | Gate (fn, _) ->
+        Hashtbl.replace counts fn
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts fn))
+  done;
+  List.map (fun fn -> (fn, Option.value ~default:0 (Hashtbl.find_opt counts fn))) all_fns
+
+let eval_fn fn args =
+  match (fn, args) with
+  | And2, [| a; b |] -> [| a && b |]
+  | Or2, [| a; b |] -> [| a || b |]
+  | Nand2, [| a; b |] -> [| not (a && b) |]
+  | Nor2, [| a; b |] -> [| not (a || b) |]
+  | Xor2, [| a; b |] -> [| a <> b |]
+  | Xnor2, [| a; b |] -> [| a = b |]
+  | Inv, [| a |] -> [| not a |]
+  | Buf, [| a |] -> [| a |]
+  | Ha, [| a; b |] -> [| a <> b; a && b |]
+  | _ -> invalid_arg "Mapped.eval_fn: arity mismatch"
+
+(* Generic simulation: values indexed by (node, port). *)
+let simulate_generic (type a) t ~(pi_value : int -> a)
+    ~(apply : fn -> a array -> a array) : source -> a =
+  let values = Array.make t.node_count [||] in
+  for id = 0 to t.node_count - 1 do
+    values.(id) <-
+      (match t.nodes.(id) with
+      | Input (i, _) -> [| pi_value i |]
+      | Gate (fn, fanins) ->
+          apply fn
+            (Array.map (fun (nid, port) -> values.(nid).(port)) fanins))
+  done;
+  fun (id, port) -> values.(id).(port)
+
+let eval t assignment =
+  if Array.length assignment <> t.input_count then
+    invalid_arg "Mapped.eval: assignment length mismatch";
+  let value =
+    simulate_generic t ~pi_value:(fun i -> assignment.(i)) ~apply:eval_fn
+  in
+  Array.of_list (List.map (fun (_, src) -> value src) (outputs t))
+
+let simulate t =
+  let n = t.input_count in
+  if n > 20 then invalid_arg "Mapped.simulate: more than 20 inputs";
+  let apply fn args =
+    match (fn, args) with
+    | And2, [| a; b |] -> [| Truth_table.land_ a b |]
+    | Or2, [| a; b |] -> [| Truth_table.lor_ a b |]
+    | Nand2, [| a; b |] -> [| Truth_table.lnot (Truth_table.land_ a b) |]
+    | Nor2, [| a; b |] -> [| Truth_table.lnot (Truth_table.lor_ a b) |]
+    | Xor2, [| a; b |] -> [| Truth_table.lxor_ a b |]
+    | Xnor2, [| a; b |] -> [| Truth_table.lnot (Truth_table.lxor_ a b) |]
+    | Inv, [| a |] -> [| Truth_table.lnot a |]
+    | Buf, [| a |] -> [| a |]
+    | Ha, [| a; b |] -> [| Truth_table.lxor_ a b; Truth_table.land_ a b |]
+    | _ -> invalid_arg "Mapped.simulate: arity mismatch"
+  in
+  let value =
+    simulate_generic t ~pi_value:(fun i -> Truth_table.var n i) ~apply
+  in
+  Array.of_list (List.map (fun (_, src) -> value src) (outputs t))
+
+let to_network t =
+  let ntk = Network.create () in
+  let pis = Array.make (max 1 t.input_count) Network.const0 in
+  for id = 0 to t.node_count - 1 do
+    match t.nodes.(id) with
+    | Input (i, name) -> pis.(i) <- Network.pi ntk name
+    | Gate _ -> ()
+  done;
+  let values = Array.make t.node_count [||] in
+  for id = 0 to t.node_count - 1 do
+    values.(id) <-
+      (match t.nodes.(id) with
+      | Input (i, _) -> [| pis.(i) |]
+      | Gate (fn, fanins) -> (
+          let v (nid, port) = values.(nid).(port) in
+          match (fn, fanins) with
+          | And2, [| a; b |] -> [| Network.and_ ntk (v a) (v b) |]
+          | Or2, [| a; b |] -> [| Network.or_ ntk (v a) (v b) |]
+          | Nand2, [| a; b |] -> [| Network.nand_ ntk (v a) (v b) |]
+          | Nor2, [| a; b |] -> [| Network.nor_ ntk (v a) (v b) |]
+          | Xor2, [| a; b |] -> [| Network.xor_ ntk (v a) (v b) |]
+          | Xnor2, [| a; b |] -> [| Network.xnor_ ntk (v a) (v b) |]
+          | Inv, [| a |] -> [| Network.not_ (v a) |]
+          | Buf, [| a |] -> [| v a |]
+          | Ha, [| a; b |] ->
+              [| Network.xor_ ntk (v a) (v b); Network.and_ ntk (v a) (v b) |]
+          | _ -> assert false))
+  done;
+  List.iter
+    (fun (name, (nid, port)) -> Network.po ntk name values.(nid).(port))
+    (outputs t);
+  ntk
+
+let depth t =
+  let levels = Array.make t.node_count 0 in
+  for id = 0 to t.node_count - 1 do
+    match t.nodes.(id) with
+    | Input _ -> levels.(id) <- 0
+    | Gate (fn, fanins) ->
+        let m =
+          Array.fold_left (fun acc (nid, _) -> max acc levels.(nid)) 0 fanins
+        in
+        (* Buffers are wires on the layout; they still occupy a tile, so
+           they count toward depth. *)
+        ignore fn;
+        levels.(id) <- m + 1
+  done;
+  List.fold_left
+    (fun acc (_, (nid, _)) -> max acc levels.(nid))
+    0 (outputs t)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "i/o=%d/%d gates=%d depth=%d [%s]" t.input_count
+    t.output_count (num_gates t) (depth t)
+    (String.concat " "
+       (List.filter_map
+          (fun (fn, c) ->
+            if c = 0 then None else Some (Printf.sprintf "%s:%d" (fn_name fn) c))
+          (gate_counts t)))

@@ -1,0 +1,71 @@
+(** Technology-mapped netlists over the Bestagon gate set.
+
+    After technology mapping (flow step 3), logic is expressed as a DAG
+    of library gates with {e explicit} inverters and no complemented
+    edges, ready for placement and routing onto hexagonal tiles.  The
+    two-output half adder corresponds to the paper's single-tile
+    2-in-2-out half-adder Bestagon tile. *)
+
+(** Library gate functions (cf. Sec. 4.1: wires, inverters, fan-outs and
+    crossings are layout-level tiles and do not appear here). *)
+type fn =
+  | And2
+  | Or2
+  | Nand2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | Inv
+  | Buf
+  | Ha  (** Half adder: output port 0 is the sum, port 1 the carry. *)
+
+type source = int * int
+(** A value reference: node id and output port (0 except for [Ha]). *)
+
+type node =
+  | Input of int * string  (** Primary input index and name. *)
+  | Gate of fn * source array
+
+type t
+
+val create : unit -> t
+val add_input : t -> string -> source
+val add_gate : t -> fn -> source list -> source
+(** Returns port 0 of the new gate.  @raise Invalid_argument on arity
+    mismatch. *)
+
+val add_output : t -> string -> source -> unit
+
+val node : t -> int -> node
+val num_nodes : t -> int
+val num_inputs : t -> int
+val num_outputs : t -> int
+val num_gates : t -> int
+
+val output : t -> int -> string * source
+val outputs : t -> (string * source) list
+val input_name : t -> int -> string
+
+val fn_arity : fn -> int
+val fn_outputs : fn -> int
+val fn_name : fn -> string
+
+val gate_counts : t -> (fn * int) list
+(** Histogram of gate functions used, in a fixed order. *)
+
+val eval_fn : fn -> bool array -> bool array
+(** Semantics of a gate function. *)
+
+val eval : t -> bool array -> bool array
+(** Evaluate the netlist on one input assignment. *)
+
+val simulate : t -> Truth_table.t array
+(** One truth table per output over all inputs (inputs limited to 20). *)
+
+val to_network : t -> Network.t
+(** Convert back into an XAG (for equivalence checking). *)
+
+val depth : t -> int
+(** Longest input-to-output path in gates. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,374 @@
+type signal = int
+(* Node id shifted left once; lowest bit is the complement flag. *)
+
+type kind =
+  | Const
+  | Pi of int
+  | And of signal * signal
+  | Xor of signal * signal
+
+type node = { kind : kind; level : int }
+
+type t = {
+  mutable nodes : node array;
+  mutable node_count : int;
+  strash : (int * int * int, int) Hashtbl.t;
+      (* (tag, fanin0, fanin1) -> node id; tag 0 = And, 1 = Xor *)
+  mutable pis : (string * int) list;  (* reversed *)
+  mutable pi_count : int;
+  mutable pos : (string * signal) array;
+  mutable po_count : int;
+}
+
+let const0 : signal = 0
+let const1 : signal = 1
+
+let node_of_signal s = s lsr 1
+let is_complemented s = s land 1 = 1
+
+let signal_of_node ?(complement = false) id =
+  (id lsl 1) lor (if complement then 1 else 0)
+
+let equal_signal (a : signal) (b : signal) = a = b
+let compare_signal (a : signal) (b : signal) = compare a b
+let not_ s = s lxor 1
+
+let create () =
+  {
+    nodes = Array.make 64 { kind = Const; level = 0 };
+    node_count = 1;
+    strash = Hashtbl.create 256;
+    pis = [];
+    pi_count = 0;
+    pos = Array.make 8 ("", 0);
+    po_count = 0;
+  }
+
+let ensure_node_capacity t =
+  if t.node_count >= Array.length t.nodes then begin
+    let bigger =
+      Array.make (2 * Array.length t.nodes) { kind = Const; level = 0 }
+    in
+    Array.blit t.nodes 0 bigger 0 t.node_count;
+    t.nodes <- bigger
+  end
+
+let add_node t kind level =
+  ensure_node_capacity t;
+  let id = t.node_count in
+  t.nodes.(id) <- { kind; level };
+  t.node_count <- id + 1;
+  id
+
+let pi t name =
+  let id = add_node t (Pi t.pi_count) 0 in
+  t.pis <- (name, id) :: t.pis;
+  t.pi_count <- t.pi_count + 1;
+  signal_of_node id
+
+let po t name s =
+  if t.po_count >= Array.length t.pos then begin
+    let bigger = Array.make (2 * Array.length t.pos) ("", 0) in
+    Array.blit t.pos 0 bigger 0 t.po_count;
+    t.pos <- bigger
+  end;
+  t.pos.(t.po_count) <- (name, s);
+  t.po_count <- t.po_count + 1
+
+let level_of_signal t s = t.nodes.(node_of_signal s).level
+
+let strash_lookup t tag a b =
+  match Hashtbl.find_opt t.strash (tag, a, b) with
+  | Some id -> Some (signal_of_node id)
+  | None -> None
+
+let strash_insert t tag a b id = Hashtbl.replace t.strash (tag, a, b) id
+
+let and_ t a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = const0 then const0
+  else if a = const1 then b
+  else if a = b then a
+  else if a = not_ b then const0
+  else
+    match strash_lookup t 0 a b with
+    | Some s -> s
+    | None ->
+        let level = 1 + max (level_of_signal t a) (level_of_signal t b) in
+        let id = add_node t (And (a, b)) level in
+        strash_insert t 0 a b id;
+        signal_of_node id
+
+(* XOR complements are pulled out of the node so that structurally equal
+   XORs are always shared: xor(!a, b) = !xor(a, b). *)
+let xor_ t a b =
+  let parity = (a land 1) lxor (b land 1) in
+  let a = a land lnot 1 and b = b land lnot 1 in
+  let a, b = if a <= b then (a, b) else (b, a) in
+  let result =
+    if a = const0 then b
+    else if a = b then const0
+    else
+      match strash_lookup t 1 a b with
+      | Some s -> s
+      | None ->
+          let level = 1 + max (level_of_signal t a) (level_of_signal t b) in
+          let id = add_node t (Xor (a, b)) level in
+          strash_insert t 1 a b id;
+          signal_of_node id
+  in
+  result lxor parity
+
+let or_ t a b = not_ (and_ t (not_ a) (not_ b))
+let nand_ t a b = not_ (and_ t a b)
+let nor_ t a b = not_ (or_ t a b)
+let xnor_ t a b = not_ (xor_ t a b)
+
+let mux t ~sel ~f ~t_ = or_ t (and_ t sel t_) (and_ t (not_ sel) f)
+
+let maj3 t a b c =
+  xor_ t (xor_ t (and_ t a b) (and_ t a c)) (and_ t b c)
+
+let full_adder t a b cin =
+  let sum = xor_ t (xor_ t a b) cin in
+  let carry = maj3 t a b cin in
+  (sum, carry)
+
+let kind t id =
+  if id < 0 || id >= t.node_count then
+    invalid_arg (Printf.sprintf "Network.kind: node %d" id)
+  else t.nodes.(id).kind
+
+let num_nodes t = t.node_count
+let num_pis t = t.pi_count
+let num_pos t = t.po_count
+
+let num_ands t =
+  let c = ref 0 in
+  for id = 0 to t.node_count - 1 do
+    match t.nodes.(id).kind with
+    | And _ -> incr c
+    | Const | Pi _ | Xor _ -> ()
+  done;
+  !c
+
+let num_xors t =
+  let c = ref 0 in
+  for id = 0 to t.node_count - 1 do
+    match t.nodes.(id).kind with
+    | Xor _ -> incr c
+    | Const | Pi _ | And _ -> ()
+  done;
+  !c
+
+let num_gates t = num_ands t + num_xors t
+
+let pi_list t = List.rev t.pis
+
+let pi_name t i =
+  match List.nth_opt (pi_list t) i with
+  | Some (name, _) -> name
+  | None -> invalid_arg (Printf.sprintf "Network.pi_name: %d" i)
+
+let pi_signal t i =
+  match List.nth_opt (pi_list t) i with
+  | Some (_, id) -> signal_of_node id
+  | None -> invalid_arg (Printf.sprintf "Network.pi_signal: %d" i)
+
+let po_name t i =
+  if i < 0 || i >= t.po_count then
+    invalid_arg (Printf.sprintf "Network.po_name: %d" i)
+  else fst t.pos.(i)
+
+let po_signal t i =
+  if i < 0 || i >= t.po_count then
+    invalid_arg (Printf.sprintf "Network.po_signal: %d" i)
+  else snd t.pos.(i)
+
+let pos t = List.init t.po_count (fun i -> t.pos.(i))
+
+let set_po_signal t i s =
+  if i < 0 || i >= t.po_count then
+    invalid_arg (Printf.sprintf "Network.set_po_signal: %d" i)
+  else t.pos.(i) <- (fst t.pos.(i), s)
+
+let fanins t id =
+  match kind t id with
+  | Const | Pi _ -> []
+  | And (a, b) | Xor (a, b) -> [ a; b ]
+
+let level t id = t.nodes.(id).level
+
+let depth t =
+  let d = ref 0 in
+  for i = 0 to t.po_count - 1 do
+    d := max !d (level_of_signal t (snd t.pos.(i)))
+  done;
+  !d
+
+let gates t =
+  let result = ref [] in
+  for id = t.node_count - 1 downto 0 do
+    match t.nodes.(id).kind with
+    | And _ | Xor _ -> result := id :: !result
+    | Const | Pi _ -> ()
+  done;
+  !result
+
+let fanout_counts t =
+  let counts = Array.make t.node_count 0 in
+  let touch s = counts.(node_of_signal s) <- counts.(node_of_signal s) + 1 in
+  for id = 0 to t.node_count - 1 do
+    match t.nodes.(id).kind with
+    | And (a, b) | Xor (a, b) -> touch a; touch b
+    | Const | Pi _ -> ()
+  done;
+  for i = 0 to t.po_count - 1 do
+    touch (snd t.pos.(i))
+  done;
+  counts
+
+(* Generic simulation over an arbitrary value domain. *)
+let simulate_generic (type a) t ~(const0 : a) ~(pi_value : int -> a)
+    ~(and_op : a -> a -> a) ~(xor_op : a -> a -> a) ~(not_op : a -> a) :
+    signal -> a =
+  let values = Array.make t.node_count const0 in
+  for id = 0 to t.node_count - 1 do
+    values.(id) <-
+      (match t.nodes.(id).kind with
+      | Const -> const0
+      | Pi i -> pi_value i
+      | And (a, b) ->
+          let va = values.(node_of_signal a)
+          and vb = values.(node_of_signal b) in
+          and_op
+            (if is_complemented a then not_op va else va)
+            (if is_complemented b then not_op vb else vb)
+      | Xor (a, b) ->
+          let va = values.(node_of_signal a)
+          and vb = values.(node_of_signal b) in
+          xor_op
+            (if is_complemented a then not_op va else va)
+            (if is_complemented b then not_op vb else vb))
+  done;
+  fun s ->
+    let v = values.(node_of_signal s) in
+    if is_complemented s then not_op v else v
+
+let tt_simulator t =
+  let n = t.pi_count in
+  if n > 20 then
+    invalid_arg "Network.simulate: more than 20 primary inputs";
+  simulate_generic t
+    ~const0:(Truth_table.const0 n)
+    ~pi_value:(fun i -> Truth_table.var n i)
+    ~and_op:Truth_table.land_ ~xor_op:Truth_table.lxor_
+    ~not_op:Truth_table.lnot
+
+let simulate t =
+  let value_of = tt_simulator t in
+  Array.init t.po_count (fun i -> value_of (snd t.pos.(i)))
+
+let simulate_signal t s = (tt_simulator t) s
+
+let eval t assignment =
+  if Array.length assignment <> t.pi_count then
+    invalid_arg "Network.eval: assignment length mismatch";
+  let value_of =
+    simulate_generic t ~const0:false
+      ~pi_value:(fun i -> assignment.(i))
+      ~and_op:( && )
+      ~xor_op:(fun a b -> a <> b)
+      ~not_op:not
+  in
+  Array.init t.po_count (fun i -> value_of (snd t.pos.(i)))
+
+let signature t ~seed =
+  let state = Random.State.make [| seed |] in
+  let inputs =
+    Array.init t.pi_count (fun _ -> Random.State.int64 state Int64.max_int)
+  in
+  let value_of =
+    simulate_generic t ~const0:0L
+      ~pi_value:(fun i -> inputs.(i))
+      ~and_op:Int64.logand ~xor_op:Int64.logxor ~not_op:Int64.lognot
+  in
+  Array.init t.po_count (fun i -> value_of (snd t.pos.(i)))
+
+(* Copy only nodes reachable from the outputs; PIs are preserved
+   positionally even when dangling, so that network interfaces stay
+   stable. *)
+let cleanup t =
+  let reachable = Array.make t.node_count false in
+  let rec mark id =
+    if not reachable.(id) then begin
+      reachable.(id) <- true;
+      List.iter (fun s -> mark (node_of_signal s)) (fanins t id)
+    end
+  in
+  reachable.(0) <- true;
+  for i = 0 to t.po_count - 1 do
+    mark (node_of_signal (snd t.pos.(i)))
+  done;
+  let fresh = create () in
+  let pi_map = Array.make t.pi_count const0 in
+  List.iteri (fun i (name, _) -> pi_map.(i) <- pi fresh name) (pi_list t);
+  let mapping = Array.make t.node_count (-1) in
+  let map_signal s = mapping.(node_of_signal s) lxor (s land 1) in
+  mapping.(0) <- const0;
+  for id = 0 to t.node_count - 1 do
+    if reachable.(id) then
+      match t.nodes.(id).kind with
+      | Const -> ()
+      | Pi i -> mapping.(id) <- pi_map.(i)
+      | And (a, b) ->
+          mapping.(id) <- and_ fresh (map_signal a) (map_signal b)
+      | Xor (a, b) ->
+          mapping.(id) <- xor_ fresh (map_signal a) (map_signal b)
+    else
+      match t.nodes.(id).kind with
+      | Pi i -> mapping.(id) <- pi_map.(i)
+      | Const | And _ | Xor _ -> ()
+  done;
+  for i = 0 to t.po_count - 1 do
+    let name, s = t.pos.(i) in
+    po fresh name (map_signal s)
+  done;
+  fresh
+
+let to_aig t =
+  let fresh = create () in
+  let pi_map = Array.make t.pi_count const0 in
+  List.iteri (fun i (name, _) -> pi_map.(i) <- pi fresh name) (pi_list t);
+  let mapping = Array.make t.node_count (-1) in
+  let map_signal s = mapping.(node_of_signal s) lxor (s land 1) in
+  mapping.(0) <- const0;
+  for id = 0 to t.node_count - 1 do
+    match t.nodes.(id).kind with
+    | Const -> ()
+    | Pi i -> mapping.(id) <- pi_map.(i)
+    | And (a, b) -> mapping.(id) <- and_ fresh (map_signal a) (map_signal b)
+    | Xor (a, b) ->
+        let a = map_signal a and b = map_signal b in
+        (* a XOR b = NOT (NOT (a AND NOT b) AND NOT (NOT a AND b)) *)
+        let l = and_ fresh a (not_ b) and r = and_ fresh (not_ a) b in
+        mapping.(id) <- not_ (and_ fresh (not_ l) (not_ r))
+  done;
+  for i = 0 to t.po_count - 1 do
+    let name, s = t.pos.(i) in
+    po fresh name (map_signal s)
+  done;
+  fresh
+
+let copy t =
+  {
+    t with
+    nodes = Array.copy t.nodes;
+    strash = Hashtbl.copy t.strash;
+    pos = Array.copy t.pos;
+  }
+
+let pp_stats ppf t =
+  Format.fprintf ppf "i/o=%d/%d gates=%d (and=%d xor=%d) depth=%d"
+    (num_pis t) (num_pos t) (num_gates t) (num_ands t) (num_xors t)
+    (depth t)

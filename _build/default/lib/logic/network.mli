@@ -1,0 +1,124 @@
+(** XOR-AND-inverter graphs (XAGs).
+
+    The network is a DAG of two-input [And] and [Xor] nodes over primary
+    inputs and the constant, with complemented edges (signals).  Inverters
+    are free (edge attributes), matching the paper's choice of XAGs as the
+    logic representation (Sec. 4.2).  An AIG is the special case without
+    [Xor] nodes; {!to_aig} converts by expanding each XOR into three ANDs.
+
+    Nodes are created through structurally hashing smart constructors that
+    perform constant propagation and trivial simplifications, so the node
+    numbering is always topological: fanins have smaller ids. *)
+
+type t
+
+(** A signal is a reference to a node together with a complement flag. *)
+type signal
+
+type kind =
+  | Const  (** The constant-0 node (always node 0). *)
+  | Pi of int  (** Primary input with its index. *)
+  | And of signal * signal
+  | Xor of signal * signal
+
+val create : unit -> t
+
+val const0 : signal
+val const1 : signal
+
+val pi : t -> string -> signal
+(** Append a primary input with the given name. *)
+
+val po : t -> string -> signal -> unit
+(** Append a primary output driving the given signal. *)
+
+val not_ : signal -> signal
+val and_ : t -> signal -> signal -> signal
+val or_ : t -> signal -> signal -> signal
+val nand_ : t -> signal -> signal -> signal
+val nor_ : t -> signal -> signal -> signal
+val xor_ : t -> signal -> signal -> signal
+val xnor_ : t -> signal -> signal -> signal
+
+val mux : t -> sel:signal -> f:signal -> t_:signal -> signal
+(** [mux n ~sel ~f ~t_] is [t_] when [sel] is 1, else [f]. *)
+
+val maj3 : t -> signal -> signal -> signal -> signal
+(** Three-input majority, built from AND/XOR nodes:
+    [maj3 a b c = (a&b) ^ (a&c) ^ (b&c)]. *)
+
+val full_adder : t -> signal -> signal -> signal -> signal * signal
+(** [full_adder n a b cin] is [(sum, carry)]. *)
+
+(** {2 Signals and nodes} *)
+
+val node_of_signal : signal -> int
+val is_complemented : signal -> bool
+val signal_of_node : ?complement:bool -> int -> signal
+val equal_signal : signal -> signal -> bool
+val compare_signal : signal -> signal -> int
+
+val kind : t -> int -> kind
+val num_nodes : t -> int
+(** Total nodes including constant and PIs. *)
+
+val num_pis : t -> int
+val num_pos : t -> int
+val num_gates : t -> int
+(** AND plus XOR nodes. *)
+
+val num_ands : t -> int
+val num_xors : t -> int
+
+val pi_name : t -> int -> string
+(** Name of the [i]-th primary input. *)
+
+val pi_signal : t -> int -> signal
+
+val po_name : t -> int -> string
+val po_signal : t -> int -> signal
+val pos : t -> (string * signal) list
+val set_po_signal : t -> int -> signal -> unit
+
+val fanins : t -> int -> signal list
+(** Fanin signals of a node ([[]] for PIs and the constant). *)
+
+val depth : t -> int
+(** Longest PI-to-PO path counted in gates. *)
+
+val level : t -> int -> int
+(** Gate depth of a node. *)
+
+val gates : t -> int list
+(** Ids of all AND/XOR nodes in topological order. *)
+
+val fanout_counts : t -> int array
+(** Number of references to each node from gate fanins and outputs. *)
+
+(** {2 Simulation} *)
+
+val simulate : t -> Truth_table.t array
+(** Complete simulation: one truth table over [num_pis] variables per
+    primary output.  @raise Invalid_argument when [num_pis > 20]. *)
+
+val simulate_signal : t -> signal -> Truth_table.t
+
+val eval : t -> bool array -> bool array
+(** Evaluate all outputs on one input assignment. *)
+
+val signature : t -> seed:int -> int64 array
+(** 64-bit random-simulation signature per output: a cheap necessary
+    condition for equivalence used in tests. *)
+
+(** {2 Transformations} *)
+
+val cleanup : t -> t
+(** Copy, keeping only nodes reachable from the outputs (dangling nodes
+    are dropped; structural hashing may further merge). *)
+
+val to_aig : t -> t
+(** Expand every XOR node into three AND nodes. *)
+
+val copy : t -> t
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+type transform = { perm : int array; input_flips : int; output_flip : bool }
+
+let permutations n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest ->
+        (x :: y :: rest)
+        :: List.map (fun l -> y :: l) (insert_everywhere x rest)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert_everywhere x) (perms rest)
+  in
+  List.map Array.of_list (perms (List.init n (fun i -> i)))
+
+let apply_input_flips f mask =
+  let n = Truth_table.num_vars f in
+  let r = ref f in
+  for i = 0 to n - 1 do
+    if (mask lsr i) land 1 = 1 then r := Truth_table.flip_var !r i
+  done;
+  !r
+
+let apply_transform f t =
+  let flipped = apply_input_flips f t.input_flips in
+  let permuted = Truth_table.permute flipped t.perm in
+  if t.output_flip then Truth_table.lnot permuted else permuted
+
+(* Exhaustive minimization over all 2^n * n! * 2 transforms.  Memoized per
+   truth table since rewriting canonizes the same cut functions
+   repeatedly. *)
+let cache : (Truth_table.t, Truth_table.t * transform) Hashtbl.t =
+  Hashtbl.create 1024
+
+let canonize f =
+  match Hashtbl.find_opt cache f with
+  | Some result -> result
+  | None ->
+      let n = Truth_table.num_vars f in
+      let perms = permutations n in
+      let best = ref None in
+      let consider tt transform =
+        match !best with
+        | None -> best := Some (tt, transform)
+        | Some (b, _) ->
+            if Truth_table.compare tt b < 0 then best := Some (tt, transform)
+      in
+      List.iter
+        (fun perm ->
+          for input_flips = 0 to (1 lsl n) - 1 do
+            let base =
+              Truth_table.permute (apply_input_flips f input_flips) perm
+            in
+            consider base { perm; input_flips; output_flip = false };
+            consider (Truth_table.lnot base)
+              { perm; input_flips; output_flip = true }
+          done)
+        perms;
+      let result =
+        match !best with
+        | Some r -> r
+        | None -> assert false (* there is at least the identity *)
+      in
+      Hashtbl.replace cache f result;
+      result
+
+let canonical f = fst (canonize f)
+
+let input_assignment t j =
+  (* Input [j] of the canonical implementation corresponds to original
+     variable [i] with [perm.(i) = j]; it must be complemented when the
+     original variable was flipped before permutation. *)
+  let n = Array.length t.perm in
+  let rec find i =
+    if i >= n then invalid_arg "Npn.input_assignment: index out of range"
+    else if t.perm.(i) = j then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (i, (t.input_flips lsr i) land 1 = 1)
+
+let output_negated t = t.output_flip
+
+(* Counting classes by canonizing every function would apply ~768
+   transforms to each of the 2^2^n functions; enumerating whole orbits
+   instead visits every function exactly once. *)
+let class_count n =
+  if n > 4 then invalid_arg "Npn.class_count: enumeration above n = 4"
+  else begin
+    let bits = 1 lsl n in
+    let visited = Array.make (1 lsl bits) false in
+    let perms = permutations n in
+    let classes = ref 0 in
+    for v = 0 to (1 lsl bits) - 1 do
+      if not visited.(v) then begin
+        incr classes;
+        let f = Truth_table.of_bits n (Int64.of_int v) in
+        List.iter
+          (fun perm ->
+            for input_flips = 0 to (1 lsl n) - 1 do
+              let base =
+                Truth_table.permute (apply_input_flips f input_flips) perm
+              in
+              let mark tt =
+                visited.(Int64.to_int (Truth_table.to_bits tt)) <- true
+              in
+              mark base;
+              mark (Truth_table.lnot base)
+            done)
+          perms
+      end
+    done;
+    !classes
+  end

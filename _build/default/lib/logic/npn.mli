@@ -1,0 +1,46 @@
+(** NPN canonization of Boolean functions.
+
+    Two functions belong to the same NPN class when one can be obtained
+    from the other by negating inputs (N), permuting inputs (P), and
+    negating the output (N).  The canonical representative of a class is
+    the lexicographically smallest truth table reachable by such
+    transformations (exhaustive search; intended for up to 5 variables,
+    the rewriting flow uses up to 4).
+
+    The recorded transform allows an implementation of the canonical
+    function to be re-instantiated for any class member; see
+    {!input_assignment}. *)
+
+type transform = {
+  perm : int array;  (** [perm.(i)] is the canonical variable fed by original variable [i]. *)
+  input_flips : int;  (** Bit [i] set: original variable [i] is complemented first. *)
+  output_flip : bool;  (** Whether the output is complemented last. *)
+}
+
+val canonize : Truth_table.t -> Truth_table.t * transform
+(** [canonize f] is [(c, t)] where [c] is the canonical representative of
+    [f]'s NPN class and [t] the transform such that
+    [apply_transform f t = c]. *)
+
+val apply_transform : Truth_table.t -> transform -> Truth_table.t
+
+val canonical : Truth_table.t -> Truth_table.t
+(** Only the representative. *)
+
+val input_assignment : transform -> int -> int * bool
+(** [input_assignment t j] describes what to feed into input [j] of an
+    implementation of the {e canonical} function in order to realize the
+    original function: the pair [(i, neg)] means "original input [i],
+    complemented iff [neg]".  The implementation's output must additionally
+    be complemented iff [t.output_flip]. *)
+
+val output_negated : transform -> bool
+
+val class_count : int -> int
+(** Number of distinct NPN classes of functions over exactly the given
+    number of variables or fewer (i.e. over all [2^2^n] functions).
+    Computed by enumeration; intended for [n <= 4] (222 classes at n = 4,
+    in line with the classic result). *)
+
+val permutations : int -> int array list
+(** All permutations of [0 .. n-1]; exposed for tests. *)

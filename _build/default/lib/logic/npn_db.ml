@@ -1,0 +1,61 @@
+type t = {
+  max_gates : int;
+  table : (Truth_table.t, Exact_synth.chain option) Hashtbl.t;
+}
+
+let create ?(max_gates = 7) () = { max_gates; table = Hashtbl.create 256 }
+
+let chain_for db canonical =
+  match Hashtbl.find_opt db.table canonical with
+  | Some cached -> cached
+  | None ->
+      let result =
+        Exact_synth.synthesize ~max_gates:db.max_gates canonical
+      in
+      (* Validate the synthesized chain before trusting it. *)
+      let result =
+        match result with
+        | Some chain
+          when Truth_table.equal (Exact_synth.chain_table chain) canonical
+          ->
+            Some chain
+        | Some _ -> None
+        | None -> None
+      in
+      Hashtbl.replace db.table canonical result;
+      result
+
+let lookup db f =
+  let canonical, transform = Npn.canonize f in
+  match chain_for db canonical with
+  | None -> None
+  | Some chain -> Some (chain, transform)
+
+let instantiate db f ntk leaves =
+  match lookup db f with
+  | None -> None
+  | Some (chain, transform) ->
+      let n = Truth_table.num_vars f in
+      if Array.length leaves <> n then
+        invalid_arg "Npn_db.instantiate: leaf count mismatch";
+      (* Input j of the canonical chain is fed by original variable i,
+         possibly complemented. *)
+      let chain_inputs =
+        Array.init n (fun j ->
+            let i, neg = Npn.input_assignment transform j in
+            if neg then Network.not_ leaves.(i) else leaves.(i))
+      in
+      let out = Exact_synth.instantiate chain ntk chain_inputs in
+      Some (if Npn.output_negated transform then Network.not_ out else out)
+
+let optimal_size db f =
+  match lookup db f with
+  | None -> None
+  | Some (chain, _) -> Some (Exact_synth.chain_size chain)
+
+let classes_cached db = Hashtbl.length db.table
+
+let misses db =
+  Hashtbl.fold
+    (fun _ v acc -> match v with None -> acc + 1 | Some _ -> acc)
+    db.table 0

@@ -1,0 +1,34 @@
+(** Lazily built exact NPN database.
+
+    Maps NPN-canonical truth tables (up to 4 variables) to minimum-size
+    XAG chains found by {!Exact_synth}.  The database is filled on demand
+    and memoized for the lifetime of the process, replacing the
+    precomputed database shipped with mockturtle-based flows [38]. *)
+
+type t
+
+val create : ?max_gates:int -> unit -> t
+(** [max_gates] (default 7) bounds the synthesis search per class. *)
+
+val lookup : t -> Truth_table.t -> (Exact_synth.chain * Npn.transform) option
+(** Optimal chain for the {e canonical} form of the given function
+    together with the transform mapping the function onto its canonical
+    form (see {!Npn.input_assignment} for how to wire it up).  [None] when
+    synthesis failed within the gate bound. *)
+
+val instantiate :
+  t ->
+  Truth_table.t ->
+  Network.t ->
+  Network.signal array ->
+  Network.signal option
+(** [instantiate db f ntk leaves] builds an optimal implementation of [f]
+    over [leaves] inside [ntk], handling the NPN transform; [None] when
+    the class is not synthesizable within the bound. *)
+
+val optimal_size : t -> Truth_table.t -> int option
+(** Size of the optimal chain for the function's class. *)
+
+val classes_cached : t -> int
+val misses : t -> int
+(** Number of classes where synthesis failed (for diagnostics). *)

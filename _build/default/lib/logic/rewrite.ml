@@ -1,0 +1,114 @@
+type stats = {
+  candidates : int;
+  replaced : int;
+  size_before : int;
+  size_after : int;
+}
+
+(* Gates in the cone of [cut] that belong to the maximum fanout-free cone
+   of [root]: these are exactly the gates that disappear when the root is
+   re-expressed over the cut leaves. *)
+let mffc_in_cut ntk fanouts root cut =
+  let in_leaves id = Array.exists (( = ) id) cut.Cuts.leaves in
+  let visited = Hashtbl.create 16 in
+  let rec count id is_root =
+    if Hashtbl.mem visited id || in_leaves id then 0
+    else if (not is_root) && fanouts.(id) <> 1 then 0
+    else begin
+      Hashtbl.replace visited id ();
+      match Network.kind ntk id with
+      | Network.Const | Network.Pi _ -> 0
+      | Network.And (a, b) | Network.Xor (a, b) ->
+          1
+          + count (Network.node_of_signal a) false
+          + count (Network.node_of_signal b) false
+    end
+  in
+  count root true
+
+let rewrite ?(k = 4) ?(max_cuts = 12) ?db ntk =
+  let db = match db with Some db -> db | None -> Npn_db.create () in
+  let size_before = Network.num_gates ntk in
+  let cuts = Cuts.enumerate ~k ~max_cuts ntk in
+  let fanouts = Network.fanout_counts ntk in
+  let fresh = Network.create () in
+  let pi_map = Array.make (max 1 (Network.num_pis ntk)) Network.const0 in
+  for i = 0 to Network.num_pis ntk - 1 do
+    pi_map.(i) <- Network.pi fresh (Network.pi_name ntk i)
+  done;
+  let node_map = Array.make (Network.num_nodes ntk) Network.const0 in
+  let map_signal s =
+    let m = node_map.(Network.node_of_signal s) in
+    if Network.is_complemented s then Network.not_ m else m
+  in
+  let candidates = ref 0 and replaced = ref 0 in
+  for id = 0 to Network.num_nodes ntk - 1 do
+    match Network.kind ntk id with
+    | Network.Const -> node_map.(id) <- Network.const0
+    | Network.Pi i -> node_map.(id) <- pi_map.(i)
+    | Network.And (a, b) | Network.Xor (a, b) ->
+        (* Choose the most beneficial replacement among the cuts. *)
+        let best = ref None in
+        List.iter
+          (fun cut ->
+            let leaves = cut.Cuts.leaves in
+            if Array.length leaves >= 2 && not (Array.exists (( = ) id) leaves)
+            then
+              match Npn_db.optimal_size db cut.Cuts.table with
+              | None -> ()
+              | Some opt ->
+                  let current = mffc_in_cut ntk fanouts id cut in
+                  let gain = current - opt in
+                  let better =
+                    match !best with
+                    | None -> gain > 0
+                    | Some (g, _, _) -> gain > g
+                  in
+                  if better then best := Some (gain, cut, opt))
+          (Cuts.cuts_of cuts id);
+        let copied () =
+          let fa = map_signal a and fb = map_signal b in
+          match Network.kind ntk id with
+          | Network.And _ -> Network.and_ fresh fa fb
+          | Network.Xor _ -> Network.xor_ fresh fa fb
+          | Network.Const | Network.Pi _ -> assert false
+        in
+        (match !best with
+        | None -> node_map.(id) <- copied ()
+        | Some (_, cut, _) -> (
+            incr candidates;
+            let leaf_signals =
+              Array.map (fun l -> node_map.(l)) cut.Cuts.leaves
+            in
+            match
+              Npn_db.instantiate db cut.Cuts.table fresh leaf_signals
+            with
+            | Some s ->
+                incr replaced;
+                node_map.(id) <- s
+            | None -> node_map.(id) <- copied ()))
+  done;
+  List.iteri
+    (fun i (name, s) ->
+      ignore i;
+      Network.po fresh name (map_signal s))
+    (Network.pos ntk);
+  let result = Network.cleanup fresh in
+  ( result,
+    {
+      candidates = !candidates;
+      replaced = !replaced;
+      size_before;
+      size_after = Network.num_gates result;
+    } )
+
+let rewrite_to_fixpoint ?(k = 4) ?(max_rounds = 4) ?db ntk =
+  let db = match db with Some db -> db | None -> Npn_db.create () in
+  let rec go ntk round =
+    if round >= max_rounds then ntk
+    else
+      let next, stats = rewrite ~k ~db ntk in
+      if stats.size_after < stats.size_before then go next (round + 1)
+      else ntk
+  in
+  go ntk 0

@@ -1,0 +1,24 @@
+(** DAG-aware cut rewriting with an exact NPN database (flow step 2).
+
+    Every gate is considered in topological order; for each of its
+    [k]-feasible cuts the locally computed function is replaced by a
+    size-optimal implementation from the {!Npn_db} when this reduces the
+    estimated node count.  The network is rebuilt with structural hashing
+    so that sharing between replacements is exploited, and a final
+    {!Network.cleanup} removes nodes that became dangling. *)
+
+type stats = {
+  candidates : int;  (** Gates for which a beneficial cut was found. *)
+  replaced : int;  (** Replacements actually applied. *)
+  size_before : int;
+  size_after : int;
+}
+
+val rewrite :
+  ?k:int -> ?max_cuts:int -> ?db:Npn_db.t -> Network.t -> Network.t * stats
+(** One rewriting pass.  The default database bounds chains at 7 gates. *)
+
+val rewrite_to_fixpoint :
+  ?k:int -> ?max_rounds:int -> ?db:Npn_db.t -> Network.t -> Network.t
+(** Iterate {!rewrite} until no further size reduction (default at most 4
+    rounds). *)

@@ -1,0 +1,177 @@
+type stats = {
+  inverters_added : int;
+  half_adders_fused : int;
+  gates : int;
+}
+
+(* Realization polarity per node: 1 when the node is built to compute the
+   complement of its XAG function.  The majority of fanout demands wins;
+   inputs are always realized positive. *)
+let choose_polarities ntk =
+  let n = Network.num_nodes ntk in
+  let inverted_demands = Array.make n 0 and total_demands = Array.make n 0 in
+  let demand s =
+    let id = Network.node_of_signal s in
+    total_demands.(id) <- total_demands.(id) + 1;
+    if Network.is_complemented s then
+      inverted_demands.(id) <- inverted_demands.(id) + 1
+  in
+  List.iter (fun id -> List.iter demand (Network.fanins ntk id)) (Network.gates ntk);
+  List.iter (fun (_, s) -> demand s) (Network.pos ntk);
+  Array.init n (fun id ->
+      match Network.kind ntk id with
+      | Network.Const | Network.Pi _ -> false
+      | Network.And _ | Network.Xor _ ->
+          2 * inverted_demands.(id) > total_demands.(id))
+
+let map ?(fuse_half_adders = true) ntk =
+  let pol = choose_polarities ntk in
+  let mapped = Mapped.create () in
+  let inverters_added = ref 0 and half_adders_fused = ref 0 in
+  (* Mapped source of each XAG node, in its realization polarity. *)
+  let sources = Array.make (Network.num_nodes ntk) None in
+  (* Memoized explicit inverters per node. *)
+  let inverted = Hashtbl.create 16 in
+  let source_of id =
+    match sources.(id) with
+    | Some s -> s
+    | None -> invalid_arg "Tech_map: fanin processed out of order"
+  in
+  (* Source computing the literal [F_id xor want]. *)
+  let literal id want =
+    if want = pol.(id) then source_of id
+    else
+      match Hashtbl.find_opt inverted id with
+      | Some s -> s
+      | None ->
+          incr inverters_added;
+          let s = Mapped.add_gate mapped Mapped.Inv [ source_of id ] in
+          Hashtbl.replace inverted id s;
+          s
+  in
+  (* Half-adder fusion: group AND and XOR gates by their uncomplemented
+     fanin pair; a pair fuses when both members are realized positive and
+     the AND has no complemented fanin edges. *)
+  let ha_partner = Hashtbl.create 16 in
+  if fuse_half_adders then begin
+    let by_fanins = Hashtbl.create 64 in
+    List.iter
+      (fun id ->
+        match Network.kind ntk id with
+        | Network.And (a, b)
+          when (not (Network.is_complemented a))
+               && (not (Network.is_complemented b))
+               && not pol.(id) ->
+            Hashtbl.replace by_fanins (`And, a, b) id
+        | Network.Xor (a, b) when not pol.(id) ->
+            Hashtbl.replace by_fanins (`Xor, a, b) id
+        | Network.And _ | Network.Xor _ -> ()
+        | Network.Const | Network.Pi _ -> ())
+      (Network.gates ntk);
+    Hashtbl.iter
+      (fun key id ->
+        match key with
+        | `And, a, b -> (
+            match Hashtbl.find_opt by_fanins (`Xor, a, b) with
+            | Some xor_id ->
+                Hashtbl.replace ha_partner id (`Carry_of, xor_id);
+                Hashtbl.replace ha_partner xor_id (`Sum_with, id)
+            | None -> ())
+        | `Xor, _, _ -> ())
+      by_fanins
+  end;
+  (* Shared HA gate per fused pair, keyed by the AND node id. *)
+  let ha_gates = Hashtbl.create 16 in
+  let build_ha and_id a b =
+    match Hashtbl.find_opt ha_gates and_id with
+    | Some (nid, _) -> nid
+    | None ->
+        incr half_adders_fused;
+        let sa = literal (Network.node_of_signal a) false
+        and sb = literal (Network.node_of_signal b) false in
+        let nid, _ = Mapped.add_gate mapped Mapped.Ha [ sa; sb ] in
+        Hashtbl.replace ha_gates and_id (nid, ());
+        nid
+  in
+  for id = 0 to Network.num_nodes ntk - 1 do
+    match Network.kind ntk id with
+    | Network.Const -> ()
+    | Network.Pi i -> sources.(id) <- Some (Mapped.add_input mapped (Network.pi_name ntk i))
+    | Network.And (a, b) -> (
+        match Hashtbl.find_opt ha_partner id with
+        | Some (`Carry_of, _) ->
+            let nid = build_ha id a b in
+            sources.(id) <- Some (nid, 1)
+        | Some (`Sum_with, _) | None ->
+            let na = Network.node_of_signal a
+            and nb = Network.node_of_signal b in
+            let ca = Network.is_complemented a
+            and cb = Network.is_complemented b in
+            let p = pol.(id) in
+            (* Whether the direct sources are inverted w.r.t. the needed
+               literals. *)
+            let inv_a = ca <> pol.(na) and inv_b = cb <> pol.(nb) in
+            let gate =
+              match (inv_a, inv_b, p) with
+              | false, false, false ->
+                  Mapped.add_gate mapped Mapped.And2
+                    [ source_of na; source_of nb ]
+              | false, false, true ->
+                  Mapped.add_gate mapped Mapped.Nand2
+                    [ source_of na; source_of nb ]
+              | true, true, false ->
+                  (* !x & !y = NOR(x, y) on the direct sources. *)
+                  Mapped.add_gate mapped Mapped.Nor2
+                    [ source_of na; source_of nb ]
+              | true, true, true ->
+                  Mapped.add_gate mapped Mapped.Or2
+                    [ source_of na; source_of nb ]
+              | _ ->
+                  (* Mixed polarity: invert explicitly, then AND/NAND. *)
+                  let sa = literal na ca and sb = literal nb cb in
+                  Mapped.add_gate mapped
+                    (if p then Mapped.Nand2 else Mapped.And2)
+                    [ sa; sb ]
+            in
+            sources.(id) <- Some gate)
+    | Network.Xor (a, b) -> (
+        match Hashtbl.find_opt ha_partner id with
+        | Some (`Sum_with, and_id) ->
+            let nid = build_ha and_id a b in
+            sources.(id) <- Some (nid, 0)
+        | Some (`Carry_of, _) | None ->
+            let na = Network.node_of_signal a
+            and nb = Network.node_of_signal b in
+            let ca = Network.is_complemented a
+            and cb = Network.is_complemented b in
+            (* Fanin inversions fold into the output phase. *)
+            let phase =
+              ca <> cb <> (pol.(na) <> pol.(nb)) <> pol.(id)
+            in
+            let gate =
+              Mapped.add_gate mapped
+                (if phase then Mapped.Xnor2 else Mapped.Xor2)
+                [ source_of na; source_of nb ]
+            in
+            sources.(id) <- Some gate)
+  done;
+  List.iter
+    (fun (name, s) ->
+      let id = Network.node_of_signal s in
+      match Network.kind ntk id with
+      | Network.Const ->
+          failwith
+            (Printf.sprintf
+               "Tech_map.map: output %s is constant; no tie tiles in the \
+                Bestagon library"
+               name)
+      | Network.Pi _ | Network.And _ | Network.Xor _ ->
+          Mapped.add_output mapped name
+            (literal id (Network.is_complemented s)))
+    (Network.pos ntk);
+  ( mapped,
+    {
+      inverters_added = !inverters_added;
+      half_adders_fused = !half_adders_fused;
+      gates = Mapped.num_gates mapped;
+    } )

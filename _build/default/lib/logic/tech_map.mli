@@ -1,0 +1,22 @@
+(** Technology mapping of XAGs onto the Bestagon gate set (flow step 3).
+
+    Every XAG node becomes one library gate.  Edge complements are
+    absorbed into the gate choice wherever possible — an AND node whose
+    output is consumed inverted becomes a NAND, one with both inputs
+    inverted becomes a NOR, and so on; only mixed-polarity AND inputs
+    require explicit inverter gates.  Each node is realized in the
+    polarity demanded by the majority of its fanouts.
+
+    Optionally, AND/XOR node pairs over identical fanins are fused into
+    the single-tile half-adder gate of the Bestagon library. *)
+
+type stats = {
+  inverters_added : int;
+  half_adders_fused : int;
+  gates : int;  (** Total mapped gates including inverters. *)
+}
+
+val map : ?fuse_half_adders:bool -> Network.t -> Mapped.t * stats
+(** Map a network (default [fuse_half_adders] is [true]).
+    @raise Failure if a primary output is a constant (the Bestagon
+    library has no tie tiles). *)

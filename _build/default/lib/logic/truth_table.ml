@@ -1,0 +1,235 @@
+type t = { n : int; words : int64 array }
+
+(* Number of 64-bit words needed for [2^n] bits. *)
+let word_count n = if n <= 6 then 1 else 1 lsl (n - 6)
+
+(* Mask for the valid bits of the last (only) word when [n <= 6]. *)
+let last_mask n =
+  if n >= 6 then -1L
+  else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+
+let num_vars t = t.n
+let num_bits t = 1 lsl t.n
+
+let create n =
+  if n < 0 || n > 20 then
+    invalid_arg (Printf.sprintf "Truth_table.create: arity %d" n)
+  else { n; words = Array.make (word_count n) 0L }
+
+let const0 = create
+
+let const1 n =
+  let t = create n in
+  Array.fill t.words 0 (Array.length t.words) (-1L);
+  t.words.(Array.length t.words - 1) <- last_mask n;
+  t
+
+(* Patterns of projection functions within one word: variable [i] has
+   period [2^(i+1)] with the upper half set. *)
+let var_patterns =
+  [|
+    0xAAAAAAAAAAAAAAAAL;
+    0xCCCCCCCCCCCCCCCCL;
+    0xF0F0F0F0F0F0F0F0L;
+    0xFF00FF00FF00FF00L;
+    0xFFFF0000FFFF0000L;
+    0xFFFFFFFF00000000L;
+  |]
+
+let var n i =
+  if i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Truth_table.var: index %d of arity %d" i n)
+  else
+    let t = create n in
+    let words = Array.length t.words in
+    if i < 6 then (
+      Array.fill t.words 0 words var_patterns.(i);
+      t.words.(words - 1) <- Int64.logand t.words.(words - 1) (last_mask n))
+    else
+      (* Word [w] holds bits [64w .. 64w+63]; variable [i >= 6] is set on
+         the whole word iff bit [i - 6] of [w] is set. *)
+      for w = 0 to words - 1 do
+        if (w lsr (i - 6)) land 1 = 1 then t.words.(w) <- -1L
+      done;
+    t
+
+let get_bit t i =
+  let w = i lsr 6 and b = i land 63 in
+  Int64.logand (Int64.shift_right_logical t.words.(w) b) 1L = 1L
+
+let set_bit t i v =
+  let words = Array.copy t.words in
+  let w = i lsr 6 and b = i land 63 in
+  let mask = Int64.shift_left 1L b in
+  words.(w) <-
+    (if v then Int64.logor words.(w) mask
+     else Int64.logand words.(w) (Int64.lognot mask));
+  { t with words }
+
+let check_arity name a b =
+  if a.n <> b.n then
+    invalid_arg
+      (Printf.sprintf "Truth_table.%s: arity mismatch %d vs %d" name a.n b.n)
+
+let map2 f a b =
+  let words = Array.mapi (fun i w -> f w b.words.(i)) a.words in
+  { a with words }
+
+let lnot t =
+  let words = Array.map Int64.lognot t.words in
+  words.(Array.length words - 1) <-
+    Int64.logand words.(Array.length words - 1) (last_mask t.n);
+  { t with words }
+
+let land_ a b = check_arity "land_" a b; map2 Int64.logand a b
+let lor_ a b = check_arity "lor_" a b; map2 Int64.logor a b
+let lxor_ a b = check_arity "lxor" a b; map2 Int64.logxor a b
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.n b.n in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash t = Hashtbl.hash (t.n, t.words)
+
+let is_const0 t = Array.for_all (fun w -> w = 0L) t.words
+let is_const1 t = equal t (const1 t.n)
+
+let popcount64 w =
+  let rec go acc w =
+    if w = 0L then acc
+    else go (acc + 1) (Int64.logand w (Int64.sub w 1L))
+  in
+  go 0 w
+
+let count_ones t = Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.words
+
+(* Generic per-bit index transformation: result bit [i] is input bit
+   [f i].  Simple and obviously correct; tables are small. *)
+let remap_bits t f =
+  let r = create t.n in
+  for i = 0 to num_bits t - 1 do
+    if get_bit t (f i) then begin
+      let w = i lsr 6 and b = i land 63 in
+      r.words.(w) <- Int64.logor r.words.(w) (Int64.shift_left 1L b)
+    end
+  done;
+  r
+
+let cofactor0 t i = remap_bits t (fun idx -> idx land Stdlib.lnot (1 lsl i))
+let cofactor1 t i = remap_bits t (fun idx -> idx lor (1 lsl i))
+
+let depends_on t i = not (equal (cofactor0 t i) (cofactor1 t i))
+
+let support t =
+  List.filter (depends_on t) (List.init t.n (fun i -> i))
+
+let swap_bits idx i j =
+  let bi = (idx lsr i) land 1 and bj = (idx lsr j) land 1 in
+  if bi = bj then idx
+  else idx lxor ((1 lsl i) lor (1 lsl j))
+
+let swap_vars t i j = remap_bits t (fun idx -> swap_bits idx i j)
+let flip_var t i = remap_bits t (fun idx -> idx lxor (1 lsl i))
+
+let permute t p =
+  if Array.length p <> t.n then
+    invalid_arg "Truth_table.permute: permutation length mismatch";
+  (* Result bit index [idx] encodes the new variable values; input bit
+     [i] of the original has new position [p.(i)], so original bit index
+     is reassembled by reading new position [p.(i)] for variable [i]. *)
+  remap_bits t (fun idx ->
+      let src = ref 0 in
+      for i = 0 to t.n - 1 do
+        if (idx lsr p.(i)) land 1 = 1 then src := !src lor (1 lsl i)
+      done;
+      !src)
+
+let extend t n =
+  if n < t.n then invalid_arg "Truth_table.extend: shrinking arity"
+  else begin
+    let r = create n in
+    for i = 0 to num_bits r - 1 do
+      if get_bit t (i land (num_bits t - 1)) then begin
+        let w = i lsr 6 and b = i land 63 in
+        r.words.(w) <- Int64.logor r.words.(w) (Int64.shift_left 1L b)
+      end
+    done;
+    r
+  end
+
+let of_bits n w =
+  if n > 6 then invalid_arg "Truth_table.of_bits: arity > 6"
+  else
+    let t = create n in
+    t.words.(0) <- Int64.logand w (last_mask n);
+    t
+
+let to_bits t =
+  if t.n > 6 then invalid_arg "Truth_table.to_bits: arity > 6"
+  else t.words.(0)
+
+let of_string s =
+  let len = String.length s in
+  let n =
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    log2 0 len
+  in
+  if len <> 1 lsl n then
+    invalid_arg "Truth_table.of_string: length is not a power of two";
+  let t = ref (create n) in
+  String.iteri
+    (fun pos c ->
+      let bit = len - 1 - pos in
+      match c with
+      | '0' -> ()
+      | '1' -> t := set_bit !t bit true
+      | _ -> invalid_arg "Truth_table.of_string: invalid character")
+    s;
+  !t
+
+let to_string t =
+  String.init (num_bits t) (fun pos ->
+      if get_bit t (num_bits t - 1 - pos) then '1' else '0')
+
+let of_hex n s =
+  let t = ref (create n) in
+  let bits = 1 lsl n in
+  let nibbles = (bits + 3) / 4 in
+  if String.length s <> nibbles then
+    invalid_arg "Truth_table.of_hex: wrong length";
+  String.iteri
+    (fun pos c ->
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Truth_table.of_hex: invalid character"
+      in
+      let base = (nibbles - 1 - pos) * 4 in
+      for b = 0 to 3 do
+        if base + b < bits && (v lsr b) land 1 = 1 then
+          t := set_bit !t (base + b) true
+      done)
+    s;
+  !t
+
+let to_hex t =
+  let bits = num_bits t in
+  let nibbles = (bits + 3) / 4 in
+  String.init nibbles (fun pos ->
+      let base = (nibbles - 1 - pos) * 4 in
+      let v = ref 0 in
+      for b = 0 to 3 do
+        if base + b < bits && get_bit t (base + b) then v := !v lor (1 lsl b)
+      done;
+      "0123456789abcdef".[!v])
+
+let eval t assignment =
+  if Array.length assignment <> t.n then
+    invalid_arg "Truth_table.eval: assignment length mismatch";
+  let idx = ref 0 in
+  Array.iteri (fun i v -> if v then idx := !idx lor (1 lsl i)) assignment;
+  get_bit t !idx

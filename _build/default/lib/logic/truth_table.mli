@@ -1,0 +1,90 @@
+(** Bit-packed truth tables over a fixed number of variables.
+
+    A truth table over [n] variables stores [2^n] bits; bit [i] is the
+    function value on the input assignment whose binary encoding is [i]
+    (variable 0 is the least significant input bit).  Tables over up to 6
+    variables fit one 63-bit word; larger tables use several words.
+    Supported up to 20 variables. *)
+
+type t
+
+val num_vars : t -> int
+val num_bits : t -> int
+
+val create : int -> t
+(** [create n] is the constant-0 table over [n] variables.
+    @raise Invalid_argument if [n < 0] or [n > 20]. *)
+
+val const0 : int -> t
+val const1 : int -> t
+
+val var : int -> int -> t
+(** [var n i] is the projection onto variable [i] (of [n]).
+    @raise Invalid_argument unless [0 <= i < n]. *)
+
+val get_bit : t -> int -> bool
+val set_bit : t -> int -> bool -> t
+(** Functional update. *)
+
+val lnot : t -> t
+val land_ : t -> t -> t
+val lor_ : t -> t -> t
+val lxor_ : t -> t -> t
+(** Bitwise operations.  @raise Invalid_argument on arity mismatch. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_const0 : t -> bool
+val is_const1 : t -> bool
+
+val count_ones : t -> int
+
+val cofactor0 : t -> int -> t
+val cofactor1 : t -> int -> t
+(** Shannon cofactors with respect to a variable; the result keeps the
+    same arity (the variable becomes vacuous). *)
+
+val depends_on : t -> int -> bool
+(** Whether the function actually depends on variable [i]. *)
+
+val support : t -> int list
+(** Indices of all variables the function depends on, ascending. *)
+
+val swap_vars : t -> int -> int -> t
+(** Table of [f] with variables [i] and [j] exchanged. *)
+
+val flip_var : t -> int -> t
+(** Table of [f] with variable [i] complemented. *)
+
+val permute : t -> int array -> t
+(** [permute f p] renames variable [i] to [p.(i)];
+    [p] must be a permutation of [0 .. n-1]. *)
+
+val extend : t -> int -> t
+(** [extend f n] reinterprets [f] over [n >= num_vars f] variables (the
+    new variables are vacuous). *)
+
+val of_bits : int -> int64 -> t
+(** [of_bits n w] builds a table over [n <= 6] variables from the low
+    [2^n] bits of [w]. *)
+
+val to_bits : t -> int64
+(** Inverse of [of_bits] for [n <= 6].  @raise Invalid_argument above. *)
+
+val of_string : string -> t
+(** Parse a binary string, most significant bit (highest input index)
+    first, e.g. ["0110"] is XOR over 2 variables.  Length must be a power
+    of two. *)
+
+val to_string : t -> string
+
+val of_hex : int -> string -> t
+(** [of_hex n s] parses a hexadecimal string for a table over [n]
+    variables (most significant nibble first). *)
+
+val to_hex : t -> string
+
+val eval : t -> bool array -> bool
+(** Evaluate on an assignment; array length must equal the arity. *)

@@ -1,0 +1,385 @@
+exception Parse_error of string
+
+let fail line msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+(* --- lexer ------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Const_bit of bool
+  | Punct of char  (* ( ) , ; = *)
+  | Op of char  (* ~ & ^ | *)
+
+let tokenize text =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length text in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '$'
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if text.[!i] = '\n' then incr line;
+        if !i + 1 < n && text.[!i] = '*' && text.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail !line "unterminated block comment"
+    end
+    else if c = '1' && !i + 3 < n && text.[!i + 1] = '\'' && text.[!i + 2] = 'b'
+    then begin
+      (match text.[!i + 3] with
+      | '0' -> tokens := (Const_bit false, !line) :: !tokens
+      | '1' -> tokens := (Const_bit true, !line) :: !tokens
+      | _ -> fail !line "bad bit constant");
+      i := !i + 4
+    end
+    else if is_ident_char c && not (c >= '0' && c <= '9') then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      tokens := (Ident (String.sub text start (!i - start)), !line) :: !tokens
+    end
+    else if c = '(' || c = ')' || c = ',' || c = ';' || c = '=' then begin
+      tokens := (Punct c, !line) :: !tokens;
+      incr i
+    end
+    else if c = '~' || c = '&' || c = '^' || c = '|' then begin
+      tokens := (Op c, !line) :: !tokens;
+      incr i
+    end
+    else fail !line (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+(* --- parser ------------------------------------------------------------- *)
+
+type expr =
+  | E_const of bool
+  | E_net of string
+  | E_not of expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_xor of expr * expr
+
+type state = { mutable tokens : (token * int) list }
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.tokens with
+  | [] -> raise (Parse_error "unexpected end of input")
+  | t :: rest ->
+      st.tokens <- rest;
+      t
+
+let expect_punct st c =
+  match next st with
+  | Punct p, _ when p = c -> ()
+  | _, line -> fail line (Printf.sprintf "expected %C" c)
+
+let expect_ident st =
+  match next st with
+  | Ident s, _ -> s
+  | _, line -> fail line "expected identifier"
+
+let expect_keyword st kw =
+  match next st with
+  | Ident s, _ when s = kw -> ()
+  | _, line -> fail line (Printf.sprintf "expected %S" kw)
+
+(* Precedence: ~  >  &  >  ^  >  | *)
+let rec parse_or st =
+  let left = parse_xor st in
+  match peek st with
+  | Some (Op '|', _) ->
+      ignore (next st);
+      E_or (left, parse_or st)
+  | _ -> left
+
+and parse_xor st =
+  let left = parse_and st in
+  match peek st with
+  | Some (Op '^', _) ->
+      ignore (next st);
+      E_xor (left, parse_xor st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_unary st in
+  match peek st with
+  | Some (Op '&', _) ->
+      ignore (next st);
+      E_and (left, parse_and st)
+  | _ -> left
+
+and parse_unary st =
+  match next st with
+  | Op '~', _ -> E_not (parse_unary st)
+  | Punct '(', _ ->
+      let e = parse_or st in
+      expect_punct st ')';
+      e
+  | Ident name, _ -> E_net name
+  | Const_bit b, _ -> E_const b
+  | _, line -> fail line "expected expression"
+
+let gate_keywords =
+  [ "and"; "or"; "nand"; "nor"; "xor"; "xnor"; "not"; "buf" ]
+
+let parse st =
+  expect_keyword st "module";
+  let _module_name = expect_ident st in
+  expect_punct st '(';
+  let rec ports acc =
+    match next st with
+    | Ident p, _ -> (
+        match next st with
+        | Punct ',', _ -> ports (p :: acc)
+        | Punct ')', _ -> List.rev (p :: acc)
+        | _, line -> fail line "expected , or ) in port list")
+    | Punct ')', _ -> List.rev acc
+    | _, line -> fail line "expected port name"
+  in
+  let ports = ports [] in
+  expect_punct st ';';
+  let inputs = ref [] and outputs = ref [] and wires = ref [] in
+  let drivers : (string, expr) Hashtbl.t = Hashtbl.create 64 in
+  let add_driver line net e =
+    if Hashtbl.mem drivers net then
+      fail line (Printf.sprintf "net %s driven twice" net)
+    else Hashtbl.replace drivers net e
+  in
+  let parse_name_list () =
+    let rec go acc =
+      let name = expect_ident st in
+      match next st with
+      | Punct ',', _ -> go (name :: acc)
+      | Punct ';', _ -> List.rev (name :: acc)
+      | _, line -> fail line "expected , or ; in declaration"
+    in
+    go []
+  in
+  let finished = ref false in
+  while not !finished do
+    match next st with
+    | Ident "endmodule", _ -> finished := true
+    | Ident "input", _ -> inputs := !inputs @ parse_name_list ()
+    | Ident "output", _ -> outputs := !outputs @ parse_name_list ()
+    | Ident "wire", _ -> wires := !wires @ parse_name_list ()
+    | Ident "assign", line ->
+        let lhs = expect_ident st in
+        expect_punct st '=';
+        let rhs = parse_or st in
+        expect_punct st ';';
+        add_driver line lhs rhs
+    | Ident kw, line when List.mem kw gate_keywords ->
+        (* Optional instance name, then (out, in, ...). *)
+        (match peek st with
+        | Some (Ident _, _) -> ignore (next st)
+        | _ -> ());
+        expect_punct st '(';
+        let rec args acc =
+          let a = expect_ident st in
+          match next st with
+          | Punct ',', _ -> args (a :: acc)
+          | Punct ')', _ -> List.rev (a :: acc)
+          | _, l -> fail l "expected , or ) in gate ports"
+        in
+        let args = args [] in
+        expect_punct st ';';
+        (match args with
+        | out :: (first_in :: _ as ins) ->
+            let unary e =
+              match kw with
+              | "not" -> E_not e
+              | "buf" -> e
+              | _ -> fail line (kw ^ " with a single input")
+            in
+            if kw = "not" || kw = "buf" then begin
+              if List.length ins <> 1 then
+                fail line (kw ^ " takes exactly one input");
+              add_driver line out (unary (E_net first_in))
+            end
+            else begin
+              if List.length ins < 2 then
+                fail line (kw ^ " needs at least two inputs");
+              let combine a b =
+                match kw with
+                | "and" | "nand" -> E_and (a, b)
+                | "or" | "nor" -> E_or (a, b)
+                | "xor" | "xnor" -> E_xor (a, b)
+                | _ -> assert false
+              in
+              let folded =
+                List.fold_left
+                  (fun acc net ->
+                    match acc with
+                    | None -> Some (E_net net)
+                    | Some e -> Some (combine e (E_net net)))
+                  None ins
+              in
+              let e = Option.get folded in
+              let e =
+                if kw = "nand" || kw = "nor" || kw = "xnor" then E_not e
+                else e
+              in
+              add_driver line out e
+            end
+        | _ -> fail line "gate needs an output and at least one input")
+    | _, line -> fail line "expected statement"
+  done;
+  (* Elaborate. *)
+  let ntk = Network.create () in
+  let declared = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace declared n ()) (!inputs @ !outputs @ !wires);
+  let values : (string, Network.signal) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      if List.mem name !inputs then
+        Hashtbl.replace values name (Network.pi ntk name))
+    ports;
+  (* Inputs not in the port list (unusual but legal here). *)
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem values name) then
+        Hashtbl.replace values name (Network.pi ntk name))
+    !inputs;
+  let visiting = Hashtbl.create 16 in
+  let rec eval_net name =
+    match Hashtbl.find_opt values name with
+    | Some s -> s
+    | None ->
+        if not (Hashtbl.mem declared name) then
+          raise (Parse_error (Printf.sprintf "undeclared net %s" name));
+        if Hashtbl.mem visiting name then
+          raise (Parse_error (Printf.sprintf "combinational cycle through %s" name));
+        Hashtbl.replace visiting name ();
+        let e =
+          match Hashtbl.find_opt drivers name with
+          | Some e -> e
+          | None ->
+              raise (Parse_error (Printf.sprintf "net %s is never driven" name))
+        in
+        let s = eval_expr e in
+        Hashtbl.remove visiting name;
+        Hashtbl.replace values name s;
+        s
+  and eval_expr = function
+    | E_const false -> Network.const0
+    | E_const true -> Network.const1
+    | E_net n -> eval_net n
+    | E_not e -> Network.not_ (eval_expr e)
+    | E_and (a, b) -> Network.and_ ntk (eval_expr a) (eval_expr b)
+    | E_or (a, b) -> Network.or_ ntk (eval_expr a) (eval_expr b)
+    | E_xor (a, b) -> Network.xor_ ntk (eval_expr a) (eval_expr b)
+  in
+  List.iter
+    (fun name ->
+      if List.mem name !outputs then Network.po ntk name (eval_net name))
+    ports;
+  List.iter
+    (fun name ->
+      if not (List.mem name ports) then Network.po ntk name (eval_net name))
+    !outputs;
+  ntk
+
+let parse text = parse { tokens = tokenize text }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let sanitize_name s =
+  let ok_first c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let ok_rest c =
+    ok_first c || (c >= '0' && c <= '9') || c = '$'
+  in
+  if s <> "" && ok_first s.[0] && String.for_all ok_rest s then s
+  else
+    "id_"
+    ^ String.map (fun c -> if ok_rest c then c else '_') s
+
+let to_verilog ntk ~name =
+  let buf = Buffer.create 1024 in
+  let num_pis = Network.num_pis ntk in
+  let pi_names = List.init num_pis (fun i -> sanitize_name (Network.pi_name ntk i)) in
+  (* Output names may not collide with input names in the emitted
+     netlist. *)
+  let po_sanitize n =
+    let n = sanitize_name n in
+    if List.mem n pi_names then n ^ "_out" else n
+  in
+  let po_names = List.map (fun (n, _) -> po_sanitize n) (Network.pos ntk) in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (%s);\n" name
+       (String.concat ", " (pi_names @ po_names)));
+  if pi_names <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  input %s;\n" (String.concat ", " pi_names));
+  if po_names <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  output %s;\n" (String.concat ", " po_names));
+  let gate_ids = Network.gates ntk in
+  if gate_ids <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  wire %s;\n"
+         (String.concat ", "
+            (List.map (fun id -> Printf.sprintf "n%d" id) gate_ids)));
+  let signal_ref s =
+    let id = Network.node_of_signal s in
+    let base =
+      match Network.kind ntk id with
+      | Network.Const -> "1'b0"
+      | Network.Pi i -> sanitize_name (Network.pi_name ntk i)
+      | Network.And _ | Network.Xor _ -> Printf.sprintf "n%d" id
+    in
+    if Network.is_complemented s then "~" ^ base else base
+  in
+  List.iter
+    (fun id ->
+      let op, a, b =
+        match Network.kind ntk id with
+        | Network.And (a, b) -> ("&", a, b)
+        | Network.Xor (a, b) -> ("^", a, b)
+        | Network.Const | Network.Pi _ -> assert false
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  assign n%d = %s %s %s;\n" id (signal_ref a) op
+           (signal_ref b)))
+    gate_ids;
+  List.iter
+    (fun (po, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (po_sanitize po)
+           (signal_ref s)))
+    (Network.pos ntk);
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Parser for a gate-level Verilog subset (flow step 1).
+
+    Supported constructs — sufficient for the combinational benchmark
+    netlists the paper's flow consumes:
+
+    - [module name (port, ...); ... endmodule]
+    - [input a, b; output y; wire w;] declarations (scalar nets only)
+    - [assign net = expr;] with operators [~ & ^ |], parentheses,
+      constants [1'b0] / [1'b1], and net identifiers
+    - gate primitives [and g (y, a, b); or, nand, nor, xor, xnor, not,
+      buf] (first port is the output; and-like gates accept more than two
+      inputs and are associated left-to-right)
+    - [//] line and [/* ... */] block comments
+
+    The result is an XAG via {!Network}. *)
+
+exception Parse_error of string
+(** Raised with a message including the line number. *)
+
+val parse : string -> Network.t
+(** Parse Verilog source text.  @raise Parse_error on malformed input,
+    undeclared nets, combinational cycles, or multiply-driven nets. *)
+
+val parse_file : string -> Network.t
+
+val to_verilog : Network.t -> name:string -> string
+(** Emit a network as a Verilog netlist of [assign] statements (inverse
+    of [parse], for round-trip tests and interchange). *)

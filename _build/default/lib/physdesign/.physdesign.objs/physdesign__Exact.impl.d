@@ -1,0 +1,1 @@
+lib/physdesign/exact.ml: Array Hashtbl Hexlib Layout List Netlist Option Printf Sat

@@ -1,0 +1,1 @@
+lib/physdesign/exact.mli: Layout Netlist Stdlib

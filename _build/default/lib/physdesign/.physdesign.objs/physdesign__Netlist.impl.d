@@ -1,0 +1,1 @@
+lib/physdesign/netlist.ml: Array Hashtbl List Logic

@@ -1,0 +1,1 @@
+lib/physdesign/netlist.mli: Logic

@@ -1,0 +1,1 @@
+lib/physdesign/scalable.ml: Array Hashtbl Hexlib Layout List Netlist Option Printf Random Set String

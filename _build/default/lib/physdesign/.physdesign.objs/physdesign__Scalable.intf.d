@@ -1,0 +1,1 @@
+lib/physdesign/scalable.mli: Layout Netlist Stdlib

@@ -1,0 +1,352 @@
+module Coord = Hexlib.Coord
+module D = Hexlib.Direction
+module GL = Layout.Gate_layout
+
+type config = {
+  max_extra_width : int;
+  max_extra_height : int;
+  conflict_budget : int option;
+}
+
+let default_config =
+  { max_extra_width = 6; max_extra_height = 12; conflict_budget = None }
+
+type result = {
+  layout : GL.t;
+  width : int;
+  height : int;
+  attempts : int;
+  budget_exhausted : bool;
+}
+
+(* Allowed rows per node kind: pads on the borders, logic in between. *)
+let allowed_row netlist node ~height row =
+  match Netlist.kind netlist node with
+  | Netlist.N_pi _ -> row = 0
+  | Netlist.N_po _ -> row = height - 1
+  | Netlist.N_gate _ | Netlist.N_fanout -> row >= 1 && row <= height - 2
+
+(* The two southward neighbors of a tile (hexagonal, odd-r). *)
+let successors ~width ~height (c : Coord.offset) =
+  List.filter_map
+    (fun d ->
+      let n = D.neighbor_offset c d in
+      if n.Coord.col >= 0 && n.Coord.col < width && n.Coord.row < height then
+        Some (d, n)
+      else None)
+    [ D.South_west; D.South_east ]
+
+let predecessors ~width (c : Coord.offset) =
+  List.filter_map
+    (fun d ->
+      let n = D.neighbor_offset c d in
+      if n.Coord.col >= 0 && n.Coord.col < width && n.Coord.row >= 0 then
+        Some (d, n)
+      else None)
+    [ D.North_west; D.North_east ]
+
+let solve_fixed ?conflict_budget ~width ~height netlist =
+  let nn = Netlist.num_nodes netlist in
+  let edges = Netlist.edges netlist in
+  let ne = Array.length edges in
+  let f = Sat.Cnf.create () in
+  let tile_index (c : Coord.offset) = (c.row * width) + c.col in
+  let tiles =
+    List.concat
+      (List.init height (fun row ->
+           List.init width (fun col : Coord.offset -> { col; row })))
+  in
+  (* Placement variables (0 where disallowed). *)
+  let pos = Array.make_matrix nn (width * height) 0 in
+  for n = 0 to nn - 1 do
+    List.iter
+      (fun (c : Coord.offset) ->
+        if allowed_row netlist n ~height c.row then
+          pos.(n).(tile_index c) <- Sat.Cnf.fresh f)
+      tiles
+  done;
+  (* Connection variables: conn.(e).(tile_index p) gives the literals for
+     the up-to-two southward adjacencies of p. *)
+  let conn = Array.init ne (fun _ -> Array.make (width * height) []) in
+  for e = 0 to ne - 1 do
+    List.iter
+      (fun (p : Coord.offset) ->
+        if p.row < height - 1 then
+          conn.(e).(tile_index p) <-
+            List.map
+              (fun (d, t) -> (d, t, Sat.Cnf.fresh f))
+              (successors ~width ~height p))
+      tiles
+  done;
+  let conn_out e p = List.map (fun (_, _, l) -> l) conn.(e).(tile_index p) in
+  let conn_into e (t : Coord.offset) =
+    List.filter_map
+      (fun (_, p) ->
+        List.find_map
+          (fun (_, t', l) -> if Coord.equal_offset t' t then Some l else None)
+          conn.(e).(tile_index p))
+      (predecessors ~width t)
+  in
+  (* 1. One position per node. *)
+  for n = 0 to nn - 1 do
+    let vars =
+      List.filter_map
+        (fun c ->
+          let v = pos.(n).(tile_index c) in
+          if v = 0 then None else Some v)
+        tiles
+    in
+    if vars = [] then Sat.Cnf.add_clause f [] (* unplaceable: unsat *)
+    else Sat.Cnf.exactly_one f vars
+  done;
+  (* 2. At most one node per tile. *)
+  List.iter
+    (fun c ->
+      let vars =
+        List.filter_map
+          (fun n ->
+            let v = pos.(n).(tile_index c) in
+            if v = 0 then None else Some v)
+          (List.init nn (fun i -> i))
+      in
+      Sat.Cnf.at_most_one f vars)
+    tiles;
+  (* Tile-occupied auxiliaries (for purity constraints). *)
+  let occupied =
+    List.map
+      (fun c ->
+        let vars =
+          List.filter_map
+            (fun n ->
+              let v = pos.(n).(tile_index c) in
+              if v = 0 then None else Some v)
+            (List.init nn (fun i -> i))
+        in
+        (tile_index c, Sat.Cnf.or_list f vars))
+      tiles
+  in
+  let occupied = Array.of_list (List.map snd (List.sort compare occupied)) in
+  (* 3. Border capacity: one edge per adjacency. *)
+  List.iter
+    (fun (p : Coord.offset) ->
+      if p.row < height - 1 then
+        List.iter
+          (fun (d, _) ->
+            let users =
+              List.filter_map
+                (fun e ->
+                  List.find_map
+                    (fun (d', _, l) -> if D.equal d d' then Some l else None)
+                    conn.(e).(tile_index p))
+                (List.init ne (fun i -> i))
+            in
+            Sat.Cnf.at_most_one f users)
+          (successors ~width ~height p))
+    tiles;
+  (* 4./5. Per edge: at most one departure per tile and one arrival per
+     tile. *)
+  for e = 0 to ne - 1 do
+    List.iter
+      (fun p ->
+        match conn_out e p with
+        | [ l1; l2 ] -> Sat.Cnf.add_clause f [ -l1; -l2 ]
+        | _ -> ())
+      tiles;
+    List.iter
+      (fun t ->
+        match conn_into e t with
+        | [ l1; l2 ] -> Sat.Cnf.add_clause f [ -l1; -l2 ]
+        | _ -> ())
+      tiles
+  done;
+  (* 6./7. Path connectivity. *)
+  for e = 0 to ne - 1 do
+    let u = edges.(e).Netlist.src and v = edges.(e).Netlist.dst in
+    List.iter
+      (fun (p : Coord.offset) ->
+        (* Start: a node placed at p with this out-edge must emit it. *)
+        let pu = pos.(u).(tile_index p) in
+        if pu <> 0 then
+          Sat.Cnf.add_clause f (-pu :: conn_out e p);
+        let pv = pos.(v).(tile_index p) in
+        if pv <> 0 then Sat.Cnf.add_clause f (-pv :: conn_into e p);
+        (* Chaining. *)
+        List.iter
+          (fun (_, t, l) ->
+            (* Upward: the edge at (p -> t) originates at u or continues
+               an incoming segment at p. *)
+            let up = if pu <> 0 then [ pu ] else [] in
+            Sat.Cnf.add_clause f ((-l :: up) @ conn_into e p);
+            (* Downward: it terminates at v on t or continues below. *)
+            let down =
+              let pvt = pos.(v).(tile_index t) in
+              if pvt <> 0 then [ pvt ] else []
+            in
+            Sat.Cnf.add_clause f ((-l :: down) @ conn_out e t);
+            (* Purity: occupied tiles are endpoints, not feedthroughs. *)
+            let at_p = if pu <> 0 then [ pu ] else [] in
+            Sat.Cnf.add_clause f ((-l :: -occupied.(tile_index p) :: at_p));
+            let at_t =
+              let pvt = pos.(v).(tile_index t) in
+              if pvt <> 0 then [ pvt ] else []
+            in
+            Sat.Cnf.add_clause f ((-l :: -occupied.(tile_index t) :: at_t)))
+          conn.(e).(tile_index p))
+      tiles
+  done;
+  (* Wires cannot live on the border rows: connections touching row 0 or
+     row height-1 must be node endpoints there. *)
+  for e = 0 to ne - 1 do
+    let u = edges.(e).Netlist.src and v = edges.(e).Netlist.dst in
+    List.iter
+      (fun (p : Coord.offset) ->
+        List.iter
+          (fun (_, t, l) ->
+            if p.row = 0 then begin
+              let pu = pos.(u).(tile_index p) in
+              if pu <> 0 then Sat.Cnf.add_clause f [ -l; pu ]
+              else Sat.Cnf.add_clause f [ -l ]
+            end;
+            if t.Coord.row = height - 1 then begin
+              let pv = pos.(v).(tile_index t) in
+              if pv <> 0 then Sat.Cnf.add_clause f [ -l; pv ]
+              else Sat.Cnf.add_clause f [ -l ]
+            end)
+          conn.(e).(tile_index p))
+      tiles
+  done;
+  let solver = Sat.Cnf.solver f in
+  Sat.Solver.set_conflict_budget solver conflict_budget;
+  match Sat.Solver.solve solver with
+  | Sat.Solver.Unsat -> None
+  | Sat.Solver.Sat ->
+      (* --- decode ----------------------------------------------------- *)
+      let value l = Sat.Solver.value solver l in
+      let node_tile = Array.make nn None in
+      for n = 0 to nn - 1 do
+        List.iter
+          (fun c ->
+            let v = pos.(n).(tile_index c) in
+            if v <> 0 && value v then node_tile.(n) <- Some c)
+          tiles
+      done;
+      let layout =
+        GL.create ~width ~height ~clocking:(GL.Scheme Layout.Clocking.Row)
+      in
+      (* Wire segments per tile: (edge, in_dir, out_dir). *)
+      let wire_segments : (int, (D.t * D.t) list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      (* Arrival border of each edge at its target and departure border
+         at its source. *)
+      let arrival = Array.make ne None and departure = Array.make ne None in
+      for e = 0 to ne - 1 do
+        let v = edges.(e).Netlist.dst in
+        let v_tile =
+          match node_tile.(v) with Some c -> c | None -> assert false
+        in
+        (* Walk the connection chain from the source. *)
+        let u = edges.(e).Netlist.src in
+        let u_tile =
+          match node_tile.(u) with Some c -> c | None -> assert false
+        in
+        let rec walk (p : Coord.offset) in_dir_opt =
+          (* Find the active outgoing connection at p. *)
+          match
+            List.find_opt (fun (_, _, l) -> value l) conn.(e).(tile_index p)
+          with
+          | None ->
+              (* Must already be at the target. *)
+              assert (Coord.equal_offset p v_tile)
+          | Some (d, t, _) ->
+              (match in_dir_opt with
+              | None -> departure.(e) <- Some d
+              | Some in_dir ->
+                  (* p is a wire tile for e. *)
+                  let existing =
+                    Option.value ~default:[]
+                      (Hashtbl.find_opt wire_segments (tile_index p))
+                  in
+                  Hashtbl.replace wire_segments (tile_index p)
+                    ((in_dir, d) :: existing));
+              if Coord.equal_offset t v_tile then
+                arrival.(e) <- Some (D.opposite d)
+              else walk t (Some (D.opposite d))
+        in
+        walk u_tile None
+      done;
+      (* Materialize node tiles. *)
+      for n = 0 to nn - 1 do
+        let c = match node_tile.(n) with Some c -> c | None -> assert false in
+        let in_dirs =
+          List.map
+            (fun e ->
+              match arrival.(e) with Some d -> d | None -> assert false)
+            (Netlist.in_edges netlist n)
+        and out_dirs =
+          List.map
+            (fun e ->
+              match departure.(e) with Some d -> d | None -> assert false)
+            (Netlist.out_edges netlist n)
+        in
+        let tile =
+          match Netlist.kind netlist n with
+          | Netlist.N_pi name -> Layout.Tile.Pi { name; out = List.hd out_dirs }
+          | Netlist.N_po name -> Layout.Tile.Po { name; inp = List.hd in_dirs }
+          | Netlist.N_gate fn -> Layout.Tile.Gate { fn; ins = in_dirs; outs = out_dirs }
+          | Netlist.N_fanout ->
+              Layout.Tile.Fanout { inp = List.hd in_dirs; outs = out_dirs }
+        in
+        GL.set layout c tile
+      done;
+      (* Materialize wire tiles. *)
+      Hashtbl.iter
+        (fun idx segments ->
+          let c : Coord.offset = { col = idx mod width; row = idx / width } in
+          GL.set layout c (Layout.Tile.Wire { segments }))
+        wire_segments;
+      Some layout
+
+let place_and_route ?(config = default_config) netlist =
+  let min_w = Netlist.min_width netlist
+  and min_h = Netlist.min_height netlist in
+  let candidates = ref [] in
+  for w = min_w to min_w + config.max_extra_width do
+    for h = min_h to min_h + config.max_extra_height do
+      candidates := (w * h, h, w) :: !candidates
+    done
+  done;
+  let candidates = List.sort compare !candidates in
+  let attempts = ref 0 and exhausted = ref false in
+  let rec try_all = function
+    | [] ->
+        Error
+          (Printf.sprintf
+             "no layout within %dx%d..%dx%d (%d candidates tried%s)" min_w
+             min_h
+             (min_w + config.max_extra_width)
+             (min_h + config.max_extra_height)
+             !attempts
+             (if !exhausted then ", budget exhausted on some" else ""))
+    | (_, h, w) :: rest -> (
+        incr attempts;
+        match
+          try
+            solve_fixed ?conflict_budget:config.conflict_budget ~width:w
+              ~height:h netlist
+          with Sat.Solver.Budget_exhausted ->
+            exhausted := true;
+            None
+        with
+        | Some layout ->
+            Ok
+              {
+                layout;
+                width = w;
+                height = h;
+                attempts = !attempts;
+                budget_exhausted = !exhausted;
+              }
+        | None -> try_all rest)
+  in
+  try_all candidates

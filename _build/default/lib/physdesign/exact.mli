@@ -1,0 +1,49 @@
+(** Exact physical design: SAT-based placement & routing on hexagonal
+    layouts (flow step 4), adapting the formulation of [46] to the
+    hexagonal topology, the Bestagon tile set, and row-based clocking.
+
+    For a candidate layout size the whole P&R problem is encoded as one
+    SAT instance over the {!Sat.Solver} substrate:
+
+    - one-hot placement variables per netlist node (input pads on the top
+      row, output pads on the bottom row, logic in between);
+    - connection variables per edge and per pair of vertically adjacent
+      tiles; border capacity (one signal per tile border), wire capacity
+      (two signals per tile — realized as the double-wire or crossing
+      Bestagon tile) and path connectivity are all clauses over these;
+    - row-based clocking makes every downward step legal and balances all
+      signal paths by construction (throughput 1/1, cf. Sec. 5).
+
+    Candidate dimensions are tried in order of increasing tile area, so
+    the first satisfiable instance yields a minimum-area layout within
+    the search bounds. *)
+
+type config = {
+  max_extra_width : int;  (** Search bound above the trivial lower bound (default 6). *)
+  max_extra_height : int;  (** Default 12. *)
+  conflict_budget : int option;
+      (** Per-instance solver budget; exceeding it skips the candidate
+          size (sacrificing the minimality guarantee).  Default [None]. *)
+}
+
+val default_config : config
+
+type result = {
+  layout : Layout.Gate_layout.t;
+  width : int;
+  height : int;
+  attempts : int;  (** Number of candidate sizes tried. *)
+  budget_exhausted : bool;
+      (** Whether any candidate was skipped on budget, voiding the
+          minimality claim. *)
+}
+
+val place_and_route :
+  ?config:config -> Netlist.t -> (result, string) Stdlib.result
+(** Place and route under row clocking.  [Error] carries a diagnostic
+    when no layout exists within the search bounds. *)
+
+val solve_fixed :
+  ?conflict_budget:int -> width:int -> height:int -> Netlist.t ->
+  Layout.Gate_layout.t option
+(** Single candidate size (exposed for tests and ablations). *)

@@ -1,0 +1,212 @@
+module M = Logic.Mapped
+
+type kind = N_pi of string | N_po of string | N_gate of M.fn | N_fanout
+
+type edge = { src : int; src_port : int; dst : int; dst_port : int }
+
+type t = {
+  kinds : kind array;
+  edge_arr : edge array;
+  out_adj : int list array;  (* edge ids per node, port-ordered *)
+  in_adj : int list array;
+  fanouts_added : int;
+}
+
+let num_nodes t = Array.length t.kinds
+let kind t i = t.kinds.(i)
+let edges t = t.edge_arr
+let out_edges t i = t.out_adj.(i)
+let in_edges t i = t.in_adj.(i)
+
+let num_out_ports t i =
+  match t.kinds.(i) with
+  | N_pi _ -> 1
+  | N_po _ -> 0
+  | N_gate fn -> M.fn_outputs fn
+  | N_fanout -> 2
+
+let num_in_ports t i =
+  match t.kinds.(i) with
+  | N_pi _ -> 0
+  | N_po _ -> 1
+  | N_gate fn -> M.fn_arity fn
+  | N_fanout -> 1
+
+let of_mapped mapped =
+  let kinds = ref [] and next = ref 0 in
+  let push k =
+    kinds := k :: !kinds;
+    incr next;
+    !next - 1
+  in
+  (* Map from mapped node id to the placement node id (inputs and
+     gates). *)
+  let node_map = Array.make (M.num_nodes mapped) (-1) in
+  for id = 0 to M.num_nodes mapped - 1 do
+    match M.node mapped id with
+    | M.Input (_, name) -> node_map.(id) <- push (N_pi name)
+    | M.Gate (fn, _) -> node_map.(id) <- push (N_gate fn)
+  done;
+  (* Consumers of each mapped source. *)
+  let consumers : (M.source, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add_consumer src dst =
+    match Hashtbl.find_opt consumers src with
+    | Some l -> l := dst :: !l
+    | None -> Hashtbl.replace consumers src (ref [ dst ])
+  in
+  for id = 0 to M.num_nodes mapped - 1 do
+    match M.node mapped id with
+    | M.Input _ -> ()
+    | M.Gate (_, fanins) ->
+        Array.iteri
+          (fun port src -> add_consumer src (node_map.(id), port))
+          fanins
+  done;
+  let po_nodes =
+    List.map
+      (fun (name, src) ->
+        let po = push (N_po name) in
+        add_consumer src (po, 0);
+        po)
+      (M.outputs mapped)
+  in
+  ignore po_nodes;
+  (* Fan-out decomposition: one binary tree per driven source. *)
+  let edge_list = ref [] in
+  let fanouts_added = ref 0 in
+  let add_edge src src_port dst dst_port =
+    edge_list := { src; src_port; dst; dst_port } :: !edge_list
+  in
+  let rec distribute src src_port destinations =
+    match destinations with
+    | [] -> ()
+    | [ (dst, dst_port) ] -> add_edge src src_port dst dst_port
+    | _ ->
+        let fo = push N_fanout in
+        incr fanouts_added;
+        add_edge src src_port fo 0;
+        let n = List.length destinations in
+        let rec split i left right = function
+          | [] -> (List.rev left, List.rev right)
+          | d :: rest ->
+              if i < (n + 1) / 2 then split (i + 1) (d :: left) right rest
+              else split (i + 1) left (d :: right) rest
+        in
+        let left, right = split 0 [] [] destinations in
+        distribute fo 0 left;
+        distribute fo 1 right
+  in
+  Hashtbl.iter
+    (fun (src_node, src_port) dests ->
+      match M.node mapped src_node with
+      | M.Input _ | M.Gate _ ->
+          distribute node_map.(src_node) src_port (List.rev !dests))
+    consumers;
+  let kinds = Array.of_list (List.rev !kinds) in
+  let edge_arr = Array.of_list (List.rev !edge_list) in
+  let out_adj = Array.make (Array.length kinds) []
+  and in_adj = Array.make (Array.length kinds) [] in
+  Array.iteri
+    (fun eid e ->
+      out_adj.(e.src) <- eid :: out_adj.(e.src);
+      in_adj.(e.dst) <- eid :: in_adj.(e.dst))
+    edge_arr;
+  let by_port proj adj =
+    Array.map
+      (fun l ->
+        List.sort
+          (fun e1 e2 -> compare (proj edge_arr.(e1)) (proj edge_arr.(e2)))
+          l)
+      adj
+  in
+  {
+    kinds;
+    edge_arr;
+    out_adj = by_port (fun e -> e.src_port) out_adj;
+    in_adj = by_port (fun e -> e.dst_port) in_adj;
+    fanouts_added = !fanouts_added;
+  }
+
+let select t p =
+  let acc = ref [] in
+  Array.iteri (fun i k -> if p k then acc := i :: !acc) t.kinds;
+  List.rev !acc
+
+let pis t = select t (function N_pi _ -> true | N_po _ | N_gate _ | N_fanout -> false)
+let pos t = select t (function N_po _ -> true | N_pi _ | N_gate _ | N_fanout -> false)
+
+let gates_and_fanouts t =
+  select t (function
+    | N_gate _ | N_fanout -> true
+    | N_pi _ | N_po _ -> false)
+
+let levels t =
+  let n = Array.length t.kinds in
+  let lev = Array.make n 0 in
+  (* Edge sources always have smaller creation order?  Not guaranteed
+     (fan-out nodes are appended late), so iterate to fixpoint over the
+     DAG; depth is bounded by n. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun e ->
+        if lev.(e.dst) < lev.(e.src) + 1 then begin
+          lev.(e.dst) <- lev.(e.src) + 1;
+          changed := true
+        end)
+      t.edge_arr
+  done;
+  lev
+
+let level t i = (levels t).(i)
+
+let min_height t =
+  let lev = levels t in
+  let deepest = List.fold_left (fun acc po -> max acc lev.(po)) 0 (pos t) in
+  (* Row 0 for inputs plus one row per level step. *)
+  max 2 (deepest + 1)
+
+let min_width t = max 1 (max (List.length (pis t)) (List.length (pos t)))
+
+let fanout_nodes_added t = t.fanouts_added
+
+let to_mapped t =
+  let mapped = M.create () in
+  let n = Array.length t.kinds in
+  (* Per-node array of mapped sources, one per output port. *)
+  let sources : M.source array option array = Array.make n None in
+  let lev = levels t in
+  let order =
+    List.sort (fun a b -> compare lev.(a) lev.(b)) (List.init n (fun i -> i))
+  in
+  let source_of_edge eid =
+    let e = t.edge_arr.(eid) in
+    match sources.(e.src) with
+    | Some ports -> ports.(e.src_port)
+    | None -> invalid_arg "Netlist.to_mapped: source not yet built"
+  in
+  List.iter
+    (fun i ->
+      match t.kinds.(i) with
+      | N_pi name -> sources.(i) <- Some [| M.add_input mapped name |]
+      | N_gate fn ->
+          let fanins = List.map source_of_edge t.in_adj.(i) in
+          let gid, _ = M.add_gate mapped fn fanins in
+          sources.(i) <-
+            Some (Array.init (M.fn_outputs fn) (fun port -> (gid, port)))
+      | N_fanout ->
+          (* Fan-outs are wiring; both branches forward the source. *)
+          (match t.in_adj.(i) with
+          | [ eid ] ->
+              let s = source_of_edge eid in
+              sources.(i) <- Some [| s; s |]
+          | _ -> invalid_arg "Netlist.to_mapped: fan-out without input")
+      | N_po name -> (
+          match t.in_adj.(i) with
+          | [ eid ] -> M.add_output mapped name (source_of_edge eid)
+          | _ -> invalid_arg "Netlist.to_mapped: output without input"))
+    order;
+  mapped

@@ -1,0 +1,61 @@
+(** Fanout-explicit netlists: the placement-and-routing view of a mapped
+    design.
+
+    Placement works on point-to-point connections, so every multi-fanout
+    signal of a {!Logic.Mapped.t} is decomposed through explicit binary
+    fan-out nodes (the Bestagon fan-out tile has degree 2); primary
+    outputs become explicit pad nodes.  After this transformation every
+    output port drives exactly one edge. *)
+
+type kind =
+  | N_pi of string
+  | N_po of string
+  | N_gate of Logic.Mapped.fn
+  | N_fanout
+
+type edge = {
+  src : int;
+  src_port : int;  (** 0, or 1 for the carry of a half adder / second fan-out branch. *)
+  dst : int;
+  dst_port : int;
+}
+
+type t
+
+val of_mapped : Logic.Mapped.t -> t
+(** @raise Failure when the mapped design drives an output from a
+    constant (not placeable). *)
+
+val num_nodes : t -> int
+val kind : t -> int -> kind
+val edges : t -> edge array
+val out_edges : t -> int -> int list
+(** Edge indices leaving a node, ordered by source port. *)
+
+val in_edges : t -> int -> int list
+(** Edge indices entering a node, ordered by destination port. *)
+
+val num_out_ports : t -> int -> int
+val num_in_ports : t -> int -> int
+
+val pis : t -> int list
+val pos : t -> int list
+val gates_and_fanouts : t -> int list
+
+val level : t -> int -> int
+(** Topological level: inputs at 0, every edge spans at least one level. *)
+
+val min_height : t -> int
+(** Minimum layout height in rows under row clocking: input pads occupy
+    row 0, output pads the last row, and every edge descends at least one
+    row. *)
+
+val min_width : t -> int
+(** Lower bound on the layout width: input and output pads need one
+    column each in their border row. *)
+
+val fanout_nodes_added : t -> int
+
+val to_mapped : t -> Logic.Mapped.t
+(** Rebuild a mapped netlist (fan-outs become implicit again); useful for
+    checking that the decomposition preserved the logic. *)

@@ -1,0 +1,348 @@
+module Coord = Hexlib.Coord
+module D = Hexlib.Direction
+module GL = Layout.Gate_layout
+
+type result = {
+  layout : GL.t;
+  width : int;
+  height : int;
+  retries : int;
+}
+
+let compute_levels netlist =
+  let n = Netlist.num_nodes netlist in
+  let lev = Array.make n 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun e ->
+        if lev.(e.Netlist.dst) < lev.(e.Netlist.src) + 1 then begin
+          lev.(e.Netlist.dst) <- lev.(e.Netlist.src) + 1;
+          changed := true
+        end)
+      (Netlist.edges netlist)
+  done;
+  (* Fan-out nodes are pure wiring: schedule them as late as possible so
+     that a fan-out sits right above its consumers instead of trailing
+     two long parallel wires from its driver. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      match Netlist.kind netlist i with
+      | Netlist.N_fanout ->
+          let slack =
+            List.fold_left
+              (fun acc e ->
+                min acc (lev.((Netlist.edges netlist).(e).Netlist.dst) - 1))
+              max_int (Netlist.out_edges netlist i)
+          in
+          if slack > lev.(i) && slack < max_int then begin
+            lev.(i) <- slack;
+            changed := true
+          end
+      | Netlist.N_pi _ | Netlist.N_po _ | Netlist.N_gate _ -> ()
+    done
+  done;
+  lev
+
+(* Iterated barycenter ordering within rows. *)
+let barycenter_positions netlist rows height =
+  let n = Netlist.num_nodes netlist in
+  let x = Array.make n 0. in
+  (* Initial positions: order of appearance within each row. *)
+  let counters = Array.make height 0 in
+  for i = 0 to n - 1 do
+    x.(i) <- float_of_int counters.(rows.(i));
+    counters.(rows.(i)) <- counters.(rows.(i)) + 1
+  done;
+  let edges = Netlist.edges netlist in
+  for _sweep = 1 to 6 do
+    let sum = Array.make n 0. and cnt = Array.make n 0 in
+    Array.iter
+      (fun e ->
+        sum.(e.Netlist.dst) <- sum.(e.Netlist.dst) +. x.(e.Netlist.src);
+        cnt.(e.Netlist.dst) <- cnt.(e.Netlist.dst) + 1;
+        sum.(e.Netlist.src) <- sum.(e.Netlist.src) +. x.(e.Netlist.dst);
+        cnt.(e.Netlist.src) <- cnt.(e.Netlist.src) + 1)
+      edges;
+    for i = 0 to n - 1 do
+      if cnt.(i) > 0 then
+        x.(i) <- 0.5 *. (x.(i) +. (sum.(i) /. float_of_int cnt.(i)))
+    done
+  done;
+  x
+
+exception Routing_failed of string
+
+let attempt netlist ~width ~height ~stretch ~seed =
+  let n = Netlist.num_nodes netlist in
+  let lev = compute_levels netlist in
+  let rows = Array.make n 0 in
+  for i = 0 to n - 1 do
+    rows.(i) <-
+      (match Netlist.kind netlist i with
+      | Netlist.N_pi _ -> 0
+      | Netlist.N_po _ -> height - 1
+      | Netlist.N_gate _ | Netlist.N_fanout ->
+          (* Stretched placement: [stretch] rows per level leave every
+             edge free rows for lateral routing (the hexagonal cone only
+             drifts about half a column per row). *)
+          min (max 1 (stretch * lev.(i))) (height - 2))
+  done;
+  let x = barycenter_positions netlist rows height in
+  (* Columns: pack each row's nodes contiguously around the layout
+     center in barycenter order.  The hexagonal routing cone drifts half
+     a column per row, so compact placements keep edges short; the
+     negotiated-congestion router resolves local conflicts, and the
+     retry driver grows and stretches the grid when a circuit needs more
+     room. *)
+  let cols = Array.make n 0 in
+  for row = 0 to height - 1 do
+    let members =
+      List.filter (fun i -> rows.(i) = row) (List.init n (fun i -> i))
+      |> List.sort (fun a b -> compare x.(a) x.(b))
+    in
+    let k = List.length members in
+    if k > width - 2 then raise (Routing_failed "row wider than layout");
+    let start = max 1 ((width - k) / 2) in
+    List.iteri (fun idx node -> cols.(node) <- start + idx) members
+  done;
+  (* --- negotiated-congestion routing (PathFinder style) -------------
+     Resources are the directed southward borders between adjacent
+     tiles; each may carry one signal (which also bounds tiles to two
+     wire segments, one per incoming border).  Every edge is routed by
+     Dijkstra over border costs; overuse is legal during negotiation but
+     increasingly expensive, until a conflict-free solution remains. *)
+  let tile_index (c : Coord.offset) = (c.row * width) + c.col in
+  let tile_node = Array.make (width * height) None in
+  for i = 0 to n - 1 do
+    let c : Coord.offset = { col = cols.(i); row = rows.(i) } in
+    (match tile_node.(tile_index c) with
+    | Some _ -> raise (Routing_failed "placement collision")
+    | None -> ());
+    tile_node.(tile_index c) <- Some i
+  done;
+  let num_edges = Array.length (Netlist.edges netlist) in
+  let border_slot (p : Coord.offset) d =
+    (2 * tile_index p) + (match d with D.South_west -> 0 | _ -> 1)
+  in
+  let occupancy = Array.make (width * height * 2) 0 in
+  let history = Array.make (width * height * 2) 0. in
+  let present_factor = ref 0.5 in
+  let paths : (Coord.offset * D.t) list array = Array.make num_edges [] in
+  let in_bounds (c : Coord.offset) =
+    c.col >= 0 && c.col < width && c.row >= 0 && c.row < height
+  in
+  let rng = Random.State.make [| seed |] in
+  (* Dijkstra from the source tile to the destination tile of one edge;
+     intermediate tiles must be free of nodes and inside the wire rows. *)
+  let dijkstra (e : Netlist.edge) =
+    let src : Coord.offset = { col = cols.(e.src); row = rows.(e.src) } in
+    let dst : Coord.offset = { col = cols.(e.dst); row = rows.(e.dst) } in
+    let dist = Hashtbl.create 64 and pred = Hashtbl.create 64 in
+    let module Pq = Set.Make (struct
+      type t = float * int * int (* cost, tiebreak, tile index *)
+
+      let compare = compare
+    end) in
+    let queue = ref Pq.empty in
+    Hashtbl.replace dist (tile_index src) 0.;
+    queue := Pq.add (0., 0, tile_index src) !queue;
+    let found = ref false in
+    while (not !found) && not (Pq.is_empty !queue) do
+      let ((cost, _, pidx) as element) = Pq.min_elt !queue in
+      queue := Pq.remove element !queue;
+      if cost <= Hashtbl.find dist pidx +. 1e-12 then begin
+        let p : Coord.offset = { col = pidx mod width; row = pidx / width } in
+        if pidx = tile_index dst && not (Coord.equal_offset p src) then
+          found := true
+        else
+          List.iter
+            (fun d ->
+              let t = D.neighbor_offset p d in
+              if in_bounds t then begin
+                let usable =
+                  Coord.equal_offset t dst
+                  || (t.row >= 1 && t.row <= height - 2
+                     && tile_node.(tile_index t) = None)
+                in
+                if usable then begin
+                  let b = border_slot p d in
+                  let congestion =
+                    history.(b)
+                    +. (!present_factor *. float_of_int occupancy.(b))
+                  in
+                  let step = 1. +. congestion in
+                  let next = cost +. step in
+                  let better =
+                    match Hashtbl.find_opt dist (tile_index t) with
+                    | None -> true
+                    | Some old -> next < old -. 1e-12
+                  in
+                  if better then begin
+                    Hashtbl.replace dist (tile_index t) next;
+                    Hashtbl.replace pred (tile_index t) (p, d);
+                    queue :=
+                      Pq.add (next, Random.State.int rng 1000000, tile_index t)
+                        !queue
+                  end
+                end
+              end)
+            [ D.South_west; D.South_east ]
+      end
+    done;
+    if not !found then
+      raise
+        (Routing_failed
+           (Printf.sprintf "edge %d->%d unroutable (%d,%d)->(%d,%d)" e.src
+              e.dst src.col src.row dst.col dst.row));
+    (* Reconstruct hop list from src to dst. *)
+    let rec walk acc idx =
+      match Hashtbl.find_opt pred idx with
+      | None -> acc
+      | Some (p, d) -> walk ((p, d) :: acc) (tile_index p)
+    in
+    walk [] (tile_index dst)
+  in
+  let rip_up eid =
+    List.iter
+      (fun (p, d) ->
+        let b = border_slot p d in
+        occupancy.(b) <- occupancy.(b) - 1)
+      paths.(eid);
+    paths.(eid) <- []
+  in
+  let install eid hops =
+    List.iter
+      (fun (p, d) ->
+        let b = border_slot p d in
+        occupancy.(b) <- occupancy.(b) + 1)
+      hops;
+    paths.(eid) <- hops
+  in
+  let edges_arr = Netlist.edges netlist in
+  (* Negotiation rounds. *)
+  let conflict_free () =
+    Array.for_all (fun o -> o <= 1) occupancy
+  in
+  let rounds = ref 0 in
+  let max_rounds = 40 in
+  (try
+     while not (!rounds > 0 && conflict_free ()) do
+       if !rounds >= max_rounds then
+         raise (Routing_failed "congestion negotiation did not converge");
+       incr rounds;
+       Array.iteri
+         (fun eid e ->
+           rip_up eid;
+           install eid (dijkstra e))
+         edges_arr;
+       (* Penalize overused borders and sharpen the present cost. *)
+       Array.iteri
+         (fun b o -> if o > 1 then history.(b) <- history.(b) +. 1.)
+         occupancy;
+       present_factor := !present_factor *. 1.6
+     done
+   with Routing_failed _ as exn -> raise exn);
+  (* Decode arrivals, departures, and wire segments from the final
+     paths. *)
+  let segments : (D.t * D.t) list array = Array.make (width * height) [] in
+  let arrival = Array.make num_edges None in
+  let departure = Array.make num_edges None in
+  Array.iteri
+    (fun eid hops ->
+      let count = List.length hops in
+      List.iteri
+        (fun i (p, d) ->
+          if i = 0 then departure.(eid) <- Some d;
+          if i = count - 1 then arrival.(eid) <- Some (D.opposite d);
+          if i > 0 then begin
+            (* p is a wire tile: its incoming direction is the previous
+               hop's direction seen from p. *)
+            let _, d_in = List.nth hops (i - 1) in
+            segments.(tile_index p) <-
+              segments.(tile_index p) @ [ (D.opposite d_in, d) ]
+          end)
+        hops)
+    paths;
+
+  (* Materialize the layout. *)
+  let layout =
+    GL.create ~width ~height ~clocking:(GL.Scheme Layout.Clocking.Row)
+  in
+  for i = 0 to n - 1 do
+    let c : Coord.offset = { col = cols.(i); row = rows.(i) } in
+    let in_dirs =
+      List.map
+        (fun e -> match arrival.(e) with Some d -> d | None -> assert false)
+        (Netlist.in_edges netlist i)
+    and out_dirs =
+      List.map
+        (fun e ->
+          match departure.(e) with Some d -> d | None -> assert false)
+        (Netlist.out_edges netlist i)
+    in
+    let tile =
+      match Netlist.kind netlist i with
+      | Netlist.N_pi name -> Layout.Tile.Pi { name; out = List.hd out_dirs }
+      | Netlist.N_po name -> Layout.Tile.Po { name; inp = List.hd in_dirs }
+      | Netlist.N_gate fn ->
+          Layout.Tile.Gate { fn; ins = in_dirs; outs = out_dirs }
+      | Netlist.N_fanout ->
+          Layout.Tile.Fanout { inp = List.hd in_dirs; outs = out_dirs }
+    in
+    GL.set layout c tile
+  done;
+  Array.iteri
+    (fun idx segs ->
+      if segs <> [] then
+        GL.set layout
+          { col = idx mod width; row = idx / width }
+          (Layout.Tile.Wire { segments = segs }))
+    segments;
+  layout
+
+let place_and_route ?(max_retries = 16) netlist =
+  (* Some slack over the lower bounds reduces congestion up front. *)
+  (* Width must accommodate the most populous logic level at two
+     columns per node, not just the pad rows. *)
+  let lev = compute_levels netlist in
+  let level_population = Hashtbl.create 16 in
+  Array.iteri
+    (fun i l ->
+      match Netlist.kind netlist i with
+      | Netlist.N_gate _ | Netlist.N_fanout ->
+          Hashtbl.replace level_population l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt level_population l))
+      | Netlist.N_pi _ | Netlist.N_po _ -> ())
+    lev;
+  let widest_level =
+    Hashtbl.fold (fun _ c acc -> max c acc) level_population 0
+  in
+  let pad_row =
+    max (List.length (Netlist.pis netlist)) (List.length (Netlist.pos netlist))
+  in
+  let base_w = max (pad_row + 2) (widest_level + 3)
+  and base_h = (2 * Netlist.min_height netlist) - 1 in
+  let rec go retry errors =
+    if retry > max_retries then
+      Error
+        (Printf.sprintf "scalable P&R failed after %d retries: %s"
+           max_retries (String.concat " | " (List.rev errors)))
+    else
+      (* Alternate between re-seeding the router, growing the grid, and
+         stretching rows (spaced columns need about three rows per level
+         of lateral drift). *)
+      let grow = retry / 3 in
+      let stretch = 2 + (retry / 6) in
+      let width = base_w + grow
+      and height = ((stretch * (base_h + 1)) / 2) + grow in
+      match attempt netlist ~width ~height ~stretch ~seed:(retry * 7919) with
+      | layout ->
+          Ok { layout = GL.crop layout; width; height; retries = retry }
+      | exception Routing_failed msg ->
+          go (retry + 1) (Printf.sprintf "%dx%d: %s" width height msg :: errors)
+  in
+  go 0 []

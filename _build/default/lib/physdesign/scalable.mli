@@ -1,0 +1,32 @@
+(** Scalable (heuristic) physical design, in the spirit of [49].
+
+    Nodes are assigned rows by topological level (input pads in row 0,
+    output pads in the bottom row) and columns by iterated barycenter
+    ordering; every edge is then routed individually by breadth-first
+    maze routing through wire tiles, respecting border capacities and the
+    two-segment wire-tile capacity.  On congestion the layout is retried
+    with a wider and taller grid.
+
+    Produces legal but generally non-minimal layouts orders of magnitude
+    faster than {!Exact}; the exact-vs-scalable trade-off is one of the
+    ablations reported by the benchmark harness. *)
+
+type result = {
+  layout : Layout.Gate_layout.t;
+  width : int;
+  height : int;
+  retries : int;
+}
+
+val place_and_route :
+  ?max_retries:int -> Netlist.t -> (result, string) Stdlib.result
+(** Row clocking; retries re-seed the router and grow/stretch the grid
+    (default up to 16 retries). *)
+
+exception Routing_failed of string
+
+val attempt :
+  Netlist.t -> width:int -> height:int -> stretch:int -> seed:int ->
+  Layout.Gate_layout.t
+(** One placement-and-routing attempt at a fixed grid size (exposed for
+    tests and diagnostics).  @raise Routing_failed on congestion. *)

@@ -1,0 +1,213 @@
+type t = {
+  solver : Solver.t;
+  mutable clauses : Solver.lit list list;  (* reversed, for DIMACS *)
+  mutable true_lit : Solver.lit option;
+}
+
+let create () = { solver = Solver.create (); clauses = []; true_lit = None }
+let solver f = f.solver
+let fresh f = Solver.new_var f.solver
+let fresh_many f n = Array.init n (fun _ -> fresh f)
+
+let add_clause f c =
+  f.clauses <- c :: f.clauses;
+  Solver.add_clause f.solver c
+
+let const_true f =
+  match f.true_lit with
+  | Some l -> l
+  | None ->
+      let l = fresh f in
+      add_clause f [ l ];
+      f.true_lit <- Some l;
+      l
+
+let const_false f = -const_true f
+
+let not_ l = -l
+
+let equals_and f y a b =
+  add_clause f [ -y; a ];
+  add_clause f [ -y; b ];
+  add_clause f [ y; -a; -b ]
+
+let equals_or f y a b =
+  add_clause f [ y; -a ];
+  add_clause f [ y; -b ];
+  add_clause f [ -y; a; b ]
+
+let equals_xor f y a b =
+  add_clause f [ -y; a; b ];
+  add_clause f [ -y; -a; -b ];
+  add_clause f [ y; -a; b ];
+  add_clause f [ y; a; -b ]
+
+let and_ f a b =
+  let y = fresh f in
+  equals_and f y a b;
+  y
+
+let or_ f a b =
+  let y = fresh f in
+  equals_or f y a b;
+  y
+
+let xor_ f a b =
+  let y = fresh f in
+  equals_xor f y a b;
+  y
+
+let and_list f = function
+  | [] -> const_true f
+  | [ l ] -> l
+  | lits ->
+      let y = fresh f in
+      List.iter (fun l -> add_clause f [ -y; l ]) lits;
+      add_clause f (y :: List.map (fun l -> -l) lits);
+      y
+
+let or_list f = function
+  | [] -> const_false f
+  | [ l ] -> l
+  | lits ->
+      let y = fresh f in
+      List.iter (fun l -> add_clause f [ y; -l ]) lits;
+      add_clause f (-y :: lits);
+      y
+
+let ite f c a b =
+  let y = fresh f in
+  add_clause f [ -y; -c; a ];
+  add_clause f [ y; -c; -a ];
+  add_clause f [ -y; c; b ];
+  add_clause f [ y; c; -b ];
+  y
+
+let iff f a b =
+  add_clause f [ -a; b ];
+  add_clause f [ a; -b ]
+
+let implies f a b = add_clause f [ -a; b ]
+
+let at_least_one f lits = add_clause f lits
+
+let rec at_most_one f lits =
+  match lits with
+  | [] | [ _ ] -> ()
+  | _ when List.length lits <= 6 ->
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter (fun b -> add_clause f [ -a; -b ]) rest;
+            pairs rest
+      in
+      pairs lits
+  | _ ->
+      (* Commander encoding: split into groups of 3 with a commander
+         variable each; at most one commander. *)
+      let rec split acc group n = function
+        | [] -> if group = [] then acc else group :: acc
+        | l :: rest ->
+            if n = 3 then split (group :: acc) [ l ] 1 rest
+            else split acc (l :: group) (n + 1) rest
+      in
+      let groups = split [] [] 0 lits in
+      let commanders =
+        List.map
+          (fun group ->
+            let c = fresh f in
+            (* Commander true iff some group member true. *)
+            List.iter (fun l -> add_clause f [ c; -l ]) group;
+            at_most_one f group;
+            c)
+          groups
+      in
+      at_most_one f commanders
+
+let exactly_one f lits =
+  at_least_one f lits;
+  at_most_one f lits
+
+(* Sinz sequential-counter encoding of [sum lits <= k]. *)
+let at_most_k f lits k =
+  let lits = Array.of_list lits in
+  let n = Array.length lits in
+  if k < 0 then Array.iter (fun l -> add_clause f [ -l ]) lits
+  else if k >= n then ()
+  else if k = 0 then Array.iter (fun l -> add_clause f [ -l ]) lits
+  else begin
+    (* s.(i).(j): among the first i+1 literals at least j+1 are true. *)
+    let s = Array.init n (fun _ -> Array.init k (fun _ -> fresh f)) in
+    add_clause f [ -lits.(0); s.(0).(0) ];
+    for j = 1 to k - 1 do
+      add_clause f [ -s.(0).(j) ]
+    done;
+    for i = 1 to n - 1 do
+      add_clause f [ -lits.(i); s.(i).(0) ];
+      add_clause f [ -s.(i - 1).(0); s.(i).(0) ];
+      for j = 1 to k - 1 do
+        add_clause f [ -lits.(i); -s.(i - 1).(j - 1); s.(i).(j) ];
+        add_clause f [ -s.(i - 1).(j); s.(i).(j) ]
+      done;
+      add_clause f [ -lits.(i); -s.(i - 1).(k - 1) ]
+    done
+  end
+
+let at_least_k f lits k =
+  (* At least k of lits  <=>  at most (n - k) of their negations. *)
+  let n = List.length lits in
+  if k <= 0 then ()
+  else if k > n then add_clause f []
+  else at_most_k f (List.map (fun l -> -l) lits) (n - k)
+
+let to_dimacs f =
+  let buf = Buffer.create 4096 in
+  let clauses = List.rev f.clauses in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Solver.num_vars f.solver)
+       (List.length clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let parse_dimacs text =
+  let solver = Solver.create () in
+  let nvars = ref 0 in
+  let declared = ref false in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        (match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; v; _ ] -> (
+            match int_of_string_opt v with
+            | Some n ->
+                nvars := n;
+                for _ = 1 to n do
+                  ignore (Solver.new_var solver)
+                done
+            | None -> failwith "Cnf.parse_dimacs: bad header")
+        | _ -> failwith "Cnf.parse_dimacs: bad header");
+        declared := true
+      end
+      else begin
+        if not !declared then failwith "Cnf.parse_dimacs: clause before header";
+        List.iter
+          (fun tok ->
+            match int_of_string_opt tok with
+            | Some 0 ->
+                Solver.add_clause solver (List.rev !current);
+                current := []
+            | Some l -> current := l :: !current
+            | None -> failwith "Cnf.parse_dimacs: bad literal")
+          (String.split_on_char ' ' line |> List.filter (( <> ) ""))
+      end)
+    lines;
+  if !current <> [] then failwith "Cnf.parse_dimacs: unterminated clause";
+  (solver, !nvars)

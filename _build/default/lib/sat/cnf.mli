@@ -1,0 +1,72 @@
+(** CNF construction helpers on top of {!Solver}.
+
+    Provides Tseitin encodings of Boolean gates, cardinality constraints
+    (pairwise and sequential-counter encodings), and DIMACS
+    serialization.  All functions add clauses to the underlying solver
+    immediately. *)
+
+type t
+
+val create : unit -> t
+val solver : t -> Solver.t
+
+val fresh : t -> Solver.lit
+(** A fresh variable as a positive literal. *)
+
+val fresh_many : t -> int -> Solver.lit array
+
+val add_clause : t -> Solver.lit list -> unit
+
+val const_true : t -> Solver.lit
+(** A literal constrained to be true (allocated once per formula). *)
+
+val const_false : t -> Solver.lit
+
+(** {2 Tseitin gate encodings}
+
+    Each returns a fresh literal logically equivalent to the gate output. *)
+
+val not_ : Solver.lit -> Solver.lit
+val and_ : t -> Solver.lit -> Solver.lit -> Solver.lit
+val or_ : t -> Solver.lit -> Solver.lit -> Solver.lit
+val xor_ : t -> Solver.lit -> Solver.lit -> Solver.lit
+val and_list : t -> Solver.lit list -> Solver.lit
+val or_list : t -> Solver.lit list -> Solver.lit
+val ite : t -> Solver.lit -> Solver.lit -> Solver.lit -> Solver.lit
+(** [ite f c a b] is [c ? a : b]. *)
+
+val iff : t -> Solver.lit -> Solver.lit -> unit
+(** Assert logical equivalence of two literals. *)
+
+val implies : t -> Solver.lit -> Solver.lit -> unit
+
+val equals_and : t -> Solver.lit -> Solver.lit -> Solver.lit -> unit
+(** [equals_and f y a b] asserts [y <-> a & b] without allocating. *)
+
+val equals_or : t -> Solver.lit -> Solver.lit -> Solver.lit -> unit
+val equals_xor : t -> Solver.lit -> Solver.lit -> Solver.lit -> unit
+
+(** {2 Cardinality constraints} *)
+
+val at_least_one : t -> Solver.lit list -> unit
+
+val at_most_one : t -> Solver.lit list -> unit
+(** Pairwise encoding for up to 6 literals, sequential commander-style
+    beyond. *)
+
+val exactly_one : t -> Solver.lit list -> unit
+
+val at_most_k : t -> Solver.lit list -> int -> unit
+(** Sequential-counter encoding of [sum lits <= k]. *)
+
+val at_least_k : t -> Solver.lit list -> int -> unit
+
+(** {2 DIMACS} *)
+
+val to_dimacs : t -> string
+(** Serialize all problem clauses added through this interface. *)
+
+val parse_dimacs : string -> Solver.t * int
+(** [parse_dimacs text] builds a solver from DIMACS CNF text and returns
+    it with the declared variable count.
+    @raise Failure on malformed input. *)

@@ -1,0 +1,79 @@
+type value = Unknown | True | False
+
+let lit_value assign l =
+  match assign.(abs l - 1) with
+  | Unknown -> Unknown
+  | True -> if l > 0 then True else False
+  | False -> if l > 0 then False else True
+
+(* One pass of unit propagation; returns [None] on conflict, otherwise
+   the list of variables assigned during propagation. *)
+let rec propagate assign clauses trail =
+  let changed = ref false in
+  let conflict = ref false in
+  List.iter
+    (fun clause ->
+      if not !conflict then begin
+        let unassigned = ref [] and satisfied = ref false in
+        List.iter
+          (fun l ->
+            match lit_value assign l with
+            | True -> satisfied := true
+            | False -> ()
+            | Unknown -> unassigned := l :: !unassigned)
+          clause;
+        if not !satisfied then
+          match !unassigned with
+          | [] -> conflict := true
+          | [ l ] ->
+              assign.(abs l - 1) <- (if l > 0 then True else False);
+              trail := abs l :: !trail;
+              changed := true
+          | _ -> ()
+      end)
+    clauses;
+  if !conflict then false
+  else if !changed then propagate assign clauses trail
+  else true
+
+let solve ~nvars clauses =
+  let assign = Array.make nvars Unknown in
+  let rec search () =
+    let trail = ref [] in
+    let undo () =
+      List.iter (fun v -> assign.(v - 1) <- Unknown) !trail
+    in
+    if not (propagate assign clauses trail) then begin
+      undo ();
+      false
+    end
+    else begin
+      let rec first_unassigned i =
+        if i > nvars then None
+        else if assign.(i - 1) = Unknown then Some i
+        else first_unassigned (i + 1)
+      in
+      match first_unassigned 1 with
+      | None -> true
+      | Some v ->
+          let try_value value =
+            assign.(v - 1) <- value;
+            if search () then true
+            else begin
+              assign.(v - 1) <- Unknown;
+              false
+            end
+          in
+          if try_value True || try_value False then true
+          else begin
+            undo ();
+            false
+          end
+    end
+  in
+  if search () then
+    Some
+      (Array.map
+         (function True -> true | False | Unknown -> false)
+         assign)
+  else None

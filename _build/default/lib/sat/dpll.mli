@@ -1,0 +1,10 @@
+(** A deliberately simple DPLL solver used as a test oracle.
+
+    No learning, no heuristics beyond unit propagation — just exhaustive
+    backtracking over the variables.  Exponential, only meant for tiny
+    formulas in property-based tests of {!Solver}. *)
+
+val solve : nvars:int -> Solver.lit list list -> bool array option
+(** [solve ~nvars clauses] returns a satisfying assignment (indexed by
+    [var - 1]) or [None] when unsatisfiable.  Literals follow the DIMACS
+    convention. *)

@@ -1,0 +1,685 @@
+(* CDCL solver in the MiniSat tradition.
+
+   Internal literal encoding: variable indices are 0-based; literal
+   [2 * v] is the positive and [2 * v + 1] the negative literal of
+   variable [v].  The external (DIMACS) interface converts at the
+   boundary. *)
+
+type lit = int
+type result = Sat | Unsat
+
+exception Budget_exhausted
+
+(* Growable int vector. *)
+module Ivec = struct
+  type t = { mutable data : int array; mutable size : int }
+
+  let create () = { data = Array.make 16 0; size = 0 }
+
+  let push v x =
+    if v.size >= Array.length v.data then begin
+      let bigger = Array.make (2 * Array.length v.data) 0 in
+      Array.blit v.data 0 bigger 0 v.size;
+      v.data <- bigger
+    end;
+    v.data.(v.size) <- x;
+    v.size <- v.size + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.size
+  let clear v = v.size <- 0
+  let shrink v n = v.size <- n
+end
+
+type clause = {
+  mutable lits : int array;
+  learned : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+type t = {
+  (* Clause arena; ids index into this vector. *)
+  mutable clauses : clause array;
+  mutable clause_count : int;
+  mutable problem_clauses : int;
+  mutable learned_clauses : int;
+  (* Per-literal watch lists of clause ids. *)
+  mutable watches : Ivec.t array;
+  (* Per-variable state. *)
+  mutable assign : int array;  (* -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : int array;  (* clause id or -1 *)
+  mutable activity : float array;
+  mutable phase : bool array;
+  mutable seen : bool array;
+  mutable heap_pos : int array;  (* position in heap or -1 *)
+  mutable nvars : int;
+  (* Trail. *)
+  trail : Ivec.t;
+  trail_lim : Ivec.t;
+  mutable qhead : int;
+  (* VSIDS. *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  (* Search state. *)
+  mutable unsat : bool;
+  mutable ok_model : bool;
+  mutable model_arr : bool array;
+  mutable budget : int option;
+  (* Statistics. *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+}
+
+let var_decay = 1. /. 0.95
+let cla_decay = 1. /. 0.999
+
+let create () =
+  {
+    clauses = Array.make 64 { lits = [||]; learned = false; activity = 0.; deleted = true };
+    clause_count = 0;
+    problem_clauses = 0;
+    learned_clauses = 0;
+    watches = Array.make 16 (Ivec.create ());
+    assign = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    activity = Array.make 8 0.;
+    phase = Array.make 8 false;
+    seen = Array.make 8 false;
+    heap_pos = Array.make 8 (-1);
+    nvars = 0;
+    trail = Ivec.create ();
+    trail_lim = Ivec.create ();
+    qhead = 0;
+    heap = Array.make 8 0;
+    heap_size = 0;
+    var_inc = 1.;
+    cla_inc = 1.;
+    unsat = false;
+    ok_model = false;
+    model_arr = [||];
+    budget = None;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+  }
+
+(* --- variable heap ordered by activity (max-heap) ------------------- *)
+
+let heap_less s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    if s.heap_size >= Array.length s.heap then begin
+      let bigger = Array.make (2 * Array.length s.heap) 0 in
+      Array.blit s.heap 0 bigger 0 s.heap_size;
+      s.heap <- bigger
+    end;
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let top = s.heap.(0) in
+  s.heap_pos.(top) <- -1;
+  s.heap_size <- s.heap_size - 1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  top
+
+let heap_decrease s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* --- state growth ---------------------------------------------------- *)
+
+let grow_int_array arr n default =
+  let bigger = Array.make n default in
+  Array.blit arr 0 bigger 0 (Array.length arr);
+  bigger
+
+let grow_float_array arr n =
+  let bigger = Array.make n 0. in
+  Array.blit arr 0 bigger 0 (Array.length arr);
+  bigger
+
+let grow_bool_array arr n =
+  let bigger = Array.make n false in
+  Array.blit arr 0 bigger 0 (Array.length arr);
+  bigger
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  if v >= Array.length s.assign then begin
+    let n = 2 * Array.length s.assign in
+    s.assign <- grow_int_array s.assign n (-1);
+    s.level <- grow_int_array s.level n 0;
+    s.reason <- grow_int_array s.reason n (-1);
+    s.activity <- grow_float_array s.activity n;
+    s.phase <- grow_bool_array s.phase n;
+    s.seen <- grow_bool_array s.seen n;
+    s.heap_pos <- grow_int_array s.heap_pos n (-1)
+  end;
+  s.assign.(v) <- -1;
+  s.level.(v) <- 0;
+  s.reason.(v) <- -1;
+  s.activity.(v) <- 0.;
+  s.phase.(v) <- false;
+  s.seen.(v) <- false;
+  s.heap_pos.(v) <- -1;
+  if 2 * (v + 1) > Array.length s.watches then begin
+    let n = max 16 (4 * (v + 1)) in
+    let bigger = Array.init n (fun i ->
+        if i < Array.length s.watches then s.watches.(i) else Ivec.create ())
+    in
+    s.watches <- bigger
+  end;
+  (* The freshly shared Ivec from Array.make in [create] must be replaced
+     by distinct vectors. *)
+  s.watches.(2 * v) <- Ivec.create ();
+  s.watches.((2 * v) + 1) <- Ivec.create ();
+  heap_insert s v;
+  v + 1
+
+let num_vars s = s.nvars
+let num_clauses s = s.problem_clauses
+
+(* --- literal helpers -------------------------------------------------- *)
+
+let lit_of_dimacs s l =
+  if l = 0 then invalid_arg "Solver: literal 0";
+  let v = abs l - 1 in
+  if v >= s.nvars then
+    invalid_arg (Printf.sprintf "Solver: unallocated variable %d" (abs l));
+  (2 * v) + (if l < 0 then 1 else 0)
+
+let lit_var l = l lsr 1
+let lit_neg l = l lxor 1
+
+(* Value of an internal literal: -1 unassigned, 0 false, 1 true. *)
+let lit_value s l =
+  let a = s.assign.(lit_var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+(* --- activity --------------------------------------------------------- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_decrease s v
+
+let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let cla_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    for i = 0 to s.clause_count - 1 do
+      let cl = s.clauses.(i) in
+      if cl.learned then cl.activity <- cl.activity *. 1e-20
+    done;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay_activity s = s.cla_inc <- s.cla_inc *. cla_decay
+
+(* --- clause arena ------------------------------------------------------ *)
+
+let alloc_clause s lits learned =
+  if s.clause_count >= Array.length s.clauses then begin
+    let bigger =
+      Array.make (2 * Array.length s.clauses)
+        { lits = [||]; learned = false; activity = 0.; deleted = true }
+    in
+    Array.blit s.clauses 0 bigger 0 s.clause_count;
+    s.clauses <- bigger
+  end;
+  let id = s.clause_count in
+  s.clauses.(id) <- { lits; learned; activity = 0.; deleted = false };
+  s.clause_count <- id + 1;
+  if learned then s.learned_clauses <- s.learned_clauses + 1;
+  id
+
+let watch_clause s id =
+  let c = s.clauses.(id) in
+  Ivec.push s.watches.(lit_neg c.lits.(0)) id;
+  Ivec.push s.watches.(lit_neg c.lits.(1)) id
+
+(* --- assignment -------------------------------------------------------- *)
+
+let decision_level s = Ivec.size s.trail_lim
+
+let enqueue s l reason =
+  let v = lit_var l in
+  s.assign.(v) <- 1 - (l land 1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- l land 1 = 0;
+  Ivec.push s.trail l
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Ivec.get s.trail_lim lvl in
+    for i = Ivec.size s.trail - 1 downto bound do
+      let v = lit_var (Ivec.get s.trail i) in
+      s.assign.(v) <- -1;
+      s.reason.(v) <- -1;
+      heap_insert s v
+    done;
+    Ivec.shrink s.trail bound;
+    Ivec.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* --- propagation -------------------------------------------------------- *)
+
+(* Returns the id of a conflicting clause, or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict < 0 && s.qhead < Ivec.size s.trail do
+    let p = Ivec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    (* Clauses watching ¬p must be inspected. *)
+    let ws = s.watches.(p) in
+    let n = Ivec.size ws in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let id = Ivec.get ws !i in
+      incr i;
+      let c = s.clauses.(id) in
+      if c.deleted then () (* drop from the list *)
+      else begin
+        let false_lit = lit_neg p in
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        if lit_value s c.lits.(0) = 1 then begin
+          (* Clause satisfied; keep the watch. *)
+          Ivec.set ws !keep id;
+          incr keep
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let len = Array.length c.lits in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < len do
+            if lit_value s c.lits.(!k) <> 0 then begin
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- false_lit;
+              Ivec.push s.watches.(lit_neg c.lits.(1)) id;
+              found := true
+            end;
+            incr k
+          done;
+          if not !found then begin
+            (* Unit or conflicting. *)
+            Ivec.set ws !keep id;
+            incr keep;
+            if lit_value s c.lits.(0) = 0 then begin
+              conflict := id;
+              (* Copy the remaining watchers back. *)
+              while !i < n do
+                Ivec.set ws !keep (Ivec.get ws !i);
+                incr keep;
+                incr i
+              done;
+              s.qhead <- Ivec.size s.trail
+            end
+            else enqueue s c.lits.(0) id
+          end
+        end
+      end
+    done;
+    Ivec.shrink ws !keep
+  done;
+  !conflict
+
+(* --- conflict analysis --------------------------------------------------- *)
+
+(* Returns (learned clause as array with asserting literal first,
+   backtrack level). *)
+let analyze s conflict_id =
+  let learned = Ivec.create () in
+  Ivec.push learned 0 (* placeholder for the asserting literal *);
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref conflict_id in
+  let index = ref (Ivec.size s.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    let c = s.clauses.(!confl) in
+    if c.learned then cla_bump s c;
+    let start = if !p < 0 then 0 else 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = lit_var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else Ivec.push learned q
+      end
+    done;
+    (* Select the next literal to resolve on: most recent seen on trail. *)
+    while not s.seen.(lit_var (Ivec.get s.trail !index)) do
+      decr index
+    done;
+    p := Ivec.get s.trail !index;
+    decr index;
+    let v = lit_var !p in
+    s.seen.(v) <- false;
+    decr counter;
+    if !counter = 0 then continue := false
+    else begin
+      confl := s.reason.(v);
+      (* The resolved variable always has a reason while counter > 0. *)
+      assert (!confl >= 0)
+    end
+  done;
+  Ivec.set learned 0 (lit_neg !p);
+  (* Cheap non-recursive minimization: a literal is redundant when its
+     reason clause exists and all other reason literals are already in
+     the learned clause (seen) or at level 0. *)
+  let redundant q =
+    let v = lit_var q in
+    let r = s.reason.(v) in
+    r >= 0
+    && Array.for_all
+         (fun l ->
+           let w = lit_var l in
+           w = v || s.seen.(w) || s.level.(w) = 0)
+         s.clauses.(r).lits
+  in
+  (* Mark learned literals as seen for the redundancy test. *)
+  for i = 0 to Ivec.size learned - 1 do
+    s.seen.(lit_var (Ivec.get learned i)) <- true
+  done;
+  let result = Ivec.create () in
+  Ivec.push result (Ivec.get learned 0);
+  for i = 1 to Ivec.size learned - 1 do
+    let q = Ivec.get learned i in
+    if not (redundant q) then Ivec.push result q
+  done;
+  for i = 0 to Ivec.size learned - 1 do
+    s.seen.(lit_var (Ivec.get learned i)) <- false
+  done;
+  (* Backtrack level: the highest level among the non-asserting
+     literals; the second watched position must hold a literal of that
+     level. *)
+  let bt = ref 0 in
+  let pos = ref 1 in
+  for i = 1 to Ivec.size result - 1 do
+    let lv = s.level.(lit_var (Ivec.get result i)) in
+    if lv > !bt then begin
+      bt := lv;
+      pos := i
+    end
+  done;
+  let arr = Array.init (Ivec.size result) (Ivec.get result) in
+  if Array.length arr > 1 then begin
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!pos);
+    arr.(!pos) <- tmp
+  end;
+  (arr, !bt)
+
+(* --- learned clause database reduction ------------------------------------ *)
+
+let rebuild_watches s =
+  Array.iter Ivec.clear s.watches;
+  for id = 0 to s.clause_count - 1 do
+    let c = s.clauses.(id) in
+    if not c.deleted then watch_clause s id
+  done
+
+let locked s id =
+  let c = s.clauses.(id) in
+  Array.length c.lits > 0
+  &&
+  let v = lit_var c.lits.(0) in
+  s.assign.(v) >= 0 && s.reason.(v) = id
+
+(* Delete the least active half of the learned clauses.  Called at
+   decision level 0 only. *)
+let reduce_db s =
+  let learned = ref [] in
+  for id = 0 to s.clause_count - 1 do
+    let c = s.clauses.(id) in
+    if c.learned && (not c.deleted) && Array.length c.lits > 2
+       && not (locked s id)
+    then learned := (c.activity, id) :: !learned
+  done;
+  let sorted = List.sort compare !learned in
+  let to_delete = List.length sorted / 2 in
+  List.iteri
+    (fun i (_, id) ->
+      if i < to_delete then begin
+        s.clauses.(id).deleted <- true;
+        s.learned_clauses <- s.learned_clauses - 1
+      end)
+    sorted;
+  rebuild_watches s
+
+(* --- adding clauses --------------------------------------------------------- *)
+
+let add_clause s dimacs_lits =
+  assert (decision_level s = 0);
+  s.ok_model <- false;
+  s.problem_clauses <- s.problem_clauses + 1;
+  if not s.unsat then begin
+    let lits = List.map (lit_of_dimacs s) dimacs_lits in
+    (* Sort, deduplicate, and detect tautologies / falsified literals. *)
+    let sorted = List.sort_uniq compare lits in
+    let tautology =
+      let rec check = function
+        | a :: (b :: _ as rest) -> (a lxor b = 1 && a lsr 1 = b lsr 1) || check rest
+        | _ -> false
+      in
+      check sorted
+    in
+    if not tautology then begin
+      let remaining =
+        List.filter (fun l -> lit_value s l <> 0) sorted
+      in
+      if List.exists (fun l -> lit_value s l = 1) remaining then ()
+      else
+        match remaining with
+        | [] -> s.unsat <- true
+        | [ l ] ->
+            enqueue s l (-1);
+            if propagate s >= 0 then s.unsat <- true
+        | _ ->
+            let arr = Array.of_list remaining in
+            let id = alloc_clause s arr false in
+            watch_clause s id
+    end
+  end
+
+(* --- search ------------------------------------------------------------------ *)
+
+(* Luby sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (0-indexed). *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let record_learned s arr =
+  if Array.length arr = 1 then begin
+    cancel_until s 0;
+    enqueue s arr.(0) (-1)
+  end
+  else begin
+    let id = alloc_clause s arr true in
+    watch_clause s id;
+    enqueue s arr.(0) id
+  end
+
+let pick_branch_var s =
+  let rec go () =
+    if s.heap_size = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.assign.(v) < 0 then v else go ()
+  in
+  go ()
+
+type search_outcome = Sat_found | Unsat_found | Restarted
+
+exception Found of search_outcome
+
+let search s assumptions max_conflicts =
+  let conflicts_here = ref 0 in
+  try
+    while true do
+      let confl = propagate s in
+      if confl >= 0 then begin
+        s.conflicts <- s.conflicts + 1;
+        incr conflicts_here;
+        (match s.budget with
+        | Some b when s.conflicts > b ->
+            cancel_until s 0;
+            raise Budget_exhausted
+        | Some _ | None -> ());
+        if decision_level s = 0 then raise (Found Unsat_found);
+        let learned, bt = analyze s confl in
+        cancel_until s bt;
+        record_learned s learned;
+        var_decay_activity s;
+        cla_decay_activity s
+      end
+      else if !conflicts_here >= max_conflicts then begin
+        s.restarts <- s.restarts + 1;
+        cancel_until s 0;
+        raise (Found Restarted)
+      end
+      else if decision_level s < List.length assumptions then begin
+        (* Apply the next pending assumption as a decision. *)
+        let l = List.nth assumptions (decision_level s) in
+        match lit_value s l with
+        | 1 ->
+            (* Already satisfied: open an empty decision level so the
+               indexing of assumptions by level stays aligned. *)
+            Ivec.push s.trail_lim (Ivec.size s.trail)
+        | 0 -> raise (Found Unsat_found)
+        | _ ->
+            Ivec.push s.trail_lim (Ivec.size s.trail);
+            enqueue s l (-1)
+      end
+      else begin
+        let v = pick_branch_var s in
+        if v < 0 then raise (Found Sat_found)
+        else begin
+          s.decisions <- s.decisions + 1;
+          Ivec.push s.trail_lim (Ivec.size s.trail);
+          let l = (2 * v) + (if s.phase.(v) then 0 else 1) in
+          enqueue s l (-1)
+        end
+      end
+    done;
+    assert false
+  with Found r -> r
+
+let solve ?(assumptions = []) s =
+  if s.unsat then Unsat
+  else begin
+    let assumptions = List.map (lit_of_dimacs s) assumptions in
+    cancel_until s 0;
+    s.ok_model <- false;
+    let result = ref None in
+    let round = ref 0 in
+    (try
+       while !result = None do
+         let max_conflicts = 100 * luby !round in
+         incr round;
+         (match search s assumptions max_conflicts with
+         | Sat_found ->
+             (* Snapshot the model before undoing the trail. *)
+             s.model_arr <- Array.init s.nvars (fun v -> s.assign.(v) = 1);
+             s.ok_model <- true;
+             result := Some Sat
+         | Unsat_found -> result := Some Unsat
+         | Restarted -> ());
+         if
+           !result = None
+           && s.learned_clauses > (2 * s.problem_clauses) + 2000
+         then reduce_db s
+       done
+     with e ->
+       cancel_until s 0;
+       raise e);
+    cancel_until s 0;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value s l =
+  if not s.ok_model then invalid_arg "Solver.value: no model available";
+  let v = abs l - 1 in
+  if l = 0 || v >= Array.length s.model_arr then
+    invalid_arg "Solver.value: unknown variable";
+  if l > 0 then s.model_arr.(v) else not s.model_arr.(v)
+
+let model s = Array.init s.nvars (fun v -> value s (v + 1))
+
+let set_conflict_budget s b =
+  s.budget <- (match b with None -> None | Some n -> Some (s.conflicts + n))
+
+let stats s =
+  Printf.sprintf
+    "vars=%d clauses=%d learned=%d conflicts=%d decisions=%d propagations=%d restarts=%d"
+    s.nvars s.problem_clauses s.learned_clauses s.conflicts s.decisions
+    s.propagations s.restarts

@@ -1,0 +1,56 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal propagation,
+    first-UIP learning with recursive clause minimization, VSIDS variable
+    activities, phase saving, Luby restarts, and activity-based learned
+    clause deletion.  It replaces the off-the-shelf SAT/SMT back ends used
+    by the paper's exact physical design [46] and equivalence checking
+    [50].
+
+    Literals follow the DIMACS convention: variables are positive
+    integers, and a negative integer denotes the complement of the
+    corresponding variable. *)
+
+type t
+
+type result = Sat | Unsat
+
+type lit = int
+(** [v] for variable [v], [-v] for its negation; [v >= 1]. *)
+
+val create : unit -> t
+
+val new_var : t -> lit
+(** Allocate a fresh variable and return it as a positive literal. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+(** Number of problem (non-learned) clauses added so far, counting those
+    simplified away at add time. *)
+
+val add_clause : t -> lit list -> unit
+(** Add a clause.  Tautologies are dropped and duplicate literals merged.
+    Adding the empty clause makes the instance trivially unsatisfiable.
+    @raise Invalid_argument on literal 0 or an unallocated variable. *)
+
+val solve : ?assumptions:lit list -> t -> result
+(** Solve under the given assumptions.  The solver is incremental: more
+    clauses and variables may be added after a call to [solve], and
+    subsequent calls reuse learned clauses. *)
+
+val value : t -> lit -> bool
+(** Value of a literal in the model found by the last [solve].
+    @raise Invalid_argument if the last call did not return [Sat]. *)
+
+val model : t -> bool array
+(** Values of all variables, indexed by [var - 1]. *)
+
+val stats : t -> string
+(** Human-readable counters (conflicts, decisions, propagations,
+    restarts). *)
+
+val set_conflict_budget : t -> int option -> unit
+(** Limit the number of conflicts for subsequent [solve] calls; [None]
+    removes the limit.  An exhausted budget raises {!Budget_exhausted}. *)
+
+exception Budget_exhausted

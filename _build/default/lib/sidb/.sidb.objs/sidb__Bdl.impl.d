@@ -1,0 +1,1 @@
+lib/sidb/bdl.ml: Array Charge_system Ground_state Lattice List Model Simanneal

@@ -1,0 +1,1 @@
+lib/sidb/bdl.mli: Lattice Model Simanneal

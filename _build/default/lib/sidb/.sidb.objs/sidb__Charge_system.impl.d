@@ -1,0 +1,1 @@
+lib/sidb/charge_system.ml: Array Format Lattice Model

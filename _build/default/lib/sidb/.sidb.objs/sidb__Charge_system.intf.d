@@ -1,0 +1,1 @@
+lib/sidb/charge_system.mli: Lattice Model

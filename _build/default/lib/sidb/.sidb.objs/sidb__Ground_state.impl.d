@@ -1,0 +1,1 @@
+lib/sidb/ground_state.ml: Array Charge_system Float List Model

@@ -1,0 +1,1 @@
+lib/sidb/ground_state.mli: Charge_system

@@ -1,0 +1,1 @@
+lib/sidb/lattice.ml: Float Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/sidb/lattice.mli: Format

@@ -1,0 +1,1 @@
+lib/sidb/model.ml: Array Lattice

@@ -1,0 +1,1 @@
+lib/sidb/model.mli: Lattice

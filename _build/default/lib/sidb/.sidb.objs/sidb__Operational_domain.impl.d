@@ -1,0 +1,1 @@
+lib/sidb/operational_domain.ml: Array Bdl Buffer Charge_system Ground_state List Model

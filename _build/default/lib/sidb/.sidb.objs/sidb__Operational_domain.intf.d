@@ -1,0 +1,1 @@
+lib/sidb/operational_domain.mli: Bdl Model

@@ -1,0 +1,1 @@
+lib/sidb/simanneal.ml: Array Charge_system Float Ground_state List Model Random

@@ -1,0 +1,1 @@
+lib/sidb/simanneal.mli: Charge_system Ground_state

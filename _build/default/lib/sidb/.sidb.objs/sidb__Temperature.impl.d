@@ -1,0 +1,1 @@
+lib/sidb/temperature.ml: Array Bdl Charge_system Ground_state List Model

@@ -1,0 +1,1 @@
+lib/sidb/temperature.mli: Bdl Charge_system Model

@@ -1,0 +1,124 @@
+type pair = { zero : Lattice.site; one : Lattice.site }
+
+type input_driver = { near : Lattice.site list; far : Lattice.site list }
+
+type structure = {
+  name : string;
+  inputs : input_driver array;
+  outputs : pair array;
+  fixed : Lattice.site list;
+}
+
+let sites_for s assignment =
+  if Array.length assignment <> Array.length s.inputs then
+    invalid_arg "Bdl.sites_for: assignment arity mismatch";
+  let perturbers =
+    List.concat
+      (List.mapi
+         (fun i driver -> if assignment.(i) then driver.near else driver.far)
+         (Array.to_list s.inputs))
+  in
+  Array.of_list (s.fixed @ perturbers)
+
+let read_pair sites occ p =
+  let find site =
+    let rec go i =
+      if i >= Array.length sites then None
+      else if Lattice.equal sites.(i) site then Some occ.(i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  match (find p.zero, find p.one) with
+  | Some z, Some o ->
+      if o && not z then Some true
+      else if z && not o then Some false
+      else None
+  | _ -> None
+
+type engine = Exhaustive | Branch_and_bound | Anneal of Simanneal.params
+
+type row_result = {
+  assignment : bool array;
+  expected : bool array;
+  observed : bool option array list;
+  ground_energy : float;
+  ok : bool;
+}
+
+type report = { structure : structure; rows : row_result list; functional : bool }
+
+let solve engine sys =
+  match engine with
+  | Exhaustive -> Ground_state.exhaustive sys
+  | Branch_and_bound -> Ground_state.branch_and_bound sys
+  | Anneal params -> Simanneal.run ~params sys
+
+let check ?(engine = Branch_and_bound) ?(model = Model.default) s ~spec =
+  let arity = Array.length s.inputs in
+  let rows = ref [] in
+  for row = 0 to (1 lsl arity) - 1 do
+    let assignment = Array.init arity (fun i -> (row lsr i) land 1 = 1) in
+    let expected = spec assignment in
+    let sites = sites_for s assignment in
+    let sys = Charge_system.create model sites in
+    let result = solve engine sys in
+    let observed =
+      List.map
+        (fun occ ->
+          Array.map (fun p -> read_pair sites occ p) s.outputs)
+        result.Ground_state.states
+    in
+    let ok =
+      observed <> []
+      && List.for_all
+           (fun obs ->
+             Array.length obs = Array.length expected
+             && Array.for_all2
+                  (fun o e -> match o with Some v -> v = e | None -> false)
+                  obs expected)
+           observed
+    in
+    rows :=
+      {
+        assignment;
+        expected;
+        observed;
+        ground_energy = result.Ground_state.energy;
+        ok;
+      }
+      :: !rows
+  done;
+  let rows = List.rev !rows in
+  { structure = s; rows; functional = List.for_all (fun r -> r.ok) rows }
+
+let operational r = r.functional
+
+
+let logic_margin ?(model = Model.default) ?(window = 0.25) s ~spec =
+  let arity = Array.length s.inputs in
+  let worst = ref infinity in
+  for row = 0 to (1 lsl arity) - 1 do
+    let assignment = Array.init arity (fun i -> (row lsr i) land 1 = 1) in
+    let expected = spec assignment in
+    let sites = sites_for s assignment in
+    let sys = Charge_system.create model sites in
+    let spectrum = Ground_state.spectrum ~window sys in
+    let e0 = match spectrum with (_, e) :: _ -> e | [] -> 0. in
+    let wrong_energy =
+      List.fold_left
+        (fun acc (occ, e) ->
+          let obs = Array.map (fun p -> read_pair sites occ p) s.outputs in
+          let right =
+            Array.length obs = Array.length expected
+            && Array.for_all2 (fun o ex -> o = Some ex) obs expected
+          in
+          if right then acc else min acc e)
+        infinity spectrum
+    in
+    let margin =
+      if wrong_energy = infinity then window else wrong_energy -. e0
+    in
+    if margin < !worst then worst := margin
+  done;
+  if !worst = infinity then window else max 0. !worst

@@ -1,0 +1,78 @@
+(** Binary-dot logic (BDL) on SiDBs [18].
+
+    A bit is encoded in a {e pair} of SiDBs sharing one excess electron:
+    charge on the pair's [one] site means logic 1, charge on the [zero]
+    site logic 0.  Gate inputs are set through {e perturbers} — fixed
+    SiDBs that emulate the Coulombic pressure of an upstream BDL wire.
+    Following the paper's refinement of Huff et al.'s methodology, a
+    perturber is present for {e both} logic states, at a close position
+    for 1 and a farther one for 0 (Sec. 4.1). *)
+
+type pair = { zero : Lattice.site; one : Lattice.site }
+
+type input_driver = {
+  near : Lattice.site list;  (** Perturber sites emulating logic 1. *)
+  far : Lattice.site list;  (** Perturber sites emulating logic 0. *)
+}
+
+(** A simulatable logic structure: a Bestagon tile's dot-level content. *)
+type structure = {
+  name : string;
+  inputs : input_driver array;
+  outputs : pair array;
+  fixed : Lattice.site list;
+      (** All remaining SiDBs: input/output wire pairs, canvas dots, and
+          output perturbers. *)
+}
+
+val sites_for : structure -> bool array -> Lattice.site array
+(** All SiDBs of the structure under an input assignment (selects near or
+    far perturbers per input).
+    @raise Invalid_argument on arity mismatch. *)
+
+val read_pair :
+  Lattice.site array -> bool array -> pair -> bool option
+(** Logic value of a BDL pair in an occupation over the given site array:
+    [Some] when exactly one of the two sites is charged, [None]
+    otherwise. *)
+
+type engine =
+  | Exhaustive  (** ExGS; up to 24 SiDBs. *)
+  | Branch_and_bound  (** QuickExact-style; default. *)
+  | Anneal of Simanneal.params
+
+type row_result = {
+  assignment : bool array;
+  expected : bool array;
+  observed : bool option array list;  (** One entry per degenerate ground state. *)
+  ground_energy : float;
+  ok : bool;  (** All ground states read back the expected outputs. *)
+}
+
+type report = { structure : structure; rows : row_result list; functional : bool }
+
+val check :
+  ?engine:engine ->
+  ?model:Model.t ->
+  structure ->
+  spec:(bool array -> bool array) ->
+  report
+(** Exercise the structure on all input combinations against the
+    specification (e.g. [fun i -> [| i.(0) <> i.(1) |]] for XOR);
+    functional iff every row is [ok]. *)
+
+val operational : report -> bool
+
+val logic_margin :
+  ?model:Model.t ->
+  ?window:float ->
+  structure ->
+  spec:(bool array -> bool array) ->
+  float
+(** Worst-case energetic separation between the ground state and the
+    lowest state that reads back a {e wrong} (or unpolarized) output, in
+    eV over all input rows.  Positive margins mean thermal robustness
+    (cf. {!Temperature}); 0 when some ground state itself mis-reads.
+    States are enumerated within [window] (default 0.25 eV) of the ground
+    energy; if no wrong state exists inside the window, the window value
+    is returned as a lower bound. *)

@@ -1,0 +1,91 @@
+type t = {
+  model : Model.t;
+  sites : Lattice.site array;
+  v : float array array;
+  v_ext : float array;
+}
+
+let create ?v_ext model sites =
+  let n = Array.length sites in
+  Array.iteri
+    (fun i s1 ->
+      Array.iteri
+        (fun j s2 ->
+          if i < j && Lattice.equal s1 s2 then
+            invalid_arg
+              (Format.asprintf "Charge_system.create: duplicate site %a"
+                 Lattice.pp s1))
+        sites)
+    sites;
+  let v_ext =
+    match v_ext with
+    | None -> Array.make n 0.
+    | Some v ->
+        if Array.length v <> n then
+          invalid_arg "Charge_system.create: v_ext length mismatch"
+        else Array.copy v
+  in
+  { model; sites; v = Model.interaction_matrix model sites; v_ext }
+
+let size t = Array.length t.sites
+let sites t = t.sites
+let model t = t.model
+let interaction t i j = t.v.(i).(j)
+
+let energy t occ =
+  let n = Array.length t.sites in
+  if Array.length occ <> n then
+    invalid_arg "Charge_system.energy: occupation length mismatch";
+  let e = ref 0. in
+  for i = 0 to n - 1 do
+    if occ.(i) then begin
+      e := !e +. t.model.Model.mu_minus +. t.v_ext.(i);
+      for j = i + 1 to n - 1 do
+        if occ.(j) then e := !e +. t.v.(i).(j)
+      done
+    end
+  done;
+  !e
+
+let local_potential t occ i =
+  let acc = ref t.v_ext.(i) in
+  for j = 0 to Array.length t.sites - 1 do
+    if occ.(j) && j <> i then acc := !acc +. t.v.(i).(j)
+  done;
+  !acc
+
+let population_stable t occ =
+  let n = Array.length t.sites in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let dv = t.model.Model.mu_minus +. local_potential t occ i in
+    if occ.(i) then begin
+      if dv > 1e-9 then ok := false
+    end
+    else if dv < -1e-9 then ok := false
+  done;
+  !ok
+
+let configuration_stable t occ =
+  let n = Array.length t.sites in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if occ.(i) then
+      for j = 0 to n - 1 do
+        if (not occ.(j)) && i <> j then begin
+          (* Hop i -> j: remove charge at i, add at j. *)
+          let delta =
+            local_potential t occ j -. local_potential t occ i -. t.v.(i).(j)
+          in
+          if delta < -1e-9 then ok := false
+        end
+      done
+  done;
+  !ok
+
+let physically_valid t occ = population_stable t occ && configuration_stable t occ
+
+let with_v_ext t v_ext =
+  if Array.length v_ext <> Array.length t.sites then
+    invalid_arg "Charge_system.with_v_ext: length mismatch"
+  else { t with v_ext = Array.copy v_ext }

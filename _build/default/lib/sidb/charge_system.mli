@@ -1,0 +1,33 @@
+(** A fixed set of SiDBs with its interaction matrix and (optional)
+    external potential — the object the ground-state engines work on. *)
+
+type t
+
+val create : ?v_ext:float array -> Model.t -> Lattice.site array -> t
+(** [v_ext] is an additional local potential per site in eV (e.g. from
+    clocking electrodes); defaults to zero.
+    @raise Invalid_argument on duplicate sites or length mismatch. *)
+
+val size : t -> int
+val sites : t -> Lattice.site array
+val model : t -> Model.t
+val interaction : t -> int -> int -> float
+
+val energy : t -> bool array -> float
+(** Grand-canonical energy of an occupation vector ([true] = negatively
+    charged). *)
+
+val local_potential : t -> bool array -> int -> float
+(** [sum_j V_ij n_j + v_ext_i] — the potential felt at site [i]. *)
+
+val population_stable : t -> bool array -> bool
+(** SiQAD's population-stability criterion: every occupied site has
+    [mu_minus + v_i <= 0] and every empty site [mu_minus + v_i >= 0]. *)
+
+val configuration_stable : t -> bool array -> bool
+(** No single-electron hop lowers the energy. *)
+
+val physically_valid : t -> bool array -> bool
+
+val with_v_ext : t -> float array -> t
+(** Same sites, different external potential (for clocking sweeps). *)

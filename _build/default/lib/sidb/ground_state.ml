@@ -1,0 +1,215 @@
+type result = { energy : float; states : bool array list }
+
+let degeneracy r = List.length r.states
+
+let epsilon = 1e-9
+
+(* Gray-code enumeration: consecutive codes differ in one bit, so the
+   energy is updated incrementally in O(n) per configuration. *)
+let exhaustive ?(max_states = 64) sys =
+  let n = Charge_system.size sys in
+  if n > 24 then invalid_arg "Ground_state.exhaustive: more than 24 sites";
+  if n = 0 then { energy = 0.; states = [ [||] ] }
+  else begin
+    let mu = (Charge_system.model sys).Model.mu_minus in
+    let occ = Array.make n false in
+    let best_energy = ref 0. (* the all-neutral configuration *) in
+    let best_states = ref [ Array.copy occ ] in
+    let current = ref 0. in
+    let flip_cost i =
+      (* Energy delta of toggling site i. *)
+      let dv = ref (mu +. Charge_system.local_potential sys occ i) in
+      if occ.(i) then dv := -. !dv;
+      !dv
+    in
+    let total = 1 lsl n in
+    for g = 1 to total - 1 do
+      (* Bit flipped between Gray codes of g-1 and g. *)
+      let flip =
+        let x = g lxor (g lsr 1) and y = (g - 1) lxor ((g - 1) lsr 1) in
+        let d = x lxor y in
+        let rec bit_index k d = if d land 1 = 1 then k else bit_index (k + 1) (d lsr 1) in
+        bit_index 0 d
+      in
+      current := !current +. flip_cost flip;
+      occ.(flip) <- not occ.(flip);
+      if !current < !best_energy -. epsilon then begin
+        best_energy := !current;
+        best_states := [ Array.copy occ ]
+      end
+      else if
+        Float.abs (!current -. !best_energy) <= epsilon
+        && List.length !best_states < max_states
+      then best_states := Array.copy occ :: !best_states
+    done;
+    { energy = !best_energy; states = List.rev !best_states }
+  end
+
+let branch_and_bound ?(max_states = 64) sys =
+  let n = Charge_system.size sys in
+  if n = 0 then { energy = 0.; states = [ [||] ] }
+  else begin
+    let mu = (Charge_system.model sys).Model.mu_minus in
+    (* Explore sites in decreasing total-interaction order: strongly
+       coupled sites first make the bound effective early. *)
+    let weight i =
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        if j <> i then acc := !acc +. Charge_system.interaction sys i j
+      done;
+      !acc
+    in
+    let order =
+      List.sort
+        (fun a b -> compare (weight b) (weight a))
+        (List.init n (fun i -> i))
+      |> Array.of_list
+    in
+    let occ = Array.make n false in
+    let best_energy = ref 0. and best_states = ref [ Array.copy occ ] in
+    (* v.(i): potential at site i from currently assigned charges. *)
+    let v = Array.make n 0. in
+    let rec explore depth current =
+      if depth = n then begin
+        if current < !best_energy -. epsilon then begin
+          best_energy := current;
+          best_states := [ Array.copy occ ]
+        end
+        else if
+          Float.abs (current -. !best_energy) <= epsilon
+          && List.length !best_states < max_states
+        then best_states := Array.copy occ :: !best_states
+      end
+      else begin
+        (* Admissible lower bound on the remaining energy: every
+           still-unassigned site can contribute at least
+           min(0, mu + v_i) (interactions among future charges are
+           non-negative). *)
+        let bound = ref 0. in
+        for d = depth to n - 1 do
+          let i = order.(d) in
+          let c = mu +. v.(i) in
+          if c < 0. then bound := !bound +. c
+        done;
+        if current +. !bound < !best_energy +. epsilon then begin
+          let i = order.(depth) in
+          let try_occupied () =
+            let delta = mu +. v.(i) in
+            occ.(i) <- true;
+            for j = 0 to n - 1 do
+              if j <> i then
+                v.(j) <- v.(j) +. Charge_system.interaction sys i j
+            done;
+            explore (depth + 1) (current +. delta);
+            for j = 0 to n - 1 do
+              if j <> i then
+                v.(j) <- v.(j) -. Charge_system.interaction sys i j
+            done;
+            occ.(i) <- false
+          in
+          let try_empty () = explore (depth + 1) current in
+          (* Branch on the more promising value first. *)
+          if mu +. v.(i) < 0. then begin
+            try_occupied ();
+            try_empty ()
+          end
+          else begin
+            try_empty ();
+            try_occupied ()
+          end
+        end
+      end
+    in
+    (* Initialize v with the external potential. *)
+    let zero_occ = Array.make n false in
+    for i = 0 to n - 1 do
+      v.(i) <- Charge_system.local_potential sys zero_occ i
+    done;
+    explore 0 0.;
+    { energy = !best_energy; states = List.rev !best_states }
+  end
+
+
+(* Low-energy spectrum: like [branch_and_bound], but keeping every
+   configuration within [window] of the running optimum. *)
+let spectrum ?(max_states = 4096) ~window sys =
+  let n = Charge_system.size sys in
+  if n = 0 then [ ([||], 0.) ]
+  else begin
+    let mu = (Charge_system.model sys).Model.mu_minus in
+    let weight i =
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        if j <> i then acc := !acc +. Charge_system.interaction sys i j
+      done;
+      !acc
+    in
+    let order =
+      List.sort (fun a b -> compare (weight b) (weight a))
+        (List.init n (fun i -> i))
+      |> Array.of_list
+    in
+    let occ = Array.make n false in
+    let best = ref 0. in
+    let collected = ref [ (Array.copy occ, 0.) ] in
+    let v = Array.make n 0. in
+    let zero_occ = Array.make n false in
+    for i = 0 to n - 1 do
+      v.(i) <- Charge_system.local_potential sys zero_occ i
+    done;
+    let rec explore depth current =
+      if current < !best then best := current;
+      if depth = n then begin
+        if current > epsilon || Array.exists (fun b -> b) occ then
+          collected := (Array.copy occ, current) :: !collected
+      end
+      else begin
+        let bound = ref 0. in
+        for d = depth to n - 1 do
+          let i = order.(d) in
+          let c = mu +. v.(i) in
+          if c < 0. then bound := !bound +. c
+        done;
+        if current +. !bound <= !best +. window +. epsilon then begin
+          let i = order.(depth) in
+          let try_occupied () =
+            let delta = mu +. v.(i) in
+            occ.(i) <- true;
+            for j = 0 to n - 1 do
+              if j <> i then
+                v.(j) <- v.(j) +. Charge_system.interaction sys i j
+            done;
+            explore (depth + 1) (current +. delta);
+            for j = 0 to n - 1 do
+              if j <> i then
+                v.(j) <- v.(j) -. Charge_system.interaction sys i j
+            done;
+            occ.(i) <- false
+          in
+          if mu +. v.(i) < 0. then begin
+            try_occupied ();
+            explore (depth + 1) current
+          end
+          else begin
+            explore (depth + 1) current;
+            try_occupied ()
+          end
+        end
+      end
+    in
+    explore 0 0.;
+    (* The all-neutral configuration was seeded; the guard above avoided
+       duplicating it at the leaves. *)
+    let sorted =
+      List.sort (fun (_, e1) (_, e2) -> compare e1 e2) !collected
+    in
+    let within =
+      List.filter (fun (_, e) -> e <= !best +. window +. epsilon) sorted
+    in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    take max_states within
+  end

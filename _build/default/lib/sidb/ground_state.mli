@@ -1,0 +1,32 @@
+(** Exact ground-state engines.
+
+    {!exhaustive} is the ExGS-style full enumeration (feasible to ~24
+    SiDBs thanks to Gray-code incremental energy updates);
+    {!branch_and_bound} is a QuickExact-style pruned search usable to
+    ~40 SiDBs on typical gate structures. *)
+
+type result = {
+  energy : float;
+  states : bool array list;
+      (** All degenerate minimum-energy occupations (capped at
+          [max_states]). *)
+}
+
+val exhaustive : ?max_states:int -> Charge_system.t -> result
+(** @raise Invalid_argument beyond 24 sites. *)
+
+val branch_and_bound : ?max_states:int -> Charge_system.t -> result
+(** Exact via depth-first search with an admissible lower bound; sites
+    are explored in decreasing connectivity order. *)
+
+val degeneracy : result -> int
+
+val spectrum :
+  ?max_states:int ->
+  window:float ->
+  Charge_system.t ->
+  (bool array * float) list
+(** All configurations within [window] eV of the ground-state energy
+    (branch-and-bound enumeration, capped at [max_states], default 4096),
+    sorted by increasing energy.  The low-energy spectrum drives the
+    finite-temperature analyses in {!Temperature}. *)

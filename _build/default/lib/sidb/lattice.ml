@@ -1,0 +1,28 @@
+type site = { n : int; m : int; l : int }
+
+let site n m l =
+  if l <> 0 && l <> 1 then
+    invalid_arg (Printf.sprintf "Lattice.site: intra-dimer index %d" l)
+  else { n; m; l }
+
+let lattice_a = 3.84
+let lattice_b = 7.68
+let dimer_gap = 2.25
+
+let position s =
+  ( float_of_int s.n *. lattice_a,
+    (float_of_int s.m *. lattice_b) +. (float_of_int s.l *. dimer_gap) )
+
+let distance s1 s2 =
+  let x1, y1 = position s1 and x2, y2 = position s2 in
+  Float.hypot (x1 -. x2) (y1 -. y2)
+
+let distance_nm s1 s2 = distance s1 s2 /. 10.
+
+let translate s ~dn ~dm = { s with n = s.n + dn; m = s.m + dm }
+
+let mirror_x s ~about_n2 = { s with n = about_n2 - s.n }
+
+let compare (a : site) (b : site) = Stdlib.compare (a.m, a.l, a.n) (b.m, b.l, b.n)
+let equal (a : site) (b : site) = a.n = b.n && a.m = b.m && a.l = b.l
+let pp ppf s = Format.fprintf ppf "(%d,%d,%d)" s.n s.m s.l

@@ -1,0 +1,40 @@
+(** The H-Si(100)-2×1 surface lattice.
+
+    Dangling bonds can only be created at hydrogen sites of the
+    passivated silicon surface (Fig. 1b).  Sites are addressed SiQAD
+    style by [(n, m, l)]: dimer column [n] (x direction, 3.84 Å pitch),
+    dimer row [m] (y direction, 7.68 Å pitch), and the intra-dimer index
+    [l] (0 or 1; the two atoms of a dimer are 2.25 Å apart in y). *)
+
+type site = { n : int; m : int; l : int }
+
+val site : int -> int -> int -> site
+(** @raise Invalid_argument unless [l] is 0 or 1. *)
+
+val lattice_a : float
+(** Dimer column pitch in Å (3.84). *)
+
+val lattice_b : float
+(** Dimer row pitch in Å (7.68). *)
+
+val dimer_gap : float
+(** Intra-dimer atom separation in Å (2.25). *)
+
+val position : site -> float * float
+(** Cartesian position in Å. *)
+
+val distance : site -> site -> float
+(** Euclidean distance in Å. *)
+
+val distance_nm : site -> site -> float
+
+val translate : site -> dn:int -> dm:int -> site
+(** Shift by whole lattice cells (the intra-dimer index is preserved). *)
+
+val mirror_x : site -> about_n2:int -> site
+(** Mirror across the vertical line at [about_n2 / 2] dimer columns
+    (i.e. [n -> about_n2 - n]). *)
+
+val compare : site -> site -> int
+val equal : site -> site -> bool
+val pp : Format.formatter -> site -> unit

@@ -1,0 +1,25 @@
+type t = { mu_minus : float; epsilon_r : float; lambda_tf : float }
+
+let default = { mu_minus = -0.32; epsilon_r = 5.6; lambda_tf = 5. }
+let huff_or = { default with mu_minus = -0.28 }
+
+let coulomb_k = 14.399645
+
+let potential model d =
+  if d <= 0. then infinity
+  else
+    coulomb_k /. model.epsilon_r /. d *. exp (-.d /. (model.lambda_tf *. 10.))
+
+let interaction model s1 s2 = potential model (Lattice.distance s1 s2)
+
+let interaction_matrix model sites =
+  let n = Array.length sites in
+  let m = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = interaction model sites.(i) sites.(j) in
+      m.(i).(j) <- v;
+      m.(j).(i) <- v
+    done
+  done;
+  m

@@ -1,0 +1,40 @@
+(** The electrostatic model of SiDB charge systems (after SiQAD [30]).
+
+    SiDBs interact through screened Coulomb repulsion
+    [V(d) = k / (eps_r * d) * exp(-d / lambda_tf)] and each negatively
+    charged SiDB contributes the transition level [mu_minus] (the
+    position of the (0/−) charge-transition level relative to the Fermi
+    energy) to the grand-canonical system energy
+
+    [E = sum_(i<j) V_ij n_i n_j + mu_minus * sum_i n_i]
+
+    over occupations [n_i ∈ {0, 1}] ([1] = negatively charged; positive
+    charge states are not relevant in this regime [18, 30]).  The ground
+    state is the occupation vector minimizing [E]; its local-minimality
+    conditions are exactly SiQAD's population- and configuration-
+    stability criteria. *)
+
+type t = {
+  mu_minus : float;  (** eV, negative; -0.32 eV in Fig. 5, -0.28 eV in Fig. 1c. *)
+  epsilon_r : float;  (** Relative permittivity, 5.6. *)
+  lambda_tf : float;  (** Thomas-Fermi screening length in nm, 5. *)
+}
+
+val default : t
+(** μ₋ = −0.32 eV, ε_r = 5.6, λ_TF = 5 nm — the parameters of Fig. 5. *)
+
+val huff_or : t
+(** μ₋ = −0.28 eV — the parameters of the Fig. 1c reproduction. *)
+
+val coulomb_k : float
+(** e² / (4 π ε₀) in eV · Å (≈ 14.3996). *)
+
+val potential : t -> float -> float
+(** [potential model d] is the screened pair interaction in eV for a
+    distance [d] in Å (infinite at 0). *)
+
+val interaction : t -> Lattice.site -> Lattice.site -> float
+(** Pair interaction energy of two negative charges at the given sites. *)
+
+val interaction_matrix : t -> Lattice.site array -> float array array
+(** Symmetric matrix of pairwise interactions, zero diagonal. *)

@@ -1,0 +1,107 @@
+type parameter = Mu_minus | Epsilon_r | Lambda_tf
+
+type axis = {
+  parameter : parameter;
+  from_value : float;
+  to_value : float;
+  steps : int;
+}
+
+type sample = { x_value : float; y_value : float; operational : bool }
+
+type t = {
+  x_axis : axis;
+  y_axis : axis;
+  samples : sample list;
+  operational_fraction : float;
+}
+
+let parameter_name = function
+  | Mu_minus -> "mu_minus"
+  | Epsilon_r -> "epsilon_r"
+  | Lambda_tf -> "lambda_tf"
+
+let set_parameter model parameter value =
+  match parameter with
+  | Mu_minus -> { model with Model.mu_minus = value }
+  | Epsilon_r -> { model with Model.epsilon_r = value }
+  | Lambda_tf -> { model with Model.lambda_tf = value }
+
+let axis_value axis i =
+  axis.from_value
+  +. (axis.to_value -. axis.from_value)
+     *. float_of_int i
+     /. float_of_int (axis.steps - 1)
+
+let operational_at model structure ~spec =
+  let arity = Array.length structure.Bdl.inputs in
+  let ok = ref true in
+  (try
+     for row = 0 to (1 lsl arity) - 1 do
+       let assignment = Array.init arity (fun i -> (row lsr i) land 1 = 1) in
+       let expected = spec assignment in
+       let sites = Bdl.sites_for structure assignment in
+       let sys = Charge_system.create model sites in
+       let result = Ground_state.branch_and_bound ~max_states:8 sys in
+       let states = result.Ground_state.states in
+       if states = [] then begin
+         ok := false;
+         raise Exit
+       end;
+       List.iter
+         (fun occ ->
+           let obs =
+             Array.map (fun p -> Bdl.read_pair sites occ p) structure.Bdl.outputs
+           in
+           let right =
+             Array.length obs = Array.length expected
+             && Array.for_all2
+                  (fun o e -> o = Some e)
+                  obs expected
+           in
+           if not right then begin
+             ok := false;
+             raise Exit
+           end)
+         states
+     done
+   with Exit -> ());
+  !ok
+
+let sweep ?(base = Model.default) ~x_axis ~y_axis structure ~spec =
+  if x_axis.steps < 2 || y_axis.steps < 2 then
+    invalid_arg "Operational_domain.sweep: axes need at least 2 steps";
+  if x_axis.parameter = y_axis.parameter then
+    invalid_arg "Operational_domain.sweep: axes must differ";
+  let samples = ref [] in
+  let operational_count = ref 0 in
+  for yi = 0 to y_axis.steps - 1 do
+    for xi = 0 to x_axis.steps - 1 do
+      let x_value = axis_value x_axis xi and y_value = axis_value y_axis yi in
+      let model =
+        set_parameter
+          (set_parameter base x_axis.parameter x_value)
+          y_axis.parameter y_value
+      in
+      let operational = operational_at model structure ~spec in
+      if operational then incr operational_count;
+      samples := { x_value; y_value; operational } :: !samples
+    done
+  done;
+  {
+    x_axis;
+    y_axis;
+    samples = List.rev !samples;
+    operational_fraction =
+      float_of_int !operational_count
+      /. float_of_int (x_axis.steps * y_axis.steps);
+  }
+
+let to_ascii t =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i sample ->
+      Buffer.add_char buf (if sample.operational then '#' else '.');
+      if (i + 1) mod t.x_axis.steps = 0 then Buffer.add_char buf '\n')
+    t.samples;
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Operational-domain analysis.
+
+    The paper's outlook (Sec. 6) calls for a "streamlined operational
+    domain evaluation framework": the region of physical-parameter space
+    (μ₋, ε_r, λ_TF) in which a gate keeps computing its Boolean function.
+    This module sweeps a 2-D slice of that space, classifying each sample
+    with the exact ground-state engine. *)
+
+type parameter = Mu_minus | Epsilon_r | Lambda_tf
+
+type axis = {
+  parameter : parameter;
+  from_value : float;
+  to_value : float;
+  steps : int;  (** Number of samples (at least 2). *)
+}
+
+type sample = {
+  x_value : float;
+  y_value : float;
+  operational : bool;
+}
+
+type t = {
+  x_axis : axis;
+  y_axis : axis;
+  samples : sample list;  (** Row-major, y outer. *)
+  operational_fraction : float;
+}
+
+val sweep :
+  ?base:Model.t ->
+  x_axis:axis ->
+  y_axis:axis ->
+  Bdl.structure ->
+  spec:(bool array -> bool array) ->
+  t
+(** Exhaustively classify every grid point: a sample is operational when
+    every input row's complete ground-state set reads back [spec].
+    @raise Invalid_argument when an axis has fewer than 2 steps or the
+    two axes use the same parameter. *)
+
+val set_parameter : Model.t -> parameter -> float -> Model.t
+
+val to_ascii : t -> string
+(** Render the domain ('#' operational, '.' not), one row per y sample,
+    y increasing downwards. *)
+
+val parameter_name : parameter -> string

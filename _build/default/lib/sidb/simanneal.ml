@@ -1,0 +1,108 @@
+type params = {
+  instances : int;
+  sweeps : int;
+  t_initial : float;
+  t_final : float;
+  hop_fraction : float;
+}
+
+let default_params =
+  {
+    instances = 24;
+    sweeps = 400;
+    t_initial = 0.5;
+    t_final = 0.002;
+    hop_fraction = 0.3;
+  }
+
+let epsilon = 1e-9
+
+let run ?(params = default_params) ?(seed = 1) sys =
+  let n = Charge_system.size sys in
+  if n = 0 then { Ground_state.energy = 0.; states = [ [||] ] }
+  else begin
+    let mu = (Charge_system.model sys).Model.mu_minus in
+    let rng = Random.State.make [| seed |] in
+    let best_energy = ref infinity and best_states = ref [] in
+    let consider energy occ =
+      if energy < !best_energy -. epsilon then begin
+        best_energy := energy;
+        best_states := [ Array.copy occ ]
+      end
+      else if
+        Float.abs (energy -. !best_energy) <= epsilon
+        && (not (List.exists (fun s -> s = occ) !best_states))
+        && List.length !best_states < 64
+      then best_states := Array.copy occ :: !best_states
+    in
+    let cooling =
+      if params.sweeps <= 1 then 1.
+      else
+        (params.t_final /. params.t_initial)
+        ** (1. /. float_of_int (params.sweeps - 1))
+    in
+    for _instance = 1 to params.instances do
+      let occ = Array.init n (fun _ -> Random.State.bool rng) in
+      let energy = ref (Charge_system.energy sys occ) in
+      (* v.(i): local potential at i under the current occupation. *)
+      let v = Array.make n 0. in
+      for i = 0 to n - 1 do
+        v.(i) <- Charge_system.local_potential sys occ i
+      done;
+      consider !energy occ;
+      let temp = ref params.t_initial in
+      (* Unconditional toggle with incremental updates. *)
+      let apply_toggle i =
+        let sign = if occ.(i) then -1. else 1. in
+        energy := !energy +. (sign *. (mu +. v.(i)));
+        occ.(i) <- not occ.(i);
+        for j = 0 to n - 1 do
+          if j <> i then
+            v.(j) <- v.(j) +. (sign *. Charge_system.interaction sys i j)
+        done
+      in
+      let toggle_delta i = if occ.(i) then -.(mu +. v.(i)) else mu +. v.(i) in
+      let metropolis delta =
+        delta <= 0. || Random.State.float rng 1. < exp (-.delta /. !temp)
+      in
+      for _sweep = 1 to params.sweeps do
+        for _move = 1 to n do
+          if Random.State.float rng 1. < params.hop_fraction then begin
+            (* Electron hop: move one charge to an empty site. *)
+            let occupied = ref [] and empty = ref [] in
+            for i = 0 to n - 1 do
+              if occ.(i) then occupied := i :: !occupied
+              else empty := i :: !empty
+            done;
+            match (!occupied, !empty) with
+            | [], _ | _, [] ->
+                let i = Random.State.int rng n in
+                if metropolis (toggle_delta i) then begin
+                  apply_toggle i;
+                  consider !energy occ
+                end
+            | os, es ->
+                let i = List.nth os (Random.State.int rng (List.length os)) in
+                let j = List.nth es (Random.State.int rng (List.length es)) in
+                let delta =
+                  v.(j) -. v.(i) -. Charge_system.interaction sys i j
+                in
+                if metropolis delta then begin
+                  apply_toggle i;
+                  apply_toggle j;
+                  consider !energy occ
+                end
+          end
+          else begin
+            let i = Random.State.int rng n in
+            if metropolis (toggle_delta i) then begin
+              apply_toggle i;
+              consider !energy occ
+            end
+          end
+        done;
+        temp := !temp *. cooling
+      done
+    done;
+    { Ground_state.energy = !best_energy; states = List.rev !best_states }
+  end

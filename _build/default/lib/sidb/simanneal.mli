@@ -1,0 +1,22 @@
+(** SimAnneal: stochastic ground-state search by simulated annealing
+    (after SiQAD's engine of the same name [30]).
+
+    Runs several independent annealing instances with geometric cooling;
+    moves are single-site charge toggles and electron hops.  Returns the
+    best configuration(s) found — a heuristic result that coincides with
+    the exact ground state with high probability on gate-sized systems
+    (cross-checked against {!Ground_state} in the test suite). *)
+
+type params = {
+  instances : int;  (** Independent restarts (default 24). *)
+  sweeps : int;  (** Monte-Carlo sweeps per instance (default 400). *)
+  t_initial : float;  (** Initial temperature in eV (default 0.5). *)
+  t_final : float;  (** Final temperature in eV (default 0.002). *)
+  hop_fraction : float;  (** Fraction of hop moves vs. toggles (default 0.3). *)
+}
+
+val default_params : params
+
+val run :
+  ?params:params -> ?seed:int -> Charge_system.t -> Ground_state.result
+(** Deterministic for a fixed [seed] (default 1). *)

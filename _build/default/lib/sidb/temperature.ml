@@ -1,0 +1,68 @@
+let boltzmann_k = 8.617333262e-5
+
+(* Spectrum window wide enough that truncated states carry negligible
+   Boltzmann weight at the temperatures of interest (< 1e-6 at 400 K for
+   a 0.35 eV window). *)
+let default_window = 0.35
+
+let state_probabilities sys ~temperature_k ~max_states =
+  if temperature_k <= 0. then invalid_arg "Temperature: non-positive T";
+  let spectrum =
+    Ground_state.spectrum ~max_states ~window:default_window sys
+  in
+  let e0 = match spectrum with (_, e) :: _ -> e | [] -> 0. in
+  let kt = boltzmann_k *. temperature_k in
+  let weights =
+    List.map (fun (occ, e) -> (occ, exp (-.(e -. e0) /. kt))) spectrum
+  in
+  let z = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
+  List.map (fun (occ, w) -> (occ, w /. z)) weights
+
+let correctness_probability structure ~spec ~temperature_k
+    ?(model = Model.default) () =
+  let arity = Array.length structure.Bdl.inputs in
+  let worst = ref 1. in
+  for row = 0 to (1 lsl arity) - 1 do
+    let assignment = Array.init arity (fun i -> (row lsr i) land 1 = 1) in
+    let expected = spec assignment in
+    let sites = Bdl.sites_for structure assignment in
+    let sys = Charge_system.create model sites in
+    let probabilities =
+      state_probabilities sys ~temperature_k ~max_states:4096
+    in
+    let correct =
+      List.fold_left
+        (fun acc (occ, p) ->
+          let obs =
+            Array.map (fun pair -> Bdl.read_pair sites occ pair)
+              structure.Bdl.outputs
+          in
+          let right =
+            Array.length obs = Array.length expected
+            && Array.for_all2 (fun o e -> o = Some e) obs expected
+          in
+          if right then acc +. p else acc)
+        0. probabilities
+    in
+    if correct < !worst then worst := correct
+  done;
+  !worst
+
+let critical_temperature ?(confidence = 0.9) ?(t_max = 400.) ?model structure
+    ~spec =
+  let reliable t =
+    correctness_probability structure ~spec ~temperature_k:t ?model ()
+    >= confidence
+  in
+  (* The gate must at least work in the limit T -> 0 (ground state). *)
+  if not (reliable 1.) then 0.
+  else if reliable t_max then t_max
+  else begin
+    (* Binary search to 1 K resolution. *)
+    let lo = ref 1. and hi = ref t_max in
+    while !hi -. !lo > 1. do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if reliable mid then lo := mid else hi := mid
+    done;
+    !lo
+  end

@@ -1,0 +1,43 @@
+(** Finite-temperature behaviour of SiDB logic.
+
+    At temperature [T] the charge system occupies configurations with
+    Boltzmann probability [exp(-E/kT) / Z].  A gate is reliable at [T]
+    when the total probability of configurations that read back the
+    correct outputs stays above a confidence threshold; the {e critical
+    temperature} is where it first drops below.  (Ground-state FCN logic
+    depends on this margin — cf. the room-temperature operation claims
+    of [15] vs. the cryogenic experiments of [18].) *)
+
+val boltzmann_k : float
+(** Boltzmann constant in eV/K (8.617 × 10⁻⁵). *)
+
+val state_probabilities :
+  Charge_system.t ->
+  temperature_k:float ->
+  max_states:int ->
+  (bool array * float) list
+(** The [max_states] lowest-energy configurations with their Boltzmann
+    weights, normalized over the {e complete} configuration space
+    (exhaustive enumeration; up to 24 sites). *)
+
+val correctness_probability :
+  Bdl.structure ->
+  spec:(bool array -> bool array) ->
+  temperature_k:float ->
+  ?model:Model.t ->
+  unit ->
+  float
+(** Probability, under the worst-case input row, that a thermal sample of
+    the charge configuration reads back the expected outputs. *)
+
+val critical_temperature :
+  ?confidence:float ->
+  ?t_max:float ->
+  ?model:Model.t ->
+  Bdl.structure ->
+  spec:(bool array -> bool array) ->
+  float
+(** Highest temperature (binary search over (0, t_max], default 400 K,
+    resolution 1 K) at which {!correctness_probability} stays at or above
+    [confidence] (default 0.90); 0 when the gate is already unreliable in
+    its ground state. *)

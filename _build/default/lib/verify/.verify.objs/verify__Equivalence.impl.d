@@ -1,0 +1,1 @@
+lib/verify/equivalence.ml: Array Extract Hashtbl List Logic Printf Sat String

@@ -1,0 +1,1 @@
+lib/verify/equivalence.mli: Layout Logic Sat

@@ -1,0 +1,1 @@
+lib/verify/extract.ml: Format Hashtbl Hexlib Layout List Logic

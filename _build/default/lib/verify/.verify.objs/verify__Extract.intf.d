@@ -1,0 +1,1 @@
+lib/verify/extract.mli: Layout Logic

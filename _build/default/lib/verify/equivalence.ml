@@ -1,0 +1,77 @@
+module N = Logic.Network
+
+type verdict =
+  | Equivalent
+  | Counterexample of (string * bool) list
+  | Interface_mismatch of string
+
+let network_to_cnf f ntk ~pi_literals =
+  let lits = Array.make (N.num_nodes ntk) 0 in
+  let signal_lit s =
+    let l = lits.(N.node_of_signal s) in
+    if N.is_complemented s then -l else l
+  in
+  for id = 0 to N.num_nodes ntk - 1 do
+    match N.kind ntk id with
+    | N.Const -> lits.(id) <- Sat.Cnf.const_false f
+    | N.Pi i -> lits.(id) <- pi_literals (N.pi_name ntk i)
+    | N.And (a, b) -> lits.(id) <- Sat.Cnf.and_ f (signal_lit a) (signal_lit b)
+    | N.Xor (a, b) -> lits.(id) <- Sat.Cnf.xor_ f (signal_lit a) (signal_lit b)
+  done;
+  List.map (fun (name, s) -> (name, signal_lit s)) (N.pos ntk)
+
+let sorted_names l = List.sort compare l
+
+let check ntk1 ntk2 =
+  let pi_names ntk = List.init (N.num_pis ntk) (N.pi_name ntk) in
+  let po_names ntk = List.map fst (N.pos ntk) in
+  if sorted_names (pi_names ntk1) <> sorted_names (pi_names ntk2) then
+    Interface_mismatch
+      (Printf.sprintf "inputs differ: {%s} vs {%s}"
+         (String.concat "," (pi_names ntk1))
+         (String.concat "," (pi_names ntk2)))
+  else if sorted_names (po_names ntk1) <> sorted_names (po_names ntk2) then
+    Interface_mismatch
+      (Printf.sprintf "outputs differ: {%s} vs {%s}"
+         (String.concat "," (po_names ntk1))
+         (String.concat "," (po_names ntk2)))
+  else begin
+    let f = Sat.Cnf.create () in
+    let pi_table = Hashtbl.create 16 in
+    let pi_literals name =
+      match Hashtbl.find_opt pi_table name with
+      | Some l -> l
+      | None ->
+          let l = Sat.Cnf.fresh f in
+          Hashtbl.replace pi_table name l;
+          l
+    in
+    let outs1 = network_to_cnf f ntk1 ~pi_literals in
+    let outs2 = network_to_cnf f ntk2 ~pi_literals in
+    let diffs =
+      List.map
+        (fun (name, l1) ->
+          let l2 =
+            match List.assoc_opt name outs2 with
+            | Some l -> l
+            | None -> assert false (* names checked above *)
+          in
+          Sat.Cnf.xor_ f l1 l2)
+        outs1
+    in
+    Sat.Cnf.add_clause f diffs;
+    let solver = Sat.Cnf.solver f in
+    match Sat.Solver.solve solver with
+    | Sat.Solver.Unsat -> Equivalent
+    | Sat.Solver.Sat ->
+        Counterexample
+          (Hashtbl.fold
+             (fun name l acc -> (name, Sat.Solver.value solver l) :: acc)
+             pi_table []
+          |> List.sort compare)
+  end
+
+let check_layout ntk layout =
+  match Extract.network layout with
+  | Error msg -> Error msg
+  | Ok extracted -> Ok (check ntk extracted)

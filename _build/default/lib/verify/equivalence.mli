@@ -1,0 +1,30 @@
+(** SAT-based combinational equivalence checking (flow step 5, after
+    [50]).
+
+    A miter is built over the union of two networks: primary inputs are
+    matched by name, each pair of like-named outputs is XORed, and the
+    disjunction of all XORs is asserted; unsatisfiability of the miter
+    proves equivalence, a model is a counterexample input assignment. *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of (string * bool) list
+      (** Input assignment (by name) on which the designs differ. *)
+  | Interface_mismatch of string
+      (** The designs do not have the same input/output names. *)
+
+val check : Logic.Network.t -> Logic.Network.t -> verdict
+
+val check_layout :
+  Logic.Network.t -> Layout.Gate_layout.t -> (verdict, string) result
+(** Extract the layout's network and compare ([Error] when extraction
+    fails structurally). *)
+
+val network_to_cnf :
+  Sat.Cnf.t ->
+  Logic.Network.t ->
+  pi_literals:(string -> Sat.Solver.lit) ->
+  (string * Sat.Solver.lit) list
+(** Tseitin-encode a network over the given input literals; returns one
+    literal per primary output.  Exposed for reuse (e.g. SAT-based
+    ATPG-style experiments and tests). *)

@@ -1,0 +1,74 @@
+module Coord = Hexlib.Coord
+module D = Hexlib.Direction
+module GL = Layout.Gate_layout
+module N = Logic.Network
+
+exception Extraction_error of string
+
+let network layout =
+  let ntk = N.create () in
+  (* Signal on each (tile, out-border). *)
+  let emitted : (int * int, N.signal) Hashtbl.t = Hashtbl.create 128 in
+  let width = GL.width layout in
+  let tile_index (c : Coord.offset) = (c.row * width) + c.col in
+  let dir_index d =
+    match d with
+    | D.North_west -> 0
+    | D.North_east -> 1
+    | D.East -> 2
+    | D.South_east -> 3
+    | D.South_west -> 4
+    | D.West -> 5
+  in
+  let input_value c d =
+    match GL.signal_source layout c d with
+    | None ->
+        raise
+          (Extraction_error
+             (Format.asprintf "dangling input border %s at %a" (D.to_string d)
+                Coord.pp_offset c))
+    | Some (p, emit_dir) -> (
+        match Hashtbl.find_opt emitted (tile_index p, dir_index emit_dir) with
+        | Some s -> s
+        | None ->
+            raise
+              (Extraction_error
+                 (Format.asprintf
+                    "signal at %a not yet computed (cyclic or non-feed-forward layout)"
+                    Coord.pp_offset p)))
+  in
+  let emit c d s = Hashtbl.replace emitted (tile_index c, dir_index d) s in
+  try
+    GL.iter layout (fun c tile ->
+        match tile with
+        | Layout.Tile.Empty -> ()
+        | Layout.Tile.Pi { name; out } -> emit c out (N.pi ntk name)
+        | Layout.Tile.Po { name; inp } -> N.po ntk name (input_value c inp)
+        | Layout.Tile.Wire { segments } ->
+            List.iter (fun (i, o) -> emit c o (input_value c i)) segments
+        | Layout.Tile.Fanout { inp; outs } ->
+            let v = input_value c inp in
+            List.iter (fun o -> emit c o v) outs
+        | Layout.Tile.Gate { fn; ins; outs } -> (
+            let args = List.map (input_value c) ins in
+            match (fn, args, outs) with
+            | Logic.Mapped.And2, [ a; b ], [ o ] -> emit c o (N.and_ ntk a b)
+            | Logic.Mapped.Or2, [ a; b ], [ o ] -> emit c o (N.or_ ntk a b)
+            | Logic.Mapped.Nand2, [ a; b ], [ o ] ->
+                emit c o (N.nand_ ntk a b)
+            | Logic.Mapped.Nor2, [ a; b ], [ o ] -> emit c o (N.nor_ ntk a b)
+            | Logic.Mapped.Xor2, [ a; b ], [ o ] -> emit c o (N.xor_ ntk a b)
+            | Logic.Mapped.Xnor2, [ a; b ], [ o ] ->
+                emit c o (N.xnor_ ntk a b)
+            | Logic.Mapped.Inv, [ a ], [ o ] -> emit c o (N.not_ a)
+            | Logic.Mapped.Buf, [ a ], [ o ] -> emit c o a
+            | Logic.Mapped.Ha, [ a; b ], [ s; cy ] ->
+                emit c s (N.xor_ ntk a b);
+                emit c cy (N.and_ ntk a b)
+            | _ ->
+                raise
+                  (Extraction_error
+                     (Format.asprintf "malformed gate tile at %a"
+                        Coord.pp_offset c))));
+    Ok ntk
+  with Extraction_error msg -> Error msg

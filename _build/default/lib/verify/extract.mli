@@ -1,0 +1,11 @@
+(** Extraction of the logic network realized by a gate-level layout.
+
+    Under feed-forward clocking all signals move strictly downwards, so a
+    row-major sweep is a topological order: each tile's input borders are
+    fed by already-evaluated tiles.  The result is an XAG whose inputs
+    and outputs carry the pad names of the layout. *)
+
+val network : Layout.Gate_layout.t -> (Logic.Network.t, string) result
+(** [Error] describes the first structural problem encountered (dangling
+    border, missing pad, ...).  A layout that passes
+    {!Layout.Design_rules.check} always extracts. *)

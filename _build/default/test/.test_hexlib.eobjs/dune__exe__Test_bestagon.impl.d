@@ -1,0 +1,1 @@
+test/test_bestagon.ml: Alcotest Array Bestagon Hexlib Layout List Logic Result Sidb String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Bestagon Core Filename Layout List Logic String Sys Verify

@@ -1,0 +1,1 @@
+test/test_hexlib.ml: Alcotest Hexlib List QCheck QCheck_alcotest

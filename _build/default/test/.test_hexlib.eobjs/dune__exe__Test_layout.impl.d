@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Format Hexlib Layout List Logic Result String

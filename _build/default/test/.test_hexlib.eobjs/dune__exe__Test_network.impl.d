@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Format List Logic Printf QCheck QCheck_alcotest

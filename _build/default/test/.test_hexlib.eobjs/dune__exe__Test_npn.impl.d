@@ -1,0 +1,1 @@
+test/test_npn.ml: Alcotest List Logic QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_physdesign.ml: Alcotest Array Format Layout List Logic Physdesign Printf String Verify

@@ -1,0 +1,1 @@
+test/test_sidb.ml: Alcotest Array Bool Float List QCheck QCheck_alcotest Random Sidb String

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Array Format Int64 List Logic Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_truth_table.ml: Alcotest Format List Logic QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Hashtbl Hexlib Layout List Logic QCheck QCheck_alcotest Sat String Verify

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Format List Logic Printf String

@@ -1,0 +1,145 @@
+(* End-to-end tests of the complete design flow (all eight steps). *)
+
+module F = Core.Flow
+module T1 = Core.Table1
+module GL = Layout.Gate_layout
+module E = Verify.Equivalence
+
+let run_ok ?options name =
+  match F.run_benchmark ?options name with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+
+let test_xor2_end_to_end () =
+  let r = run_ok "xor2" in
+  Alcotest.(check int) "drc clean" 0 (List.length r.F.drc_violations);
+  Alcotest.(check bool) "equivalent" true (r.F.equivalence = Some E.Equivalent);
+  let stats = GL.stats r.F.gate_layout in
+  Alcotest.(check (pair int int)) "paper dimensions" (2, 3)
+    (stats.GL.bounding_width, stats.GL.bounding_height);
+  (match r.F.sidb with
+  | Some sidb ->
+      Alcotest.(check (float 0.01)) "paper area" 2403.98 sidb.Bestagon.Library.area_nm2;
+      Alcotest.(check bool) "dot count in paper's ballpark" true
+        (sidb.Bestagon.Library.sidb_count >= 40
+        && sidb.Bestagon.Library.sidb_count <= 80)
+  | None -> Alcotest.fail "no sidb layout");
+  (* Step 6: the super-tiled layout groups three rows per electrode. *)
+  match GL.clocking r.F.supertiled with
+  | GL.Expanded (Layout.Clocking.Row, 3) -> ()
+  | _ -> Alcotest.fail "expected super-tile expansion"
+
+let small_benchmarks = [ "xor2"; "xnor2"; "par_gen"; "mux21"; "par_check"; "c17" ]
+
+let test_small_benchmarks_verified () =
+  List.iter
+    (fun name ->
+      let r = run_ok name in
+      Alcotest.(check int) (name ^ " drc") 0 (List.length r.F.drc_violations);
+      Alcotest.(check bool) (name ^ " equivalent") true
+        (r.F.equivalence = Some E.Equivalent))
+    small_benchmarks
+
+let test_scalable_engine () =
+  List.iter
+    (fun name ->
+      let options = { F.default_options with engine = F.Scalable } in
+      let r = run_ok ~options name in
+      Alcotest.(check int) (name ^ " drc") 0 (List.length r.F.drc_violations);
+      Alcotest.(check bool) (name ^ " equivalent") true
+        (r.F.equivalence = Some E.Equivalent))
+    (small_benchmarks @ [ "t"; "newtag"; "cm82a_5"; "majority_5_r1" ])
+
+let test_no_rewrite_option () =
+  let options = { F.default_options with rewrite = false } in
+  let r = run_ok ~options "majority" in
+  Alcotest.(check bool) "still equivalent" true
+    (r.F.equivalence = Some E.Equivalent)
+
+let test_verilog_entry () =
+  let source =
+    {|
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  assign s = a ^ b;
+  assign c = a & b;
+endmodule
+|}
+  in
+  match F.run_verilog source with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "equivalent" true
+        (r.F.equivalence = Some E.Equivalent);
+      Alcotest.(check int) "drc" 0 (List.length r.F.drc_violations)
+
+let test_verilog_parse_error_reported () =
+  match F.run_verilog "module broken (" with
+  | Error e -> Alcotest.(check bool) "mentions parse" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected parse failure"
+
+let test_unknown_benchmark () =
+  match F.run_benchmark "nonexistent" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_sqd_export () =
+  let r = run_ok "xor2" in
+  let path = Filename.temp_file "fictionette" ".sqd" in
+  (match F.export_sqd r ~path () with
+  | Ok () ->
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove path;
+      Alcotest.(check bool) "sqd content" true
+        (String.length text > 200)
+  | Error e ->
+      Sys.remove path;
+      Alcotest.fail e)
+
+let test_table1_subset () =
+  let rows = T1.generate ~names:[ "xor2"; "par_gen" ] () in
+  match rows with
+  | [ Ok r1; Ok r2 ] ->
+      Alcotest.(check string) "first" "xor2" r1.T1.name;
+      Alcotest.(check bool) "both equivalent" true
+        (r1.T1.equivalent && r2.T1.equivalent);
+      Alcotest.(check int) "xor2 tiles" 6 r1.T1.area_tiles;
+      Alcotest.(check int) "par_gen tiles" 12 r2.T1.area_tiles;
+      Alcotest.(check bool) "sidbs counted" true (r1.T1.sidbs > 0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_paper_rows_complete () =
+  Alcotest.(check int) "14 benchmarks" 14 (List.length T1.paper_rows);
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool) (name ^ " exists") true
+        (List.mem name Logic.Benchmarks.names))
+    T1.paper_rows
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "xor2 complete" `Quick test_xor2_end_to_end;
+          Alcotest.test_case "small benchmarks" `Slow
+            test_small_benchmarks_verified;
+          Alcotest.test_case "scalable engine" `Slow test_scalable_engine;
+          Alcotest.test_case "no-rewrite option" `Quick test_no_rewrite_option;
+        ] );
+      ( "entry-points",
+        [
+          Alcotest.test_case "verilog" `Quick test_verilog_entry;
+          Alcotest.test_case "verilog error" `Quick test_verilog_parse_error_reported;
+          Alcotest.test_case "unknown benchmark" `Quick test_unknown_benchmark;
+          Alcotest.test_case "sqd export" `Quick test_sqd_export;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "subset" `Slow test_table1_subset;
+          Alcotest.test_case "paper data" `Quick test_paper_rows_complete;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Tests for technology mapping and the mapped-netlist representation. *)
+
+module N = Logic.Network
+module M = Logic.Mapped
+module T = Logic.Truth_table
+module Map = Logic.Tech_map
+
+let tt = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (T.to_string t)) T.equal
+
+let map_equiv ?fuse_half_adders n =
+  let mapped, stats = Map.map ?fuse_half_adders n in
+  let s1 = N.simulate n and s2 = M.simulate mapped in
+  ( mapped,
+    stats,
+    Array.length s1 = Array.length s2 && Array.for_all2 T.equal s1 s2 )
+
+let test_simple_gates () =
+  List.iter
+    (fun (name, op) ->
+      let n = N.create () in
+      let a = N.pi n "a" and b = N.pi n "b" in
+      N.po n "y" (op n a b);
+      let _, _, eq = map_equiv n in
+      Alcotest.(check bool) name true eq)
+    [
+      ("and", N.and_); ("or", N.or_); ("nand", N.nand_); ("nor", N.nor_);
+      ("xor", N.xor_); ("xnor", N.xnor_);
+    ]
+
+let test_all_benchmarks_mapped () =
+  List.iter
+    (fun b ->
+      let n = b.Logic.Benchmarks.build () in
+      let _, _, eq = map_equiv n in
+      Alcotest.(check bool) (b.Logic.Benchmarks.name ^ " equivalent") true eq)
+    Logic.Benchmarks.all
+
+let test_polarity_absorption () =
+  (* !(a) & !(b) should become a single NOR, not two inverters + AND. *)
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" in
+  N.po n "y" (N.and_ n (N.not_ a) (N.not_ b));
+  let mapped, stats, eq = map_equiv n in
+  Alcotest.(check bool) "equivalent" true eq;
+  Alcotest.(check int) "no inverters" 0 stats.Map.inverters_added;
+  Alcotest.(check int) "one gate" 1 (M.num_gates mapped);
+  Alcotest.(check (list (pair string int)))
+    "it is a NOR"
+    [ ("NOR", 1) ]
+    (List.filter_map
+       (fun (fn, c) -> if c > 0 then Some (M.fn_name fn, c) else None)
+       (M.gate_counts mapped))
+
+let test_mixed_polarity_needs_inverter () =
+  (* a & !b has mixed input polarity: one inverter expected. *)
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" in
+  N.po n "y" (N.and_ n a (N.not_ b));
+  let _, stats, eq = map_equiv n in
+  Alcotest.(check bool) "equivalent" true eq;
+  Alcotest.(check int) "one inverter" 1 stats.Map.inverters_added
+
+let test_half_adder_fusion () =
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" in
+  N.po n "sum" (N.xor_ n a b);
+  N.po n "carry" (N.and_ n a b);
+  let mapped, stats, eq = map_equiv n in
+  Alcotest.(check bool) "equivalent" true eq;
+  Alcotest.(check int) "one HA fused" 1 stats.Map.half_adders_fused;
+  Alcotest.(check int) "single gate" 1 (M.num_gates mapped);
+  let _, stats2, eq2 = map_equiv ~fuse_half_adders:false n in
+  Alcotest.(check bool) "equivalent unfused" true eq2;
+  Alcotest.(check int) "no HA when disabled" 0 stats2.Map.half_adders_fused
+
+let test_constant_output_rejected () =
+  let n = N.create () in
+  let _ = N.pi n "a" in
+  N.po n "y" N.const1;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Map.map n);
+       false
+     with Failure _ -> true)
+
+let test_mapped_depth_and_counts () =
+  let b = Logic.Benchmarks.find "c17" in
+  let mapped, _, eq = map_equiv (b.Logic.Benchmarks.build ()) in
+  Alcotest.(check bool) "equivalent" true eq;
+  Alcotest.(check bool) "depth positive" true (M.depth mapped >= 2);
+  Alcotest.(check int) "inputs" 5 (M.num_inputs mapped);
+  Alcotest.(check int) "outputs" 2 (M.num_outputs mapped)
+
+let test_to_network_roundtrip () =
+  List.iter
+    (fun name ->
+      let b = Logic.Benchmarks.find name in
+      let n = b.Logic.Benchmarks.build () in
+      let mapped, _ = Map.map n in
+      let back = M.to_network mapped in
+      let s1 = N.simulate n and s2 = N.simulate back in
+      Array.iteri
+        (fun i t -> Alcotest.(check tt) (name ^ " output") t s2.(i))
+        s1)
+    [ "xor2"; "mux21"; "cm82a_5"; "newtag" ]
+
+let test_mapped_eval () =
+  let m = M.create () in
+  let a = M.add_input m "a" and b = M.add_input m "b" in
+  let s = M.add_gate m M.Ha [ a; b ] in
+  let nid, _ = s in
+  M.add_output m "sum" (nid, 0);
+  M.add_output m "carry" (nid, 1);
+  Alcotest.(check bool) "ha sum" true (M.eval m [| true; false |]).(0);
+  Alcotest.(check bool) "ha carry" false (M.eval m [| true; false |]).(1);
+  Alcotest.(check bool) "ha carry 11" true (M.eval m [| true; true |]).(1)
+
+let test_mapped_arity_checks () =
+  let m = M.create () in
+  let a = M.add_input m "a" in
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       ignore (M.add_gate m M.And2 [ a ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad port raises" true
+    (try
+       ignore (M.add_gate m M.Inv [ (fst a, 5) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mapping"
+    [
+      ( "tech_map",
+        [
+          Alcotest.test_case "simple gates" `Quick test_simple_gates;
+          Alcotest.test_case "all benchmarks" `Quick test_all_benchmarks_mapped;
+          Alcotest.test_case "polarity absorption" `Quick test_polarity_absorption;
+          Alcotest.test_case "mixed polarity" `Quick test_mixed_polarity_needs_inverter;
+          Alcotest.test_case "half-adder fusion" `Quick test_half_adder_fusion;
+          Alcotest.test_case "constant output" `Quick test_constant_output_rejected;
+        ] );
+      ( "mapped",
+        [
+          Alcotest.test_case "depth and counts" `Quick test_mapped_depth_and_counts;
+          Alcotest.test_case "to_network" `Quick test_to_network_roundtrip;
+          Alcotest.test_case "eval" `Quick test_mapped_eval;
+          Alcotest.test_case "arity checks" `Quick test_mapped_arity_checks;
+        ] );
+    ]

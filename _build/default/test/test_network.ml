@@ -1,0 +1,213 @@
+(* Tests for XAG networks. *)
+
+module N = Logic.Network
+module T = Logic.Truth_table
+
+let tt = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (T.to_string t)) T.equal
+
+let build2 f =
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" in
+  N.po n "y" (f n a b);
+  n
+
+let test_gate_semantics () =
+  let cases =
+    [
+      ("and", N.and_, "1000");
+      ("or", N.or_, "1110");
+      ("nand", N.nand_, "0111");
+      ("nor", N.nor_, "0001");
+      ("xor", N.xor_, "0110");
+      ("xnor", N.xnor_, "1001");
+    ]
+  in
+  List.iter
+    (fun (name, op, expected) ->
+      let ntk = build2 op in
+      Alcotest.(check tt) name (T.of_string expected) (N.simulate ntk).(0))
+    cases
+
+let test_structural_hashing () =
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" in
+  let g1 = N.and_ n a b and g2 = N.and_ n b a in
+  Alcotest.(check bool) "commutative sharing" true (N.equal_signal g1 g2);
+  let x1 = N.xor_ n a b and x2 = N.xor_ n (N.not_ a) b in
+  Alcotest.(check bool) "xor complement folding" true
+    (N.equal_signal x1 (N.not_ x2));
+  Alcotest.(check int) "only two gates" 2 (N.num_gates n)
+
+let test_trivial_simplifications () =
+  let n = N.create () in
+  let a = N.pi n "a" in
+  Alcotest.(check bool) "a & a = a" true (N.equal_signal (N.and_ n a a) a);
+  Alcotest.(check bool) "a & !a = 0" true
+    (N.equal_signal (N.and_ n a (N.not_ a)) N.const0);
+  Alcotest.(check bool) "a ^ a = 0" true
+    (N.equal_signal (N.xor_ n a a) N.const0);
+  Alcotest.(check bool) "a & 1 = a" true (N.equal_signal (N.and_ n a N.const1) a);
+  Alcotest.(check bool) "a ^ 0 = a" true (N.equal_signal (N.xor_ n a N.const0) a);
+  Alcotest.(check bool) "a ^ 1 = !a" true
+    (N.equal_signal (N.xor_ n a N.const1) (N.not_ a));
+  Alcotest.(check int) "no gates created" 0 (N.num_gates n)
+
+let test_maj_mux () =
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" and c = N.pi n "c" in
+  N.po n "maj" (N.maj3 n a b c);
+  N.po n "mux" (N.mux n ~sel:c ~f:a ~t_:b);
+  let sims = N.simulate n in
+  Alcotest.(check tt) "maj3" (T.of_bits 3 0xE8L) sims.(0);
+  (* mux: c ? b : a = rows where (c=0 -> a) (c=1 -> b) *)
+  let a_t = T.var 3 0 and b_t = T.var 3 1 and c_t = T.var 3 2 in
+  let expected =
+    T.lor_ (T.land_ c_t b_t) (T.land_ (T.lnot c_t) a_t)
+  in
+  Alcotest.(check tt) "mux21" expected sims.(1)
+
+let test_full_adder () =
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" and cin = N.pi n "c" in
+  let s, carry = N.full_adder n a b cin in
+  N.po n "s" s;
+  N.po n "c" carry;
+  let sims = N.simulate n in
+  Alcotest.(check tt) "sum" (T.of_bits 3 0x96L) sims.(0);
+  Alcotest.(check tt) "carry" (T.of_bits 3 0xE8L) sims.(1)
+
+let test_depth_levels () =
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" and c = N.pi n "c" in
+  let g = N.and_ n (N.and_ n a b) c in
+  N.po n "y" g;
+  Alcotest.(check int) "depth 2" 2 (N.depth n);
+  Alcotest.(check int) "pi level 0" 0 (N.level n (N.node_of_signal a))
+
+let test_cleanup () =
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" in
+  let _dead = N.xor_ n a b in
+  let live = N.and_ n a b in
+  N.po n "y" live;
+  Alcotest.(check int) "before" 2 (N.num_gates n);
+  let cleaned = N.cleanup n in
+  Alcotest.(check int) "after" 1 (N.num_gates cleaned);
+  Alcotest.(check int) "pis preserved" 2 (N.num_pis cleaned);
+  Alcotest.(check tt) "function preserved" (N.simulate n).(0)
+    (N.simulate cleaned).(0)
+
+let test_to_aig () =
+  let n = build2 N.xor_ in
+  let aig = N.to_aig n
+  in
+  Alcotest.(check int) "no xors" 0 (N.num_xors aig);
+  Alcotest.(check int) "three ands" 3 (N.num_ands aig);
+  Alcotest.(check tt) "same function" (N.simulate n).(0) (N.simulate aig).(0)
+
+let test_eval_vs_simulate () =
+  let b = Logic.Benchmarks.find "c17" in
+  let n = b.Logic.Benchmarks.build () in
+  let sims = N.simulate n in
+  for row = 0 to 31 do
+    let assignment = Array.init 5 (fun i -> (row lsr i) land 1 = 1) in
+    let evals = N.eval n assignment in
+    Array.iteri
+      (fun o v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "row %d out %d" row o)
+          (T.get_bit sims.(o) row) v)
+      evals
+  done
+
+let test_signature_consistency () =
+  let n1 = Logic.Benchmarks.par_check () in
+  let n2 = Logic.Benchmarks.par_check () in
+  Alcotest.(check bool) "same signature" true
+    (N.signature n1 ~seed:13 = N.signature n2 ~seed:13)
+
+let test_fanout_counts () =
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" in
+  let g = N.and_ n a b in
+  N.po n "y" (N.xor_ n g (N.not_ g));
+  (* xor(g, !g) folds to const1, so the and becomes dead... build a
+     shared case instead. *)
+  let n = N.create () in
+  let a = N.pi n "a" and b = N.pi n "b" and c = N.pi n "c" in
+  let g = N.and_ n a b in
+  N.po n "y1" (N.xor_ n g c);
+  N.po n "y2" (N.or_ n g c);
+  let counts = N.fanout_counts n in
+  Alcotest.(check int) "and referenced twice" 2 counts.(N.node_of_signal g)
+
+let prop_random_network_cleanup_preserves =
+  (* Random XAG builder: apply random ops over a signal pool. *)
+  let gen =
+    QCheck.make
+      (QCheck.Gen.list_size (QCheck.Gen.int_range 5 40)
+         (QCheck.Gen.pair (QCheck.Gen.int_range 0 3) (QCheck.Gen.pair QCheck.Gen.nat QCheck.Gen.nat)))
+  in
+  QCheck.Test.make ~name:"cleanup preserves simulation" ~count:100 gen
+    (fun ops ->
+      let n = N.create () in
+      let pool = ref [ N.pi n "a"; N.pi n "b"; N.pi n "c"; N.pi n "d" ] in
+      List.iter
+        (fun (op, (i, j)) ->
+          let len = List.length !pool in
+          let x = List.nth !pool (i mod len)
+          and y = List.nth !pool (j mod len) in
+          let s =
+            match op with
+            | 0 -> N.and_ n x y
+            | 1 -> N.xor_ n x y
+            | 2 -> N.or_ n x (N.not_ y)
+            | _ -> N.nand_ n x y
+          in
+          pool := s :: !pool)
+        ops;
+      N.po n "y" (List.hd !pool);
+      let cleaned = N.cleanup n in
+      T.equal (N.simulate n).(0) (N.simulate cleaned).(0))
+
+let prop_to_aig_preserves =
+  let gen = QCheck.make (QCheck.Gen.int_range 0 255) in
+  QCheck.Test.make ~name:"to_aig preserves all 2-var functions" ~count:50 gen
+    (fun seed ->
+      let n = N.create () in
+      let a = N.pi n "a" and b = N.pi n "b" in
+      let s1 = if seed land 1 = 0 then a else N.not_ a in
+      let s2 = if seed land 2 = 0 then b else N.not_ b in
+      let g =
+        if seed land 4 = 0 then N.and_ n s1 s2 else N.xor_ n s1 s2
+      in
+      let g = if seed land 8 = 0 then g else N.not_ g in
+      N.po n "y" g;
+      let aig = N.to_aig n in
+      N.num_xors aig = 0
+      && T.equal (N.simulate n).(0) (N.simulate aig).(0))
+
+let () =
+  let qt = List.map (QCheck_alcotest.to_alcotest ~verbose:false) in
+  Alcotest.run "network"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "gate semantics" `Quick test_gate_semantics;
+          Alcotest.test_case "structural hashing" `Quick test_structural_hashing;
+          Alcotest.test_case "trivial folds" `Quick test_trivial_simplifications;
+          Alcotest.test_case "maj/mux" `Quick test_maj_mux;
+          Alcotest.test_case "full adder" `Quick test_full_adder;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "depth" `Quick test_depth_levels;
+          Alcotest.test_case "cleanup" `Quick test_cleanup;
+          Alcotest.test_case "to_aig" `Quick test_to_aig;
+          Alcotest.test_case "eval vs simulate" `Quick test_eval_vs_simulate;
+          Alcotest.test_case "signatures" `Quick test_signature_consistency;
+          Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
+        ] );
+      ( "properties",
+        qt [ prop_random_network_cleanup_preserves; prop_to_aig_preserves ] );
+    ]

@@ -1,0 +1,98 @@
+(* Tests for NPN canonization. *)
+
+module T = Logic.Truth_table
+module N = Logic.Npn
+
+let arbitrary_tt n =
+  QCheck.map
+    (fun bits ->
+      let t = ref (T.create n) in
+      List.iteri (fun i b -> if b then t := T.set_bit !t i true) bits;
+      !t)
+    (QCheck.list_of_size (QCheck.Gen.return (1 lsl n)) QCheck.bool)
+
+let test_permutation_count () =
+  Alcotest.(check int) "0!" 1 (List.length (N.permutations 0));
+  Alcotest.(check int) "3!" 6 (List.length (N.permutations 3));
+  Alcotest.(check int) "4!" 24 (List.length (N.permutations 4))
+
+let test_class_counts () =
+  (* Classic results: 2 classes at n=1 over {0,1}-ary functions...
+     counting all functions of up to n inputs: n=2 -> 4 NPN classes,
+     n=3 -> 14, n=4 -> 222. *)
+  Alcotest.(check int) "n=2" 4 (N.class_count 2);
+  Alcotest.(check int) "n=3" 14 (N.class_count 3)
+
+let test_class_count_4 () =
+  Alcotest.(check int) "n=4" 222 (N.class_count 4)
+
+let test_and_or_same_class () =
+  (* AND and OR are NPN-equivalent (De Morgan). *)
+  let and2 = T.land_ (T.var 2 0) (T.var 2 1) in
+  let or2 = T.lor_ (T.var 2 0) (T.var 2 1) in
+  Alcotest.(check bool) "same class" true
+    (T.equal (N.canonical and2) (N.canonical or2))
+
+let test_xor_xnor_same_class () =
+  let x = T.lxor_ (T.var 2 0) (T.var 2 1) in
+  Alcotest.(check bool) "xor ~ xnor" true
+    (T.equal (N.canonical x) (N.canonical (T.lnot x)))
+
+let test_and_xor_distinct () =
+  let and2 = T.land_ (T.var 2 0) (T.var 2 1) in
+  let x = T.lxor_ (T.var 2 0) (T.var 2 1) in
+  Alcotest.(check bool) "different classes" false
+    (T.equal (N.canonical and2) (N.canonical x))
+
+let prop_transform_reaches_canonical =
+  QCheck.Test.make ~name:"apply_transform f = canonical" ~count:150
+    (arbitrary_tt 3) (fun f ->
+      let c, t = N.canonize f in
+      T.equal (N.apply_transform f t) c)
+
+let prop_canonical_idempotent =
+  QCheck.Test.make ~name:"canonize is idempotent" ~count:150 (arbitrary_tt 3)
+    (fun f -> T.equal (N.canonical (N.canonical f)) (N.canonical f))
+
+let prop_class_invariance =
+  (* Random NPN transformations of f stay in f's class. *)
+  QCheck.Test.make ~name:"class invariance" ~count:150
+    (QCheck.triple (arbitrary_tt 3) (QCheck.int_range 0 7) QCheck.bool)
+    (fun (f, flips, out) ->
+      let g = ref f in
+      for i = 0 to 2 do
+        if (flips lsr i) land 1 = 1 then g := T.flip_var !g i
+      done;
+      let g = if out then T.lnot !g else !g in
+      let g = T.swap_vars g 0 (flips mod 3) in
+      T.equal (N.canonical f) (N.canonical g))
+
+let prop_input_assignment_bijective =
+  QCheck.Test.make ~name:"input assignment is a bijection" ~count:100
+    (arbitrary_tt 4) (fun f ->
+      let _, t = N.canonize f in
+      let sources = List.init 4 (fun j -> fst (N.input_assignment t j)) in
+      List.sort compare sources = [ 0; 1; 2; 3 ])
+
+let () =
+  let qt = List.map (QCheck_alcotest.to_alcotest ~verbose:false) in
+  Alcotest.run "npn"
+    [
+      ( "classes",
+        [
+          Alcotest.test_case "permutations" `Quick test_permutation_count;
+          Alcotest.test_case "small class counts" `Quick test_class_counts;
+          Alcotest.test_case "222 classes at n=4" `Slow test_class_count_4;
+          Alcotest.test_case "and ~ or" `Quick test_and_or_same_class;
+          Alcotest.test_case "xor ~ xnor" `Quick test_xor_xnor_same_class;
+          Alcotest.test_case "and <> xor" `Quick test_and_xor_distinct;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_transform_reaches_canonical;
+            prop_canonical_idempotent;
+            prop_class_invariance;
+            prop_input_assignment_bijective;
+          ] );
+    ]

@@ -1,0 +1,263 @@
+(* Tests for the CDCL solver, CNF layer, and DIMACS support. *)
+
+module S = Sat.Solver
+module C = Sat.Cnf
+
+let test_empty_formula () =
+  let s = S.create () in
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat)
+
+let test_unit_propagation () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s and c = S.new_var s in
+  S.add_clause s [ a ];
+  S.add_clause s [ -a; b ];
+  S.add_clause s [ -b; c ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "a" true (S.value s a);
+  Alcotest.(check bool) "b" true (S.value s b);
+  Alcotest.(check bool) "c" true (S.value s c)
+
+let test_empty_clause () =
+  let s = S.create () in
+  ignore (S.new_var s);
+  S.add_clause s [];
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat)
+
+let test_contradiction () =
+  let s = S.create () in
+  let a = S.new_var s in
+  S.add_clause s [ a ];
+  S.add_clause s [ -a ];
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat)
+
+let test_tautology_dropped () =
+  let s = S.create () in
+  let a = S.new_var s in
+  S.add_clause s [ a; -a ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat)
+
+let php_clauses pigeons holes =
+  (* Pigeonhole: unsat iff pigeons > holes. *)
+  let s = S.create () in
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> S.new_var s))
+  in
+  for p = 0 to pigeons - 1 do
+    S.add_clause s (Array.to_list v.(p))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        S.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole_unsat () =
+  Alcotest.(check bool) "php(6,5)" true (S.solve (php_clauses 6 5) = S.Unsat)
+
+let test_pigeonhole_sat () =
+  Alcotest.(check bool) "php(5,5)" true (S.solve (php_clauses 5 5) = S.Sat)
+
+let test_assumptions () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s in
+  S.add_clause s [ -a; b ];
+  Alcotest.(check bool) "a & !b unsat" true
+    (S.solve ~assumptions:[ a; -b ] s = S.Unsat);
+  Alcotest.(check bool) "a sat" true (S.solve ~assumptions:[ a ] s = S.Sat);
+  Alcotest.(check bool) "b forced" true (S.value s b);
+  (* The solver stays usable after an unsat-under-assumptions call. *)
+  Alcotest.(check bool) "no assumptions sat" true (S.solve s = S.Sat)
+
+let test_incremental () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s in
+  S.add_clause s [ a; b ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  S.add_clause s [ -a ];
+  Alcotest.(check bool) "still sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "b true" true (S.value s b);
+  S.add_clause s [ -b ];
+  Alcotest.(check bool) "now unsat" true (S.solve s = S.Unsat)
+
+let test_budget () =
+  let s = php_clauses 9 8 in
+  S.set_conflict_budget s (Some 50);
+  Alcotest.check_raises "budget" S.Budget_exhausted (fun () ->
+      ignore (S.solve s));
+  (* Removing the budget allows completion. *)
+  S.set_conflict_budget s None;
+  Alcotest.(check bool) "unsat after budget removed" true (S.solve s = S.Unsat)
+
+(* Random instances cross-checked against the DPLL oracle. *)
+let arbitrary_cnf =
+  let open QCheck.Gen in
+  let clause =
+    list_size (int_range 1 3)
+      (map
+         (fun (v, sign) -> if sign then v + 1 else -(v + 1))
+         (pair (int_range 0 7) bool))
+  in
+  list_size (int_range 1 35) clause
+
+let prop_matches_dpll =
+  QCheck.Test.make ~name:"CDCL matches DPLL oracle" ~count:300
+    (QCheck.make arbitrary_cnf) (fun clauses ->
+      let s = S.create () in
+      for _ = 1 to 8 do
+        ignore (S.new_var s)
+      done;
+      List.iter (S.add_clause s) clauses;
+      let cdcl = S.solve s = S.Sat in
+      let dpll = Sat.Dpll.solve ~nvars:8 clauses <> None in
+      if cdcl <> dpll then false
+      else if cdcl then
+        (* The model must satisfy every clause. *)
+        List.for_all (fun c -> List.exists (fun l -> S.value s l) c) clauses
+      else true)
+
+let prop_model_under_assumptions =
+  QCheck.Test.make ~name:"assumptions hold in model" ~count:200
+    (QCheck.pair (QCheck.make arbitrary_cnf)
+       (QCheck.list_of_size (QCheck.Gen.return 2) (QCheck.int_range 1 8)))
+    (fun (clauses, assumed_vars) ->
+      let s = S.create () in
+      for _ = 1 to 8 do
+        ignore (S.new_var s)
+      done;
+      List.iter (S.add_clause s) clauses;
+      let assumptions = List.map (fun v -> v) assumed_vars in
+      match S.solve ~assumptions s with
+      | S.Sat -> List.for_all (fun l -> S.value s l) assumptions
+      | S.Unsat -> true)
+
+(* --- CNF layer -------------------------------------------------------------- *)
+
+let exhaust f inputs check =
+  (* Force every assignment of the inputs via assumptions and check the
+     model against the gate definition. *)
+  let solver = C.solver f in
+  let n = List.length inputs in
+  let ok = ref true in
+  for row = 0 to (1 lsl n) - 1 do
+    let assumptions =
+      List.mapi
+        (fun i l -> if (row lsr i) land 1 = 1 then l else -l)
+        inputs
+    in
+    match S.solve ~assumptions solver with
+    | S.Sat -> if not (check (fun l -> S.value solver l)) then ok := false
+    | S.Unsat -> ok := false
+  done;
+  !ok
+
+let test_tseitin_and () =
+  let f = C.create () in
+  let a = C.fresh f and b = C.fresh f in
+  let y = C.and_ f a b in
+  Alcotest.(check bool) "and gate" true
+    (exhaust f [ a; b ] (fun v -> v y = (v a && v b)))
+
+let test_tseitin_xor_ite () =
+  let f = C.create () in
+  let a = C.fresh f and b = C.fresh f and c = C.fresh f in
+  let x = C.xor_ f a b in
+  let m = C.ite f c a b in
+  Alcotest.(check bool) "xor and ite" true
+    (exhaust f [ a; b; c ] (fun v ->
+         v x = (v a <> v b) && v m = if v c then v a else v b))
+
+let test_or_and_lists () =
+  let f = C.create () in
+  let inputs = Array.to_list (C.fresh_many f 4) in
+  let ol = C.or_list f inputs and al = C.and_list f inputs in
+  Alcotest.(check bool) "or/and lists" true
+    (exhaust f inputs (fun v ->
+         v ol = List.exists v inputs && v al = List.for_all v inputs))
+
+let count_true solver lits =
+  List.length (List.filter (fun l -> S.value solver l) lits)
+
+let test_at_most_one () =
+  let f = C.create () in
+  let lits = Array.to_list (C.fresh_many f 9) in
+  C.at_most_one f lits;
+  C.at_least_one f lits;
+  let solver = C.solver f in
+  Alcotest.(check bool) "sat" true (S.solve solver = S.Sat);
+  Alcotest.(check int) "exactly one" 1 (count_true solver lits);
+  (* Forcing two distinct literals must be unsat. *)
+  Alcotest.(check bool) "two forced unsat" true
+    (S.solve ~assumptions:[ List.nth lits 0; List.nth lits 8 ] solver
+    = S.Unsat)
+
+let test_at_most_k () =
+  let f = C.create () in
+  let lits = Array.to_list (C.fresh_many f 6) in
+  C.at_most_k f lits 3;
+  let solver = C.solver f in
+  (* Forcing four of them violates the bound. *)
+  let four = [ List.nth lits 0; List.nth lits 1; List.nth lits 2; List.nth lits 3 ] in
+  Alcotest.(check bool) "4 > 3 unsat" true
+    (S.solve ~assumptions:four solver = S.Unsat);
+  let three = [ List.nth lits 0; List.nth lits 2; List.nth lits 4 ] in
+  Alcotest.(check bool) "3 ok" true (S.solve ~assumptions:three solver = S.Sat)
+
+let test_at_least_k () =
+  let f = C.create () in
+  let lits = Array.to_list (C.fresh_many f 5) in
+  C.at_least_k f lits 4;
+  let solver = C.solver f in
+  Alcotest.(check bool) "sat" true (S.solve solver = S.Sat);
+  Alcotest.(check bool) ">= 4 true" true (count_true solver lits >= 4);
+  let two_false = [ -List.nth lits 0; -List.nth lits 1 ] in
+  Alcotest.(check bool) "two false unsat" true
+    (S.solve ~assumptions:two_false solver = S.Unsat)
+
+let test_dimacs_roundtrip () =
+  let f = C.create () in
+  let a = C.fresh f and b = C.fresh f in
+  C.add_clause f [ a; -b ];
+  C.add_clause f [ -a; b ];
+  let text = C.to_dimacs f in
+  let solver, nvars = C.parse_dimacs text in
+  Alcotest.(check int) "vars" 2 nvars;
+  Alcotest.(check bool) "solves" true (S.solve solver = S.Sat)
+
+let test_dimacs_parse_errors () =
+  Alcotest.check_raises "bad header" (Failure "Cnf.parse_dimacs: bad header")
+    (fun () -> ignore (C.parse_dimacs "p cnf x 1\n1 0\n"))
+
+let () =
+  let qt = List.map (QCheck_alcotest.to_alcotest ~verbose:false) in
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "empty formula" `Quick test_empty_formula;
+          Alcotest.test_case "unit propagation" `Quick test_unit_propagation;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "contradiction" `Quick test_contradiction;
+          Alcotest.test_case "tautology" `Quick test_tautology_dropped;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+          Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "budget" `Quick test_budget;
+        ] );
+      ("oracle", qt [ prop_matches_dpll; prop_model_under_assumptions ]);
+      ( "cnf",
+        [
+          Alcotest.test_case "tseitin and" `Quick test_tseitin_and;
+          Alcotest.test_case "tseitin xor/ite" `Quick test_tseitin_xor_ite;
+          Alcotest.test_case "or/and lists" `Quick test_or_and_lists;
+          Alcotest.test_case "at most one" `Quick test_at_most_one;
+          Alcotest.test_case "at most k" `Quick test_at_most_k;
+          Alcotest.test_case "at least k" `Quick test_at_least_k;
+          Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "dimacs errors" `Quick test_dimacs_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,409 @@
+(* Tests for the SiDB physical simulation substrate. *)
+
+module L = Sidb.Lattice
+module Mo = Sidb.Model
+module CS = Sidb.Charge_system
+module GS = Sidb.Ground_state
+module SA = Sidb.Simanneal
+module B = Sidb.Bdl
+
+let feq = Alcotest.(float 1e-9)
+
+(* --- lattice ------------------------------------------------------------ *)
+
+let test_positions () =
+  let x, y = L.position (L.site 0 0 0) in
+  Alcotest.(check feq) "origin x" 0. x;
+  Alcotest.(check feq) "origin y" 0. y;
+  let x, y = L.position (L.site 2 1 1) in
+  Alcotest.(check feq) "x" 7.68 x;
+  Alcotest.(check feq) "y" 9.93 y
+
+let test_distance () =
+  Alcotest.(check feq) "dimer gap" 2.25
+    (L.distance (L.site 0 0 0) (L.site 0 0 1));
+  Alcotest.(check feq) "column pitch" 3.84
+    (L.distance (L.site 0 0 0) (L.site 1 0 0));
+  Alcotest.(check feq) "nm conversion" 0.384
+    (L.distance_nm (L.site 0 0 0) (L.site 1 0 0))
+
+let test_site_validation () =
+  Alcotest.(check bool) "bad l" true
+    (try
+       ignore (L.site 0 0 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_transforms () =
+  let s = L.site 10 4 1 in
+  Alcotest.(check bool) "translate" true
+    (L.equal (L.translate s ~dn:5 ~dm:(-2)) (L.site 15 2 1));
+  Alcotest.(check bool) "mirror" true
+    (L.equal (L.mirror_x s ~about_n2:60) (L.site 50 4 1));
+  Alcotest.(check bool) "mirror involution" true
+    (L.equal (L.mirror_x (L.mirror_x s ~about_n2:60) ~about_n2:60) s)
+
+(* --- model ---------------------------------------------------------------- *)
+
+let test_potential_monotone () =
+  let m = Mo.default in
+  Alcotest.(check bool) "decreasing" true
+    (Mo.potential m 5. > Mo.potential m 10.
+    && Mo.potential m 10. > Mo.potential m 50.);
+  Alcotest.(check bool) "screening beats bare coulomb" true
+    (Mo.potential m 50. < Mo.coulomb_k /. m.Mo.epsilon_r /. 50.)
+
+let test_potential_values () =
+  (* V(7.68 A) at eps_r = 5.6, lambda = 5 nm:
+     14.3996 / 5.6 / 7.68 * exp(-7.68/50) = 0.28709... *)
+  Alcotest.(check (float 1e-4)) "pair interaction" 0.2871
+    (Mo.potential Mo.default 7.68)
+
+let test_interaction_matrix () =
+  let sites = [| L.site 0 0 0; L.site 2 0 0; L.site 0 2 0 |] in
+  let m = Mo.interaction_matrix Mo.default sites in
+  Alcotest.(check feq) "diagonal zero" 0. m.(1).(1);
+  Alcotest.(check feq) "symmetric" m.(0).(2) m.(2).(0);
+  Alcotest.(check bool) "positive" true (m.(0).(1) > 0.)
+
+(* --- charge systems --------------------------------------------------------- *)
+
+let pair_system () =
+  CS.create Mo.default [| L.site 0 0 0; L.site 0 1 0 |]
+
+let test_energy_empty_and_single () =
+  let sys = pair_system () in
+  Alcotest.(check feq) "empty" 0. (CS.energy sys [| false; false |]);
+  Alcotest.(check feq) "single" (-0.32) (CS.energy sys [| true; false |])
+
+let test_energy_double () =
+  let sys = pair_system () in
+  let v = Mo.interaction Mo.default (L.site 0 0 0) (L.site 0 1 0) in
+  Alcotest.(check feq) "double occupation" ((2. *. -0.32) +. v)
+    (CS.energy sys [| true; true |])
+
+let test_duplicate_sites_rejected () =
+  Alcotest.(check bool) "duplicate" true
+    (try
+       ignore (CS.create Mo.default [| L.site 0 0 0; L.site 0 0 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_v_ext () =
+  let sys =
+    CS.create ~v_ext:[| 0.5; 0. |] Mo.default [| L.site 0 0 0; L.site 9 9 0 |]
+  in
+  (* +0.5 eV external potential makes occupation of site 0 unfavorable. *)
+  let r = GS.exhaustive sys in
+  Alcotest.(check bool) "site 0 empty in ground state" true
+    (List.for_all (fun occ -> not occ.(0)) r.GS.states);
+  Alcotest.(check bool) "site 1 occupied" true
+    (List.for_all (fun occ -> occ.(1)) r.GS.states)
+
+let test_stability_criteria () =
+  (* A single isolated SiDB is negatively charged in its ground state
+     (mu_minus < 0); that configuration is physically valid and the
+     neutral one is population-unstable. *)
+  let sys = CS.create Mo.default [| L.site 0 0 0 |] in
+  Alcotest.(check bool) "charged valid" true (CS.physically_valid sys [| true |]);
+  Alcotest.(check bool) "neutral invalid" false
+    (CS.population_stable sys [| false |])
+
+(* --- ground-state engines ----------------------------------------------------- *)
+
+let random_system seed n =
+  let rng = Random.State.make [| seed |] in
+  let rec fresh_sites acc k =
+    if k = 0 then acc
+    else
+      let s =
+        L.site (Random.State.int rng 14) (Random.State.int rng 7)
+          (Random.State.int rng 2)
+      in
+      if List.exists (L.equal s) acc then fresh_sites acc k
+      else fresh_sites (s :: acc) (k - 1)
+  in
+  CS.create Mo.default (Array.of_list (fresh_sites [] n))
+
+let prop_bnb_matches_exhaustive =
+  QCheck.Test.make ~name:"branch&bound = exhaustive" ~count:40
+    (QCheck.pair (QCheck.int_range 1 10000) (QCheck.int_range 2 12))
+    (fun (seed, n) ->
+      let sys = random_system seed n in
+      let e1 = (GS.exhaustive sys).GS.energy in
+      let e2 = (GS.branch_and_bound sys).GS.energy in
+      Float.abs (e1 -. e2) < 1e-9)
+
+let prop_ground_state_is_valid =
+  QCheck.Test.make ~name:"ground states are physically valid" ~count:30
+    (QCheck.pair (QCheck.int_range 1 10000) (QCheck.int_range 2 10))
+    (fun (seed, n) ->
+      let sys = random_system seed n in
+      let r = GS.branch_and_bound sys in
+      List.for_all (CS.physically_valid sys) r.GS.states)
+
+let prop_anneal_not_below_exact =
+  QCheck.Test.make ~name:"annealer >= exact ground energy" ~count:15
+    (QCheck.pair (QCheck.int_range 1 10000) (QCheck.int_range 2 10))
+    (fun (seed, n) ->
+      let sys = random_system seed n in
+      let exact = (GS.branch_and_bound sys).GS.energy in
+      let anneal =
+        (SA.run ~params:{ SA.default_params with instances = 8; sweeps = 150 }
+           ~seed sys)
+          .GS.energy
+      in
+      anneal >= exact -. 1e-9)
+
+let test_anneal_finds_ground_state () =
+  (* On a gate-sized structured system the annealer finds the exact
+     optimum. *)
+  let sys = random_system 42 14 in
+  let exact = (GS.branch_and_bound sys).GS.energy in
+  let anneal = (SA.run ~seed:3 sys).GS.energy in
+  Alcotest.(check feq) "energies agree" exact anneal
+
+let test_degenerate_states_reported () =
+  (* Two tightly-bound pairs stacked vertically: each holds one
+     electron, and the two anti-aligned configurations (left-right and
+     right-left) are exactly degenerate by mirror symmetry. *)
+  let sys =
+    CS.create Mo.default
+      [| L.site 0 0 0; L.site 1 0 0; L.site 0 6 0; L.site 1 6 0 |]
+  in
+  let r = GS.exhaustive sys in
+  Alcotest.(check int) "twofold degeneracy" 2 (GS.degeneracy r);
+  (* Each degenerate state has exactly one electron per pair. *)
+  List.iter
+    (fun occ ->
+      Alcotest.(check bool) "one per pair" true
+        (Bool.to_int occ.(0) + Bool.to_int occ.(1) = 1
+        && Bool.to_int occ.(2) + Bool.to_int occ.(3) = 1))
+    r.GS.states
+
+let test_empty_system () =
+  let sys = CS.create Mo.default [||] in
+  Alcotest.(check feq) "empty energy" 0. (GS.exhaustive sys).GS.energy;
+  Alcotest.(check feq) "bnb empty" 0. (GS.branch_and_bound sys).GS.energy
+
+(* --- BDL ------------------------------------------------------------------------ *)
+
+let wire_structure () =
+  (* The validated 3-pair vertical BDL wire. *)
+  let at m = L.site 0 m 0 in
+  let pairs = [ (at 0, at 1); (at 4, at 5); (at 8, at 9) ] in
+  let fixed = List.concat_map (fun (a, b) -> [ a; b ]) pairs @ [ at 12 ] in
+  {
+    B.name = "wire";
+    inputs = [| { B.near = [ at (-2) ]; far = [ at (-6) ] } |];
+    outputs = [| { B.zero = at 8; one = at 9 } |];
+    fixed;
+  }
+
+let test_wire_operational () =
+  let report = B.check (wire_structure ()) ~spec:(fun i -> [| i.(0) |]) in
+  Alcotest.(check bool) "wire works" true (B.operational report);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "row ok" true row.B.ok;
+      Alcotest.(check bool) "energy negative" true (row.B.ground_energy < 0.))
+    report.B.rows
+
+let test_wire_engines_agree () =
+  let s = wire_structure () in
+  let spec i = [| i.(0) |] in
+  let r1 = B.check ~engine:B.Exhaustive s ~spec in
+  let r2 = B.check ~engine:B.Branch_and_bound s ~spec in
+  Alcotest.(check bool) "exhaustive ok" true (B.operational r1);
+  Alcotest.(check bool) "bnb ok" true (B.operational r2);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check feq) "same ground energy" a.B.ground_energy
+        b.B.ground_energy)
+    r1.B.rows r2.B.rows
+
+let test_read_pair () =
+  let sites = [| L.site 0 0 0; L.site 0 1 0 |] in
+  let pair = { B.zero = L.site 0 0 0; one = L.site 0 1 0 } in
+  Alcotest.(check (option bool)) "one" (Some true)
+    (B.read_pair sites [| false; true |] pair);
+  Alcotest.(check (option bool)) "zero" (Some false)
+    (B.read_pair sites [| true; false |] pair);
+  Alcotest.(check (option bool)) "unpolarized" None
+    (B.read_pair sites [| true; true |] pair);
+  Alcotest.(check (option bool)) "vacant" None
+    (B.read_pair sites [| false; false |] pair)
+
+let test_sites_for_selects_perturbers () =
+  let s = wire_structure () in
+  let sites0 = B.sites_for s [| false |] and sites1 = B.sites_for s [| true |] in
+  Alcotest.(check bool) "far in 0" true
+    (Array.exists (L.equal (L.site 0 (-6) 0)) sites0);
+  Alcotest.(check bool) "near in 1" true
+    (Array.exists (L.equal (L.site 0 (-2) 0)) sites1);
+  Alcotest.(check bool) "near not in 0" false
+    (Array.exists (L.equal (L.site 0 (-2) 0)) sites0)
+
+(* --- low-energy spectrum, temperature, operational domain ---------------- *)
+
+let test_spectrum_sorted_and_complete () =
+  let sys = random_system 7 10 in
+  let spectrum = GS.spectrum ~window:0.15 sys in
+  let energies = List.map snd spectrum in
+  (* Sorted ascending and starting at the exact ground state. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted energies);
+  Alcotest.(check feq) "starts at ground energy"
+    (GS.branch_and_bound sys).GS.energy (List.hd energies);
+  (* Every reported state's energy is consistent with the system. *)
+  List.iter
+    (fun (occ, e) ->
+      Alcotest.(check feq) "energy recomputes" (CS.energy sys occ) e)
+    spectrum;
+  (* Cross-check completeness against brute force. *)
+  let e0 = List.hd energies in
+  let n = CS.size sys in
+  let brute = ref 0 in
+  for v = 0 to (1 lsl n) - 1 do
+    let occ = Array.init n (fun i -> (v lsr i) land 1 = 1) in
+    if CS.energy sys occ <= e0 +. 0.15 +. 1e-9 then incr brute
+  done;
+  Alcotest.(check int) "complete" !brute (List.length spectrum)
+
+let test_boltzmann_probabilities () =
+  let sys = pair_system () in
+  let probs = Sidb.Temperature.state_probabilities sys ~temperature_k:300. ~max_states:64 in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
+  Alcotest.(check (float 1e-6)) "normalized" 1.0 total;
+  (* Probabilities decrease with energy. *)
+  let rec decreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b -. 1e-12 && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (decreasing probs)
+
+let test_correctness_probability_limits () =
+  let s = wire_structure () in
+  let spec i = [| i.(0) |] in
+  let cold = Sidb.Temperature.correctness_probability s ~spec ~temperature_k:1. () in
+  let hot = Sidb.Temperature.correctness_probability s ~spec ~temperature_k:4000. () in
+  Alcotest.(check bool) "certain when cold" true (cold > 0.99);
+  Alcotest.(check bool) "cold at least as reliable as hot" true
+    (cold >= hot -. 1e-9)
+
+let test_critical_temperature_wire () =
+  let s = wire_structure () in
+  let spec i = [| i.(0) |] in
+  let ct = Sidb.Temperature.critical_temperature ~t_max:300. s ~spec in
+  Alcotest.(check bool) "wire has a positive critical temperature" true
+    (ct > 0.)
+
+let test_operational_domain () =
+  let s = wire_structure () in
+  let spec i = [| i.(0) |] in
+  let dom =
+    Sidb.Operational_domain.sweep
+      ~x_axis:{ Sidb.Operational_domain.parameter = Sidb.Operational_domain.Mu_minus;
+                from_value = -0.40; to_value = -0.24; steps = 5 }
+      ~y_axis:{ Sidb.Operational_domain.parameter = Sidb.Operational_domain.Lambda_tf;
+                from_value = 4.0; to_value = 6.0; steps = 3 }
+      s ~spec
+  in
+  Alcotest.(check int) "sample count" 15 (List.length dom.Sidb.Operational_domain.samples);
+  Alcotest.(check bool) "fraction within [0,1]" true
+    (dom.Sidb.Operational_domain.operational_fraction >= 0.
+    && dom.Sidb.Operational_domain.operational_fraction <= 1.);
+  (* The default parameters lie inside the wire's domain. *)
+  let at_default =
+    List.exists
+      (fun sm ->
+        Float.abs (sm.Sidb.Operational_domain.x_value +. 0.32) < 1e-9
+        && Float.abs (sm.Sidb.Operational_domain.y_value -. 5.0) < 1e-9
+        && sm.Sidb.Operational_domain.operational)
+      dom.Sidb.Operational_domain.samples
+  in
+  Alcotest.(check bool) "operational at the paper's parameters" true at_default;
+  (* ASCII rendering has one row per y sample. *)
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '
+' (Sidb.Operational_domain.to_ascii dom))
+  in
+  Alcotest.(check int) "ascii rows" 3 (List.length lines)
+
+let test_operational_domain_errors () =
+  let s = wire_structure () in
+  let spec i = [| i.(0) |] in
+  Alcotest.(check bool) "same axis rejected" true
+    (try
+       ignore
+         (Sidb.Operational_domain.sweep
+            ~x_axis:{ Sidb.Operational_domain.parameter = Sidb.Operational_domain.Mu_minus;
+                      from_value = -0.4; to_value = -0.2; steps = 3 }
+            ~y_axis:{ Sidb.Operational_domain.parameter = Sidb.Operational_domain.Mu_minus;
+                      from_value = -0.4; to_value = -0.2; steps = 3 }
+            s ~spec);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  let qt = List.map (QCheck_alcotest.to_alcotest ~verbose:false) in
+  Alcotest.run "sidb"
+    [
+      ( "lattice",
+        [
+          Alcotest.test_case "positions" `Quick test_positions;
+          Alcotest.test_case "distance" `Quick test_distance;
+          Alcotest.test_case "validation" `Quick test_site_validation;
+          Alcotest.test_case "transforms" `Quick test_transforms;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "monotone potential" `Quick test_potential_monotone;
+          Alcotest.test_case "known value" `Quick test_potential_values;
+          Alcotest.test_case "interaction matrix" `Quick test_interaction_matrix;
+        ] );
+      ( "charge-system",
+        [
+          Alcotest.test_case "energies" `Quick test_energy_empty_and_single;
+          Alcotest.test_case "double occupation" `Quick test_energy_double;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_sites_rejected;
+          Alcotest.test_case "external potential" `Quick test_v_ext;
+          Alcotest.test_case "stability" `Quick test_stability_criteria;
+        ] );
+      ( "ground-state",
+        [
+          Alcotest.test_case "anneal finds optimum" `Quick
+            test_anneal_finds_ground_state;
+          Alcotest.test_case "degeneracy" `Quick test_degenerate_states_reported;
+          Alcotest.test_case "empty system" `Quick test_empty_system;
+        ]
+        @ qt
+            [
+              prop_bnb_matches_exhaustive;
+              prop_ground_state_is_valid;
+              prop_anneal_not_below_exact;
+            ] );
+      ( "finite-temperature",
+        [
+          Alcotest.test_case "spectrum" `Quick test_spectrum_sorted_and_complete;
+          Alcotest.test_case "boltzmann" `Quick test_boltzmann_probabilities;
+          Alcotest.test_case "correctness limits" `Quick
+            test_correctness_probability_limits;
+          Alcotest.test_case "critical temperature" `Quick
+            test_critical_temperature_wire;
+          Alcotest.test_case "operational domain" `Slow test_operational_domain;
+          Alcotest.test_case "domain errors" `Quick test_operational_domain_errors;
+        ] );
+      ( "bdl",
+        [
+          Alcotest.test_case "wire operational" `Quick test_wire_operational;
+          Alcotest.test_case "engines agree" `Quick test_wire_engines_agree;
+          Alcotest.test_case "read pair" `Quick test_read_pair;
+          Alcotest.test_case "perturber selection" `Quick
+            test_sites_for_selects_perturbers;
+        ] );
+    ]

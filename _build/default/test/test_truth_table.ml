@@ -1,0 +1,163 @@
+(* Tests for bit-packed truth tables. *)
+
+module T = Logic.Truth_table
+
+let tt = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (T.to_string t)) T.equal
+
+let arbitrary_tt n =
+  QCheck.map
+    (fun bits ->
+      let t = ref (T.create n) in
+      List.iteri (fun i b -> if b then t := T.set_bit !t i true) bits;
+      !t)
+    (QCheck.list_of_size (QCheck.Gen.return (1 lsl n)) QCheck.bool)
+
+let test_consts () =
+  Alcotest.(check bool) "const0" true (T.is_const0 (T.const0 3));
+  Alcotest.(check bool) "const1" true (T.is_const1 (T.const1 3));
+  Alcotest.(check int) "const1 ones" 8 (T.count_ones (T.const1 3));
+  Alcotest.(check bool) "const1 of 7 vars" true (T.is_const1 (T.const1 7))
+
+let test_var_patterns () =
+  Alcotest.(check string) "var 0 of 2" "1010" (T.to_string (T.var 2 0));
+  Alcotest.(check string) "var 1 of 2" "1100" (T.to_string (T.var 2 1));
+  (* Large arity: variable 7 of 8. *)
+  let v = T.var 8 7 in
+  Alcotest.(check int) "var 7/8 ones" 128 (T.count_ones v);
+  Alcotest.(check bool) "bit 128 set" true (T.get_bit v 128);
+  Alcotest.(check bool) "bit 127 clear" false (T.get_bit v 127)
+
+let test_ops () =
+  let a = T.var 2 0 and b = T.var 2 1 in
+  Alcotest.(check string) "and" "1000" (T.to_string (T.land_ a b));
+  Alcotest.(check string) "or" "1110" (T.to_string (T.lor_ a b));
+  Alcotest.(check string) "xor" "0110" (T.to_string (T.lxor_ a b));
+  Alcotest.(check string) "not a" "0101" (T.to_string (T.lnot a))
+
+let test_arity_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Truth_table.land_: arity mismatch 2 vs 3") (fun () ->
+      ignore (T.land_ (T.var 2 0) (T.var 3 0)))
+
+let test_hex_roundtrip () =
+  let t = T.of_hex 4 "cafe" in
+  Alcotest.(check string) "hex" "cafe" (T.to_hex t);
+  Alcotest.(check string) "string" "1100101011111110" (T.to_string t)
+
+let test_string_roundtrip () =
+  let t = T.of_string "0110" in
+  Alcotest.(check string) "xor2" "6" (T.to_hex t)
+
+let test_bits_roundtrip () =
+  let t = T.of_bits 3 0xE8L in
+  Alcotest.(check int64) "maj3 bits" 0xE8L (T.to_bits t)
+
+let test_cofactors () =
+  let maj = T.of_bits 3 0xE8L in
+  (* maj(a,b,c) with c=0 -> a&b; with c=1 -> a|b *)
+  let c0 = T.cofactor0 maj 2 and c1 = T.cofactor1 maj 2 in
+  let a = T.var 3 0 and b = T.var 3 1 in
+  Alcotest.(check tt) "cofactor0 is and" (T.land_ a b) c0;
+  Alcotest.(check tt) "cofactor1 is or" (T.lor_ a b) c1
+
+let test_support () =
+  let f = T.land_ (T.var 4 0) (T.var 4 2) in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (T.support f);
+  Alcotest.(check bool) "dep 1" false (T.depends_on f 1)
+
+let test_swap_flip () =
+  let f = T.land_ (T.var 3 0) (T.lnot (T.var 3 1)) in
+  let swapped = T.swap_vars f 0 1 in
+  Alcotest.(check tt) "swap" (T.land_ (T.var 3 1) (T.lnot (T.var 3 0))) swapped;
+  let flipped = T.flip_var f 1 in
+  Alcotest.(check tt) "flip" (T.land_ (T.var 3 0) (T.var 3 1)) flipped
+
+let test_extend () =
+  let f = T.lxor_ (T.var 2 0) (T.var 2 1) in
+  let g = T.extend f 4 in
+  Alcotest.(check int) "extended ones" 8 (T.count_ones g);
+  Alcotest.(check tt) "same function" (T.lxor_ (T.var 4 0) (T.var 4 1)) g
+
+let test_eval () =
+  let maj = T.of_bits 3 0xE8L in
+  Alcotest.(check bool) "maj(1,1,0)" true (T.eval maj [| true; true; false |]);
+  Alcotest.(check bool) "maj(1,0,0)" false (T.eval maj [| true; false; false |])
+
+let prop_double_negation =
+  QCheck.Test.make ~name:"double negation" ~count:200 (arbitrary_tt 4)
+    (fun t -> T.equal (T.lnot (T.lnot t)) t)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"De Morgan" ~count:200
+    (QCheck.pair (arbitrary_tt 4) (arbitrary_tt 4))
+    (fun (a, b) ->
+      T.equal (T.lnot (T.land_ a b)) (T.lor_ (T.lnot a) (T.lnot b)))
+
+let prop_xor_self =
+  QCheck.Test.make ~name:"t xor t = 0" ~count:200 (arbitrary_tt 5) (fun t ->
+      T.is_const0 (T.lxor_ t t))
+
+let prop_shannon =
+  QCheck.Test.make ~name:"Shannon expansion" ~count:200
+    (QCheck.pair (arbitrary_tt 4) (QCheck.int_range 0 3))
+    (fun (f, i) ->
+      let v = T.var 4 i in
+      let expansion =
+        T.lor_
+          (T.land_ v (T.cofactor1 f i))
+          (T.land_ (T.lnot v) (T.cofactor0 f i))
+      in
+      T.equal f expansion)
+
+let prop_swap_involution =
+  QCheck.Test.make ~name:"swap involution" ~count:200
+    (QCheck.triple (arbitrary_tt 4) (QCheck.int_range 0 3) (QCheck.int_range 0 3))
+    (fun (f, i, j) -> T.equal (T.swap_vars (T.swap_vars f i j) i j) f)
+
+let prop_permute_identity =
+  QCheck.Test.make ~name:"identity permutation" ~count:100 (arbitrary_tt 4)
+    (fun f -> T.equal (T.permute f [| 0; 1; 2; 3 |]) f)
+
+let prop_count_ones_negation =
+  QCheck.Test.make ~name:"ones + ones(not) = 2^n" ~count:200 (arbitrary_tt 5)
+    (fun f -> T.count_ones f + T.count_ones (T.lnot f) = 32)
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 (arbitrary_tt 4) (fun f ->
+      T.equal (T.of_hex 4 (T.to_hex f)) f)
+
+let () =
+  let qt = List.map (QCheck_alcotest.to_alcotest ~verbose:false) in
+  Alcotest.run "truth_table"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "constants" `Quick test_consts;
+          Alcotest.test_case "variables" `Quick test_var_patterns;
+          Alcotest.test_case "operations" `Quick test_ops;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "bits roundtrip" `Quick test_bits_roundtrip;
+          Alcotest.test_case "eval" `Quick test_eval;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "cofactors" `Quick test_cofactors;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "swap/flip" `Quick test_swap_flip;
+          Alcotest.test_case "extend" `Quick test_extend;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_double_negation;
+            prop_de_morgan;
+            prop_xor_self;
+            prop_shannon;
+            prop_swap_involution;
+            prop_permute_identity;
+            prop_count_ones_negation;
+            prop_hex_roundtrip;
+          ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for layout extraction and SAT equivalence checking. *)
+
+module E = Verify.Equivalence
+module X = Verify.Extract
+module N = Logic.Network
+module T = Logic.Truth_table
+module GL = Layout.Gate_layout
+module Tile = Layout.Tile
+module D = Hexlib.Direction
+module C = Hexlib.Coord
+
+let offset col row : C.offset = { col; row }
+
+let xor_layout () =
+  let l = GL.create ~width:2 ~height:3 ~clocking:(GL.Scheme Layout.Clocking.Row) in
+  GL.set l (offset 0 0) (Tile.Pi { name = "a"; out = D.South_east });
+  GL.set l (offset 1 0) (Tile.Pi { name = "b"; out = D.South_west });
+  GL.set l (offset 0 1)
+    (Tile.Gate
+       {
+         fn = Logic.Mapped.Xor2;
+         ins = [ D.North_west; D.North_east ];
+         outs = [ D.South_west ];
+       });
+  GL.set l (offset 0 2) (Tile.Po { name = "f"; inp = D.North_east });
+  l
+
+let test_extract_xor () =
+  match X.network (xor_layout ()) with
+  | Error e -> Alcotest.fail e
+  | Ok ntk ->
+      Alcotest.(check int) "pis" 2 (N.num_pis ntk);
+      Alcotest.(check int) "pos" 1 (N.num_pos ntk);
+      Alcotest.(check string) "function" "0110"
+        (T.to_string (N.simulate ntk).(0))
+
+let test_extract_dangling () =
+  let l = xor_layout () in
+  GL.set l (offset 0 0) Tile.Empty;
+  match X.network l with
+  | Error msg ->
+      Alcotest.(check bool) "mentions dangling" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected extraction error"
+
+let test_equivalence_positive () =
+  let spec = Logic.Benchmarks.xor2 () in
+  match E.check_layout spec (xor_layout ()) with
+  | Ok E.Equivalent -> ()
+  | Ok _ -> Alcotest.fail "expected equivalent"
+  | Error e -> Alcotest.fail e
+
+let test_equivalence_negative () =
+  (* Same layout checked against AND: must produce a counterexample
+     where exactly one input is 1. *)
+  let spec = N.create () in
+  let a = N.pi spec "a" and b = N.pi spec "b" in
+  N.po spec "f" (N.and_ spec a b);
+  match E.check_layout spec (xor_layout ()) with
+  | Ok (E.Counterexample cex) ->
+      let value name = List.assoc name cex in
+      Alcotest.(check bool) "differs" true (value "a" <> value "b" || (value "a" && value "b"))
+  | Ok E.Equivalent -> Alcotest.fail "xor is not and"
+  | Ok (E.Interface_mismatch m) -> Alcotest.fail m
+  | Error e -> Alcotest.fail e
+
+let test_interface_mismatch () =
+  let spec = N.create () in
+  let a = N.pi spec "x" in
+  N.po spec "f" a;
+  match E.check_layout spec (xor_layout ()) with
+  | Ok (E.Interface_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected interface mismatch"
+
+let test_check_networks_directly () =
+  (* Two different realizations of the same parity function. *)
+  let n1 = Logic.Benchmarks.xor5_r1 () in
+  let n2 = Logic.Benchmarks.xor5_majority () in
+  (* The two have different input names?  Both use x0..x4. *)
+  Alcotest.(check bool) "equivalent realizations" true
+    (E.check n1 n2 = E.Equivalent)
+
+let test_check_distinguishes () =
+  let n1 = Logic.Benchmarks.t () in
+  let n2 =
+    (* Perturb t: swap an output pair of functions by rebuilding with an
+       extra inverter. *)
+    let n = Logic.Benchmarks.t () in
+    N.set_po_signal n 0 (N.not_ (N.po_signal n 0));
+    n
+  in
+  match E.check n1 n2 with
+  | E.Counterexample _ -> ()
+  | E.Equivalent -> Alcotest.fail "must differ"
+  | E.Interface_mismatch m -> Alcotest.fail m
+
+let test_network_to_cnf () =
+  (* Build CNF of c17 and compare against simulation on all rows. *)
+  let ntk = Logic.Benchmarks.c17 () in
+  let f = Sat.Cnf.create () in
+  let table = Hashtbl.create 8 in
+  let pi_literals name =
+    match Hashtbl.find_opt table name with
+    | Some l -> l
+    | None ->
+        let l = Sat.Cnf.fresh f in
+        Hashtbl.replace table name l;
+        l
+  in
+  let outs = E.network_to_cnf f ntk ~pi_literals in
+  let solver = Sat.Cnf.solver f in
+  let sims = N.simulate ntk in
+  let all_ok = ref true in
+  for row = 0 to 31 do
+    let assumptions =
+      List.init 5 (fun i ->
+          let l = pi_literals (N.pi_name ntk i) in
+          if (row lsr i) land 1 = 1 then l else -l)
+    in
+    (match Sat.Solver.solve ~assumptions solver with
+    | Sat.Solver.Sat ->
+        List.iteri
+          (fun o (_, lit) ->
+            if Sat.Solver.value solver lit <> T.get_bit sims.(o) row then
+              all_ok := false)
+          outs
+    | Sat.Solver.Unsat -> all_ok := false)
+  done;
+  Alcotest.(check bool) "cnf matches simulation" true !all_ok
+
+let prop_equivalence_reflexive =
+  QCheck.Test.make ~name:"every benchmark equivalent to itself" ~count:1
+    QCheck.unit (fun () ->
+      List.for_all
+        (fun b ->
+          let n1 = b.Logic.Benchmarks.build ()
+          and n2 = b.Logic.Benchmarks.build () in
+          E.check n1 n2 = E.Equivalent)
+        Logic.Benchmarks.all)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "extract",
+        [
+          Alcotest.test_case "xor layout" `Quick test_extract_xor;
+          Alcotest.test_case "dangling" `Quick test_extract_dangling;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "positive" `Quick test_equivalence_positive;
+          Alcotest.test_case "negative" `Quick test_equivalence_negative;
+          Alcotest.test_case "interface" `Quick test_interface_mismatch;
+          Alcotest.test_case "realizations" `Quick test_check_networks_directly;
+          Alcotest.test_case "distinguishes" `Quick test_check_distinguishes;
+          Alcotest.test_case "network to cnf" `Quick test_network_to_cnf;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_equivalence_reflexive ] );
+    ]

@@ -1,0 +1,138 @@
+(* Tests for the Verilog-subset parser and writer. *)
+
+module V = Logic.Verilog
+module N = Logic.Network
+module T = Logic.Truth_table
+
+let tt = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (T.to_string t)) T.equal
+
+let test_assign_operators () =
+  let n =
+    V.parse
+      {|
+module ops (a, b, c, y);
+  input a, b, c;
+  output y;
+  wire w;
+  assign w = a & b | ~c;
+  assign y = w ^ a;
+endmodule
+|}
+  in
+  Alcotest.(check int) "pis" 3 (N.num_pis n);
+  let a = T.var 3 0 and b = T.var 3 1 and c = T.var 3 2 in
+  let w = T.lor_ (T.land_ a b) (T.lnot c) in
+  Alcotest.(check tt) "function" (T.lxor_ w a) (N.simulate n).(0)
+
+let test_precedence () =
+  (* ~ > & > ^ > | *)
+  let n =
+    V.parse
+      {|
+module p (a, b, c, d, y);
+  input a, b, c, d;
+  output y;
+  assign y = a | b ^ c & ~d;
+endmodule
+|}
+  in
+  let a = T.var 4 0 and b = T.var 4 1 and c = T.var 4 2 and d = T.var 4 3 in
+  let expected = T.lor_ a (T.lxor_ b (T.land_ c (T.lnot d))) in
+  Alcotest.(check tt) "precedence" expected (N.simulate n).(0)
+
+let test_gate_primitives () =
+  let n =
+    V.parse
+      {|
+module g (a, b, c, y1, y2);
+  input a, b, c;
+  output y1, y2;
+  wire w;
+  nand g1 (w, a, b, c);   // 3-input nand
+  xor (y1, w, c);         // unnamed instance
+  not g3 (y2, w);
+endmodule
+|}
+  in
+  let a = T.var 3 0 and b = T.var 3 1 and c = T.var 3 2 in
+  let w = T.lnot (T.land_ (T.land_ a b) c) in
+  Alcotest.(check tt) "nand->xor" (T.lxor_ w c) (N.simulate n).(0);
+  Alcotest.(check tt) "not" (T.lnot w) (N.simulate n).(1)
+
+let test_constants () =
+  let n =
+    V.parse
+      {|
+module k (a, y);
+  input a;
+  output y;
+  assign y = a ^ 1'b1;
+endmodule
+|}
+  in
+  Alcotest.(check tt) "xor with 1" (T.lnot (T.var 1 0)) (N.simulate n).(0)
+
+let test_comments () =
+  let n =
+    V.parse
+      "module c (a, y); /* block\ncomment */ input a; output y; // line\nassign y = a; endmodule"
+  in
+  Alcotest.(check int) "parsed" 1 (N.num_pos n)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_error source fragment =
+  match V.parse source with
+  | exception V.Parse_error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S (got %S)" fragment msg)
+        true (contains msg fragment)
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_errors () =
+  check_error "module m (a, y); input a; output y; endmodule" "never driven";
+  check_error
+    "module m (a, y); input a; output y; assign y = z; endmodule"
+    "undeclared";
+  check_error
+    "module m (a, y); input a; output y; assign y = a; assign y = a; endmodule"
+    "driven twice";
+  check_error
+    "module m (a, y); input a; output y; wire w; assign w = y; assign y = w; endmodule"
+    "cycle";
+  check_error "module m (a, y); input a; output y; assign y = a @ a; endmodule"
+    "unexpected character"
+
+let test_roundtrip_benchmarks () =
+  List.iter
+    (fun name ->
+      let b = Logic.Benchmarks.find name in
+      let n = b.Logic.Benchmarks.build () in
+      let text = V.to_verilog n ~name in
+      let back = V.parse text in
+      let s1 = N.simulate n and s2 = N.simulate back in
+      Alcotest.(check int) (name ^ " outputs") (Array.length s1)
+        (Array.length s2);
+      Array.iteri
+        (fun i t -> Alcotest.(check tt) (name ^ " function") t s2.(i))
+        s1)
+    [ "xor2"; "par_check"; "c17"; "t"; "cm82a_5"; "newtag" ]
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "assign operators" `Quick test_assign_operators;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "gate primitives" `Quick test_gate_primitives;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "writer",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip_benchmarks ] );
+    ]
