@@ -211,7 +211,7 @@ let fig3 () =
   | Ok result ->
       Format.printf "@.two-level Y-gate tree on the hexagonal grid:@.%s@."
         (Layout.Render.layout result.Core.Flow.gate_layout)
-  | Error e -> Format.printf "flow failed: %s@." e
+  | Error f -> Format.printf "flow failed: %s@." (Core.Flow.error_message f)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 4: tile template and super-tiles                               *)
@@ -339,7 +339,7 @@ let fig5 () =
 let fig6 () =
   section "Fig. 6: synthesized par_check layout (row clocking, verified)";
   match Core.Flow.run_benchmark "par_check" with
-  | Error e -> Format.printf "flow failed: %s@." e
+  | Error f -> Format.printf "flow failed: %s@." (Core.Flow.error_message f)
   | Ok result ->
       Format.printf "%a@." Core.Flow.pp_summary result;
       Format.printf "@.%s@."
@@ -418,7 +418,7 @@ let ablation () =
         Printf.sprintf "%d gate tiles, %dx%d" st.Layout.Gate_layout.gate_tiles
           st.Layout.Gate_layout.bounding_width
           st.Layout.Gate_layout.bounding_height
-    | Error e -> "failed: " ^ e
+    | Error f -> "failed: " ^ Core.Flow.error_message f
   in
   Format.printf "half adder with fusion:    %s@." (ha_demo true);
   Format.printf "half adder without fusion: %s@." (ha_demo false);
@@ -442,7 +442,7 @@ let ablation () =
             violations)
         [ Layout.Clocking.Row; Layout.Clocking.Columnar;
           Layout.Clocking.Two_d_d_wave; Layout.Clocking.Use ]
-  | Error e -> Format.printf "flow failed: %s@." e);
+  | Error f -> Format.printf "flow failed: %s@." (Core.Flow.error_message f));
   section "Ablation: input encoding (near/far vs presence/absence)";
   Format.printf
     "see fig1c: the paper's near/far refinement keeps upstream influence in both logic states.@."
@@ -500,6 +500,86 @@ let extensions () =
       Format.printf
         "@.The stochastic designer optimizes logical correctness only, so several@.designs sit sub-meV above competing states: functionally exact at T = 0 but@.thermally fragile.  A margin-aware design objective is the natural next step@.(and exactly the 'operational domain evaluation' the paper lists as future work).@."
   | _ -> Format.printf "no OR structure@.")
+
+(* ------------------------------------------------------------------ *)
+(* Defect-injection yield and budgeted-flow resilience                 *)
+(* ------------------------------------------------------------------ *)
+
+let defects () =
+  section
+    "Extension: operational yield under randomized atomic defects (fixed seed)";
+  let or_tile =
+    Layout.Tile.Gate
+      { fn = M.Or2; ins = [ D.North_west; D.North_east ]; outs = [ D.South_east ] }
+  in
+  (match
+     ( Bestagon.Library.validation_structure or_tile,
+       Bestagon.Library.tile_spec or_tile )
+   with
+  | Some s, Some spec ->
+      Format.printf "single OR tile, 30 trials per configuration:@.";
+      List.iter
+        (fun (label, params) ->
+          let r = Sidb.Defects.operational_yield params s ~spec in
+          Format.printf "  %-34s %a@." label Sidb.Defects.pp_yield_report r)
+        [
+          ("no defects (sanity: 100%)",
+           { Sidb.Defects.missing = 0; extra = 0; charged = 0; trials = 30; seed = 7 });
+          ("1 missing DB",
+           { Sidb.Defects.missing = 1; extra = 0; charged = 0; trials = 30; seed = 7 });
+          ("1 stray DB",
+           { Sidb.Defects.missing = 0; extra = 1; charged = 0; trials = 30; seed = 7 });
+          ("1 charged point defect",
+           { Sidb.Defects.missing = 0; extra = 0; charged = 1; trials = 30; seed = 7 });
+          ("1 missing + 1 stray + 1 charged",
+           { Sidb.Defects.missing = 1; extra = 1; charged = 1; trials = 30; seed = 7 });
+        ]
+  | _ -> Format.printf "no OR structure@.");
+  Format.printf "@.whole xor2 layout, 1 missing DB per tile trial, 15 trials:@.";
+  match Core.Flow.run_benchmark "xor2" with
+  | Error f -> Format.printf "flow failed: %s@." (Core.Flow.error_message f)
+  | Ok result ->
+      let params =
+        { Sidb.Defects.default_params with Sidb.Defects.trials = 15; seed = 7 }
+      in
+      let y = Bestagon.Yield.of_layout ~params result.Core.Flow.gate_layout in
+      Format.printf "%a" Bestagon.Yield.pp y
+
+let resilience () =
+  section "Resilience: budgeted flow with degradation to the scalable engine";
+  List.iter
+    (fun (name, deadline) ->
+      let t0 = Unix.gettimeofday () in
+      let options =
+        {
+          Core.Flow.default_options with
+          engine = Core.Flow.Exact_with_fallback Physdesign.Exact.default_config;
+        }
+      in
+      match
+        Core.Flow.run_benchmark ~options
+          ~budget:(Core.Budget.of_seconds deadline)
+          name
+      with
+      | Ok r ->
+          let st = Layout.Gate_layout.stats r.Core.Flow.gate_layout in
+          Format.printf
+            "  %-10s deadline %4.1fs: %s engine, %dx%d tiles, %d degradation(s), %s, %.2fs@."
+            name deadline
+            (match r.Core.Flow.diagnostics.Core.Flow.engine_used with
+            | Some e -> Core.Flow.engine_used_to_string e
+            | None -> "?")
+            st.Layout.Gate_layout.bounding_width
+            st.Layout.Gate_layout.bounding_height
+            (List.length r.Core.Flow.diagnostics.Core.Flow.degradations)
+            (match r.Core.Flow.equivalence with
+            | Some v -> Verify.Equivalence.verdict_to_string v
+            | None -> "unverified")
+            (Unix.gettimeofday () -. t0)
+      | Error f ->
+          Format.printf "  %-10s deadline %4.1fs: FAILED (%s)@." name deadline
+            (Core.Flow.error_message f))
+    [ ("mux21", 1.0); ("mux21", 60.0); ("par_check", 2.0) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -633,11 +713,13 @@ let run = function
   | "fig6" -> fig6 ()
   | "ablation" -> ablation ()
   | "extensions" -> extensions ()
+  | "defects" -> defects ()
+  | "resilience" -> resilience ()
   | "perf" -> perf ()
   | other ->
       Format.printf
-        "unknown experiment %S (try: %s, ablation, extensions, perf)@." other
-        (String.concat ", " all)
+        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf)@."
+        other (String.concat ", " all)
 
 let () =
   match Array.to_list Sys.argv with
@@ -645,6 +727,8 @@ let () =
       List.iter run all;
       ablation ();
       extensions ();
+      defects ();
+      resilience ();
       perf ()
   | _ :: experiments -> List.iter run experiments
   | [] -> ()

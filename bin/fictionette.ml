@@ -7,20 +7,46 @@ let engine_conv =
   let parse = function
     | "exact" -> Ok (Core.Flow.Exact Physdesign.Exact.default_config)
     | "scalable" -> Ok Core.Flow.Scalable
+    | "fallback" ->
+        Ok (Core.Flow.Exact_with_fallback Physdesign.Exact.default_config)
     | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
   in
   let print ppf = function
     | Core.Flow.Exact _ -> Format.pp_print_string ppf "exact"
     | Core.Flow.Scalable -> Format.pp_print_string ppf "scalable"
+    | Core.Flow.Exact_with_fallback _ -> Format.pp_print_string ppf "fallback"
   in
   Arg.conv (parse, print)
 
 let engine_arg =
-  let doc = "Physical design engine: $(b,exact) or $(b,scalable)." in
+  let doc =
+    "Physical design engine: $(b,exact), $(b,scalable), or $(b,fallback) \
+     (exact under a budget share, degrading to scalable)."
+  in
   Arg.(
     value
     & opt engine_conv (Core.Flow.Exact Physdesign.Exact.default_config)
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let deadline_arg =
+  let doc = "Wall-clock budget for the whole flow, in seconds." in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "d"; "deadline" ] ~docv:"SECONDS" ~doc)
+
+let conflict_budget_arg =
+  let doc = "Total CDCL-conflict budget for the SAT-based steps." in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "conflict-budget" ] ~docv:"N" ~doc)
+
+let budget_of deadline conflicts =
+  match (deadline, conflicts) with
+  | None, None -> Core.Budget.unlimited
+  | Some s, c -> Core.Budget.of_seconds ?conflicts:c s
+  | None, Some c -> Core.Budget.of_conflicts c
 
 let no_rewrite_arg =
   Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip logic rewriting (step 2).")
@@ -62,25 +88,31 @@ let report result sqd show_layout zones =
           Format.eprintf "sqd export failed: %s@." e;
           1)
 
+let report_failure f =
+  Format.eprintf "error: %a" Core.Flow.pp_failure f;
+  1
+
 let run_cmd =
   let bench_arg =
     let doc = "Benchmark name (see $(b,fictionette list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
-  let action name engine no_rewrite no_ha sqd show_layout zones =
+  let action name engine deadline conflicts no_rewrite no_ha sqd show_layout
+      zones =
     match
-      Core.Flow.run_benchmark ~options:(options_of engine no_rewrite no_ha)
+      Core.Flow.run_benchmark
+        ~options:(options_of engine no_rewrite no_ha)
+        ~budget:(budget_of deadline conflicts)
         name
     with
     | Ok result -> report result sqd show_layout zones
-    | Error e ->
-        Format.eprintf "error: %s@." e;
-        1
+    | Error f -> report_failure f
   in
   let term =
     Term.(
-      const action $ bench_arg $ engine_arg $ no_rewrite_arg $ no_ha_arg
-      $ sqd_arg $ show_layout_arg $ zones_arg)
+      const action $ bench_arg $ engine_arg $ deadline_arg
+      $ conflict_budget_arg $ no_rewrite_arg $ no_ha_arg $ sqd_arg
+      $ show_layout_arg $ zones_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full flow on a built-in benchmark.")
@@ -90,23 +122,24 @@ let verilog_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.v")
   in
-  let action path engine no_rewrite no_ha sqd show_layout zones =
+  let action path engine deadline conflicts no_rewrite no_ha sqd show_layout
+      zones =
     let ic = open_in path in
     let source = really_input_string ic (in_channel_length ic) in
     close_in ic;
     match
-      Core.Flow.run_verilog ~options:(options_of engine no_rewrite no_ha)
+      Core.Flow.run_verilog
+        ~options:(options_of engine no_rewrite no_ha)
+        ~budget:(budget_of deadline conflicts)
         source
     with
     | Ok result -> report result sqd show_layout zones
-    | Error e ->
-        Format.eprintf "error: %s@." e;
-        1
+    | Error f -> report_failure f
   in
   let term =
     Term.(
-      const action $ file_arg $ engine_arg $ no_rewrite_arg $ no_ha_arg
-      $ sqd_arg $ show_layout_arg $ zones_arg)
+      const action $ file_arg $ engine_arg $ deadline_arg $ conflict_budget_arg
+      $ no_rewrite_arg $ no_ha_arg $ sqd_arg $ show_layout_arg $ zones_arg)
   in
   Cmd.v
     (Cmd.info "verilog" ~doc:"Run the full flow on a gate-level Verilog file.")
@@ -126,15 +159,17 @@ let list_cmd =
     Term.(const action $ const ())
 
 let table1_cmd =
-  let action engine =
+  let action engine deadline conflicts =
     let options = { Core.Flow.default_options with engine } in
-    let rows = Core.Table1.generate ~options () in
+    let rows =
+      Core.Table1.generate ~options ~budget:(budget_of deadline conflicts) ()
+    in
     Format.printf "%a" Core.Table1.pp_table rows;
     if List.for_all Result.is_ok rows then 0 else 1
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.")
-    Term.(const action $ engine_arg)
+    Term.(const action $ engine_arg $ deadline_arg $ conflict_budget_arg)
 
 let gates_cmd =
   let action () =
@@ -186,10 +221,76 @@ let gates_cmd =
        ~doc:"Validate the Bestagon gate designs by exact simulation (Fig. 5).")
     Term.(const action $ const ())
 
+let yield_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (see $(b,fictionette list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int Sidb.Defects.default_params.Sidb.Defects.trials
+      & info [ "trials" ] ~docv:"N" ~doc:"Fabrication trials per tile.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int Sidb.Defects.default_params.Sidb.Defects.seed
+      & info [ "seed" ] ~docv:"N" ~doc:"RNG seed (results are reproducible).")
+  in
+  let missing_arg =
+    Arg.(
+      value & opt int Sidb.Defects.default_params.Sidb.Defects.missing
+      & info [ "missing" ] ~docv:"N" ~doc:"Missing-DB defects per trial.")
+  in
+  let extra_arg =
+    Arg.(
+      value & opt int Sidb.Defects.default_params.Sidb.Defects.extra
+      & info [ "extra" ] ~docv:"N" ~doc:"Stray-DB defects per trial.")
+  in
+  let charged_arg =
+    Arg.(
+      value & opt int Sidb.Defects.default_params.Sidb.Defects.charged
+      & info [ "charged" ] ~docv:"N" ~doc:"Charged point defects per trial.")
+  in
+  let action name engine deadline conflicts trials seed missing extra charged =
+    match
+      Core.Flow.run_benchmark
+        ~options:
+          {
+            (options_of engine false false) with
+            Core.Flow.check_equivalence = false;
+            apply_library = false;
+          }
+        ~budget:(budget_of deadline conflicts)
+        name
+    with
+    | Error f -> report_failure f
+    | Ok result ->
+        let params =
+          { Sidb.Defects.missing; extra; charged; trials; seed }
+        in
+        let y =
+          Bestagon.Yield.of_layout ~params result.Core.Flow.gate_layout
+        in
+        Format.printf "%a" Bestagon.Yield.pp y;
+        0
+  in
+  let term =
+    Term.(
+      const action $ bench_arg $ engine_arg $ deadline_arg
+      $ conflict_budget_arg $ trials_arg $ seed_arg $ missing_arg $ extra_arg
+      $ charged_arg)
+  in
+  Cmd.v
+    (Cmd.info "yield"
+       ~doc:
+         "Estimate per-gate and layout operational yield under randomized \
+          atomic defects (missing/stray DBs, charged point defects).")
+    term
+
 let main =
   let doc = "Design automation for silicon dangling bond logic" in
   Cmd.group
     (Cmd.info "fictionette" ~version:"0.1" ~doc)
-    [ run_cmd; verilog_cmd; list_cmd; table1_cmd; gates_cmd ]
+    [ run_cmd; verilog_cmd; list_cmd; table1_cmd; gates_cmd; yield_cmd ]
 
 let () = exit (Cmd.eval' main)

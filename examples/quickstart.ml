@@ -21,7 +21,7 @@ let () =
   (* 2. Run the whole flow with default options (exact physical design,
      equivalence checking, super-tile formation, Bestagon library). *)
   match Core.Flow.run ntk with
-  | Error e -> Format.printf "flow failed: %s@." e
+  | Error f -> Format.printf "flow failed: %s@." (Core.Flow.error_message f)
   | Ok result ->
       Format.printf "@.%a@." Core.Flow.pp_summary result;
       Format.printf "@.gate-level layout (clock zones as suffixes):@.%s@."

@@ -18,7 +18,7 @@ endmodule
 let describe name engine =
   let options = { Core.Flow.default_options with engine } in
   match Core.Flow.run_verilog ~options source with
-  | Error e -> Format.printf "%s failed: %s@." name e
+  | Error f -> Format.printf "%s failed: %s@." name (Core.Flow.error_message f)
   | Ok result ->
       let stats = Layout.Gate_layout.stats result.Core.Flow.gate_layout in
       Format.printf

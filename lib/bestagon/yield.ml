@@ -1,0 +1,58 @@
+type tile_yield = {
+  coord : Hexlib.Coord.offset;
+  label : string;
+  report : Sidb.Defects.yield_report;
+}
+
+type t = {
+  per_tile : tile_yield list;
+  simulated_tiles : int;
+  skipped_tiles : int;
+  layout_yield : float;
+}
+
+let of_layout ?engine ?model ?(params = Sidb.Defects.default_params) layout =
+  let per_tile = ref [] in
+  let skipped = ref 0 in
+  let index = ref 0 in
+  Layout.Gate_layout.iter layout (fun coord tile ->
+      if not (Layout.Tile.is_empty tile) then begin
+        match (Library.validation_structure tile, Library.tile_spec tile) with
+        | Some structure, Some spec ->
+            let i = !index in
+            incr index;
+            (* Distinct, deterministic defect draws per tile. *)
+            let params = { params with Sidb.Defects.seed = params.seed + i } in
+            let report =
+              Sidb.Defects.operational_yield ?engine ?model params structure
+                ~spec
+            in
+            per_tile :=
+              { coord; label = Layout.Tile.label tile; report } :: !per_tile
+        | _ -> incr skipped
+      end);
+  let per_tile = List.rev !per_tile in
+  (* Defects strike tiles independently, so the layout works only when
+     every tile does: the yields multiply. *)
+  let layout_yield =
+    List.fold_left
+      (fun acc ty -> acc *. ty.report.Sidb.Defects.yield)
+      1.0 per_tile
+  in
+  {
+    per_tile;
+    simulated_tiles = List.length per_tile;
+    skipped_tiles = !skipped;
+    layout_yield;
+  }
+
+let pp ppf y =
+  List.iter
+    (fun ty ->
+      Format.fprintf ppf "  (%d,%d) %-8s %a@." ty.coord.Hexlib.Coord.col
+        ty.coord.Hexlib.Coord.row ty.label
+        Sidb.Defects.pp_yield_report ty.report)
+    y.per_tile;
+  Format.fprintf ppf
+    "layout yield: %.2f%% over %d simulated tile(s) (%d without a harness)@."
+    (100. *. y.layout_yield) y.simulated_tiles y.skipped_tiles

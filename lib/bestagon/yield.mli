@@ -1,0 +1,32 @@
+(** Layout-level operational yield under randomized atomic defects.
+
+    Runs the {!Sidb.Defects} fault-injection harness over every logic
+    tile of a gate-level layout (via each tile's validation harness from
+    {!Library}) and combines the per-tile yields into a layout yield
+    under the independent-defects assumption. *)
+
+type tile_yield = {
+  coord : Hexlib.Coord.offset;
+  label : string;  (** {!Layout.Tile.label} of the simulated tile. *)
+  report : Sidb.Defects.yield_report;
+}
+
+type t = {
+  per_tile : tile_yield list;
+  simulated_tiles : int;
+  skipped_tiles : int;
+      (** Non-empty tiles without a simulation harness or spec (e.g. PI
+          pads). *)
+  layout_yield : float;  (** Product of per-tile yields. *)
+}
+
+val of_layout :
+  ?engine:Sidb.Bdl.engine ->
+  ?model:Sidb.Model.t ->
+  ?params:Sidb.Defects.params ->
+  Layout.Gate_layout.t ->
+  t
+(** Per-tile defect draws are seeded [params.seed + tile index], so the
+    whole result is deterministic for a fixed seed. *)
+
+val pp : Format.formatter -> t -> unit

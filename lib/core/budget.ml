@@ -1,0 +1,6 @@
+include Sat.Budget
+
+let verification_grace_conflicts = 200_000
+
+let verification_grace b =
+  with_conflicts (Some verification_grace_conflicts) (without_deadline b)

@@ -1,4 +1,7 @@
-type engine = Exact of Physdesign.Exact.config | Scalable
+type engine =
+  | Exact of Physdesign.Exact.config
+  | Scalable
+  | Exact_with_fallback of Physdesign.Exact.config
 
 type options = {
   rewrite : bool;
@@ -19,6 +22,37 @@ let default_options =
     apply_library = true;
   }
 
+type step =
+  | Parsing
+  | Synthesis
+  | Physical_design
+  | Verification
+  | Supertiling
+  | Library_application
+
+let step_to_string = function
+  | Parsing -> "parsing"
+  | Synthesis -> "synthesis"
+  | Physical_design -> "physical design"
+  | Verification -> "verification"
+  | Supertiling -> "super-tiling"
+  | Library_application -> "library application"
+
+type engine_used = Used_exact | Used_scalable
+
+let engine_used_to_string = function
+  | Used_exact -> "exact"
+  | Used_scalable -> "scalable"
+
+type diagnostics = {
+  engine_used : engine_used option;
+  degradations : string list;
+  exact_attempts : int;
+  exact_rounds : int;
+  solver_stats : Sat.Solver.stats;
+  elapsed_s : float;
+}
+
 type timing = {
   synthesis_s : float;
   physical_design_s : float;
@@ -36,11 +70,81 @@ type result = {
   equivalence : Verify.Equivalence.verdict option;
   sidb : Bestagon.Library.sidb_layout option;
   timing : timing;
+  diagnostics : diagnostics;
 }
+
+type partial = {
+  partial_optimized : Logic.Network.t option;
+  partial_mapped : Logic.Mapped.t option;
+  partial_layout : Layout.Gate_layout.t option;
+}
+
+type failure = {
+  failed_step : step;
+  message : string;
+  budget_reason : Budget.reason option;
+  partial : partial;
+  diagnostics : diagnostics;
+}
+
+let error_message f =
+  Printf.sprintf "%s: %s" (step_to_string f.failed_step) f.message
+
+let no_partial =
+  { partial_optimized = None; partial_mapped = None; partial_layout = None }
+
+let empty_diagnostics =
+  {
+    engine_used = None;
+    degradations = [];
+    exact_attempts = 0;
+    exact_rounds = 0;
+    solver_stats = Sat.Solver.empty_stats;
+    elapsed_s = 0.;
+  }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "failed at %s: %s@." (step_to_string f.failed_step)
+    f.message;
+  (match f.budget_reason with
+  | Some r -> Format.fprintf ppf "budget: %a@." Budget.pp_reason r
+  | None -> ());
+  List.iter
+    (fun d -> Format.fprintf ppf "degradation: %s@." d)
+    f.diagnostics.degradations;
+  let got =
+    List.filter_map
+      (fun (name, present) -> if present then Some name else None)
+      [
+        ("optimized network", f.partial.partial_optimized <> None);
+        ("mapped netlist", f.partial.partial_mapped <> None);
+        ("gate layout", f.partial.partial_layout <> None);
+      ]
+  in
+  (match got with
+  | [] -> ()
+  | _ ->
+      Format.fprintf ppf "partial artifacts: %s@." (String.concat ", " got));
+  Format.fprintf ppf "elapsed: %.3fs@." f.diagnostics.elapsed_s
 
 let now = Sys.time
 
-let run ?(options = default_options) specification =
+let run ?(options = default_options) ?(budget = Budget.unlimited)
+    specification =
+  let t_start = Unix.gettimeofday () in
+  let degradations = ref [] in
+  let degrade msg = degradations := msg :: !degradations in
+  let diag ?engine_used ?(attempts = 0) ?(rounds = 0)
+      ?(stats = Sat.Solver.empty_stats) () =
+    {
+      engine_used;
+      degradations = List.rev !degradations;
+      exact_attempts = attempts;
+      exact_rounds = rounds;
+      solver_stats = stats;
+      elapsed_s = Unix.gettimeofday () -. t_start;
+    }
+  in
   (* Step 2: logic rewriting. *)
   let t0 = now () in
   let optimized =
@@ -52,73 +156,205 @@ let run ?(options = default_options) specification =
     Logic.Tech_map.map ~fuse_half_adders:options.fuse_half_adders optimized
   in
   let synthesis_s = now () -. t0 in
-  (* Step 4: physical design. *)
+  (* Step 4: physical design, under (a share of) the budget. *)
   let t1 = now () in
-  let netlist = Physdesign.Netlist.of_mapped mapped in
-  let layout_result =
-    match options.engine with
-    | Exact config -> (
-        match Physdesign.Exact.place_and_route ~config netlist with
-        | Ok r -> Ok r.Physdesign.Exact.layout
-        | Error e -> Error ("exact physical design: " ^ e))
-    | Scalable -> (
-        match Physdesign.Scalable.place_and_route netlist with
-        | Ok r -> Ok r.Physdesign.Scalable.layout
-        | Error e -> Error ("scalable physical design: " ^ e))
-  in
-  match layout_result with
-  | Error e -> Error e
-  | Ok gate_layout ->
-      let physical_design_s = now () -. t1 in
-      let drc_violations = Layout.Design_rules.check gate_layout in
-      (* Step 5: formal verification. *)
-      let t2 = now () in
-      let equivalence =
-        if options.check_equivalence then
-          match Verify.Equivalence.check_layout specification gate_layout with
-          | Ok verdict -> Some verdict
-          | Error msg ->
-              Some (Verify.Equivalence.Interface_mismatch ("extraction: " ^ msg))
-        else None
-      in
-      let verification_s = now () -. t2 in
-      (* Step 6: super-tile formation. *)
-      let supertiled =
-        if options.expand_supertiles then Layout.Supertile.expand gate_layout
-        else gate_layout
-      in
-      (* Step 7: Bestagon library application. *)
-      let t3 = now () in
-      let sidb =
-        if options.apply_library then
-          match Bestagon.Library.apply supertiled with
-          | Ok l -> Some l
-          | Error _ -> None
-        else None
-      in
-      let library_s = now () -. t3 in
-      Ok
+  match Budget.check budget with
+  | Some r ->
+      Error
         {
-          specification;
-          optimized;
-          mapped;
-          gate_layout;
-          supertiled;
-          drc_violations;
-          equivalence;
-          sidb;
-          timing = { synthesis_s; physical_design_s; verification_s; library_s };
+          failed_step = Physical_design;
+          message =
+            Printf.sprintf "budget exhausted before physical design (%s)"
+              (Budget.reason_to_string r);
+          budget_reason = Some r;
+          partial =
+            {
+              partial_optimized = Some optimized;
+              partial_mapped = Some mapped;
+              partial_layout = None;
+            };
+          diagnostics = diag ();
         }
+  | None -> (
+      let netlist = Physdesign.Netlist.of_mapped mapped in
+      let run_scalable () = Physdesign.Scalable.place_and_route netlist in
+      let describe_exact_failure = function
+        | Physdesign.Exact.No_layout { attempts; _ } ->
+            ( attempts,
+              0,
+              None,
+              Printf.sprintf
+                "proved no layout within its search bounds (%d candidate(s))"
+                attempts )
+        | Physdesign.Exact.Out_of_budget { reason; attempts; rounds; _ } ->
+            ( attempts,
+              rounds,
+              Some reason,
+              Printf.sprintf
+                "ran out of budget (%s) after %d candidate solve(s), %d \
+                 escalation round(s)"
+                (Budget.reason_to_string reason)
+                attempts rounds )
+      in
+      let pd =
+        match options.engine with
+        | Scalable -> (
+            match run_scalable () with
+            | Ok r ->
+                Ok
+                  ( r.Physdesign.Scalable.layout,
+                    Used_scalable,
+                    0,
+                    0,
+                    Sat.Solver.empty_stats )
+            | Error e -> Error ("scalable physical design: " ^ e, None, 0, 0))
+        | Exact config -> (
+            match Physdesign.Exact.place_and_route ~config ~budget netlist with
+            | Ok r ->
+                Ok
+                  ( r.Physdesign.Exact.layout,
+                    Used_exact,
+                    r.Physdesign.Exact.attempts,
+                    r.Physdesign.Exact.rounds,
+                    r.Physdesign.Exact.stats )
+            | Error f ->
+                let attempts, rounds, reason, why = describe_exact_failure f in
+                Error
+                  ("exact physical design " ^ why, reason, attempts, rounds))
+        | Exact_with_fallback config -> (
+            let exact_budget =
+              if budget.Budget.deadline = None then budget
+              else Budget.fraction 0.7 budget
+            in
+            match
+              Physdesign.Exact.place_and_route ~config ~budget:exact_budget
+                netlist
+            with
+            | Ok r ->
+                Ok
+                  ( r.Physdesign.Exact.layout,
+                    Used_exact,
+                    r.Physdesign.Exact.attempts,
+                    r.Physdesign.Exact.rounds,
+                    r.Physdesign.Exact.stats )
+            | Error f -> (
+                let attempts, rounds, reason, why = describe_exact_failure f in
+                degrade
+                  (Printf.sprintf
+                     "physical design: exact engine %s; degraded to the \
+                      scalable engine"
+                     why);
+                match run_scalable () with
+                | Ok r ->
+                    Ok
+                      ( r.Physdesign.Scalable.layout,
+                        Used_scalable,
+                        attempts,
+                        rounds,
+                        Sat.Solver.empty_stats )
+                | Error e ->
+                    Error
+                      ( "scalable fallback after exact engine also failed: "
+                        ^ e,
+                        reason,
+                        attempts,
+                        rounds )))
+      in
+      match pd with
+      | Error (message, budget_reason, attempts, rounds) ->
+          Error
+            {
+              failed_step = Physical_design;
+              message;
+              budget_reason;
+              partial =
+                {
+                  partial_optimized = Some optimized;
+                  partial_mapped = Some mapped;
+                  partial_layout = None;
+                };
+              diagnostics = diag ~attempts ~rounds ();
+            }
+      | Ok (gate_layout, engine_used, attempts, rounds, stats) ->
+          let physical_design_s = now () -. t1 in
+          let drc_violations = Layout.Design_rules.check gate_layout in
+          (* Step 5: formal verification under the grace budget: even
+             when physical design spent the deadline, the layout is
+             still checked (conflict-capped, cancellation honored). *)
+          let t2 = now () in
+          let equivalence =
+            if options.check_equivalence then
+              match
+                Verify.Equivalence.check_layout
+                  ~budget:(Budget.verification_grace budget)
+                  specification gate_layout
+              with
+              | Ok (Verify.Equivalence.Undecided r as verdict) ->
+                  degrade
+                    (Printf.sprintf
+                       "verification: miter solve undecided (%s)"
+                       (Budget.reason_to_string r));
+                  Some verdict
+              | Ok verdict -> Some verdict
+              | Error msg ->
+                  Some
+                    (Verify.Equivalence.Interface_mismatch
+                       ("extraction: " ^ msg))
+            else None
+          in
+          let verification_s = now () -. t2 in
+          (* Step 6: super-tile formation. *)
+          let supertiled =
+            if options.expand_supertiles then
+              Layout.Supertile.expand gate_layout
+            else gate_layout
+          in
+          (* Step 7: Bestagon library application. *)
+          let t3 = now () in
+          let sidb =
+            if options.apply_library then
+              match Bestagon.Library.apply supertiled with
+              | Ok l -> Some l
+              | Error _ -> None
+            else None
+          in
+          let library_s = now () -. t3 in
+          Ok
+            {
+              specification;
+              optimized;
+              mapped;
+              gate_layout;
+              supertiled;
+              drc_violations;
+              equivalence;
+              sidb;
+              timing =
+                { synthesis_s; physical_design_s; verification_s; library_s };
+              diagnostics =
+                diag ~engine_used ~attempts ~rounds ~stats ();
+            })
 
-let run_verilog ?options source =
+let parse_failure message =
+  {
+    failed_step = Parsing;
+    message;
+    budget_reason = None;
+    partial = no_partial;
+    diagnostics = empty_diagnostics;
+  }
+
+let run_verilog ?options ?budget source =
   match Logic.Verilog.parse source with
-  | exception Logic.Verilog.Parse_error msg -> Error ("parse: " ^ msg)
-  | network -> run ?options network
+  | exception Logic.Verilog.Parse_error msg ->
+      Error (parse_failure ("parse: " ^ msg))
+  | network -> run ?options ?budget network
 
-let run_benchmark ?options name =
+let run_benchmark ?options ?budget name =
   match Logic.Benchmarks.find name with
-  | exception Not_found -> Error (Printf.sprintf "unknown benchmark %S" name)
-  | b -> run ?options (b.Logic.Benchmarks.build ())
+  | exception Not_found ->
+      Error (parse_failure (Printf.sprintf "unknown benchmark %S" name))
+  | b -> run ?options ?budget (b.Logic.Benchmarks.build ())
 
 let export_sqd result ?(inputs = []) ~path () =
   match Bestagon.Library.apply ~inputs result.supertiled with
@@ -139,17 +375,25 @@ let pp_summary ppf r =
     stats.Layout.Gate_layout.wire_tiles
     stats.Layout.Gate_layout.crossing_tiles
     stats.Layout.Gate_layout.fanout_tiles;
+  (match r.diagnostics.engine_used with
+  | Some e ->
+      Format.fprintf ppf "engine: %s (%d candidate solve(s), %d round(s); %a)@."
+        (engine_used_to_string e) r.diagnostics.exact_attempts
+        r.diagnostics.exact_rounds Sat.Solver.pp_stats
+        r.diagnostics.solver_stats
+  | None -> ());
+  List.iter
+    (fun d -> Format.fprintf ppf "degradation: %s@." d)
+    r.diagnostics.degradations;
   Format.fprintf ppf "drc: %d violation(s)@." (List.length r.drc_violations);
   (match r.equivalence with
   | None -> ()
-  | Some Verify.Equivalence.Equivalent ->
-      Format.fprintf ppf "verification: equivalent@."
-  | Some (Verify.Equivalence.Counterexample cex) ->
-      Format.fprintf ppf "verification: COUNTEREXAMPLE %s@."
-        (String.concat ","
-           (List.map (fun (n, v) -> Printf.sprintf "%s=%b" n v) cex))
-  | Some (Verify.Equivalence.Interface_mismatch m) ->
-      Format.fprintf ppf "verification: interface mismatch (%s)@." m);
+  | Some (Verify.Equivalence.Counterexample _ as v) ->
+      Format.fprintf ppf "verification: COUNTEREXAMPLE — %s@."
+        (Verify.Equivalence.verdict_to_string v)
+  | Some v ->
+      Format.fprintf ppf "verification: %s@."
+        (Verify.Equivalence.verdict_to_string v));
   (match r.sidb with
   | None -> ()
   | Some l ->

@@ -16,11 +16,27 @@
       ({!Layout.Supertile});
     + application of the Bestagon library for a dot-accurate SiDB layout
       ({!Bestagon.Library});
-    + design-file generation ({!Bestagon.Sqd}). *)
+    + design-file generation ({!Bestagon.Sqd}).
+
+    {2 Resilience}
+
+    {!run} threads one {!Budget} through the expensive steps and never
+    raises on budget conditions.  Under [Exact_with_fallback], exact
+    physical design receives 70% of the remaining wall clock; if it
+    exhausts its share (or proves its bounds infeasible) the flow
+    degrades to {!Physdesign.Scalable} and records the degradation.
+    Verification then runs under a conflicts-only grace budget
+    ({!Budget.verification_grace}), so a hard deadline on placement
+    cannot silently skip the equivalence check.  Failures are structured
+    ({!failure}): the step reached, budget state, partial artifacts, and
+    diagnostics. *)
 
 type engine =
   | Exact of Physdesign.Exact.config
   | Scalable
+  | Exact_with_fallback of Physdesign.Exact.config
+      (** Try exact under a share of the budget; degrade to the scalable
+          engine when it exhausts its share or refutes its bounds. *)
 
 type options = {
   rewrite : bool;  (** Step 2 (default on). *)
@@ -32,6 +48,34 @@ type options = {
 }
 
 val default_options : options
+
+(** {2 Diagnostics} *)
+
+type step =
+  | Parsing
+  | Synthesis
+  | Physical_design
+  | Verification
+  | Supertiling
+  | Library_application
+
+val step_to_string : step -> string
+
+type engine_used = Used_exact | Used_scalable
+(** Which physical-design engine actually produced the layout. *)
+
+val engine_used_to_string : engine_used -> string
+
+type diagnostics = {
+  engine_used : engine_used option;
+      (** [None] only in failures before a layout exists. *)
+  degradations : string list;
+      (** Human-readable record of every degradation taken, in order. *)
+  exact_attempts : int;  (** Candidate SAT solves by the exact engine. *)
+  exact_rounds : int;  (** Budget-escalation rounds used. *)
+  solver_stats : Sat.Solver.stats;
+  elapsed_s : float;  (** Wall-clock seconds for the whole run. *)
+}
 
 type timing = {
   synthesis_s : float;
@@ -51,16 +95,51 @@ type result = {
   equivalence : Verify.Equivalence.verdict option;
   sidb : Bestagon.Library.sidb_layout option;
   timing : timing;
+  diagnostics : diagnostics;
 }
 
-val run : ?options:options -> Logic.Network.t -> (result, string) Stdlib.result
-(** [Error] on physical-design failure; a failed equivalence check or
-    DRC violations are reported in the result, not as errors. *)
+type partial = {
+  partial_optimized : Logic.Network.t option;
+  partial_mapped : Logic.Mapped.t option;
+  partial_layout : Layout.Gate_layout.t option;
+}
+(** Artifacts completed before the failing step. *)
 
-val run_verilog : ?options:options -> string -> (result, string) Stdlib.result
+type failure = {
+  failed_step : step;
+  message : string;
+  budget_reason : Budget.reason option;
+      (** Set when a budget condition caused the failure. *)
+  partial : partial;
+  diagnostics : diagnostics;
+}
+
+val error_message : failure -> string
+(** One-line ["<step>: <message>"] form. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run :
+  ?options:options ->
+  ?budget:Budget.t ->
+  Logic.Network.t ->
+  (result, failure) Stdlib.result
+(** [Error] on physical-design failure (or a budget tripping before
+    it); a failed equivalence check or DRC violations are reported in
+    the result, not as errors.  Never raises on budget conditions. *)
+
+val run_verilog :
+  ?options:options ->
+  ?budget:Budget.t ->
+  string ->
+  (result, failure) Stdlib.result
 (** Convenience: parse Verilog source (step 1) and run. *)
 
-val run_benchmark : ?options:options -> string -> (result, string) Stdlib.result
+val run_benchmark :
+  ?options:options ->
+  ?budget:Budget.t ->
+  string ->
+  (result, failure) Stdlib.result
 (** Run on a named circuit from {!Logic.Benchmarks}. *)
 
 val export_sqd : result -> ?inputs:(string * bool) list -> path:string -> unit -> (unit, string) Stdlib.result

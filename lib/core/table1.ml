@@ -28,15 +28,16 @@ let paper_rows =
     ("newtag", (8, 10, 651, 32419.82));
   ]
 
-let generate ?names ?options () =
+let generate ?names ?options ?budget () =
   let names =
     match names with Some n -> n | None -> List.map fst paper_rows
   in
   List.map
     (fun name ->
       let t0 = Unix.gettimeofday () in
-      match Flow.run_benchmark ?options name with
-      | Error e -> Error (Printf.sprintf "%s: %s" name e)
+      match Flow.run_benchmark ?options ?budget name with
+      | Error f ->
+          Error (Printf.sprintf "%s: %s" name (Flow.error_message f))
       | Ok result ->
           let runtime_s = Unix.gettimeofday () -. t0 in
           let stats = Layout.Gate_layout.stats result.Flow.gate_layout in

@@ -18,8 +18,13 @@ type row = {
 }
 
 val generate :
-  ?names:string list -> ?options:Flow.options -> unit -> (row, string) Stdlib.result list
-(** One row per benchmark (default: all of Table 1, paper order). *)
+  ?names:string list ->
+  ?options:Flow.options ->
+  ?budget:Budget.t ->
+  unit ->
+  (row, string) Stdlib.result list
+(** One row per benchmark (default: all of Table 1, paper order).  The
+    budget applies per circuit. *)
 
 val paper_rows : (string * (int * int * int * float)) list
 (** The published Table 1 values: name -> (w, h, SiDBs, nm²), for

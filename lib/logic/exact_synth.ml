@@ -158,7 +158,9 @@ let try_size g r =
   done;
   let solver = Sat.Cnf.solver f in
   match Sat.Solver.solve solver with
-  | Sat.Solver.Unsat -> None
+  (* Unbudgeted solve: [Unknown] cannot occur, but treat it like a
+     refutation (try the next circuit size) rather than crash. *)
+  | Sat.Solver.Unsat | Sat.Solver.Unknown _ -> None
   | Sat.Solver.Sat ->
       let steps =
         Array.init r (fun i ->

@@ -6,18 +6,40 @@ type config = {
   max_extra_width : int;
   max_extra_height : int;
   conflict_budget : int option;
+  max_rounds : int;
+  max_open_instances : int;
 }
 
 let default_config =
-  { max_extra_width = 6; max_extra_height = 12; conflict_budget = None }
+  {
+    max_extra_width = 6;
+    max_extra_height = 12;
+    conflict_budget = None;
+    max_rounds = 8;
+    max_open_instances = 8;
+  }
 
 type result = {
   layout : GL.t;
   width : int;
   height : int;
   attempts : int;
+  rounds : int;
   budget_exhausted : bool;
+  stats : Sat.Solver.stats;
 }
+
+type failure =
+  | No_layout of { attempts : int; message : string }
+  | Out_of_budget of {
+      reason : Sat.Budget.reason;
+      attempts : int;
+      rounds : int;
+      message : string;
+    }
+
+let failure_message = function
+  | No_layout { message; _ } | Out_of_budget { message; _ } -> message
 
 (* Allowed rows per node kind: pads on the borders, logic in between. *)
 let allowed_row netlist node ~height row =
@@ -45,7 +67,12 @@ let predecessors ~width (c : Coord.offset) =
       else None)
     [ D.North_west; D.North_east ]
 
-let solve_fixed ?conflict_budget ~width ~height netlist =
+(* One candidate size as a resumable SAT instance: the encoding is built
+   once, and [Unknown] solves can be resumed with a larger budget while
+   keeping every learned clause. *)
+type instance = { solver : Sat.Solver.t; decode : unit -> GL.t }
+
+let make_instance ~width ~height netlist =
   let nn = Netlist.num_nodes netlist in
   let edges = Netlist.edges netlist in
   let ne = Array.length edges in
@@ -216,11 +243,7 @@ let solve_fixed ?conflict_budget ~width ~height netlist =
       tiles
   done;
   let solver = Sat.Cnf.solver f in
-  Sat.Solver.set_conflict_budget solver conflict_budget;
-  match Sat.Solver.solve solver with
-  | Sat.Solver.Unsat -> None
-  | Sat.Solver.Sat ->
-      (* --- decode ----------------------------------------------------- *)
+  let decode () =
       let value l = Sat.Solver.value solver l in
       let node_tile = Array.make nn None in
       for n = 0 to nn - 1 do
@@ -305,48 +328,221 @@ let solve_fixed ?conflict_budget ~width ~height netlist =
           let c : Coord.offset = { col = idx mod width; row = idx / width } in
           GL.set layout c (Layout.Tile.Wire { segments }))
         wire_segments;
-      Some layout
+      layout
+  in
+  { solver; decode }
 
-let place_and_route ?(config = default_config) netlist =
+let solve_fixed ?budget ~width ~height netlist =
+  let inst = make_instance ~width ~height netlist in
+  match Sat.Solver.solve ?budget inst.solver with
+  | Sat.Solver.Sat -> Some (inst.decode ())
+  | Sat.Solver.Unsat | Sat.Solver.Unknown _ -> None
+
+(* --- budget-escalated search over candidate sizes ---------------------
+
+   Candidate dimensions are visited in order of increasing tile area.
+   Without any budget this degenerates to the classic sequence of
+   complete solves (first Sat is the minimum-area layout).  Under a
+   budget, every candidate gets a Luby-scaled conflict allowance per
+   round; [Unknown] candidates stay open (their instance and learned
+   clauses are kept) and are resumed in the next round with a larger
+   allowance, until one is satisfiable, all are refuted, or the budget
+   runs dry. *)
+
+type cand = { w : int; h : int; mutable state : cand_state }
+and cand_state = Unbuilt | Open of instance | Refuted
+
+(* Luby sequence 1 1 2 1 1 2 4 ... — the classic restart-style
+   escalation schedule, here applied to per-candidate conflict
+   allowances across retry rounds. *)
+let luby_allowance x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
+    netlist =
   let min_w = Netlist.min_width netlist
   and min_h = Netlist.min_height netlist in
-  let candidates = ref [] in
+  let sorted = ref [] in
   for w = min_w to min_w + config.max_extra_width do
     for h = min_h to min_h + config.max_extra_height do
-      candidates := (w * h, h, w) :: !candidates
+      sorted := (w * h, h, w) :: !sorted
     done
   done;
-  let candidates = List.sort compare !candidates in
-  let attempts = ref 0 and exhausted = ref false in
-  let rec try_all = function
-    | [] ->
-        Error
-          (Printf.sprintf
-             "no layout within %dx%d..%dx%d (%d candidates tried%s)" min_w
-             min_h
-             (min_w + config.max_extra_width)
-             (min_h + config.max_extra_height)
-             !attempts
-             (if !exhausted then ", budget exhausted on some" else ""))
-    | (_, h, w) :: rest -> (
-        incr attempts;
-        match
-          try
-            solve_fixed ?conflict_budget:config.conflict_budget ~width:w
-              ~height:h netlist
-          with Sat.Solver.Budget_exhausted ->
-            exhausted := true;
-            None
-        with
-        | Some layout ->
-            Ok
-              {
-                layout;
-                width = w;
-                height = h;
-                attempts = !attempts;
-                budget_exhausted = !exhausted;
-              }
-        | None -> try_all rest)
+  let candidates =
+    List.map
+      (fun (_, h, w) -> { w; h; state = Unbuilt })
+      (List.sort compare !sorted)
   in
-  try_all candidates
+  let bounds_msg =
+    Printf.sprintf "%dx%d..%dx%d" min_w min_h
+      (min_w + config.max_extra_width)
+      (min_h + config.max_extra_height)
+  in
+  (* Conflict-allowance base per candidate and round: an explicit
+     per-instance budget wins; otherwise a deadline- or globally-
+     budgeted run escalates from a small default, and a fully
+     unbudgeted run solves each candidate to completion. *)
+  let base =
+    match config.conflict_budget with
+    | Some b -> Some (max 1 b)
+    | None ->
+        if budget.Sat.Budget.conflicts <> None
+           || budget.Sat.Budget.deadline <> None
+        then Some 4000
+        else None
+  in
+  let attempts = ref 0 in
+  let closed_stats = ref Sat.Solver.empty_stats in
+  (* Conflicts spent by this call, against [budget.conflicts]. *)
+  let spent = ref 0 in
+  let total_stats () =
+    List.fold_left
+      (fun acc c ->
+        match c.state with
+        | Open inst -> Sat.Solver.add_stats acc (Sat.Solver.stats inst.solver)
+        | Unbuilt | Refuted -> acc)
+      !closed_stats candidates
+  in
+  let out_of_budget reason rounds =
+    Error
+      (Out_of_budget
+         {
+           reason;
+           attempts = !attempts;
+           rounds;
+           message =
+             Printf.sprintf
+               "exact P&R ran out of budget (%s) within %s after %d attempt(s) over %d round(s)"
+               (Sat.Budget.reason_to_string reason)
+               bounds_msg !attempts rounds;
+         })
+  in
+  let solved c inst round =
+    let layout = inst.decode () in
+    (* Minimality holds only when every smaller-area candidate was
+       refuted before this one was found satisfiable. *)
+    let minimal =
+      List.for_all
+        (fun c' ->
+          c' == c
+          || c'.w * c'.h > c.w * c.h
+          || match c'.state with Refuted -> true | Unbuilt | Open _ -> false)
+        candidates
+    in
+    Ok
+      {
+        layout;
+        width = c.w;
+        height = c.h;
+        attempts = !attempts;
+        rounds = round + 1;
+        budget_exhausted = not minimal;
+        stats = total_stats ();
+      }
+  in
+  let exception Done of (result, failure) Stdlib.result in
+  try
+    let round = ref 0 in
+    let unresolved = ref true in
+    while !unresolved do
+      (* The round cap keeps a per-instance-conflict-budget-only run
+         finite (the old skip-on-exhaust semantics); deadline- or
+         globally-budgeted runs terminate through the budget itself. *)
+      if
+        config.conflict_budget <> None
+        && Sat.Budget.is_unlimited budget
+        && !round >= config.max_rounds
+      then raise (Done (out_of_budget Sat.Budget.Conflicts !round));
+      unresolved := false;
+      let open_count =
+        ref
+          (List.length
+             (List.filter
+                (fun c -> match c.state with Open _ -> true | _ -> false)
+                candidates))
+      in
+      List.iter
+        (fun c ->
+          match c.state with
+          | Refuted -> ()
+          | Unbuilt when !open_count >= config.max_open_instances ->
+              (* Defer far-out candidates until the escalation window
+                 advances, bounding memory. *)
+              unresolved := true
+          | (Unbuilt | Open _) as st -> (
+              (match Sat.Budget.check budget with
+              | Some r -> raise (Done (out_of_budget r !round))
+              | None -> ());
+              let remaining_global =
+                Option.map
+                  (fun g -> g - !spent)
+                  budget.Sat.Budget.conflicts
+              in
+              (match remaining_global with
+              | Some r when r <= 0 ->
+                  raise (Done (out_of_budget Sat.Budget.Conflicts !round))
+              | Some _ | None -> ());
+              let inst =
+                match st with
+                | Open inst -> inst
+                | _ ->
+                    let inst =
+                      make_instance ~width:c.w ~height:c.h netlist
+                    in
+                    c.state <- Open inst;
+                    incr open_count;
+                    inst
+              in
+              let allowance =
+                match (base, remaining_global) with
+                | None, g -> g
+                | Some b, None -> Some (b * luby_allowance !round)
+                | Some b, Some g -> Some (min (b * luby_allowance !round) g)
+              in
+              let before = (Sat.Solver.stats inst.solver).Sat.Solver.conflicts in
+              incr attempts;
+              let verdict =
+                Sat.Solver.solve
+                  ~budget:{ budget with Sat.Budget.conflicts = allowance }
+                  inst.solver
+              in
+              spent :=
+                !spent
+                + (Sat.Solver.stats inst.solver).Sat.Solver.conflicts
+                - before;
+              match verdict with
+              | Sat.Solver.Sat -> raise (Done (solved c inst !round))
+              | Sat.Solver.Unsat ->
+                  closed_stats :=
+                    Sat.Solver.add_stats !closed_stats
+                      (Sat.Solver.stats inst.solver);
+                  c.state <- Refuted;
+                  decr open_count
+              | Sat.Solver.Unknown Sat.Budget.Conflicts ->
+                  unresolved := true
+              | Sat.Solver.Unknown (Sat.Budget.Deadline as r)
+              | Sat.Solver.Unknown (Sat.Budget.Cancelled as r) ->
+                  raise (Done (out_of_budget r !round))))
+        candidates;
+      incr round
+    done;
+    Error
+      (No_layout
+         {
+           attempts = !attempts;
+           message =
+             Printf.sprintf "no layout within %s (%d candidates refuted)"
+               bounds_msg !attempts;
+         })
+  with Done r -> r

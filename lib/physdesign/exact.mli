@@ -16,14 +16,34 @@
 
     Candidate dimensions are tried in order of increasing tile area, so
     the first satisfiable instance yields a minimum-area layout within
-    the search bounds. *)
+    the search bounds.
+
+    {2 Budgets and escalation}
+
+    The whole search runs under a {!Sat.Budget}: per round, every open
+    candidate receives a Luby-scaled conflict allowance; an interrupted
+    ([Unknown]) candidate keeps its incremental SAT instance and is
+    resumed with a larger allowance in the next round.  The search ends
+    with a layout, a proof that none exists within the bounds, or a
+    structured {!failure} naming the exhausted resource — it never
+    raises on budget conditions. *)
 
 type config = {
   max_extra_width : int;  (** Search bound above the trivial lower bound (default 6). *)
   max_extra_height : int;  (** Default 12. *)
   conflict_budget : int option;
-      (** Per-instance solver budget; exceeding it skips the candidate
-          size (sacrificing the minimality guarantee).  Default [None]. *)
+      (** Base per-candidate conflict allowance per escalation round
+          (sacrificing the minimality guarantee when it trips).  Default
+          [None]: complete solves unless an external budget imposes a
+          default escalation base. *)
+  max_rounds : int;
+      (** Escalation-round cap when {e only} [conflict_budget] bounds the
+          search (keeps it finite); deadline-/globally-budgeted runs
+          terminate through the budget itself.  Default 8. *)
+  max_open_instances : int;
+      (** Maximum simultaneously kept incremental SAT instances; further
+          candidate sizes are deferred until the window advances.
+          Default 8. *)
 }
 
 val default_config : config
@@ -32,18 +52,36 @@ type result = {
   layout : Layout.Gate_layout.t;
   width : int;
   height : int;
-  attempts : int;  (** Number of candidate sizes tried. *)
+  attempts : int;  (** Number of candidate solve calls. *)
+  rounds : int;  (** Escalation rounds used. *)
   budget_exhausted : bool;
-      (** Whether any candidate was skipped on budget, voiding the
-          minimality claim. *)
+      (** Some smaller-area candidate was still unresolved when this
+          layout was found, voiding the minimality claim. *)
+  stats : Sat.Solver.stats;  (** Aggregated over all candidate solvers. *)
 }
 
+type failure =
+  | No_layout of { attempts : int; message : string }
+      (** Proved: no layout exists within the search bounds. *)
+  | Out_of_budget of {
+      reason : Sat.Budget.reason;
+      attempts : int;
+      rounds : int;
+      message : string;
+    }  (** The budget ran dry with candidates still unresolved. *)
+
+val failure_message : failure -> string
+
 val place_and_route :
-  ?config:config -> Netlist.t -> (result, string) Stdlib.result
-(** Place and route under row clocking.  [Error] carries a diagnostic
-    when no layout exists within the search bounds. *)
+  ?config:config ->
+  ?budget:Sat.Budget.t ->
+  Netlist.t ->
+  (result, failure) Stdlib.result
+(** Place and route under row clocking.  Never raises on budget
+    conditions. *)
 
 val solve_fixed :
-  ?conflict_budget:int -> width:int -> height:int -> Netlist.t ->
+  ?budget:Sat.Budget.t -> width:int -> height:int -> Netlist.t ->
   Layout.Gate_layout.t option
-(** Single candidate size (exposed for tests and ablations). *)
+(** Single candidate size (exposed for tests and ablations); [None] on
+    refutation {e or} budget exhaustion. *)

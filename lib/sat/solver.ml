@@ -6,9 +6,7 @@
    boundary. *)
 
 type lit = int
-type result = Sat | Unsat
-
-exception Budget_exhausted
+type result = Sat | Unsat | Unknown of Budget.reason
 
 (* Growable int vector. *)
 module Ivec = struct
@@ -69,7 +67,11 @@ type t = {
   mutable unsat : bool;
   mutable ok_model : bool;
   mutable model_arr : bool array;
-  mutable budget : int option;
+  (* Active limits for the current [solve] call: absolute conflict
+     threshold, wall-clock deadline, cancellation flag. *)
+  mutable limit_conflicts : int option;
+  mutable deadline : float option;
+  mutable cancelled : unit -> bool;
   (* Statistics. *)
   mutable conflicts : int;
   mutable decisions : int;
@@ -105,7 +107,9 @@ let create () =
     unsat = false;
     ok_model = false;
     model_arr = [||];
-    budget = None;
+    limit_conflicts = None;
+    deadline = None;
+    cancelled = (fun () -> false);
     conflicts = 0;
     decisions = 0;
     propagations = 0;
@@ -578,9 +582,33 @@ let pick_branch_var s =
   in
   go ()
 
-type search_outcome = Sat_found | Unsat_found | Restarted
+type search_outcome =
+  | Sat_found
+  | Unsat_found
+  | Restarted
+  | Interrupted of Budget.reason
 
 exception Found of search_outcome
+
+(* Budget checkpoints.  The conflict allowance is exact; the wall clock
+   and the cancellation flag are polled every [checkpoint_mask + 1]
+   conflicts or decisions to keep the hot loop cheap. *)
+let checkpoint_mask = 31
+
+let interrupt_reason s =
+  if s.cancelled () then Some Budget.Cancelled
+  else
+    match s.deadline with
+    | Some d when Unix.gettimeofday () > d -> Some Budget.Deadline
+    | Some _ | None -> None
+
+let check_interrupt s counter =
+  if counter land checkpoint_mask = 0 then
+    match interrupt_reason s with
+    | Some r ->
+        cancel_until s 0;
+        raise (Found (Interrupted r))
+    | None -> ()
 
 let search s assumptions max_conflicts =
   let conflicts_here = ref 0 in
@@ -590,11 +618,12 @@ let search s assumptions max_conflicts =
       if confl >= 0 then begin
         s.conflicts <- s.conflicts + 1;
         incr conflicts_here;
-        (match s.budget with
+        (match s.limit_conflicts with
         | Some b when s.conflicts > b ->
             cancel_until s 0;
-            raise Budget_exhausted
+            raise (Found (Interrupted Budget.Conflicts))
         | Some _ | None -> ());
+        check_interrupt s s.conflicts;
         if decision_level s = 0 then raise (Found Unsat_found);
         let learned, bt = analyze s confl in
         cancel_until s bt;
@@ -625,6 +654,7 @@ let search s assumptions max_conflicts =
         if v < 0 then raise (Found Sat_found)
         else begin
           s.decisions <- s.decisions + 1;
+          check_interrupt s s.decisions;
           Ivec.push s.trail_lim (Ivec.size s.trail);
           let l = (2 * v) + (if s.phase.(v) then 0 else 1) in
           enqueue s l (-1)
@@ -634,14 +664,24 @@ let search s assumptions max_conflicts =
     assert false
   with Found r -> r
 
-let solve ?(assumptions = []) s =
+let solve ?(assumptions = []) ?(budget = Budget.unlimited) s =
   if s.unsat then Unsat
   else begin
     let assumptions = List.map (lit_of_dimacs s) assumptions in
     cancel_until s 0;
     s.ok_model <- false;
+    (* Install the budget: the conflict allowance is relative to this
+       call, so an [Unknown] solve can be resumed with a fresh (larger)
+       allowance while keeping all learned clauses. *)
+    s.limit_conflicts <-
+      Option.map (fun n -> s.conflicts + n) budget.Budget.conflicts;
+    s.deadline <- budget.Budget.deadline;
+    s.cancelled <- budget.Budget.cancelled;
     let result = ref None in
     let round = ref 0 in
+    (match interrupt_reason s with
+    | Some r -> result := Some (Unknown r)
+    | None -> ());
     (try
        while !result = None do
          let max_conflicts = 100 * luby !round in
@@ -653,7 +693,8 @@ let solve ?(assumptions = []) s =
              s.ok_model <- true;
              result := Some Sat
          | Unsat_found -> result := Some Unsat
-         | Restarted -> ());
+         | Restarted -> ()
+         | Interrupted r -> result := Some (Unknown r));
          if
            !result = None
            && s.learned_clauses > (2 * s.problem_clauses) + 2000
@@ -663,6 +704,9 @@ let solve ?(assumptions = []) s =
        cancel_until s 0;
        raise e);
     cancel_until s 0;
+    s.limit_conflicts <- None;
+    s.deadline <- None;
+    s.cancelled <- (fun () -> false);
     match !result with Some r -> r | None -> assert false
   end
 
@@ -675,11 +719,42 @@ let value s l =
 
 let model s = Array.init s.nvars (fun v -> value s (v + 1))
 
-let set_conflict_budget s b =
-  s.budget <- (match b with None -> None | Some n -> Some (s.conflicts + n))
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learned_clauses : int;
+}
 
-let stats s =
-  Printf.sprintf
-    "vars=%d clauses=%d learned=%d conflicts=%d decisions=%d propagations=%d restarts=%d"
-    s.nvars s.problem_clauses s.learned_clauses s.conflicts s.decisions
-    s.propagations s.restarts
+let stats (s : t) =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    learned_clauses = s.learned_clauses;
+  }
+
+let empty_stats =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learned_clauses = 0;
+  }
+
+let add_stats a b =
+  {
+    conflicts = a.conflicts + b.conflicts;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    learned_clauses = a.learned_clauses + b.learned_clauses;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d"
+    st.conflicts st.decisions st.propagations st.restarts st.learned_clauses

@@ -13,7 +13,13 @@
 
 type t
 
-type result = Sat | Unsat
+type result =
+  | Sat
+  | Unsat
+  | Unknown of Budget.reason
+      (** The solve was interrupted by its {!Budget} before reaching a
+          verdict.  The solver remains usable: calling [solve] again with
+          a larger budget resumes from all clauses learned so far. *)
 
 type lit = int
 (** [v] for variable [v], [-v] for its negation; [v >= 1]. *)
@@ -33,10 +39,16 @@ val add_clause : t -> lit list -> unit
     Adding the empty clause makes the instance trivially unsatisfiable.
     @raise Invalid_argument on literal 0 or an unallocated variable. *)
 
-val solve : ?assumptions:lit list -> t -> result
+val solve : ?assumptions:lit list -> ?budget:Budget.t -> t -> result
 (** Solve under the given assumptions.  The solver is incremental: more
     clauses and variables may be added after a call to [solve], and
-    subsequent calls reuse learned clauses. *)
+    subsequent calls reuse learned clauses.
+
+    The budget (default {!Budget.unlimited}) bounds the call: the
+    conflict allowance is relative to this call and exact; the deadline
+    and the cancellation flag are polled every few conflicts/decisions.
+    A tripped budget yields [Unknown] — never an exception — and leaves
+    the solver resumable. *)
 
 val value : t -> lit -> bool
 (** Value of a literal in the model found by the last [solve].
@@ -45,12 +57,23 @@ val value : t -> lit -> bool
 val model : t -> bool array
 (** Values of all variables, indexed by [var - 1]. *)
 
-val stats : t -> string
-(** Human-readable counters (conflicts, decisions, propagations,
-    restarts). *)
+(** {2 Statistics} *)
 
-val set_conflict_budget : t -> int option -> unit
-(** Limit the number of conflicts for subsequent [solve] calls; [None]
-    removes the limit.  An exhausted budget raises {!Budget_exhausted}. *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learned_clauses : int;  (** Currently live learned clauses. *)
+}
 
-exception Budget_exhausted
+val stats : t -> stats
+(** Cumulative counters over the solver's lifetime. *)
+
+val empty_stats : stats
+
+val add_stats : stats -> stats -> stats
+(** Pointwise sum — for aggregating across solver instances. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** The old human-readable one-line form. *)

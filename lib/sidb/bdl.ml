@@ -54,14 +54,19 @@ let solve engine sys =
   | Branch_and_bound -> Ground_state.branch_and_bound sys
   | Anneal params -> Simanneal.run ~params sys
 
-let check ?(engine = Branch_and_bound) ?(model = Model.default) s ~spec =
+let check ?(engine = Branch_and_bound) ?(model = Model.default) ?v_ext_at s
+    ~spec =
   let arity = Array.length s.inputs in
   let rows = ref [] in
   for row = 0 to (1 lsl arity) - 1 do
     let assignment = Array.init arity (fun i -> (row lsr i) land 1 = 1) in
     let expected = spec assignment in
     let sites = sites_for s assignment in
-    let sys = Charge_system.create model sites in
+    let sys =
+      match v_ext_at with
+      | None -> Charge_system.create model sites
+      | Some f -> Charge_system.create ~v_ext:(Array.map f sites) model sites
+    in
     let result = solve engine sys in
     let observed =
       List.map

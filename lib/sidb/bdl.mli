@@ -54,12 +54,15 @@ type report = { structure : structure; rows : row_result list; functional : bool
 val check :
   ?engine:engine ->
   ?model:Model.t ->
+  ?v_ext_at:(Lattice.site -> float) ->
   structure ->
   spec:(bool array -> bool array) ->
   report
 (** Exercise the structure on all input combinations against the
     specification (e.g. [fun i -> [| i.(0) <> i.(1) |]] for XOR);
-    functional iff every row is [ok]. *)
+    functional iff every row is [ok].  [v_ext_at] adds a local external
+    potential (eV) per site — e.g. from fixed charged defects
+    ({!Defects}) or clocking electrodes. *)
 
 val operational : report -> bool
 

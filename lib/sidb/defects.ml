@@ -1,0 +1,171 @@
+type kind = Missing_db | Extra_db | Charged_defect
+
+type defect =
+  | Removed of Lattice.site
+  | Added of Lattice.site
+  | Charge_at of Lattice.site
+
+let defect_kind = function
+  | Removed _ -> Missing_db
+  | Added _ -> Extra_db
+  | Charge_at _ -> Charged_defect
+
+let kind_to_string = function
+  | Missing_db -> "missing DB"
+  | Extra_db -> "extra DB"
+  | Charged_defect -> "charged defect"
+
+let pp_defect ppf = function
+  | Removed s -> Format.fprintf ppf "removed %a" Lattice.pp s
+  | Added s -> Format.fprintf ppf "added %a" Lattice.pp s
+  | Charge_at s -> Format.fprintf ppf "charge at %a" Lattice.pp s
+
+type params = {
+  missing : int;
+  extra : int;
+  charged : int;
+  trials : int;
+  seed : int;
+}
+
+let default_params = { missing = 1; extra = 0; charged = 0; trials = 50; seed = 42 }
+
+type injected = {
+  structure : Bdl.structure;
+  defects : defect list;
+  charges : Lattice.site list;
+}
+
+let all_sites (s : Bdl.structure) =
+  s.Bdl.fixed
+  @ List.concat_map
+      (fun (d : Bdl.input_driver) -> d.Bdl.near @ d.Bdl.far)
+      (Array.to_list s.Bdl.inputs)
+  @ List.concat_map
+      (fun (p : Bdl.pair) -> [ p.Bdl.zero; p.Bdl.one ])
+      (Array.to_list s.Bdl.outputs)
+
+(* Bounding box in (dimer column, dimer row) indices, with a margin so
+   stray dots and point charges can also land just outside the
+   structure. *)
+let bounding_box ?(margin_n = 2) ?(margin_m = 1) sites =
+  match sites with
+  | [] -> ((0, 0), (0, 0))
+  | { Lattice.n; m; _ } :: rest ->
+      let lo_n, hi_n, lo_m, hi_m =
+        List.fold_left
+          (fun (ln, hn, lm, hm) { Lattice.n; m; _ } ->
+            (min ln n, max hn n, min lm m, max hm m))
+          (n, n, m, m) rest
+      in
+      ((lo_n - margin_n, lo_m - margin_m), (hi_n + margin_n, hi_m + margin_m))
+
+let random_free_site rng ((lo_n, lo_m), (hi_n, hi_m)) used =
+  let attempts = 200 in
+  let rec go k =
+    if k >= attempts then None
+    else
+      let site =
+        Lattice.site
+          (lo_n + Random.State.int rng (hi_n - lo_n + 1))
+          (lo_m + Random.State.int rng (hi_m - lo_m + 1))
+          (Random.State.int rng 2)
+      in
+      if List.exists (Lattice.equal site) used then go (k + 1) else Some site
+  in
+  go 0
+
+let inject rng params (s : Bdl.structure) =
+  let defects = ref [] in
+  let fixed = ref s.Bdl.fixed in
+  for _ = 1 to params.missing do
+    match !fixed with
+    | [] -> ()
+    | l ->
+        let i = Random.State.int rng (List.length l) in
+        defects := Removed (List.nth l i) :: !defects;
+        fixed := List.filteri (fun j _ -> j <> i) l
+  done;
+  let used = ref (all_sites s) in
+  let box = bounding_box !used in
+  for _ = 1 to params.extra do
+    match random_free_site rng box !used with
+    | None -> ()
+    | Some site ->
+        fixed := site :: !fixed;
+        used := site :: !used;
+        defects := Added site :: !defects
+  done;
+  let charges = ref [] in
+  for _ = 1 to params.charged do
+    match random_free_site rng box !used with
+    | None -> ()
+    | Some site ->
+        charges := site :: !charges;
+        used := site :: !used;
+        defects := Charge_at site :: !defects
+  done;
+  {
+    structure = { s with Bdl.fixed = !fixed };
+    defects = List.rev !defects;
+    charges = !charges;
+  }
+
+let v_ext_of_charges model charges =
+  match charges with
+  | [] -> None
+  | _ ->
+      Some
+        (fun site ->
+          List.fold_left
+            (fun acc c -> acc +. Model.interaction model site c)
+            0. charges)
+
+let check_injected ?engine ?(model = Model.default) inj ~spec =
+  Bdl.check ?engine ~model
+    ?v_ext_at:(v_ext_of_charges model inj.charges)
+    inj.structure ~spec
+
+let signature (report : Bdl.report) =
+  List.map (fun (r : Bdl.row_result) -> r.Bdl.ok) report.Bdl.rows
+
+type trial = { defects : defect list; operational : bool }
+
+type yield_report = {
+  structure_name : string;
+  params : params;
+  baseline : bool list;
+  trials : trial list;
+  operational_trials : int;
+  yield : float;
+}
+
+let operational_yield ?engine ?(model = Model.default) params
+    (s : Bdl.structure) ~spec =
+  let baseline = signature (Bdl.check ?engine ~model s ~spec) in
+  let rng = Random.State.make [| params.seed |] in
+  let trials = ref [] in
+  let operational_trials = ref 0 in
+  for _ = 1 to params.trials do
+    let inj = inject rng params s in
+    let report = check_injected ?engine ~model inj ~spec in
+    let operational = signature report = baseline in
+    if operational then incr operational_trials;
+    trials := { defects = inj.defects; operational } :: !trials
+  done;
+  let n = max params.trials 0 in
+  {
+    structure_name = s.Bdl.name;
+    params;
+    baseline;
+    trials = List.rev !trials;
+    operational_trials = !operational_trials;
+    yield =
+      (if n = 0 then 1.0 else float_of_int !operational_trials /. float_of_int n);
+  }
+
+let pp_yield_report ppf r =
+  Format.fprintf ppf
+    "%s: yield %.1f%% (%d/%d trials operational; %d missing, %d extra, %d charged per trial; seed %d)"
+    r.structure_name (100. *. r.yield) r.operational_trials r.params.trials
+    r.params.missing r.params.extra r.params.charged r.params.seed

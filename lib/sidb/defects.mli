@@ -1,0 +1,89 @@
+(** Fault injection for dot-accurate SiDB structures.
+
+    Fabrication of SiDB logic is atomically precise but not perfect:
+    dots can fail to form (or desorb), stray dots can appear, and
+    charged point defects in the surface can shift the local potential.
+    This harness perturbs a simulatable {!Bdl.structure} with randomized
+    atomic defects, re-runs ground-state simulation on every input row,
+    and reports an {e operational yield}: the fraction of fabrication
+    trials whose per-row behaviour matches the defect-free baseline.
+
+    All randomness flows through an explicit [Random.State.t] derived
+    from [params.seed], so yields are reproducible. *)
+
+type kind =
+  | Missing_db  (** A structural SiDB failed to form. *)
+  | Extra_db  (** A stray SiDB appeared at a free lattice site. *)
+  | Charged_defect
+      (** A fixed negative point charge shifting the local potential. *)
+
+type defect =
+  | Removed of Lattice.site
+  | Added of Lattice.site
+  | Charge_at of Lattice.site
+
+val defect_kind : defect -> kind
+val kind_to_string : kind -> string
+val pp_defect : Format.formatter -> defect -> unit
+
+type params = {
+  missing : int;  (** Missing-DB defects per trial. *)
+  extra : int;  (** Stray-DB defects per trial. *)
+  charged : int;  (** Charged point defects per trial. *)
+  trials : int;
+  seed : int;
+}
+
+val default_params : params
+(** One missing DB per trial, 50 trials, seed 42. *)
+
+type injected = {
+  structure : Bdl.structure;  (** The perturbed structure. *)
+  defects : defect list;
+  charges : Lattice.site list;
+      (** Positions of injected point charges (these are not SiDBs of
+          the structure; they act through the external potential). *)
+}
+
+val inject : Random.State.t -> params -> Bdl.structure -> injected
+(** Draw one defect configuration: [params.missing] random structural
+    dots removed, [params.extra] stray dots and [params.charged] point
+    charges placed at free sites in the structure's (margined) bounding
+    box.  Input perturbers and the defect counts beyond what can be
+    placed are left untouched. *)
+
+val check_injected :
+  ?engine:Bdl.engine ->
+  ?model:Model.t ->
+  injected ->
+  spec:(bool array -> bool array) ->
+  Bdl.report
+(** {!Bdl.check} of the perturbed structure, with the injected point
+    charges applied as an external potential. *)
+
+type trial = { defects : defect list; operational : bool }
+
+type yield_report = {
+  structure_name : string;
+  params : params;
+  baseline : bool list;
+      (** Per-input-row [ok] of the defect-free structure. *)
+  trials : trial list;
+  operational_trials : int;
+  yield : float;  (** [operational_trials / params.trials]; 1.0 when no
+      trials. *)
+}
+
+val operational_yield :
+  ?engine:Bdl.engine ->
+  ?model:Model.t ->
+  params ->
+  Bdl.structure ->
+  spec:(bool array -> bool array) ->
+  yield_report
+(** Monte-Carlo operational yield.  A trial is operational when its
+    per-row ok-signature equals the defect-free baseline — in
+    particular, zero injected defects give yield 1.0 by construction.
+    Deterministic for a fixed [params.seed]. *)
+
+val pp_yield_report : Format.formatter -> yield_report -> unit

@@ -4,6 +4,7 @@ type verdict =
   | Equivalent
   | Counterexample of (string * bool) list
   | Interface_mismatch of string
+  | Undecided of Sat.Budget.reason
 
 let network_to_cnf f ntk ~pi_literals =
   let lits = Array.make (N.num_nodes ntk) 0 in
@@ -22,7 +23,7 @@ let network_to_cnf f ntk ~pi_literals =
 
 let sorted_names l = List.sort compare l
 
-let check ntk1 ntk2 =
+let check ?(budget = Sat.Budget.unlimited) ntk1 ntk2 =
   let pi_names ntk = List.init (N.num_pis ntk) (N.pi_name ntk) in
   let po_names ntk = List.map fst (N.pos ntk) in
   if sorted_names (pi_names ntk1) <> sorted_names (pi_names ntk2) then
@@ -61,7 +62,7 @@ let check ntk1 ntk2 =
     in
     Sat.Cnf.add_clause f diffs;
     let solver = Sat.Cnf.solver f in
-    match Sat.Solver.solve solver with
+    match Sat.Solver.solve ~budget solver with
     | Sat.Solver.Unsat -> Equivalent
     | Sat.Solver.Sat ->
         Counterexample
@@ -69,9 +70,20 @@ let check ntk1 ntk2 =
              (fun name l acc -> (name, Sat.Solver.value solver l) :: acc)
              pi_table []
           |> List.sort compare)
+    | Sat.Solver.Unknown reason -> Undecided reason
   end
 
-let check_layout ntk layout =
+let check_layout ?budget ntk layout =
   match Extract.network layout with
   | Error msg -> Error msg
-  | Ok extracted -> Ok (check ntk extracted)
+  | Ok extracted -> Ok (check ?budget ntk extracted)
+
+let verdict_to_string = function
+  | Equivalent -> "equivalent"
+  | Counterexample cex ->
+      Printf.sprintf "counterexample %s"
+        (String.concat ","
+           (List.map (fun (n, v) -> Printf.sprintf "%s=%b" n v) cex))
+  | Interface_mismatch m -> Printf.sprintf "interface mismatch (%s)" m
+  | Undecided r ->
+      Printf.sprintf "undecided (%s)" (Sat.Budget.reason_to_string r)

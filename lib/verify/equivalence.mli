@@ -12,13 +12,21 @@ type verdict =
       (** Input assignment (by name) on which the designs differ. *)
   | Interface_mismatch of string
       (** The designs do not have the same input/output names. *)
+  | Undecided of Sat.Budget.reason
+      (** The miter solve was interrupted by its budget; neither
+          equivalence nor a counterexample was established. *)
 
-val check : Logic.Network.t -> Logic.Network.t -> verdict
+val check :
+  ?budget:Sat.Budget.t -> Logic.Network.t -> Logic.Network.t -> verdict
+(** A tripped budget yields [Undecided] — never an exception. *)
 
 val check_layout :
+  ?budget:Sat.Budget.t ->
   Logic.Network.t -> Layout.Gate_layout.t -> (verdict, string) result
 (** Extract the layout's network and compare ([Error] when extraction
     fails structurally). *)
+
+val verdict_to_string : verdict -> string
 
 val network_to_cnf :
   Sat.Cnf.t ->

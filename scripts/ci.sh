@@ -1,0 +1,32 @@
+#!/bin/sh
+# Continuous-integration driver for fictionette.
+#
+# Stages:
+#   1. fast type-check        (dune build @check)
+#   2. full build             (dune build, warnings are errors)
+#   3. test suite             (dune runtest --force, timed)
+#   4. resilience smoke test  (mux21 under a 1 s deadline with the
+#                              fallback engine must finish cleanly --
+#                              the hard guarantee of the budget work)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== 1/4 type check =="
+dune build @check
+
+echo "== 2/4 full build =="
+dune build
+
+echo "== 3/4 test suite =="
+start=$(date +%s)
+dune runtest --force
+end=$(date +%s)
+echo "tests passed in $((end - start))s"
+
+echo "== 4/4 budgeted-flow smoke test =="
+# Must return a verified layout without raising, degrading to the
+# scalable engine if the exact share of the deadline runs out.
+dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
+
+echo "CI OK"

@@ -1,0 +1,142 @@
+(* Tests of the defect-injection harness and yield metrics. *)
+
+module Df = Sidb.Defects
+module B = Sidb.Bdl
+module D = Hexlib.Direction
+
+let or_structure_and_spec () =
+  let tile =
+    Layout.Tile.Gate
+      {
+        fn = Logic.Mapped.Or2;
+        ins = [ D.North_west; D.North_east ];
+        outs = [ D.South_east ];
+      }
+  in
+  match
+    ( Bestagon.Library.validation_structure tile,
+      Bestagon.Library.tile_spec tile )
+  with
+  | Some s, Some spec -> (s, spec)
+  | _ -> Alcotest.fail "no OR structure in the library"
+
+let test_zero_defects_full_yield () =
+  let s, spec = or_structure_and_spec () in
+  let params =
+    { Df.missing = 0; extra = 0; charged = 0; trials = 4; seed = 1 }
+  in
+  let r = Df.operational_yield params s ~spec in
+  Alcotest.(check (float 0.0)) "yield 100%" 1.0 r.Df.yield;
+  Alcotest.(check int) "all trials operational" 4 r.Df.operational_trials
+
+let test_destroyed_gate_not_operational () =
+  let s, spec = or_structure_and_spec () in
+  (* Remove every structural dot: outputs become unreadable in every
+     trial, so no trial can match the functional baseline. *)
+  let params =
+    {
+      Df.missing = List.length s.B.fixed;
+      extra = 0;
+      charged = 0;
+      trials = 3;
+      seed = 1;
+    }
+  in
+  let r = Df.operational_yield params s ~spec in
+  Alcotest.(check (float 0.0)) "yield 0%" 0.0 r.Df.yield
+
+let test_deterministic_under_seed () =
+  let s, spec = or_structure_and_spec () in
+  let params =
+    { Df.missing = 1; extra = 0; charged = 0; trials = 6; seed = 123 }
+  in
+  let r1 = Df.operational_yield params s ~spec in
+  let r2 = Df.operational_yield params s ~spec in
+  Alcotest.(check (float 0.0)) "same yield" r1.Df.yield r2.Df.yield;
+  Alcotest.(check bool) "same defect draws" true
+    (List.map (fun t -> t.Df.defects) r1.Df.trials
+    = List.map (fun t -> t.Df.defects) r2.Df.trials)
+
+let test_inject_counts () =
+  let s, _ = or_structure_and_spec () in
+  let rng = Random.State.make [| 9 |] in
+  let params =
+    { Df.missing = 2; extra = 1; charged = 1; trials = 1; seed = 9 }
+  in
+  let inj = Df.inject rng params s in
+  Alcotest.(check int) "two dots removed"
+    (List.length s.B.fixed - 2 + 1)
+    (List.length inj.Df.structure.B.fixed);
+  Alcotest.(check int) "four defects" 4 (List.length inj.Df.defects);
+  Alcotest.(check int) "one point charge" 1 (List.length inj.Df.charges);
+  (* Removed sites really came from the structure; added ones are new. *)
+  List.iter
+    (fun d ->
+      match d with
+      | Df.Removed site ->
+          Alcotest.(check bool) "was structural" true
+            (List.exists (Sidb.Lattice.equal site) s.B.fixed)
+      | Df.Added site | Df.Charge_at site ->
+          Alcotest.(check bool) "fresh site" false
+            (List.exists (Sidb.Lattice.equal site) s.B.fixed))
+    inj.Df.defects
+
+let test_charged_defect_shifts_potential () =
+  let s, spec = or_structure_and_spec () in
+  (* The v_ext plumbing: a huge uniform potential empties the layout and
+     must break the gate. *)
+  let baseline = B.check s ~spec in
+  Alcotest.(check bool) "baseline functional" true baseline.B.functional;
+  let broken = B.check ~v_ext_at:(fun _ -> 10.) s ~spec in
+  Alcotest.(check bool) "gate broken by potential" false broken.B.functional;
+  (* And injected point charges run end to end. *)
+  let params =
+    { Df.missing = 0; extra = 0; charged = 1; trials = 4; seed = 5 }
+  in
+  let r = Df.operational_yield params s ~spec in
+  Alcotest.(check bool) "yield in range" true
+    (r.Df.yield >= 0.0 && r.Df.yield <= 1.0);
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "one charged defect per trial" 1
+        (List.length
+           (List.filter
+              (fun d -> Df.defect_kind d = Df.Charged_defect)
+              t.Df.defects)))
+    r.Df.trials
+
+let test_layout_yield () =
+  let layout =
+    Layout.Gate_layout.create ~width:1 ~height:1
+      ~clocking:(Layout.Gate_layout.Scheme Layout.Clocking.Row)
+  in
+  Layout.Gate_layout.set layout
+    { Hexlib.Coord.col = 0; row = 0 }
+    (Layout.Tile.Wire { segments = [ (D.North_west, D.South_east) ] });
+  let params =
+    { Df.missing = 0; extra = 0; charged = 0; trials = 2; seed = 3 }
+  in
+  let y = Bestagon.Yield.of_layout ~params layout in
+  Alcotest.(check int) "one simulated tile" 1 y.Bestagon.Yield.simulated_tiles;
+  Alcotest.(check (float 0.0)) "perfect layout yield" 1.0
+    y.Bestagon.Yield.layout_yield
+
+let () =
+  Alcotest.run "defects"
+    [
+      ( "yield",
+        [
+          Alcotest.test_case "zero defects" `Quick test_zero_defects_full_yield;
+          Alcotest.test_case "destroyed gate" `Quick
+            test_destroyed_gate_not_operational;
+          Alcotest.test_case "deterministic" `Quick
+            test_deterministic_under_seed;
+          Alcotest.test_case "layout yield" `Quick test_layout_yield;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "counts" `Quick test_inject_counts;
+          Alcotest.test_case "charged defects" `Quick
+            test_charged_defect_shifts_potential;
+        ] );
+    ]

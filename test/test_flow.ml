@@ -5,10 +5,10 @@ module T1 = Core.Table1
 module GL = Layout.Gate_layout
 module E = Verify.Equivalence
 
-let run_ok ?options name =
-  match F.run_benchmark ?options name with
+let run_ok ?options ?budget name =
+  match F.run_benchmark ?options ?budget name with
   | Ok r -> r
-  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+  | Error f -> Alcotest.fail (name ^ ": " ^ F.error_message f)
 
 let test_xor2_end_to_end () =
   let r = run_ok "xor2" in
@@ -68,7 +68,7 @@ endmodule
 |}
   in
   match F.run_verilog source with
-  | Error e -> Alcotest.fail e
+  | Error f -> Alcotest.fail (F.error_message f)
   | Ok r ->
       Alcotest.(check bool) "equivalent" true
         (r.F.equivalence = Some E.Equivalent);
@@ -76,13 +76,92 @@ endmodule
 
 let test_verilog_parse_error_reported () =
   match F.run_verilog "module broken (" with
-  | Error e -> Alcotest.(check bool) "mentions parse" true (String.length e > 0)
+  | Error f ->
+      Alcotest.(check bool) "failed while parsing" true
+        (f.F.failed_step = F.Parsing);
+      Alcotest.(check bool) "mentions parse" true
+        (String.length (F.error_message f) > 0)
   | Ok _ -> Alcotest.fail "expected parse failure"
 
 let test_unknown_benchmark () =
   match F.run_benchmark "nonexistent" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected error"
+
+let test_fallback_under_deadline () =
+  (* The acceptance scenario: a 1-second deadline on mux21 with the
+     fallback engine must never raise and still deliver a DRC-clean,
+     equivalence-verified layout, produced by the scalable engine, with
+     the degradation named in the diagnostics. *)
+  let options =
+    {
+      F.default_options with
+      engine = F.Exact_with_fallback Physdesign.Exact.default_config;
+    }
+  in
+  match
+    F.run_benchmark ~options ~budget:(Core.Budget.of_seconds 1.0) "mux21"
+  with
+  | Error f -> Alcotest.fail ("must not fail: " ^ F.error_message f)
+  | Ok r -> (
+      Alcotest.(check int) "drc clean" 0 (List.length r.F.drc_violations);
+      Alcotest.(check bool) "equivalence verified" true
+        (r.F.equivalence = Some E.Equivalent);
+      match r.F.diagnostics.F.engine_used with
+      | Some F.Used_scalable ->
+          Alcotest.(check bool) "degradation named" true
+            (List.exists
+               (fun d ->
+                 let has sub =
+                   let n = String.length sub in
+                   let rec go i =
+                     i + n <= String.length d
+                     && (String.sub d i n = sub || go (i + 1))
+                   in
+                   go 0
+                 in
+                 has "scalable")
+               r.F.diagnostics.F.degradations)
+      | Some F.Used_exact ->
+          (* Exact finished inside its share: legal, but then there is
+             nothing to degrade. *)
+          Alcotest.(check bool) "no degradation" true
+            (r.F.diagnostics.F.degradations = [])
+      | None -> Alcotest.fail "engine not recorded")
+
+let test_fallback_millisecond_deadline () =
+  (* An even harsher deadline forces the degradation deterministically. *)
+  let options =
+    {
+      F.default_options with
+      engine = F.Exact_with_fallback Physdesign.Exact.default_config;
+    }
+  in
+  match
+    F.run_benchmark ~options ~budget:(Core.Budget.of_seconds 0.001) "mux21"
+  with
+  | Error f -> Alcotest.fail ("must not fail: " ^ F.error_message f)
+  | Ok r ->
+      Alcotest.(check bool) "scalable engine used" true
+        (r.F.diagnostics.F.engine_used = Some F.Used_scalable);
+      Alcotest.(check bool) "degradation recorded" true
+        (r.F.diagnostics.F.degradations <> []);
+      Alcotest.(check int) "drc clean" 0 (List.length r.F.drc_violations);
+      (* Verification still ran under the grace budget. *)
+      Alcotest.(check bool) "equivalence verified" true
+        (r.F.equivalence = Some E.Equivalent)
+
+let test_cancelled_budget () =
+  let budget =
+    { Core.Budget.unlimited with Core.Budget.cancelled = (fun () -> true) }
+  in
+  match F.run_benchmark ~budget "xor2" with
+  | Error f ->
+      Alcotest.(check bool) "cancellation reported" true
+        (f.F.budget_reason = Some Core.Budget.Cancelled);
+      Alcotest.(check bool) "mapped netlist preserved" true
+        (f.F.partial.F.partial_mapped <> None)
+  | Ok _ -> Alcotest.fail "expected cancellation failure"
 
 let test_sqd_export () =
   let r = run_ok "xor2" in
@@ -129,6 +208,14 @@ let () =
             test_small_benchmarks_verified;
           Alcotest.test_case "scalable engine" `Slow test_scalable_engine;
           Alcotest.test_case "no-rewrite option" `Quick test_no_rewrite_option;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "fallback under 1s deadline" `Quick
+            test_fallback_under_deadline;
+          Alcotest.test_case "fallback under 1ms deadline" `Quick
+            test_fallback_millisecond_deadline;
+          Alcotest.test_case "cancelled budget" `Quick test_cancelled_budget;
         ] );
       ( "entry-points",
         [

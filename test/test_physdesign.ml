@@ -68,6 +68,8 @@ let check_layout name ntk layout =
               (List.map (fun (n, v) -> Printf.sprintf "%s=%b" n v) cex)))
   | Ok (Verify.Equivalence.Interface_mismatch m) ->
       Alcotest.fail (name ^ " interface: " ^ m)
+  | Ok (Verify.Equivalence.Undecided r) ->
+      Alcotest.fail (name ^ " undecided: " ^ Sat.Budget.reason_to_string r)
   | Error e -> Alcotest.fail (name ^ " extraction: " ^ e)
 
 let exact_names = [ "xor2"; "par_gen"; "mux21"; "par_check"; "c17" ]
@@ -80,7 +82,7 @@ let test_exact_small () =
       let mapped, _ = Logic.Tech_map.map ntk in
       let nl = NL.of_mapped mapped in
       match Ex.place_and_route nl with
-      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      | Error e -> Alcotest.fail (name ^ ": " ^ Ex.failure_message e)
       | Ok r -> check_layout name ntk r.Ex.layout)
     exact_names
 
@@ -93,7 +95,7 @@ let test_exact_matches_paper_dimensions () =
       let mapped, _ = Logic.Tech_map.map ntk in
       let nl = NL.of_mapped mapped in
       match Ex.place_and_route nl with
-      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      | Error e -> Alcotest.fail (name ^ ": " ^ Ex.failure_message e)
       | Ok r ->
           Alcotest.(check (pair int int))
             (name ^ " dimensions")
@@ -118,6 +120,41 @@ let test_exact_budget () =
   match Ex.place_and_route ~config nl with
   | Ok _ | Error _ -> ()
 
+let test_exact_global_conflict_budget () =
+  let nl = NL.of_mapped (mapped_of "par_check") in
+  (* The deterministic solver needs 3 conflicts for the first (already
+     satisfiable) candidate; a global budget of 2 must end in a
+     structured Out_of_budget, never an exception. *)
+  (match Ex.place_and_route ~budget:(Sat.Budget.of_conflicts 2) nl with
+  | Error (Ex.Out_of_budget { reason = Sat.Budget.Conflicts; _ }) -> ()
+  | Error f -> Alcotest.fail ("unexpected failure: " ^ Ex.failure_message f)
+  | Ok _ -> Alcotest.fail "2 conflicts cannot route par_check");
+  (* An already-expired deadline trips before any solving. *)
+  match
+    Ex.place_and_route
+      ~budget:
+        {
+          Sat.Budget.unlimited with
+          Sat.Budget.deadline = Some (Unix.gettimeofday () -. 1.);
+        }
+      nl
+  with
+  | Error (Ex.Out_of_budget { reason = Sat.Budget.Deadline; _ }) -> ()
+  | Error f -> Alcotest.fail ("unexpected failure: " ^ Ex.failure_message f)
+  | Ok _ -> Alcotest.fail "expired deadline still routed"
+
+let test_exact_escalation_reaches_layout () =
+  (* Escalating rounds over a modest per-round allowance still reach a
+     layout for a small circuit. *)
+  let nl = NL.of_mapped (mapped_of "xor2") in
+  let config =
+    { Ex.default_config with conflict_budget = Some 50; max_rounds = 16 }
+  in
+  match Ex.place_and_route ~config nl with
+  | Ok r ->
+      Alcotest.(check (pair int int)) "dimensions" (2, 3) (r.Ex.width, r.Ex.height)
+  | Error f -> Alcotest.fail (Ex.failure_message f)
+
 let test_scalable_all_benchmarks () =
   (* As in the flow, rewriting runs first; the heuristic router is
      documented to handle the optimized (moderate-depth) netlists the
@@ -141,7 +178,8 @@ let test_scalable_not_smaller_than_exact () =
       let es = GL.stats e.Ex.layout and ss = GL.stats s.Sc.layout in
       Alcotest.(check bool) "exact minimal" true
         (es.GL.area_tiles <= ss.GL.area_tiles)
-  | Error m, _ | _, Error m -> Alcotest.fail m
+  | Error f, _ -> Alcotest.fail (Ex.failure_message f)
+  | _, Error m -> Alcotest.fail m
 
 let () =
   Alcotest.run "physdesign"
@@ -160,6 +198,10 @@ let () =
             test_exact_matches_paper_dimensions;
           Alcotest.test_case "fixed size" `Quick test_exact_solve_fixed;
           Alcotest.test_case "budget handling" `Quick test_exact_budget;
+          Alcotest.test_case "global budget" `Quick
+            test_exact_global_conflict_budget;
+          Alcotest.test_case "escalation" `Quick
+            test_exact_escalation_reaches_layout;
         ] );
       ( "scalable",
         [

@@ -85,12 +85,91 @@ let test_incremental () =
 
 let test_budget () =
   let s = php_clauses 9 8 in
-  S.set_conflict_budget s (Some 50);
-  Alcotest.check_raises "budget" S.Budget_exhausted (fun () ->
-      ignore (S.solve s));
-  (* Removing the budget allows completion. *)
-  S.set_conflict_budget s None;
+  (match S.solve ~budget:(Sat.Budget.of_conflicts 50) s with
+  | S.Unknown Sat.Budget.Conflicts -> ()
+  | _ -> Alcotest.fail "expected Unknown (conflict budget)");
+  (* An unbudgeted call resumes the same solver to completion. *)
   Alcotest.(check bool) "unsat after budget removed" true (S.solve s = S.Unsat)
+
+let test_budget_deadline () =
+  let s = php_clauses 9 8 in
+  let budget =
+    {
+      Sat.Budget.unlimited with
+      Sat.Budget.deadline = Some (Unix.gettimeofday () -. 1.);
+    }
+  in
+  (match S.solve ~budget s with
+  | S.Unknown Sat.Budget.Deadline -> ()
+  | _ -> Alcotest.fail "expected Unknown (deadline)");
+  Alcotest.(check bool) "resumable" true (S.solve s = S.Unsat)
+
+let test_budget_cancelled () =
+  let s = php_clauses 9 8 in
+  let budget =
+    { Sat.Budget.unlimited with Sat.Budget.cancelled = (fun () -> true) }
+  in
+  match S.solve ~budget s with
+  | S.Unknown Sat.Budget.Cancelled -> ()
+  | _ -> Alcotest.fail "expected Unknown (cancelled)"
+
+let test_budget_resume_escalation () =
+  (* Luby-style resume: keep doubling the allowance of the SAME solver
+     until it reaches a verdict; must agree with an unbudgeted solve. *)
+  let s = php_clauses 9 8 in
+  let rec go allowance guard =
+    if guard = 0 then Alcotest.fail "escalation did not converge"
+    else
+      match S.solve ~budget:(Sat.Budget.of_conflicts allowance) s with
+      | S.Unknown Sat.Budget.Conflicts -> go (2 * allowance) (guard - 1)
+      | r -> r
+  in
+  Alcotest.(check bool) "escalated verdict" true (go 20 40 = S.Unsat)
+
+let random_3sat st nvars nclauses =
+  List.init nclauses (fun _ ->
+      List.init 3 (fun _ ->
+          let v = 1 + Random.State.int st nvars in
+          if Random.State.bool st then v else -v))
+
+let test_budget_resume_random_3sat () =
+  (* Seeded random 3-SAT near the phase transition: a budgeted solve
+     resumed with larger and larger allowances must reach the same
+     verdict as an unbudgeted solve of a fresh solver. *)
+  let st = Random.State.make [| 0x5eed |] in
+  for _ = 1 to 15 do
+    let nvars = 25 + Random.State.int st 15 in
+    let nclauses = int_of_float (4.26 *. float_of_int nvars) in
+    let clauses = random_3sat st nvars nclauses in
+    let mk () =
+      let s = S.create () in
+      for _ = 1 to nvars do
+        ignore (S.new_var s)
+      done;
+      List.iter (S.add_clause s) clauses;
+      s
+    in
+    let reference = S.solve (mk ()) in
+    let s = mk () in
+    let rec go allowance =
+      match S.solve ~budget:(Sat.Budget.of_conflicts allowance) s with
+      | S.Unknown _ -> go (2 * allowance)
+      | r -> r
+    in
+    Alcotest.(check bool) "budgeted resume agrees" true (go 3 = reference)
+  done
+
+let test_stats () =
+  let s = php_clauses 7 6 in
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  let st = S.stats s in
+  Alcotest.(check bool) "conflicts counted" true (st.S.conflicts > 0);
+  Alcotest.(check bool) "decisions counted" true (st.S.decisions > 0);
+  Alcotest.(check bool) "propagations counted" true (st.S.propagations > 0);
+  let sum = S.add_stats st S.empty_stats in
+  Alcotest.(check int) "add_stats neutral" st.S.conflicts sum.S.conflicts;
+  Alcotest.(check bool) "pp_stats renders" true
+    (String.length (Format.asprintf "%a" S.pp_stats st) > 0)
 
 (* Random instances cross-checked against the DPLL oracle. *)
 let arbitrary_cnf =
@@ -132,7 +211,8 @@ let prop_model_under_assumptions =
       let assumptions = List.map (fun v -> v) assumed_vars in
       match S.solve ~assumptions s with
       | S.Sat -> List.for_all (fun l -> S.value s l) assumptions
-      | S.Unsat -> true)
+      | S.Unsat -> true
+      | S.Unknown _ -> false)
 
 (* --- CNF layer -------------------------------------------------------------- *)
 
@@ -150,7 +230,7 @@ let exhaust f inputs check =
     in
     match S.solve ~assumptions solver with
     | S.Sat -> if not (check (fun l -> S.value solver l)) then ok := false
-    | S.Unsat -> ok := false
+    | S.Unsat | S.Unknown _ -> ok := false
   done;
   !ok
 
@@ -247,6 +327,13 @@ let () =
           Alcotest.test_case "assumptions" `Quick test_assumptions;
           Alcotest.test_case "incremental" `Quick test_incremental;
           Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "budget deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "budget cancelled" `Quick test_budget_cancelled;
+          Alcotest.test_case "budget escalation" `Quick
+            test_budget_resume_escalation;
+          Alcotest.test_case "budget resume random 3-SAT" `Quick
+            test_budget_resume_random_3sat;
+          Alcotest.test_case "stats" `Quick test_stats;
         ] );
       ("oracle", qt [ prop_matches_dpll; prop_model_under_assumptions ]);
       ( "cnf",

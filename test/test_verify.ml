@@ -62,6 +62,7 @@ let test_equivalence_negative () =
       Alcotest.(check bool) "differs" true (value "a" <> value "b" || (value "a" && value "b"))
   | Ok E.Equivalent -> Alcotest.fail "xor is not and"
   | Ok (E.Interface_mismatch m) -> Alcotest.fail m
+  | Ok (E.Undecided r) -> Alcotest.fail (Sat.Budget.reason_to_string r)
   | Error e -> Alcotest.fail e
 
 let test_interface_mismatch () =
@@ -93,6 +94,7 @@ let test_check_distinguishes () =
   | E.Counterexample _ -> ()
   | E.Equivalent -> Alcotest.fail "must differ"
   | E.Interface_mismatch m -> Alcotest.fail m
+  | E.Undecided r -> Alcotest.fail (Sat.Budget.reason_to_string r)
 
 let test_network_to_cnf () =
   (* Build CNF of c17 and compare against simulation on all rows. *)
@@ -124,7 +126,7 @@ let test_network_to_cnf () =
             if Sat.Solver.value solver lit <> T.get_bit sims.(o) row then
               all_ok := false)
           outs
-    | Sat.Solver.Unsat -> all_ok := false)
+    | Sat.Solver.Unsat | Sat.Solver.Unknown _ -> all_ok := false)
   done;
   Alcotest.(check bool) "cnf matches simulation" true !all_ok
 
