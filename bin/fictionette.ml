@@ -48,6 +48,16 @@ let budget_of deadline conflicts =
   | Some s, c -> Core.Budget.of_seconds ?conflicts:c s
   | None, Some c -> Core.Budget.of_conflicts c
 
+let paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ]
+        ~doc:
+          "Cross-check every stage boundary: re-simulate rewriting and \
+           mapping, proof-check every candidate refutation of the exact \
+           engine, audit the routed layout, and replay the equivalence \
+           certificate through the independent checker.")
+
 let no_rewrite_arg =
   Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip logic rewriting (step 2).")
 
@@ -72,21 +82,48 @@ let options_of engine no_rewrite no_ha =
     fuse_half_adders = not no_ha;
   }
 
+(* Soft check failures: the flow produced a layout, but a result-level
+   check did not come back green.  Reported on stderr, exit code 2 —
+   distinct from hard failures (exit 1). *)
+let check_failures (r : Core.Flow.result) =
+  let fails = ref [] in
+  (match r.Core.Flow.equivalence with
+  | None | Some Verify.Equivalence.Equivalent -> ()
+  | Some (Verify.Equivalence.Undecided reason) ->
+      fails :=
+        Printf.sprintf "equivalence undecided (%s)"
+          (Core.Budget.reason_to_string reason)
+        :: !fails
+  | Some v ->
+      fails :=
+        ("equivalence: " ^ Verify.Equivalence.verdict_to_string v) :: !fails);
+  (match r.Core.Flow.drc_violations with
+  | [] -> ()
+  | vs -> fails := Printf.sprintf "%d DRC violation(s)" (List.length vs) :: !fails);
+  List.rev !fails
+
 let report result sqd show_layout zones =
   Format.printf "%a" Core.Flow.pp_summary result;
   if show_layout then
     Format.printf "@.%s@."
       (Layout.Render.layout ~show_zones:zones result.Core.Flow.supertiled);
-  match sqd with
-  | None -> 0
-  | Some path -> (
-      match Core.Flow.export_sqd result ~path () with
-      | Ok () ->
-          Format.printf "wrote %s@." path;
-          0
-      | Error e ->
-          Format.eprintf "sqd export failed: %s@." e;
-          1)
+  let sqd_code =
+    match sqd with
+    | None -> 0
+    | Some path -> (
+        match Core.Flow.export_sqd result ~path () with
+        | Ok () ->
+            Format.printf "wrote %s@." path;
+            0
+        | Error e ->
+            Format.eprintf "sqd export failed: %s@." e;
+            1)
+  in
+  match check_failures result with
+  | [] -> sqd_code
+  | fails ->
+      List.iter (fun m -> Format.eprintf "check failed: %s@." m) fails;
+      if sqd_code <> 0 then sqd_code else 2
 
 let report_failure f =
   Format.eprintf "error: %a" Core.Flow.pp_failure f;
@@ -97,11 +134,12 @@ let run_cmd =
     let doc = "Benchmark name (see $(b,fictionette list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
-  let action name engine deadline conflicts no_rewrite no_ha sqd show_layout
-      zones =
+  let action name engine deadline conflicts paranoid no_rewrite no_ha sqd
+      show_layout zones =
     match
       Core.Flow.run_benchmark
         ~options:(options_of engine no_rewrite no_ha)
+        ~paranoid
         ~budget:(budget_of deadline conflicts)
         name
     with
@@ -111,8 +149,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
-      $ conflict_budget_arg $ no_rewrite_arg $ no_ha_arg $ sqd_arg
-      $ show_layout_arg $ zones_arg)
+      $ conflict_budget_arg $ paranoid_arg $ no_rewrite_arg $ no_ha_arg
+      $ sqd_arg $ show_layout_arg $ zones_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full flow on a built-in benchmark.")
@@ -122,14 +160,15 @@ let verilog_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.v")
   in
-  let action path engine deadline conflicts no_rewrite no_ha sqd show_layout
-      zones =
+  let action path engine deadline conflicts paranoid no_rewrite no_ha sqd
+      show_layout zones =
     let ic = open_in path in
     let source = really_input_string ic (in_channel_length ic) in
     close_in ic;
     match
       Core.Flow.run_verilog
         ~options:(options_of engine no_rewrite no_ha)
+        ~paranoid
         ~budget:(budget_of deadline conflicts)
         source
     with
@@ -139,7 +178,8 @@ let verilog_cmd =
   let term =
     Term.(
       const action $ file_arg $ engine_arg $ deadline_arg $ conflict_budget_arg
-      $ no_rewrite_arg $ no_ha_arg $ sqd_arg $ show_layout_arg $ zones_arg)
+      $ paranoid_arg $ no_rewrite_arg $ no_ha_arg $ sqd_arg $ show_layout_arg
+      $ zones_arg)
   in
   Cmd.v
     (Cmd.info "verilog" ~doc:"Run the full flow on a gate-level Verilog file.")
@@ -287,10 +327,50 @@ let yield_cmd =
           atomic defects (missing/stray DBs, charged point defects).")
     term
 
+let check_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (see $(b,fictionette list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let action name engine deadline conflicts =
+    match
+      Core.Flow.run_benchmark
+        ~options:{ Core.Flow.default_options with engine }
+        ~paranoid:true
+        ~budget:(budget_of deadline conflicts)
+        name
+    with
+    | Error f -> report_failure f
+    | Ok result -> (
+        Format.printf "%a" Core.Flow.pp_summary result;
+        List.iter
+          (fun c -> Format.printf "check passed: %s@." c)
+          result.Core.Flow.checks;
+        match check_failures result with
+        | [] ->
+            Format.printf "all checks passed@.";
+            0
+        | fails ->
+            List.iter (fun m -> Format.eprintf "check failed: %s@." m) fails;
+            2)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the flow in paranoid mode: every stage boundary is \
+          cross-checked, every exact-engine refutation is proof-checked, \
+          and the equivalence certificate is replayed through the \
+          independent DRAT checker.  Exits 0 only when every check \
+          passes (2 on a soft check failure, 1 on a hard one).")
+    Term.(
+      const action $ bench_arg $ engine_arg $ deadline_arg
+      $ conflict_budget_arg)
+
 let main =
   let doc = "Design automation for silicon dangling bond logic" in
   Cmd.group
     (Cmd.info "fictionette" ~version:"0.1" ~doc)
-    [ run_cmd; verilog_cmd; list_cmd; table1_cmd; gates_cmd; yield_cmd ]
+    [ run_cmd; verilog_cmd; check_cmd; list_cmd; table1_cmd; gates_cmd;
+      yield_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -64,3 +64,36 @@ let tile_origin (c : Hexlib.Coord.offset) =
 let translate_site s ~at =
   let dn, dm = tile_origin at in
   Sidb.Lattice.translate s ~dn ~dm
+
+let min_db_spacing = 5.0
+
+let spacing_violations ?(min_spacing = min_db_spacing) sites =
+  (* Sort by dimer row so the inner scan can stop once rows alone put
+     the pair out of range; keeps whole-layout audits near-linear. *)
+  let arr = Array.of_list sites in
+  Array.sort
+    (fun (a : Sidb.Lattice.site) (b : Sidb.Lattice.site) ->
+      compare (a.m, a.n, a.l) (b.m, b.n, b.l))
+    arr;
+  let n = Array.length arr in
+  let violations = ref [] in
+  for i = 0 to n - 1 do
+    let si = arr.(i) in
+    let j = ref (i + 1) in
+    let continue = ref true in
+    while !continue && !j < n do
+      let sj = arr.(!j) in
+      (* Rows alone already separate the pair (minus the possible
+         intra-dimer offset): nothing further down can violate. *)
+      if
+        (float_of_int (sj.m - si.m) *. Sidb.Lattice.lattice_b)
+        -. Sidb.Lattice.dimer_gap > min_spacing
+      then continue := false
+      else begin
+        let d = Sidb.Lattice.distance si sj in
+        if d < min_spacing then violations := (si, sj, d) :: !violations;
+        incr j
+      end
+    done
+  done;
+  List.rev !violations

@@ -53,3 +53,18 @@ val tile_origin : Hexlib.Coord.offset -> int * int
 
 val translate_site : Sidb.Lattice.site -> at:Hexlib.Coord.offset -> Sidb.Lattice.site
 (** Place a tile-local site into layout coordinates. *)
+
+val min_db_spacing : float
+(** 5.0 Å (0.5 nm) — the minimum separation between two dangling bonds
+    below which they no longer act as separate quantum dots.  Every
+    distance occurring in the validated Bestagon designs is >= 6.65 Å;
+    duplicated sites (0 Å) and same-dimer accidents (2.25 Å) from buggy
+    placement land well below. *)
+
+val spacing_violations :
+  ?min_spacing:float ->
+  Sidb.Lattice.site list ->
+  (Sidb.Lattice.site * Sidb.Lattice.site * float) list
+(** All pairs of sites closer than [min_spacing] (default
+    {!min_db_spacing}), with their distance in Å.  Near-linear in the
+    number of sites for layouts (sorted sweep by dimer row). *)

@@ -11,6 +11,20 @@ type t = {
   layout_yield : float;
 }
 
+(* Per-tile seed derivation: a splitmix64-style mix of the run seed and
+   the tile index.  The obvious [seed + i] aliases across runs — tile i
+   of run s draws exactly the defect configurations of tile i-1 of run
+   s+1 — so a seed sweep would re-sample correlated defects instead of
+   independent ones.  The mix keeps determinism (same seed, same layout,
+   same yields) while decorrelating neighboring (seed, index) pairs. *)
+let tile_seed base i =
+  let open Int64 in
+  let z = add (of_int base) (mul (of_int (i + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (shift_right_logical z 2)
+
 let of_layout ?engine ?model ?(params = Sidb.Defects.default_params) layout =
   let per_tile = ref [] in
   let skipped = ref 0 in
@@ -21,8 +35,9 @@ let of_layout ?engine ?model ?(params = Sidb.Defects.default_params) layout =
         | Some structure, Some spec ->
             let i = !index in
             incr index;
-            (* Distinct, deterministic defect draws per tile. *)
-            let params = { params with Sidb.Defects.seed = params.seed + i } in
+            let params =
+              { params with Sidb.Defects.seed = tile_seed params.seed i }
+            in
             let report =
               Sidb.Defects.operational_yield ?engine ?model params structure
                 ~spec

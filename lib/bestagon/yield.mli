@@ -20,13 +20,21 @@ type t = {
   layout_yield : float;  (** Product of per-tile yields. *)
 }
 
+val tile_seed : int -> int -> int
+(** [tile_seed base i] — deterministic per-tile defect seed: a
+    splitmix64-style mix of the run seed and the tile index, so that
+    neighboring (seed, index) pairs draw independent defect
+    configurations.  (A plain [base + i] would alias tile [i] of seed
+    [s] with tile [i-1] of seed [s+1], correlating seed sweeps.) *)
+
 val of_layout :
   ?engine:Sidb.Bdl.engine ->
   ?model:Sidb.Model.t ->
   ?params:Sidb.Defects.params ->
   Layout.Gate_layout.t ->
   t
-(** Per-tile defect draws are seeded [params.seed + tile index], so the
-    whole result is deterministic for a fixed seed. *)
+(** Per-tile defect draws are seeded [tile_seed params.seed i] for the
+    [i]-th simulated tile, so the whole result is deterministic for a
+    fixed seed. *)
 
 val pp : Format.formatter -> t -> unit

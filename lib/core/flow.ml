@@ -29,6 +29,8 @@ type step =
   | Verification
   | Supertiling
   | Library_application
+  | Design_rule_check
+  | Certification
 
 let step_to_string = function
   | Parsing -> "parsing"
@@ -37,6 +39,8 @@ let step_to_string = function
   | Verification -> "verification"
   | Supertiling -> "super-tiling"
   | Library_application -> "library application"
+  | Design_rule_check -> "design-rule check"
+  | Certification -> "certification"
 
 type engine_used = Used_exact | Used_scalable
 
@@ -49,6 +53,7 @@ type diagnostics = {
   degradations : string list;
   exact_attempts : int;
   exact_rounds : int;
+  certified_refutations : int;
   solver_stats : Sat.Solver.stats;
   elapsed_s : float;
 }
@@ -68,7 +73,9 @@ type result = {
   supertiled : Layout.Gate_layout.t;
   drc_violations : Layout.Design_rules.violation list;
   equivalence : Verify.Equivalence.verdict option;
+  certificate : Verify.Equivalence.certificate option;
   sidb : Bestagon.Library.sidb_layout option;
+  checks : string list;
   timing : timing;
   diagnostics : diagnostics;
 }
@@ -99,6 +106,7 @@ let empty_diagnostics =
     degradations = [];
     exact_attempts = 0;
     exact_rounds = 0;
+    certified_refutations = 0;
     solver_stats = Sat.Solver.empty_stats;
     elapsed_s = 0.;
   }
@@ -129,11 +137,16 @@ let pp_failure ppf f =
 
 let now = Sys.time
 
-let run ?(options = default_options) ?(budget = Budget.unlimited)
-    specification =
+exception Fail of failure
+
+let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
+    ?(budget = Budget.unlimited) specification =
   let t_start = Unix.gettimeofday () in
   let degradations = ref [] in
   let degrade msg = degradations := msg :: !degradations in
+  let checks = ref [] in
+  let pass name = checks := name :: !checks in
+  let certified = ref 0 in
   let diag ?engine_used ?(attempts = 0) ?(rounds = 0)
       ?(stats = Sat.Solver.empty_stats) () =
     {
@@ -141,199 +154,324 @@ let run ?(options = default_options) ?(budget = Budget.unlimited)
       degradations = List.rev !degradations;
       exact_attempts = attempts;
       exact_rounds = rounds;
+      certified_refutations = !certified;
       solver_stats = stats;
       elapsed_s = Unix.gettimeofday () -. t_start;
     }
   in
-  (* Step 2: logic rewriting. *)
-  let t0 = now () in
-  let optimized =
-    if options.rewrite then Logic.Rewrite.rewrite_to_fixpoint specification
-    else Logic.Network.cleanup specification
+  let fail ?budget_reason ?(diagnostics = None) failed_step partial message =
+    let diagnostics =
+      match diagnostics with Some d -> d | None -> diag ()
+    in
+    raise (Fail { failed_step; message; budget_reason; partial; diagnostics })
   in
-  (* Step 3: technology mapping. *)
-  let mapped, _map_stats =
-    Logic.Tech_map.map ~fuse_half_adders:options.fuse_half_adders optimized
-  in
-  let synthesis_s = now () -. t0 in
-  (* Step 4: physical design, under (a share of) the budget. *)
-  let t1 = now () in
-  match Budget.check budget with
-  | Some r ->
-      Error
-        {
-          failed_step = Physical_design;
-          message =
-            Printf.sprintf "budget exhausted before physical design (%s)"
-              (Budget.reason_to_string r);
-          budget_reason = Some r;
-          partial =
-            {
-              partial_optimized = Some optimized;
-              partial_mapped = Some mapped;
-              partial_layout = None;
-            };
-          diagnostics = diag ();
-        }
-  | None -> (
-      let netlist = Physdesign.Netlist.of_mapped mapped in
-      let run_scalable () = Physdesign.Scalable.place_and_route netlist in
-      let describe_exact_failure = function
-        | Physdesign.Exact.No_layout { attempts; _ } ->
-            ( attempts,
-              0,
-              None,
-              Printf.sprintf
-                "proved no layout within its search bounds (%d candidate(s))"
-                attempts )
-        | Physdesign.Exact.Out_of_budget { reason; attempts; rounds; _ } ->
-            ( attempts,
-              rounds,
-              Some reason,
-              Printf.sprintf
-                "ran out of budget (%s) after %d candidate solve(s), %d \
-                 escalation round(s)"
-                (Budget.reason_to_string reason)
-                attempts rounds )
-      in
-      let pd =
-        match options.engine with
-        | Scalable -> (
-            match run_scalable () with
-            | Ok r ->
-                Ok
-                  ( r.Physdesign.Scalable.layout,
-                    Used_scalable,
-                    0,
-                    0,
-                    Sat.Solver.empty_stats )
-            | Error e -> Error ("scalable physical design: " ^ e, None, 0, 0))
-        | Exact config -> (
-            match Physdesign.Exact.place_and_route ~config ~budget netlist with
-            | Ok r ->
-                Ok
-                  ( r.Physdesign.Exact.layout,
-                    Used_exact,
-                    r.Physdesign.Exact.attempts,
-                    r.Physdesign.Exact.rounds,
-                    r.Physdesign.Exact.stats )
-            | Error f ->
-                let attempts, rounds, reason, why = describe_exact_failure f in
-                Error
-                  ("exact physical design " ^ why, reason, attempts, rounds))
-        | Exact_with_fallback config -> (
-            let exact_budget =
-              if budget.Budget.deadline = None then budget
-              else Budget.fraction 0.7 budget
-            in
+  try
+    (* Step 2: logic rewriting. *)
+    let t0 = now () in
+    let optimized =
+      if options.rewrite then Logic.Rewrite.rewrite_to_fixpoint specification
+      else Logic.Network.cleanup specification
+    in
+    (* Paranoid: re-simulate the optimized network against the source
+       specification — do not trust the rewriter. *)
+    if paranoid then begin
+      (match Verify.Resim.check_rewrite ~specification ~optimized with
+      | Ok () -> pass "rewrite re-simulation"
+      | Error msg ->
+          fail Certification
+            { no_partial with partial_optimized = Some optimized }
+            msg)
+    end;
+    (* Step 3: technology mapping. *)
+    let mapped, _map_stats =
+      Logic.Tech_map.map ~fuse_half_adders:options.fuse_half_adders optimized
+    in
+    (* Test hook: inject a corruption after mapping, before the paranoid
+       cross-check — lets tests prove the check (not some downstream
+       accident) catches a wrong mapping. *)
+    let mapped =
+      match corrupt_mapped with None -> mapped | Some f -> f mapped
+    in
+    let partial_synth =
+      {
+        partial_optimized = Some optimized;
+        partial_mapped = Some mapped;
+        partial_layout = None;
+      }
+    in
+    (* Paranoid: re-simulate the mapped netlist against the source. *)
+    if paranoid then begin
+      (match Verify.Resim.check_mapping ~specification ~mapped with
+      | Ok () -> pass "mapping re-simulation"
+      | Error msg -> fail Certification partial_synth msg)
+    end;
+    let synthesis_s = now () -. t0 in
+    (* Step 4: physical design, under (a share of) the budget. *)
+    let t1 = now () in
+    (match Budget.check budget with
+    | Some r ->
+        fail ~budget_reason:r Physical_design partial_synth
+          (Printf.sprintf "budget exhausted before physical design (%s)"
+             (Budget.reason_to_string r))
+    | None -> ());
+    let netlist = Physdesign.Netlist.of_mapped mapped in
+    let run_scalable () = Physdesign.Scalable.place_and_route netlist in
+    (* Paranoid runs force proof-checked refutations in the exact
+       engine: the minimality claim then rests on certified UNSATs. *)
+    let certify_config c =
+      if paranoid then { c with Physdesign.Exact.certify = true } else c
+    in
+    let describe_exact_failure = function
+      | Physdesign.Exact.No_layout { attempts; _ } ->
+          ( attempts,
+            0,
+            None,
+            Printf.sprintf
+              "proved no layout within its search bounds (%d candidate(s))"
+              attempts )
+      | Physdesign.Exact.Out_of_budget { reason; attempts; rounds; _ } ->
+          ( attempts,
+            rounds,
+            Some reason,
+            Printf.sprintf
+              "ran out of budget (%s) after %d candidate solve(s), %d \
+               escalation round(s)"
+              (Budget.reason_to_string reason)
+              attempts rounds )
+      | Physdesign.Exact.Certification_failed { message; _ } ->
+          (0, 0, None, "certification failed: " ^ message)
+    in
+    let record_exact (r : Physdesign.Exact.result) =
+      certified := !certified + r.Physdesign.Exact.certified_refutations;
+      if r.Physdesign.Exact.certified_refutations > 0 then
+        pass "candidate refutation proofs"
+    in
+    let pd =
+      match options.engine with
+      | Scalable -> (
+          match run_scalable () with
+          | Ok r ->
+              Ok
+                ( r.Physdesign.Scalable.layout,
+                  Used_scalable,
+                  0,
+                  0,
+                  Sat.Solver.empty_stats )
+          | Error e -> Error ("scalable physical design: " ^ e, None, 0, 0))
+      | Exact config -> (
+          let config = certify_config config in
+          match Physdesign.Exact.place_and_route ~config ~budget netlist with
+          | Ok r ->
+              record_exact r;
+              Ok
+                ( r.Physdesign.Exact.layout,
+                  Used_exact,
+                  r.Physdesign.Exact.attempts,
+                  r.Physdesign.Exact.rounds,
+                  r.Physdesign.Exact.stats )
+          | Error f ->
+              let attempts, rounds, reason, why = describe_exact_failure f in
+              Error
+                ("exact physical design " ^ why, reason, attempts, rounds))
+      | Exact_with_fallback config -> (
+          let config = certify_config config in
+          let exact_budget =
+            if budget.Budget.deadline = None then budget
+            else Budget.fraction 0.7 budget
+          in
+          match
+            Physdesign.Exact.place_and_route ~config ~budget:exact_budget
+              netlist
+          with
+          | Ok r ->
+              record_exact r;
+              Ok
+                ( r.Physdesign.Exact.layout,
+                  Used_exact,
+                  r.Physdesign.Exact.attempts,
+                  r.Physdesign.Exact.rounds,
+                  r.Physdesign.Exact.stats )
+          | Error (Physdesign.Exact.Certification_failed _ as f) ->
+              (* A rejected proof means the solver cannot be trusted on
+                 this run — falling back would hide that, so abort. *)
+              let attempts, rounds, reason, why = describe_exact_failure f in
+              Error
+                ("exact physical design " ^ why, reason, attempts, rounds)
+          | Error f -> (
+              let attempts, rounds, reason, why = describe_exact_failure f in
+              degrade
+                (Printf.sprintf
+                   "physical design: exact engine %s; degraded to the \
+                    scalable engine"
+                   why);
+              match run_scalable () with
+              | Ok r ->
+                  Ok
+                    ( r.Physdesign.Scalable.layout,
+                      Used_scalable,
+                      attempts,
+                      rounds,
+                      Sat.Solver.empty_stats )
+              | Error e ->
+                  Error
+                    ( "scalable fallback after exact engine also failed: " ^ e,
+                      reason,
+                      attempts,
+                      rounds )))
+    in
+    match pd with
+    | Error (message, budget_reason, attempts, rounds) ->
+        fail ?budget_reason Physical_design partial_synth
+          ~diagnostics:(Some (diag ~attempts ~rounds ()))
+          message
+    | Ok (gate_layout, engine_used, attempts, rounds, stats) ->
+        let physical_design_s = now () -. t1 in
+        let partial_pd =
+          { partial_synth with partial_layout = Some gate_layout }
+        in
+        let full_diag () = Some (diag ~engine_used ~attempts ~rounds ~stats ()) in
+        (* Post-route DRC: the quick check normally, the whole-layout
+           audit in paranoid mode — where any violation is fatal. *)
+        let drc_violations =
+          if paranoid then Layout.Design_rules.audit gate_layout
+          else Layout.Design_rules.check gate_layout
+        in
+        if paranoid then begin
+          match drc_violations with
+          | [] -> pass "post-route DRC audit"
+          | v :: _ ->
+              fail Design_rule_check partial_pd
+                ~diagnostics:(full_diag ())
+                (Printf.sprintf "%d violation(s), first: %s"
+                   (List.length drc_violations)
+                   (Format.asprintf "%a" Layout.Design_rules.pp_violation v))
+        end;
+        (* Step 5: formal verification under the grace budget: even when
+           physical design spent the deadline, the layout is still
+           checked (conflict-capped, cancellation honored).  Paranoid
+           runs always verify, with certificates, and replay every
+           certificate through the independent checker. *)
+        let t2 = now () in
+        let verify_budget = Budget.verification_grace budget in
+        let equivalence, certificate =
+          if paranoid then begin
             match
-              Physdesign.Exact.place_and_route ~config ~budget:exact_budget
-                netlist
+              Verify.Equivalence.check_layout_certified ~budget:verify_budget
+                specification gate_layout
             with
-            | Ok r ->
-                Ok
-                  ( r.Physdesign.Exact.layout,
-                    Used_exact,
-                    r.Physdesign.Exact.attempts,
-                    r.Physdesign.Exact.rounds,
-                    r.Physdesign.Exact.stats )
-            | Error f -> (
-                let attempts, rounds, reason, why = describe_exact_failure f in
+            | Error msg ->
+                fail Verification partial_pd ~diagnostics:(full_diag ())
+                  ("extraction: " ^ msg)
+            | Ok (verdict, cert) -> (
+                (match cert with
+                | None -> ()
+                | Some c -> (
+                    match Verify.Equivalence.replay c with
+                    | Ok () -> pass "equivalence certificate replay"
+                    | Error msg ->
+                        fail Certification partial_pd
+                          ~diagnostics:(full_diag ())
+                          ("certificate replay rejected: " ^ msg)));
+                match verdict with
+                | Verify.Equivalence.Equivalent -> (Some verdict, cert)
+                | Verify.Equivalence.Undecided r ->
+                    degrade
+                      (Printf.sprintf
+                         "verification: miter solve undecided (%s)"
+                         (Budget.reason_to_string r));
+                    (Some verdict, cert)
+                | Verify.Equivalence.Counterexample _ ->
+                    fail Verification partial_pd ~diagnostics:(full_diag ())
+                      (Verify.Equivalence.verdict_to_string verdict)
+                | Verify.Equivalence.Interface_mismatch _ ->
+                    fail Verification partial_pd ~diagnostics:(full_diag ())
+                      (Verify.Equivalence.verdict_to_string verdict))
+          end
+          else if options.check_equivalence then
+            match
+              Verify.Equivalence.check_layout ~budget:verify_budget
+                specification gate_layout
+            with
+            | Ok (Verify.Equivalence.Undecided r as verdict) ->
                 degrade
-                  (Printf.sprintf
-                     "physical design: exact engine %s; degraded to the \
-                      scalable engine"
-                     why);
-                match run_scalable () with
-                | Ok r ->
-                    Ok
-                      ( r.Physdesign.Scalable.layout,
-                        Used_scalable,
-                        attempts,
-                        rounds,
-                        Sat.Solver.empty_stats )
-                | Error e ->
-                    Error
-                      ( "scalable fallback after exact engine also failed: "
-                        ^ e,
-                        reason,
-                        attempts,
-                        rounds )))
-      in
-      match pd with
-      | Error (message, budget_reason, attempts, rounds) ->
-          Error
-            {
-              failed_step = Physical_design;
-              message;
-              budget_reason;
-              partial =
-                {
-                  partial_optimized = Some optimized;
-                  partial_mapped = Some mapped;
-                  partial_layout = None;
-                };
-              diagnostics = diag ~attempts ~rounds ();
-            }
-      | Ok (gate_layout, engine_used, attempts, rounds, stats) ->
-          let physical_design_s = now () -. t1 in
-          let drc_violations = Layout.Design_rules.check gate_layout in
-          (* Step 5: formal verification under the grace budget: even
-             when physical design spent the deadline, the layout is
-             still checked (conflict-capped, cancellation honored). *)
-          let t2 = now () in
-          let equivalence =
-            if options.check_equivalence then
-              match
-                Verify.Equivalence.check_layout
-                  ~budget:(Budget.verification_grace budget)
-                  specification gate_layout
-              with
-              | Ok (Verify.Equivalence.Undecided r as verdict) ->
-                  degrade
-                    (Printf.sprintf
-                       "verification: miter solve undecided (%s)"
-                       (Budget.reason_to_string r));
-                  Some verdict
-              | Ok verdict -> Some verdict
-              | Error msg ->
-                  Some
+                  (Printf.sprintf "verification: miter solve undecided (%s)"
+                     (Budget.reason_to_string r));
+                (Some verdict, None)
+            | Ok verdict -> (Some verdict, None)
+            | Error msg ->
+                ( Some
                     (Verify.Equivalence.Interface_mismatch
-                       ("extraction: " ^ msg))
-            else None
-          in
-          let verification_s = now () -. t2 in
-          (* Step 6: super-tile formation. *)
-          let supertiled =
-            if options.expand_supertiles then
-              Layout.Supertile.expand gate_layout
-            else gate_layout
-          in
-          (* Step 7: Bestagon library application. *)
-          let t3 = now () in
-          let sidb =
-            if options.apply_library then
-              match Bestagon.Library.apply supertiled with
-              | Ok l -> Some l
-              | Error _ -> None
-            else None
-          in
-          let library_s = now () -. t3 in
-          Ok
-            {
-              specification;
-              optimized;
-              mapped;
-              gate_layout;
-              supertiled;
-              drc_violations;
-              equivalence;
-              sidb;
-              timing =
-                { synthesis_s; physical_design_s; verification_s; library_s };
-              diagnostics =
-                diag ~engine_used ~attempts ~rounds ~stats ();
-            })
+                       ("extraction: " ^ msg)),
+                  None )
+          else (None, None)
+        in
+        let verification_s = now () -. t2 in
+        (* Step 6: super-tile formation. *)
+        let supertiled =
+          if options.expand_supertiles then Layout.Supertile.expand gate_layout
+          else gate_layout
+        in
+        if paranoid && options.expand_supertiles then begin
+          match Layout.Design_rules.audit supertiled with
+          | [] -> pass "super-tiled DRC audit"
+          | v :: rest ->
+              fail Design_rule_check partial_pd ~diagnostics:(full_diag ())
+                (Printf.sprintf "super-tiled layout: %d violation(s), first: %s"
+                   (List.length (v :: rest))
+                   (Format.asprintf "%a" Layout.Design_rules.pp_violation v))
+        end;
+        (* Step 7: Bestagon library application. *)
+        let t3 = now () in
+        let sidb =
+          if options.apply_library then
+            match Bestagon.Library.apply supertiled with
+            | Ok l -> Some l
+            | Error e ->
+                if paranoid then
+                  fail Library_application partial_pd
+                    ~diagnostics:(full_diag ()) e
+                else None
+          else None
+        in
+        (* Paranoid: whole-layout dangling-bond spacing check on the
+           final dot placement. *)
+        if paranoid then begin
+          match sidb with
+          | None -> ()
+          | Some l -> (
+              match
+                Bestagon.Geometry.spacing_violations l.Bestagon.Library.sites
+              with
+              | [] -> pass "DB spacing"
+              | (a, b, d) :: rest ->
+                  fail Design_rule_check partial_pd
+                    ~diagnostics:(full_diag ())
+                    (Printf.sprintf
+                       "%d dangling-bond pair(s) closer than %.2f A; first: \
+                        (%d,%d,%d)-(%d,%d,%d) at %.2f A"
+                       (List.length ((a, b, d) :: rest))
+                       Bestagon.Geometry.min_db_spacing a.Sidb.Lattice.n
+                       a.Sidb.Lattice.m a.Sidb.Lattice.l b.Sidb.Lattice.n
+                       b.Sidb.Lattice.m b.Sidb.Lattice.l d))
+        end;
+        let library_s = now () -. t3 in
+        Ok
+          {
+            specification;
+            optimized;
+            mapped;
+            gate_layout;
+            supertiled;
+            drc_violations;
+            equivalence;
+            certificate;
+            sidb;
+            checks = List.rev !checks;
+            timing =
+              { synthesis_s; physical_design_s; verification_s; library_s };
+            diagnostics = diag ~engine_used ~attempts ~rounds ~stats ();
+          }
+  with Fail f -> Error f
 
 let parse_failure message =
   {
@@ -344,17 +482,17 @@ let parse_failure message =
     diagnostics = empty_diagnostics;
   }
 
-let run_verilog ?options ?budget source =
+let run_verilog ?options ?paranoid ?budget source =
   match Logic.Verilog.parse source with
   | exception Logic.Verilog.Parse_error msg ->
       Error (parse_failure ("parse: " ^ msg))
-  | network -> run ?options ?budget network
+  | network -> run ?options ?paranoid ?budget network
 
-let run_benchmark ?options ?budget name =
+let run_benchmark ?options ?paranoid ?budget name =
   match Logic.Benchmarks.find name with
   | exception Not_found ->
       Error (parse_failure (Printf.sprintf "unknown benchmark %S" name))
-  | b -> run ?options ?budget (b.Logic.Benchmarks.build ())
+  | b -> run ?options ?paranoid ?budget (b.Logic.Benchmarks.build ())
 
 let export_sqd result ?(inputs = []) ~path () =
   match Bestagon.Library.apply ~inputs result.supertiled with
@@ -385,6 +523,13 @@ let pp_summary ppf r =
   List.iter
     (fun d -> Format.fprintf ppf "degradation: %s@." d)
     r.diagnostics.degradations;
+  (match r.checks with
+  | [] -> ()
+  | checks ->
+      Format.fprintf ppf "checks passed: %s@." (String.concat ", " checks));
+  if r.diagnostics.certified_refutations > 0 then
+    Format.fprintf ppf "certified refutations: %d@."
+      r.diagnostics.certified_refutations;
   Format.fprintf ppf "drc: %d violation(s)@." (List.length r.drc_violations);
   (match r.equivalence with
   | None -> ()
@@ -394,6 +539,15 @@ let pp_summary ppf r =
   | Some v ->
       Format.fprintf ppf "verification: %s@."
         (Verify.Equivalence.verdict_to_string v));
+  (match r.certificate with
+  | None -> ()
+  | Some c ->
+      Format.fprintf ppf "certificate: %s@."
+        (match c.Verify.Equivalence.evidence with
+        | Verify.Equivalence.Unsat_proof p ->
+            Printf.sprintf "miter UNSAT proof, %d step(s), replayed OK"
+              (Sat.Drat.num_steps p)
+        | Verify.Equivalence.Sat_model _ -> "miter model"));
   (match r.sidb with
   | None -> ()
   | Some l ->

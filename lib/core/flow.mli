@@ -29,7 +29,31 @@
     ({!Budget.verification_grace}), so a hard deadline on placement
     cannot silently skip the equivalence check.  Failures are structured
     ({!failure}): the step reached, budget state, partial artifacts, and
-    diagnostics. *)
+    diagnostics.
+
+    {2 Paranoid mode}
+
+    [run ~paranoid:true] cross-checks every stage boundary instead of
+    trusting the stage implementations:
+
+    - the rewritten network and the mapped netlist are re-simulated
+      against the source specification (exhaustive up to 12 inputs,
+      fixed-seed random vectors beyond — {!Verify.Resim});
+    - the exact engine runs with [certify = true]: every candidate-size
+      UNSAT is proof-checked by {!Sat.Drat} before the size is excluded,
+      and a rejected proof aborts the flow (no silent fallback);
+    - the whole-layout DRC {!Layout.Design_rules.audit} runs on the gate
+      layout and again after super-tiling; any violation is fatal;
+    - equivalence checking always runs, produces a
+      {!Verify.Equivalence.certificate}, and the certificate is replayed
+      through the independent checker;
+    - the final dot placement is swept for dangling-bond spacing
+      violations ({!Bestagon.Geometry.spacing_violations}).
+
+    Each passed check is recorded by name in [result.checks].  An
+    [Undecided] equivalence verdict is not an [Error] (the budget, not
+    the design, is at fault) but is recorded as a degradation — the CLI
+    maps it to a nonzero exit. *)
 
 type engine =
   | Exact of Physdesign.Exact.config
@@ -58,6 +82,10 @@ type step =
   | Verification
   | Supertiling
   | Library_application
+  | Design_rule_check  (** Paranoid-mode DRC audit (gate or dot level). *)
+  | Certification
+      (** A paranoid cross-check failed: re-simulation mismatch or a
+          rejected proof/certificate. *)
 
 val step_to_string : step -> string
 
@@ -73,6 +101,8 @@ type diagnostics = {
       (** Human-readable record of every degradation taken, in order. *)
   exact_attempts : int;  (** Candidate SAT solves by the exact engine. *)
   exact_rounds : int;  (** Budget-escalation rounds used. *)
+  certified_refutations : int;
+      (** Proof-checked candidate UNSATs (paranoid / [certify] runs). *)
   solver_stats : Sat.Solver.stats;
   elapsed_s : float;  (** Wall-clock seconds for the whole run. *)
 }
@@ -92,8 +122,17 @@ type result = {
   supertiled : Layout.Gate_layout.t;  (** After step 6 (same as
       [gate_layout] when expansion is off). *)
   drc_violations : Layout.Design_rules.violation list;
+      (** From {!Layout.Design_rules.check} normally,
+          {!Layout.Design_rules.audit} in paranoid mode (then always
+          [[]] in an [Ok] result — violations abort the run). *)
   equivalence : Verify.Equivalence.verdict option;
+  certificate : Verify.Equivalence.certificate option;
+      (** Equivalence certificate (paranoid runs; replayed before the
+          result is returned). *)
   sidb : Bestagon.Library.sidb_layout option;
+  checks : string list;
+      (** Names of the paranoid cross-checks that passed, in order;
+          [[]] outside paranoid mode. *)
   timing : timing;
   diagnostics : diagnostics;
 }
@@ -121,15 +160,25 @@ val pp_failure : Format.formatter -> failure -> unit
 
 val run :
   ?options:options ->
+  ?paranoid:bool ->
+  ?corrupt_mapped:(Logic.Mapped.t -> Logic.Mapped.t) ->
   ?budget:Budget.t ->
   Logic.Network.t ->
   (result, failure) Stdlib.result
 (** [Error] on physical-design failure (or a budget tripping before
     it); a failed equivalence check or DRC violations are reported in
-    the result, not as errors.  Never raises on budget conditions. *)
+    the result, not as errors.  Never raises on budget conditions.
+
+    With [~paranoid:true] (default [false]) every stage boundary is
+    cross-checked and any failed check is an [Error] at
+    {!Design_rule_check}, {!Certification}, or {!Verification} — see
+    the module preamble.  [corrupt_mapped] is a test hook applied to
+    the mapped netlist {e before} the paranoid mapping cross-check, to
+    prove injected corruption is caught at the boundary. *)
 
 val run_verilog :
   ?options:options ->
+  ?paranoid:bool ->
   ?budget:Budget.t ->
   string ->
   (result, failure) Stdlib.result
@@ -137,6 +186,7 @@ val run_verilog :
 
 val run_benchmark :
   ?options:options ->
+  ?paranoid:bool ->
   ?budget:Budget.t ->
   string ->
   (result, failure) Stdlib.result

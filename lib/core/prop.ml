@@ -1,0 +1,276 @@
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  (* splitmix64 (Steele, Lea & Flood): one 64-bit mix per draw, no
+     state beyond one word, and trivially splittable — exactly what a
+     reproducible fuzzer wants. *)
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Prop.Rng.int: bound <= 0";
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+  let bool t = Int64.logand (next t) 1L = 1L
+  let split t = { state = next t }
+end
+
+type 'a arbitrary = {
+  gen : Rng.t -> 'a;
+  shrink : 'a -> 'a list;
+  pp : Format.formatter -> 'a -> unit;
+}
+
+type 'a counterexample = {
+  original : 'a;
+  shrunk : 'a;
+  iteration : int;
+  shrink_steps : int;
+  reason : string;
+}
+
+type 'a outcome = Passed of int | Failed of 'a counterexample
+
+let run_property prop x =
+  match prop x with
+  | r -> r
+  | exception e -> Error ("exception: " ^ Printexc.to_string e)
+
+let check ~seed ~iterations arb prop =
+  let rng = Rng.create seed in
+  let rec iterate i =
+    if i >= iterations then Passed iterations
+    else
+      let x = arb.gen (Rng.split rng) in
+      match run_property prop x with
+      | Ok () -> iterate (i + 1)
+      | Error reason ->
+          (* Greedy shrink: move to the first smaller candidate that
+             still fails, repeat until all candidates pass. *)
+          let rec minimize x reason steps =
+            let failing =
+              List.find_map
+                (fun c ->
+                  match run_property prop c with
+                  | Ok () -> None
+                  | Error r -> Some (c, r))
+                (arb.shrink x)
+            in
+            match failing with
+            | None -> (x, reason, steps)
+            | Some (c, r) -> minimize c r (steps + 1)
+          in
+          let shrunk, reason, shrink_steps = minimize x reason 0 in
+          Failed { original = x; shrunk; iteration = i; shrink_steps; reason }
+  in
+  iterate 0
+
+let pp_outcome ~pp ~name ppf = function
+  | Passed n -> Format.fprintf ppf "%s: passed %d iteration(s)@." name n
+  | Failed c ->
+      Format.fprintf ppf
+        "%s: FAILED at iteration %d (%d shrink step(s))@.reason: %s@.%a@."
+        name c.iteration c.shrink_steps c.reason pp c.shrunk
+
+(* Removing the [i]-th element, for every [i]. *)
+let drop_each xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+(* {2 Random CNF} *)
+
+type cnf = { nvars : int; clauses : int list list }
+
+let gen_cnf rng =
+  let nvars = 1 + Rng.int rng 8 in
+  let nclauses = 1 + Rng.int rng 24 in
+  let clause () =
+    List.init
+      (1 + Rng.int rng 4)
+      (fun _ ->
+        let v = 1 + Rng.int rng nvars in
+        if Rng.bool rng then v else -v)
+  in
+  { nvars; clauses = List.init nclauses (fun _ -> clause ()) }
+
+let shrink_cnf f =
+  let fewer_clauses =
+    List.map (fun clauses -> { f with clauses }) (drop_each f.clauses)
+  in
+  let shorter_clauses =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           if List.length c <= 1 then []
+           else
+             List.map
+               (fun c' ->
+                 {
+                   f with
+                   clauses = List.mapi (fun j c0 -> if j = i then c' else c0) f.clauses;
+                 })
+               (drop_each c))
+         f.clauses)
+  in
+  fewer_clauses @ shorter_clauses
+
+let pp_cnf ppf f =
+  Format.fprintf ppf "p cnf %d %d@." f.nvars (List.length f.clauses);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Format.fprintf ppf "%d " l) c;
+      Format.fprintf ppf "0@.")
+    f.clauses
+
+let cnf = { gen = gen_cnf; shrink = shrink_cnf; pp = pp_cnf }
+
+let brute_force_sat f =
+  let n = f.nvars in
+  let sat_under m =
+    List.for_all
+      (fun c ->
+        List.exists
+          (fun l ->
+            let v = abs l - 1 in
+            let value = (m lsr v) land 1 = 1 in
+            if l > 0 then value else not value)
+          c)
+      f.clauses
+  in
+  let rec try_m m = m < 1 lsl n && (sat_under m || try_m (m + 1)) in
+  try_m 0
+
+(* {2 Random XAG recipes} *)
+
+type xag_gate = { op_is_xor : bool; a : int; b : int; na : bool; nb : bool }
+
+type xag_recipe = {
+  xag_inputs : int;
+  xag_gates : xag_gate list;
+  out_negate : bool;
+}
+
+let gen_xag rng =
+  let xag_inputs = 1 + Rng.int rng 5 in
+  let ngates = 1 + Rng.int rng 12 in
+  let gate () =
+    {
+      op_is_xor = Rng.bool rng;
+      a = Rng.int rng 64;
+      b = Rng.int rng 64;
+      na = Rng.bool rng;
+      nb = Rng.bool rng;
+    }
+  in
+  { xag_inputs; xag_gates = List.init ngates (fun _ -> gate ()); out_negate = Rng.bool rng }
+
+let shrink_xag r =
+  let fewer =
+    if List.length r.xag_gates <= 1 then []
+    else List.map (fun g -> { r with xag_gates = g }) (drop_each r.xag_gates)
+  in
+  let plain g = { g with na = false; nb = false } in
+  let uncomplemented =
+    if
+      r.out_negate
+      || List.exists (fun g -> g.na || g.nb) r.xag_gates
+    then
+      [
+        {
+          r with
+          xag_gates = List.map plain r.xag_gates;
+          out_negate = false;
+        };
+      ]
+    else []
+  in
+  fewer @ uncomplemented
+
+let pp_xag ppf r =
+  Format.fprintf ppf "xag: %d input(s), out_negate=%b@." r.xag_inputs
+    r.out_negate;
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "  %s %s%d %s%d@."
+        (if g.op_is_xor then "xor" else "and")
+        (if g.na then "!" else "")
+        g.a
+        (if g.nb then "!" else "")
+        g.b)
+    r.xag_gates
+
+let xag = { gen = gen_xag; shrink = shrink_xag; pp = pp_xag }
+
+let build_xag r =
+  let n = Logic.Network.create () in
+  let slots =
+    ref
+      (List.rev
+         (List.init r.xag_inputs (fun i ->
+              Logic.Network.pi n (Printf.sprintf "x%d" i))))
+  in
+  (* [slots] is most-recent-first; operand indices address it mod its
+     length, so dropping a gate during shrinking re-targets later
+     references instead of invalidating them. *)
+  let resolve i = List.nth !slots (i mod List.length !slots) in
+  List.iter
+    (fun g ->
+      let a = resolve g.a and b = resolve g.b in
+      let a = if g.na then Logic.Network.not_ a else a in
+      let b = if g.nb then Logic.Network.not_ b else b in
+      let s =
+        if g.op_is_xor then Logic.Network.xor_ n a b
+        else Logic.Network.and_ n a b
+      in
+      slots := s :: !slots)
+    r.xag_gates;
+  let out = List.hd !slots in
+  let out = if r.out_negate then Logic.Network.not_ out else out in
+  Logic.Network.po n "f0" out;
+  if List.length r.xag_gates >= 2 then
+    Logic.Network.po n "f1"
+      (List.nth !slots (List.length r.xag_gates / 2));
+  n
+
+(* {2 Random defect-injection parameters} *)
+
+let gen_defect_params rng =
+  {
+    Sidb.Defects.missing = Rng.int rng 3;
+    extra = Rng.int rng 3;
+    charged = Rng.int rng 2;
+    trials = 1 + Rng.int rng 4;
+    seed = Rng.int rng 10_000;
+  }
+
+let shrink_defect_params (p : Sidb.Defects.params) =
+  let open Sidb.Defects in
+  List.filter_map
+    (fun q -> if q = p then None else Some q)
+    [
+      { p with missing = 0 };
+      { p with extra = 0 };
+      { p with charged = 0 };
+      { p with trials = 1 };
+      { p with seed = 0 };
+    ]
+
+let pp_defect_params ppf (p : Sidb.Defects.params) =
+  Format.fprintf ppf
+    "defects: missing=%d extra=%d charged=%d trials=%d seed=%d"
+    p.Sidb.Defects.missing p.Sidb.Defects.extra p.Sidb.Defects.charged
+    p.Sidb.Defects.trials p.Sidb.Defects.seed
+
+let defect_params =
+  {
+    gen = gen_defect_params;
+    shrink = shrink_defect_params;
+    pp = pp_defect_params;
+  }

@@ -1,0 +1,108 @@
+(** Hand-rolled property-based testing for the fuzz harness.
+
+    A deliberately small qcheck-alike with the three ingredients the
+    fuzzer needs and nothing else: a splittable deterministic PRNG
+    (splitmix64 — fixed seeds give identical runs on every platform), a
+    generator + shrinker + printer bundle ({!arbitrary}), and a driver
+    ({!check}) that greedily shrinks the first failing input before
+    reporting it.
+
+    Domain generators live here too so both the fuzz executable and the
+    unit tests can reach them: random CNF formulas, random XAG build
+    recipes, and random defect-injection parameter sets. *)
+
+(** Deterministic splitmix64 PRNG. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+  (** Seeded stream; equal seeds give equal streams. *)
+
+  val int : t -> int -> int
+  (** [int t bound] is uniform in [\[0, bound)].
+      @raise Invalid_argument when [bound <= 0]. *)
+
+  val bool : t -> bool
+
+  val split : t -> t
+  (** An independent stream derived from (and advancing) [t]. *)
+end
+
+type 'a arbitrary = {
+  gen : Rng.t -> 'a;
+  shrink : 'a -> 'a list;
+      (** Strictly-smaller candidates to try when ['a] fails a property;
+          [[]] stops shrinking.  Candidates are tried in order. *)
+  pp : Format.formatter -> 'a -> unit;
+}
+
+type 'a counterexample = {
+  original : 'a;  (** The input as generated. *)
+  shrunk : 'a;  (** After greedy shrinking (== [original] if none). *)
+  iteration : int;  (** 0-based iteration that failed. *)
+  shrink_steps : int;
+  reason : string;  (** Property's message for the {e shrunk} input. *)
+}
+
+type 'a outcome = Passed of int | Failed of 'a counterexample
+
+val check :
+  seed:int ->
+  iterations:int ->
+  'a arbitrary ->
+  ('a -> (unit, string) result) ->
+  'a outcome
+(** Run the property on [iterations] generated inputs.  On the first
+    failure, shrink greedily: repeatedly move to the first shrink
+    candidate that still fails, until none does.  A property that raises
+    is treated as failing with the exception text. *)
+
+val pp_outcome :
+  pp:(Format.formatter -> 'a -> unit) ->
+  name:string ->
+  Format.formatter ->
+  'a outcome ->
+  unit
+(** One line for [Passed]; the shrunk counterexample for [Failed]. *)
+
+(** {2 Domain generators} *)
+
+type cnf = {
+  nvars : int;
+  clauses : int list list;  (** DIMACS literals, no zeros. *)
+}
+
+val cnf : cnf arbitrary
+(** Up to 8 variables and 24 clauses of 1–4 literals — small enough to
+    brute-force an oracle verdict over all assignments.  Shrinks by
+    dropping clauses, then literals. *)
+
+val brute_force_sat : cnf -> bool
+(** Oracle: try all [2^nvars] assignments. *)
+
+type xag_gate = {
+  op_is_xor : bool;
+  a : int;  (** Operand slot, taken modulo the slots built so far. *)
+  b : int;
+  na : bool;  (** Complement flags on the operands. *)
+  nb : bool;
+}
+
+type xag_recipe = {
+  xag_inputs : int;  (** 1–5 primary inputs. *)
+  xag_gates : xag_gate list;
+  out_negate : bool;  (** Complement the last primary output. *)
+}
+
+val xag : xag_recipe arbitrary
+(** Random XAG build recipes.  Shrinks by dropping gates and clearing
+    complement flags. *)
+
+val build_xag : xag_recipe -> Logic.Network.t
+(** Materialize a recipe: PIs [x0..], gate slots referenced modulo the
+    prefix built so far, POs [f0] (last slot) and [f1] (middle slot,
+    when at least two gates exist). *)
+
+val defect_params : Sidb.Defects.params arbitrary
+(** Small defect-injection parameter sets (0–2 defects of each kind,
+    1–4 trials).  Shrinks every count toward zero. *)

@@ -94,6 +94,87 @@ let check ?(require_border_io = true) layout =
       end);
   List.rev !violations
 
+let audit ?require_border_io layout =
+  let local = check ?require_border_io layout in
+  let violations = ref [] in
+  let report at rule message =
+    violations := { at; rule; message } :: !violations
+  in
+  let origin : Coord.offset = { col = 0; row = 0 } in
+  let pis = Gate_layout.pis layout and pos = Gate_layout.pos layout in
+  if pis = [] then report origin "audit" "layout has no input pads";
+  if pos = [] then report origin "audit" "layout has no output pads";
+  (* Pad names must be unique within each class. *)
+  let check_unique kind pads =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (c, name) ->
+        if Hashtbl.mem seen name then
+          report c "audit" (Printf.sprintf "duplicate %s pad %S" kind name)
+        else Hashtbl.add seen name ())
+      pads
+  in
+  check_unique "input" pis;
+  check_unique "output" pos;
+  (* Occupancy sweep plus the two reachability passes: every non-empty
+     tile must be fed (transitively) by some input pad and must feed
+     some output pad — routed-but-disconnected logic is a silent
+     correctness hazard that per-tile border checks cannot see. *)
+  let occupied = ref [] in
+  Gate_layout.iter layout (fun c tile ->
+      if not (Tile.is_empty tile) then occupied := c :: !occupied);
+  let bfs starts next =
+    let visited = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem visited c) then begin
+          Hashtbl.add visited c ();
+          Queue.add c queue
+        end)
+      starts;
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      List.iter
+        (fun n ->
+          if not (Hashtbl.mem visited n) then begin
+            Hashtbl.add visited n ();
+            Queue.add n queue
+          end)
+        (next c)
+    done;
+    visited
+  in
+  let forward c =
+    (* Tiles consuming a signal this tile emits. *)
+    List.filter_map
+      (fun d ->
+        let n = D.neighbor_offset c d in
+        if
+          Gate_layout.in_bounds layout n
+          && List.exists
+               (D.equal (D.opposite d))
+               (Tile.inputs (Gate_layout.get layout n))
+        then Some n
+        else None)
+      (Tile.outputs (Gate_layout.get layout c))
+  in
+  let backward c =
+    List.filter_map
+      (fun d -> Option.map fst (Gate_layout.signal_source layout c d))
+      (Tile.inputs (Gate_layout.get layout c))
+  in
+  let from_pis = bfs (List.map fst pis) forward in
+  let to_pos = bfs (List.map fst pos) backward in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem from_pis c) then
+        report c "audit" "tile is not reachable from any input pad"
+      else if not (Hashtbl.mem to_pos c) then
+        report c "audit" "tile does not reach any output pad")
+    (List.rev !occupied);
+  local @ List.rev !violations
+
 let is_clean ?require_border_io layout = check ?require_border_io layout = []
 
 let pp_violation ppf v =

@@ -25,6 +25,14 @@ val check : ?require_border_io:bool -> Gate_layout.t -> violation list
 (** All violations ([] means the layout is clean).  [require_border_io]
     defaults to [true]. *)
 
+val audit : ?require_border_io:bool -> Gate_layout.t -> violation list
+(** Everything {!check} reports plus whole-layout properties (rule
+    ["audit"]): the layout has at least one input and one output pad,
+    pad names are unique within each class, and every occupied tile both
+    is reachable from an input pad and reaches an output pad along the
+    tile connection graph.  Run post-route on every produced layout in
+    paranoid mode. *)
+
 val is_clean : ?require_border_io:bool -> Gate_layout.t -> bool
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -8,6 +8,7 @@ type config = {
   conflict_budget : int option;
   max_rounds : int;
   max_open_instances : int;
+  certify : bool;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     conflict_budget = None;
     max_rounds = 8;
     max_open_instances = 8;
+    certify = false;
   }
 
 type result = {
@@ -26,6 +28,7 @@ type result = {
   attempts : int;
   rounds : int;
   budget_exhausted : bool;
+  certified_refutations : int;
   stats : Sat.Solver.stats;
 }
 
@@ -37,9 +40,13 @@ type failure =
       rounds : int;
       message : string;
     }
+  | Certification_failed of { width : int; height : int; message : string }
 
 let failure_message = function
-  | No_layout { message; _ } | Out_of_budget { message; _ } -> message
+  | No_layout { message; _ }
+  | Out_of_budget { message; _ }
+  | Certification_failed { message; _ } ->
+      message
 
 (* Allowed rows per node kind: pads on the borders, logic in between. *)
 let allowed_row netlist node ~height row =
@@ -70,13 +77,18 @@ let predecessors ~width (c : Coord.offset) =
 (* One candidate size as a resumable SAT instance: the encoding is built
    once, and [Unknown] solves can be resumed with a larger budget while
    keeping every learned clause. *)
-type instance = { solver : Sat.Solver.t; decode : unit -> GL.t }
+type instance = {
+  solver : Sat.Solver.t;
+  cnf : Sat.Cnf.t;
+  decode : unit -> GL.t;
+}
 
-let make_instance ~width ~height netlist =
+let make_instance ?(certify = false) ~width ~height netlist =
   let nn = Netlist.num_nodes netlist in
   let edges = Netlist.edges netlist in
   let ne = Array.length edges in
   let f = Sat.Cnf.create () in
+  if certify then Sat.Solver.enable_proof (Sat.Cnf.solver f);
   let tile_index (c : Coord.offset) = (c.row * width) + c.col in
   let tiles =
     List.concat
@@ -330,7 +342,7 @@ let make_instance ~width ~height netlist =
         wire_segments;
       layout
   in
-  { solver; decode }
+  { solver; cnf = f; decode }
 
 let solve_fixed ?budget ~width ~height netlist =
   let inst = make_instance ~width ~height netlist in
@@ -403,6 +415,7 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
         else None
   in
   let attempts = ref 0 in
+  let certified = ref 0 in
   let closed_stats = ref Sat.Solver.empty_stats in
   (* Conflicts spent by this call, against [budget.conflicts]. *)
   let spent = ref 0 in
@@ -448,10 +461,40 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
         attempts = !attempts;
         rounds = round + 1;
         budget_exhausted = not minimal;
+        certified_refutations = !certified;
         stats = total_stats ();
       }
   in
   let exception Done of (result, failure) Stdlib.result in
+  (* With [config.certify], every per-candidate refutation must be
+     backed by a checker-accepted DRAT proof before the candidate may be
+     excluded — otherwise the "first satisfiable size is area-minimal"
+     claim rests on an unchecked solver answer. *)
+  let certify_refutation c inst =
+    if config.certify then begin
+      let proof = Sat.Solver.proof inst.solver in
+      match
+        Sat.Drat.check
+          ~nvars:(Sat.Cnf.num_vars inst.cnf)
+          ~clauses:(Sat.Cnf.clauses inst.cnf)
+          proof
+      with
+      | Sat.Drat.Valid -> incr certified
+      | Sat.Drat.Invalid _ as r ->
+          raise
+            (Done
+               (Error
+                  (Certification_failed
+                     {
+                       width = c.w;
+                       height = c.h;
+                       message =
+                         Format.asprintf
+                           "UNSAT proof for candidate %dx%d rejected: %a"
+                           c.w c.h Sat.Drat.pp_result r;
+                     })))
+    end
+  in
   try
     let round = ref 0 in
     let unresolved = ref true in
@@ -498,7 +541,8 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
                 | Open inst -> inst
                 | _ ->
                     let inst =
-                      make_instance ~width:c.w ~height:c.h netlist
+                      make_instance ~certify:config.certify ~width:c.w
+                        ~height:c.h netlist
                     in
                     c.state <- Open inst;
                     incr open_count;
@@ -524,6 +568,7 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
               match verdict with
               | Sat.Solver.Sat -> raise (Done (solved c inst !round))
               | Sat.Solver.Unsat ->
+                  certify_refutation c inst;
                   closed_stats :=
                     Sat.Solver.add_stats !closed_stats
                       (Sat.Solver.stats inst.solver);

@@ -44,6 +44,12 @@ type config = {
       (** Maximum simultaneously kept incremental SAT instances; further
           candidate sizes are deferred until the window advances.
           Default 8. *)
+  certify : bool;
+      (** Log a DRAT proof per candidate instance and verify every UNSAT
+          refutation with the independent {!Sat.Drat} checker before the
+          candidate size is excluded — the minimality claim then rests
+          only on checked proofs.  A rejected proof aborts the search
+          with {!Certification_failed}.  Default [false]. *)
 }
 
 val default_config : config
@@ -57,6 +63,9 @@ type result = {
   budget_exhausted : bool;
       (** Some smaller-area candidate was still unresolved when this
           layout was found, voiding the minimality claim. *)
+  certified_refutations : int;
+      (** Refuted candidate sizes whose UNSAT answer was proof-checked
+          (always 0 unless [config.certify]). *)
   stats : Sat.Solver.stats;  (** Aggregated over all candidate solvers. *)
 }
 
@@ -69,6 +78,10 @@ type failure =
       rounds : int;
       message : string;
     }  (** The budget ran dry with candidates still unresolved. *)
+  | Certification_failed of { width : int; height : int; message : string }
+      (** [config.certify] only: the solver claimed UNSAT for a
+          candidate size but the {!Sat.Drat} checker rejected its proof
+          — the solver cannot be trusted on this run. *)
 
 val failure_message : failure -> string
 

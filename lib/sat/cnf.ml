@@ -6,6 +6,8 @@ type t = {
 
 let create () = { solver = Solver.create (); clauses = []; true_lit = None }
 let solver f = f.solver
+let clauses f = List.rev f.clauses
+let num_vars f = Solver.num_vars f.solver
 let fresh f = Solver.new_var f.solver
 let fresh_many f n = Array.init n (fun _ -> fresh f)
 

@@ -10,6 +10,13 @@ type t
 val create : unit -> t
 val solver : t -> Solver.t
 
+val clauses : t -> Solver.lit list list
+(** All problem clauses added through this interface, in insertion
+    order — the formula a {!Drat} proof is checked against. *)
+
+val num_vars : t -> int
+(** Variables allocated in the underlying solver. *)
+
 val fresh : t -> Solver.lit
 (** A fresh variable as a positive literal. *)
 

@@ -1,0 +1,373 @@
+(* RUP/DRAT proof checking, independent of the CDCL solver.
+
+   The checker maintains its own clause database and two-watched-literal
+   propagation engine.  Root-level assignments (units of the formula and
+   units derived while adding verified lemmas) are permanent; the
+   assumptions of each reverse-unit-propagation test are pushed on top
+   of them and rolled back afterwards. *)
+
+type step = Add of int list | Delete of int list
+type proof = step list
+
+type check_result =
+  | Valid
+  | Invalid of { step : int; reason : string }
+
+let num_steps = List.length
+
+let num_additions p =
+  List.fold_left
+    (fun n -> function Add _ -> n + 1 | Delete _ -> n)
+    0 p
+
+(* --- growable int vector ------------------------------------------------ *)
+
+module Ivec = struct
+  type t = { mutable data : int array; mutable size : int }
+
+  let create () = { data = Array.make 8 0; size = 0 }
+
+  let push v x =
+    if v.size >= Array.length v.data then begin
+      let bigger = Array.make (2 * Array.length v.data) 0 in
+      Array.blit v.data 0 bigger 0 v.size;
+      v.data <- bigger
+    end;
+    v.data.(v.size) <- x;
+    v.size <- v.size + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.size
+  let shrink v n = v.size <- n
+end
+
+(* --- checker state ------------------------------------------------------ *)
+
+type clause_rec = {
+  mutable lits : int array;  (* DIMACS literals; watches at 0 and 1 *)
+  mutable deleted : bool;
+  watched : bool;  (* false: satisfied-at-root, unit, or tautology *)
+}
+
+type state = {
+  mutable clauses : clause_rec array;
+  mutable clause_count : int;
+  mutable watches : Ivec.t array;  (* per literal index *)
+  mutable assign : int array;  (* per var-1: 0 unset / 1 true / -1 false *)
+  mutable nvars : int;
+  trail : Ivec.t;
+  mutable qhead : int;
+  (* Sorted-literal key -> stack of clause ids, for deletion matching. *)
+  keys : (int list, int list ref) Hashtbl.t;
+  mutable root_conflict : bool;
+}
+
+let lit_index l = (2 * (abs l - 1)) + if l < 0 then 1 else 0
+
+let create_state nvars =
+  let n = max 1 nvars in
+  {
+    clauses = Array.make 64 { lits = [||]; deleted = true; watched = false };
+    clause_count = 0;
+    watches = Array.init (2 * n) (fun _ -> Ivec.create ());
+    assign = Array.make n 0;
+    nvars = n;
+    trail = Ivec.create ();
+    qhead = 0;
+    keys = Hashtbl.create 256;
+    root_conflict = false;
+  }
+
+let ensure_var st v =
+  if v > st.nvars then begin
+    let n = max v (2 * st.nvars) in
+    let assign = Array.make n 0 in
+    Array.blit st.assign 0 assign 0 st.nvars;
+    st.assign <- assign;
+    let watches =
+      Array.init (2 * n) (fun i ->
+          if i < Array.length st.watches then st.watches.(i)
+          else Ivec.create ())
+    in
+    st.watches <- watches;
+    st.nvars <- n
+  end
+
+(* 1 true, -1 false, 0 unassigned. *)
+let value st l =
+  let a = st.assign.(abs l - 1) in
+  if a = 0 then 0 else if (a > 0) = (l > 0) then 1 else -1
+
+let enqueue st l =
+  st.assign.(abs l - 1) <- (if l > 0 then 1 else -1);
+  Ivec.push st.trail l
+
+let alloc st lits watched =
+  if st.clause_count >= Array.length st.clauses then begin
+    let bigger =
+      Array.make (2 * Array.length st.clauses)
+        { lits = [||]; deleted = true; watched = false }
+    in
+    Array.blit st.clauses 0 bigger 0 st.clause_count;
+    st.clauses <- bigger
+  end;
+  let id = st.clause_count in
+  st.clauses.(id) <- { lits; deleted = false; watched };
+  st.clause_count <- id + 1;
+  id
+
+let watch st id =
+  let c = st.clauses.(id) in
+  Ivec.push st.watches.(lit_index (-c.lits.(0))) id;
+  Ivec.push st.watches.(lit_index (-c.lits.(1))) id
+
+(* Two-watched-literal propagation from the current queue head.  Returns
+   [true] on conflict.  Watch moves performed under temporary
+   assumptions stay sound after rollback: the invariant (a watched
+   literal is non-false or the clause is unit/satisfied) can only get
+   weaker-to-stronger as assignments are undone. *)
+let propagate st =
+  let conflict = ref false in
+  while (not !conflict) && st.qhead < Ivec.size st.trail do
+    let p = Ivec.get st.trail st.qhead in
+    st.qhead <- st.qhead + 1;
+    let ws = st.watches.(lit_index p) in
+    let n = Ivec.size ws in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let id = Ivec.get ws !i in
+      incr i;
+      let c = st.clauses.(id) in
+      if c.deleted then () (* drop from the watch list *)
+      else begin
+        let false_lit = -p in
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        if value st c.lits.(0) = 1 then begin
+          Ivec.set ws !keep id;
+          incr keep
+        end
+        else begin
+          let len = Array.length c.lits in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < len do
+            if value st c.lits.(!k) <> -1 then begin
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- false_lit;
+              Ivec.push st.watches.(lit_index (-c.lits.(1))) id;
+              found := true
+            end;
+            incr k
+          done;
+          if not !found then begin
+            Ivec.set ws !keep id;
+            incr keep;
+            if value st c.lits.(0) = -1 then begin
+              conflict := true;
+              while !i < n do
+                Ivec.set ws !keep (Ivec.get ws !i);
+                incr keep;
+                incr i
+              done;
+              st.qhead <- Ivec.size st.trail
+            end
+            else enqueue st c.lits.(0)
+          end
+        end
+      end
+    done;
+    Ivec.shrink ws !keep
+  done;
+  !conflict
+
+let rollback st saved =
+  for i = Ivec.size st.trail - 1 downto saved do
+    st.assign.(abs (Ivec.get st.trail i) - 1) <- 0
+  done;
+  Ivec.shrink st.trail saved;
+  st.qhead <- saved
+
+let normalize lits =
+  let sorted = List.sort_uniq compare lits in
+  let tautology = List.exists (fun l -> List.mem (-l) sorted) sorted in
+  (sorted, tautology)
+
+let register_key st key id =
+  match Hashtbl.find_opt st.keys key with
+  | Some ids -> ids := id :: !ids
+  | None -> Hashtbl.add st.keys key (ref [ id ])
+
+(* Add a clause (formula or verified lemma) under the current root
+   assignment, propagating any resulting units permanently. *)
+let add_clause st lits =
+  List.iter (fun l -> ensure_var st (abs l)) lits;
+  let key, tautology = normalize lits in
+  if tautology then begin
+    let id = alloc st [||] false in
+    st.clauses.(id).deleted <- true;
+    register_key st key id
+  end
+  else begin
+    let non_false = List.filter (fun l -> value st l <> -1) key in
+    let satisfied = List.exists (fun l -> value st l = 1) key in
+    if satisfied then register_key st key (alloc st (Array.of_list key) false)
+    else
+      match non_false with
+      | [] ->
+          register_key st key (alloc st (Array.of_list key) false);
+          st.root_conflict <- true
+      | [ l ] ->
+          register_key st key (alloc st (Array.of_list key) false);
+          enqueue st l;
+          if propagate st then st.root_conflict <- true
+      | l1 :: l2 :: _ ->
+          (* Watch two non-false literals. *)
+          let rest =
+            List.filter (fun l -> l <> l1 && l <> l2) key
+          in
+          let arr = Array.of_list (l1 :: l2 :: rest) in
+          let id = alloc st arr true in
+          register_key st key id;
+          watch st id
+  end
+
+let delete_clause st lits =
+  let key, _ = normalize lits in
+  match Hashtbl.find_opt st.keys key with
+  | None -> () (* unknown deletions are ignored, like drat-trim *)
+  | Some ids ->
+      let rec pick = function
+        | [] -> []
+        | id :: rest ->
+            if not st.clauses.(id).deleted then begin
+              st.clauses.(id).deleted <- true;
+              rest
+            end
+            else id :: pick rest
+      in
+      ids := pick !ids
+
+(* Reverse-unit-propagation test of a lemma. *)
+let rup st lits =
+  if st.root_conflict then true
+  else begin
+    let key, tautology = normalize lits in
+    if tautology then true
+    else if List.exists (fun l -> value st l = 1) key then true
+    else begin
+      let saved = Ivec.size st.trail in
+      List.iter (fun l -> if value st l = 0 then enqueue st (-l)) key;
+      let conflict = propagate st in
+      rollback st saved;
+      conflict
+    end
+  end
+
+let check ~nvars ~clauses proof =
+  let st = create_state nvars in
+  List.iter (fun c -> add_clause st c) clauses;
+  let result = ref None in
+  let stepno = ref (-1) in
+  (try
+     List.iter
+       (fun step ->
+         incr stepno;
+         match step with
+         | Delete lits -> delete_clause st lits
+         | Add lits ->
+             if not (rup st lits) then begin
+               result :=
+                 Some
+                   (Invalid
+                      {
+                        step = !stepno;
+                        reason =
+                          Printf.sprintf
+                            "clause {%s} is not a reverse-unit-propagation \
+                             consequence"
+                            (String.concat " "
+                               (List.map string_of_int lits));
+                      });
+               raise Exit
+             end
+             else if lits = [] || st.root_conflict then begin
+               result := Some Valid;
+               raise Exit
+             end
+             else add_clause st lits)
+       proof
+   with Exit -> ());
+  match !result with
+  | Some r -> r
+  | None ->
+      if st.root_conflict then Valid
+      else
+        Invalid
+          { step = -1; reason = "proof does not derive the empty clause" }
+
+let is_valid ~nvars ~clauses proof = check ~nvars ~clauses proof = Valid
+
+(* --- textual DRAT format ------------------------------------------------ *)
+
+let to_string proof =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun step ->
+      let lits =
+        match step with
+        | Add lits -> lits
+        | Delete lits ->
+            Buffer.add_string buf "d ";
+            lits
+      in
+      List.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int l);
+          Buffer.add_char buf ' ')
+        lits;
+      Buffer.add_string buf "0\n")
+    proof;
+  Buffer.contents buf
+
+let of_string text =
+  let steps = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else begin
+        let toks =
+          String.split_on_char ' ' line |> List.filter (( <> ) "")
+        in
+        let deletion, toks =
+          match toks with "d" :: rest -> (true, rest) | _ -> (false, toks)
+        in
+        let lits =
+          List.map
+            (fun tok ->
+              match int_of_string_opt tok with
+              | Some l -> l
+              | None -> failwith "Drat.of_string: bad literal")
+            toks
+        in
+        match List.rev lits with
+        | 0 :: rev_lits ->
+            let lits = List.rev rev_lits in
+            if List.mem 0 lits then
+              failwith "Drat.of_string: literal 0 inside a clause";
+            steps := (if deletion then Delete lits else Add lits) :: !steps
+        | _ -> failwith "Drat.of_string: unterminated clause"
+      end)
+    (String.split_on_char '\n' text);
+  List.rev !steps
+
+let pp_result ppf = function
+  | Valid -> Format.pp_print_string ppf "valid"
+  | Invalid { step; reason } ->
+      if step < 0 then Format.fprintf ppf "invalid (%s)" reason
+      else Format.fprintf ppf "invalid at step %d (%s)" step reason

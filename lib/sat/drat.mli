@@ -1,0 +1,52 @@
+(** DRAT-style clause proofs and an independent RUP proof checker.
+
+    A proof is the sequence of clause additions and deletions a solver
+    performed on its way to an UNSAT verdict.  Each added clause must be
+    a {e reverse unit propagation} (RUP) consequence of the formula plus
+    the previously added clauses: assuming the negation of every literal
+    of the clause and unit-propagating must yield a conflict.  CDCL
+    learned clauses (including minimized first-UIP clauses) always have
+    this property, so a proof logged by {!Solver} is checkable here
+    without trusting any of the solver's internals — the checker has its
+    own, completely separate, propagation engine.
+
+    The format is the RUP fragment of standard DRAT; {!to_string} and
+    {!of_string} use the usual textual encoding (one clause per line,
+    [0]-terminated, deletions prefixed with [d]) so proofs can be
+    exchanged with external tools. *)
+
+type step =
+  | Add of int list  (** Learned clause, DIMACS literals. *)
+  | Delete of int list  (** Clause removed from the solver's database. *)
+
+type proof = step list
+
+type check_result =
+  | Valid
+      (** The proof derives the empty clause; every addition passed the
+          RUP test. *)
+  | Invalid of { step : int; reason : string }
+      (** [step] is the 0-based index of the offending proof step, or
+          [-1] when the problem is with the proof as a whole (e.g. no
+          empty clause was ever derived). *)
+
+val check : nvars:int -> clauses:int list list -> proof -> check_result
+(** [check ~nvars ~clauses proof] verifies that [proof] establishes the
+    unsatisfiability of the CNF [clauses] over variables [1..nvars].
+    Runs in time polynomial in the proof length; independent of
+    {!Solver}. *)
+
+val is_valid : nvars:int -> clauses:int list list -> proof -> bool
+
+val num_steps : proof -> int
+val num_additions : proof -> int
+
+val to_string : proof -> string
+(** Standard DRAT text: additions as [l1 .. lk 0], deletions as
+    [d l1 .. lk 0], one step per line. *)
+
+val of_string : string -> proof
+(** Parse DRAT text ([c] comment lines are ignored).
+    @raise Failure on malformed input. *)
+
+val pp_result : Format.formatter -> check_result -> unit

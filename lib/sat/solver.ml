@@ -77,6 +77,8 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable restarts : int;
+  (* Proof logging: steps in reverse order when enabled. *)
+  mutable proof : Drat.step list option;
 }
 
 let var_decay = 1. /. 0.95
@@ -114,6 +116,7 @@ let create () =
     decisions = 0;
     propagations = 0;
     restarts = 0;
+    proof = None;
   }
 
 (* --- variable heap ordered by activity (max-heap) ------------------- *)
@@ -242,6 +245,33 @@ let lit_neg l = l lxor 1
 let lit_value s l =
   let a = s.assign.(lit_var l) in
   if a < 0 then -1 else a lxor (l land 1)
+
+(* --- proof logging ----------------------------------------------------- *)
+
+let dimacs_of_lit l =
+  let v = (l lsr 1) + 1 in
+  if l land 1 = 1 then -v else v
+
+let enable_proof s = if s.proof = None then s.proof <- Some []
+let proof_enabled s = s.proof <> None
+
+let proof s =
+  match s.proof with None -> [] | Some steps -> List.rev steps
+
+let log_add s lits =
+  match s.proof with
+  | None -> ()
+  | Some steps ->
+      s.proof <-
+        Some (Drat.Add (List.map dimacs_of_lit (Array.to_list lits)) :: steps)
+
+let log_delete s lits =
+  match s.proof with
+  | None -> ()
+  | Some steps ->
+      s.proof <-
+        Some
+          (Drat.Delete (List.map dimacs_of_lit (Array.to_list lits)) :: steps)
 
 (* --- activity --------------------------------------------------------- *)
 
@@ -505,7 +535,8 @@ let reduce_db s =
     (fun i (_, id) ->
       if i < to_delete then begin
         s.clauses.(id).deleted <- true;
-        s.learned_clauses <- s.learned_clauses - 1
+        s.learned_clauses <- s.learned_clauses - 1;
+        log_delete s s.clauses.(id).lits
       end)
     sorted;
   rebuild_watches s
@@ -534,10 +565,15 @@ let add_clause s dimacs_lits =
       if List.exists (fun l -> lit_value s l = 1) remaining then ()
       else
         match remaining with
-        | [] -> s.unsat <- true
+        | [] ->
+            s.unsat <- true;
+            log_add s [||]
         | [ l ] ->
             enqueue s l (-1);
-            if propagate s >= 0 then s.unsat <- true
+            if propagate s >= 0 then begin
+              s.unsat <- true;
+              log_add s [||]
+            end
         | _ ->
             let arr = Array.of_list remaining in
             let id = alloc_clause s arr false in
@@ -563,6 +599,7 @@ let luby x =
   1 lsl !seq
 
 let record_learned s arr =
+  log_add s arr;
   if Array.length arr = 1 then begin
     cancel_until s 0;
     enqueue s arr.(0) (-1)
@@ -624,7 +661,12 @@ let search s assumptions max_conflicts =
             raise (Found (Interrupted Budget.Conflicts))
         | Some _ | None -> ());
         check_interrupt s s.conflicts;
-        if decision_level s = 0 then raise (Found Unsat_found);
+        if decision_level s = 0 then begin
+          (* A root-level conflict refutes the formula itself (assumptions
+             live at levels >= 1), so the proof can be closed. *)
+          log_add s [||];
+          raise (Found Unsat_found)
+        end;
         let learned, bt = analyze s confl in
         cancel_until s bt;
         record_learned s learned;

@@ -57,6 +57,28 @@ val value : t -> lit -> bool
 val model : t -> bool array
 (** Values of all variables, indexed by [var - 1]. *)
 
+(** {2 Proof logging}
+
+    When enabled, the solver records every learned clause and every
+    learned-clause deletion as a {!Drat} proof step.  An [Unsat] verdict
+    (without assumptions) closes the proof with the empty clause, and the
+    recorded sequence can then be verified against the problem clauses by
+    the independent checker in {!Drat} — without trusting any part of
+    this solver.
+
+    Enable logging before the first call to {!solve}; clauses learned
+    while logging was off are not replayed retroactively.  An [Unsat]
+    obtained {e under assumptions} is not certifiable this way (the proof
+    will not contain the empty clause). *)
+
+val enable_proof : t -> unit
+(** Turn on proof logging.  Idempotent. *)
+
+val proof_enabled : t -> bool
+
+val proof : t -> Drat.proof
+(** All steps logged so far, in order.  [[]] when logging is off. *)
+
 (** {2 Statistics} *)
 
 type stats = {

@@ -6,6 +6,16 @@ type verdict =
   | Interface_mismatch of string
   | Undecided of Sat.Budget.reason
 
+type evidence =
+  | Unsat_proof of Sat.Drat.proof
+  | Sat_model of bool array
+
+type certificate = {
+  cert_nvars : int;
+  cert_clauses : int list list;
+  evidence : evidence;
+}
+
 let network_to_cnf f ntk ~pi_literals =
   let lits = Array.make (N.num_nodes ntk) 0 in
   let signal_lit s =
@@ -23,21 +33,24 @@ let network_to_cnf f ntk ~pi_literals =
 
 let sorted_names l = List.sort compare l
 
-let check ?(budget = Sat.Budget.unlimited) ntk1 ntk2 =
+let run ~certify ~budget ntk1 ntk2 =
   let pi_names ntk = List.init (N.num_pis ntk) (N.pi_name ntk) in
   let po_names ntk = List.map fst (N.pos ntk) in
   if sorted_names (pi_names ntk1) <> sorted_names (pi_names ntk2) then
-    Interface_mismatch
-      (Printf.sprintf "inputs differ: {%s} vs {%s}"
-         (String.concat "," (pi_names ntk1))
-         (String.concat "," (pi_names ntk2)))
+    ( Interface_mismatch
+        (Printf.sprintf "inputs differ: {%s} vs {%s}"
+           (String.concat "," (pi_names ntk1))
+           (String.concat "," (pi_names ntk2))),
+      None )
   else if sorted_names (po_names ntk1) <> sorted_names (po_names ntk2) then
-    Interface_mismatch
-      (Printf.sprintf "outputs differ: {%s} vs {%s}"
-         (String.concat "," (po_names ntk1))
-         (String.concat "," (po_names ntk2)))
+    ( Interface_mismatch
+        (Printf.sprintf "outputs differ: {%s} vs {%s}"
+           (String.concat "," (po_names ntk1))
+           (String.concat "," (po_names ntk2))),
+      None )
   else begin
     let f = Sat.Cnf.create () in
+    if certify then Sat.Solver.enable_proof (Sat.Cnf.solver f);
     let pi_table = Hashtbl.create 16 in
     let pi_literals name =
       match Hashtbl.find_opt pi_table name with
@@ -62,21 +75,77 @@ let check ?(budget = Sat.Budget.unlimited) ntk1 ntk2 =
     in
     Sat.Cnf.add_clause f diffs;
     let solver = Sat.Cnf.solver f in
+    let certificate evidence =
+      if certify then
+        Some
+          {
+            cert_nvars = Sat.Cnf.num_vars f;
+            cert_clauses = Sat.Cnf.clauses f;
+            evidence;
+          }
+      else None
+    in
     match Sat.Solver.solve ~budget solver with
-    | Sat.Solver.Unsat -> Equivalent
+    | Sat.Solver.Unsat ->
+        (Equivalent, certificate (Unsat_proof (Sat.Solver.proof solver)))
     | Sat.Solver.Sat ->
-        Counterexample
-          (Hashtbl.fold
-             (fun name l acc -> (name, Sat.Solver.value solver l) :: acc)
-             pi_table []
-          |> List.sort compare)
-    | Sat.Solver.Unknown reason -> Undecided reason
+        let cex =
+          Hashtbl.fold
+            (fun name l acc -> (name, Sat.Solver.value solver l) :: acc)
+            pi_table []
+          |> List.sort compare
+        in
+        (Counterexample cex, certificate (Sat_model (Sat.Solver.model solver)))
+    | Sat.Solver.Unknown reason -> (Undecided reason, None)
   end
+
+let check ?(budget = Sat.Budget.unlimited) ntk1 ntk2 =
+  fst (run ~certify:false ~budget ntk1 ntk2)
+
+let check_certified ?(budget = Sat.Budget.unlimited) ntk1 ntk2 =
+  run ~certify:true ~budget ntk1 ntk2
 
 let check_layout ?budget ntk layout =
   match Extract.network layout with
   | Error msg -> Error msg
   | Ok extracted -> Ok (check ?budget ntk extracted)
+
+let check_layout_certified ?(budget = Sat.Budget.unlimited) ntk layout =
+  match Extract.network layout with
+  | Error msg -> Error msg
+  | Ok extracted -> Ok (check_certified ~budget ntk extracted)
+
+let replay cert =
+  match cert.evidence with
+  | Unsat_proof proof -> begin
+      match
+        Sat.Drat.check ~nvars:cert.cert_nvars ~clauses:cert.cert_clauses proof
+      with
+      | Sat.Drat.Valid -> Ok ()
+      | Sat.Drat.Invalid _ as r ->
+          Error
+            (Format.asprintf "UNSAT proof rejected: %a" Sat.Drat.pp_result r)
+    end
+  | Sat_model model ->
+      if Array.length model < cert.cert_nvars then
+        Error "counterexample model does not cover all variables"
+      else begin
+        let lit_true l =
+          if l > 0 then model.(l - 1) else not model.(-l - 1)
+        in
+        let rec find_unsat i = function
+          | [] -> None
+          | c :: rest ->
+              if List.exists lit_true c then find_unsat (i + 1) rest
+              else Some i
+        in
+        match find_unsat 0 cert.cert_clauses with
+        | None -> Ok ()
+        | Some i ->
+            Error
+              (Printf.sprintf
+                 "counterexample model falsifies miter clause %d" i)
+      end
 
 let verdict_to_string = function
   | Equivalent -> "equivalent"

@@ -16,15 +16,55 @@ type verdict =
       (** The miter solve was interrupted by its budget; neither
           equivalence nor a counterexample was established. *)
 
+(** {2 Certificates}
+
+    A certificate makes a verdict independently checkable: it carries
+    the miter CNF itself plus either a {!Sat.Drat} refutation proof
+    (for [Equivalent]) or the satisfying model (for [Counterexample]).
+    {!replay} validates the evidence with machinery disjoint from the
+    CDCL solver that produced it. *)
+
+type evidence =
+  | Unsat_proof of Sat.Drat.proof
+      (** Refutation of the miter: the designs never differ. *)
+  | Sat_model of bool array
+      (** Miter model (indexed by [var - 1]) exhibiting a difference. *)
+
+type certificate = {
+  cert_nvars : int;
+  cert_clauses : int list list;  (** The miter CNF, DIMACS literals. *)
+  evidence : evidence;
+}
+
 val check :
   ?budget:Sat.Budget.t -> Logic.Network.t -> Logic.Network.t -> verdict
 (** A tripped budget yields [Undecided] — never an exception. *)
+
+val check_certified :
+  ?budget:Sat.Budget.t ->
+  Logic.Network.t ->
+  Logic.Network.t ->
+  verdict * certificate option
+(** Like {!check} with proof logging on: [Equivalent] and
+    [Counterexample] verdicts come with a certificate;
+    [Interface_mismatch] and [Undecided] have none. *)
+
+val replay : certificate -> (unit, string) result
+(** Validate a certificate: run the DRAT checker over the recorded miter
+    for [Unsat_proof], or evaluate every miter clause under the model
+    for [Sat_model]. *)
 
 val check_layout :
   ?budget:Sat.Budget.t ->
   Logic.Network.t -> Layout.Gate_layout.t -> (verdict, string) result
 (** Extract the layout's network and compare ([Error] when extraction
     fails structurally). *)
+
+val check_layout_certified :
+  ?budget:Sat.Budget.t ->
+  Logic.Network.t ->
+  Layout.Gate_layout.t ->
+  (verdict * certificate option, string) result
 
 val verdict_to_string : verdict -> string
 

@@ -1,0 +1,109 @@
+type spec = {
+  pis : string list;
+  pos : string list;
+  eval : bool array -> bool array;
+}
+
+let of_network ntk =
+  let module N = Logic.Network in
+  {
+    pis = List.init (N.num_pis ntk) (N.pi_name ntk);
+    pos = List.map fst (N.pos ntk);
+    eval = (fun inputs -> N.eval ntk inputs);
+  }
+
+let of_mapped mapped =
+  let module M = Logic.Mapped in
+  {
+    pis = List.init (M.num_inputs mapped) (M.input_name mapped);
+    pos = List.map fst (M.outputs mapped);
+    eval = (fun inputs -> M.eval mapped inputs);
+  }
+
+let show_assignment pis inputs =
+  String.concat ","
+    (List.mapi (fun i n -> Printf.sprintf "%s=%b" n inputs.(i)) pis)
+
+let equal_behavior ?(max_exhaustive_pis = 12) ?(random_vectors = 256)
+    ?(seed = 0x5eed) a b =
+  let sorted = List.sort compare in
+  if sorted a.pis <> sorted b.pis then
+    Error
+      (Printf.sprintf "input names differ: {%s} vs {%s}"
+         (String.concat "," a.pis)
+         (String.concat "," b.pis))
+  else if sorted a.pos <> sorted b.pos then
+    Error
+      (Printf.sprintf "output names differ: {%s} vs {%s}"
+         (String.concat "," a.pos)
+         (String.concat "," b.pos))
+  else begin
+    let n = List.length a.pis in
+    let a_pis = Array.of_list a.pis in
+    (* Input permutation: b's i-th input is a's [perm.(i)]-th. *)
+    let index_of name =
+      let rec go i = if a_pis.(i) = name then i else go (i + 1) in
+      go 0
+    in
+    let perm = Array.of_list (List.map index_of b.pis) in
+    (* Output indices matched by name. *)
+    let out_pairs =
+      List.map
+        (fun name ->
+          let pos_of l =
+            let rec go i = function
+              | [] -> assert false
+              | x :: rest -> if x = name then i else go (i + 1) rest
+            in
+            go 0 l
+          in
+          (name, pos_of a.pos, pos_of b.pos))
+        a.pos
+    in
+    let try_vector inputs =
+      let outs_a = a.eval inputs in
+      let inputs_b = Array.init n (fun i -> inputs.(perm.(i))) in
+      let outs_b = b.eval inputs_b in
+      List.fold_left
+        (fun acc (name, ia, ib) ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              if outs_a.(ia) = outs_b.(ib) then Ok ()
+              else
+                Error
+                  (Printf.sprintf "output %s differs on %s (%b vs %b)" name
+                     (show_assignment a.pis inputs)
+                     outs_a.(ia) outs_b.(ib)))
+        (Ok ()) out_pairs
+    in
+    let result = ref (Ok ()) in
+    if n <= max_exhaustive_pis then begin
+      let row = ref 0 in
+      while !result = Ok () && !row < 1 lsl n do
+        let inputs = Array.init n (fun i -> (!row lsr i) land 1 = 1) in
+        result := try_vector inputs;
+        incr row
+      done
+    end
+    else begin
+      let st = Random.State.make [| seed |] in
+      let k = ref 0 in
+      while !result = Ok () && !k < random_vectors do
+        let inputs = Array.init n (fun _ -> Random.State.bool st) in
+        result := try_vector inputs;
+        incr k
+      done
+    end;
+    !result
+  end
+
+let check_rewrite ~specification ~optimized =
+  match equal_behavior (of_network specification) (of_network optimized) with
+  | Ok () -> Ok ()
+  | Error msg -> Error ("rewriting changed behavior: " ^ msg)
+
+let check_mapping ~specification ~mapped =
+  match equal_behavior (of_network specification) (of_mapped mapped) with
+  | Ok () -> Ok ()
+  | Error msg -> Error ("technology mapping changed behavior: " ^ msg)

@@ -5,28 +5,48 @@
 #   1. fast type-check        (dune build @check)
 #   2. full build             (dune build, warnings are errors)
 #   3. test suite             (dune runtest --force, timed)
-#   4. resilience smoke test  (mux21 under a 1 s deadline with the
+#   4. property fuzzing       (bounded, fixed seed: solver vs. oracle
+#                              with DRAT-checked UNSATs, XAG rewrite/map
+#                              behavior preservation, defect-yield
+#                              invariants)
+#   5. resilience smoke test  (mux21 under a 1 s deadline with the
 #                              fallback engine must finish cleanly --
 #                              the hard guarantee of the budget work)
+#   6. certification smoke    (paranoid flow on a benchmark whose exact
+#                              search refutes a candidate size: the
+#                              refutation must come with a DRAT proof
+#                              the independent checker accepts)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 type check =="
+echo "== 1/6 type check =="
 dune build @check
 
-echo "== 2/4 full build =="
+echo "== 2/6 full build =="
 dune build
 
-echo "== 3/4 test suite =="
+echo "== 3/6 test suite =="
 start=$(date +%s)
 dune runtest --force
 end=$(date +%s)
 echo "tests passed in $((end - start))s"
 
-echo "== 4/4 budgeted-flow smoke test =="
+echo "== 4/6 property fuzzing =="
+# Fixed seed: reproducible in CI, >= 500 iterations across the three
+# generators (CNF, XAG, defect parameters).
+dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -xag 150 -defect 60
+
+echo "== 5/6 budgeted-flow smoke test =="
 # Must return a verified layout without raising, degrading to the
 # scalable engine if the exact share of the deadline runs out.
 dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
+
+echo "== 6/6 certification smoke test =="
+# Benchmark "t" needs one candidate size refuted before its minimal
+# layout: paranoid mode proof-checks that UNSAT and replays the
+# equivalence certificate; any failed check exits nonzero.
+dune exec bin/fictionette.exe -- check t | grep "certified refutations"
+dune exec bin/fictionette.exe -- check t
 
 echo "CI OK"

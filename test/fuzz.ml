@@ -1,0 +1,152 @@
+(* Property-based fuzz harness (standalone executable, not alcotest).
+
+   Three generator/property pairs built on the hand-rolled Core.Prop:
+
+   - random CNF formulas: the CDCL solver must agree with a brute-force
+     oracle; SAT models must satisfy every clause; UNSAT verdicts must
+     come with a DRAT proof the independent checker accepts;
+   - random XAG recipes: rewriting and technology mapping must preserve
+     behavior under re-simulation;
+   - random defect-injection parameters: operational yield must be
+     deterministic under its seed, lie in [0, 1], agree with its own
+     trial list, and be exactly 1.0 with zero defects.
+
+   Runs a fixed seed by default so CI is reproducible; any failure is
+   shrunk before being reported, and the process exits nonzero. *)
+
+module P = Core.Prop
+module S = Sat.Solver
+
+(* CNF: solver vs. oracle, model soundness, checked UNSAT proofs. *)
+
+let cnf_property (f : P.cnf) =
+  let s = S.create () in
+  for _ = 1 to f.P.nvars do
+    ignore (S.new_var s)
+  done;
+  S.enable_proof s;
+  List.iter (S.add_clause s) f.P.clauses;
+  let oracle_sat = P.brute_force_sat f in
+  match S.solve s with
+  | S.Unknown _ -> Error "unbudgeted solve returned Unknown"
+  | S.Sat ->
+      if not oracle_sat then Error "solver says SAT, oracle says UNSAT"
+      else
+        let model = S.model s in
+        let lit_true l =
+          let v = model.(abs l - 1) in
+          if l > 0 then v else not v
+        in
+        if List.for_all (fun c -> List.exists lit_true c) f.P.clauses then
+          Ok ()
+        else Error "model falsifies a problem clause"
+  | S.Unsat -> (
+      if oracle_sat then Error "solver says UNSAT, oracle says SAT"
+      else
+        match
+          Sat.Drat.check ~nvars:f.P.nvars ~clauses:f.P.clauses (S.proof s)
+        with
+        | Sat.Drat.Valid -> Ok ()
+        | Sat.Drat.Invalid { step; reason } ->
+            Error
+              (Printf.sprintf "DRAT proof rejected at step %d: %s" step
+                 reason))
+
+(* XAG: rewriting and mapping preserve behavior. *)
+
+let has_constant_po n =
+  let rec check i =
+    i < Logic.Network.num_pos n
+    && (Logic.Network.node_of_signal (Logic.Network.po_signal n i) = 0
+       || check (i + 1))
+  in
+  check 0
+
+let xag_property (r : P.xag_recipe) =
+  let specification = P.build_xag r in
+  let optimized = Logic.Rewrite.rewrite_to_fixpoint specification in
+  match Verify.Resim.check_rewrite ~specification ~optimized with
+  | Error e -> Error e
+  | Ok () ->
+      (* The Bestagon library has no tie tiles, so constant outputs
+         cannot be mapped — skip those recipes for the mapping leg. *)
+      if has_constant_po specification then Ok ()
+      else
+        let mapped, _ = Logic.Tech_map.map specification in
+        Verify.Resim.check_mapping ~specification ~mapped
+
+(* Defects: yield determinism and consistency on a library OR gate. *)
+
+let or_structure =
+  lazy
+    (let tile =
+       Layout.Tile.Gate
+         {
+           fn = Logic.Mapped.Or2;
+           ins = [ Hexlib.Direction.North_west; Hexlib.Direction.North_east ];
+           outs = [ Hexlib.Direction.South_east ];
+         }
+     in
+     match
+       ( Bestagon.Library.validation_structure tile,
+         Bestagon.Library.tile_spec tile )
+     with
+     | Some s, Some spec -> (s, spec)
+     | _ -> failwith "no OR structure in the Bestagon library")
+
+let defect_property (p : Sidb.Defects.params) =
+  let open Sidb.Defects in
+  let s, spec = Lazy.force or_structure in
+  let r1 = operational_yield p s ~spec in
+  let r2 = operational_yield p s ~spec in
+  let operational =
+    List.length (List.filter (fun t -> t.operational) r1.trials)
+  in
+  if r1.yield <> r2.yield then
+    Error
+      (Printf.sprintf "yield not deterministic: %.4f vs %.4f" r1.yield
+         r2.yield)
+  else if r1.yield < 0.0 || r1.yield > 1.0 then
+    Error (Printf.sprintf "yield %.4f outside [0, 1]" r1.yield)
+  else if List.length r1.trials <> p.trials then
+    Error
+      (Printf.sprintf "%d trial record(s) for %d trial(s)"
+         (List.length r1.trials) p.trials)
+  else if r1.operational_trials <> operational then
+    Error "operational_trials disagrees with the trial list"
+  else if
+    abs_float (r1.yield -. (float_of_int operational /. float_of_int p.trials))
+    > 1e-9
+  then Error "yield is not operational/trials"
+  else if p.missing = 0 && p.extra = 0 && p.charged = 0 && r1.yield <> 1.0
+  then Error "zero defects must give yield 1.0"
+  else Ok ()
+
+(* Driver. *)
+
+let () =
+  let seed = ref 0xF002 in
+  let cnf_iters = ref 300 in
+  let xag_iters = ref 150 in
+  let defect_iters = ref 60 in
+  Arg.parse
+    [
+      ("-seed", Arg.Set_int seed, "PRNG seed (default 0xF002)");
+      ("-cnf", Arg.Set_int cnf_iters, "CNF iterations (default 300)");
+      ("-xag", Arg.Set_int xag_iters, "XAG iterations (default 150)");
+      ( "-defect",
+        Arg.Set_int defect_iters,
+        "defect-parameter iterations (default 60)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fuzz [-seed N] [-cnf N] [-xag N] [-defect N]";
+  let failed = ref false in
+  let run name iterations arb prop =
+    let outcome = P.check ~seed:!seed ~iterations arb prop in
+    P.pp_outcome ~pp:arb.P.pp ~name Format.std_formatter outcome;
+    match outcome with P.Passed _ -> () | P.Failed _ -> failed := true
+  in
+  run "cnf-vs-oracle" !cnf_iters P.cnf cnf_property;
+  run "xag-rewrite-map" !xag_iters P.xag xag_property;
+  run "defect-yield" !defect_iters P.defect_params defect_property;
+  if !failed then exit 1

@@ -282,6 +282,54 @@ let test_sqd_structure_export () =
       Alcotest.(check bool) "has dots" true (contains text "<dbdot>")
   | None -> Alcotest.fail "no structure"
 
+(* DB spacing (post-route design rule on dot placements). *)
+
+let test_spacing_clean_design () =
+  match Lib.validation_structure (gate2 M.Or2 D.South_east) with
+  | None -> Alcotest.fail "no OR structure"
+  | Some s ->
+      Alcotest.(check int) "validated design is clean" 0
+        (List.length (G.spacing_violations s.Sidb.Bdl.fixed))
+
+let test_spacing_duplicate_site () =
+  let a : L.site = { L.n = 10; m = 4; l = 0 } in
+  let b : L.site = { L.n = 30; m = 8; l = 1 } in
+  match G.spacing_violations [ a; b; a ] with
+  | [ (x, y, d) ] ->
+      Alcotest.(check (float 1e-9)) "zero distance" 0.0 d;
+      Alcotest.(check bool) "the duplicated site" true
+        (x = a && y = a)
+  | vs -> Alcotest.fail (Printf.sprintf "%d violation(s)" (List.length vs))
+
+let test_spacing_same_dimer () =
+  (* Both atoms of one dimer: 2.25 A apart, below the 5 A floor. *)
+  let a : L.site = { L.n = 0; m = 0; l = 0 } in
+  let b : L.site = { L.n = 0; m = 0; l = 1 } in
+  Alcotest.(check int) "same-dimer pair flagged" 1
+    (List.length (G.spacing_violations [ a; b ]));
+  (* Horizontally adjacent columns (3.84 A) are also too close... *)
+  let c : L.site = { L.n = 1; m = 0; l = 0 } in
+  Alcotest.(check int) "adjacent columns flagged" 1
+    (List.length (G.spacing_violations [ a; c ]));
+  (* ...but one dimer row apart (7.68 A) is legal. *)
+  let d : L.site = { L.n = 0; m = 1; l = 0 } in
+  Alcotest.(check int) "row pitch legal" 0
+    (List.length (G.spacing_violations [ a; d ]))
+
+let test_yield_tile_seeds_distinct () =
+  (* The per-tile seed mix must separate neighboring (seed, index)
+     pairs: seed s at tile i must not draw like seed s+1 at tile i-1
+     (the old [seed + i] derivation did exactly that). *)
+  let pairs =
+    List.concat_map
+      (fun s -> List.map (fun i -> (s, i)) [ 0; 1; 2; 3 ])
+      [ 40; 41; 42; 43 ]
+  in
+  let seeds = List.map (fun (s, i) -> Bestagon.Yield.tile_seed s i) pairs in
+  let sorted = List.sort_uniq compare seeds in
+  Alcotest.(check int) "all distinct" (List.length pairs)
+    (List.length sorted)
+
 let () =
   Alcotest.run "bestagon"
     [
@@ -310,6 +358,15 @@ let () =
           Alcotest.test_case "inverters" `Slow test_inverters;
           Alcotest.test_case "wires" `Slow test_wires;
           Alcotest.test_case "mirror site" `Quick test_mirror_site;
+        ] );
+      ( "spacing",
+        [
+          Alcotest.test_case "clean design" `Quick test_spacing_clean_design;
+          Alcotest.test_case "duplicate site" `Quick
+            test_spacing_duplicate_site;
+          Alcotest.test_case "same dimer" `Quick test_spacing_same_dimer;
+          Alcotest.test_case "tile seeds distinct" `Quick
+            test_yield_tile_seeds_distinct;
         ] );
       ( "library",
         [

@@ -178,6 +178,121 @@ let test_sqd_export () =
       Sys.remove path;
       Alcotest.fail e)
 
+(* Paranoid mode: every stage boundary cross-checked. *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let paranoid_checks =
+  [
+    "rewrite re-simulation";
+    "mapping re-simulation";
+    "post-route DRC audit";
+    "equivalence certificate replay";
+    "super-tiled DRC audit";
+    "DB spacing";
+  ]
+
+let test_paranoid_benchmarks () =
+  let total_certified = ref 0 in
+  List.iter
+    (fun name ->
+      match F.run_benchmark ~paranoid:true name with
+      | Error f -> Alcotest.fail (name ^ ": " ^ F.error_message f)
+      | Ok r ->
+          Alcotest.(check bool) (name ^ " equivalent") true
+            (r.F.equivalence = Some E.Equivalent);
+          Alcotest.(check bool) (name ^ " has certificate") true
+            (r.F.certificate <> None);
+          (match r.F.certificate with
+          | Some c ->
+              Alcotest.(check bool) (name ^ " certificate replays") true
+                (E.replay c = Ok ())
+          | None -> ());
+          List.iter
+            (fun c ->
+              Alcotest.(check bool) (name ^ ": " ^ c) true
+                (List.mem c r.F.checks))
+            paranoid_checks;
+          (* Complete (unbudgeted) exact solves refute every candidate
+             size smaller than the winner, and paranoid mode must have
+             proof-checked each refutation. *)
+          Alcotest.(check int) (name ^ " all refutations certified")
+            (r.F.diagnostics.F.exact_attempts - 1)
+            r.F.diagnostics.F.certified_refutations;
+          total_certified :=
+            !total_certified + r.F.diagnostics.F.certified_refutations)
+    [ "xor2"; "xnor2"; "par_gen"; "t" ];
+  (* At least one benchmark ("t") needs a candidate size refuted before
+     the winner, so the DRAT-checked refutation path really ran. *)
+  Alcotest.(check bool) "some refutation was proof-checked" true
+    (!total_certified > 0)
+
+(* Rebuild the mapped netlist with the function of its first gate
+   swapped for a behaviorally different one. *)
+let corrupt_one_gate m =
+  let module M = Logic.Mapped in
+  let m' = M.create () in
+  let flipped = ref false in
+  let flip fn =
+    if !flipped then fn
+    else
+      match fn with
+      | M.Ha -> M.Ha
+      | fn ->
+          flipped := true;
+          (match fn with
+          | M.And2 -> M.Or2
+          | M.Or2 -> M.And2
+          | M.Nand2 -> M.Nor2
+          | M.Nor2 -> M.Nand2
+          | M.Xor2 -> M.Xnor2
+          | M.Xnor2 -> M.Xor2
+          | M.Inv -> M.Buf
+          | M.Buf -> M.Inv
+          | M.Ha -> M.Ha)
+  in
+  for i = 0 to M.num_nodes m - 1 do
+    match M.node m i with
+    | M.Input (_, name) -> ignore (M.add_input m' name)
+    | M.Gate (fn, srcs) ->
+        ignore (M.add_gate m' (flip fn) (Array.to_list srcs))
+  done;
+  List.iter (fun (name, src) -> M.add_output m' name src) (M.outputs m);
+  m'
+
+let test_paranoid_catches_injected_corruption () =
+  List.iter
+    (fun name ->
+      let spec = (Logic.Benchmarks.find name).Logic.Benchmarks.build () in
+      match F.run ~paranoid:true ~corrupt_mapped:corrupt_one_gate spec with
+      | Ok _ -> Alcotest.fail (name ^ ": corrupted mapping not caught")
+      | Error f ->
+          (* The mapping cross-check itself must catch it — not DRC,
+             not the downstream equivalence check. *)
+          Alcotest.(check bool) (name ^ " caught at certification") true
+            (f.F.failed_step = F.Certification);
+          Alcotest.(check bool) (name ^ " blames tech mapping") true
+            (contains f.F.message "technology mapping changed behavior"))
+    [ "xor2"; "mux21" ]
+
+let test_paranoid_undecided_is_soft () =
+  (* A cancelled budget trips before physical design; paranoid mode must
+     not turn budget exhaustion into a certification failure. *)
+  let budget =
+    { Core.Budget.unlimited with Core.Budget.cancelled = (fun () -> true) }
+  in
+  match F.run_benchmark ~paranoid:true ~budget "xor2" with
+  | Error f ->
+      Alcotest.(check bool) "budget, not certification" true
+        (f.F.failed_step = F.Physical_design
+        && f.F.budget_reason = Some Core.Budget.Cancelled)
+  | Ok _ -> Alcotest.fail "expected budget failure"
+
 let test_table1_subset () =
   let rows = T1.generate ~names:[ "xor2"; "par_gen" ] () in
   match rows with
@@ -223,6 +338,15 @@ let () =
           Alcotest.test_case "verilog error" `Quick test_verilog_parse_error_reported;
           Alcotest.test_case "unknown benchmark" `Quick test_unknown_benchmark;
           Alcotest.test_case "sqd export" `Quick test_sqd_export;
+        ] );
+      ( "paranoid",
+        [
+          Alcotest.test_case "benchmarks certified" `Slow
+            test_paranoid_benchmarks;
+          Alcotest.test_case "injected corruption caught" `Quick
+            test_paranoid_catches_injected_corruption;
+          Alcotest.test_case "budget stays soft" `Quick
+            test_paranoid_undecided_is_soft;
         ] );
       ( "table1",
         [

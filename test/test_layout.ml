@@ -182,6 +182,75 @@ let test_drc_border_io () =
   Alcotest.(check bool) "relaxed has no border-io" true
     (not (List.exists (fun v -> v.DR.rule = "border-io") relaxed))
 
+(* --- whole-layout audit ----------------------------------------------------- *)
+
+let test_audit_clean () =
+  Alcotest.(check int) "audit clean" 0 (List.length (DR.audit (xor_layout ())))
+
+let test_audit_missing_io () =
+  let l = GL.create ~width:2 ~height:2 ~clocking:(GL.Scheme Cl.Row) in
+  let violations = DR.audit l in
+  Alcotest.(check bool) "missing input pad reported" true
+    (List.exists
+       (fun v -> v.DR.rule = "audit" && v.DR.message = "layout has no input pads")
+       violations);
+  Alcotest.(check bool) "missing output pad reported" true
+    (List.exists
+       (fun v ->
+         v.DR.rule = "audit" && v.DR.message = "layout has no output pads")
+       violations)
+
+let test_audit_duplicate_pad_names () =
+  let l = xor_layout () in
+  (* Rename PI b to a: two input pads now share a name. *)
+  GL.set l (offset 1 0) (Tile.Pi { name = "a"; out = D.South_west });
+  Alcotest.(check bool) "duplicate name reported" true
+    (List.exists
+       (fun v -> v.DR.rule = "audit" && v.DR.message = "duplicate input pad \"a\"")
+       (DR.audit l))
+
+let test_audit_unreachable_tile () =
+  (* An isolated wire is flagged as unreachable from the input pads. *)
+  let l = xor_layout () in
+  GL.set l (offset 1 1)
+    (Tile.Wire { segments = [ (D.North_west, D.South_east) ] });
+  Alcotest.(check bool) "unreachable from inputs" true
+    (List.exists
+       (fun v ->
+         v.DR.rule = "audit"
+         && v.DR.message = "tile is not reachable from any input pad")
+       (DR.audit l))
+
+let test_audit_dead_end_branch () =
+  (* A branch fed by an input pad whose signal never reaches an output
+     pad: straight a->f wire path, plus pad b driving a wire that dead
+     ends. *)
+  let l = GL.create ~width:2 ~height:3 ~clocking:(GL.Scheme Cl.Row) in
+  GL.set l (offset 0 0) (Tile.Pi { name = "a"; out = D.South_east });
+  GL.set l (offset 0 1)
+    (Tile.Wire { segments = [ (D.North_west, D.South_west) ] });
+  GL.set l (offset 0 2) (Tile.Po { name = "f"; inp = D.North_east });
+  GL.set l (offset 1 0) (Tile.Pi { name = "b"; out = D.South_east });
+  GL.set l (offset 1 1)
+    (Tile.Wire { segments = [ (D.North_west, D.South_east) ] });
+  let violations = DR.audit l in
+  Alcotest.(check bool) "dead end flagged" true
+    (List.exists
+       (fun v ->
+         v.DR.rule = "audit"
+         && v.DR.message = "tile does not reach any output pad"
+         && C.equal_offset v.DR.at (offset 1 1))
+       violations)
+
+let test_audit_superset_of_check () =
+  (* Every plain-check violation appears in the audit too. *)
+  let l = xor_layout () in
+  GL.set l (offset 0 2) Tile.Empty;
+  let check_rules = List.map (fun v -> (v.DR.at, v.DR.rule)) (DR.check l) in
+  let audit_rules = List.map (fun v -> (v.DR.at, v.DR.rule)) (DR.audit l) in
+  Alcotest.(check bool) "audit superset" true
+    (List.for_all (fun r -> List.mem r audit_rules) check_rules)
+
 (* --- super-tiles ---------------------------------------------------------------- *)
 
 let test_supertile_rows () =
@@ -256,6 +325,19 @@ let () =
           Alcotest.test_case "dangling" `Quick test_drc_dangling;
           Alcotest.test_case "clocking violation" `Quick test_drc_clocking;
           Alcotest.test_case "border io" `Quick test_drc_border_io;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean" `Quick test_audit_clean;
+          Alcotest.test_case "missing io" `Quick test_audit_missing_io;
+          Alcotest.test_case "duplicate pad names" `Quick
+            test_audit_duplicate_pad_names;
+          Alcotest.test_case "unreachable tile" `Quick
+            test_audit_unreachable_tile;
+          Alcotest.test_case "dead-end branch" `Quick
+            test_audit_dead_end_branch;
+          Alcotest.test_case "superset of check" `Quick
+            test_audit_superset_of_check;
         ] );
       ( "supertiles",
         [

@@ -1,0 +1,171 @@
+(* Tests for the hand-rolled property-testing kit (Core.Prop) that
+   drives the fuzz harness. *)
+
+module P = Core.Prop
+
+let test_rng_deterministic () =
+  let a = P.Rng.create 42 and b = P.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (P.Rng.int a 1000) (P.Rng.int b 1000)
+  done;
+  let c = P.Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if P.Rng.int a 1000 <> P.Rng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let r = P.Rng.create 7 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let v = P.Rng.int r 5 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 5);
+    seen.(v) <- true
+  done;
+  Alcotest.(check bool) "all values reached" true (Array.for_all Fun.id seen)
+
+let test_split_independent () =
+  let r = P.Rng.create 11 in
+  let s = P.Rng.split r in
+  (* Drawing from the split stream must not perturb the parent's
+     subsequent draws relative to a fresh split at the same point. *)
+  let r' = P.Rng.create 11 in
+  let _ = P.Rng.split r' in
+  for _ = 1 to 5 do
+    ignore (P.Rng.int s 100)
+  done;
+  Alcotest.(check int) "parent unaffected by child draws"
+    (P.Rng.int r' 1_000_000) (P.Rng.int r 1_000_000)
+
+let test_check_passes () =
+  match P.check ~seed:1 ~iterations:50 P.cnf (fun _ -> Ok ()) with
+  | P.Passed n -> Alcotest.(check int) "all iterations" 50 n
+  | P.Failed _ -> Alcotest.fail "trivial property failed"
+
+let test_check_deterministic () =
+  let prop (f : P.cnf) =
+    if List.length f.P.clauses mod 7 = 0 then Error "multiple of 7" else Ok ()
+  in
+  let run () =
+    match P.check ~seed:99 ~iterations:100 P.cnf prop with
+    | P.Passed _ -> None
+    | P.Failed c -> Some (c.P.iteration, c.P.shrunk)
+  in
+  Alcotest.(check bool) "same seed, same counterexample" true (run () = run ())
+
+let test_check_shrinks_to_boundary () =
+  (* Fails whenever the formula has >= 3 clauses: greedy shrinking must
+     land exactly on the 3-clause boundary (dropping one more clause
+     would make the property pass). *)
+  let prop (f : P.cnf) =
+    if List.length f.P.clauses >= 3 then Error "too many clauses" else Ok ()
+  in
+  match P.check ~seed:1 ~iterations:200 P.cnf prop with
+  | P.Passed _ -> Alcotest.fail "property must fail on some input"
+  | P.Failed c ->
+      Alcotest.(check int) "shrunk to the boundary" 3
+        (List.length c.P.shrunk.P.clauses);
+      Alcotest.(check bool) "no larger than the original" true
+        (List.length c.P.shrunk.P.clauses
+        <= List.length c.P.original.P.clauses)
+
+let test_exception_is_failure () =
+  match
+    P.check ~seed:3 ~iterations:5 P.cnf (fun _ -> failwith "boom")
+  with
+  | P.Passed _ -> Alcotest.fail "raising property must fail"
+  | P.Failed c ->
+      Alcotest.(check bool) "reason carries the exception" true
+        (String.length c.P.reason > 0)
+
+let test_brute_force_oracle () =
+  let sat nvars clauses = P.brute_force_sat { P.nvars; clauses } in
+  Alcotest.(check bool) "unit" true (sat 1 [ [ 1 ] ]);
+  Alcotest.(check bool) "contradiction" false (sat 1 [ [ 1 ]; [ -1 ] ]);
+  Alcotest.(check bool) "empty clause" false (sat 2 [ [ 1; 2 ]; [] ]);
+  Alcotest.(check bool) "xor-ish" true
+    (sat 2 [ [ 1; 2 ]; [ -1; -2 ] ]);
+  Alcotest.(check bool) "pigeonhole 2-in-1" false
+    (sat 2 [ [ 1 ]; [ 2 ]; [ -1; -2 ] ])
+
+let test_build_xag () =
+  let r =
+    {
+      P.xag_inputs = 2;
+      xag_gates =
+        [ { P.op_is_xor = true; a = 0; b = 1; na = false; nb = false } ];
+      out_negate = true;
+    }
+  in
+  let n = P.build_xag r in
+  Alcotest.(check int) "pis" 2 (Logic.Network.num_pis n);
+  Alcotest.(check int) "pos" 1 (Logic.Network.num_pos n);
+  (* f0 = not (x1 xor x0): an XNOR. *)
+  List.iter
+    (fun (a, b, expect) ->
+      let out = Logic.Network.eval n [| a; b |] in
+      Alcotest.(check bool)
+        (Printf.sprintf "xnor %b %b" a b)
+        expect out.(0))
+    [
+      (false, false, true);
+      (false, true, false);
+      (true, false, false);
+      (true, true, true);
+    ]
+
+let test_generated_xags_build () =
+  (* Every generated recipe must materialize without raising and
+     simulate on the all-false vector. *)
+  let rng = P.Rng.create 5 in
+  for _ = 1 to 100 do
+    let r = P.xag.P.gen (P.Rng.split rng) in
+    let n = P.build_xag r in
+    let out = Logic.Network.eval n (Array.make (Logic.Network.num_pis n) false) in
+    Alcotest.(check bool) "has outputs" true (Array.length out >= 1)
+  done
+
+let test_defect_params_shrink () =
+  let p =
+    { Sidb.Defects.missing = 2; extra = 1; charged = 1; trials = 3; seed = 9 }
+  in
+  let smaller = P.defect_params.P.shrink p in
+  Alcotest.(check bool) "offers candidates" true (smaller <> []);
+  List.iter
+    (fun (q : Sidb.Defects.params) ->
+      Alcotest.(check bool) "never grows" true
+        (q.Sidb.Defects.missing <= p.Sidb.Defects.missing
+        && q.Sidb.Defects.extra <= p.Sidb.Defects.extra
+        && q.Sidb.Defects.charged <= p.Sidb.Defects.charged
+        && q.Sidb.Defects.trials <= p.Sidb.Defects.trials))
+    smaller
+
+let () =
+  Alcotest.run "prop"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_split_independent;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "passes" `Quick test_check_passes;
+          Alcotest.test_case "deterministic" `Quick test_check_deterministic;
+          Alcotest.test_case "shrinks to boundary" `Quick
+            test_check_shrinks_to_boundary;
+          Alcotest.test_case "exception is failure" `Quick
+            test_exception_is_failure;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "brute-force oracle" `Quick
+            test_brute_force_oracle;
+          Alcotest.test_case "xag builder" `Quick test_build_xag;
+          Alcotest.test_case "generated xags build" `Quick
+            test_generated_xags_build;
+          Alcotest.test_case "defect shrink" `Quick test_defect_params_shrink;
+        ] );
+    ]

@@ -37,23 +37,34 @@ let test_tautology_dropped () =
   S.add_clause s [ a; -a ];
   Alcotest.(check bool) "sat" true (S.solve s = S.Sat)
 
-let php_clauses pigeons holes =
+let php_formula pigeons holes =
   (* Pigeonhole: unsat iff pigeons > holes. *)
-  let s = S.create () in
-  let v =
-    Array.init pigeons (fun _ -> Array.init holes (fun _ -> S.new_var s))
-  in
+  let var p h = (p * holes) + h + 1 in
+  let clauses = ref [] in
   for p = 0 to pigeons - 1 do
-    S.add_clause s (Array.to_list v.(p))
+    clauses := List.init holes (var p) :: !clauses
   done;
   for h = 0 to holes - 1 do
     for p1 = 0 to pigeons - 1 do
       for p2 = p1 + 1 to pigeons - 1 do
-        S.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+        clauses := [ -var p1 h; -var p2 h ] :: !clauses
       done
     done
   done;
+  (pigeons * holes, List.rev !clauses)
+
+let solver_of ?(proof = false) nvars clauses =
+  let s = S.create () in
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  if proof then S.enable_proof s;
+  List.iter (S.add_clause s) clauses;
   s
+
+let php_clauses pigeons holes =
+  let nvars, clauses = php_formula pigeons holes in
+  solver_of nvars clauses
 
 let test_pigeonhole_unsat () =
   Alcotest.(check bool) "php(6,5)" true (S.solve (php_clauses 6 5) = S.Unsat)
@@ -159,6 +170,83 @@ let test_budget_resume_random_3sat () =
     Alcotest.(check bool) "budgeted resume agrees" true (go 3 = reference)
   done
 
+let test_budget_resume_same_instance () =
+  (* The satellite contract: an [Unknown] under a small conflict
+     allowance resumes on the SAME solver instance with a larger
+     allowance and reaches the verdict an unbudgeted solve reaches. *)
+  let nvars, clauses = php_formula 8 7 in
+  let reference = S.solve (solver_of nvars clauses) in
+  Alcotest.(check bool) "reference is unsat" true (reference = S.Unsat);
+  let s = solver_of nvars clauses in
+  (match S.solve ~budget:(Sat.Budget.of_conflicts 10) s with
+  | S.Unknown Sat.Budget.Conflicts -> ()
+  | S.Unknown _ -> Alcotest.fail "wrong budget reason"
+  | S.Sat | S.Unsat -> Alcotest.fail "allowance unexpectedly sufficient");
+  let verdict = S.solve ~budget:(Sat.Budget.of_conflicts 1_000_000) s in
+  Alcotest.(check bool) "resumed verdict agrees" true (verdict = reference)
+
+(* --- DRAT proof logging and checking ---------------------------------- *)
+
+let test_drat_php_proof () =
+  let nvars, clauses = php_formula 6 5 in
+  let s = solver_of ~proof:true nvars clauses in
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  let proof = S.proof s in
+  Alcotest.(check bool) "proof nonempty" true
+    (Sat.Drat.num_additions proof > 0);
+  Alcotest.(check bool) "checker accepts" true
+    (Sat.Drat.is_valid ~nvars ~clauses proof)
+
+let test_drat_mutated_proof_rejected () =
+  let nvars, clauses = php_formula 6 5 in
+  let s = solver_of ~proof:true nvars clauses in
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  let proof = S.proof s in
+  (* Soundness: the same proof cannot refute a satisfiable formula. *)
+  let sat_nvars, sat_clauses = php_formula 6 6 in
+  Alcotest.(check bool) "proof vs satisfiable formula rejected" false
+    (Sat.Drat.is_valid ~nvars:sat_nvars ~clauses:sat_clauses proof);
+  (* Stripping every clause addition leaves nothing to conflict on. *)
+  let deletions_only =
+    List.filter (function Sat.Drat.Delete _ -> true | _ -> false) proof
+  in
+  Alcotest.(check bool) "additions stripped rejected" false
+    (Sat.Drat.is_valid ~nvars ~clauses deletions_only);
+  (* Claiming the empty clause up front is not a RUP consequence. *)
+  Alcotest.(check bool) "bare empty clause rejected" false
+    (Sat.Drat.is_valid ~nvars ~clauses [ Sat.Drat.Add [] ])
+
+let test_drat_text_roundtrip () =
+  let nvars, clauses = php_formula 6 5 in
+  let s = solver_of ~proof:true nvars clauses in
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  let proof = S.proof s in
+  let parsed = Sat.Drat.of_string (Sat.Drat.to_string proof) in
+  Alcotest.(check bool) "roundtrip preserves steps" true (parsed = proof);
+  Alcotest.(check bool) "parsed proof checks" true
+    (Sat.Drat.is_valid ~nvars ~clauses parsed)
+
+let test_drat_trivial_formulas () =
+  (* A root-level contradiction needs no proof steps at all. *)
+  Alcotest.(check bool) "x & !x" true
+    (Sat.Drat.is_valid ~nvars:1 ~clauses:[ [ 1 ]; [ -1 ] ] []);
+  (* A satisfiable formula admits no refutation. *)
+  Alcotest.(check bool) "sat formula" false
+    (Sat.Drat.is_valid ~nvars:1 ~clauses:[ [ 1 ] ] [])
+
+let test_drat_across_resume () =
+  (* Proof steps accumulate across budgeted resumes of one instance. *)
+  let nvars, clauses = php_formula 7 6 in
+  let s = solver_of ~proof:true nvars clauses in
+  let rec go allowance =
+    match S.solve ~budget:(Sat.Budget.of_conflicts allowance) s with
+    | S.Unknown _ -> go (2 * allowance)
+    | r -> r
+  in
+  Alcotest.(check bool) "unsat" true (go 10 = S.Unsat);
+  Alcotest.(check bool) "accumulated proof checks" true
+    (Sat.Drat.is_valid ~nvars ~clauses (S.proof s))
+
 let test_stats () =
   let s = php_clauses 7 6 in
   Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
@@ -212,6 +300,16 @@ let prop_model_under_assumptions =
       match S.solve ~assumptions s with
       | S.Sat -> List.for_all (fun l -> S.value s l) assumptions
       | S.Unsat -> true
+      | S.Unknown _ -> false)
+
+let prop_drat_random_cnf =
+  QCheck.Test.make ~name:"random CNF: UNSAT proofs check, SAT models eval"
+    ~count:300 (QCheck.make arbitrary_cnf) (fun clauses ->
+      let s = solver_of ~proof:true 8 clauses in
+      match S.solve s with
+      | S.Unsat -> Sat.Drat.is_valid ~nvars:8 ~clauses (S.proof s)
+      | S.Sat ->
+          List.for_all (fun c -> List.exists (fun l -> S.value s l) c) clauses
       | S.Unknown _ -> false)
 
 (* --- CNF layer -------------------------------------------------------------- *)
@@ -333,9 +431,27 @@ let () =
             test_budget_resume_escalation;
           Alcotest.test_case "budget resume random 3-SAT" `Quick
             test_budget_resume_random_3sat;
+          Alcotest.test_case "budget resume same instance" `Quick
+            test_budget_resume_same_instance;
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
-      ("oracle", qt [ prop_matches_dpll; prop_model_under_assumptions ]);
+      ( "drat",
+        [
+          Alcotest.test_case "pigeonhole proof" `Quick test_drat_php_proof;
+          Alcotest.test_case "mutated proof rejected" `Quick
+            test_drat_mutated_proof_rejected;
+          Alcotest.test_case "text roundtrip" `Quick test_drat_text_roundtrip;
+          Alcotest.test_case "trivial formulas" `Quick
+            test_drat_trivial_formulas;
+          Alcotest.test_case "proof across resume" `Quick
+            test_drat_across_resume;
+        ] );
+      ( "oracle",
+        qt
+          [
+            prop_matches_dpll; prop_model_under_assumptions;
+            prop_drat_random_cnf;
+          ] );
       ( "cnf",
         [
           Alcotest.test_case "tseitin and" `Quick test_tseitin_and;

@@ -140,9 +140,83 @@ let prop_equivalence_reflexive =
           E.check n1 n2 = E.Equivalent)
         Logic.Benchmarks.all)
 
+(* Certified equivalence: verdicts come with replayable evidence. *)
+
+let test_certificate_equivalent () =
+  let spec = Logic.Benchmarks.xor2 () in
+  match E.check_layout_certified spec (xor_layout ()) with
+  | Error e -> Alcotest.fail e
+  | Ok (E.Equivalent, Some cert) -> (
+      (match cert.E.evidence with
+      | E.Unsat_proof p ->
+          Alcotest.(check bool) "proof nonempty" true (Sat.Drat.num_steps p > 0)
+      | E.Sat_model _ -> Alcotest.fail "expected an UNSAT proof");
+      match E.replay cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("replay rejected a good certificate: " ^ e))
+  | Ok (E.Equivalent, None) -> Alcotest.fail "no certificate"
+  | Ok (v, _) -> Alcotest.fail ("expected equivalent, got " ^ E.verdict_to_string v)
+
+let test_certificate_counterexample () =
+  let spec = N.create () in
+  let a = N.pi spec "a" and b = N.pi spec "b" in
+  N.po spec "f" (N.and_ spec a b);
+  match E.check_layout_certified spec (xor_layout ()) with
+  | Error e -> Alcotest.fail e
+  | Ok (E.Counterexample _, Some cert) -> (
+      (match cert.E.evidence with
+      | E.Sat_model _ -> ()
+      | E.Unsat_proof _ -> Alcotest.fail "expected a miter model");
+      match E.replay cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("replay rejected a good model: " ^ e))
+  | Ok (E.Counterexample _, None) -> Alcotest.fail "no certificate"
+  | Ok (v, _) ->
+      Alcotest.fail ("expected counterexample, got " ^ E.verdict_to_string v)
+
+let test_certificate_tampering () =
+  let spec = Logic.Benchmarks.xor2 () in
+  match E.check_layout_certified spec (xor_layout ()) with
+  | Error e -> Alcotest.fail e
+  | Ok (_, None) -> Alcotest.fail "no certificate"
+  | Ok (_, Some cert) -> (
+      (* Drop the miter clauses: the recorded proof cannot refute the
+         (trivially satisfiable) empty formula, so replay must reject. *)
+      let tampered = { cert with E.cert_clauses = [] } in
+      match E.replay tampered with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "replay accepted a tampered certificate")
+
+(* Re-simulation cross-checks (paranoid flow backbone). *)
+
+let test_resim_cross_check () =
+  let spec = Logic.Benchmarks.xor2 () in
+  (match Verify.Resim.check_rewrite ~specification:spec ~optimized:spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("self-comparison failed: " ^ e));
+  let wrong = N.create () in
+  let a = N.pi wrong "a" and b = N.pi wrong "b" in
+  N.po wrong "f" (N.and_ wrong a b);
+  match Verify.Resim.check_rewrite ~specification:spec ~optimized:wrong with
+  | Error msg ->
+      Alcotest.(check bool) "names the divergence" true
+        (String.length msg > 0)
+  | Ok () -> Alcotest.fail "behavior change not caught"
+
 let () =
   Alcotest.run "verify"
     [
+      ( "certificates",
+        [
+          Alcotest.test_case "equivalent carries proof" `Quick
+            test_certificate_equivalent;
+          Alcotest.test_case "counterexample carries model" `Quick
+            test_certificate_counterexample;
+          Alcotest.test_case "tampering rejected" `Quick
+            test_certificate_tampering;
+          Alcotest.test_case "resim catches corruption" `Quick
+            test_resim_cross_check;
+        ] );
       ( "extract",
         [
           Alcotest.test_case "xor layout" `Quick test_extract_xor;
