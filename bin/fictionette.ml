@@ -35,6 +35,24 @@ let deadline_arg =
     & opt (some float) None
     & info [ "d"; "deadline" ] ~docv:"SECONDS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel simulation loops (operational-domain \
+     sweeps, defect-yield Monte Carlo, brute-force equivalence).  Defaults \
+     to $(b,FICTIONETTE_JOBS) or the host's recommended domain count; \
+     $(b,1) forces the serial code path.  Results are bit-identical at \
+     every job count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Applies --jobs (when given) and reports the effective worker count on
+   stderr, so runs are attributable to a parallelism level. *)
+let apply_jobs jobs =
+  (match jobs with Some j -> Parallel.Pool.set_default_jobs j | None -> ());
+  Format.eprintf "fictionette: simulation workers: %d (host cores: %d)@."
+    (Parallel.Pool.default_jobs ())
+    (Domain.recommended_domain_count ())
+
 let conflict_budget_arg =
   let doc = "Total CDCL-conflict budget for the SAT-based steps." in
   Arg.(
@@ -134,8 +152,9 @@ let run_cmd =
     let doc = "Benchmark name (see $(b,fictionette list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
-  let action name engine deadline conflicts paranoid no_rewrite no_ha sqd
+  let action name engine deadline conflicts jobs paranoid no_rewrite no_ha sqd
       show_layout zones =
+    apply_jobs jobs;
     match
       Core.Flow.run_benchmark
         ~options:(options_of engine no_rewrite no_ha)
@@ -149,8 +168,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
-      $ conflict_budget_arg $ paranoid_arg $ no_rewrite_arg $ no_ha_arg
-      $ sqd_arg $ show_layout_arg $ zones_arg)
+      $ conflict_budget_arg $ jobs_arg $ paranoid_arg $ no_rewrite_arg
+      $ no_ha_arg $ sqd_arg $ show_layout_arg $ zones_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full flow on a built-in benchmark.")
@@ -160,8 +179,9 @@ let verilog_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.v")
   in
-  let action path engine deadline conflicts paranoid no_rewrite no_ha sqd
+  let action path engine deadline conflicts jobs paranoid no_rewrite no_ha sqd
       show_layout zones =
+    apply_jobs jobs;
     let ic = open_in path in
     let source = really_input_string ic (in_channel_length ic) in
     close_in ic;
@@ -178,8 +198,8 @@ let verilog_cmd =
   let term =
     Term.(
       const action $ file_arg $ engine_arg $ deadline_arg $ conflict_budget_arg
-      $ paranoid_arg $ no_rewrite_arg $ no_ha_arg $ sqd_arg $ show_layout_arg
-      $ zones_arg)
+      $ jobs_arg $ paranoid_arg $ no_rewrite_arg $ no_ha_arg $ sqd_arg
+      $ show_layout_arg $ zones_arg)
   in
   Cmd.v
     (Cmd.info "verilog" ~doc:"Run the full flow on a gate-level Verilog file.")
@@ -199,7 +219,8 @@ let list_cmd =
     Term.(const action $ const ())
 
 let table1_cmd =
-  let action engine deadline conflicts =
+  let action engine deadline conflicts jobs =
+    apply_jobs jobs;
     let options = { Core.Flow.default_options with engine } in
     let rows =
       Core.Table1.generate ~options ~budget:(budget_of deadline conflicts) ()
@@ -209,7 +230,9 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.")
-    Term.(const action $ engine_arg $ deadline_arg $ conflict_budget_arg)
+    Term.(
+      const action $ engine_arg $ deadline_arg $ conflict_budget_arg
+      $ jobs_arg)
 
 let gates_cmd =
   let action () =
@@ -291,7 +314,9 @@ let yield_cmd =
       value & opt int Sidb.Defects.default_params.Sidb.Defects.charged
       & info [ "charged" ] ~docv:"N" ~doc:"Charged point defects per trial.")
   in
-  let action name engine deadline conflicts trials seed missing extra charged =
+  let action name engine deadline conflicts jobs trials seed missing extra
+      charged =
+    apply_jobs jobs;
     match
       Core.Flow.run_benchmark
         ~options:
@@ -317,8 +342,8 @@ let yield_cmd =
   let term =
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
-      $ conflict_budget_arg $ trials_arg $ seed_arg $ missing_arg $ extra_arg
-      $ charged_arg)
+      $ conflict_budget_arg $ jobs_arg $ trials_arg $ seed_arg $ missing_arg
+      $ extra_arg $ charged_arg)
   in
   Cmd.v
     (Cmd.info "yield"
@@ -332,7 +357,8 @@ let check_cmd =
     let doc = "Benchmark name (see $(b,fictionette list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
-  let action name engine deadline conflicts =
+  let action name engine deadline conflicts jobs =
+    apply_jobs jobs;
     match
       Core.Flow.run_benchmark
         ~options:{ Core.Flow.default_options with engine }
@@ -364,7 +390,7 @@ let check_cmd =
           passes (2 on a soft check failure, 1 on a hard one).")
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
-      $ conflict_budget_arg)
+      $ conflict_budget_arg $ jobs_arg)
 
 let main =
   let doc = "Design automation for silicon dangling bond logic" in

@@ -25,8 +25,14 @@ let tile_seed base i =
   let z = logxor z (shift_right_logical z 31) in
   to_int (shift_right_logical z 2)
 
-let of_layout ?engine ?model ?(params = Sidb.Defects.default_params) layout =
-  let per_tile = ref [] in
+let of_layout ?(engine = Sidb.Bdl.Pruned) ?jobs ?model
+    ?(params = Sidb.Defects.default_params) layout =
+  (* Enumerate the simulatable tiles serially (cheap), then run the
+     Monte-Carlo trials of each tile on the domain pool.  Per-tile
+     seeds are splitmix-derived from the tile index, so the trials are
+     order-independent and the parallel reports are bit-identical to
+     the serial ([jobs = 1]) ones. *)
+  let work = ref [] in
   let skipped = ref 0 in
   let index = ref 0 in
   Layout.Gate_layout.iter layout (fun coord tile ->
@@ -35,18 +41,23 @@ let of_layout ?engine ?model ?(params = Sidb.Defects.default_params) layout =
         | Some structure, Some spec ->
             let i = !index in
             incr index;
-            let params =
-              { params with Sidb.Defects.seed = tile_seed params.seed i }
-            in
-            let report =
-              Sidb.Defects.operational_yield ?engine ?model params structure
-                ~spec
-            in
-            per_tile :=
-              { coord; label = Layout.Tile.label tile; report } :: !per_tile
+            work :=
+              (coord, Layout.Tile.label tile, structure, spec, i) :: !work
         | _ -> incr skipped
       end);
-  let per_tile = List.rev !per_tile in
+  let work = Array.of_list (List.rev !work) in
+  let per_tile =
+    Parallel.Pool.map ?jobs (Array.length work) (fun k ->
+        let coord, label, structure, spec, i = work.(k) in
+        let params =
+          { params with Sidb.Defects.seed = tile_seed params.seed i }
+        in
+        let report =
+          Sidb.Defects.operational_yield ~engine ?model params structure ~spec
+        in
+        { coord; label; report })
+    |> Array.to_list
+  in
   (* Defects strike tiles independently, so the layout works only when
      every tile does: the yields multiply. *)
   let layout_yield =

@@ -29,12 +29,17 @@ val tile_seed : int -> int -> int
 
 val of_layout :
   ?engine:Sidb.Bdl.engine ->
+  ?jobs:int ->
   ?model:Sidb.Model.t ->
   ?params:Sidb.Defects.params ->
   Layout.Gate_layout.t ->
   t
 (** Per-tile defect draws are seeded [tile_seed params.seed i] for the
     [i]-th simulated tile, so the whole result is deterministic for a
-    fixed seed. *)
+    fixed seed.  Tiles are simulated by [jobs] domains (default
+    {!Parallel.Pool.default_jobs}); the per-tile seeds make the trials
+    order-independent, so parallel results are bit-identical to serial
+    ones (the layout-yield product is folded in tile order either way).
+    [engine] defaults to the pruned exact engine ({!Sidb.Bdl.Pruned}). *)
 
 val pp : Format.formatter -> t -> unit

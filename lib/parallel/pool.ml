@@ -1,0 +1,167 @@
+(* A fixed Domain pool with chunked work-stealing over index ranges.
+
+   Workers block on a condition variable waiting for tasks; each [map]
+   call enqueues one task per participating worker, and the task loops
+   stealing chunks off a per-call atomic counter.  The caller's domain
+   participates too, so [jobs] ways of parallelism need only [jobs - 1]
+   pool workers. *)
+
+(* --- worker-count policy --------------------------------------------- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "FICTIONETTE_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+
+let override = ref None
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Parallel.Pool.set_default_jobs: jobs must be >= 1"
+  else override := Some j
+
+let default_jobs () =
+  match !override with
+  | Some j -> j
+  | None -> (
+      match env_jobs () with
+      | Some j -> j
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+(* --- the pool --------------------------------------------------------- *)
+
+type pool = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable stopping : bool;
+}
+
+let the_pool =
+  lazy
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      workers = [];
+      stopping = false;
+    }
+
+let rec worker_loop p =
+  Mutex.lock p.mutex;
+  while Queue.is_empty p.queue && not p.stopping do
+    Condition.wait p.work_ready p.mutex
+  done;
+  if Queue.is_empty p.queue then Mutex.unlock p.mutex (* stopping *)
+  else begin
+    let task = Queue.pop p.queue in
+    Mutex.unlock p.mutex;
+    task ();
+    worker_loop p
+  end
+
+let shutdown () =
+  if Lazy.is_val the_pool then begin
+    let p = Lazy.force the_pool in
+    Mutex.lock p.mutex;
+    p.stopping <- true;
+    Condition.broadcast p.work_ready;
+    let workers = p.workers in
+    p.workers <- [];
+    Mutex.unlock p.mutex;
+    List.iter Domain.join workers
+  end
+
+(* Grow the pool to at least [k] workers (never shrinks). *)
+let ensure_workers p k =
+  Mutex.lock p.mutex;
+  let have = List.length p.workers in
+  if have = 0 && k > 0 then at_exit shutdown;
+  for _ = have + 1 to k do
+    p.workers <- Domain.spawn (fun () -> worker_loop p) :: p.workers
+  done;
+  Mutex.unlock p.mutex
+
+let submit p task =
+  Mutex.lock p.mutex;
+  Queue.push task p.queue;
+  Condition.signal p.work_ready;
+  Mutex.unlock p.mutex
+
+(* --- map / map_reduce -------------------------------------------------- *)
+
+let serial_map n f =
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      results.(i) <- f i
+    done;
+    results
+  end
+
+let parallel_map ~jobs n f =
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let error = Atomic.make None in
+  (* Small chunks keep stealing balanced when per-index cost varies
+     (e.g. operational grid points near the domain boundary are much
+     cheaper than deep-interior ones); one atomic add per chunk keeps
+     contention negligible. *)
+  let chunk = max 1 (n / (jobs * 8)) in
+  let work () =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get error <> None then continue := false
+      else begin
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n then continue := false
+        else
+          let stop = min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              results.(i) <- Some (f i)
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set error None (Some (e, bt)))
+      end
+    done
+  in
+  let p = Lazy.force the_pool in
+  ensure_workers p (jobs - 1);
+  let done_mutex = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref (jobs - 1) in
+  for _ = 1 to jobs - 1 do
+    submit p (fun () ->
+        work ();
+        Mutex.lock done_mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock done_mutex)
+  done;
+  work ();
+  Mutex.lock done_mutex;
+  while !remaining > 0 do
+    Condition.wait all_done done_mutex
+  done;
+  Mutex.unlock done_mutex;
+  match Atomic.get error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+
+let map ?jobs n f =
+  if n < 0 then invalid_arg "Parallel.Pool.map: negative range";
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs (max 1 n) in
+  if jobs = 1 then serial_map n f else parallel_map ~jobs n f
+
+let map_reduce ?jobs ~n ~init ~map:f ~reduce =
+  Array.fold_left reduce init (map ?jobs n f)

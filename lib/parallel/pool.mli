@@ -1,0 +1,46 @@
+(** A fixed pool of worker {!Domain}s for the embarrassingly-parallel
+    outer loops of the simulation stack (operational-domain sweeps,
+    Monte-Carlo yield trials, brute-force equivalence rows).
+
+    Design contract:
+
+    - {b Determinism.} [map n f] returns exactly [[| f 0; …; f (n-1) |]]
+      for a pure [f], whatever the worker count: indices are distributed
+      by chunked work-stealing but every result lands in its own slot
+      and the merge is ordered.  Parallel results are bit-identical to
+      serial ones.
+    - {b Serial path.} [jobs = 1] (explicitly, via [FICTIONETTE_JOBS=1],
+      or on a single-core host) never touches the pool, spawns no
+      domains, and evaluates [f 0 … f (n-1)] in order on the calling
+      domain — the exact serial code path.
+    - {b Exceptions.} If any [f i] raises, one of the raised exceptions
+      is re-raised on the caller (with its backtrace) after all workers
+      have quiesced; remaining chunks are abandoned.
+    - {b Fixed pool.} Worker domains are spawned lazily on first
+      parallel call, reused for every subsequent call, and joined at
+      process exit.  The pool grows to the largest [jobs - 1] ever
+      requested and never shrinks. *)
+
+val default_jobs : unit -> int
+(** Effective worker count used when [?jobs] is omitted: the value set
+    with {!set_default_jobs} if any, else the [FICTIONETTE_JOBS]
+    environment variable (when a positive integer), else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide override (e.g. from a [--jobs] CLI flag); takes
+    precedence over [FICTIONETTE_JOBS].
+    @raise Invalid_argument when the count is not positive. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ?jobs n f] is [[| f 0; …; f (n-1) |]], computed by [jobs]
+    domains (the caller plus [jobs - 1] pool workers) stealing chunks of
+    indices off a shared atomic counter.  [jobs] defaults to
+    {!default_jobs}; it is capped at [n]. *)
+
+val map_reduce :
+  ?jobs:int -> n:int -> init:'b -> map:(int -> 'a) -> reduce:('b -> 'a -> 'b) -> 'b
+(** [map_reduce ~n ~init ~map ~reduce] folds the mapped results {e in
+    index order}: [reduce (… (reduce init (map 0)) …) (map (n-1))].
+    The fold itself runs on the caller, so non-commutative reductions
+    (e.g. floating-point products) are deterministic. *)

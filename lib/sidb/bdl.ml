@@ -36,7 +36,7 @@ let read_pair sites occ p =
       else None
   | _ -> None
 
-type engine = Exhaustive | Branch_and_bound | Anneal of Simanneal.params
+type engine = Exhaustive | Branch_and_bound | Pruned | Anneal of Simanneal.params
 
 type row_result = {
   assignment : bool array;
@@ -52,6 +52,7 @@ let solve engine sys =
   match engine with
   | Exhaustive -> Ground_state.exhaustive sys
   | Branch_and_bound -> Ground_state.branch_and_bound sys
+  | Pruned -> Ground_state.pruned sys
   | Anneal params -> Simanneal.run ~params sys
 
 let check ?(engine = Branch_and_bound) ?(model = Model.default) ?v_ext_at s

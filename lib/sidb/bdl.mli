@@ -38,7 +38,10 @@ val read_pair :
 
 type engine =
   | Exhaustive  (** ExGS; up to 24 SiDBs. *)
-  | Branch_and_bound  (** QuickExact-style; default. *)
+  | Branch_and_bound  (** Admissible-bound search; default for {!check}. *)
+  | Pruned
+      (** {!Ground_state.pruned}: branch and bound plus population-stability
+          subtree pruning; same results, fastest on gate-sized systems. *)
   | Anneal of Simanneal.params
 
 type row_result = {

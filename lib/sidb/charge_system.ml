@@ -54,34 +54,49 @@ let local_potential t occ i =
   done;
   !acc
 
+let local_potentials t occ =
+  (* All per-site potentials in one O(n^2) pass over the occupied rows
+     of the (symmetric) interaction matrix. *)
+  let n = Array.length t.sites in
+  let pot = Array.copy t.v_ext in
+  for j = 0 to n - 1 do
+    if occ.(j) then begin
+      let vj = t.v.(j) in
+      for i = 0 to n - 1 do
+        if i <> j then pot.(i) <- pot.(i) +. vj.(i)
+      done
+    end
+  done;
+  pot
+
 let population_stable t occ =
   let n = Array.length t.sites in
-  let ok = ref true in
-  for i = 0 to n - 1 do
-    let dv = t.model.Model.mu_minus +. local_potential t occ i in
-    if occ.(i) then begin
-      if dv > 1e-9 then ok := false
-    end
-    else if dv < -1e-9 then ok := false
-  done;
-  !ok
+  let mu = t.model.Model.mu_minus in
+  let rec go i =
+    if i >= n then true
+    else
+      let dv = mu +. local_potential t occ i in
+      if if occ.(i) then dv > 1e-9 else dv < -1e-9 then false else go (i + 1)
+  in
+  go 0
 
 let configuration_stable t occ =
   let n = Array.length t.sites in
-  let ok = ref true in
-  for i = 0 to n - 1 do
-    if occ.(i) then
-      for j = 0 to n - 1 do
-        if (not occ.(j)) && i <> j then begin
-          (* Hop i -> j: remove charge at i, add at j. *)
-          let delta =
-            local_potential t occ j -. local_potential t occ i -. t.v.(i).(j)
-          in
-          if delta < -1e-9 then ok := false
-        end
-      done
-  done;
-  !ok
+  let pot = local_potentials t occ in
+  let rec site i =
+    if i >= n then true
+    else if not occ.(i) then site (i + 1)
+    else
+      (* Hop i -> j: remove charge at i, add at j. *)
+      let rec hop j =
+        if j >= n then true
+        else if occ.(j) || i = j then hop (j + 1)
+        else if pot.(j) -. pot.(i) -. t.v.(i).(j) < -1e-9 then false
+        else hop (j + 1)
+      in
+      hop 0 && site (i + 1)
+  in
+  site 0
 
 let physically_valid t occ = population_stable t occ && configuration_stable t occ
 
@@ -89,3 +104,20 @@ let with_v_ext t v_ext =
   if Array.length v_ext <> Array.length t.sites then
     invalid_arg "Charge_system.with_v_ext: length mismatch"
   else { t with v_ext = Array.copy v_ext }
+
+let sub t idx =
+  let n = Array.length t.sites in
+  let k = Array.length idx in
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Charge_system.sub: index out of range";
+      if seen.(i) then invalid_arg "Charge_system.sub: duplicate index";
+      seen.(i) <- true)
+    idx;
+  {
+    t with
+    sites = Array.map (fun i -> t.sites.(i)) idx;
+    v = Array.init k (fun a -> Array.init k (fun b -> t.v.(idx.(a)).(idx.(b))));
+    v_ext = Array.map (fun i -> t.v_ext.(i)) idx;
+  }

@@ -20,14 +20,30 @@ val energy : t -> bool array -> float
 val local_potential : t -> bool array -> int -> float
 (** [sum_j V_ij n_j + v_ext_i] — the potential felt at site [i]. *)
 
+val local_potentials : t -> bool array -> float array
+(** All per-site potentials in a single O(n²) pass (one {!local_potential}
+    per site costs the same asymptotically but this walks the matrix
+    cache-friendly, row by occupied row). *)
+
 val population_stable : t -> bool array -> bool
 (** SiQAD's population-stability criterion: every occupied site has
-    [mu_minus + v_i <= 0] and every empty site [mu_minus + v_i >= 0]. *)
+    [mu_minus + v_i <= 0] and every empty site [mu_minus + v_i >= 0].
+    Short-circuits on the first violating site. *)
 
 val configuration_stable : t -> bool array -> bool
-(** No single-electron hop lowers the energy. *)
+(** No single-electron hop lowers the energy.  O(n²): per-site potentials
+    are computed once ({!local_potentials}), so a hop [i -> j] costs O(1);
+    short-circuits on the first energy-lowering hop. *)
 
 val physically_valid : t -> bool array -> bool
 
 val with_v_ext : t -> float array -> t
 (** Same sites, different external potential (for clocking sweeps). *)
+
+val sub : t -> int array -> t
+(** [sub t idx] is the charge system over sites [t.sites.(idx.(0)), …]:
+    the interaction submatrix and external potential are {e copied} from
+    [t], not recomputed, so building many row subsystems from one full
+    system skips the screened-Coulomb evaluations entirely (and yields
+    bit-identical matrix entries).
+    @raise Invalid_argument on an out-of-range or duplicate index. *)

@@ -129,6 +129,146 @@ let branch_and_bound ?(max_states = 64) sys =
     { energy = !best_energy; states = List.rev !best_states }
   end
 
+(* QuickExact-style pruned search: branch and bound extended with
+   population-stability subtree pruning.
+
+   Interactions are repulsive, so along any completion of a partial
+   assignment the potential v_i at a site only grows.  Two sound prune
+   rules follow for every assigned site i:
+
+   - occupied: stability finally needs [mu + v_i <= 0]; v_i only grows,
+     so [mu + v_i > slack] already means no completion of this subtree
+     is population-stable;
+   - empty: stability finally needs [mu + v_i >= 0]; the most v_i can
+     still gain is [rest_i] (the summed interaction with all unassigned
+     sites), so [mu + v_i + rest_i < -slack] dooms the subtree.
+
+   Every global minimum (and every state within [epsilon] of it) is
+   population-stable to within [epsilon], so with [slack >> epsilon]
+   pruning never drops a state that {!exhaustive} would report: the
+   energy and the state set are identical. *)
+let pruned ?(max_states = 64) sys =
+  let n = Charge_system.size sys in
+  if n = 0 then { energy = 0.; states = [ [||] ] }
+  else begin
+    let mu = (Charge_system.model sys).Model.mu_minus in
+    let slack = 1e-6 in
+    let weight i =
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        if j <> i then acc := !acc +. Charge_system.interaction sys i j
+      done;
+      !acc
+    in
+    let order =
+      List.sort
+        (fun a b -> compare (weight b) (weight a))
+        (List.init n (fun i -> i))
+      |> Array.of_list
+    in
+    let occ = Array.make n false in
+    let best_energy = ref infinity and best_states = ref [] in
+    (* v.(i): potential at site i from currently assigned charges;
+       rest.(i): summed interaction of i with all unassigned sites. *)
+    let v = Array.make n 0. in
+    let rest = Array.make n 0. in
+    let zero_occ = Array.make n false in
+    for i = 0 to n - 1 do
+      v.(i) <- Charge_system.local_potential sys zero_occ i;
+      rest.(i) <- weight i
+    done;
+    let record current =
+      if current < !best_energy -. epsilon then begin
+        best_energy := current;
+        best_states := [ Array.copy occ ]
+      end
+      else if
+        Float.abs (current -. !best_energy) <= epsilon
+        && List.length !best_states < max_states
+      then best_states := Array.copy occ :: !best_states
+    in
+    let rec explore depth current =
+      if depth = n then record current
+      else begin
+        (* The same admissible energy bound as [branch_and_bound]. *)
+        let bound = ref 0. in
+        for d = depth to n - 1 do
+          let k = order.(d) in
+          let c = mu +. v.(k) in
+          if c < 0. then bound := !bound +. c
+        done;
+        if current +. !bound < !best_energy +. epsilon then begin
+          let i = order.(depth) in
+          let take_rest () =
+            for j = 0 to n - 1 do
+              if j <> i then
+                rest.(j) <- rest.(j) -. Charge_system.interaction sys i j
+            done
+          in
+          let give_rest () =
+            for j = 0 to n - 1 do
+              if j <> i then
+                rest.(j) <- rest.(j) +. Charge_system.interaction sys i j
+            done
+          in
+          let try_occupied () =
+            (* v_i only grows: an already-violating occupied site stays
+               violating in every completion. *)
+            if mu +. v.(i) <= slack then begin
+              let delta = mu +. v.(i) in
+              occ.(i) <- true;
+              for j = 0 to n - 1 do
+                if j <> i then
+                  v.(j) <- v.(j) +. Charge_system.interaction sys i j
+              done;
+              take_rest ();
+              (* The new charge pushed every previously-occupied assigned
+                 site up; any of them past the bound kills the subtree. *)
+              let rec assigned_ok d =
+                d >= depth
+                || (((not occ.(order.(d))) || mu +. v.(order.(d)) <= slack)
+                   && assigned_ok (d + 1))
+              in
+              if assigned_ok 0 then explore (depth + 1) (current +. delta);
+              give_rest ();
+              for j = 0 to n - 1 do
+                if j <> i then
+                  v.(j) <- v.(j) -. Charge_system.interaction sys i j
+              done;
+              occ.(i) <- false
+            end
+          in
+          let try_empty () =
+            (* Even with every unassigned site charged, v_i tops out at
+               v.(i) + rest.(i). *)
+            if mu +. v.(i) +. rest.(i) >= -.slack then begin
+              take_rest ();
+              (* Assigning i shrank the headroom of every previously-empty
+                 assigned site. *)
+              let rec assigned_ok d =
+                d > depth
+                || ((occ.(order.(d))
+                    || mu +. v.(order.(d)) +. rest.(order.(d)) >= -.slack)
+                   && assigned_ok (d + 1))
+              in
+              if assigned_ok 0 then explore (depth + 1) current;
+              give_rest ()
+            end
+          in
+          if mu +. v.(i) < 0. then begin
+            try_occupied ();
+            try_empty ()
+          end
+          else begin
+            try_empty ();
+            try_occupied ()
+          end
+        end
+      end
+    in
+    explore 0 0.;
+    { energy = !best_energy; states = List.rev !best_states }
+  end
 
 (* Low-energy spectrum: like [branch_and_bound], but keeping every
    configuration within [window] of the running optimum. *)

@@ -19,6 +19,16 @@ val branch_and_bound : ?max_states:int -> Charge_system.t -> result
 (** Exact via depth-first search with an admissible lower bound; sites
     are explored in decreasing connectivity order. *)
 
+val pruned : ?max_states:int -> Charge_system.t -> result
+(** {!branch_and_bound} extended with QuickExact-style population-stability
+    pruning: subtrees in which some assigned site can no longer reach
+    [mu_minus + v_i <= 0] (occupied) or [mu_minus + v_i >= 0] (empty) in
+    {e any} completion are skipped.  Interactions are repulsive, so both
+    bounds are sound; every state within [epsilon] of the optimum is
+    population-stable to within [epsilon], hence the returned energy and
+    state set equal {!exhaustive}'s.  The default engine for
+    operational-domain sweeps and defect-yield Monte Carlo. *)
+
 val degeneracy : result -> int
 
 val spectrum :

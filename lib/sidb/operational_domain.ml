@@ -33,16 +33,51 @@ let axis_value axis i =
      *. float_of_int i
      /. float_of_int (axis.steps - 1)
 
-let operational_at model structure ~spec =
+(* Classify one grid point.  Truth-table rows differ only in which
+   perturbers are selected, so with [interaction_cache] (the default)
+   the screened-Coulomb interaction matrix is evaluated once over the
+   union of all the structure's sites and every row's subsystem is cut
+   out of it ({!Charge_system.sub}) — bit-identical entries, 2^arity
+   fewer matrix builds per grid point. *)
+let operational_at ?(interaction_cache = true) model structure ~spec =
   let arity = Array.length structure.Bdl.inputs in
+  let row_system =
+    if not interaction_cache then fun sites -> Charge_system.create model sites
+    else begin
+      (* Union of fixed sites and every perturber, deduplicated (near
+         and far sets of different inputs may legitimately collide —
+         only one of each pair is active per row). *)
+      let index = Hashtbl.create 64 in
+      let rev_sites = ref [] in
+      let count = ref 0 in
+      let add site =
+        if not (Hashtbl.mem index site) then begin
+          Hashtbl.add index site !count;
+          rev_sites := site :: !rev_sites;
+          incr count
+        end
+      in
+      List.iter add structure.Bdl.fixed;
+      Array.iter
+        (fun (d : Bdl.input_driver) ->
+          List.iter add d.Bdl.near;
+          List.iter add d.Bdl.far)
+        structure.Bdl.inputs;
+      let full =
+        Charge_system.create model
+          (Array.of_list (List.rev !rev_sites))
+      in
+      fun sites -> Charge_system.sub full (Array.map (Hashtbl.find index) sites)
+    end
+  in
   let ok = ref true in
   (try
      for row = 0 to (1 lsl arity) - 1 do
        let assignment = Array.init arity (fun i -> (row lsr i) land 1 = 1) in
        let expected = spec assignment in
        let sites = Bdl.sites_for structure assignment in
-       let sys = Charge_system.create model sites in
-       let result = Ground_state.branch_and_bound ~max_states:8 sys in
+       let sys = row_system sites in
+       let result = Ground_state.pruned ~max_states:8 sys in
        let states = result.Ground_state.states in
        if states = [] then begin
          ok := false;
@@ -68,33 +103,38 @@ let operational_at model structure ~spec =
    with Exit -> ());
   !ok
 
-let sweep ?(base = Model.default) ~x_axis ~y_axis structure ~spec =
+let sweep ?(base = Model.default) ?jobs ~x_axis ~y_axis structure ~spec =
   if x_axis.steps < 2 || y_axis.steps < 2 then
     invalid_arg "Operational_domain.sweep: axes need at least 2 steps";
   if x_axis.parameter = y_axis.parameter then
     invalid_arg "Operational_domain.sweep: axes must differ";
-  let samples = ref [] in
-  let operational_count = ref 0 in
-  for yi = 0 to y_axis.steps - 1 do
-    for xi = 0 to x_axis.steps - 1 do
-      let x_value = axis_value x_axis xi and y_value = axis_value y_axis yi in
-      let model =
-        set_parameter
-          (set_parameter base x_axis.parameter x_value)
-          y_axis.parameter y_value
-      in
-      let operational = operational_at model structure ~spec in
-      if operational then incr operational_count;
-      samples := { x_value; y_value; operational } :: !samples
-    done
-  done;
+  (* Row-major over the grid (y outer), one independent classification
+     per index: exactly the serial nesting, so parallel runs return
+     bit-identical samples in the same order. *)
+  let nx = x_axis.steps in
+  let total = nx * y_axis.steps in
+  let samples =
+    Parallel.Pool.map ?jobs total (fun k ->
+        let yi = k / nx and xi = k mod nx in
+        let x_value = axis_value x_axis xi and y_value = axis_value y_axis yi in
+        let model =
+          set_parameter
+            (set_parameter base x_axis.parameter x_value)
+            y_axis.parameter y_value
+        in
+        { x_value; y_value; operational = operational_at model structure ~spec })
+  in
+  let operational_count =
+    Array.fold_left
+      (fun acc s -> if s.operational then acc + 1 else acc)
+      0 samples
+  in
   {
     x_axis;
     y_axis;
-    samples = List.rev !samples;
+    samples = Array.to_list samples;
     operational_fraction =
-      float_of_int !operational_count
-      /. float_of_int (x_axis.steps * y_axis.steps);
+      float_of_int operational_count /. float_of_int total;
   }
 
 let to_ascii t =

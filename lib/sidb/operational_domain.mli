@@ -30,15 +30,32 @@ type t = {
 
 val sweep :
   ?base:Model.t ->
+  ?jobs:int ->
   x_axis:axis ->
   y_axis:axis ->
   Bdl.structure ->
   spec:(bool array -> bool array) ->
   t
 (** Exhaustively classify every grid point: a sample is operational when
-    every input row's complete ground-state set reads back [spec].
+    every input row's complete ground-state set ({!Ground_state.pruned})
+    reads back [spec].  Grid points are independent and are classified by
+    [jobs] domains (default {!Parallel.Pool.default_jobs}); results are
+    bit-identical to the serial ([jobs = 1]) sweep.
     @raise Invalid_argument when an axis has fewer than 2 steps or the
     two axes use the same parameter. *)
+
+val operational_at :
+  ?interaction_cache:bool ->
+  Model.t ->
+  Bdl.structure ->
+  spec:(bool array -> bool array) ->
+  bool
+(** One grid point of {!sweep}.  With [interaction_cache] (default) the
+    interaction matrix is computed once over the union of the structure's
+    sites and every truth-table row's subsystem is sliced out of it —
+    same entries bit-for-bit, 2^arity fewer screened-Coulomb matrix
+    builds; [~interaction_cache:false] rebuilds per row (the reference
+    path, kept for the cache-agreement test). *)
 
 val set_parameter : Model.t -> parameter -> float -> Model.t
 

@@ -102,6 +102,80 @@ let run ~certify ~budget ntk1 ntk2 =
 let check ?(budget = Sat.Budget.unlimited) ntk1 ntk2 =
   fst (run ~certify:false ~budget ntk1 ntk2)
 
+let check_brute_force ?jobs ntk1 ntk2 =
+  let pi_names ntk = List.init (N.num_pis ntk) (N.pi_name ntk) in
+  let po_names ntk = List.map fst (N.pos ntk) in
+  if sorted_names (pi_names ntk1) <> sorted_names (pi_names ntk2) then
+    Interface_mismatch
+      (Printf.sprintf "inputs differ: {%s} vs {%s}"
+         (String.concat "," (pi_names ntk1))
+         (String.concat "," (pi_names ntk2)))
+  else if sorted_names (po_names ntk1) <> sorted_names (po_names ntk2) then
+    Interface_mismatch
+      (Printf.sprintf "outputs differ: {%s} vs {%s}"
+         (String.concat "," (po_names ntk1))
+         (String.concat "," (po_names ntk2)))
+  else begin
+    let n = N.num_pis ntk1 in
+    if n > 20 then
+      invalid_arg "Equivalence.check_brute_force: more than 20 primary inputs";
+    let names1 = Array.of_list (pi_names ntk1) in
+    (* ntk2's input i is ntk1's input perm.(i), matched by name. *)
+    let index_of name =
+      let rec go i = if names1.(i) = name then i else go (i + 1) in
+      go 0
+    in
+    let perm = Array.of_list (List.map index_of (pi_names ntk2)) in
+    let out_pairs =
+      List.map
+        (fun (name, _) ->
+          let pos_of l =
+            let rec go i = function
+              | [] -> assert false
+              | (x, _) :: rest -> if x = name then i else go (i + 1) rest
+            in
+            go 0 l
+          in
+          (pos_of (N.pos ntk1), pos_of (N.pos ntk2)))
+        (N.pos ntk1)
+    in
+    let row_differs row =
+      let inputs = Array.init n (fun i -> (row lsr i) land 1 = 1) in
+      let outs1 = N.eval ntk1 inputs in
+      let outs2 = N.eval ntk2 (Array.init n (fun i -> inputs.(perm.(i)))) in
+      List.exists (fun (i1, i2) -> outs1.(i1) <> outs2.(i2)) out_pairs
+    in
+    let total = 1 lsl n in
+    (* Fixed chunking (independent of the worker count): each chunk
+       reports its first differing row, the ordered merge keeps the
+       lowest — so the counterexample is the lowest differing row
+       whatever [jobs] is, bit-identical to the serial scan. *)
+    let nchunks = min total 64 in
+    let per_chunk = (total + nchunks - 1) / nchunks in
+    let first_diff =
+      Parallel.Pool.map_reduce ?jobs ~n:nchunks ~init:None
+        ~map:(fun c ->
+          let lo = c * per_chunk and hi = min total ((c + 1) * per_chunk) in
+          let rec scan row =
+            if row >= hi then None
+            else if row_differs row then Some row
+            else scan (row + 1)
+          in
+          scan lo)
+        ~reduce:(fun acc found ->
+          match (acc, found) with
+          | Some a, Some b -> Some (min a b)
+          | Some a, None -> Some a
+          | None, r -> r)
+    in
+    match first_diff with
+    | None -> Equivalent
+    | Some row ->
+        Counterexample
+          (List.sort compare
+             (List.init n (fun i -> (names1.(i), (row lsr i) land 1 = 1))))
+  end
+
 let check_certified ?(budget = Sat.Budget.unlimited) ntk1 ntk2 =
   run ~certify:true ~budget ntk1 ntk2
 

@@ -40,6 +40,18 @@ val check :
   ?budget:Sat.Budget.t -> Logic.Network.t -> Logic.Network.t -> verdict
 (** A tripped budget yields [Undecided] — never an exception. *)
 
+val check_brute_force :
+  ?jobs:int -> Logic.Network.t -> Logic.Network.t -> verdict
+(** Miter by exhaustive row enumeration instead of SAT: simulate both
+    networks on all [2^n] input rows (inputs and outputs matched by
+    name) and compare.  The rows are scanned by [jobs] domains (default
+    {!Parallel.Pool.default_jobs}) in fixed chunks whose first hits are
+    merged in order, so the verdict — including {e which}
+    counterexample: always the lowest differing row — is bit-identical
+    to the serial scan.  An independent oracle for {!check} on small
+    interfaces.
+    @raise Invalid_argument beyond 20 primary inputs. *)
+
 val check_certified :
   ?budget:Sat.Budget.t ->
   Logic.Network.t ->

@@ -8,7 +8,7 @@
 #   4. property fuzzing       (bounded, fixed seed: solver vs. oracle
 #                              with DRAT-checked UNSATs, XAG rewrite/map
 #                              behavior preservation, defect-yield
-#                              invariants)
+#                              invariants, pruned-engine exactness)
 #   5. resilience smoke test  (mux21 under a 1 s deadline with the
 #                              fallback engine must finish cleanly --
 #                              the hard guarantee of the budget work)
@@ -16,37 +16,57 @@
 #                              search refutes a candidate size: the
 #                              refutation must come with a DRAT proof
 #                              the independent checker accepts)
+#   7. bench smoke            (the simulation harness at jobs=2 must
+#                              report results bit-identical to jobs=1 --
+#                              the harness exits nonzero on any mismatch
+#                              -- and write a well-formed BENCH_sim.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 type check =="
+echo "== 1/7 type check =="
 dune build @check
 
-echo "== 2/6 full build =="
+echo "== 2/7 full build =="
 dune build
 
-echo "== 3/6 test suite =="
+echo "== 3/7 test suite =="
 start=$(date +%s)
 dune runtest --force
 end=$(date +%s)
 echo "tests passed in $((end - start))s"
 
-echo "== 4/6 property fuzzing =="
-# Fixed seed: reproducible in CI, >= 500 iterations across the three
-# generators (CNF, XAG, defect parameters).
-dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -xag 150 -defect 60
+echo "== 4/7 property fuzzing =="
+# Fixed seed: reproducible in CI, >= 500 iterations across the four
+# generators (CNF, XAG, defect parameters, charge systems).
+dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -xag 150 -defect 60 -system 40
 
-echo "== 5/6 budgeted-flow smoke test =="
+echo "== 5/7 budgeted-flow smoke test =="
 # Must return a verified layout without raising, degrading to the
 # scalable engine if the exact share of the deadline runs out.
 dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
 
-echo "== 6/6 certification smoke test =="
+echo "== 6/7 certification smoke test =="
 # Benchmark "t" needs one candidate size refuted before its minimal
 # layout: paranoid mode proof-checks that UNSAT and replays the
 # equivalence certificate; any failed check exits nonzero.
 dune exec bin/fictionette.exe -- check t | grep "certified refutations"
 dune exec bin/fictionette.exe -- check t
+
+echo "== 7/7 bench smoke (parallel determinism + BENCH_sim.json shape) =="
+out=$(mktemp)
+dune exec bench/main.exe -- sim --smoke --jobs 2 --out "$out"
+# Shape check: schema marker, host cores, at least one result row with
+# the full field set, and a recorded serial-vs-parallel verdict.
+grep -q '"schema": "fictionette-bench-sim/1"' "$out"
+grep -q '"cores":' "$out"
+grep -q '"workload": "sweep"' "$out"
+grep -q '"speedup_vs_serial":' "$out"
+grep -q '"identical_to_serial": true' "$out"
+if grep -q '"identical_to_serial": false' "$out"; then
+    echo "bench smoke: parallel result differed from serial" >&2
+    exit 1
+fi
+rm -f "$out"
 
 echo "CI OK"

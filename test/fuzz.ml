@@ -9,7 +9,11 @@
      behavior under re-simulation;
    - random defect-injection parameters: operational yield must be
      deterministic under its seed, lie in [0, 1], agree with its own
-     trial list, and be exactly 1.0 with zero defects.
+     trial list, and be exactly 1.0 with zero defects;
+   - random charge systems (<= 16 sites): the pruned exact engine must
+     report the same ground-state energy and the same degenerate state
+     set as exhaustive enumeration, and branch & bound must agree on the
+     energy.
 
    Runs a fixed seed by default so CI is reproducible; any failure is
    shrunk before being reported, and the process exits nonzero. *)
@@ -122,6 +126,77 @@ let defect_property (p : Sidb.Defects.params) =
   then Error "zero defects must give yield 1.0"
   else Ok ()
 
+(* Charge systems: the pruned engine is exact. *)
+
+let pp_sites ppf sites =
+  Format.fprintf ppf "sites [%s]"
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun s ->
+               Printf.sprintf "(%d,%d,%d)" s.Sidb.Lattice.n s.Sidb.Lattice.m
+                 s.Sidb.Lattice.l)
+             sites)))
+
+let system_arb : Sidb.Lattice.site array P.arbitrary =
+  let gen rng =
+    let n = 2 + P.Rng.int rng 15 in
+    let sites = ref [] in
+    (* Rejection-sample distinct sites in a 14x7x2 box: small enough for
+       meaningful interactions, large enough that 16 distinct sites
+       always fit. *)
+    while List.length !sites < n do
+      let s =
+        {
+          Sidb.Lattice.n = P.Rng.int rng 14;
+          m = P.Rng.int rng 7;
+          l = P.Rng.int rng 2;
+        }
+      in
+      if not (List.mem s !sites) then sites := s :: !sites
+    done;
+    Array.of_list !sites
+  in
+  let shrink sites =
+    if Array.length sites <= 2 then []
+    else
+      List.init (Array.length sites) (fun drop ->
+          Array.of_list
+            (List.filteri
+               (fun i _ -> i <> drop)
+               (Array.to_list sites)))
+  in
+  { P.gen; shrink; pp = pp_sites }
+
+let system_property sites =
+  let open Sidb.Ground_state in
+  let sys = Sidb.Charge_system.create Sidb.Model.default sites in
+  (* No cap in play: 2^16 exceeds any possible degeneracy here. *)
+  let cap = 1 lsl 16 in
+  let ex = exhaustive ~max_states:cap sys in
+  let pr = pruned ~max_states:cap sys in
+  let bb = branch_and_bound ~max_states:cap sys in
+  let state_key r = List.sort compare (List.map Array.to_list r.states) in
+  if abs_float (ex.energy -. pr.energy) > 1e-9 then
+    Error
+      (Printf.sprintf "pruned energy %.9f, exhaustive %.9f" pr.energy
+         ex.energy)
+  else if state_key ex <> state_key pr then
+    Error
+      (Printf.sprintf "pruned returns %d state(s), exhaustive %d, or sets differ"
+         (List.length pr.states) (List.length ex.states))
+  else if abs_float (ex.energy -. bb.energy) > 1e-9 then
+    Error
+      (Printf.sprintf "branch&bound energy %.9f, exhaustive %.9f" bb.energy
+         ex.energy)
+  else if
+    not
+      (List.for_all
+         (fun occ -> Sidb.Charge_system.population_stable sys occ)
+         pr.states)
+  then Error "pruned returned a population-unstable state"
+  else Ok ()
+
 (* Driver. *)
 
 let () =
@@ -129,6 +204,7 @@ let () =
   let cnf_iters = ref 300 in
   let xag_iters = ref 150 in
   let defect_iters = ref 60 in
+  let system_iters = ref 40 in
   Arg.parse
     [
       ("-seed", Arg.Set_int seed, "PRNG seed (default 0xF002)");
@@ -137,9 +213,12 @@ let () =
       ( "-defect",
         Arg.Set_int defect_iters,
         "defect-parameter iterations (default 60)" );
+      ( "-system",
+        Arg.Set_int system_iters,
+        "charge-system iterations (default 40)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "fuzz [-seed N] [-cnf N] [-xag N] [-defect N]";
+    "fuzz [-seed N] [-cnf N] [-xag N] [-defect N] [-system N]";
   let failed = ref false in
   let run name iterations arb prop =
     let outcome = P.check ~seed:!seed ~iterations arb prop in
@@ -149,4 +228,5 @@ let () =
   run "cnf-vs-oracle" !cnf_iters P.cnf cnf_property;
   run "xag-rewrite-map" !xag_iters P.xag xag_property;
   run "defect-yield" !defect_iters P.defect_params defect_property;
+  run "pruned-vs-exhaustive" !system_iters system_arb system_property;
   if !failed then exit 1
