@@ -1042,6 +1042,372 @@ let sim () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* SAT benchmark harness: BENCH_sat.json                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the SAT core old-vs-new on the workloads that actually drive
+   it: exact P&R on Table-1 benchmarks and equivalence miters.  Both
+   configurations live in one binary ({!Sat.Solver.legacy_config} vs
+   {!Sat.Solver.default_config}); "legacy" also reverts the P&R
+   instances to the pre-overhaul cardinality encodings and disables
+   symmetry breaking, so it reproduces the pre-PR pipeline end to end.
+   All runs are serial (jobs=1): the reported speedups are single-thread
+   algorithmic gains, not parallelism. *)
+
+let sat_out = ref "BENCH_sat.json"
+
+type sat_row = {
+  sat_workload : string;
+  sat_cfg : string;  (* "legacy" | "tuned" *)
+  sat_wall : float;
+  sat_verdict : string;
+  sat_speedup : float option;  (* tuned rows: legacy wall / tuned wall *)
+  sat_verdict_match : bool option;  (* tuned rows: verdict = legacy's *)
+  sat_stats : Sat.Solver.stats;
+  sat_proof : string option;  (* "accepted" / "rejected" when certified *)
+}
+
+let with_solver_config cfg f =
+  let saved = Sat.Solver.global_config () in
+  Sat.Solver.set_global_config cfg;
+  Fun.protect ~finally:(fun () -> Sat.Solver.set_global_config saved) f
+
+let sat_netlist_of name =
+  let b = Logic.Benchmarks.find name in
+  (* Rewriting itself pins its synthesis solver, so the netlist is
+     identical under either global configuration; build it once. *)
+  let ntk = Logic.Rewrite.rewrite_to_fixpoint (b.Logic.Benchmarks.build ()) in
+  Physdesign.Netlist.of_mapped (fst (Logic.Tech_map.map ntk))
+
+let sat_exact_verdict = function
+  | Ok r ->
+      Printf.sprintf "sat %dx%d" r.Physdesign.Exact.width
+        r.Physdesign.Exact.height
+  | Error (Physdesign.Exact.No_layout _) -> "no_layout"
+  | Error (Physdesign.Exact.Out_of_budget _) -> "out_of_budget"
+  | Error (Physdesign.Exact.Certification_failed _) -> "certification_failed"
+
+(* An n-bit array multiplier over {!Logic.Network}; [rev] accumulates
+   the partial-product rows in the opposite order.  The miter of the two
+   orders is the classic hard-but-small equivalence instance: verdicts
+   stay identical across solver configurations while the solver does
+   real work (mult8 is ~700k conflicts on the legacy configuration). *)
+let sat_multiplier n rev =
+  let module N = Logic.Network in
+  let ntk = N.create () in
+  let a = Array.init n (fun i -> N.pi ntk (Printf.sprintf "a%d" i)) in
+  let b = Array.init n (fun i -> N.pi ntk (Printf.sprintf "b%d" i)) in
+  let zero = N.const0 in
+  let full_add x y cin =
+    let s1 = N.xor_ ntk x y in
+    let s = N.xor_ ntk s1 cin in
+    let c = N.or_ ntk (N.and_ ntk x y) (N.and_ ntk s1 cin) in
+    (s, c)
+  in
+  let width = 2 * n in
+  let acc = Array.make width zero in
+  let rows = List.init n (fun i -> i) in
+  let rows = if rev then List.rev rows else rows in
+  List.iter
+    (fun i ->
+      let carry = ref zero in
+      for j = 0 to n - 1 do
+        let pp = N.and_ ntk a.(j) b.(i) in
+        let s, c1 = full_add acc.(i + j) pp !carry in
+        acc.(i + j) <- s;
+        carry := c1
+      done;
+      let k = ref (i + n) in
+      while !carry <> zero && !k < width do
+        let s, c = full_add acc.(!k) !carry zero in
+        acc.(!k) <- s;
+        carry := c;
+        incr k
+      done)
+    rows;
+  Array.iteri (fun i s -> N.po ntk (Printf.sprintf "p%d" i) s) acc;
+  ntk
+
+(* Build and solve the equivalence miter of two networks directly (same
+   construction as {!Verify.Equivalence.check}) so the solver handle —
+   its statistics and its proof — stays accessible. *)
+let sat_miter ~certify ntk1 ntk2 =
+  let f = Sat.Cnf.create () in
+  if certify then Sat.Solver.enable_proof (Sat.Cnf.solver f);
+  let pi_table = Hashtbl.create 16 in
+  let pi_literals name =
+    match Hashtbl.find_opt pi_table name with
+    | Some l -> l
+    | None ->
+        let l = Sat.Cnf.fresh f in
+        Hashtbl.replace pi_table name l;
+        l
+  in
+  let outs1 = Verify.Equivalence.network_to_cnf f ntk1 ~pi_literals in
+  let outs2 = Verify.Equivalence.network_to_cnf f ntk2 ~pi_literals in
+  let diffs =
+    List.map
+      (fun (name, l1) ->
+        match List.assoc_opt name outs2 with
+        | Some l2 -> Sat.Cnf.xor_ f l1 l2
+        | None -> failwith ("miter: unmatched output " ^ name))
+      outs1
+  in
+  Sat.Cnf.add_clause f diffs;
+  (f, Sat.Cnf.solver f)
+
+let write_sat_json ~cores rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"fictionette-bench-sat/1\",\n";
+  add
+    "  \"host\": {\"cores\": %d, \"ocaml\": \"%s\", \"os\": \"%s\", \
+     \"word_size\": %d},\n"
+    cores (json_escape Sys.ocaml_version) (json_escape Sys.os_type)
+    Sys.word_size;
+  add "  \"jobs\": 1,\n";
+  add "  \"smoke\": %b,\n" !sim_smoke;
+  add
+    "  \"notes\": \"single-thread comparison: legacy = pre-overhaul solver \
+     (no binary specialization, no blocking literals, activity-based \
+     reduction with full watch rebuilds) and pre-overhaul pairwise/commander \
+     encodings; tuned = glue-based CDCL with binary implication lists, \
+     blocking literals, sequential-counter encodings and guarded symmetry \
+     breaking.  speedup_vs_legacy = legacy wall / tuned wall on the same \
+     workload.\",\n";
+  add "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      let st = r.sat_stats in
+      add "    {\"workload\": \"%s\", \"config\": \"%s\", \"wall_s\": %.6f"
+        (json_escape r.sat_workload) (json_escape r.sat_cfg) r.sat_wall;
+      add ", \"verdict\": \"%s\"" (json_escape r.sat_verdict);
+      (match r.sat_speedup with
+      | Some s -> add ", \"speedup_vs_legacy\": %.3f" s
+      | None -> add ", \"speedup_vs_legacy\": null");
+      (match r.sat_verdict_match with
+      | Some b -> add ", \"verdict_matches_legacy\": %b" b
+      | None -> add ", \"verdict_matches_legacy\": null");
+      (match r.sat_proof with
+      | Some p -> add ", \"proof\": \"%s\"" (json_escape p)
+      | None -> add ", \"proof\": null");
+      add
+        ", \"stats\": {\"conflicts\": %d, \"decisions\": %d, \
+         \"propagations\": %d, \"binary_propagations\": %d, \
+         \"props_per_s\": %.0f, \"restarts\": %d, \"learned\": %d, \
+         \"learned_binaries\": %d, \"deleted\": %d, \"reductions\": %d, \
+         \"watch_compaction_scans\": %d, \"mean_lbd\": %.3f}}%s\n"
+        st.Sat.Solver.conflicts st.Sat.Solver.decisions
+        st.Sat.Solver.propagations st.Sat.Solver.binary_propagations
+        (Sat.Solver.propagations_per_sec st)
+        st.Sat.Solver.restarts st.Sat.Solver.learned_clauses
+        st.Sat.Solver.learned_binaries st.Sat.Solver.deleted_clauses
+        st.Sat.Solver.reductions st.Sat.Solver.watch_compaction_scans
+        (Sat.Solver.mean_lbd st)
+        (if i = List.length rows - 1 then "" else ",")
+    )
+    rows;
+  add "  ]\n}\n";
+  let oc = open_out !sat_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let sat () =
+  section "SAT benchmark harness (exact P&R + equivalence miters, jobs=1)";
+  let smoke = !sim_smoke in
+  let cores = Domain.recommended_domain_count () in
+  let rows = ref [] in
+  let mismatch = ref false in
+  let best_speedup = ref 0.0 in
+  let emit r =
+    rows := r :: !rows;
+    (match r.sat_verdict_match with
+    | Some false ->
+        mismatch := true;
+        Format.printf "  VERDICT MISMATCH on %s@." r.sat_workload
+    | _ -> ());
+    (match r.sat_speedup with
+    | Some s when s > !best_speedup -> best_speedup := s
+    | _ -> ());
+    Format.eprintf "solver %s/%s: %a@." r.sat_workload r.sat_cfg
+      Sat.Solver.pp_stats r.sat_stats;
+    Format.printf "  %-22s %-6s %8.3fs  %-12s%s%s@." r.sat_workload r.sat_cfg
+      r.sat_wall r.sat_verdict
+      (match r.sat_speedup with
+      | Some s -> Printf.sprintf "  %.2fx vs legacy" s
+      | None -> "")
+      (match r.sat_proof with
+      | Some p -> "  proof " ^ p
+      | None -> "")
+  in
+  (* --- exact P&R, legacy vs tuned, certified ---------------------- *)
+  let exact_benches =
+    if smoke then [ "xor2"; "par_gen" ]
+    else [ "xor2"; "xnor2"; "par_gen"; "mux21"; "par_check"; "t"; "c17" ]
+  in
+  List.iter
+    (fun name ->
+      let nl = sat_netlist_of name in
+      let workload = "exact/" ^ name in
+      let run ~legacy =
+        let solver_cfg =
+          if legacy then Sat.Solver.legacy_config else Sat.Solver.default_config
+        in
+        let config =
+          {
+            Physdesign.Exact.default_config with
+            legacy_encoding = legacy;
+            symmetry_breaking = not legacy;
+            certify = true;
+            jobs = Some 1;
+          }
+        in
+        with_solver_config solver_cfg (fun () ->
+            timed (fun () -> Physdesign.Exact.place_and_route ~config nl))
+      in
+      let legacy_res, legacy_wall = run ~legacy:true in
+      let stats_of = function
+        | Ok r -> r.Physdesign.Exact.stats
+        | Error _ -> Sat.Solver.empty_stats
+      in
+      let proof_of = function
+        | Ok r ->
+            (* certify=true: every refuted candidate's UNSAT proof was
+               accepted by the independent DRAT checker, or the search
+               would have failed with Certification_failed. *)
+            Some
+              (Printf.sprintf "accepted (%d refutation(s))"
+                 r.Physdesign.Exact.certified_refutations)
+        | Error (Physdesign.Exact.Certification_failed _) -> Some "rejected"
+        | Error _ -> None
+      in
+      emit
+        {
+          sat_workload = workload;
+          sat_cfg = "legacy";
+          sat_wall = legacy_wall;
+          sat_verdict = sat_exact_verdict legacy_res;
+          sat_speedup = None;
+          sat_verdict_match = None;
+          sat_stats = stats_of legacy_res;
+          sat_proof = proof_of legacy_res;
+        };
+      let tuned_res, tuned_wall = run ~legacy:false in
+      emit
+        {
+          sat_workload = workload;
+          sat_cfg = "tuned";
+          sat_wall = tuned_wall;
+          sat_verdict = sat_exact_verdict tuned_res;
+          sat_speedup = Some (legacy_wall /. tuned_wall);
+          sat_verdict_match =
+            Some (sat_exact_verdict tuned_res = sat_exact_verdict legacy_res);
+          sat_stats = stats_of tuned_res;
+          sat_proof = proof_of tuned_res;
+        })
+    exact_benches;
+  (* --- equivalence miters, legacy vs tuned, DRAT-checked ----------- *)
+  (* Benchmark-vs-rewritten miters are quick (repeated for measurable
+     walls, proofs small enough to check); the multiplier miters are the
+     heavyweight workloads (certification is skipped beyond mult5: a
+     multi-100k-step RUP check would dwarf the solve itself). *)
+  let eq_cases =
+    let bench_vs_rewritten name =
+      let b = Logic.Benchmarks.find name in
+      ( "equiv/" ^ name,
+        b.Logic.Benchmarks.build (),
+        Logic.Rewrite.rewrite_to_fixpoint (b.Logic.Benchmarks.build ()),
+        (if smoke then 5 else 25),
+        true )
+    and mult n certify =
+      ( Printf.sprintf "equiv/mult%d" n,
+        sat_multiplier n false,
+        sat_multiplier n true,
+        1,
+        certify )
+    in
+    if smoke then [ bench_vs_rewritten "par_check"; mult 5 true ]
+    else
+      [
+        bench_vs_rewritten "par_check";
+        bench_vs_rewritten "xor5_majority";
+        bench_vs_rewritten "c17";
+        bench_vs_rewritten "cm82a_5";
+        mult 5 true;
+        mult 6 false;
+        mult 7 false;
+        mult 8 false;
+      ]
+  in
+  List.iter
+    (fun (workload, ntk1, ntk2, eq_reps, certify) ->
+      let run cfg =
+        with_solver_config cfg (fun () ->
+            timed (fun () ->
+                let last = ref None in
+                for rep = 1 to eq_reps do
+                  let f, solver =
+                    sat_miter ~certify:(certify && rep = eq_reps) ntk1 ntk2
+                  in
+                  let v = Sat.Solver.solve solver in
+                  if rep = eq_reps then last := Some (f, solver, v)
+                done;
+                match !last with Some x -> x | None -> assert false))
+      in
+      let row cfg_name ((f, solver, verdict), wall) legacy_row =
+        let verdict_str =
+          match verdict with
+          | Sat.Solver.Unsat -> "equivalent"
+          | Sat.Solver.Sat -> "counterexample"
+          | Sat.Solver.Unknown _ -> "undecided"
+        in
+        let proof =
+          match verdict with
+          | Sat.Solver.Unsat when certify -> (
+              match
+                Sat.Drat.check ~nvars:(Sat.Cnf.num_vars f)
+                  ~clauses:(Sat.Cnf.clauses f)
+                  (Sat.Solver.proof solver)
+              with
+              | Sat.Drat.Valid -> Some "accepted"
+              | Sat.Drat.Invalid _ -> Some "rejected")
+          | _ -> None
+        in
+        {
+          sat_workload = workload;
+          sat_cfg = cfg_name;
+          sat_wall = wall;
+          sat_verdict = verdict_str;
+          sat_speedup =
+            (match legacy_row with
+            | Some l -> Some (l.sat_wall /. wall)
+            | None -> None);
+          sat_verdict_match =
+            (match legacy_row with
+            | Some l -> Some (l.sat_verdict = verdict_str)
+            | None -> None);
+          sat_stats = Sat.Solver.stats solver;
+          sat_proof = proof;
+        }
+      in
+      let legacy_row = row "legacy" (run Sat.Solver.legacy_config) None in
+      emit legacy_row;
+      emit (row "tuned" (run Sat.Solver.default_config) (Some legacy_row)))
+    eq_cases;
+  let rows = List.rev !rows in
+  write_sat_json ~cores rows;
+  Format.printf "@.wrote %s (%d result rows); best speedup %.2fx@." !sat_out
+    (List.length rows) !best_speedup;
+  let rejected =
+    List.exists (fun r -> r.sat_proof = Some "rejected") rows
+  in
+  if rejected then Format.eprintf "a DRAT proof was rejected — failing@.";
+  if !mismatch then
+    Format.eprintf "legacy and tuned verdicts differ — failing@.";
+  if !mismatch || rejected then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let all = [ "table1"; "fig1c"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
 
@@ -1059,9 +1425,10 @@ let run = function
   | "resilience" -> resilience ()
   | "perf" -> perf ()
   | "sim" -> sim ()
+  | "sat" -> sat ()
   | other ->
       Format.printf
-        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf, sim)@."
+        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf, sim, sat)@."
         other (String.concat ", " all)
 
 let () =
@@ -1081,6 +1448,7 @@ let () =
         scan acc rest
     | "--out" :: path :: rest ->
         sim_out := path;
+        sat_out := path;
         scan acc rest
     | x :: rest -> scan (x :: acc) rest
   in

@@ -357,7 +357,15 @@ let check_cmd =
     let doc = "Benchmark name (see $(b,fictionette list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
-  let action name engine deadline conflicts jobs =
+  let stats_arg =
+    let doc =
+      "Print the aggregated SAT solver statistics (conflicts, \
+       propagations, restarts, learned/deleted clauses, mean LBD) to \
+       stderr as one stable line."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let action name engine deadline conflicts jobs stats =
     apply_jobs jobs;
     match
       Core.Flow.run_benchmark
@@ -368,6 +376,9 @@ let check_cmd =
     with
     | Error f -> report_failure f
     | Ok result -> (
+        if stats then
+          Format.eprintf "solver %s: %a@." name Sat.Solver.pp_stats
+            result.Core.Flow.diagnostics.Core.Flow.solver_stats;
         Format.printf "%a" Core.Flow.pp_summary result;
         List.iter
           (fun c -> Format.printf "check passed: %s@." c)
@@ -390,7 +401,7 @@ let check_cmd =
           passes (2 on a soft check failure, 1 on a hard one).")
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
-      $ conflict_budget_arg $ jobs_arg)
+      $ conflict_budget_arg $ jobs_arg $ stats_arg)
 
 let main =
   let doc = "Design automation for silicon dangling bond logic" in

@@ -66,7 +66,13 @@ let chain_table c =
 let try_size g r =
   let n = Truth_table.num_vars g in
   let rows = (1 lsl n) - 1 in
-  let f = Sat.Cnf.create () in
+  (* Pinned to the legacy solver configuration: the synthesized chain is
+     extracted from the SAT *model*, and among equally-sized chains the
+     one found depends on the solver's search order.  Downstream results
+     (NPN rewriting, hence every Table-1 netlist and layout) are keyed to
+     the chains the historical search order produces; these instances are
+     tiny, so solver speed is irrelevant here. *)
+  let f = Sat.Cnf.create ~config:Sat.Solver.legacy_config () in
   (* Gate output values per row (row t, 1-based over rows 1..2^n-1). *)
   let x = Array.init r (fun _ -> Sat.Cnf.fresh_many f rows) in
   (* Op bits: c.(i) = [| c1; c2; c3 |]. *)
@@ -88,7 +94,11 @@ let try_size g r =
   in
   (* Exactly one operand pair per gate. *)
   Array.iter
-    (fun sl -> Sat.Cnf.exactly_one f (List.map snd sl))
+    (fun sl ->
+      (* Commander is the historical encoding (see the config pin above):
+         a different encoding would steer the model — and the chain — the
+         search extracts. *)
+      Sat.Cnf.exactly_one ~encoding:Sat.Cnf.Commander f (List.map snd sl))
     sel;
   (* Forbid vacuous gate functions: 000 (const), 011 (= a), 101 (= b). *)
   Array.iter

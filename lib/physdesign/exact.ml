@@ -9,6 +9,9 @@ type config = {
   max_rounds : int;
   max_open_instances : int;
   certify : bool;
+  legacy_encoding : bool;
+  symmetry_breaking : bool;
+  jobs : int option;
 }
 
 let default_config =
@@ -19,6 +22,9 @@ let default_config =
     max_rounds = 8;
     max_open_instances = 8;
     certify = false;
+    legacy_encoding = false;
+    symmetry_breaking = true;
+    jobs = None;
   }
 
 type result = {
@@ -83,12 +89,23 @@ type instance = {
   decode : unit -> GL.t;
 }
 
-let make_instance ?(certify = false) ~width ~height netlist =
+let make_instance ?(certify = false) ?(legacy_encoding = false)
+    ?(symmetry = true) ~width ~height netlist =
   let nn = Netlist.num_nodes netlist in
   let edges = Netlist.edges netlist in
   let ne = Array.length edges in
   let f = Sat.Cnf.create () in
   if certify then Sat.Solver.enable_proof (Sat.Cnf.solver f);
+  (* Cardinality encodings: the sequential counter produces only binary
+     clauses for the long one-hot chains (placement rows, per-tile
+     exclusivity), which the solver's binary implication lists propagate
+     without touching clause memory.  [legacy_encoding] reproduces the
+     pre-overhaul choice (pairwise up to 6 literals, commander groups
+     beyond) for in-tree benchmarking. *)
+  let one_hot_enc =
+    if legacy_encoding then Sat.Cnf.Commander else Sat.Cnf.Sequential
+  in
+  let amo_enc = if legacy_encoding then Sat.Cnf.Commander else Sat.Cnf.Auto in
   let tile_index (c : Coord.offset) = (c.row * width) + c.col in
   let tiles =
     List.concat
@@ -136,7 +153,7 @@ let make_instance ?(certify = false) ~width ~height netlist =
         tiles
     in
     if vars = [] then Sat.Cnf.add_clause f [] (* unplaceable: unsat *)
-    else Sat.Cnf.exactly_one f vars
+    else Sat.Cnf.exactly_one ~encoding:one_hot_enc f vars
   done;
   (* 2. At most one node per tile. *)
   List.iter
@@ -148,7 +165,7 @@ let make_instance ?(certify = false) ~width ~height netlist =
             if v = 0 then None else Some v)
           (List.init nn (fun i -> i))
       in
-      Sat.Cnf.at_most_one f vars)
+      Sat.Cnf.at_most_one ~encoding:one_hot_enc f vars)
     tiles;
   (* Tile-occupied auxiliaries (for purity constraints). *)
   let occupied =
@@ -179,7 +196,7 @@ let make_instance ?(certify = false) ~width ~height netlist =
                     conn.(e).(tile_index p))
                 (List.init ne (fun i -> i))
             in
-            Sat.Cnf.at_most_one f users)
+            Sat.Cnf.at_most_one ~encoding:amo_enc f users)
           (successors ~width ~height p))
     tiles;
   (* 4./5. Per edge: at most one departure per tile and one arrival per
@@ -254,6 +271,65 @@ let make_instance ?(certify = false) ~width ~height netlist =
           conn.(e).(tile_index p))
       tiles
   done;
+  (* Conditional horizontal mirror-symmetry breaking.  On the odd-r
+     hexagonal grid the column mirror σ(c, r) = (width-1-c - (r land 1), r)
+     swaps the SW/SE successor relation, but it maps odd-row column
+     width-1 off the grid: σ is an automorphism only of the subgrid
+     excluding those cells.  The constraint is therefore guarded: either
+     the layout touches an excluded cell (auxiliary [u] true), or it is
+     confined to the mirror-closed subgrid — in which case its σ-image
+     is also a valid layout, so the first input pad may canonically be
+     required to sit in the left half of the top row.  Either way no
+     candidate size changes satisfiability, so minimum-area results are
+     unaffected. *)
+  if symmetry && width >= 2 then begin
+    let first_pi =
+      let rec go n =
+        if n >= nn then None
+        else
+          match Netlist.kind netlist n with
+          | Netlist.N_pi _ -> Some n
+          | _ -> go (n + 1)
+      in
+      go 0
+    in
+    match first_pi with
+    | None -> ()
+    | Some n0 ->
+        let excluded (c : Coord.offset) =
+          c.row land 1 = 1 && c.col = width - 1
+        in
+        let u_vars = ref [] in
+        for n = 0 to nn - 1 do
+          List.iter
+            (fun (c : Coord.offset) ->
+              if excluded c then begin
+                let v = pos.(n).(tile_index c) in
+                if v <> 0 then u_vars := v :: !u_vars
+              end)
+            tiles
+        done;
+        for e = 0 to ne - 1 do
+          List.iter
+            (fun (p : Coord.offset) ->
+              List.iter
+                (fun (_, t, l) ->
+                  if excluded p || excluded t then u_vars := l :: !u_vars)
+                conn.(e).(tile_index p))
+            tiles
+        done;
+        let guard =
+          match !u_vars with [] -> [] | vs -> [ Sat.Cnf.or_list f vs ]
+        in
+        let mid = (width - 1) / 2 in
+        List.iter
+          (fun (c : Coord.offset) ->
+            if c.row = 0 && c.col > mid then begin
+              let v = pos.(n0).(tile_index c) in
+              if v <> 0 then Sat.Cnf.add_clause f (guard @ [ -v ])
+            end)
+          tiles
+  end;
   let solver = Sat.Cnf.solver f in
   let decode () =
       let value l = Sat.Solver.value solver l in
@@ -383,6 +459,11 @@ let luby_allowance x =
 
 let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
     netlist =
+  let jobs =
+    match config.jobs with
+    | Some j -> max 1 j
+    | None -> Parallel.Pool.default_jobs ()
+  in
   let min_w = Netlist.min_width netlist
   and min_h = Netlist.min_height netlist in
   let sorted = ref [] in
@@ -515,56 +596,153 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
                 (fun c -> match c.state with Open _ -> true | _ -> false)
                 candidates))
       in
-      List.iter
-        (fun c ->
-          match c.state with
-          | Refuted -> ()
-          | Unbuilt when !open_count >= config.max_open_instances ->
-              (* Defer far-out candidates until the escalation window
-                 advances, bounding memory. *)
-              unresolved := true
-          | (Unbuilt | Open _) as st -> (
-              (match Sat.Budget.check budget with
-              | Some r -> raise (Done (out_of_budget r !round))
-              | None -> ());
-              let remaining_global =
-                Option.map
-                  (fun g -> g - !spent)
-                  budget.Sat.Budget.conflicts
-              in
-              (match remaining_global with
-              | Some r when r <= 0 ->
-                  raise (Done (out_of_budget Sat.Budget.Conflicts !round))
-              | Some _ | None -> ());
-              let inst =
-                match st with
-                | Open inst -> inst
-                | _ ->
-                    let inst =
-                      make_instance ~certify:config.certify ~width:c.w
-                        ~height:c.h netlist
-                    in
-                    c.state <- Open inst;
+      let build c =
+        let inst =
+          make_instance ~certify:config.certify
+            ~legacy_encoding:config.legacy_encoding
+            ~symmetry:config.symmetry_breaking ~width:c.w ~height:c.h netlist
+        in
+        c.state <- Open inst;
+        inst
+      in
+      if jobs <= 1 then
+        (* Serial path: unchanged candidate-by-candidate escalation with
+           early exit on the first (smallest-area) satisfiable size. *)
+        List.iter
+          (fun c ->
+            match c.state with
+            | Refuted -> ()
+            | Unbuilt when !open_count >= config.max_open_instances ->
+                (* Defer far-out candidates until the escalation window
+                   advances, bounding memory. *)
+                unresolved := true
+            | (Unbuilt | Open _) as st -> (
+                (match Sat.Budget.check budget with
+                | Some r -> raise (Done (out_of_budget r !round))
+                | None -> ());
+                let remaining_global =
+                  Option.map
+                    (fun g -> g - !spent)
+                    budget.Sat.Budget.conflicts
+                in
+                (match remaining_global with
+                | Some r when r <= 0 ->
+                    raise (Done (out_of_budget Sat.Budget.Conflicts !round))
+                | Some _ | None -> ());
+                let inst =
+                  match st with
+                  | Open inst -> inst
+                  | _ ->
+                      let inst = build c in
+                      incr open_count;
+                      inst
+                in
+                let allowance =
+                  match (base, remaining_global) with
+                  | None, g -> g
+                  | Some b, None -> Some (b * luby_allowance !round)
+                  | Some b, Some g -> Some (min (b * luby_allowance !round) g)
+                in
+                let before = (Sat.Solver.stats inst.solver).Sat.Solver.conflicts in
+                incr attempts;
+                let verdict =
+                  Sat.Solver.solve
+                    ~budget:{ budget with Sat.Budget.conflicts = allowance }
+                    inst.solver
+                in
+                spent :=
+                  !spent
+                  + (Sat.Solver.stats inst.solver).Sat.Solver.conflicts
+                  - before;
+                match verdict with
+                | Sat.Solver.Sat -> raise (Done (solved c inst !round))
+                | Sat.Solver.Unsat ->
+                    certify_refutation c inst;
+                    closed_stats :=
+                      Sat.Solver.add_stats !closed_stats
+                        (Sat.Solver.stats inst.solver);
+                    c.state <- Refuted;
+                    decr open_count
+                | Sat.Solver.Unknown Sat.Budget.Conflicts ->
+                    unresolved := true
+                | Sat.Solver.Unknown (Sat.Budget.Deadline as r)
+                | Sat.Solver.Unknown (Sat.Budget.Cancelled as r) ->
+                    raise (Done (out_of_budget r !round))))
+          candidates
+      else begin
+        (* Parallel path: the actionable candidates of this round are
+           solved concurrently in waves of [jobs] on the shared domain
+           pool.  Each wave's conflict allowance is fixed before launch
+           and results are processed in candidate (area) order after the
+           wave completes, so the smallest satisfiable area wins
+           regardless of completion order. *)
+        let actionable =
+          List.filter
+            (fun c ->
+              match c.state with
+              | Refuted -> false
+              | Open _ -> true
+              | Unbuilt ->
+                  if !open_count >= config.max_open_instances then begin
+                    unresolved := true;
+                    false
+                  end
+                  else begin
                     incr open_count;
-                    inst
-              in
-              let allowance =
-                match (base, remaining_global) with
-                | None, g -> g
-                | Some b, None -> Some (b * luby_allowance !round)
-                | Some b, Some g -> Some (min (b * luby_allowance !round) g)
-              in
-              let before = (Sat.Solver.stats inst.solver).Sat.Solver.conflicts in
-              incr attempts;
-              let verdict =
-                Sat.Solver.solve
-                  ~budget:{ budget with Sat.Budget.conflicts = allowance }
-                  inst.solver
-              in
-              spent :=
-                !spent
-                + (Sat.Solver.stats inst.solver).Sat.Solver.conflicts
-                - before;
+                    true
+                  end)
+            candidates
+        in
+        let arr = Array.of_list actionable in
+        let nw = Array.length arr in
+        let wi = ref 0 in
+        while !wi < nw do
+          let wave_n = min jobs (nw - !wi) in
+          (match Sat.Budget.check budget with
+          | Some r -> raise (Done (out_of_budget r !round))
+          | None -> ());
+          let remaining_global =
+            Option.map (fun g -> g - !spent) budget.Sat.Budget.conflicts
+          in
+          (match remaining_global with
+          | Some r when r <= 0 ->
+              raise (Done (out_of_budget Sat.Budget.Conflicts !round))
+          | Some _ | None -> ());
+          let insts =
+            Array.init wave_n (fun k ->
+                let c = arr.(!wi + k) in
+                match c.state with
+                | Open inst -> (c, inst)
+                | Unbuilt -> (c, build c)
+                | Refuted -> assert false)
+          in
+          let allowance =
+            match (base, remaining_global) with
+            | None, g -> g
+            | Some b, None -> Some (b * luby_allowance !round)
+            | Some b, Some g -> Some (min (b * luby_allowance !round) g)
+          in
+          let results =
+            Parallel.Pool.map ~jobs wave_n (fun k ->
+                let _, inst = insts.(k) in
+                let before =
+                  (Sat.Solver.stats inst.solver).Sat.Solver.conflicts
+                in
+                let verdict =
+                  Sat.Solver.solve
+                    ~budget:{ budget with Sat.Budget.conflicts = allowance }
+                    inst.solver
+                in
+                let after =
+                  (Sat.Solver.stats inst.solver).Sat.Solver.conflicts
+                in
+                (verdict, after - before))
+          in
+          attempts := !attempts + wave_n;
+          Array.iter (fun (_, delta) -> spent := !spent + delta) results;
+          Array.iteri
+            (fun k (verdict, _) ->
+              let c, inst = insts.(k) in
               match verdict with
               | Sat.Solver.Sat -> raise (Done (solved c inst !round))
               | Sat.Solver.Unsat ->
@@ -572,14 +750,15 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
                   closed_stats :=
                     Sat.Solver.add_stats !closed_stats
                       (Sat.Solver.stats inst.solver);
-                  c.state <- Refuted;
-                  decr open_count
-              | Sat.Solver.Unknown Sat.Budget.Conflicts ->
-                  unresolved := true
+                  c.state <- Refuted
+              | Sat.Solver.Unknown Sat.Budget.Conflicts -> unresolved := true
               | Sat.Solver.Unknown (Sat.Budget.Deadline as r)
               | Sat.Solver.Unknown (Sat.Budget.Cancelled as r) ->
-                  raise (Done (out_of_budget r !round))))
-        candidates;
+                  raise (Done (out_of_budget r !round)))
+            results;
+          wi := !wi + wave_n
+        done
+      end;
       incr round
     done;
     Error

@@ -50,6 +50,24 @@ type config = {
           candidate size is excluded — the minimality claim then rests
           only on checked proofs.  A rejected proof aborts the search
           with {!Certification_failed}.  Default [false]. *)
+  legacy_encoding : bool;
+      (** Use the pre-overhaul cardinality encodings (pairwise up to 6
+          literals, commander groups beyond) instead of the compact
+          sequential-counter one-hot encodings.  Kept in-tree for the
+          [bench sat] old-vs-new comparison.  Default [false]. *)
+  symmetry_breaking : bool;
+      (** Add guarded horizontal mirror-symmetry breaking clauses on the
+          placement variables.  The guard keeps the constraint sound on
+          the odd-r hexagonal grid (where a plain column mirror is not a
+          grid automorphism), so candidate satisfiability — and hence the
+          minimum-area result — is never changed.  Default [true]. *)
+  jobs : int option;
+      (** Worker count for solving the open candidate instances of one
+          escalation round concurrently on {!Parallel.Pool}.  [None]
+          (default) follows {!Parallel.Pool.default_jobs}; [Some 1]
+          forces the unchanged serial path.  The outcome is
+          deterministic: results are committed in candidate-area order,
+          so the smallest satisfiable area wins at any worker count. *)
 }
 
 val default_config : config

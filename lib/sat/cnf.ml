@@ -4,7 +4,8 @@ type t = {
   mutable true_lit : Solver.lit option;
 }
 
-let create () = { solver = Solver.create (); clauses = []; true_lit = None }
+let create ?config () =
+  { solver = Solver.create ?config (); clauses = []; true_lit = None }
 let solver f = f.solver
 let clauses f = List.rev f.clauses
 let num_vars f = Solver.num_vars f.solver
@@ -93,20 +94,45 @@ let implies f a b = add_clause f [ -a; b ]
 
 let at_least_one f lits = add_clause f lits
 
-let rec at_most_one f lits =
+type amo_encoding = Pairwise | Sequential | Commander | Auto
+
+let at_most_one_pairwise f lits =
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter (fun b -> add_clause f [ -a; -b ]) rest;
+        pairs rest
+  in
+  pairs lits
+
+(* Sinz sequential counter specialized to k = 1: auxiliary [s_i] means
+   "some literal among the first i+1 is true".  n - 1 fresh variables
+   and 3n - 4 clauses, all binary — which the solver's dedicated binary
+   implication lists propagate without touching clause memory. *)
+let at_most_one_sequential f lits =
   match lits with
   | [] | [ _ ] -> ()
-  | _ when List.length lits <= 6 ->
-      let rec pairs = function
-        | [] -> ()
-        | a :: rest ->
-            List.iter (fun b -> add_clause f [ -a; -b ]) rest;
-            pairs rest
-      in
-      pairs lits
   | _ ->
-      (* Commander encoding: split into groups of 3 with a commander
-         variable each; at most one commander. *)
+      let lits = Array.of_list lits in
+      let n = Array.length lits in
+      let s = Array.init (n - 1) (fun _ -> fresh f) in
+      add_clause f [ -lits.(0); s.(0) ];
+      for i = 1 to n - 2 do
+        add_clause f [ -lits.(i); s.(i) ];
+        add_clause f [ -s.(i - 1); s.(i) ];
+        add_clause f [ -lits.(i); -s.(i - 1) ]
+      done;
+      add_clause f [ -lits.(n - 1); -s.(n - 2) ]
+
+(* Commander encoding: split into groups of 3 with a commander variable
+   each; at most one commander (recursively).  This is the historical
+   encoding used for long at-most-one chains before the sequential
+   counter existed. *)
+let rec at_most_one_commander f lits =
+  match lits with
+  | [] | [ _ ] -> ()
+  | _ when List.length lits <= 6 -> at_most_one_pairwise f lits
+  | _ ->
       let rec split acc group n = function
         | [] -> if group = [] then acc else group :: acc
         | l :: rest ->
@@ -120,15 +146,27 @@ let rec at_most_one f lits =
             let c = fresh f in
             (* Commander true iff some group member true. *)
             List.iter (fun l -> add_clause f [ c; -l ]) group;
-            at_most_one f group;
+            at_most_one_pairwise f group;
             c)
           groups
       in
-      at_most_one f commanders
+      at_most_one_commander f commanders
 
-let exactly_one f lits =
+let at_most_one ?(encoding = Auto) f lits =
+  match encoding with
+  | Pairwise -> at_most_one_pairwise f lits
+  | Sequential -> at_most_one_sequential f lits
+  | Commander -> at_most_one_commander f lits
+  | Auto ->
+      (* Pairwise is smaller up to 5 literals (no auxiliaries, at most
+         10 clauses); beyond that the sequential counter's linear, all-
+         binary form wins. *)
+      if List.length lits <= 5 then at_most_one_pairwise f lits
+      else at_most_one_sequential f lits
+
+let exactly_one ?encoding f lits =
   at_least_one f lits;
-  at_most_one f lits
+  at_most_one ?encoding f lits
 
 (* Sinz sequential-counter encoding of [sum lits <= k]. *)
 let at_most_k f lits k =

@@ -7,7 +7,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?config:Solver.config -> unit -> t
+(** [config] is passed to {!Solver.create}. *)
+
 val solver : t -> Solver.t
 
 val clauses : t -> Solver.lit list list
@@ -57,11 +59,26 @@ val equals_xor : t -> Solver.lit -> Solver.lit -> Solver.lit -> unit
 
 val at_least_one : t -> Solver.lit list -> unit
 
-val at_most_one : t -> Solver.lit list -> unit
-(** Pairwise encoding for up to 6 literals, sequential commander-style
-    beyond. *)
+type amo_encoding =
+  | Pairwise  (** All n(n-1)/2 negative pairs; no auxiliaries. *)
+  | Sequential
+      (** Sinz sequential counter at k = 1: n - 1 auxiliaries, 3n - 4
+          binary clauses. *)
+  | Commander
+      (** Groups of 3 with commander variables, recursively; pairwise
+          within groups.  The historical encoding for long chains. *)
+  | Auto  (** Pairwise up to 5 literals, sequential beyond. *)
 
-val exactly_one : t -> Solver.lit list -> unit
+val at_most_one : ?encoding:amo_encoding -> t -> Solver.lit list -> unit
+(** At most one of [lits] is true.  All encodings are equisatisfiable
+    over the original literals under any assumption set; they differ
+    only in auxiliary variables and clause shape.  Default: [Auto]. *)
+
+val at_most_one_pairwise : t -> Solver.lit list -> unit
+val at_most_one_sequential : t -> Solver.lit list -> unit
+val at_most_one_commander : t -> Solver.lit list -> unit
+
+val exactly_one : ?encoding:amo_encoding -> t -> Solver.lit list -> unit
 
 val at_most_k : t -> Solver.lit list -> int -> unit
 (** Sequential-counter encoding of [sum lits <= k]. *)

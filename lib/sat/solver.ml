@@ -1,12 +1,48 @@
-(* CDCL solver in the MiniSat tradition.
+(* CDCL solver in the MiniSat tradition, with a Glucose-style clause
+   database and CaDiCaL-style binary-clause specialization.
 
    Internal literal encoding: variable indices are 0-based; literal
    [2 * v] is the positive and [2 * v + 1] the negative literal of
    variable [v].  The external (DIMACS) interface converts at the
-   boundary. *)
+   boundary.
+
+   Reason encoding (per variable):
+     [>= 0]   id of the clause that implied the variable
+     [-1]     decision / unit / no reason
+     [<= -3]  binary implication; the other (false) literal of the
+              binary clause is [-3 - reason]
+   A conflict reported by [propagate] is [-1] (none), a clause id
+   [>= 0], or [-2] for a conflicting binary clause whose two literals
+   are stashed in [bconf]. *)
 
 type lit = int
 type result = Sat | Unsat | Unknown of Budget.reason
+
+type config = {
+  binary_specialization : bool;
+      (* Keep 2-literal clauses in per-literal implication lists instead
+         of the clause arena. *)
+  blocking_literals : bool;
+      (* Cache a "blocking" literal next to each watch entry; a
+         satisfied blocker skips the clause without touching it. *)
+  glue_reduction : bool;
+      (* Glucose-style reduce_db keyed on LBD with in-place watch
+         compaction; otherwise activity-keyed with a full rebuild. *)
+}
+
+let default_config =
+  { binary_specialization = true; blocking_literals = true; glue_reduction = true }
+
+let legacy_config =
+  { binary_specialization = false; blocking_literals = false; glue_reduction = false }
+
+(* Process-wide default picked up by [create] when no explicit config is
+   given; lets a benchmark driver flip every downstream solver (CNF
+   builders, equivalence miters, exact P&R) between the legacy and the
+   tuned configuration without threading a parameter through each layer. *)
+let global_config_ref = ref default_config
+let set_global_config c = global_config_ref := c
+let global_config () = !global_config_ref
 
 (* Growable int vector. *)
 module Ivec = struct
@@ -35,20 +71,31 @@ type clause = {
   learned : bool;
   mutable activity : float;
   mutable deleted : bool;
+  mutable glue : int;  (* LBD at learn time, lowered when re-derived *)
 }
 
+let lbd_hist_bins = 16
+
 type t = {
+  config : config;
   (* Clause arena; ids index into this vector. *)
   mutable clauses : clause array;
   mutable clause_count : int;
   mutable problem_clauses : int;
   mutable learned_clauses : int;
-  (* Per-literal watch lists of clause ids. *)
+  mutable learned_bin : int;  (* live learned binaries (immortal) *)
+  mutable bin_count : int;  (* binary clauses held in [bins] *)
+  (* Per-literal watch lists of (clause id, blocking literal) pairs,
+     flattened: slot 2i holds the id, slot 2i+1 the blocker. *)
   mutable watches : Ivec.t array;
+  (* Per-literal binary implication lists: [bins.(p)] holds every
+     literal [q] with a binary clause [(¬p ∨ q)] — when [p] becomes
+     true, [q] is implied. *)
+  mutable bins : Ivec.t array;
   (* Per-variable state. *)
   mutable assign : int array;  (* -1 unassigned / 0 false / 1 true *)
   mutable level : int array;
-  mutable reason : int array;  (* clause id or -1 *)
+  mutable reason : int array;  (* see the reason encoding above *)
   mutable activity : float array;
   mutable phase : bool array;
   mutable seen : bool array;
@@ -67,6 +114,12 @@ type t = {
   mutable unsat : bool;
   mutable ok_model : bool;
   mutable model_arr : bool array;
+  (* Scratch for conflicting / reason binary clauses. *)
+  bconf : int array;
+  btmp : int array;
+  (* Level stamps for LBD computation. *)
+  mutable lvl_stamp : int array;
+  mutable stamp : int;
   (* Active limits for the current [solve] call: absolute conflict
      threshold, wall-clock deadline, cancellation flag. *)
   mutable limit_conflicts : int option;
@@ -76,7 +129,15 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable bin_propagations : int;
   mutable restarts : int;
+  mutable deleted_total : int;
+  mutable reductions : int;
+  mutable watch_scans : int;
+  mutable lbd_sum : int;
+  mutable lbd_count : int;
+  hist : int array;  (* per-solve LBD histogram, reset by [solve] *)
+  mutable solve_time : float;
   (* Proof logging: steps in reverse order when enabled. *)
   mutable proof : Drat.step list option;
 }
@@ -84,13 +145,20 @@ type t = {
 let var_decay = 1. /. 0.95
 let cla_decay = 1. /. 0.999
 
-let create () =
+let create ?config () =
+  let config = match config with Some c -> c | None -> !global_config_ref in
   {
-    clauses = Array.make 64 { lits = [||]; learned = false; activity = 0.; deleted = true };
+    config;
+    clauses =
+      Array.make 64
+        { lits = [||]; learned = false; activity = 0.; deleted = true; glue = 0 };
     clause_count = 0;
     problem_clauses = 0;
     learned_clauses = 0;
+    learned_bin = 0;
+    bin_count = 0;
     watches = Array.make 16 (Ivec.create ());
+    bins = Array.make 16 (Ivec.create ());
     assign = Array.make 8 (-1);
     level = Array.make 8 0;
     reason = Array.make 8 (-1);
@@ -109,15 +177,29 @@ let create () =
     unsat = false;
     ok_model = false;
     model_arr = [||];
+    bconf = Array.make 2 0;
+    btmp = Array.make 2 0;
+    lvl_stamp = Array.make 8 0;
+    stamp = 0;
     limit_conflicts = None;
     deadline = None;
     cancelled = (fun () -> false);
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    bin_propagations = 0;
     restarts = 0;
+    deleted_total = 0;
+    reductions = 0;
+    watch_scans = 0;
+    lbd_sum = 0;
+    lbd_count = 0;
+    hist = Array.make lbd_hist_bins 0;
+    solve_time = 0.;
     proof = None;
   }
+
+let config s = s.config
 
 (* --- variable heap ordered by activity (max-heap) ------------------- *)
 
@@ -214,20 +296,25 @@ let new_var s =
   s.heap_pos.(v) <- -1;
   if 2 * (v + 1) > Array.length s.watches then begin
     let n = max 16 (4 * (v + 1)) in
-    let bigger = Array.init n (fun i ->
-        if i < Array.length s.watches then s.watches.(i) else Ivec.create ())
+    let grow old =
+      Array.init n (fun i ->
+          if i < Array.length old then old.(i) else Ivec.create ())
     in
-    s.watches <- bigger
+    s.watches <- grow s.watches;
+    s.bins <- grow s.bins
   end;
   (* The freshly shared Ivec from Array.make in [create] must be replaced
      by distinct vectors. *)
   s.watches.(2 * v) <- Ivec.create ();
   s.watches.((2 * v) + 1) <- Ivec.create ();
+  s.bins.(2 * v) <- Ivec.create ();
+  s.bins.((2 * v) + 1) <- Ivec.create ();
   heap_insert s v;
   v + 1
 
 let num_vars s = s.nvars
 let num_clauses s = s.problem_clauses
+let num_binary_clauses s = s.bin_count
 
 (* --- literal helpers -------------------------------------------------- *)
 
@@ -299,27 +386,67 @@ let cla_bump s (c : clause) =
 
 let cla_decay_activity s = s.cla_inc <- s.cla_inc *. cla_decay
 
+(* --- LBD ("glue") ------------------------------------------------------ *)
+
+let ensure_stamp s lvl =
+  if lvl >= Array.length s.lvl_stamp then
+    s.lvl_stamp <-
+      grow_int_array s.lvl_stamp (max (2 * Array.length s.lvl_stamp) (lvl + 1)) 0
+
+(* Number of distinct non-root decision levels among [lits]. *)
+let compute_glue s lits =
+  s.stamp <- s.stamp + 1;
+  let g = ref 0 in
+  Array.iter
+    (fun l ->
+      let lvl = s.level.(lit_var l) in
+      if lvl > 0 then begin
+        ensure_stamp s lvl;
+        if s.lvl_stamp.(lvl) <> s.stamp then begin
+          s.lvl_stamp.(lvl) <- s.stamp;
+          incr g
+        end
+      end)
+    lits;
+  max 1 !g
+
+let note_glue s glue =
+  s.lbd_sum <- s.lbd_sum + glue;
+  s.lbd_count <- s.lbd_count + 1;
+  let bin = if glue >= lbd_hist_bins then lbd_hist_bins - 1 else glue in
+  s.hist.(bin) <- s.hist.(bin) + 1
+
 (* --- clause arena ------------------------------------------------------ *)
 
 let alloc_clause s lits learned =
   if s.clause_count >= Array.length s.clauses then begin
     let bigger =
       Array.make (2 * Array.length s.clauses)
-        { lits = [||]; learned = false; activity = 0.; deleted = true }
+        { lits = [||]; learned = false; activity = 0.; deleted = true; glue = 0 }
     in
     Array.blit s.clauses 0 bigger 0 s.clause_count;
     s.clauses <- bigger
   end;
   let id = s.clause_count in
-  s.clauses.(id) <- { lits; learned; activity = 0.; deleted = false };
+  s.clauses.(id) <- { lits; learned; activity = 0.; deleted = false; glue = 0 };
   s.clause_count <- id + 1;
   if learned then s.learned_clauses <- s.learned_clauses + 1;
   id
 
 let watch_clause s id =
   let c = s.clauses.(id) in
-  Ivec.push s.watches.(lit_neg c.lits.(0)) id;
-  Ivec.push s.watches.(lit_neg c.lits.(1)) id
+  let w0 = s.watches.(lit_neg c.lits.(0)) in
+  Ivec.push w0 id;
+  Ivec.push w0 c.lits.(1);
+  let w1 = s.watches.(lit_neg c.lits.(1)) in
+  Ivec.push w1 id;
+  Ivec.push w1 c.lits.(0)
+
+(* Register a binary clause [(a ∨ b)] in the implication lists. *)
+let add_bin s a b =
+  Ivec.push s.bins.(lit_neg a) b;
+  Ivec.push s.bins.(lit_neg b) a;
+  s.bin_count <- s.bin_count + 1
 
 (* --- assignment -------------------------------------------------------- *)
 
@@ -349,68 +476,103 @@ let cancel_until s lvl =
 
 (* --- propagation -------------------------------------------------------- *)
 
-(* Returns the id of a conflicting clause, or -1. *)
+(* Returns the id of a conflicting clause, -2 for a binary conflict
+   (literals in [bconf]), or -1 for no conflict. *)
 let propagate s =
+  let use_blocking = s.config.blocking_literals in
   let conflict = ref (-1) in
-  while !conflict < 0 && s.qhead < Ivec.size s.trail do
+  while !conflict = -1 && s.qhead < Ivec.size s.trail do
     let p = Ivec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.propagations <- s.propagations + 1;
-    (* Clauses watching ¬p must be inspected. *)
-    let ws = s.watches.(p) in
-    let n = Ivec.size ws in
-    let keep = ref 0 in
-    let i = ref 0 in
-    while !i < n do
-      let id = Ivec.get ws !i in
-      incr i;
-      let c = s.clauses.(id) in
-      if c.deleted then () (* drop from the list *)
-      else begin
-        let false_lit = lit_neg p in
-        if c.lits.(0) = false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
-        end;
-        if lit_value s c.lits.(0) = 1 then begin
-          (* Clause satisfied; keep the watch. *)
+    (* Binary implications of p first: no clause memory touched. *)
+    let bl = s.bins.(p) in
+    let nb = Ivec.size bl in
+    let j = ref 0 in
+    while !conflict = -1 && !j < nb do
+      let q = Ivec.get bl !j in
+      incr j;
+      match lit_value s q with
+      | 1 -> ()
+      | 0 ->
+          s.bconf.(0) <- q;
+          s.bconf.(1) <- lit_neg p;
+          conflict := -2;
+          s.qhead <- Ivec.size s.trail
+      | _ ->
+          s.bin_propagations <- s.bin_propagations + 1;
+          enqueue s q ((-3) - lit_neg p)
+    done;
+    if !conflict = -1 then begin
+      (* Clauses watching ¬p must be inspected. *)
+      let ws = s.watches.(p) in
+      let n = Ivec.size ws in
+      let keep = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        let id = Ivec.get ws !i in
+        let blocker = Ivec.get ws (!i + 1) in
+        i := !i + 2;
+        if use_blocking && lit_value s blocker = 1 then begin
+          (* Satisfied via the cached blocker: keep, don't dereference. *)
           Ivec.set ws !keep id;
-          incr keep
+          Ivec.set ws (!keep + 1) blocker;
+          keep := !keep + 2
         end
         else begin
-          (* Look for a new literal to watch. *)
-          let len = Array.length c.lits in
-          let found = ref false in
-          let k = ref 2 in
-          while (not !found) && !k < len do
-            if lit_value s c.lits.(!k) <> 0 then begin
-              c.lits.(1) <- c.lits.(!k);
-              c.lits.(!k) <- false_lit;
-              Ivec.push s.watches.(lit_neg c.lits.(1)) id;
-              found := true
+          let c = s.clauses.(id) in
+          if c.deleted then () (* drop from the list *)
+          else begin
+            let false_lit = lit_neg p in
+            if c.lits.(0) = false_lit then begin
+              c.lits.(0) <- c.lits.(1);
+              c.lits.(1) <- false_lit
             end;
-            incr k
-          done;
-          if not !found then begin
-            (* Unit or conflicting. *)
-            Ivec.set ws !keep id;
-            incr keep;
-            if lit_value s c.lits.(0) = 0 then begin
-              conflict := id;
-              (* Copy the remaining watchers back. *)
-              while !i < n do
-                Ivec.set ws !keep (Ivec.get ws !i);
-                incr keep;
-                incr i
-              done;
-              s.qhead <- Ivec.size s.trail
+            if lit_value s c.lits.(0) = 1 then begin
+              (* Clause satisfied; keep the watch, refresh the blocker. *)
+              Ivec.set ws !keep id;
+              Ivec.set ws (!keep + 1) c.lits.(0);
+              keep := !keep + 2
             end
-            else enqueue s c.lits.(0) id
+            else begin
+              (* Look for a new literal to watch. *)
+              let len = Array.length c.lits in
+              let found = ref false in
+              let k = ref 2 in
+              while (not !found) && !k < len do
+                if lit_value s c.lits.(!k) <> 0 then begin
+                  c.lits.(1) <- c.lits.(!k);
+                  c.lits.(!k) <- false_lit;
+                  let w = s.watches.(lit_neg c.lits.(1)) in
+                  Ivec.push w id;
+                  Ivec.push w c.lits.(0);
+                  found := true
+                end;
+                incr k
+              done;
+              if not !found then begin
+                (* Unit or conflicting. *)
+                Ivec.set ws !keep id;
+                Ivec.set ws (!keep + 1) c.lits.(0);
+                keep := !keep + 2;
+                if lit_value s c.lits.(0) = 0 then begin
+                  conflict := id;
+                  (* Copy the remaining watcher pairs back. *)
+                  while !i < n do
+                    Ivec.set ws !keep (Ivec.get ws !i);
+                    incr keep;
+                    incr i
+                  done;
+                  s.qhead <- Ivec.size s.trail
+                end
+                else enqueue s c.lits.(0) id
+              end
+            end
           end
         end
-      end
-    done;
-    Ivec.shrink ws !keep
+      done;
+      Ivec.shrink ws !keep
+    end
   done;
   !conflict
 
@@ -427,11 +589,30 @@ let analyze s conflict_id =
   let index = ref (Ivec.size s.trail - 1) in
   let continue = ref true in
   while !continue do
-    let c = s.clauses.(!confl) in
-    if c.learned then cla_bump s c;
+    let lits =
+      if !confl >= 0 then begin
+        let c = s.clauses.(!confl) in
+        if c.learned then begin
+          cla_bump s c;
+          (* Re-derived clauses can have become "better": refresh glue. *)
+          if c.glue > 2 then begin
+            let g = compute_glue s c.lits in
+            if g < c.glue then c.glue <- g
+          end
+        end;
+        c.lits
+      end
+      else if !confl = -2 then s.bconf
+      else begin
+        (* Binary reason for the implied literal !p. *)
+        s.btmp.(0) <- !p;
+        s.btmp.(1) <- (-3) - !confl;
+        s.btmp
+      end
+    in
     let start = if !p < 0 then 0 else 1 in
-    for j = start to Array.length c.lits - 1 do
-      let q = c.lits.(j) in
+    for j = start to Array.length lits - 1 do
+      let q = lits.(j) in
       let v = lit_var q in
       if (not s.seen.(v)) && s.level.(v) > 0 then begin
         s.seen.(v) <- true;
@@ -453,7 +634,7 @@ let analyze s conflict_id =
     else begin
       confl := s.reason.(v);
       (* The resolved variable always has a reason while counter > 0. *)
-      assert (!confl >= 0)
+      assert (!confl <> -1)
     end
   done;
   Ivec.set learned 0 (lit_neg !p);
@@ -463,12 +644,17 @@ let analyze s conflict_id =
   let redundant q =
     let v = lit_var q in
     let r = s.reason.(v) in
-    r >= 0
-    && Array.for_all
-         (fun l ->
-           let w = lit_var l in
-           w = v || s.seen.(w) || s.level.(w) = 0)
-         s.clauses.(r).lits
+    if r >= 0 then
+      Array.for_all
+        (fun l ->
+          let w = lit_var l in
+          w = v || s.seen.(w) || s.level.(w) = 0)
+        s.clauses.(r).lits
+    else if r <= -3 then begin
+      let w = lit_var ((-3) - r) in
+      s.seen.(w) || s.level.(w) = 0
+    end
+    else false
   in
   (* Mark learned literals as seen for the redundancy test. *)
   for i = 0 to Ivec.size learned - 1 do
@@ -512,6 +698,28 @@ let rebuild_watches s =
     if not c.deleted then watch_clause s id
   done
 
+(* Filter deleted clause ids out of every watch list without
+   reallocating or re-pushing anything; counts scanned entries so the
+   cost of database maintenance shows up in [stats]. *)
+let compact_watches s =
+  Array.iter
+    (fun ws ->
+      let n = Ivec.size ws in
+      let keep = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        let id = Ivec.get ws !i in
+        s.watch_scans <- s.watch_scans + 1;
+        if not s.clauses.(id).deleted then begin
+          Ivec.set ws !keep id;
+          Ivec.set ws (!keep + 1) (Ivec.get ws (!i + 1));
+          keep := !keep + 2
+        end;
+        i := !i + 2
+      done;
+      Ivec.shrink ws !keep)
+    s.watches
+
 let locked s id =
   let c = s.clauses.(id) in
   Array.length c.lits > 0
@@ -519,27 +727,63 @@ let locked s id =
   let v = lit_var c.lits.(0) in
   s.assign.(v) >= 0 && s.reason.(v) = id
 
-(* Delete the least active half of the learned clauses.  Called at
-   decision level 0 only. *)
+(* Delete half of the deletable learned clauses.  Called at decision
+   level 0 only.  Glue mode (default): clauses with glue <= 2 are
+   immortal and the worst half by (glue, then activity) goes; watch
+   lists are compacted in place.  Legacy mode: least active half goes
+   and every watch list is rebuilt from scratch. *)
 let reduce_db s =
-  let learned = ref [] in
-  for id = 0 to s.clause_count - 1 do
-    let c = s.clauses.(id) in
-    if c.learned && (not c.deleted) && Array.length c.lits > 2
-       && not (locked s id)
-    then learned := (c.activity, id) :: !learned
-  done;
-  let sorted = List.sort compare !learned in
-  let to_delete = List.length sorted / 2 in
-  List.iteri
-    (fun i (_, id) ->
-      if i < to_delete then begin
-        s.clauses.(id).deleted <- true;
-        s.learned_clauses <- s.learned_clauses - 1;
-        log_delete s s.clauses.(id).lits
-      end)
-    sorted;
-  rebuild_watches s
+  s.reductions <- s.reductions + 1;
+  if s.config.glue_reduction then begin
+    let cand = ref [] in
+    for id = 0 to s.clause_count - 1 do
+      let c = s.clauses.(id) in
+      if c.learned && (not c.deleted) && Array.length c.lits > 2
+         && c.glue > 2 && not (locked s id)
+      then cand := (c.glue, c.activity, id) :: !cand
+    done;
+    (* Worst first: highest glue, ties broken by lowest activity. *)
+    let worst_first =
+      List.sort
+        (fun (g1, a1, _) (g2, a2, _) ->
+          if g1 <> g2 then compare g2 g1 else compare a1 a2)
+        !cand
+    in
+    let to_delete = List.length worst_first / 2 in
+    let deleted = ref 0 in
+    List.iteri
+      (fun i (_, _, id) ->
+        if i < to_delete then begin
+          s.clauses.(id).deleted <- true;
+          s.learned_clauses <- s.learned_clauses - 1;
+          s.deleted_total <- s.deleted_total + 1;
+          log_delete s s.clauses.(id).lits;
+          incr deleted
+        end)
+      worst_first;
+    if !deleted > 0 then compact_watches s
+  end
+  else begin
+    let learned = ref [] in
+    for id = 0 to s.clause_count - 1 do
+      let c = s.clauses.(id) in
+      if c.learned && (not c.deleted) && Array.length c.lits > 2
+         && not (locked s id)
+      then learned := (c.activity, id) :: !learned
+    done;
+    let sorted = List.sort compare !learned in
+    let to_delete = List.length sorted / 2 in
+    List.iteri
+      (fun i (_, id) ->
+        if i < to_delete then begin
+          s.clauses.(id).deleted <- true;
+          s.learned_clauses <- s.learned_clauses - 1;
+          s.deleted_total <- s.deleted_total + 1;
+          log_delete s s.clauses.(id).lits
+        end)
+      sorted;
+    rebuild_watches s
+  end
 
 (* --- adding clauses --------------------------------------------------------- *)
 
@@ -570,10 +814,11 @@ let add_clause s dimacs_lits =
             log_add s [||]
         | [ l ] ->
             enqueue s l (-1);
-            if propagate s >= 0 then begin
+            if propagate s <> -1 then begin
               s.unsat <- true;
               log_add s [||]
             end
+        | [ a; b ] when s.config.binary_specialization -> add_bin s a b
         | _ ->
             let arr = Array.of_list remaining in
             let id = alloc_clause s arr false in
@@ -600,12 +845,23 @@ let luby x =
 
 let record_learned s arr =
   log_add s arr;
+  let glue = compute_glue s arr in
+  note_glue s glue;
   if Array.length arr = 1 then begin
     cancel_until s 0;
     enqueue s arr.(0) (-1)
   end
+  else if Array.length arr = 2 && s.config.binary_specialization then begin
+    (* Learned binaries live only in the implication lists; they are
+       immortal, so the DRAT log never needs a delete for them. *)
+    add_bin s arr.(0) arr.(1);
+    s.learned_clauses <- s.learned_clauses + 1;
+    s.learned_bin <- s.learned_bin + 1;
+    enqueue s arr.(0) ((-3) - arr.(1))
+  end
   else begin
     let id = alloc_clause s arr true in
+    s.clauses.(id).glue <- glue;
     watch_clause s id;
     enqueue s arr.(0) id
   end
@@ -652,7 +908,7 @@ let search s assumptions max_conflicts =
   try
     while true do
       let confl = propagate s in
-      if confl >= 0 then begin
+      if confl <> -1 then begin
         s.conflicts <- s.conflicts + 1;
         incr conflicts_here;
         (match s.limit_conflicts with
@@ -663,7 +919,12 @@ let search s assumptions max_conflicts =
         check_interrupt s s.conflicts;
         if decision_level s = 0 then begin
           (* A root-level conflict refutes the formula itself (assumptions
-             live at levels >= 1), so the proof can be closed. *)
+             live at levels >= 1), so the proof can be closed.  The flag is
+             load-bearing for incremental use: the conflict left the root
+             trail only partially propagated (qhead has already passed the
+             falsified clause), so without it a later solve could accept
+             that inconsistent root state as a model. *)
+          s.unsat <- true;
           log_add s [||];
           raise (Found Unsat_found)
         end;
@@ -712,6 +973,9 @@ let solve ?(assumptions = []) ?(budget = Budget.unlimited) s =
     let assumptions = List.map (lit_of_dimacs s) assumptions in
     cancel_until s 0;
     s.ok_model <- false;
+    (* The LBD histogram describes the current solve only. *)
+    Array.fill s.hist 0 lbd_hist_bins 0;
+    let t0 = Unix.gettimeofday () in
     (* Install the budget: the conflict allowance is relative to this
        call, so an [Unknown] solve can be resumed with a fresh (larger)
        allowance while keeping all learned clauses. *)
@@ -739,16 +1003,19 @@ let solve ?(assumptions = []) ?(budget = Budget.unlimited) s =
          | Interrupted r -> result := Some (Unknown r));
          if
            !result = None
-           && s.learned_clauses > (2 * s.problem_clauses) + 2000
+           && s.learned_clauses - s.learned_bin
+              > (2 * s.problem_clauses) + 2000
          then reduce_db s
        done
      with e ->
        cancel_until s 0;
+       s.solve_time <- s.solve_time +. (Unix.gettimeofday () -. t0);
        raise e);
     cancel_until s 0;
     s.limit_conflicts <- None;
     s.deadline <- None;
     s.cancelled <- (fun () -> false);
+    s.solve_time <- s.solve_time +. (Unix.gettimeofday () -. t0);
     match !result with Some r -> r | None -> assert false
   end
 
@@ -765,8 +1032,17 @@ type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  binary_propagations : int;
   restarts : int;
   learned_clauses : int;
+  learned_binaries : int;
+  deleted_clauses : int;
+  reductions : int;
+  watch_compaction_scans : int;
+  lbd_hist : int array;
+  lbd_sum : int;
+  lbd_count : int;
+  solve_time_s : float;
 }
 
 let stats (s : t) =
@@ -774,8 +1050,17 @@ let stats (s : t) =
     conflicts = s.conflicts;
     decisions = s.decisions;
     propagations = s.propagations;
+    binary_propagations = s.bin_propagations;
     restarts = s.restarts;
     learned_clauses = s.learned_clauses;
+    learned_binaries = s.learned_bin;
+    deleted_clauses = s.deleted_total;
+    reductions = s.reductions;
+    watch_compaction_scans = s.watch_scans;
+    lbd_hist = Array.copy s.hist;
+    lbd_sum = s.lbd_sum;
+    lbd_count = s.lbd_count;
+    solve_time_s = s.solve_time;
   }
 
 let empty_stats =
@@ -783,8 +1068,17 @@ let empty_stats =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    binary_propagations = 0;
     restarts = 0;
     learned_clauses = 0;
+    learned_binaries = 0;
+    deleted_clauses = 0;
+    reductions = 0;
+    watch_compaction_scans = 0;
+    lbd_hist = Array.make lbd_hist_bins 0;
+    lbd_sum = 0;
+    lbd_count = 0;
+    solve_time_s = 0.;
   }
 
 let add_stats a b =
@@ -792,11 +1086,33 @@ let add_stats a b =
     conflicts = a.conflicts + b.conflicts;
     decisions = a.decisions + b.decisions;
     propagations = a.propagations + b.propagations;
+    binary_propagations = a.binary_propagations + b.binary_propagations;
     restarts = a.restarts + b.restarts;
     learned_clauses = a.learned_clauses + b.learned_clauses;
+    learned_binaries = a.learned_binaries + b.learned_binaries;
+    deleted_clauses = a.deleted_clauses + b.deleted_clauses;
+    reductions = a.reductions + b.reductions;
+    watch_compaction_scans = a.watch_compaction_scans + b.watch_compaction_scans;
+    lbd_hist = Array.init lbd_hist_bins (fun i -> a.lbd_hist.(i) + b.lbd_hist.(i));
+    lbd_sum = a.lbd_sum + b.lbd_sum;
+    lbd_count = a.lbd_count + b.lbd_count;
+    solve_time_s = a.solve_time_s +. b.solve_time_s;
   }
+
+let mean_lbd st =
+  if st.lbd_count = 0 then 0.
+  else float_of_int st.lbd_sum /. float_of_int st.lbd_count
+
+let propagations_per_sec st =
+  if st.solve_time_s <= 0. then 0.
+  else float_of_int (st.propagations + st.binary_propagations) /. st.solve_time_s
 
 let pp_stats ppf st =
   Format.fprintf ppf
-    "conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d"
-    st.conflicts st.decisions st.propagations st.restarts st.learned_clauses
+    "conflicts=%d decisions=%d propagations=%d binprops=%d props_per_s=%.0f \
+     restarts=%d learned=%d binaries=%d deleted=%d reductions=%d \
+     compaction_scans=%d mean_lbd=%.2f"
+    st.conflicts st.decisions st.propagations st.binary_propagations
+    (propagations_per_sec st) st.restarts st.learned_clauses
+    st.learned_binaries st.deleted_clauses st.reductions
+    st.watch_compaction_scans (mean_lbd st)

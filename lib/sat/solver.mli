@@ -1,11 +1,12 @@
 (** A CDCL SAT solver.
 
-    Conflict-driven clause learning with two-watched-literal propagation,
-    first-UIP learning with recursive clause minimization, VSIDS variable
-    activities, phase saving, Luby restarts, and activity-based learned
-    clause deletion.  It replaces the off-the-shelf SAT/SMT back ends used
-    by the paper's exact physical design [46] and equivalence checking
-    [50].
+    Conflict-driven clause learning with two-watched-literal propagation
+    (blocking literals cached next to each watch), dedicated implication
+    lists for binary clauses, first-UIP learning with cheap clause
+    minimization, VSIDS variable activities, phase saving, Luby restarts,
+    and Glucose-style glue-based learned clause deletion.  It replaces
+    the off-the-shelf SAT/SMT back ends used by the paper's exact
+    physical design [46] and equivalence checking [50].
 
     Literals follow the DIMACS convention: variables are positive
     integers, and a negative integer denotes the complement of the
@@ -24,7 +25,47 @@ type result =
 type lit = int
 (** [v] for variable [v], [-v] for its negation; [v >= 1]. *)
 
-val create : unit -> t
+(** {2 Configuration}
+
+    The pre-overhaul solver behavior is kept in-tree as
+    {!legacy_config} so performance comparisons (see [bench/main.exe
+    sat]) pit the two against each other inside one binary.  Both
+    configurations are complete and produce identical Sat/Unsat
+    verdicts; they differ only in data-structure and heuristic choices
+    on the hot path. *)
+
+type config = {
+  binary_specialization : bool;
+      (** Keep 2-literal clauses (problem and learned) in per-literal
+          implication lists; propagation over them never dereferences a
+          clause.  Learned binaries are still DRAT-logged and are
+          immortal (never deleted). *)
+  blocking_literals : bool;
+      (** Cache a blocking literal next to each watch entry; a satisfied
+          blocker skips the clause without touching clause memory. *)
+  glue_reduction : bool;
+      (** Reduce the learned database by LBD ("glue"): clauses with glue
+          <= 2 are immortal, ties are broken by activity, and watch lists
+          are compacted in place instead of rebuilt from scratch. *)
+}
+
+val default_config : config
+(** All optimizations on. *)
+
+val legacy_config : config
+(** The pre-overhaul solver: binaries in the clause arena, no blocking
+    literals, activity-based reduction with a full watch rebuild. *)
+
+val set_global_config : config -> unit
+(** Set the configuration used by {!create} when none is given
+    explicitly.  Initially {!default_config}. *)
+
+val global_config : unit -> config
+
+val create : ?config:config -> unit -> t
+(** [config] defaults to the current global configuration. *)
+
+val config : t -> config
 
 val new_var : t -> lit
 (** Allocate a fresh variable and return it as a positive literal. *)
@@ -33,6 +74,11 @@ val num_vars : t -> int
 val num_clauses : t -> int
 (** Number of problem (non-learned) clauses added so far, counting those
     simplified away at add time. *)
+
+val num_binary_clauses : t -> int
+(** Number of binary clauses (problem and learned) held in the
+    specialized implication lists.  0 when [binary_specialization] is
+    off. *)
 
 val add_clause : t -> lit list -> unit
 (** Add a clause.  Tautologies are dropped and duplicate literals merged.
@@ -81,21 +127,49 @@ val proof : t -> Drat.proof
 
 (** {2 Statistics} *)
 
+val lbd_hist_bins : int
+(** Length of {!stats.lbd_hist}; the last bin collects everything at or
+    above [lbd_hist_bins - 1]. *)
+
 type stats = {
   conflicts : int;
   decisions : int;
-  propagations : int;
+  propagations : int;  (** Trail literals propagated. *)
+  binary_propagations : int;
+      (** Implications produced by the binary implication lists. *)
   restarts : int;
   learned_clauses : int;  (** Currently live learned clauses. *)
+  learned_binaries : int;
+      (** Live learned binaries held in the implication lists. *)
+  deleted_clauses : int;  (** Cumulative deletions by [reduce_db]. *)
+  reductions : int;  (** Number of [reduce_db] passes. *)
+  watch_compaction_scans : int;
+      (** Watch entries scanned by in-place compaction — the actual
+          database-maintenance work, replacing the old full rebuild. *)
+  lbd_hist : int array;
+      (** Per-solve LBD histogram (reset at each [solve]); bin [i] counts
+          learned clauses with glue [i], the last bin is a catch-all.
+          Treat as read-only. *)
+  lbd_sum : int;  (** Cumulative sum of learned-clause glues. *)
+  lbd_count : int;
+  solve_time_s : float;  (** Cumulative wall time inside [solve]. *)
 }
 
 val stats : t -> stats
-(** Cumulative counters over the solver's lifetime. *)
+(** Counters over the solver's lifetime (cumulative, except [lbd_hist]
+    which describes the most recent [solve] call). *)
 
 val empty_stats : stats
 
 val add_stats : stats -> stats -> stats
 (** Pointwise sum — for aggregating across solver instances. *)
 
+val mean_lbd : stats -> float
+(** Mean glue over all learned clauses, 0 if none were learned. *)
+
+val propagations_per_sec : stats -> float
+(** (propagations + binary_propagations) / solve_time_s, 0 when no time
+    was spent. *)
+
 val pp_stats : Format.formatter -> stats -> unit
-(** The old human-readable one-line form. *)
+(** One stable human-readable line. *)

@@ -20,40 +20,46 @@
 #                              report results bit-identical to jobs=1 --
 #                              the harness exits nonzero on any mismatch
 #                              -- and write a well-formed BENCH_sim.json)
+#   8. SAT bench smoke        (legacy vs. tuned solver configurations on
+#                              exact P&R and equivalence miters: verdicts
+#                              must be identical, refutation proofs must
+#                              check, and BENCH_sat.json must be
+#                              well-formed)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/7 type check =="
+echo "== 1/8 type check =="
 dune build @check
 
-echo "== 2/7 full build =="
+echo "== 2/8 full build =="
 dune build
 
-echo "== 3/7 test suite =="
+echo "== 3/8 test suite =="
 start=$(date +%s)
 dune runtest --force
 end=$(date +%s)
 echo "tests passed in $((end - start))s"
 
-echo "== 4/7 property fuzzing =="
-# Fixed seed: reproducible in CI, >= 500 iterations across the four
-# generators (CNF, XAG, defect parameters, charge systems).
-dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -xag 150 -defect 60 -system 40
+echo "== 4/8 property fuzzing =="
+# Fixed seed: reproducible in CI, >= 500 iterations across the five
+# generators (CNF, at-most-one encodings, XAG, defect parameters,
+# charge systems).
+dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -defect 60 -system 40
 
-echo "== 5/7 budgeted-flow smoke test =="
+echo "== 5/8 budgeted-flow smoke test =="
 # Must return a verified layout without raising, degrading to the
 # scalable engine if the exact share of the deadline runs out.
 dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
 
-echo "== 6/7 certification smoke test =="
+echo "== 6/8 certification smoke test =="
 # Benchmark "t" needs one candidate size refuted before its minimal
 # layout: paranoid mode proof-checks that UNSAT and replays the
 # equivalence certificate; any failed check exits nonzero.
 dune exec bin/fictionette.exe -- check t | grep "certified refutations"
 dune exec bin/fictionette.exe -- check t
 
-echo "== 7/7 bench smoke (parallel determinism + BENCH_sim.json shape) =="
+echo "== 7/8 bench smoke (parallel determinism + BENCH_sim.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sim --smoke --jobs 2 --out "$out"
 # Shape check: schema marker, host cores, at least one result row with
@@ -65,6 +71,24 @@ grep -q '"speedup_vs_serial":' "$out"
 grep -q '"identical_to_serial": true' "$out"
 if grep -q '"identical_to_serial": false' "$out"; then
     echo "bench smoke: parallel result differed from serial" >&2
+    exit 1
+fi
+rm -f "$out"
+
+echo "== 8/8 SAT bench smoke (config parity + BENCH_sat.json shape) =="
+out=$(mktemp)
+dune exec bench/main.exe -- sat --smoke --out "$out"
+# Shape check: schema marker, both solver configurations, per-solve
+# statistics, and the legacy-vs-tuned verdict identity the harness
+# itself enforces (it exits nonzero on any mismatch or rejected proof).
+grep -q '"schema": "fictionette-bench-sat/1"' "$out"
+grep -q '"config": "legacy"' "$out"
+grep -q '"config": "tuned"' "$out"
+grep -q '"propagations":' "$out"
+grep -q '"speedup_vs_legacy":' "$out"
+grep -q '"verdict_matches_legacy": true' "$out"
+if grep -q '"verdict_matches_legacy": false' "$out"; then
+    echo "sat bench smoke: tuned verdict differed from legacy" >&2
     exit 1
 fi
 rm -f "$out"

@@ -56,6 +56,89 @@ let cnf_property (f : P.cnf) =
               (Printf.sprintf "DRAT proof rejected at step %d: %s" step
                  reason))
 
+(* At-most-one encodings: sequential and commander agree with pairwise
+   (and with a semantic oracle) under every full assumption set.  This
+   also extends the CDCL-vs-oracle cross-check to formulas containing
+   encoder auxiliary variables: the assumptions pin only the original
+   variables, so the solver must reason through the auxiliaries. *)
+
+type amo_instance = { amo_nvars : int; amo_lits : int list }
+
+let pp_amo ppf i =
+  Format.fprintf ppf "amo over %d var(s): [%s]" i.amo_nvars
+    (String.concat "; " (List.map string_of_int i.amo_lits))
+
+let amo_arb : amo_instance P.arbitrary =
+  let gen rng =
+    let n = 2 + P.Rng.int rng 7 in
+    (* 2..8 variables *)
+    let k = 2 + P.Rng.int rng (2 * n) in
+    let lits =
+      List.init k (fun _ ->
+          let v = 1 + P.Rng.int rng n in
+          if P.Rng.bool rng then v else -v)
+    in
+    { amo_nvars = n; amo_lits = lits }
+  in
+  let shrink i =
+    if List.length i.amo_lits <= 2 then []
+    else
+      List.init (List.length i.amo_lits) (fun drop ->
+          {
+            i with
+            amo_lits = List.filteri (fun j _ -> j <> drop) i.amo_lits;
+          })
+  in
+  { P.gen; shrink; pp = pp_amo }
+
+let amo_property inst =
+  let n = inst.amo_nvars in
+  let build encoding =
+    let f = Sat.Cnf.create () in
+    for _ = 1 to n do
+      ignore (Sat.Cnf.fresh f)
+    done;
+    Sat.Cnf.at_most_one ~encoding f inst.amo_lits;
+    f
+  in
+  let fp = build Sat.Cnf.Pairwise in
+  let fs = build Sat.Cnf.Sequential in
+  let fc = build Sat.Cnf.Commander in
+  let result = ref (Ok ()) in
+  for mask = 0 to (1 lsl n) - 1 do
+    if !result = Ok () then begin
+      let assumptions =
+        List.init n (fun i ->
+            if mask land (1 lsl i) <> 0 then i + 1 else -(i + 1))
+      in
+      let solve f =
+        match S.solve ~assumptions (Sat.Cnf.solver f) with
+        | S.Sat -> true
+        | S.Unsat -> false
+        | S.Unknown _ -> failwith "unbudgeted solve returned Unknown"
+      in
+      (* Multiset semantics: at most one of the listed literal
+         occurrences is true under the assignment [mask]. *)
+      let expected =
+        List.fold_left
+          (fun acc l ->
+            let value = mask land (1 lsl (abs l - 1)) <> 0 in
+            if (if l > 0 then value else not value) then acc + 1 else acc)
+          0 inst.amo_lits
+        <= 1
+      in
+      let p = solve fp and s = solve fs and c = solve fc in
+      if p <> expected || s <> expected || c <> expected then
+        result :=
+          Error
+            (Printf.sprintf
+               "assignment %d: semantic %b, pairwise %b, sequential %b, \
+                commander %b"
+               mask expected p s c)
+    end
+  done;
+  !result
+
 (* XAG: rewriting and mapping preserve behavior. *)
 
 let has_constant_po n =
@@ -202,6 +285,7 @@ let system_property sites =
 let () =
   let seed = ref 0xF002 in
   let cnf_iters = ref 300 in
+  let amo_iters = ref 60 in
   let xag_iters = ref 150 in
   let defect_iters = ref 60 in
   let system_iters = ref 40 in
@@ -209,6 +293,9 @@ let () =
     [
       ("-seed", Arg.Set_int seed, "PRNG seed (default 0xF002)");
       ("-cnf", Arg.Set_int cnf_iters, "CNF iterations (default 300)");
+      ( "-amo",
+        Arg.Set_int amo_iters,
+        "at-most-one encoding iterations (default 60)" );
       ("-xag", Arg.Set_int xag_iters, "XAG iterations (default 150)");
       ( "-defect",
         Arg.Set_int defect_iters,
@@ -218,7 +305,7 @@ let () =
         "charge-system iterations (default 40)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "fuzz [-seed N] [-cnf N] [-xag N] [-defect N] [-system N]";
+    "fuzz [-seed N] [-cnf N] [-amo N] [-xag N] [-defect N] [-system N]";
   let failed = ref false in
   let run name iterations arb prop =
     let outcome = P.check ~seed:!seed ~iterations arb prop in
@@ -226,6 +313,7 @@ let () =
     match outcome with P.Passed _ -> () | P.Failed _ -> failed := true
   in
   run "cnf-vs-oracle" !cnf_iters P.cnf cnf_property;
+  run "amo-encodings" !amo_iters amo_arb amo_property;
   run "xag-rewrite-map" !xag_iters P.xag xag_property;
   run "defect-yield" !defect_iters P.defect_params defect_property;
   run "pruned-vs-exhaustive" !system_iters system_arb system_property;

@@ -122,13 +122,19 @@ let test_exact_budget () =
 
 let test_exact_global_conflict_budget () =
   let nl = NL.of_mapped (mapped_of "par_check") in
-  (* The deterministic solver needs 3 conflicts for the first (already
-     satisfiable) candidate; a global budget of 2 must end in a
-     structured Out_of_budget, never an exception. *)
-  (match Ex.place_and_route ~budget:(Sat.Budget.of_conflicts 2) nl with
-  | Error (Ex.Out_of_budget { reason = Sat.Budget.Conflicts; _ }) -> ()
-  | Error f -> Alcotest.fail ("unexpected failure: " ^ Ex.failure_message f)
-  | Ok _ -> Alcotest.fail "2 conflicts cannot route par_check");
+  (* The deterministic solver needs 2 conflicts for the first (already
+     satisfiable) candidate; a global budget of 1 must end in a
+     structured Out_of_budget, never an exception — at any job count. *)
+  List.iter
+    (fun jobs ->
+      let config = { Ex.default_config with jobs } in
+      match
+        Ex.place_and_route ~config ~budget:(Sat.Budget.of_conflicts 1) nl
+      with
+      | Error (Ex.Out_of_budget { reason = Sat.Budget.Conflicts; _ }) -> ()
+      | Error f -> Alcotest.fail ("unexpected failure: " ^ Ex.failure_message f)
+      | Ok _ -> Alcotest.fail "1 conflict cannot route par_check")
+    [ None; Some 1; Some 4 ];
   (* An already-expired deadline trips before any solving. *)
   match
     Ex.place_and_route

@@ -259,6 +259,89 @@ let test_stats () =
   Alcotest.(check bool) "pp_stats renders" true
     (String.length (Format.asprintf "%a" S.pp_stats st) > 0)
 
+(* --- binary-clause specialization -------------------------------------- *)
+
+let test_binary_learned_in_proof () =
+  (* Learned binaries live in the implication lists, but they must still
+     be logged: the DRAT checker sees every clause the solver reasons
+     with, and flipping a literal in a learned binary breaks the RUP
+     chain. *)
+  let nvars, clauses = php_formula 6 5 in
+  let s = solver_of ~proof:true nvars clauses in
+  Alcotest.(check bool) "binaries specialized" true
+    (S.num_binary_clauses s > 0);
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  let proof = S.proof s in
+  let is_binary_add = function
+    | Sat.Drat.Add [ _; _ ] -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "proof contains a learned binary" true
+    (List.exists is_binary_add proof);
+  Alcotest.(check bool) "proof accepted" true
+    (Sat.Drat.is_valid ~nvars ~clauses proof);
+  let mutated =
+    let flipped = ref false in
+    List.map
+      (function
+        | Sat.Drat.Add [ a; b ] when not !flipped ->
+            flipped := true;
+            Sat.Drat.Add [ -a; b ]
+        | step -> step)
+      proof
+  in
+  Alcotest.(check bool) "mutated binary rejected" false
+    (Sat.Drat.is_valid ~nvars ~clauses mutated)
+
+let test_binary_lists_across_resume () =
+  (* A budgeted [Unknown] must not lose the implication lists: the
+     problem binaries and any learned ones carry over into the resumed
+     solve. *)
+  let nvars, clauses = php_formula 9 8 in
+  let problem_binaries =
+    List.length (List.filter (fun c -> List.length c = 2) clauses)
+  in
+  let s = solver_of nvars clauses in
+  Alcotest.(check int) "problem binaries specialized" problem_binaries
+    (S.num_binary_clauses s);
+  (match S.solve ~budget:(Sat.Budget.of_conflicts 50) s with
+  | S.Unknown Sat.Budget.Conflicts -> ()
+  | _ -> Alcotest.fail "expected Unknown (conflict budget)");
+  let after_budget = S.num_binary_clauses s in
+  Alcotest.(check bool) "lists survive the interrupt" true
+    (after_budget >= problem_binaries);
+  Alcotest.(check bool) "resumed verdict" true (S.solve s = S.Unsat);
+  Alcotest.(check bool) "lists only grow" true
+    (S.num_binary_clauses s >= after_budget)
+
+let test_root_conflict_poisons_solver () =
+  (* Regression (found by the amo-encodings fuzz property): these four
+     binaries resolve to both [2] and [-2], so the formula is unsat
+     outright.  The first solve refutes it at the root and leaves the
+     root trail only partially propagated; any later call — whatever the
+     assumptions — must keep answering Unsat rather than accept that
+     inconsistent trail as a model. *)
+  [ S.legacy_config; S.default_config ]
+  |> List.iter (fun config ->
+         let s = S.create ~config () in
+         for _ = 1 to 7 do
+           ignore (S.new_var s)
+         done;
+         List.iter (S.add_clause s)
+           [ [ 2; -7 ]; [ 2; 7 ]; [ -7; -2 ]; [ -2; 7 ] ];
+         for mask = 0 to 3 do
+           let assumptions =
+             List.init 7 (fun i ->
+                 if mask land (1 lsl i) <> 0 then i + 1 else -(i + 1))
+           in
+           Alcotest.(check bool)
+             (Printf.sprintf "mask %d unsat" mask)
+             true
+             (S.solve ~assumptions s = S.Unsat)
+         done;
+         Alcotest.(check bool) "unconditionally unsat" true
+           (S.solve s = S.Unsat))
+
 (* Random instances cross-checked against the DPLL oracle. *)
 let arbitrary_cnf =
   let open QCheck.Gen in
@@ -434,6 +517,12 @@ let () =
           Alcotest.test_case "budget resume same instance" `Quick
             test_budget_resume_same_instance;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "binary learned in proof" `Quick
+            test_binary_learned_in_proof;
+          Alcotest.test_case "binary lists across resume" `Quick
+            test_binary_lists_across_resume;
+          Alcotest.test_case "root conflict poisons solver" `Quick
+            test_root_conflict_poisons_solver;
         ] );
       ( "drat",
         [
