@@ -1408,6 +1408,222 @@ let sat () =
   if !mismatch || rejected then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Logic-synthesis benchmark harness: BENCH_logic.json                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the synthesis frontend (cut enumeration + rewriting + mapping)
+   under the exhaustive baseline vs the priority-cut configuration on
+   every Table-1 benchmark, asserting that both configurations produce
+   node-for-node identical mapped netlists and that the results
+   re-simulate against the source network.  The NPN database is warmed
+   untimed so exact synthesis (identical work on both sides, pinned to
+   its own solver configuration) does not dilute the comparison; all
+   runs are serial. *)
+
+let logic_out = ref "BENCH_logic.json"
+
+type logic_row = {
+  lg_bench : string;
+  lg_cfg : string;  (* "exhaustive" | "priority" *)
+  lg_wall : float;  (* per rep *)
+  lg_reps : int;
+  lg_speedup : float option;  (* priority rows: exhaustive wall / wall *)
+  lg_identical : bool option;  (* priority rows: Mapped.equal vs exhaustive *)
+  lg_gates_before : int;
+  lg_gates_after : int;
+  lg_mapped_gates : int;
+  lg_cuts : Logic.Cuts.enum_stats;
+  lg_npn : int * int * int;  (* cache-stat deltas over the timed reps *)
+}
+
+let write_logic_json ~cores rows ~largest ~largest_speedup =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"fictionette-bench-logic/1\",\n";
+  add
+    "  \"host\": {\"cores\": %d, \"ocaml\": \"%s\", \"os\": \"%s\", \
+     \"word_size\": %d},\n"
+    cores (json_escape Sys.ocaml_version) (json_escape Sys.os_type)
+    Sys.word_size;
+  add "  \"jobs\": 1,\n";
+  add "  \"smoke\": %b,\n" !sim_smoke;
+  add
+    "  \"notes\": \"single-thread comparison of the synthesis frontend: \
+     exhaustive = pre-overhaul list-based cut enumeration, priority = \
+     bounded priority cuts with interned truth tables and signature \
+     dominance filtering.  Both configurations are asserted to produce \
+     node-for-node identical mapped netlists (identical_netlist); \
+     wall_per_rep_s covers rewrite_to_fixpoint + tech mapping with a \
+     pre-warmed NPN database.  npn_cache counts canonize cache activity \
+     during the timed reps.\",\n";
+  add "  \"largest_workload\": \"%s\",\n" (json_escape largest);
+  add "  \"largest_speedup_vs_exhaustive\": %.3f,\n" largest_speedup;
+  add "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      let c = r.lg_cuts in
+      let l1, l2, miss = r.lg_npn in
+      add "    {\"benchmark\": \"%s\", \"config\": \"%s\", \
+           \"wall_per_rep_s\": %.6f, \"reps\": %d"
+        (json_escape r.lg_bench) (json_escape r.lg_cfg) r.lg_wall r.lg_reps;
+      (match r.lg_speedup with
+      | Some s -> add ", \"speedup_vs_exhaustive\": %.3f" s
+      | None -> add ", \"speedup_vs_exhaustive\": null");
+      (match r.lg_identical with
+      | Some b -> add ", \"identical_netlist\": %b" b
+      | None -> add ", \"identical_netlist\": null");
+      add ", \"gates\": {\"before\": %d, \"after\": %d, \"mapped\": %d}"
+        r.lg_gates_before r.lg_gates_after r.lg_mapped_gates;
+      add
+        ", \"cuts\": {\"nodes\": %d, \"pairs\": %d, \"kept\": %d, \
+         \"sig_rejects\": %d}"
+        c.Logic.Cuts.nodes c.Logic.Cuts.pairs c.Logic.Cuts.kept
+        c.Logic.Cuts.sig_rejects;
+      add
+        ", \"npn_cache\": {\"l1_hits\": %d, \"l2_hits\": %d, \"misses\": \
+         %d}}%s\n"
+        l1 l2 miss
+        (if i = List.length rows - 1 then "" else ",")
+    )
+    rows;
+  add "  ]\n}\n";
+  let oc = open_out !logic_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let logic () =
+  section
+    "Logic synthesis benchmark harness (cut enumeration + rewriting + \
+     mapping, jobs=1)";
+  let smoke = !sim_smoke in
+  let cores = Domain.recommended_domain_count () in
+  let rows = ref [] in
+  let mismatch = ref false in
+  let largest = ref "" in
+  let largest_wall = ref 0.0 in
+  let largest_speedup = ref 0.0 in
+  let emit r =
+    rows := r :: !rows;
+    (match r.lg_identical with
+    | Some false ->
+        mismatch := true;
+        Format.printf "  NETLIST MISMATCH on %s@." r.lg_bench
+    | _ -> ());
+    let l1, l2, miss = r.lg_npn in
+    Format.printf
+      "  %-14s %-10s %9.2fms  cuts %d/%d pairs  npn %d/%d/%d%s@." r.lg_bench
+      r.lg_cfg (r.lg_wall *. 1e3) r.lg_cuts.Logic.Cuts.kept
+      r.lg_cuts.Logic.Cuts.pairs l1 l2 miss
+      (match r.lg_speedup with
+      | Some s -> Printf.sprintf "  %.2fx vs exhaustive" s
+      | None -> "")
+  in
+  List.iter
+    (fun b ->
+      let name = b.Logic.Benchmarks.name in
+      let build = b.Logic.Benchmarks.build in
+      let db = Logic.Npn_db.create () in
+      let run_once config =
+        let optimized =
+          Logic.Rewrite.rewrite_to_fixpoint ~cut_config:config ~db (build ())
+        in
+        let mapped, _ = Logic.Tech_map.map optimized in
+        (optimized, mapped)
+      in
+      (* Warm the NPN database untimed, then calibrate the rep count on
+         a second, warm run (the first pays for exact synthesis of every
+         NPN-class miss and would undercount the reps). *)
+      let _, _ = timed (fun () -> run_once Logic.Cuts.default_config) in
+      let _, warm_wall =
+        timed (fun () -> run_once Logic.Cuts.default_config)
+      in
+      let reps =
+        if smoke then 1
+        else max 3 (min 500 (int_of_float (0.25 /. max 1e-5 warm_wall)))
+      in
+      let measure config =
+        let npn0 = Logic.Npn.cache_stats () in
+        let result = ref None in
+        let (), wall =
+          timed (fun () ->
+              for _ = 1 to reps do
+                result := Some (run_once config)
+              done)
+        in
+        let l1a, l2a, ma = Logic.Npn.cache_stats ()
+        and l1b, l2b, mb = npn0 in
+        let opt, mapped =
+          match !result with Some x -> x | None -> assert false
+        in
+        (opt, mapped, wall /. float_of_int reps,
+         (l1a - l1b, l2a - l2b, ma - mb))
+      in
+      let cut_stats config =
+        Logic.Cuts.stats (Logic.Cuts.enumerate ~config (build ()))
+      in
+      let x_opt, x_map, x_wall, x_npn =
+        measure Logic.Cuts.exhaustive_config
+      in
+      let p_opt, p_map, p_wall, p_npn = measure Logic.Cuts.default_config in
+      (* Identity and correctness gates. *)
+      let identical = Logic.Mapped.equal p_map x_map in
+      let specification = build () in
+      (match Verify.Resim.check_rewrite ~specification ~optimized:p_opt with
+      | Ok () -> ()
+      | Error e ->
+          mismatch := true;
+          Format.printf "  RESIM FAILURE (rewrite) on %s: %s@." name e);
+      (match Verify.Resim.check_mapping ~specification:p_opt ~mapped:p_map with
+      | Ok () -> ()
+      | Error e ->
+          mismatch := true;
+          Format.printf "  RESIM FAILURE (mapping) on %s: %s@." name e);
+      let gates_before = Logic.Network.num_gates specification in
+      let row cfg wall npn stats speedup id =
+        {
+          lg_bench = name;
+          lg_cfg = cfg;
+          lg_wall = wall;
+          lg_reps = reps;
+          lg_speedup = speedup;
+          lg_identical = id;
+          lg_gates_before = gates_before;
+          lg_gates_after = Logic.Network.num_gates p_opt;
+          lg_mapped_gates = Logic.Mapped.num_gates p_map;
+          lg_cuts = stats;
+          lg_npn = npn;
+        }
+      in
+      ignore x_opt;
+      emit
+        (row "exhaustive" x_wall x_npn
+           (cut_stats Logic.Cuts.exhaustive_config)
+           None None);
+      emit
+        (row "priority" p_wall p_npn
+           (cut_stats Logic.Cuts.default_config)
+           (Some (x_wall /. p_wall))
+           (Some identical));
+      if x_wall > !largest_wall then begin
+        largest_wall := x_wall;
+        largest := name;
+        largest_speedup := x_wall /. p_wall
+      end)
+    Logic.Benchmarks.all;
+  let rows = List.rev !rows in
+  write_logic_json ~cores rows ~largest:!largest
+    ~largest_speedup:!largest_speedup;
+  Format.printf
+    "@.wrote %s (%d result rows); largest workload %s: %.2fx vs exhaustive@."
+    !logic_out (List.length rows) !largest !largest_speedup;
+  if !mismatch then begin
+    Format.eprintf
+      "priority and exhaustive synthesis results differ — failing@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all = [ "table1"; "fig1c"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
 
@@ -1426,9 +1642,10 @@ let run = function
   | "perf" -> perf ()
   | "sim" -> sim ()
   | "sat" -> sat ()
+  | "logic" -> logic ()
   | other ->
       Format.printf
-        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf, sim, sat)@."
+        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf, sim, sat, logic)@."
         other (String.concat ", " all)
 
 let () =
@@ -1449,6 +1666,7 @@ let () =
     | "--out" :: path :: rest ->
         sim_out := path;
         sat_out := path;
+        logic_out := path;
         scan acc rest
     | x :: rest -> scan (x :: acc) rest
   in

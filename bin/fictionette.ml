@@ -352,6 +352,93 @@ let yield_cmd =
           atomic defects (missing/stray DBs, charged point defects).")
     term
 
+let synth_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (see $(b,fictionette list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let stats_arg =
+    let doc =
+      "Print the aggregated synthesis statistics (cut enumeration, \
+       rewriting, NPN cache hit rates, technology mapping) to stderr as \
+       one stable line."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let exhaustive_arg =
+    let doc =
+      "Use the pre-overhaul exhaustive cut enumeration instead of \
+       priority cuts (the mapped netlist is identical; see $(b,bench \
+       logic))."
+    in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let action name stats exhaustive =
+    match Logic.Benchmarks.find name with
+    | exception Not_found ->
+        Format.eprintf "error: unknown benchmark %S@." name;
+        1
+    | b ->
+        let config =
+          if exhaustive then Logic.Cuts.exhaustive_config
+          else Logic.Cuts.default_config
+        in
+        let db = Logic.Npn_db.create () in
+        let ntk = b.Logic.Benchmarks.build () in
+        let cut_stats =
+          Logic.Cuts.stats (Logic.Cuts.enumerate ~config ntk)
+        in
+        (* Accumulate per-round rewrite statistics over the same fixpoint
+           iteration the flow performs. *)
+        let rec fixpoint ntk acc rounds =
+          if rounds = 0 then (ntk, acc)
+          else
+            let ntk', s = Logic.Rewrite.rewrite ~cut_config:config ~db ntk in
+            let acc =
+              {
+                s with
+                Logic.Rewrite.candidates =
+                  acc.Logic.Rewrite.candidates + s.Logic.Rewrite.candidates;
+                replaced = acc.Logic.Rewrite.replaced + s.Logic.Rewrite.replaced;
+                size_before = acc.Logic.Rewrite.size_before;
+              }
+            in
+            if s.Logic.Rewrite.size_after >= s.Logic.Rewrite.size_before then
+              (ntk', acc)
+            else fixpoint ntk' acc (rounds - 1)
+        in
+        let size0 = Logic.Network.num_gates ntk in
+        let rewritten, rw =
+          fixpoint ntk
+            {
+              Logic.Rewrite.candidates = 0;
+              replaced = 0;
+              size_before = size0;
+              size_after = size0;
+            }
+            4
+        in
+        let mapped, map_stats = Logic.Tech_map.map rewritten in
+        let l1, l2, misses = Logic.Npn.cache_stats () in
+        if stats then
+          Format.eprintf
+            "synth %s: cuts %a | rewrite %a | npn l1=%d l2=%d miss=%d | map %a@."
+            name Logic.Cuts.pp_stats cut_stats Logic.Rewrite.pp_stats rw l1 l2
+            misses Logic.Tech_map.pp_stats map_stats;
+        Format.printf "%s: %d gates -> %d mapped nodes@." name
+          (Logic.Network.num_gates ntk)
+          (Logic.Mapped.num_nodes mapped);
+        0
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Run logic synthesis only (cut rewriting to fixpoint, then \
+          technology mapping) on a built-in benchmark.  With $(b,--stats) \
+          the cut-enumeration, rewriting, NPN-cache and mapping counters \
+          are printed to stderr as one stable line.")
+    Term.(const action $ bench_arg $ stats_arg $ exhaustive_arg)
+
 let check_cmd =
   let bench_arg =
     let doc = "Benchmark name (see $(b,fictionette list))." in
@@ -407,7 +494,7 @@ let main =
   let doc = "Design automation for silicon dangling bond logic" in
   Cmd.group
     (Cmd.info "fictionette" ~version:"0.1" ~doc)
-    [ run_cmd; verilog_cmd; check_cmd; list_cmd; table1_cmd; gates_cmd;
-      yield_cmd ]
+    [ run_cmd; verilog_cmd; check_cmd; synth_cmd; list_cmd; table1_cmd;
+      gates_cmd; yield_cmd ]
 
 let () = exit (Cmd.eval' main)

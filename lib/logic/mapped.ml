@@ -109,6 +109,21 @@ let input_name t i =
   in
   find (List.rev t.inputs)
 
+(* Node-for-node identity, not just functional equivalence: same nodes in
+   the same order, same input/output lists.  This is what the synthesis
+   bench asserts between the priority and exhaustive cut strategies. *)
+let equal a b =
+  a.node_count = b.node_count
+  && a.input_count = b.input_count
+  && a.output_count = b.output_count
+  && a.inputs = b.inputs
+  && a.outputs = b.outputs
+  &&
+  let rec nodes_eq id =
+    id >= a.node_count || (a.nodes.(id) = b.nodes.(id) && nodes_eq (id + 1))
+  in
+  nodes_eq 0
+
 let all_fns = [ And2; Or2; Nand2; Nor2; Xor2; Xnor2; Inv; Buf; Ha ]
 
 let gate_counts t =

@@ -50,6 +50,11 @@ val fn_arity : fn -> int
 val fn_outputs : fn -> int
 val fn_name : fn -> string
 
+val equal : t -> t -> bool
+(** Node-for-node structural identity: same node array (ids, functions,
+    fanin wiring), inputs and outputs — strictly stronger than functional
+    equivalence.  Used to assert that cut-enumeration strategies agree. *)
+
 val gate_counts : t -> (fn * int) list
 (** Histogram of gate functions used, in a fixed order. *)
 

@@ -1,17 +1,27 @@
 type transform = { perm : int array; input_flips : int; output_flip : bool }
 
+(* Permutation lists are memoized per arity: canonization used to rebuild
+   the full list on every call, which dominated the cost of cache misses
+   at small arities. *)
+let permutations_memo : (int, int array list) Hashtbl.t = Hashtbl.create 8
+
 let permutations n =
-  let rec insert_everywhere x = function
-    | [] -> [ [ x ] ]
-    | y :: rest ->
-        (x :: y :: rest)
-        :: List.map (fun l -> y :: l) (insert_everywhere x rest)
-  in
-  let rec perms = function
-    | [] -> [ [] ]
-    | x :: rest -> List.concat_map (insert_everywhere x) (perms rest)
-  in
-  List.map Array.of_list (perms (List.init n (fun i -> i)))
+  match Hashtbl.find_opt permutations_memo n with
+  | Some ps -> ps
+  | None ->
+      let rec insert_everywhere x = function
+        | [] -> [ [ x ] ]
+        | y :: rest ->
+            (x :: y :: rest)
+            :: List.map (fun l -> y :: l) (insert_everywhere x rest)
+      in
+      let rec perms = function
+        | [] -> [ [] ]
+        | x :: rest -> List.concat_map (insert_everywhere x) (perms rest)
+      in
+      let ps = List.map Array.of_list (perms (List.init n (fun i -> i))) in
+      Hashtbl.replace permutations_memo n ps;
+      ps
 
 let apply_input_flips f mask =
   let n = Truth_table.num_vars f in
@@ -26,43 +36,196 @@ let apply_transform f t =
   let permuted = Truth_table.permute flipped t.perm in
   if t.output_flip then Truth_table.lnot permuted else permuted
 
-(* Exhaustive minimization over all 2^n * n! * 2 transforms.  Memoized per
-   truth table since rewriting canonizes the same cut functions
-   repeatedly. *)
-let cache : (Truth_table.t, Truth_table.t * transform) Hashtbl.t =
-  Hashtbl.create 1024
+(* Unpruned exhaustive minimization over all n! * 2^n * 2 transforms.
+   Kept as the reference implementation: the pruned canonizer below must
+   agree with it bit for bit (table and transform), and the test suite
+   checks that it does. *)
+let canonize_exhaustive f =
+  let n = Truth_table.num_vars f in
+  let perms = permutations n in
+  let best = ref None in
+  let consider tt transform =
+    match !best with
+    | None -> best := Some (tt, transform)
+    | Some (b, _) ->
+        if Truth_table.compare tt b < 0 then best := Some (tt, transform)
+  in
+  List.iter
+    (fun perm ->
+      for input_flips = 0 to (1 lsl n) - 1 do
+        let base =
+          Truth_table.permute (apply_input_flips f input_flips) perm
+        in
+        consider base { perm; input_flips; output_flip = false };
+        consider (Truth_table.lnot base)
+          { perm; input_flips; output_flip = true }
+      done)
+    perms;
+  match !best with
+  | Some r -> r
+  | None -> assert false (* there is at least the identity *)
 
-let canonize f =
-  match Hashtbl.find_opt cache f with
-  | Some result -> result
-  | None ->
-      let n = Truth_table.num_vars f in
-      let perms = permutations n in
-      let best = ref None in
-      let consider tt transform =
-        match !best with
-        | None -> best := Some (tt, transform)
-        | Some (b, _) ->
-            if Truth_table.compare tt b < 0 then best := Some (tt, transform)
-      in
-      List.iter
-        (fun perm ->
-          for input_flips = 0 to (1 lsl n) - 1 do
-            let base =
-              Truth_table.permute (apply_input_flips f input_flips) perm
-            in
+(* Pruned canonization.
+
+   The prunings below only skip transforms that provably cannot change
+   the winner chosen by [canonize_exhaustive], so the result — table
+   {e and} transform — is bit-identical to the exhaustive search:
+
+   - {e Output-phase normalization}: tables over at most 6 variables
+     compare as one machine word, so of the complementary pair
+     [(base, lnot base)] only the candidate whose top bit makes the word
+     smallest (clear below 6 variables, set at exactly 6 where the top
+     bit is the sign bit) can ever win; the other differs from it in the
+     most significant bit and is strictly larger.
+   - {e Symmetric-variable quotient}: variables are first partitioned
+     into symmetry classes (cheap per-variable cofactor ones-count
+     signatures filter the candidate pairs, an exact [swap_vars] check
+     confirms).  Permutations that assign the same position {e set} to a
+     symmetry class produce identical candidate tables once all input
+     flips are enumerated, so only the first permutation of each such
+     coset — exactly the one the exhaustive search would crown on a tie
+     — is evaluated.
+   - {e Shared flip tables}: the [2^n] input-flip variants of [f] are
+     computed once in Gray-code order (one [flip_var] each) instead of
+     once per permutation. *)
+
+let var_signature f v =
+  ( Truth_table.count_ones (Truth_table.cofactor0 f v),
+    Truth_table.count_ones (Truth_table.cofactor1 f v) )
+
+(* [cls.(v)] is the smallest variable symmetric to [v] (possibly [v]
+   itself).  Swap-symmetry classes are closed under transitivity, so
+   testing against class roots only is complete. *)
+let symmetry_classes f =
+  let n = Truth_table.num_vars f in
+  let cls = Array.init n (fun v -> v) in
+  let sigs = Array.init n (var_signature f) in
+  for v = 1 to n - 1 do
+    let u = ref 0 in
+    while cls.(v) = v && !u < v do
+      if
+        cls.(!u) = !u
+        && sigs.(!u) = sigs.(v)
+        && Truth_table.equal (Truth_table.swap_vars f !u v) f
+      then cls.(v) <- !u;
+      incr u
+    done
+  done;
+  cls
+
+(* Canonical key of the coset of [perm] under precomposition with the
+   symmetry group: per class, only the set of assigned positions
+   matters, so sort each class's images in place. *)
+let coset_key cls perm =
+  let n = Array.length perm in
+  let key = Array.copy perm in
+  for root = 0 to n - 1 do
+    if cls.(root) = root then begin
+      let members = ref [] in
+      for v = n - 1 downto 0 do
+        if cls.(v) = root then members := v :: !members
+      done;
+      match !members with
+      | [] | [ _ ] -> ()
+      | ms ->
+          let images = List.sort Stdlib.compare (List.map (fun v -> perm.(v)) ms) in
+          List.iter2 (fun v img -> key.(v) <- img) ms images
+    end
+  done;
+  key
+
+let canonize_pruned f =
+  let n = Truth_table.num_vars f in
+  let bits = 1 lsl n in
+  (* flipped.(m) = f with input-flip mask m, filled in Gray-code order. *)
+  let flipped = Array.make bits f in
+  let prev = ref f and prev_mask = ref 0 in
+  for k = 1 to bits - 1 do
+    let g = k lxor (k lsr 1) in
+    let bit = !prev_mask lxor g in
+    let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
+    let t = Truth_table.flip_var !prev (log2 bit 0) in
+    flipped.(g) <- t;
+    prev := t;
+    prev_mask := g
+  done;
+  let cls = symmetry_classes f in
+  let seen_cosets = Hashtbl.create 16 in
+  let single_word = n <= 6 in
+  (* At 6 variables the top bit is the int64 sign bit, so the smaller of
+     a complementary pair is the one with the top bit set. *)
+  let want_top = n = 6 in
+  let best = ref None in
+  let consider tt transform =
+    match !best with
+    | None -> best := Some (tt, transform)
+    | Some (b, _) ->
+        if Truth_table.compare tt b < 0 then best := Some (tt, transform)
+  in
+  List.iter
+    (fun perm ->
+      let key = coset_key cls perm in
+      if not (Hashtbl.mem seen_cosets key) then begin
+        Hashtbl.replace seen_cosets key ();
+        for input_flips = 0 to bits - 1 do
+          let base = Truth_table.permute flipped.(input_flips) perm in
+          if single_word then
+            if Truth_table.get_bit base (bits - 1) = want_top then
+              consider base { perm; input_flips; output_flip = false }
+            else
+              consider (Truth_table.lnot base)
+                { perm; input_flips; output_flip = true }
+          else begin
             consider base { perm; input_flips; output_flip = false };
             consider (Truth_table.lnot base)
               { perm; input_flips; output_flip = true }
-          done)
-        perms;
-      let result =
-        match !best with
-        | Some r -> r
-        | None -> assert false (* there is at least the identity *)
-      in
-      Hashtbl.replace cache f result;
-      result
+          end
+        done
+      end)
+    (permutations n);
+  match !best with
+  | Some r -> r
+  | None -> assert false
+
+(* Two-level cache, keyed on interned tables.  L1 is a small
+   direct-mapped array probed by physical identity — one load and a
+   pointer compare on the hot path of rewriting, where the same few cut
+   functions recur constantly.  L2 is the persistent structural table. *)
+
+let l1_size = 1024 (* power of two *)
+
+let l1 : (Truth_table.t * (Truth_table.t * transform)) option array =
+  Array.make l1_size None
+
+let cache : (Truth_table.t, Truth_table.t * transform) Hashtbl.t =
+  Hashtbl.create 1024
+
+let l1_hits = ref 0
+let l2_hits = ref 0
+let cache_misses = ref 0
+
+let cache_stats () = (!l1_hits, !l2_hits, !cache_misses)
+
+let canonize f =
+  let f = Truth_table.intern f in
+  let slot = Truth_table.hash f land (l1_size - 1) in
+  match l1.(slot) with
+  | Some (k, r) when k == f ->
+      incr l1_hits;
+      r
+  | _ -> (
+      match Hashtbl.find_opt cache f with
+      | Some r ->
+          incr l2_hits;
+          l1.(slot) <- Some (f, r);
+          r
+      | None ->
+          incr cache_misses;
+          let c, t = canonize_pruned f in
+          let r = (Truth_table.intern c, t) in
+          Hashtbl.replace cache f r;
+          l1.(slot) <- Some (f, r);
+          r)
 
 let canonical f = fst (canonize f)
 

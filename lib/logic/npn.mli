@@ -20,7 +20,24 @@ type transform = {
 val canonize : Truth_table.t -> Truth_table.t * transform
 (** [canonize f] is [(c, t)] where [c] is the canonical representative of
     [f]'s NPN class and [t] the transform such that
-    [apply_transform f t = c]. *)
+    [apply_transform f t = c].
+
+    The search is pruned — output-phase normalization, symmetric-variable
+    cosets detected through per-variable cofactor signatures, shared
+    Gray-code flip tables — but every pruning only skips transforms that
+    provably cannot win, so the result (table {e and} transform) is
+    bit-identical to {!canonize_exhaustive}.  Results are memoized in a
+    two-level cache keyed on {!Truth_table.intern}ed tables: a
+    direct-mapped physical-identity L1 in front of the persistent
+    structural table. *)
+
+val canonize_exhaustive : Truth_table.t -> Truth_table.t * transform
+(** The unpruned, uncached reference search over all n!·2ⁿ·2 transforms.
+    Exposed so tests can check the pruned canonizer against it. *)
+
+val cache_stats : unit -> int * int * int
+(** [(l1_hits, l2_hits, misses)] of the {!canonize} cache since process
+    start (diagnostics; see [bench/main.exe logic]). *)
 
 val apply_transform : Truth_table.t -> transform -> Truth_table.t
 

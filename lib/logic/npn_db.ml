@@ -1,12 +1,23 @@
+(* [Npn.canonize] always returns interned canonical tables, so the chain
+   cache can key on physical identity: hashing stays structural (cheap,
+   one word for n <= 6) but equality is a pointer test. *)
+module Tbl = Hashtbl.Make (struct
+  type t = Truth_table.t
+
+  let equal = ( == )
+  let hash = Truth_table.hash
+end)
+
 type t = {
   max_gates : int;
-  table : (Truth_table.t, Exact_synth.chain option) Hashtbl.t;
+  table : Exact_synth.chain option Tbl.t;
 }
 
-let create ?(max_gates = 7) () = { max_gates; table = Hashtbl.create 256 }
+let create ?(max_gates = 7) () = { max_gates; table = Tbl.create 256 }
 
 let chain_for db canonical =
-  match Hashtbl.find_opt db.table canonical with
+  let canonical = Truth_table.intern canonical in
+  match Tbl.find_opt db.table canonical with
   | Some cached -> cached
   | None ->
       let result =
@@ -22,7 +33,7 @@ let chain_for db canonical =
         | Some _ -> None
         | None -> None
       in
-      Hashtbl.replace db.table canonical result;
+      Tbl.replace db.table canonical result;
       result
 
 let lookup db f =
@@ -53,9 +64,9 @@ let optimal_size db f =
   | None -> None
   | Some (chain, _) -> Some (Exact_synth.chain_size chain)
 
-let classes_cached db = Hashtbl.length db.table
+let classes_cached db = Tbl.length db.table
 
 let misses db =
-  Hashtbl.fold
+  Tbl.fold
     (fun _ v acc -> match v with None -> acc + 1 | Some _ -> acc)
     db.table 0

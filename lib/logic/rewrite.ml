@@ -7,15 +7,17 @@ type stats = {
 
 (* Gates in the cone of [cut] that belong to the maximum fanout-free cone
    of [root]: these are exactly the gates that disappear when the root is
-   re-expressed over the cut leaves. *)
-let mffc_in_cut ntk fanouts root cut =
+   re-expressed over the cut leaves.  [visited] is a stamp array shared
+   across all calls of one rewriting pass — this runs once per cut per
+   gate, and allocating a fresh hashtable each time dominated the
+   selection loop. *)
+let mffc_in_cut ntk fanouts visited stamp root cut =
   let in_leaves id = Array.exists (( = ) id) cut.Cuts.leaves in
-  let visited = Hashtbl.create 16 in
   let rec count id is_root =
-    if Hashtbl.mem visited id || in_leaves id then 0
+    if visited.(id) = stamp || in_leaves id then 0
     else if (not is_root) && fanouts.(id) <> 1 then 0
     else begin
-      Hashtbl.replace visited id ();
+      visited.(id) <- stamp;
       match Network.kind ntk id with
       | Network.Const | Network.Pi _ -> 0
       | Network.And (a, b) | Network.Xor (a, b) ->
@@ -26,11 +28,13 @@ let mffc_in_cut ntk fanouts root cut =
   in
   count root true
 
-let rewrite ?(k = 4) ?(max_cuts = 12) ?db ntk =
+let rewrite ?k ?max_cuts ?cut_config ?db ntk =
   let db = match db with Some db -> db | None -> Npn_db.create () in
   let size_before = Network.num_gates ntk in
-  let cuts = Cuts.enumerate ~k ~max_cuts ntk in
+  let cuts = Cuts.enumerate ?config:cut_config ?k ?max_cuts ntk in
   let fanouts = Network.fanout_counts ntk in
+  let visited = Array.make (max 1 (Network.num_nodes ntk)) 0 in
+  let stamp = ref 0 in
   let fresh = Network.create () in
   let pi_map = Array.make (max 1 (Network.num_pis ntk)) Network.const0 in
   for i = 0 to Network.num_pis ntk - 1 do
@@ -57,7 +61,8 @@ let rewrite ?(k = 4) ?(max_cuts = 12) ?db ntk =
               match Npn_db.optimal_size db cut.Cuts.table with
               | None -> ()
               | Some opt ->
-                  let current = mffc_in_cut ntk fanouts id cut in
+                  incr stamp;
+                  let current = mffc_in_cut ntk fanouts visited !stamp id cut in
                   let gain = current - opt in
                   let better =
                     match !best with
@@ -102,13 +107,17 @@ let rewrite ?(k = 4) ?(max_cuts = 12) ?db ntk =
       size_after = Network.num_gates result;
     } )
 
-let rewrite_to_fixpoint ?(k = 4) ?(max_rounds = 4) ?db ntk =
+let rewrite_to_fixpoint ?k ?(max_rounds = 4) ?cut_config ?db ntk =
   let db = match db with Some db -> db | None -> Npn_db.create () in
   let rec go ntk round =
     if round >= max_rounds then ntk
     else
-      let next, stats = rewrite ~k ~db ntk in
+      let next, stats = rewrite ?k ?cut_config ~db ntk in
       if stats.size_after < stats.size_before then go next (round + 1)
       else ntk
   in
   go ntk 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf "candidates=%d replaced=%d size=%d->%d" s.candidates
+    s.replaced s.size_before s.size_after

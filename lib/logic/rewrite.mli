@@ -15,10 +15,26 @@ type stats = {
 }
 
 val rewrite :
-  ?k:int -> ?max_cuts:int -> ?db:Npn_db.t -> Network.t -> Network.t * stats
-(** One rewriting pass.  The default database bounds chains at 7 gates. *)
+  ?k:int ->
+  ?max_cuts:int ->
+  ?cut_config:Cuts.config ->
+  ?db:Npn_db.t ->
+  Network.t ->
+  Network.t * stats
+(** One rewriting pass.  The default database bounds chains at 7 gates.
+    [cut_config] selects the cut enumeration strategy (default: the
+    global {!Cuts} configuration); [k] and [max_cuts] override its
+    bounds. *)
 
 val rewrite_to_fixpoint :
-  ?k:int -> ?max_rounds:int -> ?db:Npn_db.t -> Network.t -> Network.t
+  ?k:int ->
+  ?max_rounds:int ->
+  ?cut_config:Cuts.config ->
+  ?db:Npn_db.t ->
+  Network.t ->
+  Network.t
 (** Iterate {!rewrite} until no further size reduction (default at most 4
     rounds). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One stable line, in the style of [Sat.Solver.pp_stats]. *)

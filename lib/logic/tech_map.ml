@@ -175,3 +175,7 @@ let map ?(fuse_half_adders = true) ntk =
       half_adders_fused = !half_adders_fused;
       gates = Mapped.num_gates mapped;
     } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf "gates=%d inverters=%d half-adders=%d" s.gates
+    s.inverters_added s.half_adders_fused

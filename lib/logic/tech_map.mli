@@ -20,3 +20,6 @@ val map : ?fuse_half_adders:bool -> Network.t -> Mapped.t * stats
 (** Map a network (default [fuse_half_adders] is [true]).
     @raise Failure if a primary output is a constant (the Bestagon
     library has no tie tiles). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One stable line, in the style of [Sat.Solver.pp_stats]. *)

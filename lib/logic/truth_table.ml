@@ -53,6 +53,16 @@ let var n i =
       done;
     t
 
+let of_fun n f =
+  let t = create n in
+  let bits = 1 lsl n in
+  for i = 0 to bits - 1 do
+    if f i then
+      t.words.(i lsr 6) <-
+        Int64.logor t.words.(i lsr 6) (Int64.shift_left 1L (i land 63))
+  done;
+  t
+
 let get_bit t i =
   let w = i lsr 6 and b = i land 63 in
   Int64.logand (Int64.shift_right_logical t.words.(w) b) 1L = 1L
@@ -85,13 +95,45 @@ let land_ a b = check_arity "land_" a b; map2 Int64.logand a b
 let lor_ a b = check_arity "lor_" a b; map2 Int64.logor a b
 let lxor_ a b = check_arity "lxor" a b; map2 Int64.logxor a b
 
-let equal a b = a.n = b.n && a.words = b.words
+let equal a b = a == b || (a.n = b.n && a.words = b.words)
 
 let compare a b =
-  let c = Stdlib.compare a.n b.n in
-  if c <> 0 then c else Stdlib.compare a.words b.words
+  if a == b then 0
+  else
+    let c = Stdlib.compare a.n b.n in
+    if c <> 0 then c else Stdlib.compare a.words b.words
 
 let hash t = Hashtbl.hash (t.n, t.words)
+
+(* Hash-consing.  The intern table maps a structural key to one
+   canonical handle per distinct table, so any two interned tables are
+   equal iff they are physically equal and [equal]/[compare] hit their
+   pointer fast path.  The words array of an interned handle must never
+   be mutated; all operations in this module build fresh arrays, so the
+   only mutation happens before a table escapes its constructor.  A
+   mutex guards the table: interning is cheap relative to the lock, and
+   rewriting may one day run on a worker domain. *)
+let intern_lock = Mutex.create ()
+
+let intern_table : (int * int64 array, t) Hashtbl.t = Hashtbl.create 4096
+
+let intern t =
+  Mutex.lock intern_lock;
+  let r =
+    match Hashtbl.find_opt intern_table (t.n, t.words) with
+    | Some u -> u
+    | None ->
+        Hashtbl.replace intern_table (t.n, t.words) t;
+        t
+  in
+  Mutex.unlock intern_lock;
+  r
+
+let interned_count () =
+  Mutex.lock intern_lock;
+  let n = Hashtbl.length intern_table in
+  Mutex.unlock intern_lock;
+  n
 
 let is_const0 t = Array.for_all (fun w -> w = 0L) t.words
 let is_const1 t = equal t (const1 t.n)

@@ -18,6 +18,11 @@ val create : int -> t
 val const0 : int -> t
 val const1 : int -> t
 
+val of_fun : int -> (int -> bool) -> t
+(** [of_fun n f] is the table over [n] variables whose bit [i] is [f i].
+    One pass over the bits with in-place construction — much cheaper than
+    folding {!set_bit} (which copies the table per bit). *)
+
 val var : int -> int -> t
 (** [var n i] is the projection onto variable [i] (of [n]).
     @raise Invalid_argument unless [0 <= i < n]. *)
@@ -34,7 +39,19 @@ val lxor_ : t -> t -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+(** Structural, with a pointer fast path: on {!intern}ed handles an
+    equality (or a comparison of equal tables) is O(1). *)
+
 val hash : t -> int
+
+val intern : t -> t
+(** Hash-consing: [intern t] is the canonical handle of [t]'s value —
+    [equal (intern t) t] always, and [intern a == intern b] iff
+    [equal a b].  Interned handles make {!equal}/{!compare} O(1) on the
+    hot paths of cut enumeration and NPN canonization.  Thread-safe. *)
+
+val interned_count : unit -> int
+(** Number of distinct tables interned so far (diagnostics). *)
 
 val is_const0 : t -> bool
 val is_const1 : t -> bool

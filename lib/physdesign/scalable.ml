@@ -9,41 +9,55 @@ type result = {
   retries : int;
 }
 
+(* Topological levels in one Kahn pass (the previous implementation
+   re-swept all edges until a fixpoint, O(n * E) in the worst case). *)
 let compute_levels netlist =
   let n = Netlist.num_nodes netlist in
   let lev = Array.make n 0 in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iter
-      (fun e ->
-        if lev.(e.Netlist.dst) < lev.(e.Netlist.src) + 1 then begin
-          lev.(e.Netlist.dst) <- lev.(e.Netlist.src) + 1;
-          changed := true
+  let edges = Netlist.edges netlist in
+  let indeg = Array.make n 0 in
+  Array.iter
+    (fun e -> indeg.(e.Netlist.dst) <- indeg.(e.Netlist.dst) + 1)
+    edges;
+  let order = Array.make (max 1 n) 0 in
+  let tail = ref 0 in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then begin
+      order.(!tail) <- i;
+      incr tail
+    end
+  done;
+  let head = ref 0 in
+  while !head < !tail do
+    let i = order.(!head) in
+    incr head;
+    List.iter
+      (fun ei ->
+        let dst = edges.(ei).Netlist.dst in
+        if lev.(dst) < lev.(i) + 1 then lev.(dst) <- lev.(i) + 1;
+        indeg.(dst) <- indeg.(dst) - 1;
+        if indeg.(dst) = 0 then begin
+          order.(!tail) <- dst;
+          incr tail
         end)
-      (Netlist.edges netlist)
+      (Netlist.out_edges netlist i)
   done;
   (* Fan-out nodes are pure wiring: schedule them as late as possible so
      that a fan-out sits right above its consumers instead of trailing
-     two long parallel wires from its driver. *)
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for i = 0 to n - 1 do
-      match Netlist.kind netlist i with
-      | Netlist.N_fanout ->
-          let slack =
-            List.fold_left
-              (fun acc e ->
-                min acc (lev.((Netlist.edges netlist).(e).Netlist.dst) - 1))
-              max_int (Netlist.out_edges netlist i)
-          in
-          if slack > lev.(i) && slack < max_int then begin
-            lev.(i) <- slack;
-            changed := true
-          end
-      | Netlist.N_pi _ | Netlist.N_po _ | Netlist.N_gate _ -> ()
-    done
+     two long parallel wires from its driver.  One reverse-topological
+     sweep suffices: a fan-out's consumers appear later in [order], so
+     their final levels are already known when it is visited. *)
+  for j = !tail - 1 downto 0 do
+    let i = order.(j) in
+    match Netlist.kind netlist i with
+    | Netlist.N_fanout ->
+        let slack =
+          List.fold_left
+            (fun acc ei -> min acc (lev.(edges.(ei).Netlist.dst) - 1))
+            max_int (Netlist.out_edges netlist i)
+        in
+        if slack > lev.(i) && slack < max_int then lev.(i) <- slack
+    | Netlist.N_pi _ | Netlist.N_po _ | Netlist.N_gate _ -> ()
   done;
   lev
 

@@ -18,6 +18,11 @@ type result = {
   retries : int;
 }
 
+val compute_levels : Netlist.t -> int array
+(** Row assignment: topological (ASAP) levels computed in one Kahn pass,
+    with fan-out nodes then sunk as late as possible in a single
+    reverse-topological sweep (exposed for regression tests). *)
+
 val place_and_route :
   ?max_retries:int -> Netlist.t -> (result, string) Stdlib.result
 (** Row clocking; retries re-seed the router and grow/stretch the grid

@@ -25,41 +25,46 @@
 #                              must be identical, refutation proofs must
 #                              check, and BENCH_sat.json must be
 #                              well-formed)
+#   9. logic bench smoke      (priority-cut vs. exhaustive synthesis on
+#                              every Table-1 benchmark: the mapped
+#                              netlists must be node-for-node identical,
+#                              resimulation must pass, and
+#                              BENCH_logic.json must be well-formed)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/8 type check =="
+echo "== 1/9 type check =="
 dune build @check
 
-echo "== 2/8 full build =="
+echo "== 2/9 full build =="
 dune build
 
-echo "== 3/8 test suite =="
+echo "== 3/9 test suite =="
 start=$(date +%s)
 dune runtest --force
 end=$(date +%s)
 echo "tests passed in $((end - start))s"
 
-echo "== 4/8 property fuzzing =="
-# Fixed seed: reproducible in CI, >= 500 iterations across the five
-# generators (CNF, at-most-one encodings, XAG, defect parameters,
-# charge systems).
-dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -defect 60 -system 40
+echo "== 4/9 property fuzzing =="
+# Fixed seed: reproducible in CI, >= 500 iterations across the six
+# properties (CNF, at-most-one encodings, XAG, priority-vs-exhaustive
+# cuts, defect parameters, charge systems).
+dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40
 
-echo "== 5/8 budgeted-flow smoke test =="
+echo "== 5/9 budgeted-flow smoke test =="
 # Must return a verified layout without raising, degrading to the
 # scalable engine if the exact share of the deadline runs out.
 dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
 
-echo "== 6/8 certification smoke test =="
+echo "== 6/9 certification smoke test =="
 # Benchmark "t" needs one candidate size refuted before its minimal
 # layout: paranoid mode proof-checks that UNSAT and replays the
 # equivalence certificate; any failed check exits nonzero.
 dune exec bin/fictionette.exe -- check t | grep "certified refutations"
 dune exec bin/fictionette.exe -- check t
 
-echo "== 7/8 bench smoke (parallel determinism + BENCH_sim.json shape) =="
+echo "== 7/9 bench smoke (parallel determinism + BENCH_sim.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sim --smoke --jobs 2 --out "$out"
 # Shape check: schema marker, host cores, at least one result row with
@@ -75,7 +80,7 @@ if grep -q '"identical_to_serial": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 8/8 SAT bench smoke (config parity + BENCH_sat.json shape) =="
+echo "== 8/9 SAT bench smoke (config parity + BENCH_sat.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sat --smoke --out "$out"
 # Shape check: schema marker, both solver configurations, per-solve
@@ -89,6 +94,24 @@ grep -q '"speedup_vs_legacy":' "$out"
 grep -q '"verdict_matches_legacy": true' "$out"
 if grep -q '"verdict_matches_legacy": false' "$out"; then
     echo "sat bench smoke: tuned verdict differed from legacy" >&2
+    exit 1
+fi
+rm -f "$out"
+
+echo "== 9/9 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
+out=$(mktemp)
+dune exec bench/main.exe -- logic --smoke --out "$out"
+# Shape check: schema marker, both enumeration configurations, cut and
+# NPN-cache counters, and the per-benchmark netlist identity the harness
+# itself enforces (it exits nonzero on any mismatch).
+grep -q '"schema": "fictionette-bench-logic/1"' "$out"
+grep -q '"config": "exhaustive"' "$out"
+grep -q '"config": "priority"' "$out"
+grep -q '"npn_cache":' "$out"
+grep -q '"speedup_vs_exhaustive":' "$out"
+grep -q '"identical_netlist": true' "$out"
+if grep -q '"identical_netlist": false' "$out"; then
+    echo "logic bench smoke: priority netlist differed from exhaustive" >&2
     exit 1
 fi
 rm -f "$out"

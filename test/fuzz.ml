@@ -162,6 +162,42 @@ let xag_property (r : P.xag_recipe) =
         let mapped, _ = Logic.Tech_map.map specification in
         Verify.Resim.check_mapping ~specification ~mapped
 
+(* Cuts: priority and exhaustive enumeration must drive rewriting and
+   mapping to the exact same place — identical mapped netlists, both
+   Resim-equivalent to the source. *)
+
+let cuts_property (r : P.xag_recipe) =
+  let specification = P.build_xag r in
+  let with_config config =
+    let db = Logic.Npn_db.create () in
+    let optimized =
+      Logic.Rewrite.rewrite_to_fixpoint ~cut_config:config ~db specification
+    in
+    match Verify.Resim.check_rewrite ~specification ~optimized with
+    | Error e -> Error e
+    | Ok () ->
+        if has_constant_po optimized then Ok None
+        else
+          let mapped, _ = Logic.Tech_map.map optimized in
+          (match Verify.Resim.check_mapping ~specification:optimized ~mapped with
+          | Error e -> Error e
+          | Ok () -> Ok (Some mapped))
+  in
+  match
+    ( with_config Logic.Cuts.default_config,
+      with_config Logic.Cuts.exhaustive_config )
+  with
+  | Error e, _ -> Error ("priority: " ^ e)
+  | _, Error e -> Error ("exhaustive: " ^ e)
+  | Ok p, Ok x -> (
+      match (p, x) with
+      | None, None -> Ok ()
+      | Some mp, Some mx ->
+          if Logic.Mapped.equal mp mx then Ok ()
+          else Error "priority and exhaustive cuts map to different netlists"
+      | Some _, None | None, Some _ ->
+          Error "strategies disagree on constant outputs")
+
 (* Defects: yield determinism and consistency on a library OR gate. *)
 
 let or_structure =
@@ -287,6 +323,7 @@ let () =
   let cnf_iters = ref 300 in
   let amo_iters = ref 60 in
   let xag_iters = ref 150 in
+  let cuts_iters = ref 60 in
   let defect_iters = ref 60 in
   let system_iters = ref 40 in
   Arg.parse
@@ -297,6 +334,9 @@ let () =
         Arg.Set_int amo_iters,
         "at-most-one encoding iterations (default 60)" );
       ("-xag", Arg.Set_int xag_iters, "XAG iterations (default 150)");
+      ( "-cuts",
+        Arg.Set_int cuts_iters,
+        "priority-vs-exhaustive cut iterations (default 60)" );
       ( "-defect",
         Arg.Set_int defect_iters,
         "defect-parameter iterations (default 60)" );
@@ -305,7 +345,8 @@ let () =
         "charge-system iterations (default 40)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "fuzz [-seed N] [-cnf N] [-amo N] [-xag N] [-defect N] [-system N]";
+    "fuzz [-seed N] [-cnf N] [-amo N] [-xag N] [-cuts N] [-defect N] \
+     [-system N]";
   let failed = ref false in
   let run name iterations arb prop =
     let outcome = P.check ~seed:!seed ~iterations arb prop in
@@ -315,6 +356,7 @@ let () =
   run "cnf-vs-oracle" !cnf_iters P.cnf cnf_property;
   run "amo-encodings" !amo_iters amo_arb amo_property;
   run "xag-rewrite-map" !xag_iters P.xag xag_property;
+  run "cuts-priority-vs-exhaustive" !cuts_iters P.xag cuts_property;
   run "defect-yield" !defect_iters P.defect_params defect_property;
   run "pruned-vs-exhaustive" !system_iters system_arb system_property;
   if !failed then exit 1

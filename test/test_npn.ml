@@ -44,6 +44,45 @@ let test_and_xor_distinct () =
   Alcotest.(check bool) "different classes" false
     (T.equal (N.canonical and2) (N.canonical x))
 
+(* The pruned canonizer must agree with the unpruned exhaustive search —
+   same canonical table AND same transform — or rewriting results would
+   silently depend on which one is used. *)
+let check_pruned_vs_exhaustive f =
+  let c1, t1 = N.canonize f in
+  let c2, t2 = N.canonize_exhaustive f in
+  if not (T.equal c1 c2) then
+    Alcotest.failf "canonical mismatch on %s: pruned %s, exhaustive %s"
+      (T.to_string f) (T.to_string c1) (T.to_string c2);
+  if t1 <> t2 then
+    Alcotest.failf "transform mismatch on %s" (T.to_string f);
+  true
+
+let test_pruned_exhaustive_small () =
+  (* All 2^(2^n) functions for n <= 3. *)
+  for n = 0 to 3 do
+    for v = 0 to (1 lsl (1 lsl n)) - 1 do
+      ignore
+        (check_pruned_vs_exhaustive
+           (T.of_fun n (fun i -> (v lsr i) land 1 = 1)))
+    done
+  done
+
+let prop_pruned_exhaustive_4 =
+  QCheck.Test.make ~name:"pruned = exhaustive (n=4)" ~count:60
+    (arbitrary_tt 4) check_pruned_vs_exhaustive
+
+let prop_canonical_idempotent_4 =
+  QCheck.Test.make ~name:"canonize is idempotent (n=4)" ~count:100
+    (arbitrary_tt 4)
+    (fun f -> T.equal (N.canonical (N.canonical f)) (N.canonical f))
+
+let test_canonize_interned () =
+  (* canonize interns its result: canonical tables of equal functions are
+     physically equal handles. *)
+  let f = T.land_ (T.var 4 0) (T.lnot (T.var 4 2)) in
+  let g = T.land_ (T.var 4 0) (T.lnot (T.var 4 2)) in
+  Alcotest.(check bool) "physically equal" true (N.canonical f == N.canonical g)
+
 let prop_transform_reaches_canonical =
   QCheck.Test.make ~name:"apply_transform f = canonical" ~count:150
     (arbitrary_tt 3) (fun f ->
@@ -87,6 +126,12 @@ let () =
           Alcotest.test_case "xor ~ xnor" `Quick test_xor_xnor_same_class;
           Alcotest.test_case "and <> xor" `Quick test_and_xor_distinct;
         ] );
+      ( "pruning",
+        Alcotest.test_case "pruned = exhaustive (all n<=3)" `Quick
+          test_pruned_exhaustive_small
+        :: Alcotest.test_case "canonical interned" `Quick
+             test_canonize_interned
+        :: qt [ prop_pruned_exhaustive_4; prop_canonical_idempotent_4 ] );
       ( "properties",
         qt
           [

@@ -161,6 +161,53 @@ let test_exact_escalation_reaches_layout () =
       Alcotest.(check (pair int int)) "dimensions" (2, 3) (r.Ex.width, r.Ex.height)
   | Error f -> Alcotest.fail (Ex.failure_message f)
 
+(* Reference implementation of level assignment: the pre-overhaul
+   repeated-sweep fixpoint.  The single-pass Kahn version must assign
+   exactly the same levels. *)
+let levels_fixpoint nl =
+  let n = NL.num_nodes nl in
+  let lev = Array.make n 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun e ->
+        if lev.(e.NL.dst) < lev.(e.NL.src) + 1 then begin
+          lev.(e.NL.dst) <- lev.(e.NL.src) + 1;
+          changed := true
+        end)
+      (NL.edges nl)
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      match NL.kind nl i with
+      | NL.N_fanout ->
+          let slack =
+            List.fold_left
+              (fun acc e -> min acc (lev.((NL.edges nl).(e).NL.dst) - 1))
+              max_int (NL.out_edges nl i)
+          in
+          if slack > lev.(i) && slack < max_int then begin
+            lev.(i) <- slack;
+            changed := true
+          end
+      | NL.N_pi _ | NL.N_po _ | NL.N_gate _ -> ()
+    done
+  done;
+  lev
+
+let test_levels_match_fixpoint () =
+  List.iter
+    (fun b ->
+      let mapped = mapped_of b.Logic.Benchmarks.name in
+      let nl = NL.of_mapped mapped in
+      Alcotest.(check (array int))
+        (b.Logic.Benchmarks.name ^ " levels")
+        (levels_fixpoint nl) (Sc.compute_levels nl))
+    Logic.Benchmarks.all
+
 let test_scalable_all_benchmarks () =
   (* As in the flow, rewriting runs first; the heuristic router is
      documented to handle the optimized (moderate-depth) netlists the
@@ -211,6 +258,8 @@ let () =
         ] );
       ( "scalable",
         [
+          Alcotest.test_case "levels = fixpoint" `Quick
+            test_levels_match_fixpoint;
           Alcotest.test_case "all benchmarks" `Slow test_scalable_all_benchmarks;
           Alcotest.test_case "exact is minimal" `Slow
             test_scalable_not_smaller_than_exact;

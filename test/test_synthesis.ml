@@ -73,6 +73,31 @@ let test_mffc () =
   Alcotest.(check int) "mffc of inner" 1
     (Cuts.mffc_size n fanouts (N.node_of_signal g1))
 
+let test_priority_matches_exhaustive () =
+  (* The priority-cut path must reproduce the exhaustive baseline's cut
+     lists exactly — same cuts, same order — on every Table-1 benchmark;
+     interning must make equal tables physically equal across runs. *)
+  List.iter
+    (fun b ->
+      let n = b.Logic.Benchmarks.build () in
+      let pr = Cuts.enumerate ~config:Cuts.default_config n in
+      let ex = Cuts.enumerate ~config:Cuts.exhaustive_config n in
+      for id = 0 to N.num_nodes n - 1 do
+        let cp = Cuts.cuts_of pr id and ce = Cuts.cuts_of ex id in
+        if
+          List.length cp <> List.length ce
+          || not
+               (List.for_all2
+                  (fun c1 c2 ->
+                    c1.Cuts.leaves = c2.Cuts.leaves
+                    && c1.Cuts.table == c2.Cuts.table)
+                  cp ce)
+        then
+          Alcotest.failf "%s node %d: priority/exhaustive cut lists differ"
+            b.Logic.Benchmarks.name id
+      done)
+    Logic.Benchmarks.all
+
 (* --- exact synthesis ------------------------------------------------------ *)
 
 let synth_ok hex n expected_size =
@@ -257,6 +282,8 @@ let () =
           Alcotest.test_case "cut functions" `Quick test_cut_functions;
           Alcotest.test_case "cut limits" `Quick test_cut_limit;
           Alcotest.test_case "mffc" `Quick test_mffc;
+          Alcotest.test_case "priority = exhaustive" `Quick
+            test_priority_matches_exhaustive;
         ] );
       ( "exact",
         [

@@ -118,6 +118,42 @@ let prop_permute_identity =
   QCheck.Test.make ~name:"identity permutation" ~count:100 (arbitrary_tt 4)
     (fun f -> T.equal (T.permute f [| 0; 1; 2; 3 |]) f)
 
+let prop_flip_involution =
+  QCheck.Test.make ~name:"flip involution" ~count:200
+    (QCheck.pair (arbitrary_tt 4) (QCheck.int_range 0 3))
+    (fun (f, i) -> T.equal (T.flip_var (T.flip_var f i) i) f)
+
+let perms4 = Array.of_list (Logic.Npn.permutations 4)
+
+let prop_permute_composition =
+  (* permute renames variable i to p.(i), so applying p then q renames i
+     to q.(p.(i)). *)
+  QCheck.Test.make ~name:"permute composes" ~count:200
+    (QCheck.triple (arbitrary_tt 4) (QCheck.int_range 0 23)
+       (QCheck.int_range 0 23))
+    (fun (f, pi, qi) ->
+      let p = perms4.(pi) and q = perms4.(qi) in
+      T.equal
+        (T.permute (T.permute f p) q)
+        (T.permute f (Array.init 4 (fun i -> q.(p.(i))))))
+
+let prop_of_fun =
+  QCheck.Test.make ~name:"of_fun = get_bit" ~count:200 (arbitrary_tt 4)
+    (fun f -> T.equal (T.of_fun 4 (T.get_bit f)) f)
+
+let test_intern () =
+  let a = T.land_ (T.var 3 0) (T.var 3 1) in
+  let b = T.land_ (T.var 3 0) (T.var 3 1) in
+  Alcotest.(check bool) "fresh tables are distinct handles" true (a != b);
+  Alcotest.(check bool) "interned handles coincide" true
+    (T.intern a == T.intern b);
+  Alcotest.(check bool) "intern preserves the value" true
+    (T.equal (T.intern a) a);
+  Alcotest.(check bool) "intern is idempotent" true
+    (T.intern (T.intern a) == T.intern a);
+  Alcotest.(check bool) "distinct values stay distinct" true
+    (T.intern a != T.intern (T.lnot a))
+
 let prop_count_ones_negation =
   QCheck.Test.make ~name:"ones + ones(not) = 2^n" ~count:200 (arbitrary_tt 5)
     (fun f -> T.count_ones f + T.count_ones (T.lnot f) = 32)
@@ -147,6 +183,7 @@ let () =
           Alcotest.test_case "support" `Quick test_support;
           Alcotest.test_case "swap/flip" `Quick test_swap_flip;
           Alcotest.test_case "extend" `Quick test_extend;
+          Alcotest.test_case "intern" `Quick test_intern;
         ] );
       ( "properties",
         qt
@@ -156,7 +193,10 @@ let () =
             prop_xor_self;
             prop_shannon;
             prop_swap_involution;
+            prop_flip_involution;
             prop_permute_identity;
+            prop_permute_composition;
+            prop_of_fun;
             prop_count_ones_negation;
             prop_hex_roundtrip;
           ] );
