@@ -1624,6 +1624,256 @@ let logic () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Defect-aware physical design benchmark: BENCH_defects.json          *)
+(* ------------------------------------------------------------------ *)
+
+let defects_aware = ref false
+let defects_out = ref "BENCH_defects.json"
+
+type defect_row = {
+  d_benchmark : string;
+  d_severity : int;
+  d_seed : int;
+  d_charged : int;
+  d_neutral : int;
+  d_engine : string;
+  d_oblivious_yield : float option;  (** [None]: oblivious flow failed. *)
+  d_oblivious_wall : float;
+  d_aware_yield : float option;  (** [None]: aware flow failed. *)
+  d_aware_wall : float;
+  d_aware_simulated : int;
+  d_aware_failed : int;
+  d_certified : int;  (** DRAT-checked refutations of the aware run. *)
+  d_aware_ge : bool;  (** Aware yield >= oblivious yield on the same map. *)
+  d_improved : bool;  (** Strictly better. *)
+  d_failure : string option;  (** Structured failure message, if any. *)
+}
+
+let write_defects_json ~cores ~infeasible_msg ~infeasible_structured rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let improvements = List.length (List.filter (fun r -> r.d_improved) rows) in
+  add "{\n";
+  add "  \"schema\": \"fictionette-bench-defects/1\",\n";
+  add
+    "  \"host\": {\"cores\": %d, \"ocaml\": \"%s\", \"os\": \"%s\", \
+     \"word_size\": %d},\n"
+    cores (json_escape Sys.ocaml_version) (json_escape Sys.os_type)
+    Sys.word_size;
+  add "  \"smoke\": %b,\n" !sim_smoke;
+  add "  \"aware_ge_oblivious\": %b,\n"
+    (List.for_all (fun r -> r.d_aware_ge) rows);
+  add "  \"strict_improvements\": %d,\n" improvements;
+  add "  \"infeasible\": {\"structured_failure\": %b, \"message\": \"%s\"},\n"
+    infeasible_structured (json_escape infeasible_msg);
+  add "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"benchmark\": \"%s\", \"severity\": %d, \"seed\": %d, \
+         \"charged\": %d, \"neutral\": %d, \"engine\": \"%s\""
+        (json_escape r.d_benchmark) r.d_severity r.d_seed r.d_charged
+        r.d_neutral (json_escape r.d_engine);
+      (match r.d_oblivious_yield with
+      | Some y -> add ", \"oblivious_yield\": %.6f" y
+      | None -> add ", \"oblivious_yield\": null");
+      add ", \"oblivious_wall_s\": %.6f" r.d_oblivious_wall;
+      (match r.d_aware_yield with
+      | Some y -> add ", \"aware_yield\": %.6f" y
+      | None -> add ", \"aware_yield\": null");
+      add ", \"aware_wall_s\": %.6f" r.d_aware_wall;
+      add ", \"aware_simulated_tiles\": %d, \"aware_failed_tiles\": %d"
+        r.d_aware_simulated r.d_aware_failed;
+      add ", \"certified_refutations\": %d" r.d_certified;
+      add ", \"aware_ge_oblivious\": %b, \"improved\": %b" r.d_aware_ge
+        r.d_improved;
+      (match r.d_failure with
+      | Some m -> add ", \"failure\": \"%s\"" (json_escape m)
+      | None -> add ", \"failure\": null");
+      add "}%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ]\n}\n";
+  let oc = open_out !defects_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let defects_bench () =
+  section
+    "Defect-aware physical design: aware-vs-oblivious yield on dirty surfaces";
+  let smoke = !sim_smoke in
+  let benchmarks =
+    if smoke then [ "xor2"; "mux21" ]
+    else
+      [
+        "xor2"; "xnor2"; "par_gen"; "mux21"; "par_check"; "xor5_r1";
+        "xor5_majority"; "t"; "t_5"; "c17"; "majority"; "majority_5_r1";
+        "cm82a_5"; "newtag";
+      ]
+  in
+  let severities = if smoke then [ 1; 2 ] else [ 1; 2; 3 ] in
+  (* Small rows run the exact engine under paranoid mode (every
+     refutation DRAT-checked on the defective surface); the rest use
+     the scalable engine, whose defect-aware placement is the
+     production path for large circuits. *)
+  let exact_rows = [ "xor2"; "xnor2"; "t" ] in
+  let run_flow ?defect_map name =
+    if List.mem name exact_rows then
+      Core.Flow.run_benchmark
+        ~options:
+          {
+            Core.Flow.default_options with
+            engine = Core.Flow.Exact Physdesign.Exact.default_config;
+          }
+        ~paranoid:true ?defect_map name
+    else
+      Core.Flow.run_benchmark
+        ~options:
+          {
+            Core.Flow.default_options with
+            engine = Core.Flow.Scalable;
+            check_equivalence = false;
+            apply_library = false;
+          }
+        ?defect_map name
+  in
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let engine = if List.mem name exact_rows then "exact" else "scalable" in
+      let oblivious, obl_wall = timed (fun () -> run_flow name) in
+      match oblivious with
+      | Error f ->
+          Format.printf "  %-14s oblivious flow failed: %s@." name
+            (Core.Flow.error_message f);
+          List.iter
+            (fun s ->
+              rows :=
+                {
+                  d_benchmark = name; d_severity = s; d_seed = 0;
+                  d_charged = 0; d_neutral = 0; d_engine = engine;
+                  d_oblivious_yield = None; d_oblivious_wall = obl_wall;
+                  d_aware_yield = None; d_aware_wall = 0.;
+                  d_aware_simulated = 0; d_aware_failed = 0; d_certified = 0;
+                  d_aware_ge = false; d_improved = false;
+                  d_failure = Some (Core.Flow.error_message f);
+                }
+                :: !rows)
+            severities
+      | Ok obl ->
+          let st = Layout.Gate_layout.stats obl.Core.Flow.gate_layout in
+          (* The surface box extends a little past the oblivious layout:
+             defects can land on, next to, or clear of it. *)
+          let box =
+            Bestagon.Surface.grid_box
+              ~width:(st.Layout.Gate_layout.bounding_width + 2)
+              ~height:(st.Layout.Gate_layout.bounding_height + 1)
+          in
+          List.iter
+            (fun severity ->
+              let seed = Hashtbl.hash (name, severity) land 0x3FFFFFFF in
+              let map =
+                Sidb.Defect_map.random ~seed ~charged:(2 * severity)
+                  ~neutral:(3 * severity) box
+              in
+              let obl_rep =
+                Bestagon.Yield.under_map map obl.Core.Flow.gate_layout
+              in
+              let obl_yield = obl_rep.Bestagon.Yield.map_yield in
+              let aware, aware_wall =
+                timed (fun () -> run_flow ~defect_map:map name)
+              in
+              let row =
+                match aware with
+                | Error f ->
+                    {
+                      d_benchmark = name; d_severity = severity; d_seed = seed;
+                      d_charged = 2 * severity; d_neutral = 3 * severity;
+                      d_engine = engine; d_oblivious_yield = Some obl_yield;
+                      d_oblivious_wall = obl_wall; d_aware_yield = None;
+                      d_aware_wall = aware_wall; d_aware_simulated = 0;
+                      d_aware_failed = 0; d_certified = 0; d_aware_ge = false;
+                      d_improved = false;
+                      d_failure = Some (Core.Flow.error_message f);
+                    }
+                | Ok aw ->
+                    let rep =
+                      Bestagon.Yield.under_map map aw.Core.Flow.gate_layout
+                    in
+                    let ay = rep.Bestagon.Yield.map_yield in
+                    {
+                      d_benchmark = name; d_severity = severity; d_seed = seed;
+                      d_charged = 2 * severity; d_neutral = 3 * severity;
+                      d_engine = engine; d_oblivious_yield = Some obl_yield;
+                      d_oblivious_wall = obl_wall; d_aware_yield = Some ay;
+                      d_aware_wall = aware_wall;
+                      d_aware_simulated = rep.Bestagon.Yield.map_simulated;
+                      d_aware_failed = rep.Bestagon.Yield.failed_tiles;
+                      d_certified =
+                        aw.Core.Flow.diagnostics
+                          .Core.Flow.certified_refutations;
+                      d_aware_ge = ay >= obl_yield;
+                      d_improved = ay > obl_yield; d_failure = None;
+                    }
+              in
+              Format.printf
+                "  %-14s severity %d (%d charged, %d neutral): aware %s vs \
+                 oblivious %.3f %s@."
+                name severity row.d_charged row.d_neutral
+                (match row.d_aware_yield with
+                | Some y -> Printf.sprintf "%.3f" y
+                | None -> "FAILED")
+                obl_yield
+                (if row.d_improved then "(improved)"
+                 else if row.d_aware_ge then "(no worse)"
+                 else "(WORSE)");
+              rows := row :: !rows)
+            severities)
+    benchmarks;
+  let rows = List.rev !rows in
+  (* Infeasibility must surface as a structured failure, never as an
+     escaping exception: blanket the surface with one defect per tile
+     footprint over a region larger than any retry can grow past. *)
+  let infeasible_msg, infeasible_structured =
+    let entries = ref [] in
+    for col = 0 to 19 do
+      for row = 0 to 29 do
+        let on, om =
+          Bestagon.Geometry.tile_origin
+            { Hexlib.Coord.col; Hexlib.Coord.row }
+        in
+        entries :=
+          {
+            Sidb.Defect_map.site = { Sidb.Lattice.n = on + 30; m = om + 11; l = 0 };
+            Sidb.Defect_map.kind = Sidb.Defect_map.Neutral;
+          }
+          :: !entries
+      done
+    done;
+    let blanket = Sidb.Defect_map.of_entries !entries in
+    match run_flow ~defect_map:blanket "xor2" with
+    | Ok _ -> ("blanket map unexpectedly yielded a layout", false)
+    | Error f -> (Core.Flow.error_message f, true)
+    | exception e -> (Printexc.to_string e, false)
+  in
+  Format.printf "  fully-blocked surface: %s (%s)@." infeasible_msg
+    (if infeasible_structured then "structured failure"
+     else "NOT STRUCTURED — failing");
+  let cores = Domain.recommended_domain_count () in
+  write_defects_json ~cores ~infeasible_msg ~infeasible_structured rows;
+  let all_ge = List.for_all (fun r -> r.d_aware_ge) rows in
+  let improvements = List.length (List.filter (fun r -> r.d_improved) rows) in
+  Format.printf
+    "@.wrote %s (%d result rows); aware >= oblivious on all rows: %b; \
+     strict improvements: %d@."
+    !defects_out (List.length rows) all_ge improvements;
+  if (not all_ge) || not infeasible_structured then begin
+    Format.eprintf
+      "defect-aware designs must match or beat oblivious ones and \
+       infeasibility must be structured — failing@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all = [ "table1"; "fig1c"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
 
@@ -1637,7 +1887,7 @@ let run = function
   | "fig6" -> fig6 ()
   | "ablation" -> ablation ()
   | "extensions" -> extensions ()
-  | "defects" -> defects ()
+  | "defects" -> if !defects_aware then defects_bench () else defects ()
   | "resilience" -> resilience ()
   | "perf" -> perf ()
   | "sim" -> sim ()
@@ -1651,12 +1901,16 @@ let run = function
 let () =
   (* Harness-wide flags are stripped before experiment dispatch:
      --jobs N sets the worker-domain count for every parallel loop,
-     --smoke shrinks the sim workloads for CI, --out redirects the sim
-     JSON report. *)
+     --smoke shrinks the sim workloads for CI, --out redirects the
+     JSON reports, --aware switches [defects] to the aware-vs-oblivious
+     yield harness. *)
   let rec scan acc = function
     | [] -> List.rev acc
     | "--smoke" :: rest ->
         sim_smoke := true;
+        scan acc rest
+    | "--aware" :: rest ->
+        defects_aware := true;
         scan acc rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
@@ -1667,6 +1921,7 @@ let () =
         sim_out := path;
         sat_out := path;
         logic_out := path;
+        defects_out := path;
         scan acc rest
     | x :: rest -> scan (x :: acc) rest
   in

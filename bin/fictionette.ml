@@ -100,6 +100,46 @@ let options_of engine no_rewrite no_ha =
     fuse_half_adders = not no_ha;
   }
 
+let defects_doc =
+  "Surface defect map file (textual $(b,sidb-defect-map v1) format).  \
+   Physical design avoids the tiles the map blocks, the layout stays in \
+   the map's absolute lattice frame, and the routed result is replayed \
+   under the same map (a replay failure is a soft check failure, exit 2)."
+
+let defects_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "defects" ] ~docv:"FILE" ~doc:defects_doc)
+
+let defects_req_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "defects" ] ~docv:"FILE" ~doc:defects_doc)
+
+let load_defect_map = function
+  | None -> Ok None
+  | Some path -> (
+      match Sidb.Defect_map.load path with
+      | Ok m -> Ok (Some m)
+      | Error e -> Error e)
+
+(* Replay a fixed defect map over the routed (absolute-frame) layout;
+   prints the per-tile report and returns the soft check failures. *)
+let replay_defects defect_map (result : Core.Flow.result) =
+  match defect_map with
+  | None -> []
+  | Some map ->
+      let r = Bestagon.Yield.under_map map result.Core.Flow.gate_layout in
+      Format.printf "%a" Bestagon.Yield.pp_map_report r;
+      if r.Bestagon.Yield.failed_tiles = 0 then []
+      else
+        [
+          Printf.sprintf "defect replay: %d/%d tile(s) not operational"
+            r.Bestagon.Yield.failed_tiles r.Bestagon.Yield.map_simulated;
+        ]
+
 (* Soft check failures: the flow produced a layout, but a result-level
    check did not come back green.  Reported on stderr, exit code 2 —
    distinct from hard failures (exit 1). *)
@@ -120,7 +160,7 @@ let check_failures (r : Core.Flow.result) =
   | vs -> fails := Printf.sprintf "%d DRC violation(s)" (List.length vs) :: !fails);
   List.rev !fails
 
-let report result sqd show_layout zones =
+let report ?(extra_checks = []) result sqd show_layout zones =
   Format.printf "%a" Core.Flow.pp_summary result;
   if show_layout then
     Format.printf "@.%s@."
@@ -137,7 +177,7 @@ let report result sqd show_layout zones =
             Format.eprintf "sqd export failed: %s@." e;
             1)
   in
-  match check_failures result with
+  match check_failures result @ extra_checks with
   | [] -> sqd_code
   | fails ->
       List.iter (fun m -> Format.eprintf "check failed: %s@." m) fails;
@@ -153,23 +193,30 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
   let action name engine deadline conflicts jobs paranoid no_rewrite no_ha sqd
-      show_layout zones =
+      show_layout zones defects =
     apply_jobs jobs;
-    match
-      Core.Flow.run_benchmark
-        ~options:(options_of engine no_rewrite no_ha)
-        ~paranoid
-        ~budget:(budget_of deadline conflicts)
-        name
-    with
-    | Ok result -> report result sqd show_layout zones
-    | Error f -> report_failure f
+    match load_defect_map defects with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok defect_map -> (
+        match
+          Core.Flow.run_benchmark
+            ~options:(options_of engine no_rewrite no_ha)
+            ~paranoid ?defect_map
+            ~budget:(budget_of deadline conflicts)
+            name
+        with
+        | Ok result ->
+            report ~extra_checks:(replay_defects defect_map result) result sqd
+              show_layout zones
+        | Error f -> report_failure f)
   in
   let term =
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
       $ conflict_budget_arg $ jobs_arg $ paranoid_arg $ no_rewrite_arg
-      $ no_ha_arg $ sqd_arg $ show_layout_arg $ zones_arg)
+      $ no_ha_arg $ sqd_arg $ show_layout_arg $ zones_arg $ defects_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full flow on a built-in benchmark.")
@@ -180,26 +227,33 @@ let verilog_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.v")
   in
   let action path engine deadline conflicts jobs paranoid no_rewrite no_ha sqd
-      show_layout zones =
+      show_layout zones defects =
     apply_jobs jobs;
     let ic = open_in path in
     let source = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    match
-      Core.Flow.run_verilog
-        ~options:(options_of engine no_rewrite no_ha)
-        ~paranoid
-        ~budget:(budget_of deadline conflicts)
-        source
-    with
-    | Ok result -> report result sqd show_layout zones
-    | Error f -> report_failure f
+    match load_defect_map defects with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok defect_map -> (
+        match
+          Core.Flow.run_verilog
+            ~options:(options_of engine no_rewrite no_ha)
+            ~paranoid ?defect_map
+            ~budget:(budget_of deadline conflicts)
+            source
+        with
+        | Ok result ->
+            report ~extra_checks:(replay_defects defect_map result) result sqd
+              show_layout zones
+        | Error f -> report_failure f)
   in
   let term =
     Term.(
       const action $ file_arg $ engine_arg $ deadline_arg $ conflict_budget_arg
       $ jobs_arg $ paranoid_arg $ no_rewrite_arg $ no_ha_arg $ sqd_arg
-      $ show_layout_arg $ zones_arg)
+      $ show_layout_arg $ zones_arg $ defects_arg)
   in
   Cmd.v
     (Cmd.info "verilog" ~doc:"Run the full flow on a gate-level Verilog file.")
@@ -314,42 +368,219 @@ let yield_cmd =
       value & opt int Sidb.Defects.default_params.Sidb.Defects.charged
       & info [ "charged" ] ~docv:"N" ~doc:"Charged point defects per trial.")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one structured JSON object ($(b,fictionette-yield/1)) on \
+             stdout instead of the textual report (also on hard errors).")
+  in
+  let min_yield_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-yield" ] ~docv:"Y"
+          ~doc:
+            "Yield threshold for the exit code: below it the command exits \
+             2 (degraded), like $(b,check).  Defaults to 1.0 when replaying \
+             a fixed $(b,--defects) map and 0.0 for Monte-Carlo estimation.")
+  in
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
   let action name engine deadline conflicts jobs trials seed missing extra
-      charged =
+      charged defects json min_yield =
     apply_jobs jobs;
-    match
-      Core.Flow.run_benchmark
-        ~options:
-          {
-            (options_of engine false false) with
-            Core.Flow.check_equivalence = false;
-            apply_library = false;
-          }
-        ~budget:(budget_of deadline conflicts)
-        name
-    with
-    | Error f -> report_failure f
-    | Ok result ->
-        let params =
-          { Sidb.Defects.missing; extra; charged; trials; seed }
-        in
-        let y =
-          Bestagon.Yield.of_layout ~params result.Core.Flow.gate_layout
-        in
-        Format.printf "%a" Bestagon.Yield.pp y;
-        0
+    let emit_error msg =
+      if json then
+        Printf.printf
+          "{ \"schema\": \"fictionette-yield/1\", \"benchmark\": \"%s\", \
+           \"error\": \"%s\" }\n"
+          (json_escape name) (json_escape msg)
+    in
+    match load_defect_map defects with
+    | Error e ->
+        emit_error e;
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok defect_map -> (
+        match
+          Core.Flow.run_benchmark
+            ~options:
+              {
+                (options_of engine false false) with
+                Core.Flow.check_equivalence = false;
+                apply_library = false;
+              }
+            ?defect_map
+            ~budget:(budget_of deadline conflicts)
+            name
+        with
+        | Error f ->
+            emit_error (Core.Flow.error_message f);
+            report_failure f
+        | Ok result -> (
+            match defect_map with
+            | Some map ->
+                (* Fixed-map replay: the defect-aware flow kept the layout
+                   in the map's absolute lattice frame. *)
+                let r =
+                  Bestagon.Yield.under_map map result.Core.Flow.gate_layout
+                in
+                let threshold = Option.value min_yield ~default:1.0 in
+                let ok = r.Bestagon.Yield.map_yield >= threshold in
+                if json then
+                  Printf.printf
+                    "{ \"schema\": \"fictionette-yield/1\", \"benchmark\": \
+                     \"%s\", \"mode\": \"replay\", \"defects\": %d, \
+                     \"simulated_tiles\": %d, \"skipped_tiles\": %d, \
+                     \"failed_tiles\": %d, \"yield\": %.6f, \"min_yield\": \
+                     %.6f, \"ok\": %b }\n"
+                    (json_escape name)
+                    (Sidb.Defect_map.size map)
+                    r.Bestagon.Yield.map_simulated r.Bestagon.Yield.map_skipped
+                    r.Bestagon.Yield.failed_tiles r.Bestagon.Yield.map_yield
+                    threshold ok
+                else Format.printf "%a" Bestagon.Yield.pp_map_report r;
+                if ok then 0 else 2
+            | None ->
+                let params =
+                  { Sidb.Defects.missing; extra; charged; trials; seed }
+                in
+                let y =
+                  Bestagon.Yield.of_layout ~params result.Core.Flow.gate_layout
+                in
+                let threshold = Option.value min_yield ~default:0.0 in
+                let ok = y.Bestagon.Yield.layout_yield >= threshold in
+                if json then
+                  Printf.printf
+                    "{ \"schema\": \"fictionette-yield/1\", \"benchmark\": \
+                     \"%s\", \"mode\": \"monte-carlo\", \"trials\": %d, \
+                     \"seed\": %d, \"simulated_tiles\": %d, \
+                     \"skipped_tiles\": %d, \"yield\": %.6f, \"min_yield\": \
+                     %.6f, \"ok\": %b }\n"
+                    (json_escape name) trials seed y.Bestagon.Yield.simulated_tiles
+                    y.Bestagon.Yield.skipped_tiles y.Bestagon.Yield.layout_yield
+                    threshold ok
+                else Format.printf "%a" Bestagon.Yield.pp y;
+                if ok then 0 else 2))
   in
   let term =
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
       $ conflict_budget_arg $ jobs_arg $ trials_arg $ seed_arg $ missing_arg
-      $ extra_arg $ charged_arg)
+      $ extra_arg $ charged_arg $ defects_arg $ json_arg $ min_yield_arg)
   in
   Cmd.v
     (Cmd.info "yield"
        ~doc:
          "Estimate per-gate and layout operational yield under randomized \
-          atomic defects (missing/stray DBs, charged point defects).")
+          atomic defects (missing/stray DBs, charged point defects), or — \
+          with $(b,--defects) — replay one fixed scanned defect map over a \
+          layout designed for that surface.  Exit codes match $(b,check): \
+          0 ok, 2 degraded yield, 1 hard error.")
+    term
+
+let design_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (see $(b,fictionette list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let action name engine deadline conflicts jobs paranoid no_rewrite no_ha sqd
+      show_layout zones defects_path =
+    apply_jobs jobs;
+    match Sidb.Defect_map.load defects_path with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok map -> (
+        let options = options_of engine no_rewrite no_ha in
+        let run ?defect_map () =
+          Core.Flow.run_benchmark ~options ~paranoid ?defect_map
+            ~budget:(budget_of deadline conflicts)
+            name
+        in
+        Format.printf "defect map: %d defect(s) (%d charged)@."
+          (Sidb.Defect_map.size map)
+          (List.length (Sidb.Defect_map.charged_sites map));
+        (* Reference point: the same flow ignoring the map, replayed on
+           the dirty surface. *)
+        let oblivious_yield =
+          match run () with
+          | Error f ->
+              Format.printf "oblivious design failed: %s@."
+                (Core.Flow.error_message f);
+              None
+          | Ok r ->
+              let rep =
+                Bestagon.Yield.under_map map r.Core.Flow.gate_layout
+              in
+              Format.printf
+                "oblivious: %d/%d tile(s) operational under the map \
+                 (yield %.3f)@."
+                (rep.Bestagon.Yield.map_simulated
+                - rep.Bestagon.Yield.failed_tiles)
+                rep.Bestagon.Yield.map_simulated rep.Bestagon.Yield.map_yield;
+              Some rep.Bestagon.Yield.map_yield
+        in
+        match run ~defect_map:map () with
+        | Error f -> report_failure f
+        | Ok result ->
+            let rep =
+              Bestagon.Yield.under_map map result.Core.Flow.gate_layout
+            in
+            Format.printf
+              "defect-aware: %d/%d tile(s) operational under the map \
+               (yield %.3f)@."
+              (rep.Bestagon.Yield.map_simulated
+              - rep.Bestagon.Yield.failed_tiles)
+              rep.Bestagon.Yield.map_simulated rep.Bestagon.Yield.map_yield;
+            (match oblivious_yield with
+            | Some oy ->
+                Format.printf "aware vs oblivious yield: %.3f vs %.3f (%s)@."
+                  rep.Bestagon.Yield.map_yield oy
+                  (if rep.Bestagon.Yield.map_yield > oy then "improved"
+                   else if rep.Bestagon.Yield.map_yield >= oy then "no worse"
+                   else "WORSE")
+            | None -> ());
+            let extra_checks =
+              if rep.Bestagon.Yield.failed_tiles = 0 then []
+              else
+                [
+                  Printf.sprintf
+                    "defect replay: %d/%d tile(s) not operational"
+                    rep.Bestagon.Yield.failed_tiles
+                    rep.Bestagon.Yield.map_simulated;
+                ]
+            in
+            report ~extra_checks result sqd show_layout zones)
+  in
+  let term =
+    Term.(
+      const action $ bench_arg $ engine_arg $ deadline_arg
+      $ conflict_budget_arg $ jobs_arg $ paranoid_arg $ no_rewrite_arg
+      $ no_ha_arg $ sqd_arg $ show_layout_arg $ zones_arg $ defects_req_arg)
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:
+         "Defect-aware physical design on a scanned surface: run the flow \
+          avoiding the tiles blocked by the $(b,--defects) map, replay the \
+          map over the result, and compare against the defect-oblivious \
+          layout on the same surface.  Exits 0 when the aware layout is \
+          fully operational under the map, 2 on degraded yield, 1 when no \
+          feasible placement exists.")
     term
 
 let synth_cmd =
@@ -494,7 +725,7 @@ let main =
   let doc = "Design automation for silicon dangling bond logic" in
   Cmd.group
     (Cmd.info "fictionette" ~version:"0.1" ~doc)
-    [ run_cmd; verilog_cmd; check_cmd; synth_cmd; list_cmd; table1_cmd;
-      gates_cmd; yield_cmd ]
+    [ run_cmd; verilog_cmd; design_cmd; check_cmd; synth_cmd; list_cmd;
+      table1_cmd; gates_cmd; yield_cmd ]
 
 let () = exit (Cmd.eval' main)

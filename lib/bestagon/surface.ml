@@ -1,0 +1,204 @@
+module Coord = Hexlib.Coord
+module D = Hexlib.Direction
+module M = Sidb.Model
+module L = Sidb.Lattice
+
+type t = {
+  map : Sidb.Defect_map.t;
+  model : M.t;
+  engine : Sidb.Bdl.engine;
+  panel :
+    (Sidb.Bdl.structure * (bool array -> bool array) * bool list) list Lazy.t;
+      (** Representative harnesses with their clean baseline signatures
+          under this instance's engine and model. *)
+  cache : (Coord.offset, bool) Hashtbl.t;
+}
+
+(* The representative panel: one harness per tile shape the placers can
+   emit (wires in all four bends, the double wire and the crossing,
+   inverters, every two-input gate in both output orientations, and the
+   fan-out).  A tile is usable only when every panel member keeps its
+   clean baseline signature under the map's local potential —
+   conservative by construction, so a layout confined to unblocked
+   tiles survives whatever tile the engines actually drop there. *)
+let representative_tiles =
+  lazy
+    (let wires =
+       List.map
+         (fun (i, o) -> Layout.Tile.Wire { segments = [ (i, o) ] })
+         [
+           (D.North_west, D.South_east);
+           (D.North_west, D.South_west);
+           (D.North_east, D.South_east);
+           (D.North_east, D.South_west);
+         ]
+     in
+     let crossing =
+       Layout.Tile.Wire
+         {
+           segments =
+             [ (D.North_west, D.South_east); (D.North_east, D.South_west) ];
+         }
+     in
+     let double_wire =
+       Layout.Tile.Wire
+         {
+           segments =
+             [ (D.North_west, D.South_west); (D.North_east, D.South_east) ];
+         }
+     in
+     let invs =
+       List.concat_map
+         (fun i ->
+           List.map
+             (fun o ->
+               Layout.Tile.Gate
+                 { fn = Logic.Mapped.Inv; ins = [ i ]; outs = [ o ] })
+             [ D.South_east; D.South_west ])
+         [ D.North_west; D.North_east ]
+     in
+     let gates =
+       List.concat_map
+         (fun fn ->
+           List.map
+             (fun o ->
+               Layout.Tile.Gate
+                 {
+                   fn;
+                   ins = [ D.North_west; D.North_east ];
+                   outs = [ o ];
+                 })
+             [ D.South_east; D.South_west ])
+         [
+           Logic.Mapped.Or2; Logic.Mapped.And2; Logic.Mapped.Nor2;
+           Logic.Mapped.Nand2; Logic.Mapped.Xor2; Logic.Mapped.Xnor2;
+         ]
+     in
+     let fanouts =
+       List.map
+         (fun i ->
+           Layout.Tile.Fanout
+             { inp = i; outs = [ D.South_west; D.South_east ] })
+         [ D.North_west; D.North_east ]
+     in
+     List.filter_map
+       (fun tile ->
+         match
+           (Library.validation_structure tile, Library.tile_spec tile)
+         with
+         | Some s, Some spec -> Some (s, spec)
+         | _ -> None)
+       ((wires @ [ crossing; double_wire ]) @ invs @ gates @ fanouts))
+
+let create ?(engine = Sidb.Bdl.Pruned) ?(model = M.default) map =
+  {
+    map;
+    model;
+    engine;
+    panel =
+      lazy
+        (List.map
+           (fun (s, spec) ->
+             ( s,
+               spec,
+               Sidb.Defects.signature
+                 (Sidb.Bdl.check ~engine ~model s ~spec) ))
+           (Lazy.force representative_tiles));
+    cache = Hashtbl.create 64;
+  }
+
+let map t = t.map
+
+(* A charged defect farther than this from a tile's footprint shifts any
+   in-tile site by less than ~2 meV (V(80 A) = 14.4/(5.6*80) *
+   exp(-80/500 A) with lambda_tf = 5 nm) — well under the energetic
+   margins of the validated Bestagon designs, so such tiles need no
+   ground-state recheck. *)
+let influence_radius_a = 80.0
+
+(* Footprint of a tile in dimer coordinates: [origin_n, origin_n + 59] x
+   [origin_m, origin_m + 22], both intra-dimer indices. *)
+let footprint_box c =
+  let on, om = Geometry.tile_origin c in
+  ((on, om), (on + Geometry.tile_columns - 1, om + Geometry.tile_rows - 1))
+
+let in_box ((lo_n, lo_m), (hi_n, hi_m)) (s : L.site) =
+  s.L.n >= lo_n && s.L.n <= hi_n && s.L.m >= lo_m && s.L.m <= hi_m
+
+(* Distance (A) from a site to the closed footprint rectangle. *)
+let distance_to_box ((lo_n, lo_m), (hi_n, hi_m)) (s : L.site) =
+  let x, y = L.position s in
+  let x_lo, _ = L.position (L.site lo_n lo_m 0)
+  and x_hi, _ = L.position (L.site hi_n lo_m 0) in
+  let _, y_lo = L.position (L.site lo_n lo_m 0)
+  and _, y_hi = L.position (L.site lo_n hi_m 1) in
+  let dx = Float.max 0. (Float.max (x_lo -. x) (x -. x_hi))
+  and dy = Float.max 0. (Float.max (y_lo -. y) (y -. y_hi)) in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let compute_blocked t c =
+  let box = footprint_box c in
+  let entries = Sidb.Defect_map.entries t.map in
+  (* (a) structural overlap: any defect inside the footprint makes the
+     tile unusable — a dot might be required exactly there, and a
+     charged defect inside the canvas always overwhelms the logic. *)
+  if List.exists (fun (e : Sidb.Defect_map.entry) -> in_box box e.site) entries
+  then true
+  else
+    (* (b) potential shift: charged defects just outside the footprint
+       still reach into it through the screened Coulomb tail.  Recheck
+       operationality of the representative panel under the map's local
+       potential, in the tile-local frame. *)
+    let near_charges =
+      List.filter
+        (fun (e : Sidb.Defect_map.entry) ->
+          e.kind = Sidb.Defect_map.Charged
+          && distance_to_box box e.site <= influence_radius_a)
+        entries
+    in
+    match near_charges with
+    | [] -> false
+    | _ ->
+        let on, om = Geometry.tile_origin c in
+        let local_charges =
+          List.map
+            (fun (e : Sidb.Defect_map.entry) ->
+              L.translate e.site ~dn:(-on) ~dm:(-om))
+            near_charges
+        in
+        let v_ext_at site =
+          List.fold_left
+            (fun acc q -> acc +. M.interaction t.model site q)
+            0. local_charges
+        in
+        not
+          (List.for_all
+             (fun (s, spec, baseline) ->
+               Sidb.Defects.signature
+                 (Sidb.Bdl.check ~engine:t.engine ~model:t.model ~v_ext_at s
+                    ~spec)
+               = baseline)
+             (Lazy.force t.panel))
+
+let blocked t c =
+  match Hashtbl.find_opt t.cache c with
+  | Some b -> b
+  | None ->
+      let b = compute_blocked t c in
+      Hashtbl.add t.cache c b;
+      b
+
+let blocked_in_grid t ~width ~height =
+  List.concat
+    (List.init height (fun row ->
+         List.filter_map
+           (fun col ->
+             let c : Coord.offset = { col; row } in
+             if blocked t c then Some c else None)
+           (List.init width (fun col -> col))))
+
+let grid_box ~width ~height =
+  let shift = if height > 1 then Geometry.row_shift_columns else 0 in
+  ( (0, 0),
+    ( (width * Geometry.tile_columns) + shift - 1,
+      (height * Geometry.tile_rows) - 1 ) )

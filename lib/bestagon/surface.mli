@@ -1,0 +1,49 @@
+(** The blocked-tile view of a {!Sidb.Defect_map}: which Bestagon tiles
+    of a hexagonal layout a fixed dirty surface renders unusable.
+
+    A tile at offset coordinate [c] is {e blocked} when
+
+    - some mapped defect (charged or neutral) falls inside the tile's
+      60 × 23 dimer footprint ({!Geometry.tile_origin}) — a dot of the
+      eventual design might be required exactly there, and a charged
+      defect inside the logic canvas always overwhelms it; or
+    - a charged defect {e outside} the footprint but within the
+      screened-Coulomb influence radius (≈ 80 Å, where the shift drops
+      under ~2 meV) changes the per-row ok-signature of some member of
+      a representative panel of tile harnesses relative to its clean
+      baseline ({!Sidb.Bdl.check} with [v_ext_at] in the tile-local
+      frame, judged by {!Sidb.Defects.signature} exactly like the
+      Monte-Carlo harness).
+
+    The panel covers every tile shape the physical-design engines emit
+    (wire bends, double wire, crossing, inverters, all two-input gates
+    in both output orientations, fan-out), so the predicate is conservative: a
+    layout confined to unblocked tiles keeps working whatever tile the
+    engines actually place.  Verdicts are memoized per coordinate —
+    repeated queries from candidate-size sweeps and routing retries are
+    cheap, and only tiles near charged defects ever pay for
+    ground-state solves. *)
+
+type t
+
+val create : ?engine:Sidb.Bdl.engine -> ?model:Sidb.Model.t -> Sidb.Defect_map.t -> t
+(** [engine] defaults to the pruned exact engine, [model] to
+    {!Sidb.Model.default}. *)
+
+val map : t -> Sidb.Defect_map.t
+
+val blocked : t -> Hexlib.Coord.offset -> bool
+(** Memoized and deterministic: equal maps give equal verdicts. *)
+
+val blocked_in_grid : t -> width:int -> height:int -> Hexlib.Coord.offset list
+(** All blocked coordinates of a [width] × [height] tile grid, in
+    row-major order. *)
+
+val grid_box : width:int -> height:int -> (int * int) * (int * int)
+(** Dimer-coordinate bounding box [((lo_n, lo_m), (hi_n, hi_m))] of a
+    [width] × [height] tile grid, odd-row shift included — the region
+    to draw random defect maps over (cf. {!Sidb.Defect_map.random}). *)
+
+val influence_radius_a : float
+(** Cut-off distance (Å) beyond which a charged defect cannot block a
+    tile through its potential tail. *)

@@ -43,3 +43,46 @@ val of_layout :
     [engine] defaults to the pruned exact engine ({!Sidb.Bdl.Pruned}). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Fixed-map replay}
+
+    Deterministic re-validation of a layout against one known
+    {!Sidb.Defect_map} (a scanned surface) instead of Monte-Carlo
+    draws: per simulatable tile, map defects coinciding with the
+    tile's structural dots are applied as removals (a hit on an input
+    perturber or output-pair site fails the tile outright — the
+    structure cannot be fabricated as designed), and charged defects
+    act through the external potential in the tile-local frame. *)
+
+type map_tile = {
+  map_coord : Hexlib.Coord.offset;
+  map_label : string;
+  map_ok : bool;  (** All input rows read back correctly under the map. *)
+  structural_hits : int;
+      (** Map defects coinciding with sites of the tile's structure. *)
+}
+
+type map_report = {
+  tiles : map_tile list;
+  map_simulated : int;
+  map_skipped : int;  (** Non-empty tiles without a harness (e.g. pads). *)
+  failed_tiles : int;
+  map_operational : bool;  (** Every simulated tile is ok. *)
+  map_yield : float;
+      (** Fraction of simulated tiles that are ok (1.0 when none). *)
+}
+
+val under_map :
+  ?engine:Sidb.Bdl.engine ->
+  ?jobs:int ->
+  ?model:Sidb.Model.t ->
+  Sidb.Defect_map.t ->
+  Layout.Gate_layout.t ->
+  map_report
+(** Replay a fixed defect map over every simulatable tile.  The layout
+    must be in the same absolute lattice frame as the map (tile
+    [(0,0)] at the lattice origin — defect-aware flows keep this frame
+    by not cropping).  Deterministic; tiles are simulated by [jobs]
+    domains with bit-identical results at every job count. *)
+
+val pp_map_report : Format.formatter -> map_report -> unit

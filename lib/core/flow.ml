@@ -140,7 +140,15 @@ let now = Sys.time
 exception Fail of failure
 
 let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
-    ?(budget = Budget.unlimited) specification =
+    ?defect_map ?(budget = Budget.unlimited) specification =
+  (* One memoized surface view per run: the exact engine's candidate
+     sweep and the scalable engine's retries then share blocked-tile
+     verdicts, and only tiles near charged defects ever pay for a
+     ground-state recheck. *)
+  let surface = Option.map Bestagon.Surface.create defect_map in
+  let blocked =
+    Option.map (fun s c -> Bestagon.Surface.blocked s c) surface
+  in
   let t_start = Unix.gettimeofday () in
   let degradations = ref [] in
   let degrade msg = degradations := msg :: !degradations in
@@ -215,7 +223,9 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
              (Budget.reason_to_string r))
     | None -> ());
     let netlist = Physdesign.Netlist.of_mapped mapped in
-    let run_scalable () = Physdesign.Scalable.place_and_route netlist in
+    let run_scalable () =
+      Physdesign.Scalable.place_and_route ?blocked netlist
+    in
     (* Paranoid runs force proof-checked refutations in the exact
        engine: the minimality claim then rests on certified UNSATs. *)
     let certify_config c =
@@ -260,7 +270,9 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
           | Error e -> Error ("scalable physical design: " ^ e, None, 0, 0))
       | Exact config -> (
           let config = certify_config config in
-          match Physdesign.Exact.place_and_route ~config ~budget netlist with
+          match
+            Physdesign.Exact.place_and_route ~config ~budget ?blocked netlist
+          with
           | Ok r ->
               record_exact r;
               Ok
@@ -281,7 +293,7 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
           in
           match
             Physdesign.Exact.place_and_route ~config ~budget:exact_budget
-              netlist
+              ?blocked netlist
           with
           | Ok r ->
               record_exact r;
@@ -346,6 +358,27 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
                    (List.length drc_violations)
                    (Format.asprintf "%a" Layout.Design_rules.pp_violation v))
         end;
+        (* Paranoid + defect map: do not trust the engines' blocked-tile
+           avoidance — re-check that no placed tile sits on a tile the
+           surface blocks. *)
+        (match surface with
+        | None -> ()
+        | Some s when paranoid ->
+            let bad = ref [] in
+            Layout.Gate_layout.iter gate_layout (fun c tile ->
+                if
+                  (not (Layout.Tile.is_empty tile))
+                  && Bestagon.Surface.blocked s c
+                then bad := c :: !bad);
+            (match !bad with
+            | [] -> pass "defect avoidance"
+            | c :: _ ->
+                fail Design_rule_check partial_pd ~diagnostics:(full_diag ())
+                  (Printf.sprintf
+                     "%d tile(s) placed on defect-blocked coordinates, first: \
+                      (%d,%d)"
+                     (List.length !bad) c.Hexlib.Coord.col c.Hexlib.Coord.row))
+        | Some _ -> ());
         (* Step 5: formal verification under the grace budget: even when
            physical design spent the deadline, the layout is still
            checked (conflict-capped, cancellation honored).  Paranoid
@@ -482,17 +515,17 @@ let parse_failure message =
     diagnostics = empty_diagnostics;
   }
 
-let run_verilog ?options ?paranoid ?budget source =
+let run_verilog ?options ?paranoid ?defect_map ?budget source =
   match Logic.Verilog.parse source with
   | exception Logic.Verilog.Parse_error msg ->
       Error (parse_failure ("parse: " ^ msg))
-  | network -> run ?options ?paranoid ?budget network
+  | network -> run ?options ?paranoid ?defect_map ?budget network
 
-let run_benchmark ?options ?paranoid ?budget name =
+let run_benchmark ?options ?paranoid ?defect_map ?budget name =
   match Logic.Benchmarks.find name with
   | exception Not_found ->
       Error (parse_failure (Printf.sprintf "unknown benchmark %S" name))
-  | b -> run ?options ?paranoid ?budget (b.Logic.Benchmarks.build ())
+  | b -> run ?options ?paranoid ?defect_map ?budget (b.Logic.Benchmarks.build ())
 
 let export_sqd result ?(inputs = []) ~path () =
   match Bestagon.Library.apply ~inputs result.supertiled with

@@ -162,6 +162,7 @@ val run :
   ?options:options ->
   ?paranoid:bool ->
   ?corrupt_mapped:(Logic.Mapped.t -> Logic.Mapped.t) ->
+  ?defect_map:Sidb.Defect_map.t ->
   ?budget:Budget.t ->
   Logic.Network.t ->
   (result, failure) Stdlib.result
@@ -174,11 +175,21 @@ val run :
     {!Design_rule_check}, {!Certification}, or {!Verification} — see
     the module preamble.  [corrupt_mapped] is a test hook applied to
     the mapped netlist {e before} the paranoid mapping cross-check, to
-    prove injected corruption is caught at the boundary. *)
+    prove injected corruption is caught at the boundary.
+
+    [defect_map] makes physical design defect-aware: both engines
+    avoid the tiles the map blocks (one memoized
+    [Bestagon.Surface] view is shared by the whole run), scalable
+    results are left uncropped so the layout stays in the map's
+    absolute lattice frame, and a map leaving no feasible placement
+    surfaces as the structured {!Physical_design} failure.  Paranoid
+    runs additionally re-check that no placed tile sits on a blocked
+    coordinate ("defect avoidance" in [result.checks]). *)
 
 val run_verilog :
   ?options:options ->
   ?paranoid:bool ->
+  ?defect_map:Sidb.Defect_map.t ->
   ?budget:Budget.t ->
   string ->
   (result, failure) Stdlib.result
@@ -187,6 +198,7 @@ val run_verilog :
 val run_benchmark :
   ?options:options ->
   ?paranoid:bool ->
+  ?defect_map:Sidb.Defect_map.t ->
   ?budget:Budget.t ->
   string ->
   (result, failure) Stdlib.result

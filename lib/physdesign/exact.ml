@@ -90,7 +90,7 @@ type instance = {
 }
 
 let make_instance ?(certify = false) ?(legacy_encoding = false)
-    ?(symmetry = true) ~width ~height netlist =
+    ?(symmetry = true) ?(blocked = fun _ -> false) ~width ~height netlist =
   let nn = Netlist.num_nodes netlist in
   let edges = Netlist.edges netlist in
   let ne = Array.length edges in
@@ -134,6 +134,35 @@ let make_instance ?(certify = false) ?(legacy_encoding = false)
               (successors ~width ~height p))
       tiles
   done;
+  (* Blocked tiles (surface defects): placement and connection
+     variables touching a blocked tile are forced off by unit clauses.
+     Units are original problem clauses, so DRAT certification of
+     refutations is untouched; and because they only remove assignments,
+     the first satisfiable candidate size is still the minimum area
+     {e on this surface}. *)
+  let blocked_tiles = List.filter blocked tiles in
+  if blocked_tiles <> [] then begin
+    List.iter
+      (fun (c : Coord.offset) ->
+        for n = 0 to nn - 1 do
+          let v = pos.(n).(tile_index c) in
+          if v <> 0 then Sat.Cnf.add_clause f [ -v ]
+        done)
+      blocked_tiles;
+    for e = 0 to ne - 1 do
+      List.iter
+        (fun (p : Coord.offset) ->
+          List.iter
+            (fun (_, t, l) ->
+              if blocked p || blocked t then Sat.Cnf.add_clause f [ -l ])
+            conn.(e).(tile_index p))
+        tiles
+    done
+  end;
+  (* A blocked tile breaks the horizontal mirror automorphism the
+     symmetry-breaking constraint relies on (its mirror image may be
+     free), so the constraint must be dropped on dirty grids. *)
+  let symmetry = symmetry && blocked_tiles = [] in
   let conn_out e p = List.map (fun (_, _, l) -> l) conn.(e).(tile_index p) in
   let conn_into e (t : Coord.offset) =
     List.filter_map
@@ -420,8 +449,8 @@ let make_instance ?(certify = false) ?(legacy_encoding = false)
   in
   { solver; cnf = f; decode }
 
-let solve_fixed ?budget ~width ~height netlist =
-  let inst = make_instance ~width ~height netlist in
+let solve_fixed ?budget ?blocked ~width ~height netlist =
+  let inst = make_instance ?blocked ~width ~height netlist in
   match Sat.Solver.solve ?budget inst.solver with
   | Sat.Solver.Sat -> Some (inst.decode ())
   | Sat.Solver.Unsat | Sat.Solver.Unknown _ -> None
@@ -458,7 +487,7 @@ let luby_allowance x =
   1 lsl !seq
 
 let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
-    netlist =
+    ?blocked netlist =
   let jobs =
     match config.jobs with
     | Some j -> max 1 j
@@ -600,7 +629,8 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
         let inst =
           make_instance ~certify:config.certify
             ~legacy_encoding:config.legacy_encoding
-            ~symmetry:config.symmetry_breaking ~width:c.w ~height:c.h netlist
+            ~symmetry:config.symmetry_breaking ?blocked ~width:c.w ~height:c.h
+            netlist
         in
         c.state <- Open inst;
         inst

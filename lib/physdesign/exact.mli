@@ -106,13 +106,26 @@ val failure_message : failure -> string
 val place_and_route :
   ?config:config ->
   ?budget:Sat.Budget.t ->
+  ?blocked:(Hexlib.Coord.offset -> bool) ->
   Netlist.t ->
   (result, failure) Stdlib.result
 (** Place and route under row clocking.  Never raises on budget
-    conditions. *)
+    conditions.
+
+    [blocked] marks surface-defect tiles (cf. [Bestagon.Surface]):
+    placement and connection variables on blocked tiles are forced off
+    by unit clauses, so the first satisfiable candidate size is the
+    minimum area {e on that surface} and DRAT certification of
+    refutations is unaffected (units are original problem clauses).
+    Symmetry breaking is disabled on grids containing a blocked tile
+    (the map breaks the mirror automorphism the constraint relies on).
+    A map blocking every feasible placement yields the structured
+    {!No_layout}/{!Out_of_budget} failure, never an exception. *)
 
 val solve_fixed :
-  ?budget:Sat.Budget.t -> width:int -> height:int -> Netlist.t ->
+  ?budget:Sat.Budget.t ->
+  ?blocked:(Hexlib.Coord.offset -> bool) ->
+  width:int -> height:int -> Netlist.t ->
   Layout.Gate_layout.t option
 (** Single candidate size (exposed for tests and ablations); [None] on
     refutation {e or} budget exhaustion. *)

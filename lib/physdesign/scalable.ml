@@ -90,7 +90,10 @@ let barycenter_positions netlist rows height =
 
 exception Routing_failed of string
 
-let attempt netlist ~width ~height ~stretch ~seed =
+let attempt ?blocked netlist ~width ~height ~stretch ~seed =
+  let is_blocked =
+    match blocked with None -> fun _ -> false | Some b -> b
+  in
   let n = Netlist.num_nodes netlist in
   let lev = compute_levels netlist in
   let rows = Array.make n 0 in
@@ -113,6 +116,54 @@ let attempt netlist ~width ~height ~stretch ~seed =
      retry driver grows and stretches the grid when a circuit needs more
      room. *)
   let cols = Array.make n 0 in
+  (* With a defect map, slide the whole layout sideways as one block:
+     pick the center column whose footprint (widest row plus a
+     two-column routing margin, over every grid row) covers the fewest
+     blocked tiles, ties to the true center.  A global shift keeps rows
+     vertically aligned — the routing cone only drifts half a column
+     per row, so rows dodging the dirt independently would tear
+     connected nodes further apart laterally than any stretch can
+     absorb — while letting a grid grown wide enough escape the defect
+     field entirely. *)
+  let center =
+    match blocked with
+    | None -> float_of_int (width - 1) /. 2.
+    | Some b ->
+        let widest = ref 1 in
+        Array.iter
+          (fun r ->
+            let k =
+              List.length (List.filter (fun i -> rows.(i) = r)
+                             (List.init n (fun i -> i)))
+            in
+            if k > !widest then widest := k)
+          (Array.init height (fun r -> r));
+        let per_col =
+          Array.init width (fun col ->
+              let s = ref 0 in
+              for row = 0 to height - 1 do
+                if b { Coord.col; row } then incr s
+              done;
+              !s)
+        in
+        let half = (!widest / 2) + 2 in
+        let mid = (width - 1) / 2 in
+        let best = ref mid and best_score = ref max_int in
+        for c = 1 to width - 2 do
+          let s = ref 0 in
+          for col = max 0 (c - half) to min (width - 1) (c + half) do
+            s := !s + per_col.(col)
+          done;
+          if
+            !s < !best_score
+            || (!s = !best_score && abs (c - mid) < abs (!best - mid))
+          then begin
+            best := c;
+            best_score := !s
+          end
+        done;
+        float_of_int !best
+  in
   for row = 0 to height - 1 do
     let members =
       List.filter (fun i -> rows.(i) = row) (List.init n (fun i -> i))
@@ -120,8 +171,53 @@ let attempt netlist ~width ~height ~stretch ~seed =
     in
     let k = List.length members in
     if k > width - 2 then raise (Routing_failed "row wider than layout");
-    let start = max 1 ((width - k) / 2) in
-    List.iteri (fun idx node -> cols.(node) <- start + idx) members
+    match blocked with
+    | None ->
+        let start = max 1 ((width - k) / 2) in
+        List.iteri (fun idx node -> cols.(node) <- start + idx) members
+    | Some b ->
+        (* Defect-aware packing: pick the k unblocked columns nearest
+           the layout center (ties to the left), keep them in column
+           order, and assign the row's nodes to them in barycenter
+           order — the defect-free case degenerates to the contiguous
+           centered block above.  A column is also unusable when the
+           map walls it off vertically: a node with both southward
+           neighbors blocked can never emit its signal (any non-PO
+           row), and one with both northward neighbors blocked can
+           never receive its operands (any non-PI row) — such tiles
+           are dead ends the router could only discover by failing. *)
+        let walled col =
+          let c : Coord.offset = { col; row } in
+          let both ds =
+            List.for_all
+              (fun d ->
+                let t = D.neighbor_offset c d in
+                t.Coord.col < 0 || t.Coord.col >= width || b t)
+              ds
+          in
+          (row < height - 1 && both [ D.South_west; D.South_east ])
+          || (row > 0 && both [ D.North_west; D.North_east ])
+        in
+        let free =
+          List.filter
+            (fun col -> not (b { Coord.col; row }) && not (walled col))
+            (List.init (max 0 (width - 2)) (fun i -> i + 1))
+        in
+        if k > List.length free then
+          raise
+            (Routing_failed
+               (Printf.sprintf "row %d: %d node(s), %d unblocked column(s)"
+                  row k (List.length free)));
+        let chosen =
+          free
+          |> List.map (fun col ->
+                 (abs_float (float_of_int col -. center), col))
+          |> List.sort compare
+          |> List.filteri (fun i _ -> i < k)
+          |> List.map snd
+          |> List.sort compare
+        in
+        List.iter2 (fun node col -> cols.(node) <- col) members chosen
   done;
   (* --- negotiated-congestion routing (PathFinder style) -------------
      Resources are the directed southward borders between adjacent
@@ -180,7 +276,8 @@ let attempt netlist ~width ~height ~stretch ~seed =
                 let usable =
                   Coord.equal_offset t dst
                   || (t.row >= 1 && t.row <= height - 2
-                     && tile_node.(tile_index t) = None)
+                     && tile_node.(tile_index t) = None
+                     && not (is_blocked t))
                 in
                 if usable then begin
                   let b = border_slot p d in
@@ -300,7 +397,13 @@ let attempt netlist ~width ~height ~stretch ~seed =
     in
     let tile =
       match Netlist.kind netlist i with
-      | Netlist.N_pi name -> Layout.Tile.Pi { name; out = List.hd out_dirs }
+      | Netlist.N_pi name ->
+          (* A dangling input (nothing consumes it) still gets a pad
+             tile; the nominal output direction feeds no border. *)
+          let out =
+            match out_dirs with d :: _ -> d | [] -> D.South_east
+          in
+          Layout.Tile.Pi { name; out }
       | Netlist.N_po name -> Layout.Tile.Po { name; inp = List.hd in_dirs }
       | Netlist.N_gate fn ->
           Layout.Tile.Gate { fn; ins = in_dirs; outs = out_dirs }
@@ -318,7 +421,7 @@ let attempt netlist ~width ~height ~stretch ~seed =
     segments;
   layout
 
-let place_and_route ?(max_retries = 16) netlist =
+let place_and_route ?(max_retries = 16) ?blocked netlist =
   (* Some slack over the lower bounds reduces congestion up front. *)
   (* Width must accommodate the most populous logic level at two
      columns per node, not just the pad rows. *)
@@ -340,6 +443,13 @@ let place_and_route ?(max_retries = 16) netlist =
   in
   let base_w = max (pad_row + 2) (widest_level + 3)
   and base_h = (2 * Netlist.min_height netlist) - 1 in
+  (* A defect-aware layout stays pinned to the absolute lattice frame
+     (tile (0,0) at the lattice origin) so the defect map keeps meaning
+     downstream — cropping would shift tiles onto different surface
+     regions.  Defect-oblivious results are cropped as before. *)
+  let finalize layout =
+    match blocked with None -> GL.crop layout | Some _ -> layout
+  in
   let rec go retry errors =
     if retry > max_retries then
       Error
@@ -348,15 +458,29 @@ let place_and_route ?(max_retries = 16) netlist =
     else
       (* Alternate between re-seeding the router, growing the grid, and
          stretching rows (spaced columns need about three rows per level
-         of lateral drift). *)
-      let grow = retry / 3 in
-      let stretch = 2 + (retry / 6) in
+         of lateral drift).  On a defective surface grow every retry and
+         stretch twice as fast: blocked columns consume grid capacity
+         and displace the packing laterally, so routes need both the
+         clean region past the defect field (width) and extra wire rows
+         per level of lateral drift (stretch) — neither is reachable by
+         re-seeding alone. *)
+      let grow = match blocked with None -> retry / 3 | Some _ -> retry in
+      let stretch =
+        2 + (match blocked with None -> retry / 6 | Some _ -> retry / 3)
+      in
       let width = base_w + grow
       and height = ((stretch * (base_h + 1)) / 2) + grow in
-      match attempt netlist ~width ~height ~stretch ~seed:(retry * 7919) with
-      | layout ->
-          Ok { layout = GL.crop layout; width; height; retries = retry }
+      match
+        attempt ?blocked netlist ~width ~height ~stretch ~seed:(retry * 7919)
+      with
+      | layout -> Ok { layout = finalize layout; width; height; retries = retry }
       | exception Routing_failed msg ->
           go (retry + 1) (Printf.sprintf "%dx%d: %s" width height msg :: errors)
   in
-  go 0 []
+  (* Belt and braces: [attempt] raising through any path not matched
+     above must still surface as the structured [Error], never as an
+     escaping exception. *)
+  match go 0 [] with
+  | r -> r
+  | exception Routing_failed msg ->
+      Error (Printf.sprintf "scalable P&R failed: %s" msg)

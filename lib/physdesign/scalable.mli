@@ -24,14 +24,29 @@ val compute_levels : Netlist.t -> int array
     reverse-topological sweep (exposed for regression tests). *)
 
 val place_and_route :
-  ?max_retries:int -> Netlist.t -> (result, string) Stdlib.result
+  ?max_retries:int ->
+  ?blocked:(Hexlib.Coord.offset -> bool) ->
+  Netlist.t ->
+  (result, string) Stdlib.result
 (** Row clocking; retries re-seed the router and grow/stretch the grid
-    (default up to 16 retries). *)
+    (default up to 16 retries).  With [blocked] (a defect-derived
+    blocked-tile predicate, cf. [Bestagon.Surface]) the whole
+    placement slides sideways to the center column whose footprint
+    covers the fewest blocked tiles — escaping the defect field
+    entirely once retries have grown the grid wide enough — each row
+    then packs into its unblocked, un-walled columns nearest that
+    center, routing never crosses a blocked tile, and the result is
+    {e not} cropped: it stays in the absolute lattice frame the
+    predicate was defined in.  Never raises: {!Routing_failed} from
+    every retry (including a grid the map blocks entirely) is folded
+    into the structured [Error]. *)
 
 exception Routing_failed of string
 
 val attempt :
+  ?blocked:(Hexlib.Coord.offset -> bool) ->
   Netlist.t -> width:int -> height:int -> stretch:int -> seed:int ->
   Layout.Gate_layout.t
 (** One placement-and-routing attempt at a fixed grid size (exposed for
-    tests and diagnostics).  @raise Routing_failed on congestion. *)
+    tests and diagnostics).  @raise Routing_failed on congestion (or
+    when [blocked] leaves a row too few free columns). *)

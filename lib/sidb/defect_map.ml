@@ -1,0 +1,175 @@
+type kind = Charged | Neutral
+
+type entry = { site : Lattice.site; kind : kind }
+
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+let entries t = t.entries
+let of_entries entries = { entries }
+let is_empty t = t.entries = []
+let size t = List.length t.entries
+
+let kind_to_string = function Charged -> "charged" | Neutral -> "neutral"
+
+let equal_entry a b = a.kind = b.kind && Lattice.equal a.site b.site
+let equal a b = List.equal equal_entry a.entries b.entries
+
+let charged_sites t =
+  List.filter_map
+    (fun e -> if e.kind = Charged then Some e.site else None)
+    t.entries
+
+let is_defective t site =
+  List.exists (fun e -> Lattice.equal e.site site) t.entries
+
+let defect_at t site =
+  List.find_map
+    (fun e -> if Lattice.equal e.site site then Some e.kind else None)
+    t.entries
+
+let potential_at ?(model = Model.default) t site =
+  List.fold_left
+    (fun acc e ->
+      match e.kind with
+      | Charged -> acc +. Model.interaction model site e.site
+      | Neutral -> acc)
+    0. t.entries
+
+let v_ext_at ?model t =
+  if List.exists (fun e -> e.kind = Charged) t.entries then
+    Some (fun site -> potential_at ?model t site)
+  else None
+
+(* --- textual format ---------------------------------------------------
+
+   Line-oriented, versioned, round-trippable:
+
+     sidb-defect-map v1
+     # free-form comments and blank lines are ignored
+     charged 12 3 0
+     neutral 4 5 1
+
+   One entry per line: kind, then the (n, m, l) site address.  Entry
+   order is preserved, so [of_string (to_string t) = Ok t]. *)
+
+let header = "sidb-defect-map v1"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d %d %d\n" (kind_to_string e.kind) e.site.Lattice.n
+           e.site.Lattice.m e.site.Lattice.l))
+    t.entries;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let err lineno msg =
+    Error (Printf.sprintf "defect map line %d: %s" lineno msg)
+  in
+  match lines with
+  | [] -> Error "defect map: empty input"
+  | first :: rest ->
+      if String.trim first <> header then
+        Error
+          (Printf.sprintf "defect map: expected header %S, got %S" header
+             (String.trim first))
+      else
+        let rec go lineno acc = function
+          | [] -> Ok { entries = List.rev acc }
+          | line :: rest -> (
+              let line = String.trim line in
+              if line = "" || line.[0] = '#' then go (lineno + 1) acc rest
+              else
+                match String.split_on_char ' ' line with
+                | [ k; n; m; l ] -> (
+                    let kind =
+                      match k with
+                      | "charged" -> Some Charged
+                      | "neutral" -> Some Neutral
+                      | _ -> None
+                    in
+                    match
+                      ( kind,
+                        int_of_string_opt n,
+                        int_of_string_opt m,
+                        int_of_string_opt l )
+                    with
+                    | None, _, _, _ ->
+                        err lineno (Printf.sprintf "unknown defect kind %S" k)
+                    | _, None, _, _ | _, _, None, _ | _, _, _, None ->
+                        err lineno "site address is not three integers"
+                    | Some kind, Some n, Some m, Some l ->
+                        if l <> 0 && l <> 1 then
+                          err lineno
+                            (Printf.sprintf "intra-dimer index %d not 0 or 1" l)
+                        else
+                          go (lineno + 1)
+                            ({ site = Lattice.site n m l; kind } :: acc)
+                            rest)
+                | _ -> err lineno (Printf.sprintf "unparsable entry %S" line))
+        in
+        go 2 [] rest
+
+let save ~path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      of_string s
+
+(* --- seeded random generation ---------------------------------------- *)
+
+let random ~seed ~charged ~neutral (((lo_n, lo_m), (hi_n, hi_m)) as _box) =
+  if hi_n < lo_n || hi_m < lo_m then
+    invalid_arg "Defect_map.random: empty box";
+  let rng = Random.State.make [| seed |] in
+  let taken = Hashtbl.create 16 in
+  let entries = ref [] in
+  let draw kind =
+    (* Rejection-sample a distinct site; give up silently when the box
+       is (nearly) saturated so tiny boxes still terminate. *)
+    let attempts = 500 in
+    let rec go k =
+      if k >= attempts then ()
+      else
+        let site =
+          Lattice.site
+            (lo_n + Random.State.int rng (hi_n - lo_n + 1))
+            (lo_m + Random.State.int rng (hi_m - lo_m + 1))
+            (Random.State.int rng 2)
+        in
+        if Hashtbl.mem taken site then go (k + 1)
+        else begin
+          Hashtbl.add taken site ();
+          entries := { site; kind } :: !entries
+        end
+    in
+    go 0
+  in
+  for _ = 1 to max 0 charged do
+    draw Charged
+  done;
+  for _ = 1 to max 0 neutral do
+    draw Neutral
+  done;
+  { entries = List.rev !entries }
+
+let pp ppf t =
+  Format.fprintf ppf "defect map: %d entr%s (%d charged, %d neutral)"
+    (size t)
+    (if size t = 1 then "y" else "ies")
+    (List.length (charged_sites t))
+    (List.length (List.filter (fun e -> e.kind = Neutral) t.entries))

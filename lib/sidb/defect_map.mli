@@ -1,0 +1,82 @@
+(** Surface defect maps: known fabrication imperfections as a
+    first-class input to physical design.
+
+    {!Defects} models imperfections {e statistically} (Monte-Carlo
+    fault injection over random draws); this module models one {e
+    fixed, known} surface — the situation after a scanning-probe survey
+    of the H-Si(100)-2×1 sample, where the positions of charged and
+    neutral point defects are data, not a distribution.  A map is an
+    ordered list of defective lattice sites with a textual,
+    round-trippable file format and a seeded random generator for
+    benchmarks.
+
+    Semantics of the two defect kinds:
+
+    - {e charged} defects carry a fixed negative charge and shift the
+      local potential through the same screened Coulomb interaction as
+      the SiDBs themselves ({!Model.interaction}) — they perturb every
+      structure within the screening range even without touching it;
+    - {e neutral} defects (missing H sites, contaminants) carry no
+      charge but make their lattice site unusable: a dangling bond
+      cannot be created there.
+
+    The derived blocked-tile predicate over hexagonal layout tiles
+    lives in [Bestagon.Surface] (this library is lattice-level and does
+    not depend on the tile geometry). *)
+
+type kind = Charged | Neutral
+
+type entry = { site : Lattice.site; kind : kind }
+
+type t
+(** An ordered defect list.  Order is preserved by parsing and
+    printing, so [of_string (to_string t) = Ok t]. *)
+
+val empty : t
+val of_entries : entry list -> t
+val entries : t -> entry list
+val is_empty : t -> bool
+val size : t -> int
+val equal : t -> t -> bool
+val kind_to_string : kind -> string
+
+val charged_sites : t -> Lattice.site list
+
+val is_defective : t -> Lattice.site -> bool
+(** Some defect (of either kind) occupies the site. *)
+
+val defect_at : t -> Lattice.site -> kind option
+
+val potential_at : ?model:Model.t -> t -> Lattice.site -> float
+(** External potential (eV) contributed at a site by the map's charged
+    defects, per {!Model.interaction}.  0 for a map without charges. *)
+
+val v_ext_at : ?model:Model.t -> t -> (Lattice.site -> float) option
+(** {!potential_at} packaged for {!Bdl.check}'s [?v_ext_at]; [None]
+    when the map has no charged defects. *)
+
+(** {2 File format}
+
+    Line-oriented [sidb-defect-map v1]: a header line, then one entry
+    per line — [charged n m l] or [neutral n m l] — with [#]-comments
+    and blank lines ignored. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string} (entry order preserved); [Error] with a
+    line-numbered message on malformed input. *)
+
+val save : path:string -> t -> unit
+
+val load : string -> (t, string) result
+
+val random :
+  seed:int -> charged:int -> neutral:int -> (int * int) * (int * int) -> t
+(** [random ~seed ~charged ~neutral ((lo_n, lo_m), (hi_n, hi_m))] draws
+    the requested number of distinct defect sites uniformly over the
+    dimer box (both intra-dimer indices), deterministically for a fixed
+    seed.  Counts beyond what fits in the box are dropped.
+    @raise Invalid_argument on an empty box. *)
+
+val pp : Format.formatter -> t -> unit

@@ -45,6 +45,10 @@ type injected = {
           the structure; they act through the external potential). *)
 }
 
+val all_sites : Bdl.structure -> Lattice.site list
+(** Every site of the structure: fixed dots, all input perturbers (near
+    and far), and output pairs. *)
+
 val inject : Random.State.t -> params -> Bdl.structure -> injected
 (** Draw one defect configuration: [params.missing] random structural
     dots removed, [params.extra] stray dots and [params.charged] point
@@ -60,6 +64,12 @@ val check_injected :
   Bdl.report
 (** {!Bdl.check} of the perturbed structure, with the injected point
     charges applied as an external potential. *)
+
+val signature : Bdl.report -> bool list
+(** The per-input-row [ok] signature a report is judged by: a perturbed
+    structure is operational when its signature equals the defect-free
+    baseline (some validation harnesses are imperfect on a row even
+    cleanly — what matters is that defects do not change behaviour). *)
 
 type trial = { defects : defect list; operational : bool }
 

@@ -30,41 +30,46 @@
 #                              netlists must be node-for-node identical,
 #                              resimulation must pass, and
 #                              BENCH_logic.json must be well-formed)
+#  10. defect bench smoke     (defect-aware vs. oblivious design on
+#                              random surface maps: aware yield must be
+#                              no worse everywhere, an infeasible map
+#                              must fail structurally, and
+#                              BENCH_defects.json must be well-formed)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/9 type check =="
+echo "== 1/10 type check =="
 dune build @check
 
-echo "== 2/9 full build =="
+echo "== 2/10 full build =="
 dune build
 
-echo "== 3/9 test suite =="
+echo "== 3/10 test suite =="
 start=$(date +%s)
 dune runtest --force
 end=$(date +%s)
 echo "tests passed in $((end - start))s"
 
-echo "== 4/9 property fuzzing =="
-# Fixed seed: reproducible in CI, >= 500 iterations across the six
+echo "== 4/10 property fuzzing =="
+# Fixed seed: reproducible in CI, >= 500 iterations across the seven
 # properties (CNF, at-most-one encodings, XAG, priority-vs-exhaustive
-# cuts, defect parameters, charge systems).
-dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40
+# cuts, defect parameters, charge systems, defect-aware P&R).
+dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40 -defect-aware 25
 
-echo "== 5/9 budgeted-flow smoke test =="
+echo "== 5/10 budgeted-flow smoke test =="
 # Must return a verified layout without raising, degrading to the
 # scalable engine if the exact share of the deadline runs out.
 dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
 
-echo "== 6/9 certification smoke test =="
+echo "== 6/10 certification smoke test =="
 # Benchmark "t" needs one candidate size refuted before its minimal
 # layout: paranoid mode proof-checks that UNSAT and replays the
 # equivalence certificate; any failed check exits nonzero.
 dune exec bin/fictionette.exe -- check t | grep "certified refutations"
 dune exec bin/fictionette.exe -- check t
 
-echo "== 7/9 bench smoke (parallel determinism + BENCH_sim.json shape) =="
+echo "== 7/10 bench smoke (parallel determinism + BENCH_sim.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sim --smoke --jobs 2 --out "$out"
 # Shape check: schema marker, host cores, at least one result row with
@@ -80,7 +85,7 @@ if grep -q '"identical_to_serial": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 8/9 SAT bench smoke (config parity + BENCH_sat.json shape) =="
+echo "== 8/10 SAT bench smoke (config parity + BENCH_sat.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sat --smoke --out "$out"
 # Shape check: schema marker, both solver configurations, per-solve
@@ -98,7 +103,7 @@ if grep -q '"verdict_matches_legacy": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 9/9 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
+echo "== 9/10 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- logic --smoke --out "$out"
 # Shape check: schema marker, both enumeration configurations, cut and
@@ -112,6 +117,21 @@ grep -q '"speedup_vs_exhaustive":' "$out"
 grep -q '"identical_netlist": true' "$out"
 if grep -q '"identical_netlist": false' "$out"; then
     echo "logic bench smoke: priority netlist differed from exhaustive" >&2
+    exit 1
+fi
+rm -f "$out"
+
+echo "== 10/10 defect bench smoke (aware >= oblivious + BENCH_defects.json shape) =="
+out=$(mktemp)
+dune exec bench/main.exe -- defects --smoke --aware --out "$out"
+# Shape check: schema marker, the aware-never-worse verdict the harness
+# itself enforces (it exits nonzero on any regression), and the
+# structured failure on a surface with no feasible placement.
+grep -q '"schema": "fictionette-bench-defects/1"' "$out"
+grep -q '"aware_ge_oblivious": true' "$out"
+grep -q '"structured_failure": true' "$out"
+if grep -q '"aware_ge_oblivious": false' "$out"; then
+    echo "defect bench smoke: aware design yielded worse than oblivious" >&2
     exit 1
 fi
 rm -f "$out"

@@ -245,6 +245,92 @@ let defect_property (p : Sidb.Defects.params) =
   then Error "zero defects must give yield 1.0"
   else Ok ()
 
+(* Defect-aware physical design: on a random dirty surface, the
+   scalable engine either fails with a structured [Error] or produces a
+   layout that never occupies a blocked tile and passes the whole-layout
+   DRC audit.  Exceptions escaping [place_and_route] are failures. *)
+
+type defect_aware_case = {
+  da_recipe : P.xag_recipe;
+  da_seed : int;
+  da_charged : int;
+  da_neutral : int;
+}
+
+let pp_defect_aware ppf c =
+  Format.fprintf ppf "map(seed %d, %d charged, %d neutral) over %a" c.da_seed
+    c.da_charged c.da_neutral P.xag.P.pp c.da_recipe
+
+let defect_aware_arb : defect_aware_case P.arbitrary =
+  let gen rng =
+    {
+      da_recipe = P.xag.P.gen rng;
+      da_seed = P.Rng.int rng 1_000_000;
+      da_charged = P.Rng.int rng 3;
+      da_neutral = P.Rng.int rng 5;
+    }
+  in
+  let shrink c =
+    List.map (fun r -> { c with da_recipe = r }) (P.xag.P.shrink c.da_recipe)
+    @ (if c.da_charged > 0 then [ { c with da_charged = c.da_charged - 1 } ]
+       else [])
+    @ if c.da_neutral > 0 then [ { c with da_neutral = c.da_neutral - 1 } ]
+      else []
+  in
+  { P.gen; shrink; pp = pp_defect_aware }
+
+let defect_aware_property c =
+  let specification = P.build_xag c.da_recipe in
+  if has_constant_po specification then Ok ()
+  else
+    let mapped, _ = Logic.Tech_map.map specification in
+    let netlist = Physdesign.Netlist.of_mapped mapped in
+    let map =
+      Sidb.Defect_map.random ~seed:c.da_seed ~charged:c.da_charged
+        ~neutral:c.da_neutral
+        (Bestagon.Surface.grid_box ~width:12 ~height:12)
+    in
+    let surface = Bestagon.Surface.create map in
+    let blocked coord = Bestagon.Surface.blocked surface coord in
+    match Physdesign.Scalable.place_and_route ~blocked netlist with
+    | Error _ -> Ok ()
+    | exception e -> Error ("exception escaped: " ^ Printexc.to_string e)
+    | Ok r -> (
+        let bad = ref None in
+        Layout.Gate_layout.iter r.Physdesign.Scalable.layout (fun coord tile ->
+            if (not (Layout.Tile.is_empty tile)) && blocked coord then
+              bad := Some coord);
+        match !bad with
+        | Some (coord : Hexlib.Coord.offset) ->
+            Error
+              (Printf.sprintf "tile placed on blocked coordinate (%d,%d)"
+                 coord.Hexlib.Coord.col coord.Hexlib.Coord.row)
+        | None ->
+            (* Random recipes can leave an output port unused (a PI
+               nothing consumes, a half-adder whose carry is dangling);
+               the resulting pad/gate tiles then rightly fail the
+               audit's arity and reachability rules — only audit
+               netlists whose output ports all carry signal. *)
+            if
+              List.exists
+                (fun i ->
+                  List.length (Physdesign.Netlist.out_edges netlist i)
+                  < Physdesign.Netlist.num_out_ports netlist i)
+                (List.init (Physdesign.Netlist.num_nodes netlist) Fun.id)
+            then Ok ()
+            else (
+              match Layout.Design_rules.audit r.Physdesign.Scalable.layout with
+              | [] -> Ok ()
+              | v :: _ as vs ->
+                  Error
+                    (Printf.sprintf
+                       "%d DRC violation(s) on defect-aware layout, first: \
+                        %s at (%d,%d): %s"
+                       (List.length vs) v.Layout.Design_rules.rule
+                       v.Layout.Design_rules.at.Hexlib.Coord.col
+                       v.Layout.Design_rules.at.Hexlib.Coord.row
+                       v.Layout.Design_rules.message)))
+
 (* Charge systems: the pruned engine is exact. *)
 
 let pp_sites ppf sites =
@@ -325,6 +411,7 @@ let () =
   let xag_iters = ref 150 in
   let cuts_iters = ref 60 in
   let defect_iters = ref 60 in
+  let defect_aware_iters = ref 25 in
   let system_iters = ref 40 in
   Arg.parse
     [
@@ -340,13 +427,16 @@ let () =
       ( "-defect",
         Arg.Set_int defect_iters,
         "defect-parameter iterations (default 60)" );
+      ( "-defect-aware",
+        Arg.Set_int defect_aware_iters,
+        "defect-aware P&R iterations (default 25)" );
       ( "-system",
         Arg.Set_int system_iters,
         "charge-system iterations (default 40)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "fuzz [-seed N] [-cnf N] [-amo N] [-xag N] [-cuts N] [-defect N] \
-     [-system N]";
+     [-defect-aware N] [-system N]";
   let failed = ref false in
   let run name iterations arb prop =
     let outcome = P.check ~seed:!seed ~iterations arb prop in
@@ -358,5 +448,7 @@ let () =
   run "xag-rewrite-map" !xag_iters P.xag xag_property;
   run "cuts-priority-vs-exhaustive" !cuts_iters P.xag cuts_property;
   run "defect-yield" !defect_iters P.defect_params defect_property;
+  run "defect-aware-pnr" !defect_aware_iters defect_aware_arb
+    defect_aware_property;
   run "pruned-vs-exhaustive" !system_iters system_arb system_property;
   if !failed then exit 1

@@ -1,0 +1,288 @@
+(* Tests for fixed defect maps (Sidb.Defect_map), the derived
+   blocked-tile predicate (Bestagon.Surface), and defect-aware physical
+   design in both engines and the flow. *)
+
+module DM = Sidb.Defect_map
+module L = Sidb.Lattice
+module S = Bestagon.Surface
+module G = Bestagon.Geometry
+module Y = Bestagon.Yield
+module NL = Physdesign.Netlist
+module Ex = Physdesign.Exact
+module Sc = Physdesign.Scalable
+module GL = Layout.Gate_layout
+
+let sample_map () =
+  DM.of_entries
+    [
+      { DM.site = L.site 3 7 0; kind = DM.Charged };
+      { DM.site = L.site 0 0 1; kind = DM.Neutral };
+      { DM.site = L.site 120 41 1; kind = DM.Charged };
+      { DM.site = L.site 55 2 0; kind = DM.Neutral };
+    ]
+
+let mapped_of name =
+  let b = Logic.Benchmarks.find name in
+  fst (Logic.Tech_map.map (b.Logic.Benchmarks.build ()))
+
+(* --- file format -------------------------------------------------------- *)
+
+let test_round_trip () =
+  let m = sample_map () in
+  match DM.of_string (DM.to_string m) with
+  | Ok m' ->
+      Alcotest.(check bool) "round trip" true (DM.equal m m');
+      Alcotest.(check string) "print is stable" (DM.to_string m)
+        (DM.to_string m')
+  | Error e -> Alcotest.fail ("round trip failed to parse: " ^ e)
+
+let test_empty_round_trip () =
+  match DM.of_string (DM.to_string DM.empty) with
+  | Ok m' -> Alcotest.(check bool) "empty" true (DM.is_empty m')
+  | Error e -> Alcotest.fail e
+
+let test_comments_and_blanks () =
+  let src =
+    "sidb-defect-map v1\n# a survey comment\n\ncharged 3 7 0\n\n# trailing\n"
+  in
+  match DM.of_string src with
+  | Ok m ->
+      Alcotest.(check int) "size" 1 (DM.size m);
+      Alcotest.(check int) "charged" 1 (List.length (DM.charged_sites m))
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  (match DM.of_string "not-a-defect-map\ncharged 0 0 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header accepted");
+  (match DM.of_string "sidb-defect-map v1\ncharged 0 zero 0\n" with
+  | Error e ->
+      Alcotest.(check bool)
+        "message names the line" true
+        (String.length e > 0
+        && (let mentions_2 = ref false in
+            String.iter (fun c -> if c = '2' then mentions_2 := true) e;
+            !mentions_2))
+  | Ok _ -> Alcotest.fail "malformed entry accepted");
+  match DM.of_string "sidb-defect-map v1\npositive 0 0 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown kind accepted"
+
+let test_save_load () =
+  let m = sample_map () in
+  let path = Filename.temp_file "defmap" ".sdm" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      DM.save ~path m;
+      match DM.load path with
+      | Ok m' -> Alcotest.(check bool) "load = save" true (DM.equal m m')
+      | Error e -> Alcotest.fail e)
+
+(* --- queries ------------------------------------------------------------ *)
+
+let test_queries () =
+  let m = sample_map () in
+  Alcotest.(check bool) "defective" true (DM.is_defective m (L.site 3 7 0));
+  Alcotest.(check bool) "clean site" false (DM.is_defective m (L.site 9 9 0));
+  Alcotest.(check bool)
+    "kind at" true
+    (DM.defect_at m (L.site 0 0 1) = Some DM.Neutral);
+  Alcotest.(check int) "charged sites" 2 (List.length (DM.charged_sites m));
+  Alcotest.(check bool)
+    "charged potential is negative-charge repulsion" true
+    (DM.potential_at m (L.site 3 9 0) > 0.);
+  Alcotest.(check bool)
+    "no charges, no v_ext" true
+    (DM.v_ext_at (DM.of_entries [ { DM.site = L.site 1 1 0; kind = DM.Neutral } ])
+    = None)
+
+(* --- random generator --------------------------------------------------- *)
+
+let test_random_deterministic () =
+  let box = ((0, 0), (100, 50)) in
+  let a = DM.random ~seed:42 ~charged:5 ~neutral:7 box in
+  let b = DM.random ~seed:42 ~charged:5 ~neutral:7 box in
+  Alcotest.(check bool) "same seed, same map" true (DM.equal a b);
+  Alcotest.(check int) "total count" 12 (DM.size a);
+  Alcotest.(check int) "charged count" 5 (List.length (DM.charged_sites a));
+  let c = DM.random ~seed:43 ~charged:5 ~neutral:7 box in
+  Alcotest.(check bool) "different seed, different map" false (DM.equal a c)
+
+(* --- blocked-tile predicate --------------------------------------------- *)
+
+let center_site c =
+  let on, om = G.tile_origin c in
+  L.site (on + (G.tile_columns / 2)) (om + (G.tile_rows / 2)) 0
+
+let test_footprint_blocks () =
+  let c1 : Hexlib.Coord.offset = { col = 1; row = 1 } in
+  let m =
+    DM.of_entries [ { DM.site = center_site c1; kind = DM.Charged } ]
+  in
+  let s = S.create m in
+  Alcotest.(check bool) "defective tile blocked" true (S.blocked s c1);
+  Alcotest.(check bool)
+    "distant tile free" false
+    (S.blocked s { col = 3; row = 3 });
+  (* A neutral defect blocks only the footprint it falls in. *)
+  let mn =
+    DM.of_entries
+      [ { DM.site = center_site { col = 5; row = 5 }; kind = DM.Neutral } ]
+  in
+  let sn = S.create mn in
+  Alcotest.(check bool)
+    "far neutral does not block" false
+    (S.blocked sn { col = 0; row = 0 });
+  Alcotest.(check bool)
+    "its own tile is blocked" true
+    (S.blocked sn { col = 5; row = 5 })
+
+let test_near_charge_blocks_through_potential () =
+  (* A charged defect two dimer columns left of tile (0,0) — outside the
+     footprint but only ~8 A away, deep inside the influence radius —
+     must flip some panel member's signature and block the tile. *)
+  let on, om = G.tile_origin { Hexlib.Coord.col = 0; row = 0 } in
+  let m =
+    DM.of_entries
+      [ { DM.site = L.site (on - 2) (om + (G.tile_rows / 2)) 0;
+          kind = DM.Charged } ]
+  in
+  let s = S.create m in
+  Alcotest.(check bool)
+    "adjacent charge blocks" true
+    (S.blocked s { col = 0; row = 0 })
+
+let test_blocked_deterministic () =
+  let m = DM.random ~seed:7 ~charged:2 ~neutral:3 (S.grid_box ~width:4 ~height:4) in
+  let a = S.create m and b = S.create m in
+  let la = S.blocked_in_grid a ~width:4 ~height:4
+  and lb = S.blocked_in_grid b ~width:4 ~height:4 in
+  Alcotest.(check int) "same verdicts" (List.length la) (List.length lb);
+  List.iter2
+    (fun (x : Hexlib.Coord.offset) (y : Hexlib.Coord.offset) ->
+      Alcotest.(check bool) "same coordinate" true (x = y))
+    la lb;
+  (* Memoized queries stay stable. *)
+  List.iter
+    (fun c -> Alcotest.(check bool) "stable" true (S.blocked a c))
+    la
+
+(* --- engines under a blocked predicate ---------------------------------- *)
+
+let test_exact_avoids_blocked_tile () =
+  let nl = NL.of_mapped (mapped_of "xor2") in
+  let avoid : Hexlib.Coord.offset = { col = 1; row = 1 } in
+  match Ex.place_and_route ~blocked:(fun c -> c = avoid) nl with
+  | Ok r ->
+      if GL.in_bounds r.Ex.layout avoid then
+        Alcotest.(check bool)
+          "blocked tile left empty" true
+          (Layout.Tile.is_empty (GL.get r.Ex.layout avoid))
+  | Error f -> Alcotest.fail (Ex.failure_message f)
+
+let test_fully_blocked_is_structured () =
+  let nl = NL.of_mapped (mapped_of "xor2") in
+  (* Satellite regression: a grid the map blocks entirely must come back
+     as a structured Error from both engines, never as an exception. *)
+  (match Sc.place_and_route ~max_retries:3 ~blocked:(fun _ -> true) nl with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scalable: layout on a fully blocked surface");
+  match
+    Ex.place_and_route
+      ~config:{ Ex.default_config with max_extra_width = 1; max_extra_height = 1 }
+      ~blocked:(fun _ -> true) nl
+  with
+  | Error (Ex.No_layout _) -> ()
+  | Error f -> Alcotest.fail ("expected No_layout, got " ^ Ex.failure_message f)
+  | Ok _ -> Alcotest.fail "exact: layout on a fully blocked surface"
+
+(* --- flow integration --------------------------------------------------- *)
+
+let test_flow_aware_beats_oblivious () =
+  let options =
+    {
+      Core.Flow.default_options with
+      engine = Core.Flow.Scalable;
+      check_equivalence = false;
+      expand_supertiles = false;
+      apply_library = false;
+    }
+  in
+  let oblivious =
+    match Core.Flow.run_benchmark ~options "xor2" with
+    | Ok r -> r
+    | Error f -> Alcotest.fail f.Core.Flow.message
+  in
+  (* Drop a charged defect in the middle of some occupied logic tile of
+     the oblivious layout, then re-design aware of it. *)
+  let victim = ref None in
+  GL.iter oblivious.Core.Flow.gate_layout (fun c tile ->
+      if !victim = None && not (Layout.Tile.is_empty tile) then
+        victim := Some c);
+  let victim =
+    match !victim with
+    | Some c -> c
+    | None -> Alcotest.fail "oblivious layout is empty"
+  in
+  let map =
+    DM.of_entries [ { DM.site = center_site victim; kind = DM.Charged } ]
+  in
+  match Core.Flow.run_benchmark ~options ~defect_map:map "xor2" with
+  | Error f -> Alcotest.fail ("aware flow failed: " ^ f.Core.Flow.message)
+  | Ok aware ->
+      let surface = S.create map in
+      GL.iter aware.Core.Flow.gate_layout (fun c tile ->
+          if not (Layout.Tile.is_empty tile) then
+            Alcotest.(check bool)
+              (Printf.sprintf "tile (%d,%d) not on a blocked coordinate"
+                 c.Hexlib.Coord.col c.Hexlib.Coord.row)
+              false (S.blocked surface c));
+      let y_obl =
+        (Y.under_map map oblivious.Core.Flow.gate_layout).Y.map_yield
+      and y_aware =
+        (Y.under_map map aware.Core.Flow.gate_layout).Y.map_yield
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "aware yield (%.3f) >= oblivious (%.3f)" y_aware y_obl)
+        true
+        (y_aware >= y_obl)
+
+let () =
+  Alcotest.run "defect_map"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "empty" `Quick test_empty_round_trip;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_comments_and_blanks;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "save and load" `Quick test_save_load;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "lookups and potential" `Quick test_queries;
+          Alcotest.test_case "random generator" `Quick
+            test_random_deterministic;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "footprint blocks" `Quick test_footprint_blocks;
+          Alcotest.test_case "near charge blocks" `Quick
+            test_near_charge_blocks_through_potential;
+          Alcotest.test_case "deterministic" `Quick test_blocked_deterministic;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "exact avoids blocked tile" `Quick
+            test_exact_avoids_blocked_tile;
+          Alcotest.test_case "fully blocked is structured" `Quick
+            test_fully_blocked_is_structured;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "aware beats oblivious" `Quick
+            test_flow_aware_beats_oblivious;
+        ] );
+    ]
