@@ -1874,6 +1874,365 @@ let defects_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Design-server benchmark: BENCH_serve.json                           *)
+(* ------------------------------------------------------------------ *)
+
+let serve_out = ref "BENCH_serve.json"
+
+module SJ = Serve.Json
+module SP = Serve.Protocol
+
+type serve_row = {
+  sv_phase : string;
+  sv_requests : int;
+  sv_responses : int;
+  sv_ok : int;
+  sv_error : int;
+  sv_overloaded : int;
+  sv_wall : float;
+  sv_throughput : float;  (** responses per second *)
+  sv_p50 : float;
+  sv_p90 : float;
+  sv_p99 : float;
+  sv_max : float;  (** latencies in ms, from the responses themselves *)
+}
+
+let serve_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+(* Volatile fields are stripped before comparing a served response with
+   its one-shot twin; everything else must match byte for byte. *)
+let rec serve_normalize = function
+  | SJ.Obj fields ->
+      SJ.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if k = "latency_ms" || k = "elapsed_s" || k = "uptime_s" then
+               None
+             else Some (k, serve_normalize v))
+           fields)
+  | SJ.List xs -> SJ.List (List.map serve_normalize xs)
+  | other -> other
+
+let serve_row ~phase ~requests responses wall =
+  let count st =
+    List.length
+      (List.filter (fun r -> SP.response_status r = Some st) responses)
+  in
+  let lats =
+    Array.of_list
+      (List.filter_map
+         (fun r -> Option.bind (SJ.mem "latency_ms" r) SJ.num)
+         responses)
+  in
+  Array.sort compare lats;
+  let n = List.length responses in
+  {
+    sv_phase = phase;
+    sv_requests = requests;
+    sv_responses = n;
+    sv_ok = count "ok";
+    sv_error = count "error";
+    sv_overloaded = count "overloaded";
+    sv_wall = wall;
+    sv_throughput = (if wall > 0.0 then float_of_int n /. wall else 0.0);
+    sv_p50 = serve_percentile lats 0.50;
+    sv_p90 = serve_percentile lats 0.90;
+    sv_p99 = serve_percentile lats 0.99;
+    sv_max =
+      (if Array.length lats = 0 then 0.0 else lats.(Array.length lats - 1));
+  }
+
+let write_serve_json ~cores ~identity_ok ~warm_speedup ~stats_payload rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"fictionette-bench-serve/1\",\n";
+  add
+    "  \"host\": {\"cores\": %d, \"ocaml\": \"%s\", \"os\": \"%s\", \
+     \"word_size\": %d},\n"
+    cores (json_escape Sys.ocaml_version) (json_escape Sys.os_type)
+    Sys.word_size;
+  add "  \"default_jobs\": %d,\n" (Parallel.Pool.default_jobs ());
+  add "  \"smoke\": %b,\n" !sim_smoke;
+  add
+    "  \"notes\": \"resident design server driven in-process through \
+     Serve.Server.handle_line.  cold-oneshot = a fresh context (fresh \
+     memo) per request, the cost `fictionette --json` pays per \
+     invocation; server-cold = same requests through one server, empty \
+     caches; server-warm = same requests again, structural-hash memo \
+     hits; mixed = one batch of designs + checks + simulations + yield; \
+     adversarial = malformed/truncated/oversized/poisoned lines, every \
+     one of which must produce a structured response without killing \
+     the loop.  identity_ok = warm served responses byte-identical to \
+     one-shot responses after stripping latency fields.\",\n";
+  add "  \"identity_with_oneshot\": %b,\n" identity_ok;
+  add "  \"warm_vs_cold_oneshot_speedup\": %.3f,\n" warm_speedup;
+  add "  \"phases\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"phase\": \"%s\", \"requests\": %d, \"responses\": %d, \
+         \"ok\": %d, \"error\": %d, \"overloaded\": %d, \"wall_s\": %.6f, \
+         \"throughput_rps\": %.2f, \"latency_ms\": {\"p50\": %.3f, \
+         \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f}}%s\n"
+        (json_escape r.sv_phase) r.sv_requests r.sv_responses r.sv_ok
+        r.sv_error r.sv_overloaded r.sv_wall r.sv_throughput r.sv_p50
+        r.sv_p90 r.sv_p99 r.sv_max
+        (if i = List.length rows - 1 then "" else ",")
+    )
+    rows;
+  add "  ],\n";
+  add "  \"server_stats\": %s\n"
+    (match stats_payload with Some j -> SJ.to_string j | None -> "null");
+  add "}\n";
+  let oc = open_out !serve_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let serve_bench () =
+  section "Design-server benchmark (cold / warm / mixed / adversarial)";
+  let smoke = !sim_smoke in
+  let cores = Domain.recommended_domain_count () in
+  let benchmarks =
+    if smoke then [ "xor2"; "mux21"; "c17" ]
+    else [ "xor2"; "xnor2"; "mux21"; "par_check"; "c17"; "majority" ]
+  in
+  let config =
+    { Serve.Server.default_config with Serve.Server.sleep = (fun _ -> ()) }
+  in
+  let server = Serve.Server.create ~config () in
+  let limits =
+    {
+      SP.max_source_bytes = config.Serve.Server.max_source_bytes;
+      SP.allow_chaos = false;
+    }
+  in
+  let rows = ref [] in
+  let violations = ref 0 in
+  let violate fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr violations;
+        Format.printf "  VIOLATION: %s@." s)
+      fmt
+  in
+  let design_line name =
+    Printf.sprintf
+      "{\"fictionette-serve\":1,\"kind\":\"design\",\"id\":\"%s\",\
+       \"benchmark\":\"%s\"}"
+      name name
+  in
+  let handle line =
+    match Serve.Server.handle_line server line with
+    | out ->
+        List.map
+          (fun l ->
+            match SJ.parse l with
+            | Ok j -> j
+            | Error e ->
+                violate "server emitted unparseable JSON (%s): %s" e l;
+                SJ.Null)
+          out
+    | exception e ->
+        violate "handle_line raised %s" (Printexc.to_string e);
+        []
+  in
+  (* Phase 1: cold one-shot baseline — a fresh context per request. *)
+  let oneshot name =
+    match SJ.parse (design_line name) with
+    | Error e ->
+        violate "bad request line for %s: %s" name e;
+        SJ.Null
+    | Ok j -> (
+        match SP.decode limits j with
+        | Ok (SP.Single { id; job }) ->
+            let ctx =
+              {
+                (Serve.Handlers.default_ctx ()) with
+                Serve.Handlers.sleep = (fun _ -> ());
+              }
+            in
+            Serve.Handlers.run_job ctx ~id job
+        | Ok _ | Error _ ->
+            violate "%s did not decode to a single job" name;
+            SJ.Null)
+  in
+  let oneshot_resps, oneshot_wall =
+    timed (fun () -> List.map oneshot benchmarks)
+  in
+  let oneshot_row =
+    serve_row ~phase:"cold-oneshot"
+      ~requests:(List.length benchmarks)
+      oneshot_resps oneshot_wall
+  in
+  rows := oneshot_row :: !rows;
+  Format.printf "  cold-oneshot: %d designs in %.3f s (%.2f req/s)@."
+    oneshot_row.sv_responses oneshot_wall oneshot_row.sv_throughput;
+  (* Phase 2: same requests through a cold server (empty caches). *)
+  let cold_resps, cold_wall =
+    timed (fun () -> List.concat_map handle (List.map design_line benchmarks))
+  in
+  rows :=
+    serve_row ~phase:"server-cold"
+      ~requests:(List.length benchmarks)
+      cold_resps cold_wall
+    :: !rows;
+  (* Phase 3: the same requests again — structural-hash memo hits. *)
+  let warm_resps, warm_wall =
+    timed (fun () -> List.concat_map handle (List.map design_line benchmarks))
+  in
+  let warm_row =
+    serve_row ~phase:"server-warm"
+      ~requests:(List.length benchmarks)
+      warm_resps warm_wall
+  in
+  rows := warm_row :: !rows;
+  Format.printf "  server-warm: %d designs in %.3f s (%.2f req/s)@."
+    warm_row.sv_responses warm_wall warm_row.sv_throughput;
+  (* Served responses must be identical to one-shot results once the
+     volatile latency fields are stripped. *)
+  let identity_ok =
+    List.length warm_resps = List.length oneshot_resps
+    && List.for_all2
+         (fun served solo ->
+           SJ.to_string (serve_normalize served)
+           = SJ.to_string (serve_normalize solo))
+         warm_resps oneshot_resps
+  in
+  if not identity_ok then
+    violate "warm served responses differ from one-shot responses";
+  let warm_speedup =
+    if warm_row.sv_throughput > 0.0 && oneshot_row.sv_throughput > 0.0 then
+      warm_row.sv_throughput /. oneshot_row.sv_throughput
+    else 0.0
+  in
+  if warm_row.sv_throughput <= oneshot_row.sv_throughput then
+    violate
+      "warm-cache throughput (%.2f req/s) not above cold one-shot baseline \
+       (%.2f req/s)"
+      warm_row.sv_throughput oneshot_row.sv_throughput
+  else
+    Format.printf "  warm cache is %.1fx the cold one-shot baseline@."
+      warm_speedup;
+  (* Phase 4: one mixed batch — designs, a paranoid check, gate
+     simulations, and a defect-yield estimate, dispatched in parallel. *)
+  let trials = if smoke then 5 else 20 in
+  let mixed_jobs =
+    List.map
+      (fun n ->
+        Printf.sprintf "{\"kind\":\"design\",\"benchmark\":\"%s\"}" n)
+      benchmarks
+    @ [
+        "{\"kind\":\"check\",\"benchmark\":\"mux21\"}";
+        "{\"kind\":\"simulate\",\"gate\":\"or2\"}";
+        "{\"kind\":\"simulate\",\"gate\":\"nand2\"}";
+        Printf.sprintf
+          "{\"kind\":\"yield\",\"benchmark\":\"xor2\",\"trials\":%d,\
+           \"seed\":7,\"missing\":1}"
+          trials;
+      ]
+  in
+  let mixed_line =
+    Printf.sprintf
+      "{\"fictionette-serve\":1,\"kind\":\"batch\",\"id\":\"mixed\",\
+       \"jobs\":[%s]}"
+      (String.concat "," mixed_jobs)
+  in
+  let mixed_resps, mixed_wall = timed (fun () -> handle mixed_line) in
+  let mixed_row =
+    serve_row ~phase:"mixed-batch"
+      ~requests:(List.length mixed_jobs)
+      mixed_resps mixed_wall
+  in
+  rows := mixed_row :: !rows;
+  if mixed_row.sv_ok < List.length mixed_jobs then
+    violate "mixed batch: %d ok responses for %d jobs" mixed_row.sv_ok
+      (List.length mixed_jobs);
+  (* Phase 5: adversarial lines.  Every non-blank line must yield at
+     least one structured response and the loop must keep serving. *)
+  let oversized =
+    Printf.sprintf
+      "{\"fictionette-serve\":1,\"kind\":\"design\",\"verilog\":\"%s\"}"
+      (String.make (config.Serve.Server.max_source_bytes + 1) 'x')
+  in
+  let depth_bomb =
+    String.concat "" (List.init 100 (fun _ -> "[")) in
+  let adversarial =
+    [
+      "{";
+      "not json at all";
+      "[1,2,3]";
+      "\"quoted\"";
+      "{\"kind\":\"design\",\"benchmark\":\"xor2\"}";
+      "{\"fictionette-serve\":2,\"kind\":\"ping\"}";
+      "{\"fictionette-serve\":1}";
+      "{\"fictionette-serve\":1,\"kind\":\"frobnicate\"}";
+      "{\"fictionette-serve\":1,\"kind\":\"design\"}";
+      "{\"fictionette-serve\":1,\"kind\":\"design\",\"benchmark\":\"xor2\",\
+       \"timeout_ms\":1e999}";
+      "{\"fictionette-serve\":1,\"kind\":\"design\",\"benchmark\":\"c17\",\
+       \"timeout_ms\":0.001}";
+      "{\"fictionette-serve\":1,\"kind\":\"design\",\"benchmark\":\"xor2\",\
+       \"chaos\":\"raise\"}";
+      oversized;
+      depth_bomb;
+    ]
+  in
+  let adv_resps, adv_wall =
+    timed (fun () ->
+        List.concat_map
+          (fun line ->
+            let short =
+              if String.length line <= 40 then line else String.sub line 0 40
+            in
+            let out = handle line in
+            if out = [] then
+              violate "adversarial line got no response: %s" short;
+            List.iter
+              (fun r ->
+                if SP.response_status r = None then
+                  violate "response without a status for line %s" short)
+              out;
+            out)
+          adversarial)
+  in
+  let adv_row =
+    serve_row ~phase:"adversarial"
+      ~requests:(List.length adversarial)
+      adv_resps adv_wall
+  in
+  rows := adv_row :: !rows;
+  if adv_row.sv_ok > 0 then
+    violate "adversarial phase produced %d ok responses" adv_row.sv_ok;
+  (* The server must still be alive and well after all of that. *)
+  (match handle "{\"fictionette-serve\":1,\"kind\":\"ping\"}" with
+  | [ r ] when SP.response_status r = Some "ok" -> ()
+  | _ -> violate "server stopped answering pings after the chaos phase");
+  let stats_payload =
+    match handle "{\"fictionette-serve\":1,\"kind\":\"stats\"}" with
+    | [ r ] -> SJ.mem "result" (serve_normalize r)
+    | _ ->
+        violate "stats request did not yield exactly one response";
+        None
+  in
+  let rows = List.rev !rows in
+  write_serve_json ~cores ~identity_ok ~warm_speedup ~stats_payload rows;
+  Format.printf
+    "@.wrote %s (%d phases); identity with one-shot: %b; warm speedup \
+     %.1fx@."
+    !serve_out (List.length rows) identity_ok warm_speedup;
+  if !violations > 0 then begin
+    Format.eprintf "%d design-server contract violations — failing@."
+      !violations;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all = [ "table1"; "fig1c"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
 
@@ -1893,9 +2252,10 @@ let run = function
   | "sim" -> sim ()
   | "sat" -> sat ()
   | "logic" -> logic ()
+  | "serve" -> serve_bench ()
   | other ->
       Format.printf
-        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf, sim, sat, logic)@."
+        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf, sim, sat, logic, serve)@."
         other (String.concat ", " all)
 
 let () =
@@ -1922,6 +2282,7 @@ let () =
         sat_out := path;
         logic_out := path;
         defects_out := path;
+        serve_out := path;
         scan acc rest
     | x :: rest -> scan (x :: acc) rest
   in

@@ -28,11 +28,25 @@ let engine_arg =
     & opt engine_conv (Core.Flow.Exact Physdesign.Exact.default_config)
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
+(* Validated at parse time so a bad value is a usage error, not an
+   [Invalid_argument] out of [Core.Budget.of_seconds] mid-run. *)
+let deadline_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f >= 0. -> Ok f
+    | Some f ->
+        Error
+          (`Msg
+            (Printf.sprintf "deadline must be finite and non-negative (got %g)" f))
+    | None -> Error (`Msg (Printf.sprintf "invalid deadline %S" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
 let deadline_arg =
   let doc = "Wall-clock budget for the whole flow, in seconds." in
   Arg.(
     value
-    & opt (some float) None
+    & opt (some deadline_conv) None
     & info [ "d"; "deadline" ] ~docv:"SECONDS" ~doc)
 
 let jobs_arg =
@@ -187,36 +201,117 @@ let report_failure f =
   Format.eprintf "error: %a" Core.Flow.pp_failure f;
   1
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit one structured JSON response on stdout, in exactly the \
+           schema of the design server's $(b,design)/$(b,check) responses \
+           (the same execution path serves both).  Incompatible with \
+           $(b,--defects), $(b,--sqd), and $(b,--layout).  Exit codes: 0 \
+           clean, 2 on degradation or a failed check, 1 on a hard error.")
+
+(* One-shot JSON mode: build the same job the server would decode and
+   run it through [Serve.Handlers.run_job] — schema identity with the
+   resident server is by construction, not by parallel maintenance. *)
+let run_json ~paranoid ~source ~engine ~deadline ~conflicts ~no_rewrite ~no_ha
+    =
+  let json_engine = function
+    | Core.Flow.Exact _ -> Serve.Protocol.Engine_exact
+    | Core.Flow.Scalable -> Serve.Protocol.Engine_scalable
+    | Core.Flow.Exact_with_fallback _ -> Serve.Protocol.Engine_fallback
+  in
+  let params =
+    {
+      Serve.Protocol.source;
+      engine = json_engine engine;
+      timeout_ms = Option.map (fun s -> s *. 1000.) deadline;
+      conflict_budget = conflicts;
+      rewrite = not no_rewrite;
+      half_adders = not no_ha;
+      equivalence = true;
+      library = true;
+      chaos = None;
+    }
+  in
+  let job =
+    if paranoid then Serve.Protocol.Check params
+    else Serve.Protocol.Design params
+  in
+  let ctx =
+    {
+      (Serve.Handlers.default_ctx ()) with
+      (* One-shot mode: the caller's deadline is the ceiling (1 h when
+         none) — never silently clamped by the server default. *)
+      Serve.Handlers.max_timeout_ms =
+        (match deadline with Some s -> s *. 1000. | None -> 3_600_000.);
+    }
+  in
+  let response = Serve.Handlers.run_job ctx ~id:Serve.Json.Null job in
+  print_endline (Serve.Json.to_string response);
+  match Serve.Protocol.response_status response with
+  | Some "ok" -> (
+      match Serve.Json.mem "degradation" response with
+      | Some (Serve.Json.List (_ :: _)) -> 2
+      | _ -> 0)
+  | _ -> (
+      let error_kind =
+        Option.bind (Serve.Json.mem "error" response) (fun e ->
+            Option.bind (Serve.Json.mem "kind" e) Serve.Json.str)
+      in
+      match error_kind with
+      | Some ("check_failed" | "budget") -> 2
+      | _ -> 1)
+
+(* [--json] bypasses the textual reporting path entirely, so the flags
+   that only make sense there are rejected loudly instead of ignored. *)
+let json_incompatible ~defects ~sqd ~show_layout =
+  if defects <> None then Some "--defects"
+  else if sqd <> None then Some "--sqd"
+  else if show_layout then Some "--layout"
+  else None
+
 let run_cmd =
   let bench_arg =
     let doc = "Benchmark name (see $(b,fictionette list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
   let action name engine deadline conflicts jobs paranoid no_rewrite no_ha sqd
-      show_layout zones defects =
+      show_layout zones defects json =
     apply_jobs jobs;
-    match load_defect_map defects with
-    | Error e ->
-        Format.eprintf "error: %s@." e;
-        1
-    | Ok defect_map -> (
-        match
-          Core.Flow.run_benchmark
-            ~options:(options_of engine no_rewrite no_ha)
-            ~paranoid ?defect_map
-            ~budget:(budget_of deadline conflicts)
-            name
-        with
-        | Ok result ->
-            report ~extra_checks:(replay_defects defect_map result) result sqd
-              show_layout zones
-        | Error f -> report_failure f)
+    if json then
+      match json_incompatible ~defects ~sqd ~show_layout with
+      | Some flag ->
+          Format.eprintf "error: --json cannot be combined with %s@." flag;
+          1
+      | None ->
+          run_json ~paranoid ~source:(Serve.Protocol.Benchmark name) ~engine
+            ~deadline ~conflicts ~no_rewrite ~no_ha
+    else
+      match load_defect_map defects with
+      | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+      | Ok defect_map -> (
+          match
+            Core.Flow.run_benchmark
+              ~options:(options_of engine no_rewrite no_ha)
+              ~paranoid ?defect_map
+              ~budget:(budget_of deadline conflicts)
+              name
+          with
+          | Ok result ->
+              report ~extra_checks:(replay_defects defect_map result) result
+                sqd show_layout zones
+          | Error f -> report_failure f)
   in
   let term =
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
       $ conflict_budget_arg $ jobs_arg $ paranoid_arg $ no_rewrite_arg
-      $ no_ha_arg $ sqd_arg $ show_layout_arg $ zones_arg $ defects_arg)
+      $ no_ha_arg $ sqd_arg $ show_layout_arg $ zones_arg $ defects_arg
+      $ json_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full flow on a built-in benchmark.")
@@ -227,33 +322,42 @@ let verilog_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.v")
   in
   let action path engine deadline conflicts jobs paranoid no_rewrite no_ha sqd
-      show_layout zones defects =
+      show_layout zones defects json =
     apply_jobs jobs;
     let ic = open_in path in
     let source = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    match load_defect_map defects with
-    | Error e ->
-        Format.eprintf "error: %s@." e;
-        1
-    | Ok defect_map -> (
-        match
-          Core.Flow.run_verilog
-            ~options:(options_of engine no_rewrite no_ha)
-            ~paranoid ?defect_map
-            ~budget:(budget_of deadline conflicts)
-            source
-        with
-        | Ok result ->
-            report ~extra_checks:(replay_defects defect_map result) result sqd
-              show_layout zones
-        | Error f -> report_failure f)
+    if json then
+      match json_incompatible ~defects ~sqd ~show_layout with
+      | Some flag ->
+          Format.eprintf "error: --json cannot be combined with %s@." flag;
+          1
+      | None ->
+          run_json ~paranoid ~source:(Serve.Protocol.Verilog source) ~engine
+            ~deadline ~conflicts ~no_rewrite ~no_ha
+    else
+      match load_defect_map defects with
+      | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+      | Ok defect_map -> (
+          match
+            Core.Flow.run_verilog
+              ~options:(options_of engine no_rewrite no_ha)
+              ~paranoid ?defect_map
+              ~budget:(budget_of deadline conflicts)
+              source
+          with
+          | Ok result ->
+              report ~extra_checks:(replay_defects defect_map result) result
+                sqd show_layout zones
+          | Error f -> report_failure f)
   in
   let term =
     Term.(
       const action $ file_arg $ engine_arg $ deadline_arg $ conflict_budget_arg
       $ jobs_arg $ paranoid_arg $ no_rewrite_arg $ no_ha_arg $ sqd_arg
-      $ show_layout_arg $ zones_arg $ defects_arg)
+      $ show_layout_arg $ zones_arg $ defects_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "verilog" ~doc:"Run the full flow on a gate-level Verilog file.")
@@ -683,8 +787,12 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
-  let action name engine deadline conflicts jobs stats =
+  let action name engine deadline conflicts jobs stats json =
     apply_jobs jobs;
+    if json then
+      run_json ~paranoid:true ~source:(Serve.Protocol.Benchmark name) ~engine
+        ~deadline ~conflicts ~no_rewrite:false ~no_ha:false
+    else
     match
       Core.Flow.run_benchmark
         ~options:{ Core.Flow.default_options with engine }
@@ -719,13 +827,97 @@ let check_cmd =
           passes (2 on a soft check failure, 1 on a hard one).")
     Term.(
       const action $ bench_arg $ engine_arg $ deadline_arg
-      $ conflict_budget_arg $ jobs_arg $ stats_arg)
+      $ conflict_budget_arg $ jobs_arg $ stats_arg $ json_arg)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix-domain socket at $(docv) (connections \
+             handled sequentially) instead of stdin/stdout.")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Accept $(b,chaos) fault-injection fields in requests \
+             (injected worker crashes and mid-request cancellations).  \
+             For testing the server's fault isolation; never enable in \
+             real service.")
+  in
+  let ceiling_arg =
+    Arg.(
+      value
+      & opt deadline_conv 60.
+      & info [ "timeout-ceiling" ] ~docv:"SECONDS"
+          ~doc:
+            "Server-wide budget ceiling: every request's $(b,timeout_ms) \
+             is clamped to this (also the default when absent).")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Batch jobs beyond $(docv) are shed as $(b,overloaded).")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Transient-failure retries per job (each steps down the \
+             engine degradation ladder).")
+  in
+  let action socket chaos ceiling max_batch max_retries jobs =
+    if max_batch < 1 || max_retries < 0 then begin
+      Format.eprintf "error: --max-batch must be >= 1, --max-retries >= 0@.";
+      1
+    end
+    else begin
+      apply_jobs jobs;
+      let config =
+        {
+          Serve.Server.default_config with
+          Serve.Server.chaos;
+          max_timeout_ms = ceiling *. 1000.;
+          max_batch;
+          max_retries;
+          jobs;
+        }
+      in
+      let server = Serve.Server.create ~config () in
+      (match socket with
+      | None -> Serve.Server.serve_channels server stdin stdout
+      | Some path ->
+          Format.eprintf "fictionette: serving on %s@." path;
+          Serve.Server.serve_socket server ~path);
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident design server: a JSON-lines service (one \
+          request object per line on stdin, one response per line on \
+          stdout; see DESIGN.md section 13) accepting $(b,design), \
+          $(b,check), $(b,simulate), $(b,yield), $(b,batch), $(b,stats), \
+          $(b,ping), and $(b,shutdown) requests.  Every request runs \
+          under its own budget; worker crashes become structured errors; \
+          batches are admission-controlled; results are memoized across \
+          requests.")
+    Term.(
+      const action $ socket_arg $ chaos_arg $ ceiling_arg $ max_batch_arg
+      $ max_retries_arg $ jobs_arg)
 
 let main =
   let doc = "Design automation for silicon dangling bond logic" in
   Cmd.group
     (Cmd.info "fictionette" ~version:"0.1" ~doc)
     [ run_cmd; verilog_cmd; design_cmd; check_cmd; synth_cmd; list_cmd;
-      table1_cmd; gates_cmd; yield_cmd ]
+      table1_cmd; gates_cmd; yield_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

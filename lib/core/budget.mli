@@ -22,6 +22,7 @@ val with_conflicts : int option -> t -> t
 val without_deadline : t -> t
 val is_unlimited : t -> bool
 val remaining_s : t -> float option
+val remaining : t -> float option
 val expired : t -> bool
 val check : t -> reason option
 val fraction : float -> t -> t

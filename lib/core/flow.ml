@@ -135,12 +135,104 @@ let pp_failure ppf f =
       Format.fprintf ppf "partial artifacts: %s@." (String.concat ", " got));
   Format.fprintf ppf "elapsed: %.3fs@." f.diagnostics.elapsed_s
 
+(* --- cross-request memo ------------------------------------------------ *)
+
+module Memo = struct
+  type layout_entry = {
+    me_layout : Layout.Gate_layout.t;
+    me_engine_used : engine_used;
+    me_attempts : int;
+    me_rounds : int;
+  }
+
+  type stats = {
+    synth_hits : int;
+    synth_misses : int;
+    layout_hits : int;
+    layout_misses : int;
+    verdict_hits : int;
+    verdict_misses : int;
+  }
+
+  type t = {
+    mutex : Mutex.t;
+    synth : (string, Logic.Network.t * Logic.Mapped.t) Hashtbl.t;
+    layouts : (string, layout_entry) Hashtbl.t;
+    verdicts : (string, Verify.Equivalence.verdict) Hashtbl.t;
+    mutable s : stats;
+  }
+
+  let empty_stats =
+    {
+      synth_hits = 0;
+      synth_misses = 0;
+      layout_hits = 0;
+      layout_misses = 0;
+      verdict_hits = 0;
+      verdict_misses = 0;
+    }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      synth = Hashtbl.create 64;
+      layouts = Hashtbl.create 64;
+      verdicts = Hashtbl.create 64;
+      s = empty_stats;
+    }
+
+  let stats m =
+    Mutex.lock m.mutex;
+    let s = m.s in
+    Mutex.unlock m.mutex;
+    s
+
+  let hit_rate ~hits ~misses =
+    let total = hits + misses in
+    if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+  (* Generic guarded lookup: [compute] runs OUTSIDE the lock (it can be
+     a whole physical-design run); a racing duplicate computation is
+     possible and harmless (last store wins, results are deterministic),
+     while holding the lock across [compute] would serialize the pool. *)
+  let find m table key =
+    Mutex.lock m.mutex;
+    let r = Hashtbl.find_opt table key in
+    Mutex.unlock m.mutex;
+    r
+
+  let store m table key v =
+    Mutex.lock m.mutex;
+    Hashtbl.replace table key v;
+    Mutex.unlock m.mutex
+
+  let bump m f =
+    Mutex.lock m.mutex;
+    m.s <- f m.s;
+    Mutex.unlock m.mutex
+end
+
 let now = Sys.time
 
 exception Fail of failure
 
+let engine_desc = function
+  | Exact c -> Printf.sprintf "exact:%x" (Hashtbl.hash c)
+  | Scalable -> "scalable"
+  | Exact_with_fallback c -> Printf.sprintf "fallback:%x" (Hashtbl.hash c)
+
 let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
-    ?defect_map ?(budget = Budget.unlimited) specification =
+    ?defect_map ?memo ?(budget = Budget.unlimited) specification =
+  (* The memo is usable only when its key determines the artifact: the
+     [corrupt_mapped] test hook and a defect map (whose identity is not
+     part of the key) disable it outright; paranoid runs re-derive and
+     re-check physical design and verification, so they only share the
+     synthesis tables. *)
+  let memo =
+    match (memo, corrupt_mapped) with
+    | Some _, Some _ | None, _ -> None
+    | Some (key, m), None -> Some (key, m)
+  in
   (* One memoized surface view per run: the exact engine's candidate
      sweep and the scalable engine's retries then share blocked-tile
      verdicts, and only tiles near charged defects ever pay for a
@@ -174,14 +266,47 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
     raise (Fail { failed_step; message; budget_reason; partial; diagnostics })
   in
   try
-    (* Step 2: logic rewriting. *)
+    (* Steps 2 + 3: logic rewriting and technology mapping, memoized as
+       a pair under the caller's structural key (the two artifacts are
+       produced and consumed together). *)
     let t0 = now () in
-    let optimized =
-      if options.rewrite then Logic.Rewrite.rewrite_to_fixpoint specification
-      else Logic.Network.cleanup specification
+    let synth_key =
+      Option.map
+        (fun (key, m) ->
+          ( Printf.sprintf "%s|rw=%b|ha=%b" key options.rewrite
+              options.fuse_half_adders,
+            m ))
+        memo
+    in
+    let compute_synth () =
+      let optimized =
+        if options.rewrite then Logic.Rewrite.rewrite_to_fixpoint specification
+        else Logic.Network.cleanup specification
+      in
+      let mapped, _map_stats =
+        Logic.Tech_map.map ~fuse_half_adders:options.fuse_half_adders optimized
+      in
+      (optimized, mapped)
+    in
+    let optimized, mapped =
+      match synth_key with
+      | None -> compute_synth ()
+      | Some (k, m) -> (
+          match Memo.find m m.Memo.synth k with
+          | Some pair ->
+              Memo.bump m (fun s ->
+                  { s with Memo.synth_hits = s.Memo.synth_hits + 1 });
+              pair
+          | None ->
+              let pair = compute_synth () in
+              Memo.store m m.Memo.synth k pair;
+              Memo.bump m (fun s ->
+                  { s with Memo.synth_misses = s.Memo.synth_misses + 1 });
+              pair)
     in
     (* Paranoid: re-simulate the optimized network against the source
-       specification — do not trust the rewriter. *)
+       specification — do not trust the rewriter (nor, on a memo hit,
+       the cached artifact). *)
     if paranoid then begin
       (match Verify.Resim.check_rewrite ~specification ~optimized with
       | Ok () -> pass "rewrite re-simulation"
@@ -190,13 +315,10 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
             { no_partial with partial_optimized = Some optimized }
             msg)
     end;
-    (* Step 3: technology mapping. *)
-    let mapped, _map_stats =
-      Logic.Tech_map.map ~fuse_half_adders:options.fuse_half_adders optimized
-    in
     (* Test hook: inject a corruption after mapping, before the paranoid
        cross-check — lets tests prove the check (not some downstream
-       accident) catches a wrong mapping. *)
+       accident) catches a wrong mapping.  (The memo is disabled when the
+       hook is present.) *)
     let mapped =
       match corrupt_mapped with None -> mapped | Some f -> f mapped
     in
@@ -256,7 +378,7 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
       if r.Physdesign.Exact.certified_refutations > 0 then
         pass "candidate refutation proofs"
     in
-    let pd =
+    let compute_pd () =
       match options.engine with
       | Scalable -> (
           match run_scalable () with
@@ -330,6 +452,48 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
                       reason,
                       attempts,
                       rounds )))
+    in
+    (* Placement memo: only clean, defect-free, non-paranoid runs.  A
+       result produced after a budget-driven degradation is not stored —
+       it reflects this run's budget history, not the engine's answer,
+       and a later, better-funded request must not inherit it. *)
+    let pd_key =
+      match synth_key with
+      | Some (k, m) when (not paranoid) && defect_map = None ->
+          Some (Printf.sprintf "%s|pd=%s" k (engine_desc options.engine), m)
+      | _ -> None
+    in
+    let pd =
+      match pd_key with
+      | None -> compute_pd ()
+      | Some (k, m) -> (
+          match Memo.find m m.Memo.layouts k with
+          | Some e ->
+              Memo.bump m (fun s ->
+                  { s with Memo.layout_hits = s.Memo.layout_hits + 1 });
+              Ok
+                ( e.Memo.me_layout,
+                  e.Memo.me_engine_used,
+                  e.Memo.me_attempts,
+                  e.Memo.me_rounds,
+                  Sat.Solver.empty_stats )
+          | None ->
+              Memo.bump m (fun s ->
+                  { s with Memo.layout_misses = s.Memo.layout_misses + 1 });
+              let degr_before = List.length !degradations in
+              let r = compute_pd () in
+              (match r with
+              | Ok (layout, engine_used, attempts, rounds, _)
+                when List.length !degradations = degr_before ->
+                  Memo.store m m.Memo.layouts k
+                    {
+                      Memo.me_layout = layout;
+                      me_engine_used = engine_used;
+                      me_attempts = attempts;
+                      me_rounds = rounds;
+                    }
+              | _ -> ());
+              r)
     in
     match pd with
     | Error (message, budget_reason, attempts, rounds) ->
@@ -420,22 +584,53 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
                     fail Verification partial_pd ~diagnostics:(full_diag ())
                       (Verify.Equivalence.verdict_to_string verdict))
           end
-          else if options.check_equivalence then
+          else if options.check_equivalence then begin
+            (* Verdict memo: keyed like the placement (same layout ⇒
+               same miter).  Undecided verdicts are never stored — they
+               describe a budget, not the design. *)
+            let vkey =
+              Option.map
+                (fun (k, m) -> (Printf.sprintf "%s|eq" k, m))
+                pd_key
+            in
             match
-              Verify.Equivalence.check_layout ~budget:verify_budget
-                specification gate_layout
+              Option.bind vkey (fun (k, m) ->
+                  match Memo.find m m.Memo.verdicts k with
+                  | Some v ->
+                      Memo.bump m (fun s ->
+                          { s with Memo.verdict_hits = s.Memo.verdict_hits + 1 });
+                      Some v
+                  | None ->
+                      Memo.bump m (fun s ->
+                          {
+                            s with
+                            Memo.verdict_misses = s.Memo.verdict_misses + 1;
+                          });
+                      None)
             with
-            | Ok (Verify.Equivalence.Undecided r as verdict) ->
-                degrade
-                  (Printf.sprintf "verification: miter solve undecided (%s)"
-                     (Budget.reason_to_string r));
-                (Some verdict, None)
-            | Ok verdict -> (Some verdict, None)
-            | Error msg ->
-                ( Some
-                    (Verify.Equivalence.Interface_mismatch
-                       ("extraction: " ^ msg)),
-                  None )
+            | Some verdict -> (Some verdict, None)
+            | None -> (
+                match
+                  Verify.Equivalence.check_layout ~budget:verify_budget
+                    specification gate_layout
+                with
+                | Ok (Verify.Equivalence.Undecided r as verdict) ->
+                    degrade
+                      (Printf.sprintf
+                         "verification: miter solve undecided (%s)"
+                         (Budget.reason_to_string r));
+                    (Some verdict, None)
+                | Ok verdict ->
+                    (match vkey with
+                    | Some (k, m) -> Memo.store m m.Memo.verdicts k verdict
+                    | None -> ());
+                    (Some verdict, None)
+                | Error msg ->
+                    ( Some
+                        (Verify.Equivalence.Interface_mismatch
+                           ("extraction: " ^ msg)),
+                      None ))
+          end
           else (None, None)
         in
         let verification_s = now () -. t2 in
@@ -515,17 +710,19 @@ let parse_failure message =
     diagnostics = empty_diagnostics;
   }
 
-let run_verilog ?options ?paranoid ?defect_map ?budget source =
+let run_verilog ?options ?paranoid ?defect_map ?memo ?budget source =
   match Logic.Verilog.parse source with
   | exception Logic.Verilog.Parse_error msg ->
       Error (parse_failure ("parse: " ^ msg))
-  | network -> run ?options ?paranoid ?defect_map ?budget network
+  | network -> run ?options ?paranoid ?defect_map ?memo ?budget network
 
-let run_benchmark ?options ?paranoid ?defect_map ?budget name =
+let run_benchmark ?options ?paranoid ?defect_map ?memo ?budget name =
   match Logic.Benchmarks.find name with
   | exception Not_found ->
       Error (parse_failure (Printf.sprintf "unknown benchmark %S" name))
-  | b -> run ?options ?paranoid ?defect_map ?budget (b.Logic.Benchmarks.build ())
+  | b ->
+      run ?options ?paranoid ?defect_map ?memo ?budget
+        (b.Logic.Benchmarks.build ())
 
 let export_sqd result ?(inputs = []) ~path () =
   match Bestagon.Library.apply ~inputs result.supertiled with

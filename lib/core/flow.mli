@@ -153,6 +153,51 @@ type failure = {
   diagnostics : diagnostics;
 }
 
+(** {2 Cross-request memo}
+
+    A {!Memo.t} caches the flow's expensive intermediate artifacts
+    {e across} runs: the synthesized pair (optimized network + mapped
+    netlist), the placed-and-routed gate layout, and the equivalence
+    verdict, each keyed by the caller's structural key for the
+    specification plus every option that shapes the artifact.  The
+    resident design server shares one memo over all requests; repeated
+    or structurally identical submissions then skip synthesis, physical
+    design, and the miter solve entirely.
+
+    Soundness rules, enforced by {!run}:
+    - the [corrupt_mapped] test hook or a [defect_map] disable the memo
+      for that run (their identity is not part of the key);
+    - paranoid runs share only the synthesis table — physical design
+      and verification are re-derived so their cross-checks are real;
+    - a layout produced after a budget-driven degradation is not
+      stored, and [Undecided] verdicts are never stored (both describe
+      this run's budget, not the design).
+
+    All operations are thread-safe (the server dispatches jobs across
+    {!Parallel.Pool} domains); a racing duplicate computation is
+    possible and harmless because flow results are deterministic. *)
+
+module Memo : sig
+  type t
+
+  val create : unit -> t
+
+  type stats = {
+    synth_hits : int;
+    synth_misses : int;
+    layout_hits : int;
+    layout_misses : int;
+    verdict_hits : int;
+    verdict_misses : int;
+  }
+
+  val empty_stats : stats
+  val stats : t -> stats
+
+  val hit_rate : hits:int -> misses:int -> float
+  (** [hits / (hits + misses)], 0 when empty. *)
+end
+
 val error_message : failure -> string
 (** One-line ["<step>: <message>"] form. *)
 
@@ -163,6 +208,7 @@ val run :
   ?paranoid:bool ->
   ?corrupt_mapped:(Logic.Mapped.t -> Logic.Mapped.t) ->
   ?defect_map:Sidb.Defect_map.t ->
+  ?memo:string * Memo.t ->
   ?budget:Budget.t ->
   Logic.Network.t ->
   (result, failure) Stdlib.result
@@ -184,12 +230,18 @@ val run :
     absolute lattice frame, and a map leaving no feasible placement
     surfaces as the structured {!Physical_design} failure.  Paranoid
     runs additionally re-check that no placed tile sits on a blocked
-    coordinate ("defect avoidance" in [result.checks]). *)
+    coordinate ("defect avoidance" in [result.checks]).
+
+    [memo] is [(key, memo)] where [key] is the caller's structural key
+    for [specification] (e.g. a digest of its source): intermediate
+    artifacts are then reused across runs under the soundness rules
+    documented at {!Memo}. *)
 
 val run_verilog :
   ?options:options ->
   ?paranoid:bool ->
   ?defect_map:Sidb.Defect_map.t ->
+  ?memo:string * Memo.t ->
   ?budget:Budget.t ->
   string ->
   (result, failure) Stdlib.result
@@ -199,6 +251,7 @@ val run_benchmark :
   ?options:options ->
   ?paranoid:bool ->
   ?defect_map:Sidb.Defect_map.t ->
+  ?memo:string * Memo.t ->
   ?budget:Budget.t ->
   string ->
   (result, failure) Stdlib.result

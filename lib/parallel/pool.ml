@@ -4,7 +4,18 @@
    call enqueues one task per participating worker, and the task loops
    stealing chunks off a per-call atomic counter.  The caller's domain
    participates too, so [jobs] ways of parallelism need only [jobs - 1]
-   pool workers. *)
+   pool workers.
+
+   Reentrancy: a caller (or a worker running a task) that reaches the
+   end of its own chunks does not block waiting for its map to finish —
+   it *helps*, popping and running whatever task is queued, and only
+   sleeps when the queue is empty.  Task completions broadcast the same
+   condition the queue uses, so helpers wake on either event.  This is
+   what makes nested maps safe: the design server dispatches whole flow
+   jobs onto the pool, and each flow calls [map] again internally (exact
+   P&R candidate rounds, sweeps); without helping, a full complement of
+   workers blocked in inner waits would deadlock on their own queued
+   sub-tasks. *)
 
 (* --- worker-count policy --------------------------------------------- *)
 
@@ -35,6 +46,9 @@ let default_jobs () =
 type pool = {
   mutex : Mutex.t;
   work_ready : Condition.t;
+      (* Signalled on task submission AND broadcast on task completion:
+         both workers waiting for work and helpers waiting for their
+         call to finish sleep on it. *)
   queue : (unit -> unit) Queue.t;
   mutable workers : unit Domain.t list;
   mutable stopping : bool;
@@ -103,6 +117,17 @@ let serial_map n f =
     results
   end
 
+(* Record an exception keeping the lowest-raising index: the contract is
+   that [map] re-raises the exception of the lowest-indexed raising job,
+   whatever the schedule — error attribution downstream (the server
+   pinpointing which request of a batch crashed) depends on it. *)
+let rec record_error error i e bt =
+  match Atomic.get error with
+  | Some (j, _, _) when j <= i -> ()
+  | cur ->
+      if not (Atomic.compare_and_set error cur (Some (i, e, bt))) then
+        record_error error i e bt
+
 let parallel_map ~jobs n f =
   let results = Array.make n None in
   let next = Atomic.make 0 in
@@ -115,43 +140,56 @@ let parallel_map ~jobs n f =
   let work () =
     let continue = ref true in
     while !continue do
-      if Atomic.get error <> None then continue := false
-      else begin
-        let start = Atomic.fetch_and_add next chunk in
-        if start >= n then continue := false
-        else
-          let stop = min n (start + chunk) in
-          try
-            for i = start to stop - 1 do
-              results.(i) <- Some (f i)
-            done
-          with e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set error None (Some (e, bt)))
-      end
+      let start = Atomic.fetch_and_add next chunk in
+      if start >= n then continue := false
+      else
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          (* After an error, indices above the current lowest raiser are
+             abandoned; indices below it must still run so the lowest
+             raiser is found deterministically (for a pure [f] the set of
+             raising indices is fixed, hence so is its minimum). *)
+          match Atomic.get error with
+          | Some (j, _, _) when i > j -> ()
+          | _ -> (
+              try results.(i) <- Some (f i)
+              with e ->
+                let bt = Printexc.get_raw_backtrace () in
+                record_error error i e bt)
+        done
     done
   in
   let p = Lazy.force the_pool in
   ensure_workers p (jobs - 1);
-  let done_mutex = Mutex.create () in
-  let all_done = Condition.create () in
-  let remaining = ref (jobs - 1) in
+  let remaining = Atomic.make (jobs - 1) in
   for _ = 1 to jobs - 1 do
     submit p (fun () ->
         work ();
-        Mutex.lock done_mutex;
-        decr remaining;
-        if !remaining = 0 then Condition.broadcast all_done;
-        Mutex.unlock done_mutex)
+        (* Completion must take the pool lock before broadcasting so a
+           helper cannot check [remaining] and sleep between our
+           decrement and our broadcast. *)
+        Mutex.lock p.mutex;
+        ignore (Atomic.fetch_and_add remaining (-1));
+        Condition.broadcast p.work_ready;
+        Mutex.unlock p.mutex)
   done;
   work ();
-  Mutex.lock done_mutex;
-  while !remaining > 0 do
-    Condition.wait all_done done_mutex
+  (* Help until every submitted task has finished: run queued tasks
+     (ours or any nested call's) instead of blocking, and sleep only
+     when there is nothing to run. *)
+  Mutex.lock p.mutex;
+  while Atomic.get remaining > 0 do
+    if Queue.is_empty p.queue then Condition.wait p.work_ready p.mutex
+    else begin
+      let task = Queue.pop p.queue in
+      Mutex.unlock p.mutex;
+      task ();
+      Mutex.lock p.mutex
+    end
   done;
-  Mutex.unlock done_mutex;
+  Mutex.unlock p.mutex;
   match Atomic.get error with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
   | None ->
       Array.map (function Some v -> v | None -> assert false) results
 

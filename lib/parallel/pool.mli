@@ -13,9 +13,18 @@
       or on a single-core host) never touches the pool, spawns no
       domains, and evaluates [f 0 … f (n-1)] in order on the calling
       domain — the exact serial code path.
-    - {b Exceptions.} If any [f i] raises, one of the raised exceptions
-      is re-raised on the caller (with its backtrace) after all workers
-      have quiesced; remaining chunks are abandoned.
+    - {b Exceptions.} If any [f i] raises, the exception of the
+      {e lowest-indexed} raising job is re-raised on the caller (with
+      its backtrace) after all workers have quiesced — deterministic,
+      whatever the schedule, for a pure [f].  Indices above the lowest
+      raiser found so far are abandoned; indices below it still run, so
+      the propagated exception is always the one a serial left-to-right
+      evaluation would have hit first.  (The design server's per-request
+      error attribution depends on this determinism.)
+    - {b Reentrancy.} [map] may be called from inside an [f] running on
+      a pool worker: a completed participant {e helps} by running queued
+      tasks (its own call's or any nested call's) instead of blocking,
+      so nested maps cannot deadlock even with every worker busy.
     - {b Fixed pool.} Worker domains are spawned lazily on first
       parallel call, reused for every subsequent call, and joined at
       process exit.  The pool grows to the largest [jobs - 1] ever

@@ -10,6 +10,15 @@ let never () = false
 let unlimited = { deadline = None; conflicts = None; cancelled = never }
 
 let of_seconds ?conflicts ?(cancelled = never) s =
+  (* The server derives child budgets arithmetically (shares, backoff
+     subtractions); a NaN or negative duration would silently become a
+     deadline that never trips — i.e. a hung request. *)
+  if not (Float.is_finite s) || s < 0. then
+    invalid_arg
+      (Printf.sprintf
+         "Sat.Budget.of_seconds: duration must be finite and non-negative \
+          (got %g)"
+         s);
   { deadline = Some (Unix.gettimeofday () +. s); conflicts; cancelled }
 
 let of_conflicts n = { unlimited with conflicts = Some n }
@@ -19,6 +28,9 @@ let is_unlimited b = b.deadline = None && b.conflicts = None
 
 let remaining_s b =
   Option.map (fun d -> d -. Unix.gettimeofday ()) b.deadline
+
+let remaining b =
+  Option.map (fun d -> Float.max 0. (d -. Unix.gettimeofday ())) b.deadline
 
 let expired b =
   match b.deadline with

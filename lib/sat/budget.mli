@@ -27,7 +27,11 @@ val unlimited : t
 (** No deadline, no conflict bound, never cancelled. *)
 
 val of_seconds : ?conflicts:int -> ?cancelled:(unit -> bool) -> float -> t
-(** [of_seconds s] expires [s] seconds from now. *)
+(** [of_seconds s] expires [s] seconds from now.
+    @raise Invalid_argument when [s] is NaN, infinite, or negative —
+    callers deriving budgets arithmetically (the design server computes
+    per-request shares and backoff remainders) would otherwise plant a
+    deadline that never trips. *)
 
 val of_conflicts : int -> t
 
@@ -42,6 +46,12 @@ val is_unlimited : t -> bool
 val remaining_s : t -> float option
 (** Seconds until the deadline ([None] when unbounded); can be
     negative. *)
+
+val remaining : t -> float option
+(** Like {!remaining_s} but clamped at [0.] — the form safe to feed back
+    into {!of_seconds} when deriving a child budget from what is left of
+    a parent (an already-expired parent yields a zero-length child, not
+    an [Invalid_argument]). *)
 
 val expired : t -> bool
 (** The deadline (if any) has passed. *)

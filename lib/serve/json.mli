@@ -1,0 +1,47 @@
+(** A minimal JSON implementation for the design server's wire protocol.
+
+    Stdlib-only by design (ROADMAP rule: no new dependencies).  The
+    subset is exactly what the JSON-lines protocol needs: parse one
+    request object off one line, build one response object, print it on
+    one line.
+
+    The parser is written for a {e hostile} boundary: it never raises on
+    any input (the [-serve] fuzz property feeds it random bytes), it
+    bounds nesting depth so a ["[[[[…"] line cannot blow the stack, and
+    it rejects trailing garbage so framing errors surface as structured
+    parse errors instead of silent truncation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val max_depth : int
+(** Nesting bound of the parser (64); deeper input is a parse error. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document.  Never raises.  Numbers use OCaml
+    float semantics, so extreme exponents parse to infinities — request
+    validation must therefore check finiteness (see
+    {!Protocol.of_json}). *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines, minimal whitespace).
+    Non-finite numbers render as [null] rather than producing invalid
+    JSON. *)
+
+(** {2 Accessors} — total, [option]-returning. *)
+
+val mem : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val str : t -> string option
+val num : t -> float option
+val bool_ : t -> bool option
+val int_ : t -> int option
+(** [Num] holding an integral value within [int] range. *)
+
+val list_ : t -> t list option

@@ -1,0 +1,152 @@
+let buckets_ms = [| 1.; 3.; 10.; 30.; 100.; 300.; 1000.; 3000.; 10000. |]
+
+type hist = {
+  mutable count : int;
+  mutable ok : int;
+  mutable errors : int;
+  counts : int array;  (* length = Array.length buckets_ms + 1 (overflow) *)
+  mutable sum_ms : float;
+  mutable max_ms : float;
+}
+
+type t = {
+  mutex : Mutex.t;
+  by_kind : (string, hist) Hashtbl.t;
+  mutable retries : int;
+  mutable degraded : int;
+  mutable shed : int;
+  mutable protocol_errors : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    by_kind = Hashtbl.create 8;
+    retries = 0;
+    degraded = 0;
+    shed = 0;
+    protocol_errors = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let hist_for t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          count = 0;
+          ok = 0;
+          errors = 0;
+          counts = Array.make (Array.length buckets_ms + 1) 0;
+          sum_ms = 0.;
+          max_ms = 0.;
+        }
+      in
+      Hashtbl.add t.by_kind kind h;
+      h
+
+let bucket_index ms =
+  let n = Array.length buckets_ms in
+  let rec go i = if i >= n then n else if ms <= buckets_ms.(i) then i else go (i + 1) in
+  go 0
+
+let record t ~kind ~status ~latency_ms =
+  locked t (fun () ->
+      let h = hist_for t kind in
+      h.count <- h.count + 1;
+      if status = "ok" then h.ok <- h.ok + 1 else h.errors <- h.errors + 1;
+      let ms = Float.max 0. latency_ms in
+      h.counts.(bucket_index ms) <- h.counts.(bucket_index ms) + 1;
+      h.sum_ms <- h.sum_ms +. ms;
+      if ms > h.max_ms then h.max_ms <- ms)
+
+let incr_retries t = locked t (fun () -> t.retries <- t.retries + 1)
+let incr_degraded t = locked t (fun () -> t.degraded <- t.degraded + 1)
+let incr_shed t = locked t (fun () -> t.shed <- t.shed + 1)
+
+let incr_protocol_errors t =
+  locked t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
+
+(* Upper bound of the bucket holding quantile [q]; the overflow bucket
+   reports the max latency seen. *)
+let quantile h q =
+  if h.count = 0 then 0.
+  else begin
+    let target = int_of_float (Float.round (q *. float_of_int h.count)) in
+    let target = if target < 1 then 1 else target in
+    let n = Array.length buckets_ms in
+    let rec go i acc =
+      if i > n then h.max_ms
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= target then (if i = n then h.max_ms else buckets_ms.(i))
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int h.count));
+      ("ok", Json.Num (float_of_int h.ok));
+      ("errors", Json.Num (float_of_int h.errors));
+      ("mean_ms", Json.Num (if h.count = 0 then 0. else h.sum_ms /. float_of_int h.count));
+      ("max_ms", Json.Num h.max_ms);
+      ("p50_ms", Json.Num (quantile h 0.50));
+      ("p90_ms", Json.Num (quantile h 0.90));
+      ("p99_ms", Json.Num (quantile h 0.99));
+      ( "buckets_ms",
+        Json.List (Array.to_list (Array.map (fun b -> Json.Num b) buckets_ms)) );
+      ( "bucket_counts",
+        Json.List
+          (Array.to_list (Array.map (fun c -> Json.Num (float_of_int c)) h.counts))
+      );
+    ]
+
+let to_json t ~uptime_s ~memo =
+  locked t (fun () ->
+      let open Core.Flow.Memo in
+      let kinds =
+        Hashtbl.fold (fun kind h acc -> (kind, hist_json h) :: acc) t.by_kind []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let total, ok, errors =
+        Hashtbl.fold
+          (fun _ h (t', o, e) -> (t' + h.count, o + h.ok, e + h.errors))
+          t.by_kind (0, 0, 0)
+      in
+      Json.Obj
+        [
+          ("uptime_s", Json.Num uptime_s);
+          ("served", Json.Num (float_of_int total));
+          ("ok", Json.Num (float_of_int ok));
+          ("errors", Json.Num (float_of_int errors));
+          ("retries", Json.Num (float_of_int t.retries));
+          ("degraded", Json.Num (float_of_int t.degraded));
+          ("shed", Json.Num (float_of_int t.shed));
+          ("protocol_errors", Json.Num (float_of_int t.protocol_errors));
+          ( "cache",
+            Json.Obj
+              [
+                ("synth_hits", Json.Num (float_of_int memo.synth_hits));
+                ("synth_misses", Json.Num (float_of_int memo.synth_misses));
+                ( "synth_hit_rate",
+                  Json.Num (hit_rate ~hits:memo.synth_hits ~misses:memo.synth_misses) );
+                ("layout_hits", Json.Num (float_of_int memo.layout_hits));
+                ("layout_misses", Json.Num (float_of_int memo.layout_misses));
+                ( "layout_hit_rate",
+                  Json.Num (hit_rate ~hits:memo.layout_hits ~misses:memo.layout_misses)
+                );
+                ("verdict_hits", Json.Num (float_of_int memo.verdict_hits));
+                ("verdict_misses", Json.Num (float_of_int memo.verdict_misses));
+                ( "verdict_hit_rate",
+                  Json.Num
+                    (hit_rate ~hits:memo.verdict_hits ~misses:memo.verdict_misses) );
+              ] );
+          ("kinds", Json.Obj kinds);
+        ])

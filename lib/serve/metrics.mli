@@ -1,0 +1,31 @@
+(** Service counters and per-kind latency histograms.
+
+    One {!t} lives for the server's lifetime; every operation is
+    thread-safe (jobs complete on {!Parallel.Pool} domains).  Latencies
+    are recorded in fixed millisecond buckets so the ["stats"] response
+    can report tail behaviour (p50/p90/p99 upper bounds) without keeping
+    every sample. *)
+
+type t
+
+val create : unit -> t
+
+val buckets_ms : float array
+(** Upper bounds of the latency buckets, in ms; one implicit overflow
+    bucket follows the last. *)
+
+val record : t -> kind:string -> status:string -> latency_ms:float -> unit
+(** Count one finished request of [kind] and bucket its latency.
+    [status] feeds the served/error counters. *)
+
+val incr_retries : t -> unit
+val incr_degraded : t -> unit
+val incr_shed : t -> unit
+val incr_protocol_errors : t -> unit
+(** Lines that never became a job: parse, version, or envelope errors. *)
+
+val to_json :
+  t -> uptime_s:float -> memo:Core.Flow.Memo.stats -> Json.t
+(** The ["stats"] response payload: uptime, counters, cache hit rates,
+    and per-kind histograms with approximate p50/p90/p99 (each quantile
+    reported as its bucket's upper bound). *)

@@ -1,0 +1,260 @@
+let version = 1
+
+type source = Benchmark of string | Verilog of string
+
+type engine = Engine_exact | Engine_scalable | Engine_fallback
+
+let engine_to_string = function
+  | Engine_exact -> "exact"
+  | Engine_scalable -> "scalable"
+  | Engine_fallback -> "fallback"
+
+type chaos = Chaos_raise | Chaos_cancel
+
+type design_params = {
+  source : source;
+  engine : engine;
+  timeout_ms : float option;
+  conflict_budget : int option;
+  rewrite : bool;
+  half_adders : bool;
+  equivalence : bool;
+  library : bool;
+  chaos : chaos option;
+}
+
+type yield_params = {
+  y_source : source;
+  trials : int;
+  seed : int;
+  missing : int;
+  extra : int;
+  charged : int;
+  y_timeout_ms : float option;
+  y_chaos : chaos option;
+}
+
+type job =
+  | Design of design_params
+  | Check of design_params
+  | Simulate of { gate : string; sim_chaos : chaos option }
+  | Yield of yield_params
+
+let job_kind = function
+  | Design _ -> "design"
+  | Check _ -> "check"
+  | Simulate _ -> "simulate"
+  | Yield _ -> "yield"
+
+let job_timeout_ms = function
+  | Design p | Check p -> p.timeout_ms
+  | Simulate _ -> None
+  | Yield p -> p.y_timeout_ms
+
+let job_chaos = function
+  | Design p | Check p -> p.chaos
+  | Simulate { sim_chaos; _ } -> sim_chaos
+  | Yield p -> p.y_chaos
+
+type request =
+  | Single of { id : Json.t; job : job }
+  | Batch of { id : Json.t; jobs : (Json.t * (job, string * string) result) list }
+  | Stats of { id : Json.t }
+  | Ping of { id : Json.t }
+  | Shutdown of { id : Json.t }
+
+type limits = { max_source_bytes : int; allow_chaos : bool }
+
+(* --- decoding ----------------------------------------------------------- *)
+
+exception Bad of string * string
+(* (error kind, message) — local to [decode], always caught there. *)
+
+let bad kind fmt = Printf.ksprintf (fun m -> raise (Bad (kind, m))) fmt
+let invalid fmt = bad "invalid_request" fmt
+
+let id_of j =
+  match Json.mem "id" j with
+  | Some ((Json.Str _ | Json.Num _ | Json.Null) as id) -> id
+  | Some _ -> invalid "\"id\" must be a string, number, or null"
+  | None -> Json.Null
+
+let field_str j key =
+  match Json.mem key j with
+  | None -> None
+  | Some v -> (
+      match Json.str v with
+      | Some s -> Some s
+      | None -> invalid "%S must be a string" key)
+
+let field_bool j key ~default =
+  match Json.mem key j with
+  | None -> default
+  | Some v -> (
+      match Json.bool_ v with
+      | Some b -> b
+      | None -> invalid "%S must be a boolean" key)
+
+let field_int j key ~default ~min ~max =
+  match Json.mem key j with
+  | None -> default
+  | Some v -> (
+      match Json.int_ v with
+      | Some i when i >= min && i <= max -> i
+      | Some i -> invalid "%S out of range (got %d, want %d..%d)" key i min max
+      | None -> invalid "%S must be an integer" key)
+
+let source_of limits j =
+  match (field_str j "benchmark", field_str j "verilog") with
+  | Some _, Some _ -> invalid "give either \"benchmark\" or \"verilog\", not both"
+  | Some b, None -> Benchmark b
+  | None, Some v ->
+      if String.length v > limits.max_source_bytes then
+        bad "oversized" "inline verilog is %d bytes (limit %d)"
+          (String.length v) limits.max_source_bytes
+      else Verilog v
+  | None, None -> invalid "missing \"benchmark\" or \"verilog\" source"
+
+let timeout_of j key =
+  match Json.mem key j with
+  | None -> None
+  | Some v -> (
+      match Json.num v with
+      | Some f when Float.is_finite f && f > 0. -> Some f
+      | Some f -> invalid "%S must be a finite positive number (got %g)" key f
+      | None -> invalid "%S must be a number" key)
+
+let chaos_of limits j =
+  match Json.mem "chaos" j with
+  | None -> None
+  | Some v when not limits.allow_chaos ->
+      ignore v;
+      invalid "\"chaos\" is not accepted (server not in chaos mode)"
+  | Some v -> (
+      match Json.str v with
+      | Some "raise" -> Some Chaos_raise
+      | Some "cancel" -> Some Chaos_cancel
+      | _ -> invalid "\"chaos\" must be \"raise\" or \"cancel\"")
+
+let engine_of j =
+  match field_str j "engine" with
+  | None -> Some Engine_exact
+  | Some "exact" -> Some Engine_exact
+  | Some "scalable" -> Some Engine_scalable
+  | Some "fallback" -> Some Engine_fallback
+  | Some s -> invalid "unknown engine %S (want exact/scalable/fallback)" s
+
+let design_of limits j =
+  {
+    source = source_of limits j;
+    engine = (match engine_of j with Some e -> e | None -> Engine_exact);
+    timeout_ms = timeout_of j "timeout_ms";
+    conflict_budget =
+      (match field_int j "conflict_budget" ~default:(-1) ~min:1 ~max:max_int with
+      | -1 -> None
+      | n -> Some n);
+    rewrite = field_bool j "rewrite" ~default:true;
+    half_adders = field_bool j "half_adders" ~default:true;
+    equivalence = field_bool j "equivalence" ~default:true;
+    library = field_bool j "library" ~default:true;
+    chaos = chaos_of limits j;
+  }
+
+let yield_of limits j =
+  {
+    y_source = source_of limits j;
+    trials = field_int j "trials" ~default:100 ~min:1 ~max:100_000;
+    seed = field_int j "seed" ~default:0 ~min:0 ~max:max_int;
+    missing = field_int j "missing" ~default:1 ~min:0 ~max:10_000;
+    extra = field_int j "extra" ~default:0 ~min:0 ~max:10_000;
+    charged = field_int j "charged" ~default:0 ~min:0 ~max:10_000;
+    y_timeout_ms = timeout_of j "timeout_ms";
+    y_chaos = chaos_of limits j;
+  }
+
+let job_of limits j =
+  match field_str j "kind" with
+  | None -> invalid "missing \"kind\""
+  | Some "design" -> Design (design_of limits j)
+  | Some "check" -> Check (design_of limits j)
+  | Some "simulate" -> (
+      match field_str j "gate" with
+      | Some gate -> Simulate { gate; sim_chaos = chaos_of limits j }
+      | None -> invalid "simulate needs a \"gate\" name")
+  | Some "yield" -> Yield (yield_of limits j)
+  | Some k -> invalid "unknown job kind %S" k
+
+let decode_exn limits j =
+  (match j with
+  | Json.Obj _ -> ()
+  | _ -> bad "parse" "request must be a JSON object");
+  (match Json.mem "fictionette-serve" j with
+  | Some (Json.Num v) when int_of_float v = version -> ()
+  | Some _ -> bad "version" "unsupported protocol version (want %d)" version
+  | None -> bad "version" "missing \"fictionette-serve\" version field");
+  let id = id_of j in
+  match field_str j "kind" with
+  | Some "stats" -> Stats { id }
+  | Some "ping" -> Ping { id }
+  | Some "shutdown" -> Shutdown { id }
+  | Some "batch" ->
+      let jobs =
+        match Json.mem "jobs" j with
+        | Some (Json.List items) ->
+            List.map
+              (fun item ->
+                match item with
+                | Json.Obj _ -> (
+                    let jid = try id_of item with Bad _ -> Json.Null in
+                    match job_of limits item with
+                    | job -> (jid, Ok job)
+                    | exception Bad (k, m) -> (jid, Error (k, m)))
+                | _ ->
+                    (Json.Null, Error ("invalid_request", "job must be an object")))
+              items
+        | Some _ -> invalid "\"jobs\" must be an array"
+        | None -> invalid "batch needs a \"jobs\" array"
+      in
+      Batch { id; jobs }
+  | _ -> Single { id; job = job_of limits j }
+
+let decode limits j =
+  match decode_exn limits j with
+  | req -> Ok req
+  | exception Bad (k, m) -> Error (k, m)
+
+(* --- responses ---------------------------------------------------------- *)
+
+let base ~id ~kind ~status rest =
+  Json.Obj
+    (("fictionette-serve", Json.Num (float_of_int version))
+    :: ("id", id)
+    :: ("kind", Json.Str kind)
+    :: ("status", Json.Str status)
+    :: rest)
+
+let with_latency latency_ms rest =
+  match latency_ms with
+  | None -> rest
+  | Some ms -> rest @ [ ("latency_ms", Json.Num ms) ]
+
+let ok_response ~id ~kind ?(degradation = []) ?(retries = 0) ?latency_ms result =
+  let rest = [ ("result", result) ] in
+  let rest =
+    if degradation = [] then rest
+    else rest @ [ ("degradation", Json.List (List.map (fun s -> Json.Str s) degradation)) ]
+  in
+  let rest = if retries = 0 then rest else rest @ [ ("retries", Json.Num (float_of_int retries)) ] in
+  base ~id ~kind ~status:"ok" (with_latency latency_ms rest)
+
+let error_response ~id ~kind ~error_kind ?reason ?latency_ms message =
+  let err =
+    [ ("kind", Json.Str error_kind); ("message", Json.Str message) ]
+    @ match reason with None -> [] | Some r -> [ ("reason", Json.Str r) ]
+  in
+  base ~id ~kind ~status:"error" (with_latency latency_ms [ ("error", Json.Obj err) ])
+
+let overloaded_response ~id ~kind ~retry_after_ms =
+  base ~id ~kind ~status:"overloaded" [ ("retry_after_ms", Json.Num retry_after_ms) ]
+
+let response_status j = Option.bind (Json.mem "status" j) Json.str

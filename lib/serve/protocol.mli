@@ -1,0 +1,131 @@
+(** The design server's versioned wire protocol (JSON lines).
+
+    One request object per line; every request carries the version field
+    ["fictionette-serve": 1] and a ["kind"].  Responses echo the
+    request's ["id"] (any JSON value, [null] when absent or unparseable)
+    and carry ["status"]: ["ok"], ["error"], or ["overloaded"].
+
+    Request kinds:
+    - ["design"]: run the full flow on ["benchmark"] or inline
+      ["verilog"]; options ["engine"] ("exact"/"scalable"/"fallback"),
+      ["timeout_ms"], ["conflict_budget"], ["rewrite"],
+      ["half_adders"], ["equivalence"], ["library"].
+    - ["check"]: like design but paranoid — every stage boundary
+      cross-checked, refutations proof-checked, certificate replayed.
+    - ["simulate"]: exact ground-state validation of a named Bestagon
+      gate (["gate"]: "or2", "and2", "nand2", "nor2", "xor2", "xnor2",
+      "inverter", "wire").
+    - ["yield"]: Monte-Carlo operational yield of the flow's layout
+      under randomized defects (["trials"], ["seed"], ["missing"],
+      ["extra"], ["charged"]).
+    - ["batch"]: ["jobs"] is an array of job objects (no nested version
+      field); jobs are admitted, dispatched across the worker pool, and
+      answered one response per job in order.
+    - ["stats"], ["ping"], ["shutdown"]: service introspection and
+      lifecycle.
+
+    Error responses are structured: [{"status":"error","error":
+    {"kind":K,"message":M}}] with [K] one of ["parse"], ["version"],
+    ["invalid_request"], ["oversized"], ["budget"] (plus a ["reason"]:
+    "deadline"/"conflict budget"/"cancelled"), ["infeasible"],
+    ["check_failed"], or ["crash"] (a worker exception, converted — the
+    loop never unwinds).  Shed jobs get [{"status":"overloaded",
+    "retry_after_ms":N}]. *)
+
+val version : int
+(** Wire version (1). *)
+
+type source = Benchmark of string | Verilog of string
+
+type engine = Engine_exact | Engine_scalable | Engine_fallback
+
+val engine_to_string : engine -> string
+
+type chaos = Chaos_raise | Chaos_cancel
+(** Fault injections accepted only when the server runs with
+    [chaos = true]: [Chaos_raise] makes the worker die mid-job (the
+    dispatcher must convert it to a ["crash"] error), [Chaos_cancel]
+    flips the request budget's cancellation flag after a few polls. *)
+
+type design_params = {
+  source : source;
+  engine : engine;
+  timeout_ms : float option;  (** Validated finite and positive. *)
+  conflict_budget : int option;
+  rewrite : bool;
+  half_adders : bool;
+  equivalence : bool;
+  library : bool;
+  chaos : chaos option;
+}
+
+type yield_params = {
+  y_source : source;
+  trials : int;
+  seed : int;
+  missing : int;
+  extra : int;
+  charged : int;
+  y_timeout_ms : float option;
+  y_chaos : chaos option;
+}
+
+type job =
+  | Design of design_params
+  | Check of design_params
+  | Simulate of { gate : string; sim_chaos : chaos option }
+  | Yield of yield_params
+
+val job_kind : job -> string
+val job_timeout_ms : job -> float option
+(** The job's requested budget mass (for admission accounting). *)
+
+val job_chaos : job -> chaos option
+
+type request =
+  | Single of { id : Json.t; job : job }
+  | Batch of {
+      id : Json.t;
+      jobs : (Json.t * (job, string * string) result) list;
+          (** Per-job: its id and either the decoded job or a structured
+              [(error_kind, message)] — one malformed job never poisons
+              its siblings. *)
+    }
+  | Stats of { id : Json.t }
+  | Ping of { id : Json.t }
+  | Shutdown of { id : Json.t }
+
+type limits = {
+  max_source_bytes : int;  (** Inline Verilog cap (oversized netlists). *)
+  allow_chaos : bool;  (** Reject ["chaos"] fields unless enabled. *)
+}
+
+val decode : limits -> Json.t -> (request, string * string) result
+(** Decode a parsed request line.  [Error (kind, message)] uses the
+    error-kind vocabulary above.  Never raises. *)
+
+(** {2 Response builders} — all return complete one-line objects. *)
+
+val ok_response :
+  id:Json.t ->
+  kind:string ->
+  ?degradation:string list ->
+  ?retries:int ->
+  ?latency_ms:float ->
+  Json.t ->
+  Json.t
+
+val error_response :
+  id:Json.t ->
+  kind:string ->
+  error_kind:string ->
+  ?reason:string ->
+  ?latency_ms:float ->
+  string ->
+  Json.t
+
+val overloaded_response :
+  id:Json.t -> kind:string -> retry_after_ms:float -> Json.t
+
+val response_status : Json.t -> string option
+(** ["status"] field of a response (for tests and the bench harness). *)

@@ -1,0 +1,245 @@
+type config = {
+  max_timeout_ms : float;
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  max_source_bytes : int;
+  max_batch : int;
+  max_budget_mass_ms : float;
+  chaos : bool;
+  jobs : int option;
+  sleep : float -> unit;
+}
+
+let default_config =
+  {
+    max_timeout_ms = 60_000.;
+    max_retries = 2;
+    backoff_base_ms = 10.;
+    backoff_cap_ms = 200.;
+    max_source_bytes = 1 lsl 20;
+    max_batch = 64;
+    max_budget_mass_ms = 600_000.;
+    chaos = false;
+    jobs = None;
+    sleep = Unix.sleepf;
+  }
+
+type t = {
+  config : config;
+  ctx : Handlers.ctx;
+  started : float;
+  mutable stop : bool;
+}
+
+let create ?(config = default_config) () =
+  let ctx =
+    {
+      (Handlers.default_ctx ()) with
+      Handlers.max_timeout_ms = config.max_timeout_ms;
+      max_retries = config.max_retries;
+      backoff_base_ms = config.backoff_base_ms;
+      backoff_cap_ms = config.backoff_cap_ms;
+      sleep = config.sleep;
+    }
+  in
+  { config; ctx; started = Unix.gettimeofday (); stop = false }
+
+let ctx t = t.ctx
+let stopping t = t.stop
+
+let limits t =
+  {
+    Protocol.max_source_bytes = t.config.max_source_bytes;
+    allow_chaos = t.config.chaos;
+  }
+
+(* Best-effort id/kind recovery for envelope errors, so even a rejected
+   request echoes enough for the client to correlate. *)
+let rough_id j =
+  match Json.mem "id" j with
+  | Some ((Json.Str _ | Json.Num _ | Json.Null) as id) -> id
+  | _ -> Json.Null
+
+let rough_kind j =
+  match Option.bind (Json.mem "kind" j) Json.str with
+  | Some k -> k
+  | None -> "unknown"
+
+(* --- admission control --------------------------------------------------- *)
+
+(* Effective budget mass of one job: its requested timeout clamped to
+   the ceiling, or the ceiling itself when unspecified. *)
+let job_mass t job =
+  match Protocol.job_timeout_ms job with
+  | Some ms -> Float.min ms t.config.max_timeout_ms
+  | None -> t.config.max_timeout_ms
+
+(* Decide per decoded batch job: [`Run job] or [`Shed].  Depth and
+   budget-mass thresholds; decode failures occupy no capacity. *)
+let admit t jobs =
+  let depth = ref 0 in
+  let mass = ref 0. in
+  List.map
+    (fun (id, decoded) ->
+      match decoded with
+      | Error e -> (id, `Reject e)
+      | Ok job ->
+          let m = job_mass t job in
+          if !depth >= t.config.max_batch then (id, `Shed job)
+          else if !depth > 0 && !mass +. m > t.config.max_budget_mass_ms then
+            (id, `Shed job)
+          else begin
+            incr depth;
+            mass := !mass +. m;
+            (id, `Run job)
+          end)
+    jobs
+
+let retry_after_ms t admitted_mass =
+  let workers =
+    float_of_int
+      (max 1 (Option.value t.config.jobs ~default:(Parallel.Pool.default_jobs ())))
+  in
+  Float.max 50. (Float.min t.config.max_timeout_ms (admitted_mass /. workers))
+
+(* --- requests ------------------------------------------------------------ *)
+
+let stats_response t ~id =
+  let payload =
+    Metrics.to_json t.ctx.Handlers.metrics
+      ~uptime_s:(Unix.gettimeofday () -. t.started)
+      ~memo:(Core.Flow.Memo.stats t.ctx.Handlers.memo)
+  in
+  Protocol.ok_response ~id ~kind:"stats" payload
+
+let handle_batch t ~id jobs =
+  let plan = admit t jobs in
+  let admitted_mass =
+    List.fold_left
+      (fun acc (_, d) -> match d with `Run j -> acc +. job_mass t j | _ -> acc)
+      0. plan
+  in
+  let plan = Array.of_list plan in
+  (* Dispatch the admitted jobs across the pool.  Each slot's work is
+     already total ([run_job] never raises), so a batch cannot tear
+     down the pool or its sibling jobs. *)
+  let responses =
+    Parallel.Pool.map ?jobs:t.config.jobs (Array.length plan) (fun i ->
+        let jid, decision = plan.(i) in
+        match decision with
+        | `Run job -> Handlers.run_job t.ctx ~id:jid job
+        | `Shed job ->
+            Metrics.incr_shed t.ctx.Handlers.metrics;
+            Protocol.overloaded_response ~id:jid ~kind:(Protocol.job_kind job)
+              ~retry_after_ms:(retry_after_ms t admitted_mass)
+        | `Reject (k, m) ->
+            Metrics.incr_protocol_errors t.ctx.Handlers.metrics;
+            Protocol.error_response ~id:jid ~kind:"unknown" ~error_kind:k m)
+  in
+  let summary =
+    let count pred =
+      Array.fold_left
+        (fun acc (_, d) -> if pred d then acc + 1 else acc)
+        0 plan
+    in
+    Json.Obj
+      [
+        ("jobs", Json.Num (float_of_int (Array.length plan)));
+        ( "admitted",
+          Json.Num (float_of_int (count (function `Run _ -> true | _ -> false)))
+        );
+        ( "shed",
+          Json.Num (float_of_int (count (function `Shed _ -> true | _ -> false)))
+        );
+      ]
+  in
+  Protocol.ok_response ~id ~kind:"batch" summary :: Array.to_list responses
+
+let handle_request t = function
+  | Protocol.Single { id; job } -> [ Handlers.run_job t.ctx ~id job ]
+  | Protocol.Batch { id; jobs } -> handle_batch t ~id jobs
+  | Protocol.Stats { id } -> [ stats_response t ~id ]
+  | Protocol.Ping { id } ->
+      [ Protocol.ok_response ~id ~kind:"ping" (Json.Obj [ ("pong", Json.Bool true) ]) ]
+  | Protocol.Shutdown { id } ->
+      t.stop <- true;
+      [
+        Protocol.ok_response ~id ~kind:"shutdown"
+          (Json.Obj [ ("stopping", Json.Bool true) ]);
+      ]
+
+let is_blank line = String.trim line = ""
+
+let handle_line t line =
+  let responses =
+    if is_blank line then []
+    else
+      match Json.parse line with
+      | Error msg ->
+          Metrics.incr_protocol_errors t.ctx.Handlers.metrics;
+          [
+            Protocol.error_response ~id:Json.Null ~kind:"unknown"
+              ~error_kind:"parse" msg;
+          ]
+      | Ok j -> (
+          match Protocol.decode (limits t) j with
+          | Error (k, m) ->
+              Metrics.incr_protocol_errors t.ctx.Handlers.metrics;
+              [
+                Protocol.error_response ~id:(rough_id j) ~kind:(rough_kind j)
+                  ~error_kind:k m;
+              ]
+          | Ok req -> (
+              try handle_request t req
+              with e ->
+                (* Last-resort conversion: the loop survives anything. *)
+                [
+                  Protocol.error_response ~id:Json.Null ~kind:"unknown"
+                    ~error_kind:"crash"
+                    ("internal error: " ^ Printexc.to_string e);
+                ]))
+  in
+  List.map Json.to_string responses
+
+(* --- transports ---------------------------------------------------------- *)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    if not t.stop then
+      match input_line ic with
+      | line ->
+          List.iter
+            (fun r ->
+              output_string oc r;
+              output_char oc '\n')
+            (handle_line t line);
+          flush oc;
+          loop ()
+      | exception End_of_file -> ()
+  in
+  loop ()
+
+let serve_socket t ~path =
+  (try Sys.signal Sys.sigpipe Sys.Signal_ignore |> ignore
+   with Invalid_argument _ -> ());
+  (try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      while not t.stop do
+        match Unix.accept sock with
+        | client, _ ->
+            let ic = Unix.in_channel_of_descr client in
+            let oc = Unix.out_channel_of_descr client in
+            (try serve_channels t ic oc
+             with Sys_error _ | Unix.Unix_error _ -> ());
+            (try flush oc with Sys_error _ -> ());
+            (try Unix.close client with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)

@@ -1,0 +1,63 @@
+(** The resident design server: a fault-isolated, budgeted, batched
+    front end to the whole flow (DESIGN.md section 13).
+
+    One {!t} owns the cross-request {!Core.Flow.Memo}, the
+    {!Metrics} registry, and the admission state.  {!handle_line} is
+    the entire externally-visible behaviour — both transports
+    ({!serve_channels} for stdin/stdout, {!serve_socket} for a Unix
+    socket) are thin line-pumps around it, and the in-process chaos
+    tests and the bench drive it directly.
+
+    Resilience contract of {!handle_line}: it {e never raises}, on any
+    byte sequence.  Malformed JSON, protocol-version mismatches, and
+    invalid envelopes produce structured error responses; a crashing
+    job produces a ["crash"] error for that job only; a shed job
+    produces ["overloaded"] with a [retry_after_ms] hint.  Every
+    admitted well-formed request gets exactly one response, batch
+    responses in job order. *)
+
+type config = {
+  max_timeout_ms : float;
+      (** Per-request budget ceiling (and default), ms. *)
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  max_source_bytes : int;  (** Inline-Verilog size cap. *)
+  max_batch : int;
+      (** Queue-depth threshold: batch jobs beyond this are shed. *)
+  max_budget_mass_ms : float;
+      (** Budget-mass threshold: once the summed effective [timeout_ms]
+          of admitted jobs in a batch passes this, the rest are shed. *)
+  chaos : bool;  (** Accept ["chaos"] fault-injection fields. *)
+  jobs : int option;
+      (** Worker domains for batch dispatch (default
+          {!Parallel.Pool.default_jobs}). *)
+  sleep : float -> unit;  (** Backoff hook (seconds); injectable. *)
+}
+
+val default_config : config
+(** 60 s ceiling, 2 retries, 10/200 ms backoff, 1 MiB sources, 64-job
+    batches, 10 min budget mass, chaos off, [Unix.sleepf]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val ctx : t -> Handlers.ctx
+(** The job-execution context (shared memo and metrics). *)
+
+val stopping : t -> bool
+(** A ["shutdown"] request was acknowledged. *)
+
+val handle_line : t -> string -> string list
+(** Process one input line to its response lines (one JSON object
+    each, in order).  Blank lines yield no response.  Never raises. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Pump lines until EOF or shutdown; responses are flushed after each
+    input line. *)
+
+val serve_socket : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing a stale file) and
+    serve connections sequentially until shutdown.  [SIGPIPE] is
+    ignored so a client hanging up mid-response cannot kill the
+    server. *)

@@ -35,41 +35,49 @@
 #                              no worse everywhere, an infeasible map
 #                              must fail structurally, and
 #                              BENCH_defects.json must be well-formed)
+#  11. design-server smoke    (a real `fictionette serve` session over
+#                              stdio: design/check/stats requests must
+#                              answer, a malformed line must produce a
+#                              structured parse error without killing
+#                              the loop, and EOF must shut the server
+#                              down cleanly)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/10 type check =="
+echo "== 1/11 type check =="
 dune build @check
 
-echo "== 2/10 full build =="
+echo "== 2/11 full build =="
 dune build
 
-echo "== 3/10 test suite =="
+echo "== 3/11 test suite =="
 start=$(date +%s)
 dune runtest --force
 end=$(date +%s)
 echo "tests passed in $((end - start))s"
 
-echo "== 4/10 property fuzzing =="
-# Fixed seed: reproducible in CI, >= 500 iterations across the seven
+echo "== 4/11 property fuzzing =="
+# Fixed seed: reproducible in CI, >= 500 iterations across the eight
 # properties (CNF, at-most-one encodings, XAG, priority-vs-exhaustive
-# cuts, defect parameters, charge systems, defect-aware P&R).
-dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40 -defect-aware 25
+# cuts, defect parameters, charge systems, defect-aware P&R, and
+# server line-noise: Serve.Server.handle_line must answer every byte
+# sequence with structured JSON, never an exception).
+dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40 -defect-aware 25 -serve 200
 
-echo "== 5/10 budgeted-flow smoke test =="
+echo "== 5/11 budgeted-flow smoke test =="
 # Must return a verified layout without raising, degrading to the
 # scalable engine if the exact share of the deadline runs out.
 dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
 
-echo "== 6/10 certification smoke test =="
+echo "== 6/11 certification smoke test =="
 # Benchmark "t" needs one candidate size refuted before its minimal
 # layout: paranoid mode proof-checks that UNSAT and replays the
 # equivalence certificate; any failed check exits nonzero.
 dune exec bin/fictionette.exe -- check t | grep "certified refutations"
 dune exec bin/fictionette.exe -- check t
 
-echo "== 7/10 bench smoke (parallel determinism + BENCH_sim.json shape) =="
+echo "== 7/11 bench smoke (parallel determinism + BENCH_sim.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sim --smoke --jobs 2 --out "$out"
 # Shape check: schema marker, host cores, at least one result row with
@@ -85,7 +93,7 @@ if grep -q '"identical_to_serial": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 8/10 SAT bench smoke (config parity + BENCH_sat.json shape) =="
+echo "== 8/11 SAT bench smoke (config parity + BENCH_sat.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sat --smoke --out "$out"
 # Shape check: schema marker, both solver configurations, per-solve
@@ -103,7 +111,7 @@ if grep -q '"verdict_matches_legacy": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 9/10 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
+echo "== 9/11 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- logic --smoke --out "$out"
 # Shape check: schema marker, both enumeration configurations, cut and
@@ -121,7 +129,7 @@ if grep -q '"identical_netlist": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 10/10 defect bench smoke (aware >= oblivious + BENCH_defects.json shape) =="
+echo "== 10/11 defect bench smoke (aware >= oblivious + BENCH_defects.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- defects --smoke --aware --out "$out"
 # Shape check: schema marker, the aware-never-worse verdict the harness
@@ -134,6 +142,29 @@ if grep -q '"aware_ge_oblivious": false' "$out"; then
     echo "defect bench smoke: aware design yielded worse than oblivious" >&2
     exit 1
 fi
+rm -f "$out"
+
+echo "== 11/11 design-server smoke (protocol + fault isolation) =="
+out=$(mktemp)
+# A real server session over stdio: two flow requests, one malformed
+# line, one stats probe, then EOF.  The malformed line must get a
+# structured parse error and must not take the later requests with it;
+# EOF is a clean shutdown, so the pipeline itself fails under set -e
+# if the server dies early.
+{
+    printf '%s\n' '{"fictionette-serve":1,"kind":"design","id":"d1","benchmark":"c17"}'
+    printf '%s\n' 'this is not json'
+    printf '%s\n' '{"fictionette-serve":1,"kind":"check","id":"k1","benchmark":"mux21"}'
+    printf '%s\n' '{"fictionette-serve":1,"kind":"stats","id":"s1"}'
+} | dune exec bin/fictionette.exe -- serve > "$out"
+test "$(wc -l < "$out")" -eq 4
+grep -q '"id":"d1","kind":"design","status":"ok"' "$out"
+grep -q '"kind":"parse"' "$out"
+grep -q '"id":"k1","kind":"check","status":"ok"' "$out"
+grep -q '"id":"s1","kind":"stats","status":"ok"' "$out"
+grep -q '"protocol_errors":1' "$out"
+# The one-shot JSON mode speaks the same schema as the server.
+dune exec bin/fictionette.exe -- run c17 --json | grep -q '"kind":"design","status":"ok"'
 rm -f "$out"
 
 echo "CI OK"

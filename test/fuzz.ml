@@ -404,6 +404,87 @@ let system_property sites =
 
 (* Driver. *)
 
+(* Design-server loop: random byte noise, JSON soup, and truncated or
+   bit-flipped protocol lines must never crash [handle_line], and every
+   response it does emit must be one well-formed JSON line carrying a
+   status. *)
+
+let serve_templates =
+  [|
+    {|{"fictionette-serve":1,"kind":"ping","id":1}|};
+    {|{"fictionette-serve":1,"kind":"stats"}|};
+    {|{"fictionette-serve":1,"kind":"simulate","gate":"xor2"}|};
+    {|{"fictionette-serve":1,"kind":"design","benchmark":"c17","timeout_ms":5000}|};
+    {|{"fictionette-serve":1,"kind":"design","verilog":"module m(a,y); input a; output y; not(y,a); endmodule"}|};
+    {|{"fictionette-serve":1,"kind":"batch","jobs":[{"kind":"simulate","gate":"wire"},{"kind":"ping"}]}|};
+    {|{"fictionette-serve":1,"kind":"yield","benchmark":"mux21","trials":2,"timeout_ms":5000}|};
+  |]
+
+let json_soup_chars = "{}[]\":,0123456789.eE+-truefalsnu \\\"x"
+
+let serve_arb : string P.arbitrary =
+  let gen rng =
+    match P.Rng.int rng 4 with
+    | 0 ->
+        String.init (P.Rng.int rng 120) (fun _ ->
+            Char.chr (P.Rng.int rng 256))
+    | 1 ->
+        String.init (P.Rng.int rng 120) (fun _ ->
+            json_soup_chars.[P.Rng.int rng (String.length json_soup_chars)])
+    | 2 ->
+        let t = serve_templates.(P.Rng.int rng (Array.length serve_templates)) in
+        String.sub t 0 (P.Rng.int rng (String.length t + 1))
+    | _ ->
+        let t = serve_templates.(P.Rng.int rng (Array.length serve_templates)) in
+        let b = Bytes.of_string t in
+        for _ = 1 to 1 + P.Rng.int rng 3 do
+          Bytes.set b
+            (P.Rng.int rng (Bytes.length b))
+            (Char.chr (P.Rng.int rng 256))
+        done;
+        Bytes.to_string b
+  in
+  let shrink s =
+    if String.length s <= 1 then []
+    else
+      [
+        String.sub s 0 (String.length s / 2);
+        String.sub s 0 (String.length s - 1);
+        String.sub s 1 (String.length s - 1);
+      ]
+  in
+  { P.gen; shrink; pp = (fun ppf s -> Format.fprintf ppf "line %S" s) }
+
+(* One resident server across all iterations — exactly the deployment
+   shape, and it additionally checks that a poisoned line cannot corrupt
+   state needed by later well-formed requests. *)
+let serve_server =
+  lazy
+    (Serve.Server.create
+       ~config:
+         {
+           Serve.Server.default_config with
+           Serve.Server.max_timeout_ms = 5_000.;
+           sleep = (fun _ -> ());
+         }
+       ())
+
+let serve_property line =
+  let server = Lazy.force serve_server in
+  match Serve.Server.handle_line server line with
+  | responses ->
+      let well_formed r =
+        (not (String.contains r '\n'))
+        &&
+        match Serve.Json.parse r with
+        | Ok j -> Serve.Protocol.response_status j <> None
+        | Error _ -> false
+      in
+      if List.for_all well_formed responses then Ok ()
+      else Error "response is not a single JSON line with a status"
+  | exception e ->
+      Error ("handle_line raised: " ^ Printexc.to_string e)
+
 let () =
   let seed = ref 0xF002 in
   let cnf_iters = ref 300 in
@@ -413,6 +494,7 @@ let () =
   let defect_iters = ref 60 in
   let defect_aware_iters = ref 25 in
   let system_iters = ref 40 in
+  let serve_iters = ref 150 in
   Arg.parse
     [
       ("-seed", Arg.Set_int seed, "PRNG seed (default 0xF002)");
@@ -433,10 +515,13 @@ let () =
       ( "-system",
         Arg.Set_int system_iters,
         "charge-system iterations (default 40)" );
+      ( "-serve",
+        Arg.Set_int serve_iters,
+        "design-server line-noise iterations (default 150)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "fuzz [-seed N] [-cnf N] [-amo N] [-xag N] [-cuts N] [-defect N] \
-     [-defect-aware N] [-system N]";
+     [-defect-aware N] [-system N] [-serve N]";
   let failed = ref false in
   let run name iterations arb prop =
     let outcome = P.check ~seed:!seed ~iterations arb prop in
@@ -451,4 +536,5 @@ let () =
   run "defect-aware-pnr" !defect_aware_iters defect_aware_arb
     defect_aware_property;
   run "pruned-vs-exhaustive" !system_iters system_arb system_property;
+  run "serve-line-noise" !serve_iters serve_arb serve_property;
   if !failed then exit 1

@@ -44,6 +44,49 @@ let test_exception_propagates () =
              if i = 617 then failwith "boom" else i))))
     [ 1; 2; 4 ]
 
+exception Tagged of int
+
+let test_lowest_index_exception_wins () =
+  (* Several indices raise; the contract pins the propagated exception
+     to the lowest-indexed raising job, at every worker count. *)
+  List.iter
+    (fun jobs ->
+      for _ = 1 to 20 do
+        match Pool.map ~jobs 500 (fun i ->
+            if i mod 83 = 7 then raise (Tagged i) else i)
+        with
+        | _ -> Alcotest.fail "expected an exception"
+        | exception Tagged i ->
+            Alcotest.(check int)
+              (Printf.sprintf "lowest raising index (jobs=%d)" jobs)
+              7 i
+      done)
+    [ 1; 2; 4; 8 ]
+
+let test_nested_map () =
+  (* The server dispatches flow jobs onto the pool while flows call
+     Pool.map internally; waiters must help instead of blocking, or
+     this deadlocks when every worker is stuck in an outer wait. *)
+  List.iter
+    (fun jobs ->
+      let outer =
+        Pool.map ~jobs 8 (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map ~jobs 16 (fun j -> (i * 100) + j)))
+      in
+      let expected =
+        Array.init 8 (fun i ->
+            let acc = ref 0 in
+            for j = 0 to 15 do
+              acc := !acc + (i * 100) + j
+            done;
+            !acc)
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "nested map (jobs=%d)" jobs)
+        expected outer)
+    [ 1; 2; 4 ]
+
 let test_env_and_override () =
   Unix.putenv "FICTIONETTE_JOBS" "3";
   Alcotest.(check int) "env var read" 3 (Pool.default_jobs ());
@@ -230,6 +273,9 @@ let () =
           Alcotest.test_case "ordered map_reduce" `Quick test_map_reduce_ordered;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            test_lowest_index_exception_wins;
+          Alcotest.test_case "nested map (reentrancy)" `Quick test_nested_map;
         ] );
       ( "determinism",
         [

@@ -314,6 +314,77 @@ let test_binary_lists_across_resume () =
   Alcotest.(check bool) "lists only grow" true
     (S.num_binary_clauses s >= after_budget)
 
+let test_cancelled_then_resumed_allowance () =
+  (* A solve interrupted by cancellation, then resumed, must still
+     honor the per-call conflict allowance of the budget it resumes
+     under — cancellation must not leak a stale (already-consumed)
+     limit into the next call. *)
+  let allowance = 40 in
+  let nvars, clauses = php_formula 9 8 in
+  let s = solver_of nvars clauses in
+  let cancel = ref false in
+  let budget =
+    {
+      Sat.Budget.deadline = None;
+      conflicts = Some allowance;
+      cancelled = (fun () -> !cancel);
+    }
+  in
+  cancel := true;
+  (match S.solve ~budget s with
+  | S.Unknown Sat.Budget.Cancelled -> ()
+  | _ -> Alcotest.fail "expected Unknown (cancelled)");
+  cancel := false;
+  let before = (S.stats s).S.conflicts in
+  (match S.solve ~budget s with
+  | S.Unknown Sat.Budget.Conflicts -> ()
+  | S.Unsat -> Alcotest.fail "php(9,8) under 40 conflicts cannot finish"
+  | _ -> Alcotest.fail "expected Unknown (conflict budget)");
+  let spent = (S.stats s).S.conflicts - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "resume spent %d <= allowance+1" spent)
+    true
+    (spent >= 1 && spent <= allowance + 1);
+  (* And with the budget lifted the instance is still sound. *)
+  Alcotest.(check bool) "final verdict" true (S.solve s = S.Unsat)
+
+let test_cancelled_resume_never_sat_when_poisoned () =
+  (* The root-conflict regression crossed with cancellation: cancel the
+     very first solve on the poisoned formula, then resume with and
+     without assumptions.  No call may ever answer Sat. *)
+  [ S.legacy_config; S.default_config ]
+  |> List.iter (fun config ->
+         let s = S.create ~config () in
+         for _ = 1 to 7 do
+           ignore (S.new_var s)
+         done;
+         List.iter (S.add_clause s)
+           [ [ 2; -7 ]; [ 2; 7 ]; [ -7; -2 ]; [ -2; 7 ] ];
+         let cancel = ref true in
+         let budget =
+           {
+             Sat.Budget.deadline = None;
+             conflicts = None;
+             cancelled = (fun () -> !cancel);
+           }
+         in
+         (match S.solve ~budget s with
+         | S.Sat -> Alcotest.fail "cancelled solve answered Sat"
+         | S.Unknown _ | S.Unsat -> ());
+         cancel := false;
+         for mask = 0 to 3 do
+           let assumptions =
+             List.init 7 (fun i ->
+                 if mask land (1 lsl i) <> 0 then i + 1 else -(i + 1))
+           in
+           Alcotest.(check bool)
+             (Printf.sprintf "resumed mask %d unsat" mask)
+             true
+             (S.solve ~assumptions s = S.Unsat)
+         done;
+         Alcotest.(check bool) "resumed unconditional unsat" true
+           (S.solve s = S.Unsat))
+
 let test_root_conflict_poisons_solver () =
   (* Regression (found by the amo-encodings fuzz property): these four
      binaries resolve to both [2] and [-2], so the formula is unsat
@@ -523,6 +594,10 @@ let () =
             test_binary_lists_across_resume;
           Alcotest.test_case "root conflict poisons solver" `Quick
             test_root_conflict_poisons_solver;
+          Alcotest.test_case "cancelled-then-resumed allowance" `Quick
+            test_cancelled_then_resumed_allowance;
+          Alcotest.test_case "cancelled resume never Sat when poisoned" `Quick
+            test_cancelled_resume_never_sat_when_poisoned;
         ] );
       ( "drat",
         [
