@@ -1055,6 +1055,7 @@ let sim () =
    algorithmic gains, not parallelism. *)
 
 let sat_out = ref "BENCH_sat.json"
+let sat_portfolio = ref false
 
 type sat_row = {
   sat_workload : string;
@@ -1065,6 +1066,23 @@ type sat_row = {
   sat_verdict_match : bool option;  (* tuned rows: verdict = legacy's *)
   sat_stats : Sat.Solver.stats;
   sat_proof : string option;  (* "accepted" / "rejected" when certified *)
+}
+
+(* One portfolio race: a mult-class miter solved by a k-wide
+   {!Sat.Portfolio} at a given worker count, compared against the tuned
+   single-solver verdict on the same clauses. *)
+type pf_row = {
+  pf_workload : string;
+  pf_jobs : int;
+  pf_k : int;
+  pf_wall : float;
+  pf_verdict : string;
+  pf_match_single : bool;
+  pf_speedup : float;  (* tuned single wall / portfolio wall *)
+  pf_winner : int option;
+  pf_winner_config : string option;
+  pf_proof : string option;  (* "accepted" / "rejected" when certified *)
+  pf_counters : Sat.Simplify.counters;
 }
 
 let with_solver_config cfg f =
@@ -1156,7 +1174,7 @@ let sat_miter ~certify ntk1 ntk2 =
   Sat.Cnf.add_clause f diffs;
   (f, Sat.Cnf.solver f)
 
-let write_sat_json ~cores rows =
+let write_sat_json ~cores ~portfolio rows =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
@@ -1208,10 +1226,170 @@ let write_sat_json ~cores rows =
         (if i = List.length rows - 1 then "" else ",")
     )
     rows;
-  add "  ]\n}\n";
+  add "  ],\n";
+  (match portfolio with
+  | [] -> add "  \"portfolio\": null\n"
+  | pf ->
+      let wins = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          match r.pf_winner_config with
+          | Some c ->
+              Hashtbl.replace wins c
+                (1 + Option.value ~default:0 (Hashtbl.find_opt wins c))
+          | None -> ())
+        pf;
+      add "  \"portfolio\": {\n";
+      add
+        "    \"notes\": \"k diversified solver configurations race on one \
+         Simplify-preprocessed instance (round-based, deterministic: lowest \
+         definitive member index wins at any --jobs).  speedup_vs_single = \
+         tuned single-solver wall / portfolio wall on identical clauses.  \
+         Host caveat: this machine exposes a single core, so members \
+         time-slice one domain and jobs>1 cannot show real parallel \
+         speedup; wall times at jobs>1 measure scheduling overhead plus \
+         any conflict-count win from configuration diversity, not \
+         concurrency.\",\n";
+      add "    \"wins\": {";
+      let first = ref true in
+      Hashtbl.iter
+        (fun c n ->
+          add "%s\"%s\": %d" (if !first then "" else ", ") (json_escape c) n;
+          first := false)
+        wins;
+      add "},\n";
+      add "    \"rows\": [\n";
+      List.iteri
+        (fun i r ->
+          let c = r.pf_counters in
+          add
+            "      {\"workload\": \"%s\", \"jobs\": %d, \"k\": %d, \
+             \"wall_s\": %.6f, \"verdict\": \"%s\", \
+             \"verdict_matches_single\": %b, \"speedup_vs_single\": %.3f"
+            (json_escape r.pf_workload) r.pf_jobs r.pf_k r.pf_wall
+            (json_escape r.pf_verdict) r.pf_match_single r.pf_speedup;
+          (match r.pf_winner with
+          | Some w -> add ", \"winner\": %d" w
+          | None -> add ", \"winner\": null");
+          (match r.pf_winner_config with
+          | Some wc -> add ", \"winner_config\": \"%s\"" (json_escape wc)
+          | None -> add ", \"winner_config\": null");
+          (match r.pf_proof with
+          | Some p -> add ", \"proof\": \"%s\"" (json_escape p)
+          | None -> add ", \"proof\": null");
+          add
+            ", \"simplify\": {\"subsumed\": %d, \"strengthened\": %d, \
+             \"eliminated_vars\": %d, \"vivified\": %d}}%s\n"
+            c.Sat.Simplify.subsumed c.Sat.Simplify.strengthened
+            c.Sat.Simplify.eliminated_vars c.Sat.Simplify.vivified
+            (if i = List.length pf - 1 then "" else ",")
+        )
+        pf;
+      add "    ]\n";
+      add "  }\n");
+  add "}\n";
   let oc = open_out !sat_out in
   output_string oc (Buffer.contents buf);
   close_out oc
+
+(* --- portfolio races: mult-class miters at several worker counts ----- *)
+(* Each workload is solved once by the tuned single solver (the verdict
+   and wall-time reference), then raced by a k=4 portfolio at every
+   [jobs] value.  Verdict identity against the single solver is asserted
+   on every race; the winner index must also be identical across [jobs]
+   values (the portfolio's determinism guarantee).  The certified
+   workload replays its refutation — Simplify trace + winner proof —
+   through the independent DRAT checker against the original clauses. *)
+let sat_portfolio_section ~smoke =
+  Format.printf "@.  -- portfolio (k=4, shared Simplify inprocessing) --@.";
+  let k = 4 in
+  let jobs_list = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let cases =
+    if smoke then [ (4, true); (5, false) ]
+    else [ (5, true); (6, false); (7, false); (8, false) ]
+  in
+  let rows = ref [] in
+  let mismatch = ref false in
+  List.iter
+    (fun (n, certify) ->
+      let workload = Printf.sprintf "equiv/mult%d" n in
+      let ntk1 = sat_multiplier n false and ntk2 = sat_multiplier n true in
+      let (single_verdict, nvars, clauses), single_wall =
+        with_solver_config Sat.Solver.default_config (fun () ->
+            timed (fun () ->
+                let f, solver = sat_miter ~certify:false ntk1 ntk2 in
+                let v = Sat.Solver.solve solver in
+                (v, Sat.Cnf.num_vars f, Sat.Cnf.clauses f)))
+      in
+      Format.printf "  %-22s single %8.3fs  (reference)@." workload
+        single_wall;
+      let first_jobs = ref None in
+      List.iter
+        (fun jobs ->
+          Parallel.Pool.set_default_jobs jobs;
+          let p = Sat.Portfolio.create ~k ~certify ~nvars clauses in
+          let verdict, wall = timed (fun () -> Sat.Portfolio.solve p) in
+          Parallel.Pool.set_default_jobs 1;
+          let verdict_str =
+            match verdict with
+            | Sat.Solver.Unsat -> "equivalent"
+            | Sat.Solver.Sat -> "counterexample"
+            | Sat.Solver.Unknown _ -> "undecided"
+          in
+          let matches = verdict = single_verdict in
+          if not matches then (
+            mismatch := true;
+            Format.printf "  PORTFOLIO VERDICT MISMATCH on %s (jobs=%d)@."
+              workload jobs);
+          let winner = Sat.Portfolio.winner p in
+          (match !first_jobs with
+          | None -> first_jobs := Some (verdict_str, winner)
+          | Some (v0, w0) ->
+              if (verdict_str, winner) <> (v0, w0) then (
+                mismatch := true;
+                Format.printf
+                  "  PORTFOLIO NONDETERMINISM on %s: jobs=%d disagrees with \
+                   jobs=%d@."
+                  workload jobs
+                  (List.hd jobs_list)));
+          let proof =
+            match verdict with
+            | Sat.Solver.Unsat when certify -> (
+                match
+                  Sat.Drat.check ~nvars ~clauses (Sat.Portfolio.proof p)
+                with
+                | Sat.Drat.Valid -> Some "accepted"
+                | Sat.Drat.Invalid _ -> Some "rejected")
+            | _ -> None
+          in
+          let row =
+            {
+              pf_workload = workload;
+              pf_jobs = jobs;
+              pf_k = k;
+              pf_wall = wall;
+              pf_verdict = verdict_str;
+              pf_match_single = matches;
+              pf_speedup = single_wall /. wall;
+              pf_winner = winner;
+              pf_winner_config = Option.map Sat.Portfolio.config_name winner;
+              pf_proof = proof;
+              pf_counters = Sat.Portfolio.counters p;
+            }
+          in
+          rows := row :: !rows;
+          Format.eprintf "portfolio %s jobs=%d: %a@." workload jobs
+            Sat.Solver.pp_stats (Sat.Portfolio.stats p);
+          Format.printf
+            "  %-22s jobs=%d %8.3fs  %-12s  %.2fx vs single  winner %s%s@."
+            workload jobs wall verdict_str (single_wall /. wall)
+            (match row.pf_winner_config with Some c -> c | None -> "-")
+            (match proof with Some p -> "  proof " ^ p | None -> ""))
+        jobs_list)
+    cases;
+  let rows = List.rev !rows in
+  let rejected = List.exists (fun r -> r.pf_proof = Some "rejected") rows in
+  (rows, !mismatch, rejected)
 
 let sat () =
   section "SAT benchmark harness (exact P&R + equivalence miters, jobs=1)";
@@ -1395,17 +1573,23 @@ let sat () =
       emit legacy_row;
       emit (row "tuned" (run Sat.Solver.default_config) (Some legacy_row)))
     eq_cases;
+  let pf_rows, pf_mismatch, pf_rejected =
+    if !sat_portfolio then sat_portfolio_section ~smoke else ([], false, false)
+  in
   let rows = List.rev !rows in
-  write_sat_json ~cores rows;
-  Format.printf "@.wrote %s (%d result rows); best speedup %.2fx@." !sat_out
-    (List.length rows) !best_speedup;
+  write_sat_json ~cores ~portfolio:pf_rows rows;
+  Format.printf "@.wrote %s (%d result rows, %d portfolio rows); best \
+                 speedup %.2fx@."
+    !sat_out (List.length rows) (List.length pf_rows) !best_speedup;
   let rejected =
-    List.exists (fun r -> r.sat_proof = Some "rejected") rows
+    pf_rejected || List.exists (fun r -> r.sat_proof = Some "rejected") rows
   in
   if rejected then Format.eprintf "a DRAT proof was rejected — failing@.";
   if !mismatch then
     Format.eprintf "legacy and tuned verdicts differ — failing@.";
-  if !mismatch || rejected then exit 1
+  if pf_mismatch then
+    Format.eprintf "portfolio verdicts diverged — failing@.";
+  if !mismatch || pf_mismatch || rejected then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Logic-synthesis benchmark harness: BENCH_logic.json                 *)
@@ -2263,7 +2447,7 @@ let () =
      --jobs N sets the worker-domain count for every parallel loop,
      --smoke shrinks the sim workloads for CI, --out redirects the
      JSON reports, --aware switches [defects] to the aware-vs-oblivious
-     yield harness. *)
+     yield harness, --portfolio adds the SAT-portfolio races to [sat]. *)
   let rec scan acc = function
     | [] -> List.rev acc
     | "--smoke" :: rest ->
@@ -2271,6 +2455,9 @@ let () =
         scan acc rest
     | "--aware" :: rest ->
         defects_aware := true;
+        scan acc rest
+    | "--portfolio" :: rest ->
+        sat_portfolio := true;
         scan acc rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with

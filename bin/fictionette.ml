@@ -59,13 +59,35 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-(* Applies --jobs (when given) and reports the effective worker count on
-   stderr, so runs are attributable to a parallelism level. *)
-let apply_jobs jobs =
+let sat_portfolio_arg =
+  let doc =
+    "Width of the SAT solver portfolio racing each hard instance (exact \
+     P&R candidates, equivalence miters).  Defaults to \
+     $(b,FICTIONETTE_SAT_PORTFOLIO) or $(b,1); $(b,1) keeps the plain \
+     single-solver path.  Verdicts, certificates and results are \
+     identical at every width."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "sat-portfolio" ] ~docv:"K" ~doc)
+
+(* --jobs and --sat-portfolio travel together so every command that
+   takes one takes the other without widening its signature. *)
+let jobs_arg =
+  Cmdliner.Term.(const (fun j k -> (j, k)) $ jobs_arg $ sat_portfolio_arg)
+
+(* Applies --jobs / --sat-portfolio (when given) and reports the
+   effective worker count on stderr, so runs are attributable to a
+   parallelism level. *)
+let apply_jobs (jobs, portfolio) =
   (match jobs with Some j -> Parallel.Pool.set_default_jobs j | None -> ());
+  (match portfolio with
+  | Some k -> Sat.Portfolio.set_default_k k
+  | None -> ());
   Format.eprintf "fictionette: simulation workers: %d (host cores: %d)@."
     (Parallel.Pool.default_jobs ())
-    (Domain.recommended_domain_count ())
+    (Domain.recommended_domain_count ());
+  let k = Sat.Portfolio.default_k () in
+  if k > 1 then Format.eprintf "fictionette: SAT portfolio width: %d@." k
 
 let conflict_budget_arg =
   let doc = "Total CDCL-conflict budget for the SAT-based steps." in
@@ -782,7 +804,8 @@ let check_cmd =
   let stats_arg =
     let doc =
       "Print the aggregated SAT solver statistics (conflicts, \
-       propagations, restarts, learned/deleted clauses, mean LBD) to \
+       propagations, restarts, learned/deleted clauses, mean LBD, \
+       simplify subsumed/strengthened/eliminated/vivified counters) to \
        stderr as one stable line."
     in
     Arg.(value & flag & info [ "stats" ] ~doc)
@@ -872,13 +895,14 @@ let serve_cmd =
             "Transient-failure retries per job (each steps down the \
              engine degradation ladder).")
   in
-  let action socket chaos ceiling max_batch max_retries jobs =
+  let action socket chaos ceiling max_batch max_retries jp =
     if max_batch < 1 || max_retries < 0 then begin
       Format.eprintf "error: --max-batch must be >= 1, --max-retries >= 0@.";
       1
     end
     else begin
-      apply_jobs jobs;
+      apply_jobs jp;
+      let jobs, _ = jp in
       let config =
         {
           Serve.Server.default_config with

@@ -460,7 +460,13 @@ let run ?(options = default_options) ?(paranoid = false) ?corrupt_mapped
     let pd_key =
       match synth_key with
       | Some (k, m) when (not paranoid) && defect_map = None ->
-          Some (Printf.sprintf "%s|pd=%s" k (engine_desc options.engine), m)
+          (* The effective portfolio width changes which engine actually
+             solved the instance, so it is part of the key. *)
+          Some
+            ( Printf.sprintf "%s|pd=%s|pk=%d" k
+                (engine_desc options.engine)
+                (Sat.Portfolio.default_k ()),
+              m )
       | _ -> None
     in
     let pd =

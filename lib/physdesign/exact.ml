@@ -12,6 +12,7 @@ type config = {
   legacy_encoding : bool;
   symmetry_breaking : bool;
   jobs : int option;
+  portfolio : int option;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     legacy_encoding = false;
     symmetry_breaking = true;
     jobs = None;
+    portfolio = None;
   }
 
 type result = {
@@ -83,14 +85,38 @@ let predecessors ~width (c : Coord.offset) =
 (* One candidate size as a resumable SAT instance: the encoding is built
    once, and [Unknown] solves can be resumed with a larger budget while
    keeping every learned clause. *)
+(* A candidate is solved either by the single incremental solver the
+   CNF was built into, or by a {!Sat.Portfolio} racing diversified
+   configurations over a preprocessed copy of the same clauses.  Both
+   engines are resumable and certify against the same original CNF. *)
+type engine = Single of Sat.Solver.t | Portfolio of Sat.Portfolio.t
+
 type instance = {
-  solver : Sat.Solver.t;
+  engine : engine;
   cnf : Sat.Cnf.t;
   decode : unit -> GL.t;
 }
 
+let engine_solve ?budget = function
+  | Single s -> Sat.Solver.solve ?budget s
+  | Portfolio p -> Sat.Portfolio.solve ?budget p
+
+let engine_value e l =
+  match e with
+  | Single s -> Sat.Solver.value s l
+  | Portfolio p -> Sat.Portfolio.value p l
+
+let engine_stats = function
+  | Single s -> Sat.Solver.stats s
+  | Portfolio p -> Sat.Portfolio.stats p
+
+let engine_proof = function
+  | Single s -> Sat.Solver.proof s
+  | Portfolio p -> Sat.Portfolio.proof p
+
 let make_instance ?(certify = false) ?(legacy_encoding = false)
-    ?(symmetry = true) ?(blocked = fun _ -> false) ~width ~height netlist =
+    ?(symmetry = true) ?(blocked = fun _ -> false) ?portfolio ~width ~height
+    netlist =
   let nn = Netlist.num_nodes netlist in
   let edges = Netlist.edges netlist in
   let ne = Array.length edges in
@@ -359,9 +385,18 @@ let make_instance ?(certify = false) ?(legacy_encoding = false)
             end)
           tiles
   end;
-  let solver = Sat.Cnf.solver f in
+  let engine =
+    let k =
+      match portfolio with Some k -> k | None -> Sat.Portfolio.default_k ()
+    in
+    if k > 1 then
+      Portfolio
+        (Sat.Portfolio.create ~k ~certify ~nvars:(Sat.Cnf.num_vars f)
+           (Sat.Cnf.clauses f))
+    else Single (Sat.Cnf.solver f)
+  in
   let decode () =
-      let value l = Sat.Solver.value solver l in
+      let value l = engine_value engine l in
       let node_tile = Array.make nn None in
       for n = 0 to nn - 1 do
         List.iter
@@ -447,11 +482,11 @@ let make_instance ?(certify = false) ?(legacy_encoding = false)
         wire_segments;
       layout
   in
-  { solver; cnf = f; decode }
+  { engine; cnf = f; decode }
 
 let solve_fixed ?budget ?blocked ~width ~height netlist =
   let inst = make_instance ?blocked ~width ~height netlist in
-  match Sat.Solver.solve ?budget inst.solver with
+  match engine_solve ?budget inst.engine with
   | Sat.Solver.Sat -> Some (inst.decode ())
   | Sat.Solver.Unsat | Sat.Solver.Unknown _ -> None
 
@@ -533,7 +568,7 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
     List.fold_left
       (fun acc c ->
         match c.state with
-        | Open inst -> Sat.Solver.add_stats acc (Sat.Solver.stats inst.solver)
+        | Open inst -> Sat.Solver.add_stats acc (engine_stats inst.engine)
         | Unbuilt | Refuted -> acc)
       !closed_stats candidates
   in
@@ -582,7 +617,7 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
      claim rests on an unchecked solver answer. *)
   let certify_refutation c inst =
     if config.certify then begin
-      let proof = Sat.Solver.proof inst.solver in
+      let proof = engine_proof inst.engine in
       match
         Sat.Drat.check
           ~nvars:(Sat.Cnf.num_vars inst.cnf)
@@ -629,8 +664,8 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
         let inst =
           make_instance ~certify:config.certify
             ~legacy_encoding:config.legacy_encoding
-            ~symmetry:config.symmetry_breaking ?blocked ~width:c.w ~height:c.h
-            netlist
+            ~symmetry:config.symmetry_breaking ?blocked
+            ?portfolio:config.portfolio ~width:c.w ~height:c.h netlist
         in
         c.state <- Open inst;
         inst
@@ -673,16 +708,16 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
                   | Some b, None -> Some (b * luby_allowance !round)
                   | Some b, Some g -> Some (min (b * luby_allowance !round) g)
                 in
-                let before = (Sat.Solver.stats inst.solver).Sat.Solver.conflicts in
+                let before = (engine_stats inst.engine).Sat.Solver.conflicts in
                 incr attempts;
                 let verdict =
-                  Sat.Solver.solve
+                  engine_solve
                     ~budget:{ budget with Sat.Budget.conflicts = allowance }
-                    inst.solver
+                    inst.engine
                 in
                 spent :=
                   !spent
-                  + (Sat.Solver.stats inst.solver).Sat.Solver.conflicts
+                  + (engine_stats inst.engine).Sat.Solver.conflicts
                   - before;
                 match verdict with
                 | Sat.Solver.Sat -> raise (Done (solved c inst !round))
@@ -690,7 +725,7 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
                     certify_refutation c inst;
                     closed_stats :=
                       Sat.Solver.add_stats !closed_stats
-                        (Sat.Solver.stats inst.solver);
+                        (engine_stats inst.engine);
                     c.state <- Refuted;
                     decr open_count
                 | Sat.Solver.Unknown Sat.Budget.Conflicts ->
@@ -756,15 +791,15 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
             Parallel.Pool.map ~jobs wave_n (fun k ->
                 let _, inst = insts.(k) in
                 let before =
-                  (Sat.Solver.stats inst.solver).Sat.Solver.conflicts
+                  (engine_stats inst.engine).Sat.Solver.conflicts
                 in
                 let verdict =
-                  Sat.Solver.solve
+                  engine_solve
                     ~budget:{ budget with Sat.Budget.conflicts = allowance }
-                    inst.solver
+                    inst.engine
                 in
                 let after =
-                  (Sat.Solver.stats inst.solver).Sat.Solver.conflicts
+                  (engine_stats inst.engine).Sat.Solver.conflicts
                 in
                 (verdict, after - before))
           in
@@ -779,7 +814,7 @@ let place_and_route ?(config = default_config) ?(budget = Sat.Budget.unlimited)
                   certify_refutation c inst;
                   closed_stats :=
                     Sat.Solver.add_stats !closed_stats
-                      (Sat.Solver.stats inst.solver);
+                      (engine_stats inst.engine);
                   c.state <- Refuted
               | Sat.Solver.Unknown Sat.Budget.Conflicts -> unresolved := true
               | Sat.Solver.Unknown (Sat.Budget.Deadline as r)

@@ -68,6 +68,13 @@ type config = {
           forces the unchanged serial path.  The outcome is
           deterministic: results are committed in candidate-area order,
           so the smallest satisfiable area wins at any worker count. *)
+  portfolio : int option;
+      (** Width of the {!Sat.Portfolio} racing each candidate instance.
+          [None] (default) follows {!Sat.Portfolio.default_k};
+          [Some 1] forces the plain single-solver engine.  Any width
+          keeps verdicts, minimality and DRAT certification identical —
+          the portfolio's proofs and models are translated back to the
+          original candidate CNF. *)
 }
 
 val default_config : config

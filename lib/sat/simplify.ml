@@ -1,0 +1,505 @@
+(* SatELite-style clause preprocessing with a DRAT trace.
+
+   The database is append-only: every transformation adds its result as
+   a fresh clause and kills the old one, so per-id literal arrays never
+   mutate and occurrence lists stay accurate for live clauses.  All
+   passes run in deterministic (clause id, then literal) order under a
+   fixed work budget, so identical inputs give identical outputs on
+   every host — the portfolio's determinism contract starts here.
+
+   Proof discipline: additions are logged before the deletions that
+   justify leaving the old clause behind, so each Add is checked by RUP
+   against a database that still contains both sides of the rewrite:
+
+   - a strengthened clause [D \ {¬l}] propagates into [D] (forcing ¬l)
+     and then falsifies [C = C' ∪ {l}];
+   - a resolvent [(P \ {v}) ∪ (N \ {¬v})] propagates [v] through [P]
+     and then falsifies [N];
+   - a vivified prefix [l1..li] reproduces the unit-propagation
+     conflict that shortened the clause (monotone in the database). *)
+
+type counters = {
+  subsumed : int;
+  strengthened : int;
+  eliminated_vars : int;
+  vivified : int;
+}
+
+type result = {
+  clauses : Solver.lit list list;
+  nvars : int;
+  proof : Drat.proof;
+  counters : counters;
+  eliminated : int list;
+  reconstruct : bool array -> bool array;
+}
+
+type cl = { lits : int array (* sorted DIMACS literals *); mutable alive : bool }
+
+type state = {
+  s_nvars : int;
+  mutable cls : cl array;
+  mutable count : int;
+  occ : int list ref array;  (* lit index -> clause ids (may contain dead) *)
+  mutable steps : Drat.step list;  (* reversed *)
+  queue : int Queue.t;
+  mutable unsat : bool;
+  mutable fuel : int;
+  frozen : bool array;
+  gone : bool array;  (* var-1: eliminated *)
+  mutable recon : (int * int list list) list;  (* latest elimination first *)
+  mutable n_subsumed : int;
+  mutable n_strengthened : int;
+  mutable n_eliminated : int;
+  mutable n_vivified : int;
+}
+
+let lit_index l = (2 * (abs l - 1)) + if l < 0 then 1 else 0
+
+let log_add st lits = st.steps <- Drat.Add lits :: st.steps
+let log_delete st lits = st.steps <- Drat.Delete lits :: st.steps
+
+let spend st n = st.fuel <- st.fuel - n
+let out_of_fuel st = st.fuel <= 0
+
+let kill st id =
+  let c = st.cls.(id) in
+  if c.alive then begin
+    c.alive <- false;
+    log_delete st (Array.to_list c.lits)
+  end
+
+(* Append a clause (sorted, tautology-free).  [log] distinguishes
+   derived clauses (DRAT Add) from the original formula. *)
+let push_clause st ~log lits_sorted =
+  if log then log_add st lits_sorted;
+  if lits_sorted = [] then begin
+    st.unsat <- true;
+    -1
+  end
+  else begin
+    if st.count >= Array.length st.cls then begin
+      let bigger =
+        Array.make (2 * Array.length st.cls) { lits = [||]; alive = false }
+      in
+      Array.blit st.cls 0 bigger 0 st.count;
+      st.cls <- bigger
+    end;
+    let id = st.count in
+    st.cls.(id) <- { lits = Array.of_list lits_sorted; alive = true };
+    st.count <- id + 1;
+    List.iter
+      (fun l ->
+        let o = st.occ.(lit_index l) in
+        o := id :: !o)
+      lits_sorted;
+    Queue.push id st.queue;
+    id
+  end
+
+(* Subset test over sorted arrays; [skip] literals in [a] equal to a
+   given literal are excluded (0 = none, 0 never occurs in DIMACS). *)
+let subset_except a skip_a b skip_b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la then true
+    else if a.(i) = skip_a then go (i + 1) j
+    else if j >= lb then false
+    else if b.(j) = skip_b then go i (j + 1)
+    else
+      let c = compare a.(i) b.(j) in
+      if c = 0 then go (i + 1) (j + 1)
+      else if c > 0 then go i (j + 1)
+      else false
+  in
+  go 0 0
+
+let subset a b = subset_except a 0 b 0
+
+let alive_occ st l =
+  List.filter (fun id -> st.cls.(id).alive) !(st.occ.(lit_index l))
+
+(* Pick the literal of [c] with the shortest occurrence list. *)
+let min_occ_lit st (lits : int array) =
+  let best = ref lits.(0) and best_len = ref max_int in
+  Array.iter
+    (fun l ->
+      let n = List.length !(st.occ.(lit_index l)) in
+      if n < !best_len then begin
+        best := l;
+        best_len := n
+      end)
+    lits;
+  !best
+
+(* Strengthen [d] by removing [drop]: add the shortened clause, delete
+   the old one. *)
+let strengthen st d drop =
+  let c = st.cls.(d) in
+  let shorter =
+    Array.to_list c.lits |> List.filter (fun l -> l <> drop)
+  in
+  let _ = push_clause st ~log:true shorter in
+  kill st d;
+  st.n_strengthened <- st.n_strengthened + 1
+
+(* Process one clause off the worklist: backward subsumption (is [c]
+   itself redundant?), forward subsumption, then self-subsuming
+   resolution in both directions that involve [c]'s literals. *)
+let process st id =
+  let c = st.cls.(id) in
+  if c.alive && not st.unsat then begin
+    (* Backward: an existing D ⊆ C kills C. *)
+    let subsumed_by_existing =
+      Array.exists
+        (fun l ->
+          List.exists
+            (fun d ->
+              d <> id
+              && st.cls.(d).alive
+              && Array.length st.cls.(d).lits <= Array.length c.lits
+              && (spend st (Array.length st.cls.(d).lits);
+                  subset st.cls.(d).lits c.lits))
+            (alive_occ st l))
+        c.lits
+    in
+    if subsumed_by_existing then begin
+      kill st id;
+      st.n_subsumed <- st.n_subsumed + 1
+    end
+    else begin
+      (* Forward: C ⊆ D kills D; scan the cheapest occurrence list. *)
+      let pivot = min_occ_lit st c.lits in
+      List.iter
+        (fun d ->
+          if d <> id && st.cls.(d).alive
+             && Array.length st.cls.(d).lits >= Array.length c.lits
+          then begin
+            spend st (Array.length st.cls.(d).lits);
+            if subset c.lits st.cls.(d).lits then begin
+              kill st d;
+              st.n_subsumed <- st.n_subsumed + 1
+            end
+          end)
+        (alive_occ st pivot);
+      (* Self-subsumption, C strengthening D: C = C' ∪ {l}, C' ⊆ D,
+         ¬l ∈ D  ⇒  D := D \ {¬l}. *)
+      Array.iter
+        (fun l ->
+          if st.cls.(id).alive && not st.unsat then
+            List.iter
+              (fun d ->
+                if d <> id && st.cls.(d).alive && st.cls.(id).alive
+                   && Array.length st.cls.(d).lits + 1
+                      >= Array.length c.lits
+                then begin
+                  spend st (Array.length st.cls.(d).lits);
+                  if subset_except c.lits l st.cls.(d).lits 0 then
+                    strengthen st d (-l)
+                end)
+              (alive_occ st (-l)))
+        c.lits
+    end
+  end
+
+let drain_queue st =
+  while (not (Queue.is_empty st.queue)) && (not st.unsat) && not (out_of_fuel st)
+  do
+    process st (Queue.pop st.queue)
+  done;
+  Queue.clear st.queue
+
+(* --- bounded variable elimination ------------------------------------- *)
+
+let resolvent p_lits v n_lits =
+  (* (P \ {v}) ∪ (N \ {¬v}); None on tautology. *)
+  let merged =
+    List.sort_uniq compare
+      (List.filter (fun l -> l <> v) (Array.to_list p_lits)
+      @ List.filter (fun l -> l <> -v) (Array.to_list n_lits))
+  in
+  if List.exists (fun l -> List.mem (-l) merged) merged then None
+  else Some merged
+
+let occurrence_cap = 8
+
+let eliminate st v =
+  let pos = alive_occ st v and neg = alive_occ st (-v) in
+  let npos = List.length pos and nneg = List.length neg in
+  if npos + nneg = 0 then ()
+  else if npos = 0 || nneg = 0 then begin
+    (* Pure literal: drop all occurrences, record them for the model. *)
+    let saved =
+      List.map (fun id -> Array.to_list st.cls.(id).lits) (pos @ neg)
+    in
+    List.iter (fun id -> kill st id) (pos @ neg);
+    st.recon <- (v, saved) :: st.recon;
+    st.gone.(v - 1) <- true;
+    st.n_eliminated <- st.n_eliminated + 1
+  end
+  else if npos <= occurrence_cap && nneg <= occurrence_cap then begin
+    spend st (npos * nneg * 8);
+    let resolvents =
+      List.concat_map
+        (fun p ->
+          List.filter_map
+            (fun n -> resolvent st.cls.(p).lits v st.cls.(n).lits)
+            neg)
+        pos
+      |> List.sort_uniq compare
+    in
+    if List.length resolvents <= npos + nneg then begin
+      let saved =
+        List.map (fun id -> Array.to_list st.cls.(id).lits) (pos @ neg)
+      in
+      (* Adds first (RUP needs the occurrences present), then deletes. *)
+      List.iter (fun r -> ignore (push_clause st ~log:true r)) resolvents;
+      List.iter (fun id -> kill st id) (pos @ neg);
+      st.recon <- (v, saved) :: st.recon;
+      st.gone.(v - 1) <- true;
+      st.n_eliminated <- st.n_eliminated + 1
+    end
+  end
+
+let bve_pass st =
+  let before = st.n_eliminated in
+  for v = 1 to st.s_nvars do
+    if
+      (not st.unsat)
+      && (not (out_of_fuel st))
+      && (not st.frozen.(v - 1))
+      && not st.gone.(v - 1)
+    then eliminate st v
+  done;
+  st.n_eliminated > before
+
+(* --- vivification ------------------------------------------------------ *)
+
+(* A tiny occurrence-list propagation engine over the live database.
+   [value]: 0 unset, 1 true, -1 false (var-1 indexed). *)
+type probe = {
+  value : int array;
+  mutable trail : int list;
+}
+
+let probe_value pr l =
+  let a = pr.value.(abs l - 1) in
+  if a = 0 then 0 else if (a > 0) = (l > 0) then 1 else -1
+
+let probe_assign pr l =
+  pr.value.(abs l - 1) <- (if l > 0 then 1 else -1);
+  pr.trail <- l :: pr.trail
+
+let probe_reset pr =
+  List.iter (fun l -> pr.value.(abs l - 1) <- 0) pr.trail;
+  pr.trail <- []
+
+(* Propagate every pending implication; true on conflict. *)
+let probe_propagate st pr =
+  let conflict = ref false in
+  let head = ref pr.trail in
+  (* The trail is a stack; process a snapshot queue instead. *)
+  let pending = Queue.create () in
+  List.iter (fun l -> Queue.push l pending) (List.rev !head);
+  let seen = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace seen l ()) !head;
+  while (not !conflict) && not (Queue.is_empty pending) do
+    let a = Queue.pop pending in
+    (* Clauses containing ¬a may have become unit or empty. *)
+    List.iter
+      (fun id ->
+        if (not !conflict) && st.cls.(id).alive then begin
+          let c = st.cls.(id) in
+          spend st (Array.length c.lits);
+          let sat = ref false and unassigned = ref 0 and last = ref 0 in
+          Array.iter
+            (fun l ->
+              match probe_value pr l with
+              | 1 -> sat := true
+              | 0 ->
+                  incr unassigned;
+                  last := l
+              | _ -> ())
+            c.lits;
+          if not !sat then
+            if !unassigned = 0 then conflict := true
+            else if !unassigned = 1 then begin
+              probe_assign pr !last;
+              if not (Hashtbl.mem seen !last) then begin
+                Hashtbl.replace seen !last ();
+                Queue.push !last pending
+              end
+            end
+        end)
+      (alive_occ st (-a))
+  done;
+  !conflict
+
+let vivify_clause st pr id =
+  let c = st.cls.(id) in
+  if c.alive && Array.length c.lits >= 3 && not (out_of_fuel st) then begin
+    (* Probe without the clause itself, or the last literal would
+       trivially propagate and every clause would "shorten" to itself. *)
+    c.alive <- false;
+    let lits = c.lits in
+    let n = Array.length lits in
+    let replacement = ref None in
+    (try
+       for i = 0 to n - 1 do
+         let li = lits.(i) in
+         match probe_value pr li with
+         | 1 ->
+             (* Implied by the assumed prefix: keep prefix + li. *)
+             replacement :=
+               Some (Array.to_list (Array.sub lits 0 i) @ [ li ]);
+             raise Exit
+         | -1 ->
+             (* Redundant literal: the prefix already implies ¬li. *)
+             replacement :=
+               Some
+                 (Array.to_list lits
+                 |> List.filter (fun l -> l <> li));
+             raise Exit
+         | _ ->
+             probe_assign pr (-li);
+             if probe_propagate st pr then begin
+               if i < n - 1 then
+                 replacement :=
+                   Some (Array.to_list (Array.sub lits 0 (i + 1)));
+               raise Exit
+             end
+       done
+     with Exit -> ());
+    probe_reset pr;
+    c.alive <- true;
+    match !replacement with
+    | Some shorter when List.length shorter < n ->
+        let sorted = List.sort_uniq compare shorter in
+        let _ = push_clause st ~log:true sorted in
+        kill st id;
+        st.n_vivified <- st.n_vivified + 1
+    | _ -> ()
+  end
+
+let vivify_pass st =
+  let before = st.n_vivified in
+  let pr = { value = Array.make (max 1 st.s_nvars) 0; trail = [] } in
+  let limit = st.count in
+  let id = ref 0 in
+  while !id < limit && (not st.unsat) && not (out_of_fuel st) do
+    vivify_clause st pr !id;
+    incr id
+  done;
+  st.n_vivified > before
+
+(* --- model reconstruction ---------------------------------------------- *)
+
+let reconstruct_with recon nvars model =
+  let m = Array.make nvars false in
+  Array.blit model 0 m 0 (min nvars (Array.length model));
+  List.iter
+    (fun (v, saved) ->
+      let lit_true l =
+        let x = m.(abs l - 1) in
+        if l > 0 then x else not x
+      in
+      List.iter
+        (fun clause ->
+          if not (List.exists lit_true clause) then
+            (* The clause mentions v (it was an occurrence of v at
+               elimination time); flip v to the polarity it needs. *)
+            m.(v - 1) <- List.mem v clause)
+        saved)
+    recon;
+  m
+
+(* --- driver ------------------------------------------------------------- *)
+
+let run ?(frozen = []) ~nvars clauses =
+  let st =
+    {
+      s_nvars = nvars;
+      cls = Array.make 64 { lits = [||]; alive = false };
+      count = 0;
+      occ = Array.init (max 2 (2 * nvars)) (fun _ -> ref []);
+      steps = [];
+      queue = Queue.create ();
+      unsat = false;
+      fuel = 5_000_000;
+      frozen = Array.make (max 1 nvars) false;
+      gone = Array.make (max 1 nvars) false;
+      recon = [];
+      n_subsumed = 0;
+      n_strengthened = 0;
+      n_eliminated = 0;
+      n_vivified = 0;
+    }
+  in
+  List.iter
+    (fun l ->
+      let v = abs l in
+      if v >= 1 && v <= nvars then st.frozen.(v - 1) <- true)
+    frozen;
+  (* Intake: normalize, drop tautologies (logged as deletions so the
+     trace accounts for every original clause that disappears). *)
+  List.iter
+    (fun c ->
+      if not st.unsat then begin
+        let sorted = List.sort_uniq compare c in
+        let tautology = List.exists (fun l -> List.mem (-l) sorted) sorted in
+        if tautology then log_delete st sorted
+        else if sorted = [] then begin
+          st.unsat <- true;
+          log_add st []
+        end
+        else ignore (push_clause st ~log:false sorted)
+      end)
+    clauses;
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < 3 && (not st.unsat) && not (out_of_fuel st) do
+    changed := false;
+    drain_queue st;
+    if (not st.unsat) && not (out_of_fuel st) then
+      if vivify_pass st then changed := true;
+    drain_queue st;
+    if (not st.unsat) && not (out_of_fuel st) then
+      if bve_pass st then changed := true;
+    drain_queue st;
+    incr rounds
+  done;
+  (* An empty clause reached outside push_clause's Add logging (input
+     intake logs its own) must close the trace. *)
+  (if st.unsat then
+     match st.steps with
+     | Drat.Add [] :: _ -> ()
+     | _ -> log_add st []);
+  let final =
+    if st.unsat then [ [] ]
+    else begin
+      let acc = ref [] in
+      for id = st.count - 1 downto 0 do
+        if st.cls.(id).alive then
+          acc := Array.to_list st.cls.(id).lits :: !acc
+      done;
+      !acc
+    end
+  in
+  let eliminated =
+    List.sort compare (List.map fst st.recon)
+  in
+  let recon = st.recon in
+  {
+    clauses = final;
+    nvars;
+    proof = List.rev st.steps;
+    counters =
+      {
+        subsumed = st.n_subsumed;
+        strengthened = st.n_strengthened;
+        eliminated_vars = st.n_eliminated;
+        vivified = st.n_vivified;
+      };
+    eliminated;
+    reconstruct = reconstruct_with recon nvars;
+  }

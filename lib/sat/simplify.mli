@@ -1,0 +1,57 @@
+(** Clause-level preprocessing (SatELite-style inprocessing) shared by
+    the {!Portfolio} members.
+
+    Four passes run to a bounded fixpoint over a clause database:
+
+    - {b subsumption}: a clause [C ⊆ D] deletes [D] (unit clauses
+      subsume everything satisfied by them, so root-level unit
+      propagation is a special case);
+    - {b self-subsuming resolution}: [C = C' ∪ {l}] with [C' ⊆ D] and
+      [¬l ∈ D] strengthens [D] to [D \ {¬l}];
+    - {b bounded variable elimination}: a variable whose resolvent set
+      is no larger than the clauses it replaces is resolved away
+      (pure literals are the zero-resolvent case); deleted occurrences
+      are pushed on a reconstruction stack so any model of the
+      simplified formula extends to a model of the original;
+    - {b vivification}: assuming the negations of a clause's literals
+      one by one under unit propagation either shortens the clause or
+      leaves it alone.
+
+    Every clause addition is a reverse-unit-propagation (RUP)
+    consequence of the database at that point and every deletion is
+    logged, so {!result.proof} is a valid DRAT prefix: appending the
+    refutation a solver derives {e from the simplified clauses} yields
+    a proof of the {e original} formula that {!Drat.check} accepts. *)
+
+type counters = {
+  subsumed : int;  (** Clauses deleted by subsumption. *)
+  strengthened : int;  (** Clauses strengthened by self-subsumption. *)
+  eliminated_vars : int;  (** Variables eliminated (incl. pure literals). *)
+  vivified : int;  (** Clauses shortened by vivification. *)
+}
+
+type result = {
+  clauses : Solver.lit list list;
+      (** The simplified clause set, over the original variable
+          numbering (eliminated variables simply no longer occur).
+          Contains [[]] iff preprocessing already refuted the formula. *)
+  nvars : int;  (** Unchanged from the input. *)
+  proof : Drat.proof;
+      (** DRAT steps transforming the original set into [clauses];
+          prepend to a solve proof to certify against the original. *)
+  counters : counters;
+  eliminated : int list;  (** Eliminated variables, ascending. *)
+  reconstruct : bool array -> bool array;
+      (** [reconstruct m] takes a model of [clauses] (indexed by
+          [var - 1], length >= [nvars]) and returns a model of the
+          original clauses: values of eliminated variables are fixed
+          from the reconstruction stack, all others pass through. *)
+}
+
+val run :
+  ?frozen:Solver.lit list -> nvars:int -> Solver.lit list list -> result
+(** Simplify the clause set.  [frozen] variables (given as positive
+    literals) are never eliminated — freeze anything that outside code
+    constrains later (assumptions, incremental additions).  The pass
+    budget is internal and deterministic: identical inputs produce
+    identical outputs, proofs and counters on every host. *)

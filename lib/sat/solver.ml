@@ -28,13 +28,45 @@ type config = {
   glue_reduction : bool;
       (* Glucose-style reduce_db keyed on LBD with in-place watch
          compaction; otherwise activity-keyed with a full rebuild. *)
+  restart_base : int;
+      (* Conflicts per Luby restart unit; the historical value is 100. *)
+  reduce_slack : int;
+      (* Extra learned clauses tolerated beyond 2x the problem size
+         before reduce_db fires; the historical value is 2000. *)
+  seed : int;
+      (* 0: no perturbation.  Nonzero: deterministic per-variable
+         epsilon on the initial VSIDS activities and a hashed initial
+         phase, so portfolio members explore different branching orders
+         without affecting completeness (epsilons are far below one
+         activity bump and only break ties among never-bumped vars). *)
 }
 
 let default_config =
-  { binary_specialization = true; blocking_literals = true; glue_reduction = true }
+  {
+    binary_specialization = true;
+    blocking_literals = true;
+    glue_reduction = true;
+    restart_base = 100;
+    reduce_slack = 2000;
+    seed = 0;
+  }
 
 let legacy_config =
-  { binary_specialization = false; blocking_literals = false; glue_reduction = false }
+  {
+    binary_specialization = false;
+    blocking_literals = false;
+    glue_reduction = false;
+    restart_base = 100;
+    reduce_slack = 2000;
+    seed = 0;
+  }
+
+(* Deterministic avalanche-style hash of (seed, var), platform-stable on
+   63-bit ints: used only to derive tie-breaking epsilons and phases. *)
+let seed_mix seed v =
+  let x = ((seed * 0x9E3779B1) + (v * 0x85EBCA77)) land 0x3FFFFFFF in
+  let x = (x lxor (x lsr 13)) * 0xC2B2AE35 land 0x3FFFFFFF in
+  x lxor (x lsr 11)
 
 (* Process-wide default picked up by [create] when no explicit config is
    given; lets a benchmark driver flip every downstream solver (CNF
@@ -292,6 +324,11 @@ let new_var s =
   s.reason.(v) <- -1;
   s.activity.(v) <- 0.;
   s.phase.(v) <- false;
+  if s.config.seed <> 0 then begin
+    let h = seed_mix s.config.seed v in
+    s.activity.(v) <- float_of_int (h land 0xFFFF) *. 1e-9;
+    s.phase.(v) <- h land 0x10000 <> 0
+  end;
   s.seen.(v) <- false;
   s.heap_pos.(v) <- -1;
   if 2 * (v + 1) > Array.length s.watches then begin
@@ -990,7 +1027,7 @@ let solve ?(assumptions = []) ?(budget = Budget.unlimited) s =
     | None -> ());
     (try
        while !result = None do
-         let max_conflicts = 100 * luby !round in
+         let max_conflicts = s.config.restart_base * luby !round in
          incr round;
          (match search s assumptions max_conflicts with
          | Sat_found ->
@@ -1004,7 +1041,7 @@ let solve ?(assumptions = []) ?(budget = Budget.unlimited) s =
          if
            !result = None
            && s.learned_clauses - s.learned_bin
-              > (2 * s.problem_clauses) + 2000
+              > (2 * s.problem_clauses) + s.config.reduce_slack
          then reduce_db s
        done
      with e ->
@@ -1043,6 +1080,10 @@ type stats = {
   lbd_sum : int;
   lbd_count : int;
   solve_time_s : float;
+  simplify_subsumed : int;
+  simplify_strengthened : int;
+  simplify_eliminated : int;
+  simplify_vivified : int;
 }
 
 let stats (s : t) =
@@ -1061,6 +1102,10 @@ let stats (s : t) =
     lbd_sum = s.lbd_sum;
     lbd_count = s.lbd_count;
     solve_time_s = s.solve_time;
+    simplify_subsumed = 0;
+    simplify_strengthened = 0;
+    simplify_eliminated = 0;
+    simplify_vivified = 0;
   }
 
 let empty_stats =
@@ -1079,6 +1124,10 @@ let empty_stats =
     lbd_sum = 0;
     lbd_count = 0;
     solve_time_s = 0.;
+    simplify_subsumed = 0;
+    simplify_strengthened = 0;
+    simplify_eliminated = 0;
+    simplify_vivified = 0;
   }
 
 let add_stats a b =
@@ -1097,6 +1146,10 @@ let add_stats a b =
     lbd_sum = a.lbd_sum + b.lbd_sum;
     lbd_count = a.lbd_count + b.lbd_count;
     solve_time_s = a.solve_time_s +. b.solve_time_s;
+    simplify_subsumed = a.simplify_subsumed + b.simplify_subsumed;
+    simplify_strengthened = a.simplify_strengthened + b.simplify_strengthened;
+    simplify_eliminated = a.simplify_eliminated + b.simplify_eliminated;
+    simplify_vivified = a.simplify_vivified + b.simplify_vivified;
   }
 
 let mean_lbd st =
@@ -1111,8 +1164,9 @@ let pp_stats ppf st =
   Format.fprintf ppf
     "conflicts=%d decisions=%d propagations=%d binprops=%d props_per_s=%.0f \
      restarts=%d learned=%d binaries=%d deleted=%d reductions=%d \
-     compaction_scans=%d mean_lbd=%.2f"
+     compaction_scans=%d mean_lbd=%.2f simplify=%d/%d/%d/%d"
     st.conflicts st.decisions st.propagations st.binary_propagations
     (propagations_per_sec st) st.restarts st.learned_clauses
     st.learned_binaries st.deleted_clauses st.reductions
-    st.watch_compaction_scans (mean_lbd st)
+    st.watch_compaction_scans (mean_lbd st) st.simplify_subsumed
+    st.simplify_strengthened st.simplify_eliminated st.simplify_vivified

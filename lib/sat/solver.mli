@@ -47,6 +47,21 @@ type config = {
       (** Reduce the learned database by LBD ("glue"): clauses with glue
           <= 2 are immortal, ties are broken by activity, and watch lists
           are compacted in place instead of rebuilt from scratch. *)
+  restart_base : int;
+      (** Conflicts per Luby restart unit (round [r] of a [solve] call
+          allows [restart_base * luby r] conflicts before restarting).
+          Historical and default value: 100. *)
+  reduce_slack : int;
+      (** Extra learned clauses tolerated beyond twice the problem size
+          before a reduction pass fires.  Historical and default value:
+          2000. *)
+  seed : int;
+      (** Branching seed.  [0] (default) leaves the historical behavior
+          untouched.  A nonzero seed deterministically perturbs the
+          initial VSIDS activities (tie-breaking epsilons, orders of
+          magnitude below one activity bump) and the initial saved
+          phases, so portfolio members explore different parts of the
+          search space.  Completeness and verdicts are unaffected. *)
 }
 
 val default_config : config
@@ -153,6 +168,14 @@ type stats = {
   lbd_sum : int;  (** Cumulative sum of learned-clause glues. *)
   lbd_count : int;
   solve_time_s : float;  (** Cumulative wall time inside [solve]. *)
+  simplify_subsumed : int;
+      (** Clauses deleted by subsumption during {!Simplify}
+          preprocessing.  Always 0 on a bare solver; the portfolio layer
+          fills these four in when it attaches a simplifier run. *)
+  simplify_strengthened : int;
+      (** Clauses strengthened by self-subsuming resolution. *)
+  simplify_eliminated : int;  (** Variables removed by bounded elimination. *)
+  simplify_vivified : int;  (** Clauses shortened by vivification. *)
 }
 
 val stats : t -> stats

@@ -180,11 +180,19 @@ let flow_options ~engine (p : Protocol.design_params) =
 
 let run_flow ctx ~options ~paranoid ~budget source =
   let memo = (source_key source, ctx.memo) in
-  match source with
-  | Protocol.Benchmark b ->
-      Core.Flow.run_benchmark ~options ~paranoid ~memo ~budget b
-  | Protocol.Verilog src ->
-      Core.Flow.run_verilog ~options ~paranoid ~memo ~budget src
+  let r =
+    match source with
+    | Protocol.Benchmark b ->
+        Core.Flow.run_benchmark ~options ~paranoid ~memo ~budget b
+    | Protocol.Verilog src ->
+        Core.Flow.run_verilog ~options ~paranoid ~memo ~budget src
+  in
+  (match r with
+  | Ok res ->
+      Metrics.record_solver ctx.metrics
+        res.Core.Flow.diagnostics.Core.Flow.solver_stats
+  | Error _ -> ());
+  r
 
 let error_parts_of_failure (f : Core.Flow.failure) =
   match f.Core.Flow.budget_reason with

@@ -16,6 +16,7 @@ type t = {
   mutable degraded : int;
   mutable shed : int;
   mutable protocol_errors : int;
+  mutable solver : Sat.Solver.stats;
 }
 
 let create () =
@@ -26,6 +27,7 @@ let create () =
     degraded = 0;
     shed = 0;
     protocol_errors = 0;
+    solver = Sat.Solver.empty_stats;
   }
 
 let locked t f =
@@ -70,6 +72,9 @@ let incr_shed t = locked t (fun () -> t.shed <- t.shed + 1)
 
 let incr_protocol_errors t =
   locked t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
+
+let record_solver t stats =
+  locked t (fun () -> t.solver <- Sat.Solver.add_stats t.solver stats)
 
 (* Upper bound of the bucket holding quantile [q]; the overflow bucket
    reports the max latency seen. *)
@@ -149,4 +154,27 @@ let to_json t ~uptime_s ~memo =
                     (hit_rate ~hits:memo.verdict_hits ~misses:memo.verdict_misses) );
               ] );
           ("kinds", Json.Obj kinds);
+          ( "solver",
+            (let s = t.solver in
+             let n x = Json.Num (float_of_int x) in
+             Json.Obj
+               [
+                 ("conflicts", n s.Sat.Solver.conflicts);
+                 ("decisions", n s.Sat.Solver.decisions);
+                 ( "propagations",
+                   n
+                     (s.Sat.Solver.propagations
+                     + s.Sat.Solver.binary_propagations) );
+                 ("restarts", n s.Sat.Solver.restarts);
+                 ("solve_time_s", Json.Num s.Sat.Solver.solve_time_s);
+                 ( "simplify",
+                   Json.Obj
+                     [
+                       ("subsumed", n s.Sat.Solver.simplify_subsumed);
+                       ("strengthened", n s.Sat.Solver.simplify_strengthened);
+                       ( "eliminated_vars",
+                         n s.Sat.Solver.simplify_eliminated );
+                       ("vivified", n s.Sat.Solver.simplify_vivified);
+                     ] );
+               ]) );
         ])

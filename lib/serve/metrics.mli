@@ -24,6 +24,11 @@ val incr_shed : t -> unit
 val incr_protocol_errors : t -> unit
 (** Lines that never became a job: parse, version, or envelope errors. *)
 
+val record_solver : t -> Sat.Solver.stats -> unit
+(** Accumulate the SAT work behind one finished job (pointwise sum,
+    including the [simplify_*] preprocessing counters); reported as the
+    ["solver"] object of the ["stats"] response. *)
+
 val to_json :
   t -> uptime_s:float -> memo:Core.Flow.Memo.stats -> Json.t
 (** The ["stats"] response payload: uptime, counters, cache hit rates,

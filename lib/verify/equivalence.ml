@@ -85,18 +85,44 @@ let run ~certify ~budget ntk1 ntk2 =
           }
       else None
     in
-    match Sat.Solver.solve ~budget solver with
-    | Sat.Solver.Unsat ->
-        (Equivalent, certificate (Unsat_proof (Sat.Solver.proof solver)))
-    | Sat.Solver.Sat ->
-        let cex =
-          Hashtbl.fold
-            (fun name l acc -> (name, Sat.Solver.value solver l) :: acc)
-            pi_table []
-          |> List.sort compare
-        in
-        (Counterexample cex, certificate (Sat_model (Sat.Solver.model solver)))
-    | Sat.Solver.Unknown reason -> (Undecided reason, None)
+    let k = Sat.Portfolio.default_k () in
+    if k > 1 then begin
+      (* Portfolio path: preprocess the miter once, race k diversified
+         solvers.  The certificate still carries the *original* miter
+         clauses — the portfolio's proof includes the simplification
+         trace, and its model is reconstructed over eliminated
+         variables, so [replay] works unchanged. *)
+      let p =
+        Sat.Portfolio.create ~k ~certify ~nvars:(Sat.Cnf.num_vars f)
+          (Sat.Cnf.clauses f)
+      in
+      match Sat.Portfolio.solve ~budget p with
+      | Sat.Solver.Unsat ->
+          (Equivalent, certificate (Unsat_proof (Sat.Portfolio.proof p)))
+      | Sat.Solver.Sat ->
+          let cex =
+            Hashtbl.fold
+              (fun name l acc -> (name, Sat.Portfolio.value p l) :: acc)
+              pi_table []
+            |> List.sort compare
+          in
+          (Counterexample cex, certificate (Sat_model (Sat.Portfolio.model p)))
+      | Sat.Solver.Unknown reason -> (Undecided reason, None)
+    end
+    else
+      match Sat.Solver.solve ~budget solver with
+      | Sat.Solver.Unsat ->
+          (Equivalent, certificate (Unsat_proof (Sat.Solver.proof solver)))
+      | Sat.Solver.Sat ->
+          let cex =
+            Hashtbl.fold
+              (fun name l acc -> (name, Sat.Solver.value solver l) :: acc)
+              pi_table []
+            |> List.sort compare
+          in
+          ( Counterexample cex,
+            certificate (Sat_model (Sat.Solver.model solver)) )
+      | Sat.Solver.Unknown reason -> (Undecided reason, None)
   end
 
 let check ?(budget = Sat.Budget.unlimited) ntk1 ntk2 =

@@ -41,43 +41,51 @@
 #                              structured parse error without killing
 #                              the loop, and EOF must shut the server
 #                              down cleanly)
+#  12. SAT portfolio smoke    (Simplify equisatisfiability and
+#                              portfolio-vs-single fuzz properties, then
+#                              the portfolio bench races: verdicts must
+#                              match the single solver, the winner must
+#                              be identical across --jobs, and the
+#                              certified refutation must DRAT-check
+#                              through the simplify+portfolio path)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/11 type check =="
+echo "== 1/12 type check =="
 dune build @check
 
-echo "== 2/11 full build =="
+echo "== 2/12 full build =="
 dune build
 
-echo "== 3/11 test suite =="
+echo "== 3/12 test suite =="
 start=$(date +%s)
 dune runtest --force
 end=$(date +%s)
 echo "tests passed in $((end - start))s"
 
-echo "== 4/11 property fuzzing =="
+echo "== 4/12 property fuzzing =="
 # Fixed seed: reproducible in CI, >= 500 iterations across the eight
 # properties (CNF, at-most-one encodings, XAG, priority-vs-exhaustive
 # cuts, defect parameters, charge systems, defect-aware P&R, and
 # server line-noise: Serve.Server.handle_line must answer every byte
-# sequence with structured JSON, never an exception).
-dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40 -defect-aware 25 -serve 200
+# sequence with structured JSON, never an exception).  The simplify and
+# portfolio properties get a dedicated run in stage 12.
+dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40 -defect-aware 25 -serve 200 -simplify 0 -portfolio 0
 
-echo "== 5/11 budgeted-flow smoke test =="
+echo "== 5/12 budgeted-flow smoke test =="
 # Must return a verified layout without raising, degrading to the
 # scalable engine if the exact share of the deadline runs out.
 dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
 
-echo "== 6/11 certification smoke test =="
+echo "== 6/12 certification smoke test =="
 # Benchmark "t" needs one candidate size refuted before its minimal
 # layout: paranoid mode proof-checks that UNSAT and replays the
 # equivalence certificate; any failed check exits nonzero.
 dune exec bin/fictionette.exe -- check t | grep "certified refutations"
 dune exec bin/fictionette.exe -- check t
 
-echo "== 7/11 bench smoke (parallel determinism + BENCH_sim.json shape) =="
+echo "== 7/12 bench smoke (parallel determinism + BENCH_sim.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sim --smoke --jobs 2 --out "$out"
 # Shape check: schema marker, host cores, at least one result row with
@@ -93,7 +101,7 @@ if grep -q '"identical_to_serial": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 8/11 SAT bench smoke (config parity + BENCH_sat.json shape) =="
+echo "== 8/12 SAT bench smoke (config parity + BENCH_sat.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sat --smoke --out "$out"
 # Shape check: schema marker, both solver configurations, per-solve
@@ -111,7 +119,7 @@ if grep -q '"verdict_matches_legacy": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 9/11 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
+echo "== 9/12 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- logic --smoke --out "$out"
 # Shape check: schema marker, both enumeration configurations, cut and
@@ -129,7 +137,7 @@ if grep -q '"identical_netlist": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 10/11 defect bench smoke (aware >= oblivious + BENCH_defects.json shape) =="
+echo "== 10/12 defect bench smoke (aware >= oblivious + BENCH_defects.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- defects --smoke --aware --out "$out"
 # Shape check: schema marker, the aware-never-worse verdict the harness
@@ -144,7 +152,7 @@ if grep -q '"aware_ge_oblivious": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 11/11 design-server smoke (protocol + fault isolation) =="
+echo "== 11/12 design-server smoke (protocol + fault isolation) =="
 out=$(mktemp)
 # A real server session over stdio: two flow requests, one malformed
 # line, one stats probe, then EOF.  The malformed line must get a
@@ -165,6 +173,27 @@ grep -q '"id":"s1","kind":"stats","status":"ok"' "$out"
 grep -q '"protocol_errors":1' "$out"
 # The one-shot JSON mode speaks the same schema as the server.
 dune exec bin/fictionette.exe -- run c17 --json | grep -q '"kind":"design","status":"ok"'
+rm -f "$out"
+
+echo "== 12/12 SAT portfolio smoke (simplify equisat + deterministic races) =="
+# The two dedicated fuzz properties: Simplify preserves satisfiability
+# (models reconstruct, refutations DRAT-check), and a k-wide portfolio
+# agrees with a single solver on every random instance.
+dune exec test/fuzz.exe -- -seed 61442 -cnf 0 -amo 0 -xag 0 -cuts 0 -defect 0 -system 0 -defect-aware 0 -serve 0 -simplify 150 -portfolio 80
+# Portfolio bench races (k=4, jobs 1 and 2 in smoke mode): the harness
+# itself exits nonzero on a verdict mismatch against the single solver,
+# a winner that differs across --jobs, or a rejected DRAT proof.
+out=$(mktemp)
+dune exec bench/main.exe -- sat --smoke --portfolio --out "$out"
+grep -q '"portfolio": {' "$out"
+grep -q '"verdict_matches_single": true' "$out"
+grep -q '"winner_config":' "$out"
+grep -q '"proof": "accepted"' "$out"
+grep -q '"eliminated_vars":' "$out"
+if grep -q '"verdict_matches_single": false' "$out"; then
+    echo "portfolio smoke: portfolio verdict differed from single solver" >&2
+    exit 1
+fi
 rm -f "$out"
 
 echo "CI OK"

@@ -56,6 +56,111 @@ let cnf_property (f : P.cnf) =
               (Printf.sprintf "DRAT proof rejected at step %d: %s" step
                  reason))
 
+(* Simplify: the preprocessed formula is equisatisfiable with the
+   original (brute-force oracle on both), reconstructed models satisfy
+   the *original* clauses, eliminated variables really are gone, and the
+   DRAT trace — alone for a preprocessing refutation, or followed by a
+   solver refutation of the simplified clauses — checks against the
+   original formula. *)
+
+let lit_true_in model l =
+  let v = model.(abs l - 1) in
+  if l > 0 then v else not v
+
+let simplify_property (f : P.cnf) =
+  let r = Sat.Simplify.run ~nvars:f.P.nvars f.P.clauses in
+  let oracle_sat = P.brute_force_sat f in
+  let simplified_sat =
+    P.brute_force_sat { f with P.clauses = r.Sat.Simplify.clauses }
+  in
+  if simplified_sat <> oracle_sat then
+    Error "simplified formula is not equisatisfiable with the original"
+  else if
+    List.exists
+      (fun c ->
+        List.exists (fun l -> List.mem (abs l) r.Sat.Simplify.eliminated) c)
+      r.Sat.Simplify.clauses
+  then Error "an eliminated variable still occurs in the simplified clauses"
+  else begin
+    let s = S.create () in
+    for _ = 1 to f.P.nvars do
+      ignore (S.new_var s)
+    done;
+    S.enable_proof s;
+    List.iter (S.add_clause s) r.Sat.Simplify.clauses;
+    match S.solve s with
+    | S.Unknown _ -> Error "unbudgeted solve returned Unknown"
+    | S.Sat ->
+        if not oracle_sat then Error "solver SAT on UNSAT simplification"
+        else
+          let reconstructed = r.Sat.Simplify.reconstruct (S.model s) in
+          if
+            List.for_all
+              (fun c -> List.exists (lit_true_in reconstructed) c)
+              f.P.clauses
+          then Ok ()
+          else Error "reconstructed model falsifies an original clause"
+    | S.Unsat -> (
+        if oracle_sat then Error "solver UNSAT on SAT simplification"
+        else
+          let full = r.Sat.Simplify.proof @ S.proof s in
+          match Sat.Drat.check ~nvars:f.P.nvars ~clauses:f.P.clauses full with
+          | Sat.Drat.Valid -> Ok ()
+          | Sat.Drat.Invalid { step; reason } ->
+              Error
+                (Printf.sprintf
+                   "simplify+solve DRAT proof rejected at step %d: %s" step
+                   reason))
+  end
+
+(* Portfolio: verdict must match a plain single solver at any width;
+   SAT models (reconstructed) must satisfy the original clauses; UNSAT
+   must come with a checkable proof of the original formula. *)
+
+type portfolio_instance = { pf_cnf : P.cnf; pf_k : int }
+
+let portfolio_arb : portfolio_instance P.arbitrary =
+  let gen rng = { pf_cnf = P.cnf.P.gen rng; pf_k = 1 + P.Rng.int rng 6 } in
+  let shrink i =
+    List.map (fun c -> { i with pf_cnf = c }) (P.cnf.P.shrink i.pf_cnf)
+  in
+  let pp ppf i =
+    Format.fprintf ppf "k=%d %a" i.pf_k P.cnf.P.pp i.pf_cnf
+  in
+  { P.gen; shrink; pp }
+
+let portfolio_property inst =
+  let f = inst.pf_cnf in
+  let single = S.create () in
+  for _ = 1 to f.P.nvars do
+    ignore (S.new_var single)
+  done;
+  List.iter (S.add_clause single) f.P.clauses;
+  let p =
+    Sat.Portfolio.create ~k:inst.pf_k ~certify:true ~nvars:f.P.nvars
+      f.P.clauses
+  in
+  match (S.solve single, Sat.Portfolio.solve p) with
+  | S.Unknown _, _ | _, S.Unknown _ ->
+      Error "unbudgeted solve returned Unknown"
+  | S.Sat, S.Unsat | S.Unsat, S.Sat ->
+      Error "portfolio verdict differs from single solver"
+  | S.Sat, S.Sat ->
+      let m = Sat.Portfolio.model p in
+      if List.for_all (fun c -> List.exists (lit_true_in m) c) f.P.clauses
+      then Ok ()
+      else Error "portfolio model falsifies an original clause"
+  | S.Unsat, S.Unsat -> (
+      match
+        Sat.Drat.check ~nvars:f.P.nvars ~clauses:f.P.clauses
+          (Sat.Portfolio.proof p)
+      with
+      | Sat.Drat.Valid -> Ok ()
+      | Sat.Drat.Invalid { step; reason } ->
+          Error
+            (Printf.sprintf "portfolio DRAT proof rejected at step %d: %s"
+               step reason))
+
 (* At-most-one encodings: sequential and commander agree with pairwise
    (and with a semantic oracle) under every full assumption set.  This
    also extends the CDCL-vs-oracle cross-check to formulas containing
@@ -495,10 +600,18 @@ let () =
   let defect_aware_iters = ref 25 in
   let system_iters = ref 40 in
   let serve_iters = ref 150 in
+  let simplify_iters = ref 200 in
+  let portfolio_iters = ref 100 in
   Arg.parse
     [
       ("-seed", Arg.Set_int seed, "PRNG seed (default 0xF002)");
       ("-cnf", Arg.Set_int cnf_iters, "CNF iterations (default 300)");
+      ( "-simplify",
+        Arg.Set_int simplify_iters,
+        "CNF preprocessing iterations (default 200)" );
+      ( "-portfolio",
+        Arg.Set_int portfolio_iters,
+        "solver-portfolio iterations (default 100)" );
       ( "-amo",
         Arg.Set_int amo_iters,
         "at-most-one encoding iterations (default 60)" );
@@ -520,8 +633,8 @@ let () =
         "design-server line-noise iterations (default 150)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "fuzz [-seed N] [-cnf N] [-amo N] [-xag N] [-cuts N] [-defect N] \
-     [-defect-aware N] [-system N] [-serve N]";
+    "fuzz [-seed N] [-cnf N] [-simplify N] [-portfolio N] [-amo N] [-xag N] \
+     [-cuts N] [-defect N] [-defect-aware N] [-system N] [-serve N]";
   let failed = ref false in
   let run name iterations arb prop =
     let outcome = P.check ~seed:!seed ~iterations arb prop in
@@ -529,6 +642,9 @@ let () =
     match outcome with P.Passed _ -> () | P.Failed _ -> failed := true
   in
   run "cnf-vs-oracle" !cnf_iters P.cnf cnf_property;
+  run "simplify-equisat" !simplify_iters P.cnf simplify_property;
+  run "portfolio-vs-single" !portfolio_iters portfolio_arb
+    portfolio_property;
   run "amo-encodings" !amo_iters amo_arb amo_property;
   run "xag-rewrite-map" !xag_iters P.xag xag_property;
   run "cuts-priority-vs-exhaustive" !cuts_iters P.xag cuts_property;
