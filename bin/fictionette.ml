@@ -464,6 +464,197 @@ let gates_cmd =
        ~doc:"Validate the Bestagon gate designs by exact simulation (Fig. 5).")
     Term.(const action $ const ())
 
+let sim_engine_conv =
+  let parse s =
+    match Sidb.Bdl.engine_of_string s with
+    | Ok e -> Ok e
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun ppf e -> Format.pp_print_string ppf (Sidb.Bdl.engine_name e))
+
+let simulate_cmd =
+  let name_arg =
+    let doc =
+      "Gate name ($(b,wire), $(b,inverter), $(b,or2), $(b,and2), $(b,nor2), \
+       $(b,nand2), $(b,xor2), $(b,xnor2)) or, with $(b,--layout), a \
+       benchmark name (see $(b,fictionette list))."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let layout_arg =
+    Arg.(
+      value & flag
+      & info [ "layout" ]
+          ~doc:
+            "Simulate the complete placed-and-routed benchmark as $(i,one) \
+             charge system: whole-layout ground state and critical \
+             temperature (the workload the exact engines cannot touch \
+             beyond a few tiles).")
+  in
+  let sim_engine_arg =
+    let doc =
+      "Ground-state engine: $(b,exhaustive), $(b,pruned), or \
+       $(b,quicksim).  Defaults to $(b,FICTIONETTE_SIM_ENGINE) if set, \
+       else automatic (exact pruned search on small systems, quicksim \
+       above the exact-engine site limit)."
+    in
+    Arg.(
+      value & opt (some sim_engine_conv) None
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let confidence_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "confidence" ] ~docv:"P"
+          ~doc:
+            "Ground-manifold Boltzmann weight defining the critical \
+             temperature.")
+  in
+  let bits b =
+    String.concat ""
+      (List.map (fun x -> if x then "1" else "0") (Array.to_list b))
+  in
+  let run_gate name engine =
+    let tiles =
+      [
+        ("wire",
+         Layout.Tile.Wire
+           {
+             segments =
+               [ (Hexlib.Direction.North_west, Hexlib.Direction.South_east) ];
+           });
+        ("inverter",
+         Layout.Tile.Gate
+           {
+             fn = Logic.Mapped.Inv;
+             ins = [ Hexlib.Direction.North_west ];
+             outs = [ Hexlib.Direction.South_east ];
+           });
+      ]
+      @ List.map
+          (fun (n, fn) ->
+            ( n,
+              Layout.Tile.Gate
+                {
+                  fn;
+                  ins =
+                    [ Hexlib.Direction.North_west; Hexlib.Direction.North_east ];
+                  outs = [ Hexlib.Direction.South_east ];
+                } ))
+          [
+            ("or2", Logic.Mapped.Or2); ("and2", Logic.Mapped.And2);
+            ("nor2", Logic.Mapped.Nor2); ("nand2", Logic.Mapped.Nand2);
+            ("xor2", Logic.Mapped.Xor2); ("xnor2", Logic.Mapped.Xnor2);
+          ]
+    in
+    match List.assoc_opt (String.lowercase_ascii name) tiles with
+    | None ->
+        Format.eprintf "error: unknown gate %S (want one of: %s)@." name
+          (String.concat ", " (List.map fst tiles));
+        1
+    | Some tile -> (
+        match
+          (Bestagon.Library.validation_structure tile,
+           Bestagon.Library.tile_spec tile)
+        with
+        | None, _ | _, None ->
+            Format.eprintf "error: no validation harness for %S@." name;
+            1
+        | Some structure, Some spec ->
+            let engine =
+              match engine with
+              | Some e -> e
+              | None -> Sidb.Bdl.default_engine ()
+            in
+            let report = Sidb.Bdl.check ~engine structure ~spec in
+            Format.printf "%s: engine %s (%s)@."
+              (String.lowercase_ascii name)
+              (Sidb.Bdl.engine_name engine)
+              (if Sidb.Bdl.engine_exact engine then "exact" else "heuristic");
+            List.iter
+              (fun (r : Sidb.Bdl.row_result) ->
+                Format.printf "  %s -> %s  E0 = %+.6f eV  %s@."
+                  (bits r.Sidb.Bdl.assignment)
+                  (bits r.Sidb.Bdl.expected)
+                  r.Sidb.Bdl.ground_energy
+                  (if r.Sidb.Bdl.ok then "ok" else "MISMATCH"))
+              report.Sidb.Bdl.rows;
+            Format.printf "%s: %s@."
+              (String.lowercase_ascii name)
+              (if report.Sidb.Bdl.functional then "operational"
+               else "NOT OPERATIONAL");
+            if report.Sidb.Bdl.functional then 0 else 2)
+  in
+  let run_layout name engine deadline conflicts confidence =
+    let options =
+      {
+        Core.Flow.default_options with
+        Core.Flow.engine =
+          Core.Flow.Exact_with_fallback Physdesign.Exact.default_config;
+        check_equivalence = false;
+        apply_library = false;
+      }
+    in
+    match
+      Core.Flow.run_benchmark ~options
+        ~budget:(budget_of deadline conflicts)
+        name
+    with
+    | Error f -> report_failure f
+    | Ok result -> (
+        match Core.Flow.simulate_layout ?engine ~confidence result with
+        | Error e ->
+            Format.eprintf "error: %s@." e;
+            1
+        | Ok s ->
+            Format.printf "whole-layout simulation: %s@." name;
+            Format.printf "  engine: %s (%s)@." s.Core.Flow.sim_engine
+              (if s.Core.Flow.sim_exact then "exact" else "heuristic");
+            Format.printf "  system: %d SiDB(s) across %d tile(s)%s@."
+              s.Core.Flow.sim_sites s.Core.Flow.sim_tiles
+              (if s.Core.Flow.sim_duplicates_dropped > 0 then
+                 Printf.sprintf " (%d shared boundary site(s) merged)"
+                   s.Core.Flow.sim_duplicates_dropped
+               else "");
+            Format.printf "  ground state: %.6f eV, degeneracy %d, %s@."
+              s.Core.Flow.sim_energy s.Core.Flow.sim_degeneracy
+              (if s.Core.Flow.sim_valid then "physically valid"
+               else "NOT physically valid");
+            Format.printf
+              "  critical temperature%s: %.1f K (confidence %.2f, %d \
+               spectrum state(s))@."
+              (if s.Core.Flow.sim_exact then "" else " (upper estimate)")
+              s.Core.Flow.sim_critical_temperature_k confidence
+              s.Core.Flow.sim_spectrum_states;
+            Format.printf "  simulation time: %.3f s@." s.Core.Flow.sim_seconds;
+            if s.Core.Flow.sim_valid then 0 else 2)
+  in
+  let action name layout engine deadline conflicts jobs confidence =
+    apply_jobs jobs;
+    (* An explicit --engine becomes the process-wide default, so every
+       downstream ground-state call (library checks included) honors
+       it — same precedence as FICTIONETTE_SIM_ENGINE, but stronger. *)
+    (match engine with
+    | Some e -> Sidb.Bdl.set_default_engine e
+    | None -> ());
+    if layout then run_layout name engine deadline conflicts confidence
+    else run_gate name engine
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Ground-state simulation: validate one Bestagon gate on all input \
+          rows, or — with $(b,--layout) — flatten a whole placed-and-routed \
+          benchmark into a single charge system and report its ground state \
+          and critical temperature.  $(b,--engine quicksim) scales to \
+          hundreds of DBs; exact engines refuse oversized systems with a \
+          structured error instead of searching unboundedly.  Exit codes: \
+          0 ok, 2 non-functional gate or invalid states, 1 hard error.")
+    Term.(
+      const action $ name_arg $ layout_arg $ sim_engine_arg $ deadline_arg
+      $ conflict_budget_arg $ jobs_arg $ confidence_arg)
+
 let yield_cmd =
   let bench_arg =
     let doc = "Benchmark name (see $(b,fictionette list))." in
@@ -942,6 +1133,6 @@ let main =
   Cmd.group
     (Cmd.info "fictionette" ~version:"0.1" ~doc)
     [ run_cmd; verilog_cmd; design_cmd; check_cmd; synth_cmd; list_cmd;
-      table1_cmd; gates_cmd; yield_cmd; serve_cmd ]
+      table1_cmd; gates_cmd; simulate_cmd; yield_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,94 @@
+(* Whole-layout assembly: flatten a placed-and-routed gate layout into
+   ONE charge system in the absolute lattice frame.
+
+   Library.apply already produces the flat site list for fabrication
+   export; simulation additionally needs (a) the per-site clock zone, so
+   clocking electrodes can bias each tile's phase through the external
+   potential, and (b) a duplicate-free site array (Charge_system.create
+   rejects duplicates).  Neighboring tiles never share dots by
+   construction of the scaffold frames, but defensive deduplication
+   keeps a mis-specified library from crashing the assembler. *)
+
+type t = {
+  system : Sidb.Charge_system.t;
+  site_count : int;
+  tile_count : int;
+  zones : int array;
+  duplicates_dropped : int;
+  all_validated : bool;
+}
+
+let assemble ?(inputs = []) ?(model = Sidb.Model.default)
+    ?(clock_bias = [| 0. |]) layout =
+  if Array.length clock_bias = 0 then
+    invalid_arg "Assembly.assemble: clock_bias must be non-empty";
+  let error = ref None in
+  let seen = Hashtbl.create 512 in
+  let rev_sites = ref [] and rev_zones = ref [] in
+  let site_count = ref 0 and dropped = ref 0 and tiles = ref 0 in
+  let all_validated = ref true in
+  let add_sites c tile_local =
+    let zone = Layout.Gate_layout.zone layout c in
+    List.iter
+      (fun s ->
+        let placed = Geometry.translate_site s ~at:c in
+        if Hashtbl.mem seen placed then incr dropped
+        else begin
+          Hashtbl.add seen placed ();
+          rev_sites := placed :: !rev_sites;
+          rev_zones := zone :: !rev_zones;
+          incr site_count
+        end)
+      tile_local
+  in
+  Layout.Gate_layout.iter layout (fun c tile ->
+      if !error = None && not (Layout.Tile.is_empty tile) then
+        match Library.implement tile with
+        | Error e ->
+            error := Some (Format.asprintf "%a: %s" Hexlib.Coord.pp_offset c e)
+        | Ok impl ->
+            incr tiles;
+            if not impl.Library.validated then all_validated := false;
+            add_sites c impl.Library.sites;
+            (match tile with
+            | Layout.Tile.Pi { name; _ } -> (
+                let value =
+                  Option.value ~default:false (List.assoc_opt name inputs)
+                in
+                match Library.pi_driver tile ~value with
+                | Some pert -> add_sites c pert
+                | None -> ())
+            | Layout.Tile.Empty | Layout.Tile.Po _ | Layout.Tile.Gate _
+            | Layout.Tile.Wire _ | Layout.Tile.Fanout _ ->
+                ()));
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !site_count = 0 then Error "Assembly.assemble: layout has no SiDBs"
+      else begin
+        let sites = Array.of_list (List.rev !rev_sites) in
+        let zones = Array.of_list (List.rev !rev_zones) in
+        let v_ext =
+          Array.map (fun z -> clock_bias.(z mod Array.length clock_bias)) zones
+        in
+        let system = Sidb.Charge_system.create ~v_ext model sites in
+        Ok
+          {
+            system;
+            site_count = !site_count;
+            tile_count = !tiles;
+            zones;
+            duplicates_dropped = !dropped;
+            all_validated = !all_validated;
+          }
+      end
+
+let with_clock_bias t clock_bias =
+  if Array.length clock_bias = 0 then
+    invalid_arg "Assembly.with_clock_bias: clock_bias must be non-empty";
+  let v_ext =
+    Array.map
+      (fun z -> clock_bias.(z mod Array.length clock_bias))
+      t.zones
+  in
+  { t with system = Sidb.Charge_system.with_v_ext t.system v_ext }

@@ -1,0 +1,42 @@
+(** Whole-layout assembly: one {!Sidb.Charge_system} for a complete
+    placed-and-routed design.
+
+    {!Library.apply} flattens a gate layout to a site list for
+    fabrication export; this module flattens it for {e simulation} —
+    every tile's DBs (and the primary-input driver perturbers) in the
+    absolute lattice frame, annotated with each site's clock zone so a
+    per-phase electrode bias can be applied through the external
+    potential.  The result is the input to whole-layout ground-state
+    and critical-temperature analysis ({!Sidb.Ground_state.quicksim};
+    complete Table-1 designs run to hundreds of DBs, far beyond the
+    exact engines). *)
+
+type t = {
+  system : Sidb.Charge_system.t;
+      (** All DBs of the layout, absolute frame, clock bias applied as
+          [v_ext]. *)
+  site_count : int;
+  tile_count : int;  (** Non-empty tiles assembled. *)
+  zones : int array;  (** Clock zone of each site, aligned with the system. *)
+  duplicates_dropped : int;
+      (** Colliding absolute sites dropped defensively (0 for any layout
+          the library produces). *)
+  all_validated : bool;  (** Every tile's canvas is simulation-confirmed. *)
+}
+
+val assemble :
+  ?inputs:(string * bool) list ->
+  ?model:Sidb.Model.t ->
+  ?clock_bias:float array ->
+  Layout.Gate_layout.t ->
+  (t, string) result
+(** Flatten the layout.  [inputs] pins primary-input drivers near/far by
+    value (default: all 0, as {!Library.apply}).  [clock_bias] gives the
+    electrode potential (eV) added to every site of clock zone [z] as
+    [clock_bias.(z mod length)]; the default [[| 0. |]] holds all zones
+    neutral.  [Error] on a tile outside the library or a layout with no
+    DBs. *)
+
+val with_clock_bias : t -> float array -> t
+(** Re-bias the assembled system for a different clocking phase without
+    re-flattening (same sites, new [v_ext] — cheap, for phase sweeps). *)

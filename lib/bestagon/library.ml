@@ -176,6 +176,19 @@ let tile_spec tile =
       | M.Buf -> Some (fun i -> [| i.(0) |])
       | M.Ha -> Some (fun i -> [| i.(0) <> i.(1); i.(0) && i.(1) |]))
 
+let pi_driver tile ~value =
+  match tile with
+  | Layout.Tile.Pi _ -> (
+      match design_for tile with
+      | Error _ -> None
+      | Ok (ins, outs, _) -> (
+          let frame = scaffold ins outs in
+          match frame.Scaffold.drivers with
+          | [| driver |] ->
+              Some (if value then driver.Sidb.Bdl.near else driver.Sidb.Bdl.far)
+          | _ -> None))
+  | _ -> None
+
 type sidb_layout = {
   sites : Sidb.Lattice.site list;
   sidb_count : int;
@@ -212,20 +225,11 @@ let apply ?(inputs = []) layout =
                 let value =
                   Option.value ~default:false (List.assoc_opt name inputs)
                 in
-                match design_for tile with
-                | Ok (ins, outs, _) -> (
-                    let frame = scaffold ins outs in
-                    match frame.Scaffold.drivers with
-                    | [| driver |] ->
-                        let pert =
-                          if value then driver.Sidb.Bdl.near
-                          else driver.Sidb.Bdl.far
-                        in
-                        sites :=
-                          List.map (Geometry.translate_site ~at:c) pert
-                          :: !sites
-                    | _ -> ())
-                | Error _ -> ())
+                match pi_driver tile ~value with
+                | Some pert ->
+                    sites :=
+                      List.map (Geometry.translate_site ~at:c) pert :: !sites
+                | None -> ())
             | Layout.Tile.Empty | Layout.Tile.Po _ | Layout.Tile.Gate _
             | Layout.Tile.Wire _ | Layout.Tile.Fanout _ ->
                 ()));

@@ -25,6 +25,11 @@ val tile_spec : Layout.Tile.t -> (bool array -> bool array) option
 (** Expected Boolean behaviour of a tile (input order = port order of
     {!Layout.Tile.inputs}); [None] for empty/[Pi] tiles. *)
 
+val pi_driver : Layout.Tile.t -> value:bool -> Sidb.Lattice.site list option
+(** Tile-local external driver perturber for a primary-input pad at the
+    given logic value (near position for 1, far for 0); [None] for
+    non-[Pi] tiles. *)
+
 (** {2 Whole-layout application} *)
 
 type sidb_layout = {

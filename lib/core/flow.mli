@@ -257,6 +257,51 @@ val run_benchmark :
   (result, failure) Stdlib.result
 (** Run on a named circuit from {!Logic.Benchmarks}. *)
 
+(** {2 Whole-layout simulation} *)
+
+type layout_sim = {
+  sim_engine : string;
+  sim_exact : bool;
+      (** Whether energy/degeneracy/critical temperature are exact: true
+          for the exact engines, false for quicksim (energies are upper
+          bounds, the spectrum is sampled, T_c is an upper estimate). *)
+  sim_sites : int;  (** DB count of the assembled system. *)
+  sim_tiles : int;
+  sim_energy : float;  (** Ground-state energy, eV. *)
+  sim_degeneracy : int;
+  sim_valid : bool;
+      (** Every reported ground state is physically valid (population-
+          and configuration-stable). *)
+  sim_spectrum_states : int;
+  sim_critical_temperature_k : float;
+  sim_duplicates_dropped : int;
+  sim_seconds : float;
+}
+
+val exact_site_limit : int
+(** Largest system (40 sites) {!simulate_layout} hands to an exact
+    engine: auto-selection switches to quicksim above it, and an
+    explicitly requested exact engine is refused with a structured
+    [Error]. *)
+
+val simulate_layout :
+  ?engine:Sidb.Bdl.engine ->
+  ?inputs:(string * bool) list ->
+  ?clock_bias:float array ->
+  ?confidence:float ->
+  ?t_max:float ->
+  result ->
+  (layout_sim, string) Stdlib.result
+(** Simulate the complete placed-and-routed design as {e one} charge
+    system ({!Bestagon.Assembly}): whole-layout ground state and
+    critical temperature — the workload the exact engines cannot touch
+    beyond a few tiles.  [engine] defaults to
+    {!Sidb.Bdl.configured_engine} when set, else auto: exact pruned
+    search up to 40 sites, quicksim above.  An exact engine requested
+    explicitly on a larger system gets a structured [Error] (refusal),
+    never an unbounded search.  [inputs]/[clock_bias] parameterize the
+    assembly; [confidence]/[t_max] the critical-temperature search. *)
+
 val export_sqd : result -> ?inputs:(string * bool) list -> path:string -> unit -> (unit, string) Stdlib.result
 (** Step 8: write the SiDB layout as a SiQAD design file. *)
 

@@ -41,11 +41,24 @@ val set_default_jobs : int -> unit
     precedence over [FICTIONETTE_JOBS].
     @raise Invalid_argument when the count is not positive. *)
 
-val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
-(** [map ?jobs n f] is [[| f 0; …; f (n-1) |]], computed by [jobs]
-    domains (the caller plus [jobs - 1] pool workers) stealing chunks of
-    indices off a shared atomic counter.  [jobs] defaults to
-    {!default_jobs}; it is capped at [n]. *)
+val map : ?jobs:int -> ?adaptive:bool -> int -> (int -> 'a) -> 'a array
+(** [map ?jobs n f] is [[| f 0; …; f (n-1) |]], computed by up to [jobs]
+    domains (the caller plus pool workers) stealing chunks of indices
+    off a shared atomic counter.  [jobs] defaults to {!default_jobs};
+    it is capped at [n].
+
+    With [adaptive] (the default), two dispatch heuristics apply — the
+    result stays bit-identical to serial in every case:
+
+    - the effective width is additionally capped at the physical core
+      count (extra domains can only time-slice a CPU-bound pure [f]);
+    - a serial prefix runs on the caller until ~1 ms of wall clock has
+      elapsed, so a tiny workload never pays pool dispatch at all, and a
+      heavy one fans out after at most the cutoff plus one item.
+
+    [~adaptive:false] forces immediate pool dispatch at the requested
+    width — for tests and benchmarks that must exercise the parallel
+    machinery itself. *)
 
 val map_reduce :
   ?jobs:int -> n:int -> init:'b -> map:(int -> 'a) -> reduce:('b -> 'a -> 'b) -> 'b

@@ -299,7 +299,18 @@ let gate_tiles =
 
 let gate_names = List.map fst gate_tiles
 
-let simulate ~gate ~chaos =
+(* Protocol engine names map onto the simulation stack here, so the
+   protocol module stays independent of it.  An omitted engine means the
+   server's process-wide default ({!Sidb.Bdl.default_engine}: exact
+   pruned search unless overridden by CLI flag or environment). *)
+let sim_engine_of_protocol = function
+  | None -> Sidb.Bdl.default_engine ()
+  | Some Protocol.Sim_exhaustive -> Sidb.Bdl.Exhaustive
+  | Some Protocol.Sim_pruned -> Sidb.Bdl.Pruned
+  | Some Protocol.Sim_quicksim ->
+      Sidb.Bdl.Quicksim Sidb.Ground_state.default_quicksim
+
+let simulate ~gate ~engine ~chaos =
   maybe_die chaos;
   match List.assoc_opt (String.lowercase_ascii gate) gate_tiles with
   | None ->
@@ -314,11 +325,14 @@ let simulate ~gate ~chaos =
           match Bestagon.Library.tile_spec tile with
           | None -> Error ("infeasible", "no specification for " ^ gate)
           | Some spec ->
-              let report = Sidb.Bdl.check s ~spec in
+              let engine = sim_engine_of_protocol engine in
+              let report = Sidb.Bdl.check ~engine s ~spec in
               Ok
                 (Json.Obj
                    [
                      ("gate", Json.Str (String.lowercase_ascii gate));
+                     ("engine", Json.Str (Sidb.Bdl.engine_name engine));
+                     ("exact", Json.Bool (Sidb.Bdl.engine_exact engine));
                      ("functional", Json.Bool report.Sidb.Bdl.functional);
                      ( "rows",
                        Json.Num
@@ -370,8 +384,8 @@ let dispatch ctx ~id job =
            ~timeout_ms:p.Protocol.y_timeout_ms ~conflicts:None
            ~rungs:[ Rung_fallback; Rung_scalable ]
            ~attempt:(yield_attempt ctx p))
-  | Protocol.Simulate { gate; sim_chaos } -> (
-      match simulate ~gate ~chaos:sim_chaos with
+  | Protocol.Simulate { gate; sim_engine; sim_chaos } -> (
+      match simulate ~gate ~engine:sim_engine ~chaos:sim_chaos with
       | Ok payload -> fun ~latency_ms -> Protocol.ok_response ~id ~kind ~latency_ms payload
       | Error (error_kind, message) ->
           fun ~latency_ms ->

@@ -34,10 +34,21 @@ type yield_params = {
   y_chaos : chaos option;
 }
 
+type sim_engine = Sim_exhaustive | Sim_pruned | Sim_quicksim
+
+let sim_engine_to_string = function
+  | Sim_exhaustive -> "exhaustive"
+  | Sim_pruned -> "pruned"
+  | Sim_quicksim -> "quicksim"
+
 type job =
   | Design of design_params
   | Check of design_params
-  | Simulate of { gate : string; sim_chaos : chaos option }
+  | Simulate of {
+      gate : string;
+      sim_engine : sim_engine option;
+      sim_chaos : chaos option;
+    }
   | Yield of yield_params
 
 let job_kind = function
@@ -179,7 +190,17 @@ let job_of limits j =
   | Some "check" -> Check (design_of limits j)
   | Some "simulate" -> (
       match field_str j "gate" with
-      | Some gate -> Simulate { gate; sim_chaos = chaos_of limits j }
+      | Some gate ->
+          let sim_engine =
+            match field_str j "engine" with
+            | None -> None
+            | Some "exhaustive" -> Some Sim_exhaustive
+            | Some "pruned" -> Some Sim_pruned
+            | Some "quicksim" -> Some Sim_quicksim
+            | Some s ->
+                invalid "unknown engine %S (want exhaustive/pruned/quicksim)" s
+          in
+          Simulate { gate; sim_engine; sim_chaos = chaos_of limits j }
       | None -> invalid "simulate needs a \"gate\" name")
   | Some "yield" -> Yield (yield_of limits j)
   | Some k -> invalid "unknown job kind %S" k

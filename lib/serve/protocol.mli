@@ -70,10 +70,21 @@ type yield_params = {
   y_chaos : chaos option;
 }
 
+type sim_engine = Sim_exhaustive | Sim_pruned | Sim_quicksim
+(** Ground-state engine for simulate jobs (field ["engine"]; the
+    protocol stays independent of the simulation stack — handlers map
+    this onto {!Sidb.Bdl.engine}).  Omitted = the server's default. *)
+
+val sim_engine_to_string : sim_engine -> string
+
 type job =
   | Design of design_params
   | Check of design_params
-  | Simulate of { gate : string; sim_chaos : chaos option }
+  | Simulate of {
+      gate : string;
+      sim_engine : sim_engine option;
+      sim_chaos : chaos option;
+    }
   | Yield of yield_params
 
 val job_kind : job -> string

@@ -42,7 +42,38 @@ type engine =
   | Pruned
       (** {!Ground_state.pruned}: branch and bound plus population-stability
           subtree pruning; same results, fastest on gate-sized systems. *)
+  | Quicksim of Ground_state.quicksim_config
+      (** {!Ground_state.quicksim}: sampled population-dynamics heuristic.
+          Not exact — energies are upper bounds — but deterministic and
+          the only engine that scales to whole multi-gate layouts. *)
   | Anneal of Simanneal.params
+
+val engine_name : engine -> string
+val engine_exact : engine -> bool
+(** Whether the engine guarantees the exact ground state. *)
+
+val engine_of_string : string -> (engine, string) result
+(** Parses [exhaustive]/[pruned]/[quicksim] (plus aliases [exgs],
+    [quickexact], [bb]); [quicksim] gets {!Ground_state.default_quicksim}. *)
+
+val set_default_engine : engine -> unit
+(** Process-wide default (e.g. from a [--engine] CLI flag); takes
+    precedence over the environment. *)
+
+val env_engine : unit -> engine option
+(** The FICTIONETTE_SIM_ENGINE environment variable, when set to a value
+    {!engine_of_string} accepts. *)
+
+val configured_engine : unit -> engine option
+(** {!set_default_engine}'s value if any, else {!env_engine} — [None]
+    when the user expressed no preference anywhere. *)
+
+val default_engine : unit -> engine
+(** {!configured_engine}, falling back to exact [Pruned]: heuristics
+    must be opted into wherever exact engines are feasible. *)
+
+val solve : engine -> Charge_system.t -> Ground_state.result
+(** Run one ground-state computation with the given engine. *)
 
 type row_result = {
   assignment : bool array;

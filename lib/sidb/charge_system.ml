@@ -69,6 +69,26 @@ let local_potentials t occ =
   done;
   pot
 
+let interaction_row t i = t.v.(i)
+
+let energy_delta_hop t ~pot ~src ~dst =
+  (* Energy change of moving the charge at occupied [src] to empty
+     [dst]: the new site gains its local potential, the old one loses
+     it, and the pair term V_src,dst was counted inside pot.(dst) even
+     though the charge is leaving [src] — subtract it back out. *)
+  pot.(dst) -. pot.(src) -. t.v.(src).(dst)
+
+let apply_hop t ~pot ~src ~dst =
+  (* Update cached local potentials in place after the hop [src -> dst]:
+     every site stops feeling src's charge and starts feeling dst's.
+     The interaction matrix has a zero diagonal, so pot.(src) and
+     pot.(dst) come out right without special cases. *)
+  let n = Array.length t.sites in
+  let vs = t.v.(src) and vd = t.v.(dst) in
+  for k = 0 to n - 1 do
+    pot.(k) <- pot.(k) +. vd.(k) -. vs.(k)
+  done
+
 let population_stable t occ =
   let n = Array.length t.sites in
   let mu = t.model.Model.mu_minus in

@@ -25,6 +25,21 @@ val local_potentials : t -> bool array -> float array
     per site costs the same asymptotically but this walks the matrix
     cache-friendly, row by occupied row). *)
 
+val interaction_row : t -> int -> float array
+(** The live row [i] of the interaction matrix (zero diagonal).  Exposed
+    for engine inner loops that walk a whole row; callers must not
+    mutate it. *)
+
+val energy_delta_hop : t -> pot:float array -> src:int -> dst:int -> float
+(** Energy change of hopping the charge at occupied [src] to empty
+    [dst], in O(1) given the cached local potentials [pot] (from
+    {!local_potentials}): [pot.(dst) - pot.(src) - V_src,dst]. *)
+
+val apply_hop : t -> pot:float array -> src:int -> dst:int -> unit
+(** Update the cached local potentials in place after actually
+    performing the hop [src -> dst] — O(n), versus O(n²) for a full
+    {!local_potentials} recomputation. *)
+
 val population_stable : t -> bool array -> bool
 (** SiQAD's population-stability criterion: every occupied site has
     [mu_minus + v_i <= 0] and every empty site [mu_minus + v_i >= 0].

@@ -270,6 +270,203 @@ let pruned ?(max_states = 64) sys =
     { energy = !best_energy; states = List.rev !best_states }
   end
 
+(* QuickSim-style heuristic engine (arXiv 2303.03422): many independent
+   seeded samples, each a randomized steepest-ish descent over the two
+   physical move classes — population updates (toggle a site's charge)
+   and configuration updates (hop a charge to an empty site).  Every
+   applied move strictly lowers the energy by more than [epsilon], so a
+   sample terminates at a state that is population- and
+   configuration-stable by construction, i.e. [physically_valid].
+   Samples are merged deterministically in sample-index order, so the
+   result is bit-identical at any [--jobs] (the Parallel.Pool
+   contract). *)
+
+type quicksim_config = {
+  samples : int;
+  iterations : int;
+  alpha : float;
+  seed : int;
+  max_states : int;
+}
+
+let default_quicksim =
+  { samples = 64; iterations = 20_000; alpha = 2.0; seed = 1; max_states = 64 }
+
+(* Splitmix64 stream: decorrelates per-sample RNGs from consecutive
+   sample indices (same mixing as Bestagon.Yield.tile_seed). *)
+let quicksim_seed base k =
+  let open Int64 in
+  let z = add (of_int base) (mul (of_int (k + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (shift_right_logical z 2)
+
+let quicksim_sample sys config k =
+  let n = Charge_system.size sys in
+  let mu = (Charge_system.model sys).Model.mu_minus in
+  let rng = Random.State.make [| quicksim_seed config.seed k; k |] in
+  let occ = Array.make n false in
+  (* Sample 0 descends from the all-neutral configuration (pure greedy);
+     the others start from random occupations for diversity. *)
+  if k > 0 then
+    for i = 0 to n - 1 do
+      occ.(i) <- Random.State.bool rng
+    done;
+  let pot = ref (Charge_system.local_potentials sys occ) in
+  let moves = ref 0 in
+  let weights = Array.make (max n 1) 0. in
+  let apply_toggle i =
+    let row = Charge_system.interaction_row sys i in
+    let p = !pot in
+    if occ.(i) then begin
+      occ.(i) <- false;
+      for j = 0 to n - 1 do
+        p.(j) <- p.(j) -. row.(j)
+      done
+    end
+    else begin
+      occ.(i) <- true;
+      for j = 0 to n - 1 do
+        p.(j) <- p.(j) +. row.(j)
+      done
+    end;
+    incr moves
+  in
+  (* One population move: among the energy-lowering toggles pick one at
+     random, weighted by |delta|^alpha (larger alpha = greedier).
+     Returns false when the population is already stable. *)
+  let population_move () =
+    let p = !pot in
+    let total = ref 0. in
+    for i = 0 to n - 1 do
+      let dv = mu +. p.(i) in
+      let delta = if occ.(i) then -.dv else dv in
+      let w = if delta < -.epsilon then Float.pow (-.delta) config.alpha else 0. in
+      weights.(i) <- w;
+      total := !total +. w
+    done;
+    if !total <= 0. then false
+    else begin
+      let u = Random.State.float rng !total in
+      let pick = ref (-1) in
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        if weights.(i) > 0. then begin
+          acc := !acc +. weights.(i);
+          (* The last positive weight also catches float-rounding slop
+             where the running sum lands a hair under [total]. *)
+          if !pick < 0 && !acc >= u then pick := i
+        end
+      done;
+      let i =
+        if !pick >= 0 then !pick
+        else begin
+          let last = ref 0 in
+          for i = 0 to n - 1 do
+            if weights.(i) > 0. then last := i
+          done;
+          !last
+        end
+      in
+      apply_toggle i;
+      true
+    end
+  in
+  (* One configuration move: the steepest energy-lowering single hop
+     (lowest (src, dst) pair on exact ties).  Returns false when the
+     configuration is already stable. *)
+  let hop_move () =
+    let p = !pot in
+    let best = ref (-.epsilon) and bsrc = ref (-1) and bdst = ref (-1) in
+    for i = 0 to n - 1 do
+      if occ.(i) then
+        for j = 0 to n - 1 do
+          if not occ.(j) then begin
+            let d = Charge_system.energy_delta_hop sys ~pot:p ~src:i ~dst:j in
+            if d < !best then begin
+              best := d;
+              bsrc := i;
+              bdst := j
+            end
+          end
+        done
+    done;
+    if !bsrc < 0 then false
+    else begin
+      occ.(!bsrc) <- false;
+      occ.(!bdst) <- true;
+      Charge_system.apply_hop sys ~pot:!pot ~src:!bsrc ~dst:!bdst;
+      incr moves;
+      true
+    end
+  in
+  let rec descend () =
+    if !moves < config.iterations then
+      if population_move () then descend ()
+      else if hop_move () then descend ()
+  in
+  descend ();
+  (* Re-derive the potentials from scratch and keep polishing until the
+     state is a fixpoint of the fresh potentials too: this shields the
+     physically-valid guarantee from float drift in the incremental
+     updates. *)
+  let rec settle budget =
+    pot := Charge_system.local_potentials sys occ;
+    if budget > 0 && !moves < config.iterations
+       && (population_move () || hop_move ())
+    then begin
+      descend ();
+      settle (budget - 1)
+    end
+  in
+  settle 16;
+  (occ, Charge_system.energy sys occ)
+
+let quicksim_pool config ?jobs sys =
+  let samples = max 1 config.samples in
+  Parallel.Pool.map ?jobs samples (fun k -> quicksim_sample sys config k)
+
+let quicksim ?(config = default_quicksim) ?jobs sys =
+  let pool = quicksim_pool config ?jobs sys in
+  let all = Array.to_list pool in
+  let usable =
+    (* A sample that exhausted its move budget mid-descent can sit at an
+       unstable state; never let it masquerade as a ground state. *)
+    match
+      List.filter (fun (occ, _) -> Charge_system.physically_valid sys occ) all
+    with
+    | [] -> all (* every sample hit the cap: best-effort answer *)
+    | valid -> valid
+  in
+  let best = List.fold_left (fun acc (_, e) -> Float.min acc e) infinity usable in
+  (* Deterministic merge: scan in sample-index order, dedup, cap. *)
+  let states = ref [] and count = ref 0 in
+  List.iter
+    (fun (occ, e) ->
+      if
+        Float.abs (e -. best) <= epsilon
+        && !count < config.max_states
+        && not (List.exists (fun s -> s = occ) !states)
+      then begin
+        states := occ :: !states;
+        incr count
+      end)
+    usable;
+  { energy = best; states = List.rev !states }
+
+let quicksim_spectrum ?(config = default_quicksim) ?jobs sys =
+  let pool = quicksim_pool config ?jobs sys in
+  (* Dedup in sample-index order (first occurrence wins), then sort by
+     energy; the stable sort keeps index order inside energy ties. *)
+  let dedup = ref [] in
+  Array.iter
+    (fun (occ, e) ->
+      if not (List.exists (fun (s, _) -> s = occ) !dedup) then
+        dedup := (occ, e) :: !dedup)
+    pool;
+  List.stable_sort (fun (_, e1) (_, e2) -> compare e1 e2) (List.rev !dedup)
+
 (* Low-energy spectrum: like [branch_and_bound], but keeping every
    configuration within [window] of the running optimum. *)
 let spectrum ?(max_states = 4096) ~window sys =

@@ -31,6 +31,44 @@ val pruned : ?max_states:int -> Charge_system.t -> result
 
 val degeneracy : result -> int
 
+type quicksim_config = {
+  samples : int;  (** independent seeded restarts (default 64) *)
+  iterations : int;
+      (** per-sample cap on descent moves — a safety net, never reached
+          on converging descents (default 20000) *)
+  alpha : float;
+      (** population-move greediness: an energy-lowering toggle is
+          proposed with weight |delta|^alpha (default 2.0) *)
+  seed : int;  (** base of the per-sample splitmix64 seed stream *)
+  max_states : int;  (** cap on returned degenerate states (default 64) *)
+}
+
+val default_quicksim : quicksim_config
+
+val quicksim :
+  ?config:quicksim_config -> ?jobs:int -> Charge_system.t -> result
+(** QuickSim-style heuristic engine (arXiv 2303.03422): [samples]
+    independent randomized descents — population updates weighted by the
+    local potential via the {!Charge_system.local_potentials} fast path,
+    then single-charge hop polish via {!Charge_system.energy_delta_hop} —
+    merged in sample-index order.  Every returned state is
+    {!Charge_system.physically_valid}; the energy is the best found, a
+    (usually tight) {e upper bound} on the exact ground-state energy.
+    Scales to hundreds of sites where the exact engines refuse or stall.
+    Deterministic for a given [config] at any [jobs] (the
+    {!Parallel.Pool} bit-identical-to-serial contract). *)
+
+val quicksim_spectrum :
+  ?config:quicksim_config ->
+  ?jobs:int ->
+  Charge_system.t ->
+  (bool array * float) list
+(** The deduplicated sample pool of {!quicksim}, sorted by increasing
+    energy — a {e sampled} stand-in for {!spectrum} on systems too large
+    to enumerate.  It can miss excited states (and, unlike {!spectrum},
+    carries no completeness guarantee), so finite-temperature numbers
+    derived from it are estimates; callers must flag them as such. *)
+
 val spectrum :
   ?max_states:int ->
   window:float ->

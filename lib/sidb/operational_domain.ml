@@ -39,7 +39,20 @@ let axis_value axis i =
    union of all the structure's sites and every row's subsystem is cut
    out of it ({!Charge_system.sub}) — bit-identical entries, 2^arity
    fewer matrix builds per grid point. *)
-let operational_at ?(interaction_cache = true) model structure ~spec =
+let operational_at ?(interaction_cache = true) ?engine model structure ~spec =
+  let engine =
+    match engine with Some e -> e | None -> Bdl.default_engine ()
+  in
+  let solve =
+    (* The exact engines get the tight degenerate-state cap (a gate with
+       more than 8 degenerate ground states is broken anyway); anything
+       else goes through the generic dispatch. *)
+    match engine with
+    | Bdl.Pruned -> Ground_state.pruned ~max_states:8
+    | Bdl.Exhaustive -> Ground_state.exhaustive ~max_states:8
+    | Bdl.Branch_and_bound -> Ground_state.branch_and_bound ~max_states:8
+    | e -> Bdl.solve e
+  in
   let arity = Array.length structure.Bdl.inputs in
   let row_system =
     if not interaction_cache then fun sites -> Charge_system.create model sites
@@ -77,7 +90,7 @@ let operational_at ?(interaction_cache = true) model structure ~spec =
        let expected = spec assignment in
        let sites = Bdl.sites_for structure assignment in
        let sys = row_system sites in
-       let result = Ground_state.pruned ~max_states:8 sys in
+       let result = solve sys in
        let states = result.Ground_state.states in
        if states = [] then begin
          ok := false;
@@ -103,7 +116,7 @@ let operational_at ?(interaction_cache = true) model structure ~spec =
    with Exit -> ());
   !ok
 
-let sweep ?(base = Model.default) ?jobs ~x_axis ~y_axis structure ~spec =
+let sweep ?(base = Model.default) ?jobs ?engine ~x_axis ~y_axis structure ~spec =
   if x_axis.steps < 2 || y_axis.steps < 2 then
     invalid_arg "Operational_domain.sweep: axes need at least 2 steps";
   if x_axis.parameter = y_axis.parameter then
@@ -122,7 +135,11 @@ let sweep ?(base = Model.default) ?jobs ~x_axis ~y_axis structure ~spec =
             (set_parameter base x_axis.parameter x_value)
             y_axis.parameter y_value
         in
-        { x_value; y_value; operational = operational_at model structure ~spec })
+        {
+          x_value;
+          y_value;
+          operational = operational_at ?engine model structure ~spec;
+        })
   in
   let operational_count =
     Array.fold_left

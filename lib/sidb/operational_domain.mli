@@ -31,21 +31,25 @@ type t = {
 val sweep :
   ?base:Model.t ->
   ?jobs:int ->
+  ?engine:Bdl.engine ->
   x_axis:axis ->
   y_axis:axis ->
   Bdl.structure ->
   spec:(bool array -> bool array) ->
   t
 (** Exhaustively classify every grid point: a sample is operational when
-    every input row's complete ground-state set ({!Ground_state.pruned})
-    reads back [spec].  Grid points are independent and are classified by
-    [jobs] domains (default {!Parallel.Pool.default_jobs}); results are
+    every input row's complete ground-state set reads back [spec].
+    [engine] defaults to {!Bdl.default_engine} (exact pruned search
+    unless overridden); a heuristic engine makes the classification an
+    estimate.  Grid points are independent and are classified by [jobs]
+    domains (default {!Parallel.Pool.default_jobs}); results are
     bit-identical to the serial ([jobs = 1]) sweep.
     @raise Invalid_argument when an axis has fewer than 2 steps or the
     two axes use the same parameter. *)
 
 val operational_at :
   ?interaction_cache:bool ->
+  ?engine:Bdl.engine ->
   Model.t ->
   Bdl.structure ->
   spec:(bool array -> bool array) ->

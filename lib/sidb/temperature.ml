@@ -5,18 +5,52 @@ let boltzmann_k = 8.617333262e-5
    a 0.35 eV window). *)
 let default_window = 0.35
 
-let state_probabilities sys ~temperature_k ~max_states =
+let spectrum_probabilities spectrum ~temperature_k =
   if temperature_k <= 0. then invalid_arg "Temperature: non-positive T";
-  let spectrum =
-    Ground_state.spectrum ~max_states ~window:default_window sys
+  let e0 =
+    List.fold_left (fun acc (_, e) -> Float.min acc e) infinity spectrum
   in
-  let e0 = match spectrum with (_, e) :: _ -> e | [] -> 0. in
+  let e0 = if e0 = infinity then 0. else e0 in
   let kt = boltzmann_k *. temperature_k in
   let weights =
     List.map (fun (occ, e) -> (occ, exp (-.(e -. e0) /. kt))) spectrum
   in
   let z = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
-  List.map (fun (occ, w) -> (occ, w /. z)) weights
+  if z <= 0. then []
+  else List.map (fun (occ, w) -> (occ, w /. z)) weights
+
+let state_probabilities sys ~temperature_k ~max_states =
+  if temperature_k <= 0. then invalid_arg "Temperature: non-positive T";
+  let spectrum =
+    Ground_state.spectrum ~max_states ~window:default_window sys
+  in
+  spectrum_probabilities spectrum ~temperature_k
+
+let ground_probability spectrum ~temperature_k =
+  let e0 =
+    List.fold_left (fun acc (_, e) -> Float.min acc e) infinity spectrum
+  in
+  let probabilities = spectrum_probabilities spectrum ~temperature_k in
+  List.fold_left2
+    (fun acc (_, e) (_, p) -> if Float.abs (e -. e0) <= 1e-9 then acc +. p else acc)
+    0. spectrum probabilities
+
+let critical_temperature_of_spectrum ?(confidence = 0.9) ?(t_max = 400.)
+    spectrum =
+  if spectrum = [] then 0.
+  else begin
+    let reliable t = ground_probability spectrum ~temperature_k:t >= confidence in
+    if not (reliable 1.) then 0.
+    else if reliable t_max then t_max
+    else begin
+      let lo = ref 1. and hi = ref t_max in
+      while !hi -. !lo > 1. do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if reliable mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
 
 let correctness_probability structure ~spec ~temperature_k
     ?(model = Model.default) () =

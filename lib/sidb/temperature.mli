@@ -11,14 +11,47 @@
 val boltzmann_k : float
 (** Boltzmann constant in eV/K (8.617 × 10⁻⁵). *)
 
+val default_window : float
+(** Spectrum window (eV) used by {!state_probabilities}: wide enough
+    that truncated states carry negligible Boltzmann weight below
+    400 K. *)
+
 val state_probabilities :
   Charge_system.t ->
   temperature_k:float ->
   max_states:int ->
   (bool array * float) list
-(** The [max_states] lowest-energy configurations with their Boltzmann
-    weights, normalized over the {e complete} configuration space
-    (exhaustive enumeration; up to 24 sites). *)
+(** The [max_states] lowest-energy configurations within
+    {!default_window} of the ground state, with their Boltzmann weights
+    normalized over that truncated spectrum (exhaustive enumeration; up
+    to 24 sites).  The window is wide enough that the truncation error
+    is negligible below 400 K. *)
+
+val spectrum_probabilities :
+  (bool array * float) list -> temperature_k:float -> (bool array * float) list
+(** Boltzmann weights over a caller-supplied spectrum (state, energy in
+    eV), normalized over {e that spectrum}.  With an exact windowed
+    spectrum ({!Ground_state.spectrum}) this equals
+    {!state_probabilities}; with a sampled pool
+    ({!Ground_state.quicksim_spectrum}) missing excited states inflate
+    every returned weight, so treat the numbers as optimistic estimates
+    — the exactness of the source spectrum must travel with the result.
+    @raise Invalid_argument on a non-positive temperature. *)
+
+val ground_probability :
+  (bool array * float) list -> temperature_k:float -> float
+(** Total Boltzmann weight of the ground manifold (states within 1e-9 eV
+    of the spectrum's minimum), normalized over the given spectrum. *)
+
+val critical_temperature_of_spectrum :
+  ?confidence:float -> ?t_max:float -> (bool array * float) list -> float
+(** Highest temperature (binary search over (0, t_max], default 400 K,
+    1 K resolution) at which {!ground_probability} stays at or above
+    [confidence] (default 0.90).  The whole-layout analogue of
+    {!critical_temperature}, where "correct" means "in the ground
+    manifold"; on a sampled spectrum the result is an {e upper} estimate
+    (missing excited states can only raise it) and must be flagged as
+    such by the caller.  0 on an empty spectrum. *)
 
 val correctness_probability :
   Bdl.structure ->

@@ -507,6 +507,27 @@ let system_property sites =
   then Error "pruned returned a population-unstable state"
   else Ok ()
 
+(* Heuristic-vs-exact: on systems small enough for the exact engines,
+   quicksim with its default configuration must land on the exact
+   ground-state energy, and everything it returns must be a physically
+   valid state (population- and configuration-stable). *)
+let quicksim_property sites =
+  let open Sidb.Ground_state in
+  let sys = Sidb.Charge_system.create Sidb.Model.default sites in
+  let pr = pruned ~max_states:(1 lsl 16) sys in
+  let qs = quicksim sys in
+  if abs_float (qs.energy -. pr.energy) > 1e-9 then
+    Error
+      (Printf.sprintf "quicksim energy %.9f, pruned %.9f" qs.energy pr.energy)
+  else if qs.states = [] then Error "quicksim returned no states"
+  else if
+    not
+      (List.for_all
+         (fun occ -> Sidb.Charge_system.physically_valid sys occ)
+         qs.states)
+  then Error "quicksim returned a physically invalid state"
+  else Ok ()
+
 (* Driver. *)
 
 (* Design-server loop: random byte noise, JSON soup, and truncated or
@@ -599,6 +620,7 @@ let () =
   let defect_iters = ref 60 in
   let defect_aware_iters = ref 25 in
   let system_iters = ref 40 in
+  let quicksim_iters = ref 40 in
   let serve_iters = ref 150 in
   let simplify_iters = ref 200 in
   let portfolio_iters = ref 100 in
@@ -628,13 +650,17 @@ let () =
       ( "-system",
         Arg.Set_int system_iters,
         "charge-system iterations (default 40)" );
+      ( "-quicksim",
+        Arg.Set_int quicksim_iters,
+        "quicksim-vs-pruned iterations (default 40)" );
       ( "-serve",
         Arg.Set_int serve_iters,
         "design-server line-noise iterations (default 150)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "fuzz [-seed N] [-cnf N] [-simplify N] [-portfolio N] [-amo N] [-xag N] \
-     [-cuts N] [-defect N] [-defect-aware N] [-system N] [-serve N]";
+     [-cuts N] [-defect N] [-defect-aware N] [-system N] [-quicksim N] \
+     [-serve N]";
   let failed = ref false in
   let run name iterations arb prop =
     let outcome = P.check ~seed:!seed ~iterations arb prop in
@@ -652,5 +678,6 @@ let () =
   run "defect-aware-pnr" !defect_aware_iters defect_aware_arb
     defect_aware_property;
   run "pruned-vs-exhaustive" !system_iters system_arb system_property;
+  run "quicksim-vs-pruned" !quicksim_iters system_arb quicksim_property;
   run "serve-line-noise" !serve_iters serve_arb serve_property;
   if !failed then exit 1

@@ -29,6 +29,77 @@ let test_xor2_end_to_end () =
   | GL.Expanded (Layout.Clocking.Row, 3) -> ()
   | _ -> Alcotest.fail "expected super-tile expansion"
 
+(* --- whole-layout assembly and simulation --------------------------------- *)
+
+let test_assembly_matches_library () =
+  (* The assembler and the fabrication exporter flatten the same layout:
+     one site per library DB, nothing dropped, every site zoned. *)
+  let r = run_ok "xor2" in
+  match Bestagon.Assembly.assemble r.F.supertiled with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+      (match r.F.sidb with
+      | Some sidb ->
+          Alcotest.(check int) "site count = exported dot count"
+            sidb.Bestagon.Library.sidb_count a.Bestagon.Assembly.site_count
+      | None -> Alcotest.fail "no sidb layout");
+      Alcotest.(check int) "nothing dropped" 0
+        a.Bestagon.Assembly.duplicates_dropped;
+      Alcotest.(check int) "zones aligned" a.Bestagon.Assembly.site_count
+        (Array.length a.Bestagon.Assembly.zones);
+      Alcotest.(check bool) "tiles assembled" true
+        (a.Bestagon.Assembly.tile_count > 0);
+      Alcotest.(check bool) "canvases validated" true
+        a.Bestagon.Assembly.all_validated;
+      (* A clock bias enters through v_ext: biasing every zone by +0.2 eV
+         raises any single-electron configuration's energy by 0.2 eV. *)
+      let n = a.Bestagon.Assembly.site_count in
+      let occ = Array.init n (fun i -> i = 0) in
+      let e0 = Sidb.Charge_system.energy a.Bestagon.Assembly.system occ in
+      let biased = Bestagon.Assembly.with_clock_bias a [| 0.2 |] in
+      let e1 = Sidb.Charge_system.energy biased.Bestagon.Assembly.system occ in
+      Alcotest.(check (float 1e-9)) "bias shifts energy" 0.2 (e1 -. e0)
+
+let test_simulate_layout_quicksim () =
+  (* xor2's supertiled layout is ~54 DBs — past the exact-engine limit,
+     so auto selection must pick quicksim and finish with valid states. *)
+  let r = run_ok "xor2" in
+  match F.simulate_layout r with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      Alcotest.(check string) "auto picks quicksim" "quicksim" s.F.sim_engine;
+      Alcotest.(check bool) "flagged heuristic" false s.F.sim_exact;
+      Alcotest.(check bool) "past the exact limit" true
+        (s.F.sim_sites > F.exact_site_limit);
+      Alcotest.(check bool) "physically valid" true s.F.sim_valid;
+      Alcotest.(check bool) "energy negative" true (s.F.sim_energy < 0.);
+      Alcotest.(check bool) "degenerate or unique" true (s.F.sim_degeneracy >= 1);
+      Alcotest.(check bool) "spectrum non-empty" true
+        (s.F.sim_spectrum_states >= 1);
+      Alcotest.(check bool) "critical temperature in range" true
+        (s.F.sim_critical_temperature_k >= 0.
+        && s.F.sim_critical_temperature_k <= 400.)
+
+let test_simulate_layout_exact_refusal () =
+  (* An explicitly requested exact engine on an oversized system is a
+     structured refusal, never an unbounded search. *)
+  let r = run_ok "xor2" in
+  List.iter
+    (fun engine ->
+      match F.simulate_layout ~engine r with
+      | Ok _ -> Alcotest.fail "expected a refusal"
+      | Error e ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "mentions the refusal" true
+            (contains e "refused"))
+    [ Sidb.Bdl.Exhaustive; Sidb.Bdl.Pruned; Sidb.Bdl.Branch_and_bound ]
+
 let small_benchmarks = [ "xor2"; "xnor2"; "par_gen"; "mux21"; "par_check"; "c17" ]
 
 let test_small_benchmarks_verified () =
@@ -319,6 +390,12 @@ let () =
       ( "end-to-end",
         [
           Alcotest.test_case "xor2 complete" `Quick test_xor2_end_to_end;
+          Alcotest.test_case "whole-layout assembly" `Quick
+            test_assembly_matches_library;
+          Alcotest.test_case "whole-layout quicksim" `Quick
+            test_simulate_layout_quicksim;
+          Alcotest.test_case "exact-engine refusal" `Quick
+            test_simulate_layout_exact_refusal;
           Alcotest.test_case "small benchmarks" `Slow
             test_small_benchmarks_verified;
           Alcotest.test_case "scalable engine" `Slow test_scalable_engine;

@@ -7,6 +7,10 @@ module M = Logic.Mapped
 
 (* --- pool ----------------------------------------------------------------- *)
 
+(* [~adaptive:false] below forces the requested worker count so the
+   pool machinery itself is exercised even on a single-core host, where
+   the adaptive dispatcher would (correctly) fall back to serial. *)
+
 let test_map_matches_serial () =
   List.iter
     (fun n ->
@@ -16,13 +20,41 @@ let test_map_matches_serial () =
           Alcotest.(check (array int))
             (Printf.sprintf "map n=%d jobs=%d" n jobs)
             expected
-            (Pool.map ~jobs n (fun i -> (i * i) + 1)))
+            (Pool.map ~adaptive:false ~jobs n (fun i -> (i * i) + 1)))
         [ 1; 2; 4; 8 ])
     [ 0; 1; 3; 17; 1000 ]
 
 let test_map_jobs_exceed_range () =
   Alcotest.(check (array int)) "jobs > n" [| 0; 10; 20 |]
-    (Pool.map ~jobs:16 3 (fun i -> 10 * i))
+    (Pool.map ~adaptive:false ~jobs:16 3 (fun i -> 10 * i))
+
+let test_adaptive_matches_forced () =
+  (* The adaptive dispatcher (core cap + serial warm-up prefix) must be
+     invisible in the results: same arrays as the forced-parallel and
+     serial paths, for both instant items and items slow enough to
+     out-last the warm-up cutoff and reach the parallel tail. *)
+  let busy i =
+    let acc = ref 0 in
+    for k = 0 to 20_000 do
+      acc := (!acc + (i * k)) land max_int
+    done;
+    !acc
+  in
+  List.iter
+    (fun (label, n, f) ->
+      let expected = Array.init n f in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s adaptive jobs=%d" label jobs)
+            expected
+            (Pool.map ~jobs n f);
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s forced jobs=%d" label jobs)
+            expected
+            (Pool.map ~adaptive:false ~jobs n f))
+        [ 1; 2; 4 ])
+    [ ("instant", 200, fun i -> (i * 3) + 1); ("busy", 64, busy) ]
 
 let test_map_reduce_ordered () =
   (* String concatenation is non-commutative: only an in-order merge
@@ -40,7 +72,7 @@ let test_exception_propagates () =
       Alcotest.check_raises
         (Printf.sprintf "raise at jobs=%d" jobs)
         (Failure "boom")
-        (fun () -> ignore (Pool.map ~jobs 1000 (fun i ->
+        (fun () -> ignore (Pool.map ~adaptive:false ~jobs 1000 (fun i ->
              if i = 617 then failwith "boom" else i))))
     [ 1; 2; 4 ]
 
@@ -52,7 +84,7 @@ let test_lowest_index_exception_wins () =
   List.iter
     (fun jobs ->
       for _ = 1 to 20 do
-        match Pool.map ~jobs 500 (fun i ->
+        match Pool.map ~adaptive:false ~jobs 500 (fun i ->
             if i mod 83 = 7 then raise (Tagged i) else i)
         with
         | _ -> Alcotest.fail "expected an exception"
@@ -70,9 +102,9 @@ let test_nested_map () =
   List.iter
     (fun jobs ->
       let outer =
-        Pool.map ~jobs 8 (fun i ->
+        Pool.map ~adaptive:false ~jobs 8 (fun i ->
             Array.fold_left ( + ) 0
-              (Pool.map ~jobs 16 (fun j -> (i * 100) + j)))
+              (Pool.map ~adaptive:false ~jobs 16 (fun j -> (i * 100) + j)))
       in
       let expected =
         Array.init 8 (fun i ->
@@ -270,6 +302,8 @@ let () =
           Alcotest.test_case "env + override" `Quick test_env_and_override;
           Alcotest.test_case "map = serial" `Quick test_map_matches_serial;
           Alcotest.test_case "jobs > n" `Quick test_map_jobs_exceed_range;
+          Alcotest.test_case "adaptive = forced = serial" `Quick
+            test_adaptive_matches_forced;
           Alcotest.test_case "ordered map_reduce" `Quick test_map_reduce_ordered;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;

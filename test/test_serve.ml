@@ -335,6 +335,41 @@ let test_batch_job_errors_isolated () =
       Alcotest.(check string) "non-object job errors" "error" (status r3)
   | rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs)
 
+let test_simulate_engine_selection () =
+  let server = S.create ~config:quick_config () in
+  let sim engine =
+    one server
+      (Printf.sprintf
+         {|{"fictionette-serve":1,"kind":"simulate","gate":"or2"%s,"id":1}|}
+         (match engine with
+         | None -> ""
+         | Some e -> Printf.sprintf {|,"engine":"%s"|} e))
+  in
+  (* Explicit engines are echoed with their exactness flag. *)
+  let r = sim (Some "quicksim") in
+  Alcotest.(check string) "quicksim ok" "ok" (status r);
+  let result = field "result" r in
+  Alcotest.(check bool) "engine echoed" true
+    (J.str (field "engine" result) = Some "quicksim");
+  Alcotest.(check bool) "flagged heuristic" true
+    (J.bool_ (field "exact" result) = Some false);
+  Alcotest.(check bool) "functional" true
+    (J.bool_ (field "functional" result) = Some true);
+  let r = sim (Some "exhaustive") in
+  Alcotest.(check string) "exhaustive ok" "ok" (status r);
+  Alcotest.(check bool) "flagged exact" true
+    (J.bool_ (field "exact" (field "result" r)) = Some true);
+  (* Default: the server's process-wide engine (pruned, exact). *)
+  let r = sim None in
+  Alcotest.(check string) "default ok" "ok" (status r);
+  Alcotest.(check bool) "default exact" true
+    (J.bool_ (field "exact" (field "result" r)) = Some true);
+  (* Unknown engines are a structured invalid_request, not a crash. *)
+  let r = sim (Some "annealer") in
+  Alcotest.(check string) "unknown engine rejected" "error" (status r);
+  Alcotest.(check bool) "invalid_request kind" true
+    (J.str (field "kind" (field "error" r)) = Some "invalid_request")
+
 (* --- server: lifecycle and stats ----------------------------------------- *)
 
 let test_stats_and_shutdown () =
@@ -401,6 +436,8 @@ let () =
             test_admission_depth_shedding;
           Alcotest.test_case "budget-mass shedding" `Quick
             test_admission_budget_mass_shedding;
+          Alcotest.test_case "simulate engine selection" `Quick
+            test_simulate_engine_selection;
           Alcotest.test_case "stats + shutdown" `Quick test_stats_and_shutdown;
         ] );
     ]

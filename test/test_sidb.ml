@@ -349,6 +349,183 @@ let test_operational_domain_errors () =
        false
      with Invalid_argument _ -> true)
 
+(* --- incremental hop updates --------------------------------------------- *)
+
+let random_occupation rng n =
+  Array.init n (fun _ -> Random.State.bool rng)
+
+let test_energy_delta_hop () =
+  (* The O(n) incremental hop delta must equal the full energy
+     recomputation, and [apply_hop] must leave the potential vector
+     equal to a fresh [local_potentials] of the post-hop occupation. *)
+  let rng = Random.State.make [| 2026 |] in
+  for seed = 1 to 25 do
+    let n = 4 + Random.State.int rng 9 in
+    let sys = random_system seed n in
+    let occ = random_occupation rng n in
+    (* Force at least one occupied and one empty site. *)
+    occ.(0) <- true;
+    occ.(n - 1) <- false;
+    let src =
+      let rec pick () =
+        let i = Random.State.int rng n in
+        if occ.(i) then i else pick ()
+      in
+      pick ()
+    and dst =
+      let rec pick () =
+        let i = Random.State.int rng n in
+        if occ.(i) then pick () else i
+      in
+      pick ()
+    in
+    let pot = CS.local_potentials sys occ in
+    let before = CS.energy sys occ in
+    let delta = CS.energy_delta_hop sys ~pot ~src ~dst in
+    let hopped = Array.copy occ in
+    hopped.(src) <- false;
+    hopped.(dst) <- true;
+    let after = CS.energy sys hopped in
+    Alcotest.(check feq) "incremental delta = full recomputation"
+      (after -. before) delta;
+    CS.apply_hop sys ~pot ~src ~dst;
+    let fresh = CS.local_potentials sys hopped in
+    Array.iteri
+      (fun i p ->
+        Alcotest.(check (float 1e-9)) "potential updated in place" fresh.(i) p)
+      pot
+  done
+
+(* --- quicksim heuristic engine -------------------------------------------- *)
+
+let prop_quicksim_matches_pruned =
+  QCheck.Test.make ~name:"quicksim = pruned ground energy" ~count:40
+    (QCheck.pair (QCheck.int_range 1 10000) (QCheck.int_range 2 14))
+    (fun (seed, n) ->
+      let sys = random_system seed n in
+      let exact = (GS.pruned sys).GS.energy in
+      let r = GS.quicksim sys in
+      Float.abs (r.GS.energy -. exact) < 1e-9
+      && r.GS.states <> []
+      && List.for_all (CS.physically_valid sys) r.GS.states)
+
+let test_quicksim_deterministic () =
+  let sys = random_system 11 12 in
+  let r1 = GS.quicksim sys and r2 = GS.quicksim sys in
+  Alcotest.(check feq) "same energy" r1.GS.energy r2.GS.energy;
+  Alcotest.(check int) "same degeneracy" (GS.degeneracy r1) (GS.degeneracy r2);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same states" true (Array.for_all2 Bool.equal a b))
+    r1.GS.states r2.GS.states;
+  (* And independent of the job count (pooled samples are merged with
+     index-order tie-breaking). *)
+  let r4 = GS.quicksim ~jobs:4 sys in
+  Alcotest.(check feq) "jobs-independent" r1.GS.energy r4.GS.energy
+
+let large_system () =
+  (* 100 DBs on a regular sublattice — far beyond any exact engine. *)
+  let sites =
+    Array.init 100 (fun i -> L.site (i mod 10) (i / 10) 0)
+  in
+  CS.create Mo.default sites
+
+let test_quicksim_large_system () =
+  let sys = large_system () in
+  let r = GS.quicksim sys in
+  Alcotest.(check bool) "found states" true (r.GS.states <> []);
+  Alcotest.(check bool) "all physically valid" true
+    (List.for_all (CS.physically_valid sys) r.GS.states);
+  Alcotest.(check feq) "energy recomputes" r.GS.energy
+    (CS.energy sys (List.hd r.GS.states))
+
+let test_exact_engine_refuses_large_system () =
+  (* The structured refusal: exhaustive search on 100 sites is an
+     [Invalid_argument], never an unbounded 2^100 enumeration. *)
+  let sys = large_system () in
+  Alcotest.(check bool) "exhaustive refuses" true
+    (try
+       ignore (GS.exhaustive sys);
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_of_string () =
+  let ok s e =
+    match B.engine_of_string s with
+    | Ok e' -> B.engine_name e' = e
+    | Error _ -> false
+  in
+  Alcotest.(check bool) "exhaustive" true (ok "exhaustive" "exhaustive");
+  Alcotest.(check bool) "pruned" true (ok "pruned" "pruned");
+  Alcotest.(check bool) "quickexact alias" true (ok "quickexact" "pruned");
+  Alcotest.(check bool) "quicksim" true (ok "quicksim" "quicksim");
+  Alcotest.(check bool) "unknown rejected" true
+    (match B.engine_of_string "bogus" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "exactness flags" true
+    (B.engine_exact B.Pruned
+    && not (B.engine_exact (B.Quicksim GS.default_quicksim)))
+
+(* --- spectrum-pool temperature analysis ----------------------------------- *)
+
+let occ1 = [| true |]
+let occ2 = [| false |]
+
+let test_spectrum_probabilities_degenerate () =
+  (* An exactly twofold-degenerate spectrum splits the weight 50/50 at
+     every temperature, so the ground manifold holds everything. *)
+  let spectrum = [ (occ1, -1.0); (occ2, -1.0) ] in
+  let probs =
+    Sidb.Temperature.spectrum_probabilities spectrum ~temperature_k:77.
+  in
+  List.iter
+    (fun (_, p) -> Alcotest.(check (float 1e-9)) "half each" 0.5 p)
+    probs;
+  Alcotest.(check (float 1e-9)) "manifold weight 1"
+    1.0
+    (Sidb.Temperature.ground_probability spectrum ~temperature_k:300.);
+  Alcotest.(check (float 1e-9)) "CT saturates at t_max" 350.
+    (Sidb.Temperature.critical_temperature_of_spectrum ~t_max:350. spectrum)
+
+let test_spectrum_ct_gap_edges () =
+  (* A 2e-9 eV gap sits just outside the 1e-9 ground-manifold window:
+     at 1 K the excited state already holds ~half the weight, so the
+     layout is never reliable and CT pins to 0. *)
+  let near_degenerate = [ (occ1, -1.0); (occ2, -1.0 +. 2e-9) ] in
+  Alcotest.(check (float 1e-9)) "unreliable at 1 K" 0.
+    (Sidb.Temperature.critical_temperature_of_spectrum near_degenerate);
+  (* A 10 meV gap gives a finite CT strictly inside (0, t_max). *)
+  let gapped = [ (occ1, -1.0); (occ2, -0.99) ] in
+  let ct = Sidb.Temperature.critical_temperature_of_spectrum gapped in
+  Alcotest.(check bool) "finite CT" true (ct > 0. && ct < 400.);
+  (* Below CT the ground weight holds the confidence; above it doesn't. *)
+  Alcotest.(check bool) "reliable below" true
+    (Sidb.Temperature.ground_probability gapped ~temperature_k:ct >= 0.9);
+  Alcotest.(check bool) "unreliable above" true
+    (Sidb.Temperature.ground_probability gapped ~temperature_k:(ct +. 2.) < 0.9);
+  (* Empty spectrum: 0 by convention, not an exception. *)
+  Alcotest.(check (float 1e-9)) "empty spectrum" 0.
+    (Sidb.Temperature.critical_temperature_of_spectrum [])
+
+let test_state_probabilities_cap () =
+  (* [max_states] truncates the enumeration; the weights are normalized
+     over the truncated spectrum, so a capped list still sums to 1 and
+     keeps the same leading ratios as the uncapped one. *)
+  let sys = pair_system () in
+  let capped =
+    Sidb.Temperature.state_probabilities sys ~temperature_k:300. ~max_states:2
+  in
+  Alcotest.(check int) "cap respected" 2 (List.length capped);
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. capped in
+  Alcotest.(check (float 1e-9)) "normalized over the truncation" 1.0 total;
+  let full =
+    Sidb.Temperature.state_probabilities sys ~temperature_k:300. ~max_states:64
+  in
+  let ratio l =
+    match l with (_, a) :: (_, b) :: _ -> a /. b | _ -> nan
+  in
+  Alcotest.(check (float 1e-6)) "leading ratio preserved" (ratio full)
+    (ratio capped)
+
 let () =
   let qt = List.map (QCheck_alcotest.to_alcotest ~verbose:false) in
   Alcotest.run "sidb"
@@ -387,6 +564,17 @@ let () =
               prop_ground_state_is_valid;
               prop_anneal_not_below_exact;
             ] );
+      ( "incremental-hops",
+        [ Alcotest.test_case "delta = recompute" `Quick test_energy_delta_hop ] );
+      ( "quicksim",
+        [
+          Alcotest.test_case "deterministic" `Quick test_quicksim_deterministic;
+          Alcotest.test_case "100-site system" `Quick test_quicksim_large_system;
+          Alcotest.test_case "exact refusal" `Quick
+            test_exact_engine_refuses_large_system;
+          Alcotest.test_case "engine parsing" `Quick test_engine_of_string;
+        ]
+        @ qt [ prop_quicksim_matches_pruned ] );
       ( "finite-temperature",
         [
           Alcotest.test_case "spectrum" `Quick test_spectrum_sorted_and_complete;
@@ -397,6 +585,12 @@ let () =
             test_critical_temperature_wire;
           Alcotest.test_case "operational domain" `Slow test_operational_domain;
           Alcotest.test_case "domain errors" `Quick test_operational_domain_errors;
+          Alcotest.test_case "degenerate spectrum" `Quick
+            test_spectrum_probabilities_degenerate;
+          Alcotest.test_case "spectrum CT edges" `Quick
+            test_spectrum_ct_gap_edges;
+          Alcotest.test_case "max_states cap" `Quick
+            test_state_probabilities_cap;
         ] );
       ( "bdl",
         [
