@@ -2543,6 +2543,357 @@ let serve_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Operational-domain benchmark harness: BENCH_opdomain.json           *)
+(* ------------------------------------------------------------------ *)
+
+module OD = Sidb.Operational_domain
+
+let opdomain_out = ref "BENCH_opdomain.json"
+
+type od_row = {
+  od_gate : string;
+  od_algorithm : string;  (** "grid-baseline" | "grid" | "flood-fill" | "contour" *)
+  od_jobs : int;
+  od_wall : float;
+  od_total : int;
+  od_evaluated : int;
+  od_fraction : float;
+  od_saved : int;
+  od_speedup : float option;  (** vs the baseline grid at jobs=1, same gate. *)
+  od_identical : bool option;
+      (** Every point this run evaluated carries the baseline's
+          classification (and for grids, the whole sample list matches). *)
+}
+
+type od_layout_row = {
+  odl_benchmark : string;
+  odl_engine : string;
+  odl_exact : bool;
+  odl_sites : int;
+  odl_tiles : int;
+  odl_inputs : int;
+  odl_steps : int;
+  odl_fraction : float;
+  odl_evaluated : int;
+  odl_total : int;
+  odl_wall : float;
+}
+
+let write_opdomain_json ~cores ~x_axis ~y_axis ~aggregates rows layouts =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"fictionette-bench-opdomain/1\",\n";
+  add
+    "  \"host\": {\"cores\": %d, \"ocaml\": \"%s\", \"os\": \"%s\", \
+     \"word_size\": %d},\n"
+    cores (json_escape Sys.ocaml_version) (json_escape Sys.os_type)
+    Sys.word_size;
+  add "  \"smoke\": %b,\n" !sim_smoke;
+  add
+    "  \"axes\": {\"x\": {\"parameter\": \"%s\", \"from\": %g, \"to\": %g, \
+     \"steps\": %d}, \"y\": {\"parameter\": \"%s\", \"from\": %g, \"to\": \
+     %g, \"steps\": %d}},\n"
+    (OD.parameter_name x_axis.OD.parameter)
+    x_axis.OD.from_value x_axis.OD.to_value x_axis.OD.steps
+    (OD.parameter_name y_axis.OD.parameter)
+    y_axis.OD.from_value y_axis.OD.to_value y_axis.OD.steps;
+  add "  \"suite_speedups\": [\n";
+  List.iteri
+    (fun i (alg, base, wall, speedup) ->
+      add
+        "    {\"algorithm\": \"%s\", \"baseline_wall_s\": %.6f, \"wall_s\": \
+         %.6f, \"speedup_vs_baseline\": %.3f}%s\n"
+        (json_escape alg) base wall speedup
+        (if i = List.length aggregates - 1 then "" else ","))
+    aggregates;
+  add "  ],\n";
+  add "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"gate\": \"%s\", \"algorithm\": \"%s\", \"jobs\": %d, \
+         \"wall_s\": %.6f, \"total_points\": %d, \"points_evaluated\": %d, \
+         \"evaluated_fraction\": %.4f, \"operational_fraction\": %.4f, \
+         \"solver_calls_saved\": %d"
+        (json_escape r.od_gate) (json_escape r.od_algorithm) r.od_jobs
+        r.od_wall r.od_total r.od_evaluated
+        (float_of_int r.od_evaluated /. float_of_int (max 1 r.od_total))
+        r.od_fraction r.od_saved;
+      (match r.od_speedup with
+      | Some s -> add ", \"speedup_vs_baseline\": %.3f" s
+      | None -> add ", \"speedup_vs_baseline\": null");
+      (match r.od_identical with
+      | Some b -> add ", \"identical_to_baseline\": %b" b
+      | None -> add ", \"identical_to_baseline\": null");
+      add "}%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  add "  \"layouts\": [\n";
+  List.iteri
+    (fun i l ->
+      add
+        "    {\"benchmark\": \"%s\", \"engine\": \"%s\", \"exact\": %b, \
+         \"sites\": %d, \"tiles\": %d, \"inputs\": %d, \"steps\": %d, \
+         \"operational_fraction\": %.4f, \"points_evaluated\": %d, \
+         \"total_points\": %d, \"wall_s\": %.6f}%s\n"
+        (json_escape l.odl_benchmark) (json_escape l.odl_engine) l.odl_exact
+        l.odl_sites l.odl_tiles l.odl_inputs l.odl_steps l.odl_fraction
+        l.odl_evaluated l.odl_total l.odl_wall
+        (if i = List.length layouts - 1 then "" else ","))
+    layouts;
+  add "  ]\n}\n";
+  let oc = open_out !opdomain_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let opdomain () =
+  section
+    "Operational-domain engine benchmark (baseline grid vs grid / \
+     flood-fill / contour)";
+  let smoke = !sim_smoke in
+  let steps = if smoke then 16 else 64 in
+  let samples = if smoke then 16 else 64 in
+  let cores = Domain.recommended_domain_count () in
+  let x_axis = { Core.Flow.default_domain_x_axis with OD.steps } in
+  let y_axis = { Core.Flow.default_domain_y_axis with OD.steps } in
+  Format.printf "grid: %dx%d; seed probes: %d; %s x %s%s@." steps steps
+    samples
+    (OD.parameter_name x_axis.OD.parameter)
+    (OD.parameter_name y_axis.OD.parameter)
+    (if smoke then " (smoke)" else "");
+  let violations = ref 0 in
+  let violate fmt =
+    Format.kasprintf
+      (fun m ->
+        incr violations;
+        Format.printf "  VIOLATION: %s@." m)
+      fmt
+  in
+  let gate2 fn =
+    Layout.Tile.Gate
+      { fn; ins = [ D.North_west; D.North_east ]; outs = [ D.South_east ] }
+  in
+  let gates =
+    [
+      ("wire", Layout.Tile.Wire { segments = [ (D.North_west, D.South_east) ] });
+      ("inverter",
+       Layout.Tile.Gate
+         { fn = M.Inv; ins = [ D.North_west ]; outs = [ D.South_east ] });
+      ("or2", gate2 M.Or2);
+      ("and2", gate2 M.And2);
+      ("nor2", gate2 M.Nor2);
+      ("nand2", gate2 M.Nand2);
+      ("xor2", gate2 M.Xor2);
+      ("xnor2", gate2 M.Xnor2);
+    ]
+  in
+  let rows = ref [] in
+  (* Per-algorithm suite totals at jobs=1: flood-fill concentrates its
+     evaluations on operational points (which can never short-circuit a
+     truth-table row), so its per-gate speedup dips below the evaluated
+     fraction's reciprocal on large-domain gates — the >= 3x contract is
+     on the suite aggregate. *)
+  let totals = Hashtbl.create 4 in
+  let tally alg base wall =
+    let b, w = try Hashtbl.find totals alg with Not_found -> (0., 0.) in
+    Hashtbl.replace totals alg (b +. base, w +. wall)
+  in
+  let add r =
+    rows := r :: !rows;
+    Format.printf
+      "  %-9s %-13s jobs=%d  %8.3fs  eval %4d/%-4d  frac %.4f%s%s@."
+      r.od_gate r.od_algorithm r.od_jobs r.od_wall r.od_evaluated r.od_total
+      r.od_fraction
+      (match r.od_speedup with
+      | Some s -> Printf.sprintf "  %5.1fx" s
+      | None -> "")
+      (match r.od_identical with
+      | Some true -> ""
+      | Some false -> "  MISMATCH"
+      | None -> "")
+  in
+  (* Per evaluated point, the sampled sweeps must carry the baseline's
+     classification; a grid must match the baseline sample for sample. *)
+  let agrees_with baseline dom =
+    List.for_all2
+      (fun (b : OD.sample) (s : OD.sample) ->
+        (not s.OD.evaluated) || s.OD.operational = b.OD.operational)
+      baseline.OD.samples dom.OD.samples
+  in
+  List.iter
+    (fun (name, tile) ->
+      match
+        (Bestagon.Library.validation_structure tile,
+         Bestagon.Library.tile_spec tile)
+      with
+      | None, _ | _, None -> violate "no library entry for %s" name
+      | Some structure, Some spec ->
+          let baseline, base_wall =
+            timed (fun () ->
+                OD.sweep ~jobs:1 ~config:OD.baseline_config ~x_axis ~y_axis
+                  structure ~spec)
+          in
+          add
+            {
+              od_gate = name;
+              od_algorithm = "grid-baseline";
+              od_jobs = 1;
+              od_wall = base_wall;
+              od_total = baseline.OD.stats.OD.total_points;
+              od_evaluated = baseline.OD.stats.OD.points_evaluated;
+              od_fraction = baseline.OD.operational_fraction;
+              od_saved = baseline.OD.stats.OD.solver_calls_saved;
+              od_speedup = None;
+              od_identical = None;
+            };
+          let configs =
+            [
+              ("grid", { OD.default_config with OD.algorithm = OD.Grid });
+              ("flood-fill",
+               { OD.default_config with
+                 OD.algorithm = OD.Flood_fill;
+                 samples });
+              ("contour",
+               { OD.default_config with
+                 OD.algorithm = OD.Contour_tracing;
+                 samples });
+            ]
+          in
+          List.iter
+            (fun (alg, config) ->
+              let dom, wall =
+                timed (fun () ->
+                    OD.sweep ~jobs:1 ~config ~x_axis ~y_axis structure ~spec)
+              in
+              let identical =
+                if alg = "grid" then
+                  baseline.OD.samples = dom.OD.samples
+                  && baseline.OD.operational_fraction
+                     = dom.OD.operational_fraction
+                else agrees_with baseline dom
+              in
+              let speedup = base_wall /. wall in
+              add
+                {
+                  od_gate = name;
+                  od_algorithm = alg;
+                  od_jobs = 1;
+                  od_wall = wall;
+                  od_total = dom.OD.stats.OD.total_points;
+                  od_evaluated = dom.OD.stats.OD.points_evaluated;
+                  od_fraction = dom.OD.operational_fraction;
+                  od_saved = dom.OD.stats.OD.solver_calls_saved;
+                  od_speedup = Some speedup;
+                  od_identical = Some identical;
+                };
+              if not identical then
+                violate "%s/%s disagrees with the baseline grid" name alg;
+              if alg <> "grid" then begin
+                tally alg base_wall wall;
+                let frac_eval =
+                  float_of_int dom.OD.stats.OD.points_evaluated
+                  /. float_of_int dom.OD.stats.OD.total_points
+                in
+                if (not smoke) && frac_eval > 0.25 then
+                  violate "%s/%s evaluated %.1f%% of the grid (cap 25%%)"
+                    name alg (100. *. frac_eval)
+              end;
+              (* Bit-identical at any job count: rerun the same config on
+                 2 and 4 domains and require whole-record equality. *)
+              List.iter
+                (fun jobs ->
+                  let dom_j, wall_j =
+                    timed (fun () ->
+                        OD.sweep ~jobs ~config ~x_axis ~y_axis structure
+                          ~spec)
+                  in
+                  let same = dom_j = dom in
+                  add
+                    {
+                      od_gate = name;
+                      od_algorithm = alg;
+                      od_jobs = jobs;
+                      od_wall = wall_j;
+                      od_total = dom_j.OD.stats.OD.total_points;
+                      od_evaluated = dom_j.OD.stats.OD.points_evaluated;
+                      od_fraction = dom_j.OD.operational_fraction;
+                      od_saved = dom_j.OD.stats.OD.solver_calls_saved;
+                      od_speedup = Some (base_wall /. wall_j);
+                      od_identical = Some same;
+                    };
+                  if not same then
+                    violate "%s/%s at jobs=%d differs from jobs=1" name alg
+                      jobs)
+                (if smoke then [ 2 ] else [ 2; 4 ]))
+            configs)
+    gates;
+  (* Whole-layout domain on the heuristic engine: the honest headline is
+     an *empty* domain — individually validated tiles do not yet cascade
+     through an unclocked multi-tile layout (see EXPERIMENTS.md). *)
+  let layout_steps = if smoke then 4 else 8 in
+  let layouts = ref [] in
+  (match Core.Flow.run_benchmark "xor2" with
+  | Error _ -> violate "flow failed on benchmark xor2"
+  | Ok result ->
+      let engine = Sidb.Bdl.Quicksim Sidb.Ground_state.default_quicksim in
+      let lx = { x_axis with OD.steps = layout_steps } in
+      let ly = { y_axis with OD.steps = layout_steps } in
+      let dom_r, wall =
+        timed (fun () ->
+            Core.Flow.domain_of_layout ~engine ~jobs:1 ~x_axis:lx ~y_axis:ly
+              result)
+      in
+      (match dom_r with
+      | Error e -> violate "whole-layout domain failed: %s" e
+      | Ok ld ->
+          let d = ld.Core.Flow.dom_domain in
+          layouts :=
+            {
+              odl_benchmark = "xor2";
+              odl_engine = ld.Core.Flow.dom_engine;
+              odl_exact = ld.Core.Flow.dom_exact;
+              odl_sites = ld.Core.Flow.dom_sites;
+              odl_tiles = ld.Core.Flow.dom_tiles;
+              odl_inputs = ld.Core.Flow.dom_inputs;
+              odl_steps = layout_steps;
+              odl_fraction = d.OD.operational_fraction;
+              odl_evaluated = d.OD.stats.OD.points_evaluated;
+              odl_total = d.OD.stats.OD.total_points;
+              odl_wall = wall;
+            }
+            :: !layouts;
+          Format.printf
+            "  layout xor2: %s (%d sites, %d tiles)  %8.3fs  frac %.4f@."
+            ld.Core.Flow.dom_engine ld.Core.Flow.dom_sites
+            ld.Core.Flow.dom_tiles wall d.OD.operational_fraction));
+  let aggregates =
+    List.filter_map
+      (fun alg ->
+        match Hashtbl.find_opt totals alg with
+        | None -> None
+        | Some (base, wall) ->
+            let speedup = base /. wall in
+            Format.printf
+              "  suite %-13s %8.3fs vs baseline %8.3fs  %5.1fx@." alg wall
+              base speedup;
+            if (not smoke) && speedup < 3. then
+              violate "suite %s only %.1fx over the baseline (want >= 3x)"
+                alg speedup;
+            Some (alg, base, wall, speedup))
+      [ "flood-fill"; "contour" ]
+  in
+  let rows = List.rev !rows and layouts = List.rev !layouts in
+  write_opdomain_json ~cores ~x_axis ~y_axis ~aggregates rows layouts;
+  Format.printf "@.wrote %s (%d rows, %d layout rows)@." !opdomain_out
+    (List.length rows) (List.length layouts);
+  if !violations > 0 then begin
+    Format.eprintf "%d operational-domain contract violations — failing@."
+      !violations;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all = [ "table1"; "fig1c"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
 
@@ -2563,9 +2914,10 @@ let run = function
   | "sat" -> sat ()
   | "logic" -> logic ()
   | "serve" -> serve_bench ()
+  | "opdomain" -> opdomain ()
   | other ->
       Format.printf
-        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf, sim, sat, logic, serve)@."
+        "unknown experiment %S (try: %s, ablation, extensions, defects, resilience, perf, sim, sat, logic, serve, opdomain)@."
         other (String.concat ", " all)
 
 let () =
@@ -2596,6 +2948,7 @@ let () =
         logic_out := path;
         defects_out := path;
         serve_out := path;
+        opdomain_out := path;
         scan acc rest
     | x :: rest -> scan (x :: acc) rest
   in

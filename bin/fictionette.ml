@@ -511,11 +511,104 @@ let simulate_cmd =
             "Ground-manifold Boltzmann weight defining the critical \
              temperature.")
   in
+  let domain_arg =
+    Arg.(
+      value & flag
+      & info [ "domain" ]
+          ~doc:
+            "Compute an operational domain (μ₋ × ε_r at λ_TF = 5 nm) instead \
+             of a single \
+             simulation: per-gate with the exact engine, or — with \
+             $(b,--layout) — for the whole placed-and-routed benchmark \
+             (quicksim scales where no exact engine can).")
+  in
+  let domain_algorithm_conv =
+    let parse s =
+      match Sidb.Operational_domain.algorithm_of_string s with
+      | Some a -> Ok a
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown algorithm %S (want grid, flood-fill, or contour)" s))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf a ->
+          Format.pp_print_string ppf (Sidb.Operational_domain.algorithm_name a)
+      )
+  in
+  let domain_algorithm_arg =
+    Arg.(
+      value
+      & opt domain_algorithm_conv Sidb.Operational_domain.Flood_fill
+      & info [ "domain-algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "Domain algorithm: $(b,grid) classifies every point, \
+             $(b,flood-fill) grows operational regions from random probes, \
+             $(b,contour) traces region boundaries and infers the interior.")
+  in
+  let domain_steps_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domain-steps" ] ~docv:"N"
+          ~doc:
+            "Grid resolution per axis (default: 16 per gate, 8 per \
+             layout).")
+  in
+  let domain_samples_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domain-samples" ] ~docv:"N"
+          ~doc:
+            "Random probes seeding flood fill / contour tracing (default: \
+             an eighth of the grid).")
+  in
+  let domain_csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "domain-csv" ] ~docv:"FILE"
+          ~doc:"Also write the swept domain as CSV to $(docv).")
+  in
+  let domain_config ~algorithm ~samples ~total =
+    {
+      Sidb.Operational_domain.default_config with
+      Sidb.Operational_domain.algorithm;
+      samples = (if samples > 0 then samples else max 4 (total / 8));
+    }
+  in
+  let print_domain ~title ~engine ~exact ~csv dom =
+    Format.printf "operational domain: %s@." title;
+    Format.printf "  engine: %s (%s)@." engine
+      (if exact then "exact" else "heuristic");
+    print_string (Sidb.Operational_domain.to_ascii dom);
+    let st = dom.Sidb.Operational_domain.stats in
+    Format.printf
+      "  operational fraction%s: %.4f (%d evaluated of %d points, %d \
+       solver calls saved)@."
+      (if exact then "" else " (estimate)")
+      dom.Sidb.Operational_domain.operational_fraction
+      st.Sidb.Operational_domain.points_evaluated
+      st.Sidb.Operational_domain.total_points
+      st.Sidb.Operational_domain.solver_calls_saved;
+    match csv with
+    | None -> 0
+    | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc (Sidb.Operational_domain.to_csv dom);
+          close_out oc;
+          Format.printf "  csv: %s@." path;
+          0
+        with Sys_error e ->
+          Format.eprintf "error: %s@." e;
+          1)
+  in
   let bits b =
     String.concat ""
       (List.map (fun x -> if x then "1" else "0") (Array.to_list b))
   in
-  let run_gate name engine =
+  let run_gate name engine ~domain ~algorithm ~steps ~samples ~csv =
     let tiles =
       [
         ("wire",
@@ -561,6 +654,29 @@ let simulate_cmd =
         | None, _ | _, None ->
             Format.eprintf "error: no validation harness for %S@." name;
             1
+        | Some structure, Some spec when domain ->
+            let engine =
+              match engine with
+              | Some e -> e
+              | None -> Sidb.Bdl.default_engine ()
+            in
+            let steps = if steps > 0 then steps else 16 in
+            let x_axis =
+              { Core.Flow.default_domain_x_axis with Sidb.Operational_domain.steps }
+            in
+            let y_axis =
+              { Core.Flow.default_domain_y_axis with Sidb.Operational_domain.steps }
+            in
+            let config = domain_config ~algorithm ~samples ~total:(steps * steps) in
+            let dom =
+              Sidb.Operational_domain.sweep ~engine ~config ~x_axis ~y_axis
+                structure ~spec
+            in
+            print_domain
+              ~title:(String.lowercase_ascii name)
+              ~engine:(Sidb.Bdl.engine_name engine)
+              ~exact:(Sidb.Bdl.engine_exact engine)
+              ~csv dom
         | Some structure, Some spec ->
             let engine =
               match engine with
@@ -586,7 +702,8 @@ let simulate_cmd =
                else "NOT OPERATIONAL");
             if report.Sidb.Bdl.functional then 0 else 2)
   in
-  let run_layout name engine deadline conflicts confidence =
+  let run_layout name engine deadline conflicts confidence ~domain ~algorithm
+      ~steps ~samples ~csv =
     let options =
       {
         Core.Flow.default_options with
@@ -602,6 +719,32 @@ let simulate_cmd =
         name
     with
     | Error f -> report_failure f
+    | Ok result when domain -> (
+        let steps = if steps > 0 then steps else 8 in
+        let x_axis =
+          { Core.Flow.default_domain_x_axis with Sidb.Operational_domain.steps }
+        in
+        let y_axis =
+          { Core.Flow.default_domain_y_axis with Sidb.Operational_domain.steps }
+        in
+        let config = domain_config ~algorithm ~samples ~total:(steps * steps) in
+        match Core.Flow.domain_of_layout ?engine ~config ~x_axis ~y_axis result with
+        | Error e ->
+            Format.eprintf "error: %s@." e;
+            1
+        | Ok d ->
+            Format.printf "whole-layout operational domain: %s@." name;
+            Format.printf
+              "  system: %d SiDB(s) across %d tile(s), %d input(s), %d \
+               output(s)@."
+              d.Core.Flow.dom_sites d.Core.Flow.dom_tiles
+              d.Core.Flow.dom_inputs d.Core.Flow.dom_outputs;
+            let code =
+              print_domain ~title:name ~engine:d.Core.Flow.dom_engine
+                ~exact:d.Core.Flow.dom_exact ~csv d.Core.Flow.dom_domain
+            in
+            Format.printf "  sweep time: %.3f s@." d.Core.Flow.dom_seconds;
+            code)
     | Ok result -> (
         match Core.Flow.simulate_layout ?engine ~confidence result with
         | Error e ->
@@ -630,7 +773,8 @@ let simulate_cmd =
             Format.printf "  simulation time: %.3f s@." s.Core.Flow.sim_seconds;
             if s.Core.Flow.sim_valid then 0 else 2)
   in
-  let action name layout engine deadline conflicts jobs confidence =
+  let action name layout engine deadline conflicts jobs confidence domain
+      algorithm steps samples csv =
     apply_jobs jobs;
     (* An explicit --engine becomes the process-wide default, so every
        downstream ground-state call (library checks included) honors
@@ -638,8 +782,10 @@ let simulate_cmd =
     (match engine with
     | Some e -> Sidb.Bdl.set_default_engine e
     | None -> ());
-    if layout then run_layout name engine deadline conflicts confidence
-    else run_gate name engine
+    if layout then
+      run_layout name engine deadline conflicts confidence ~domain ~algorithm
+        ~steps ~samples ~csv
+    else run_gate name engine ~domain ~algorithm ~steps ~samples ~csv
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -653,7 +799,9 @@ let simulate_cmd =
           0 ok, 2 non-functional gate or invalid states, 1 hard error.")
     Term.(
       const action $ name_arg $ layout_arg $ sim_engine_arg $ deadline_arg
-      $ conflict_budget_arg $ jobs_arg $ confidence_arg)
+      $ conflict_budget_arg $ jobs_arg $ confidence_arg $ domain_arg
+      $ domain_algorithm_arg $ domain_steps_arg $ domain_samples_arg
+      $ domain_csv_arg)
 
 let yield_cmd =
   let bench_arg =
@@ -1119,8 +1267,9 @@ let serve_cmd =
          "Run the resident design server: a JSON-lines service (one \
           request object per line on stdin, one response per line on \
           stdout; see DESIGN.md section 13) accepting $(b,design), \
-          $(b,check), $(b,simulate), $(b,yield), $(b,batch), $(b,stats), \
-          $(b,ping), and $(b,shutdown) requests.  Every request runs \
+          $(b,check), $(b,simulate), $(b,yield), $(b,domain), \
+          $(b,batch), $(b,stats), $(b,ping), and $(b,shutdown) \
+          requests.  Every request runs \
           under its own budget; worker crashes become structured errors; \
           batches are admission-controlled; results are memoized across \
           requests.")

@@ -83,6 +83,99 @@ let assemble ?(inputs = []) ?(model = Sidb.Model.default)
           }
       end
 
+type layout_structure = {
+  structure : Sidb.Bdl.structure;
+  pi_names : string list;
+  po_names : string list;
+  struct_tile_count : int;
+  struct_duplicates_dropped : int;
+}
+
+(* Flatten a layout into ONE {!Sidb.Bdl.structure} instead of one charge
+   system: every tile's DBs become fixed sites, each primary-input pad
+   becomes an input driver (near = value-1 perturber, far = value-0, in
+   the absolute frame), and each primary-output pad's read-out BDL pair
+   becomes an output.  This is what whole-layout operational-domain
+   sweeps consume — the sweep re-instantiates the system per model
+   point, which a pre-built charge system cannot express. *)
+let structure_of_layout ?(name = "layout") layout =
+  let error = ref None in
+  let seen = Hashtbl.create 512 in
+  let rev_fixed = ref [] in
+  let dropped = ref 0 and tiles = ref 0 in
+  let rev_pis = ref [] and rev_pos = ref [] in
+  let add placed =
+    if Hashtbl.mem seen placed then incr dropped
+    else begin
+      Hashtbl.add seen placed ();
+      rev_fixed := placed :: !rev_fixed
+    end
+  in
+  Layout.Gate_layout.iter layout (fun c tile ->
+      if !error = None && not (Layout.Tile.is_empty tile) then
+        match Library.implement tile with
+        | Error e ->
+            error := Some (Format.asprintf "%a: %s" Hexlib.Coord.pp_offset c e)
+        | Ok impl -> (
+            incr tiles;
+            List.iter
+              (fun s -> add (Geometry.translate_site s ~at:c))
+              impl.Library.sites;
+            match tile with
+            | Layout.Tile.Pi { name = n; _ } -> (
+                match
+                  ( Library.pi_driver tile ~value:true,
+                    Library.pi_driver tile ~value:false )
+                with
+                | Some near, Some far ->
+                    let tr = List.map (Geometry.translate_site ~at:c) in
+                    rev_pis :=
+                      (n, { Sidb.Bdl.near = tr near; Sidb.Bdl.far = tr far })
+                      :: !rev_pis
+                | _ -> error := Some (n ^ ": input pad has no driver"))
+            | Layout.Tile.Po { name = n; _ } -> (
+                match Library.po_output_pair tile with
+                | Some pair ->
+                    rev_pos :=
+                      ( n,
+                        {
+                          Sidb.Bdl.zero =
+                            Geometry.translate_site pair.Sidb.Bdl.zero ~at:c;
+                          Sidb.Bdl.one =
+                            Geometry.translate_site pair.Sidb.Bdl.one ~at:c;
+                        } )
+                      :: !rev_pos
+                | None -> error := Some (n ^ ": output pad has no read-out pair"))
+            | Layout.Tile.Empty | Layout.Tile.Gate _ | Layout.Tile.Wire _
+            | Layout.Tile.Fanout _ ->
+                ()));
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !rev_fixed = [] then
+        Error "Assembly.structure_of_layout: layout has no SiDBs"
+      else if !rev_pis = [] then
+        Error "Assembly.structure_of_layout: layout has no primary inputs"
+      else if !rev_pos = [] then
+        Error "Assembly.structure_of_layout: layout has no primary outputs"
+      else begin
+        let pis = List.rev !rev_pis and pos = List.rev !rev_pos in
+        Ok
+          {
+            structure =
+              {
+                Sidb.Bdl.name;
+                Sidb.Bdl.inputs = Array.of_list (List.map snd pis);
+                Sidb.Bdl.outputs = Array.of_list (List.map snd pos);
+                Sidb.Bdl.fixed = List.rev !rev_fixed;
+              };
+            pi_names = List.map fst pis;
+            po_names = List.map fst pos;
+            struct_tile_count = !tiles;
+            struct_duplicates_dropped = !dropped;
+          }
+      end
+
 let with_clock_bias t clock_bias =
   if Array.length clock_bias = 0 then
     invalid_arg "Assembly.with_clock_bias: clock_bias must be non-empty";

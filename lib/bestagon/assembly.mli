@@ -40,3 +40,24 @@ val assemble :
 val with_clock_bias : t -> float array -> t
 (** Re-bias the assembled system for a different clocking phase without
     re-flattening (same sites, new [v_ext] — cheap, for phase sweeps). *)
+
+type layout_structure = {
+  structure : Sidb.Bdl.structure;
+      (** The whole layout as one BDL structure: every tile's DBs fixed,
+          primary-input pads as input drivers, primary-output read-out
+          pairs as outputs. *)
+  pi_names : string list;  (** Aligned with [structure.inputs]. *)
+  po_names : string list;  (** Aligned with [structure.outputs]. *)
+  struct_tile_count : int;
+  struct_duplicates_dropped : int;
+}
+
+val structure_of_layout :
+  ?name:string -> Layout.Gate_layout.t -> (layout_structure, string) result
+(** Flatten the layout for {e parameterized} simulation — a
+    {!Sidb.Bdl.structure} instead of a fixed charge system, so
+    whole-layout operational-domain sweeps ({!Sidb.Operational_domain})
+    can re-instantiate the system at every model point and drive every
+    input row.  Clocking is not applied (domains are computed at neutral
+    bias).  [Error] on a tile outside the library, or a layout with no
+    DBs, no primary inputs, or no primary outputs. *)

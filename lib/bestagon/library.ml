@@ -189,6 +189,18 @@ let pi_driver tile ~value =
           | _ -> None))
   | _ -> None
 
+let po_output_pair tile =
+  match tile with
+  | Layout.Tile.Po _ -> (
+      match design_for tile with
+      | Error _ -> None
+      | Ok (ins, outs, _) -> (
+          let frame = scaffold ins outs in
+          match frame.Scaffold.output_pairs with
+          | [| pair |] -> Some pair
+          | _ -> None))
+  | _ -> None
+
 type sidb_layout = {
   sites : Sidb.Lattice.site list;
   sidb_count : int;

@@ -30,6 +30,11 @@ val pi_driver : Layout.Tile.t -> value:bool -> Sidb.Lattice.site list option
     given logic value (near position for 1, far for 0); [None] for
     non-[Pi] tiles. *)
 
+val po_output_pair : Layout.Tile.t -> Sidb.Bdl.pair option
+(** Tile-local read-out BDL pair of a primary-output pad (the last pair
+    of its output stub, the one its perturber balances); [None] for
+    non-[Po] tiles. *)
+
 (** {2 Whole-layout application} *)
 
 type sidb_layout = {

@@ -839,6 +839,160 @@ let simulate_layout ?engine ?(inputs = []) ?clock_bias ?confidence ?t_max
                 sim_seconds = elapsed;
               })
 
+type layout_domain = {
+  dom_engine : string;
+  dom_exact : bool;
+  dom_sites : int;
+  dom_tiles : int;
+  dom_inputs : int;
+  dom_outputs : int;
+  dom_domain : Sidb.Operational_domain.t;
+  dom_seconds : float;
+}
+
+(* 2^arity ground-state solves per evaluated grid point: beyond this the
+   truth table itself is the bottleneck, independent of engine. *)
+let domain_input_limit = 8
+
+(* The (μ₋, ε_r) plane at the paper's λ_TF = 5 nm: the library's domains
+   are razor-thin bands in λ_TF (a sparse λ sweep that misses 5.0 exactly
+   reads empty), whereas this slice holds a genuine connected 2-D region
+   — a diagonal band where a deeper μ₋ compensates a weaker-screening
+   ε_r.  The wide window keeps that region a minority of the grid, which
+   is what makes flood-fill/contour worthwhile. *)
+let default_domain_x_axis =
+  {
+    Sidb.Operational_domain.parameter = Sidb.Operational_domain.Mu_minus;
+    from_value = -1.2;
+    to_value = 0.0;
+    steps = 8;
+  }
+
+let default_domain_y_axis =
+  {
+    Sidb.Operational_domain.parameter = Sidb.Operational_domain.Epsilon_r;
+    from_value = 1.0;
+    to_value = 14.0;
+    steps = 8;
+  }
+
+(* Reorder the layout's pads to the specification network's PI/PO order
+   so the network itself is the truth-table oracle. *)
+let permute_to_network names items ~count ~name_of ~what =
+  let arr = Array.of_list items in
+  let names = Array.of_list names in
+  if Array.length arr <> count then
+    Error
+      (Printf.sprintf "layout has %d %ss but the specification has %d"
+         (Array.length arr) what count)
+  else
+    let rec build i acc =
+      if i = count then Ok (Array.of_list (List.rev acc))
+      else
+        let wanted = name_of i in
+        match Array.find_index (fun n -> n = wanted) names with
+        | Some j -> build (i + 1) (arr.(j) :: acc)
+        | None ->
+            Error
+              (Printf.sprintf "specification %s %s has no pad in the layout"
+                 what wanted)
+    in
+    build 0 []
+
+let domain_of_layout ?engine ?jobs ?config
+    ?(x_axis = default_domain_x_axis) ?(y_axis = default_domain_y_axis) result
+    =
+  match
+    Bestagon.Assembly.structure_of_layout result.supertiled
+  with
+  | Error e -> Error e
+  | Ok ls -> (
+      let spec_net = result.specification in
+      let npis = Logic.Network.num_pis spec_net
+      and npos = Logic.Network.num_pos spec_net in
+      let inputs =
+        permute_to_network ls.Bestagon.Assembly.pi_names
+          (Array.to_list ls.Bestagon.Assembly.structure.Sidb.Bdl.inputs)
+          ~count:npis
+          ~name_of:(Logic.Network.pi_name spec_net)
+          ~what:"input"
+      in
+      let outputs =
+        permute_to_network ls.Bestagon.Assembly.po_names
+          (Array.to_list ls.Bestagon.Assembly.structure.Sidb.Bdl.outputs)
+          ~count:npos
+          ~name_of:(Logic.Network.po_name spec_net)
+          ~what:"output"
+      in
+      match (inputs, outputs) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok inputs, Ok outputs ->
+          if npis > domain_input_limit then
+            Error
+              (Printf.sprintf
+                 "operational domain refused: %d inputs mean %d truth-table \
+                  rows per grid point (limit %d)"
+                 npis (1 lsl npis) domain_input_limit)
+          else
+            let structure =
+              {
+                ls.Bestagon.Assembly.structure with
+                Sidb.Bdl.inputs;
+                Sidb.Bdl.outputs;
+              }
+            in
+            (* Worst-case row system: every input at its larger driver. *)
+            let n =
+              List.length structure.Sidb.Bdl.fixed
+              + Array.fold_left
+                  (fun acc (d : Sidb.Bdl.input_driver) ->
+                    acc
+                    + max (List.length d.Sidb.Bdl.near)
+                        (List.length d.Sidb.Bdl.far))
+                  0 inputs
+            in
+            let engine =
+              match engine with
+              | Some e -> e
+              | None -> (
+                  match Sidb.Bdl.configured_engine () with
+                  | Some e -> e
+                  | None ->
+                      if n <= exact_site_limit then Sidb.Bdl.Pruned
+                      else Sidb.Bdl.Quicksim Sidb.Ground_state.default_quicksim)
+            in
+            let exact = Sidb.Bdl.engine_exact engine in
+            if exact && n > exact_site_limit then
+              Error
+                (Printf.sprintf
+                   "engine %s refused: %d sites exceed the %d-site \
+                    exact-engine limit (use --engine quicksim)"
+                   (Sidb.Bdl.engine_name engine) n exact_site_limit)
+            else begin
+              let spec a = Logic.Network.eval spec_net a in
+              let t0 = Unix.gettimeofday () in
+              match
+                Sidb.Operational_domain.sweep ?jobs ~engine ?config ~x_axis
+                  ~y_axis structure ~spec
+              with
+              | exception Invalid_argument msg ->
+                  Error
+                    (Printf.sprintf "engine %s refused the %d-site system: %s"
+                       (Sidb.Bdl.engine_name engine) n msg)
+              | domain ->
+                  Ok
+                    {
+                      dom_engine = Sidb.Bdl.engine_name engine;
+                      dom_exact = exact;
+                      dom_sites = n;
+                      dom_tiles = ls.Bestagon.Assembly.struct_tile_count;
+                      dom_inputs = npis;
+                      dom_outputs = npos;
+                      dom_domain = domain;
+                      dom_seconds = Unix.gettimeofday () -. t0;
+                    }
+            end)
+
 let export_sqd result ?(inputs = []) ~path () =
   match Bestagon.Library.apply ~inputs result.supertiled with
   | Error e -> Error e

@@ -302,6 +302,55 @@ val simulate_layout :
     never an unbounded search.  [inputs]/[clock_bias] parameterize the
     assembly; [confidence]/[t_max] the critical-temperature search. *)
 
+(** {2 Whole-layout operational domains} *)
+
+type layout_domain = {
+  dom_engine : string;
+  dom_exact : bool;
+      (** [false] for quicksim: the domain is then an estimate (a point
+          can be misclassified if the heuristic misses a ground
+          state). *)
+  dom_sites : int;
+      (** Worst-case per-row system size: all fixed DBs plus every
+          input's larger driver perturber set. *)
+  dom_tiles : int;
+  dom_inputs : int;
+  dom_outputs : int;
+  dom_domain : Sidb.Operational_domain.t;
+  dom_seconds : float;
+}
+
+val domain_input_limit : int
+(** Most primary inputs (8) {!domain_of_layout} accepts: every evaluated
+    grid point costs [2^inputs] ground-state solves, so wider designs
+    are refused with a structured [Error]. *)
+
+val default_domain_x_axis : Sidb.Operational_domain.axis
+(** μ₋ ∈ [−1.2, 0], 8 steps. *)
+
+val default_domain_y_axis : Sidb.Operational_domain.axis
+(** ε_r ∈ [1, 14], 8 steps (λ_TF pinned at the paper's 5 nm — the
+    library's domains are thin bands in λ_TF, so the (μ₋, ε_r) plane
+    is the informative slice). *)
+
+val domain_of_layout :
+  ?engine:Sidb.Bdl.engine ->
+  ?jobs:int ->
+  ?config:Sidb.Operational_domain.config ->
+  ?x_axis:Sidb.Operational_domain.axis ->
+  ?y_axis:Sidb.Operational_domain.axis ->
+  result ->
+  (layout_domain, string) Stdlib.result
+(** The operational domain of the complete placed-and-routed design as
+    {e one} BDL structure ({!Bestagon.Assembly.structure_of_layout}):
+    each grid point drives every primary-input row and requires every
+    primary output to read back the specification network's value — the
+    whole-layout analogue of the per-gate sweep, open to the heuristic
+    engine only (ROADMAP item 3 follow-on).  Pads are matched to the
+    specification's PI/PO names; clocking is neutral.  Engine selection
+    and the exact-engine refusal follow {!simulate_layout}
+    ({!exact_site_limit} on the worst-case row system). *)
+
 val export_sqd : result -> ?inputs:(string * bool) list -> path:string -> unit -> (unit, string) Stdlib.result
 (** Step 8: write the SiDB layout as a SiQAD design file. *)
 

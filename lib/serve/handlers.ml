@@ -339,6 +339,121 @@ let simulate ~gate ~engine ~chaos =
                          (float_of_int (List.length report.Sidb.Bdl.rows)) );
                    ])))
 
+(* --- operational domains ------------------------------------------------ *)
+
+let domain_algorithm_of_protocol = function
+  | Protocol.Dom_grid -> Sidb.Operational_domain.Grid
+  | Protocol.Dom_flood_fill -> Sidb.Operational_domain.Flood_fill
+  | Protocol.Dom_contour -> Sidb.Operational_domain.Contour_tracing
+
+let domain_config (p : Protocol.domain_params) =
+  let total = p.Protocol.d_steps * p.Protocol.d_steps in
+  {
+    Sidb.Operational_domain.default_config with
+    Sidb.Operational_domain.algorithm =
+      domain_algorithm_of_protocol p.Protocol.d_algorithm;
+    samples =
+      (if p.Protocol.d_samples > 0 then p.Protocol.d_samples
+       else max 4 (total / 8));
+  }
+
+let domain_axes (p : Protocol.domain_params) =
+  ( { Core.Flow.default_domain_x_axis with
+      Sidb.Operational_domain.steps = p.Protocol.d_steps },
+    { Core.Flow.default_domain_y_axis with
+      Sidb.Operational_domain.steps = p.Protocol.d_steps } )
+
+let domain_payload ?extra (dom : Sidb.Operational_domain.t) =
+  let st = dom.Sidb.Operational_domain.stats in
+  Json.Obj
+    (Option.value extra ~default:[]
+    @ [
+        ( "algorithm",
+          Json.Str
+            (Sidb.Operational_domain.algorithm_name
+               dom.Sidb.Operational_domain.algorithm) );
+        ( "operational_fraction",
+          Json.Num dom.Sidb.Operational_domain.operational_fraction );
+        ( "total_points",
+          Json.Num (float_of_int st.Sidb.Operational_domain.total_points) );
+        ( "points_evaluated",
+          Json.Num (float_of_int st.Sidb.Operational_domain.points_evaluated) );
+        ( "seed_probes",
+          Json.Num (float_of_int st.Sidb.Operational_domain.seed_probes) );
+        ( "solver_calls_saved",
+          Json.Num (float_of_int st.Sidb.Operational_domain.solver_calls_saved)
+        );
+      ])
+
+let domain_gate ~gate (p : Protocol.domain_params) =
+  maybe_die p.Protocol.d_chaos;
+  match List.assoc_opt (String.lowercase_ascii gate) gate_tiles with
+  | None ->
+      Error
+        ( "invalid_request",
+          Printf.sprintf "unknown gate %S (want one of: %s)" gate
+            (String.concat ", " gate_names) )
+  | Some tile -> (
+      match
+        (Bestagon.Library.validation_structure tile, Bestagon.Library.tile_spec tile)
+      with
+      | Some s, Some spec -> (
+          let engine = sim_engine_of_protocol p.Protocol.d_engine in
+          let x_axis, y_axis = domain_axes p in
+          match
+            Sidb.Operational_domain.sweep ~engine ~config:(domain_config p)
+              ~x_axis ~y_axis s ~spec
+          with
+          | dom ->
+              let extra =
+                [
+                  ("gate", Json.Str (String.lowercase_ascii gate));
+                  ("engine", Json.Str (Sidb.Bdl.engine_name engine));
+                  ("exact", Json.Bool (Sidb.Bdl.engine_exact engine));
+                ]
+              in
+              Ok (domain_payload ~extra dom)
+          | exception Invalid_argument m -> Error ("infeasible", m))
+      | _ -> Error ("infeasible", "no validation structure for " ^ gate))
+
+let domain_attempt ctx (p : Protocol.domain_params) source rung budget =
+  maybe_die p.Protocol.d_chaos;
+  let options =
+    {
+      Core.Flow.default_options with
+      engine = flow_engine rung;
+      check_equivalence = false;
+      apply_library = false;
+    }
+  in
+  match run_flow ctx ~options ~paranoid:false ~budget source with
+  | Error f -> Error (Flow_failure f)
+  | Ok r -> (
+      let engine =
+        Option.map
+          (fun e -> sim_engine_of_protocol (Some e))
+          p.Protocol.d_engine
+      in
+      let x_axis, y_axis = domain_axes p in
+      match
+        Core.Flow.domain_of_layout ?engine ~config:(domain_config p) ~x_axis
+          ~y_axis r
+      with
+      | Error m -> Error (Hard ("infeasible", m, None))
+      | Ok d ->
+          let extra =
+            [
+              ("engine", Json.Str d.Core.Flow.dom_engine);
+              ("exact", Json.Bool d.Core.Flow.dom_exact);
+              ("sites", Json.Num (float_of_int d.Core.Flow.dom_sites));
+              ("tiles", Json.Num (float_of_int d.Core.Flow.dom_tiles));
+              ("sweep_s", Json.Num d.Core.Flow.dom_seconds);
+            ]
+          in
+          Ok
+            ( domain_payload ~extra d.Core.Flow.dom_domain,
+              r.Core.Flow.diagnostics.Core.Flow.degradations ))
+
 (* --- dispatch ----------------------------------------------------------- *)
 
 (* Each branch does all the work and returns a final formatter taking
@@ -390,6 +505,25 @@ let dispatch ctx ~id job =
       | Error (error_kind, message) ->
           fun ~latency_ms ->
             Protocol.error_response ~id ~kind ~error_kind ~latency_ms message)
+  | Protocol.Domain ({ Protocol.d_target = Protocol.Dom_gate gate; _ } as p)
+    -> (
+      match
+        match domain_gate ~gate p with
+        | r -> r
+        | exception Invalid_argument m -> Error ("infeasible", m)
+      with
+      | Ok payload ->
+          fun ~latency_ms -> Protocol.ok_response ~id ~kind ~latency_ms payload
+      | Error (error_kind, message) ->
+          fun ~latency_ms ->
+            Protocol.error_response ~id ~kind ~error_kind ~latency_ms message)
+  | Protocol.Domain ({ Protocol.d_target = Protocol.Dom_layout source; _ } as p)
+    ->
+      finish_retries
+        (with_retries ctx ~chaos:p.Protocol.d_chaos
+           ~timeout_ms:p.Protocol.d_timeout_ms ~conflicts:None
+           ~rungs:[ Rung_fallback; Rung_scalable ]
+           ~attempt:(domain_attempt ctx p source))
 
 let run_job ctx ~id job =
   let kind = Protocol.job_kind job in

@@ -41,6 +41,25 @@ let sim_engine_to_string = function
   | Sim_pruned -> "pruned"
   | Sim_quicksim -> "quicksim"
 
+type domain_algorithm = Dom_grid | Dom_flood_fill | Dom_contour
+
+let domain_algorithm_to_string = function
+  | Dom_grid -> "grid"
+  | Dom_flood_fill -> "flood-fill"
+  | Dom_contour -> "contour"
+
+type domain_target = Dom_gate of string | Dom_layout of source
+
+type domain_params = {
+  d_target : domain_target;
+  d_algorithm : domain_algorithm;
+  d_steps : int;
+  d_samples : int;  (** 0 = auto. *)
+  d_engine : sim_engine option;
+  d_timeout_ms : float option;
+  d_chaos : chaos option;
+}
+
 type job =
   | Design of design_params
   | Check of design_params
@@ -50,22 +69,26 @@ type job =
       sim_chaos : chaos option;
     }
   | Yield of yield_params
+  | Domain of domain_params
 
 let job_kind = function
   | Design _ -> "design"
   | Check _ -> "check"
   | Simulate _ -> "simulate"
   | Yield _ -> "yield"
+  | Domain _ -> "domain"
 
 let job_timeout_ms = function
   | Design p | Check p -> p.timeout_ms
   | Simulate _ -> None
   | Yield p -> p.y_timeout_ms
+  | Domain p -> p.d_timeout_ms
 
 let job_chaos = function
   | Design p | Check p -> p.chaos
   | Simulate { sim_chaos; _ } -> sim_chaos
   | Yield p -> p.y_chaos
+  | Domain p -> p.d_chaos
 
 type request =
   | Single of { id : Json.t; job : job }
@@ -183,6 +206,43 @@ let yield_of limits j =
     y_chaos = chaos_of limits j;
   }
 
+let sim_engine_of j =
+  match field_str j "engine" with
+  | None -> None
+  | Some "exhaustive" -> Some Sim_exhaustive
+  | Some "pruned" -> Some Sim_pruned
+  | Some "quicksim" -> Some Sim_quicksim
+  | Some s -> invalid "unknown engine %S (want exhaustive/pruned/quicksim)" s
+
+let domain_of limits j =
+  let d_target =
+    match (field_str j "gate", Json.mem "benchmark" j, Json.mem "verilog" j) with
+    | Some _, Some _, _ | Some _, _, Some _ ->
+        invalid "give either \"gate\" or a layout source, not both"
+    | Some g, None, None -> Dom_gate g
+    | None, None, None ->
+        invalid "domain needs a \"gate\" name or a \"benchmark\"/\"verilog\" source"
+    | None, _, _ -> Dom_layout (source_of limits j)
+  in
+  let d_algorithm =
+    match field_str j "algorithm" with
+    | None -> Dom_flood_fill
+    | Some ("grid" | "exhaustive") -> Dom_grid
+    | Some ("flood-fill" | "flood_fill" | "floodfill" | "ff") -> Dom_flood_fill
+    | Some ("contour" | "contour-tracing" | "contour_tracing" | "ct") ->
+        Dom_contour
+    | Some s -> invalid "unknown algorithm %S (want grid/flood-fill/contour)" s
+  in
+  {
+    d_target;
+    d_algorithm;
+    d_steps = field_int j "steps" ~default:8 ~min:2 ~max:256;
+    d_samples = field_int j "samples" ~default:0 ~min:0 ~max:65_536;
+    d_engine = sim_engine_of j;
+    d_timeout_ms = timeout_of j "timeout_ms";
+    d_chaos = chaos_of limits j;
+  }
+
 let job_of limits j =
   match field_str j "kind" with
   | None -> invalid "missing \"kind\""
@@ -191,18 +251,11 @@ let job_of limits j =
   | Some "simulate" -> (
       match field_str j "gate" with
       | Some gate ->
-          let sim_engine =
-            match field_str j "engine" with
-            | None -> None
-            | Some "exhaustive" -> Some Sim_exhaustive
-            | Some "pruned" -> Some Sim_pruned
-            | Some "quicksim" -> Some Sim_quicksim
-            | Some s ->
-                invalid "unknown engine %S (want exhaustive/pruned/quicksim)" s
-          in
-          Simulate { gate; sim_engine; sim_chaos = chaos_of limits j }
+          Simulate
+            { gate; sim_engine = sim_engine_of j; sim_chaos = chaos_of limits j }
       | None -> invalid "simulate needs a \"gate\" name")
   | Some "yield" -> Yield (yield_of limits j)
+  | Some "domain" -> Domain (domain_of limits j)
   | Some k -> invalid "unknown job kind %S" k
 
 let decode_exn limits j =

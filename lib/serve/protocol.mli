@@ -18,6 +18,11 @@
     - ["yield"]: Monte-Carlo operational yield of the flow's layout
       under randomized defects (["trials"], ["seed"], ["missing"],
       ["extra"], ["charged"]).
+    - ["domain"]: operational-domain sweep over (μ₋, ε_r) of a named
+      Bestagon gate (["gate"]) or of a whole placed-and-routed layout
+      (["benchmark"]/["verilog"]); options ["algorithm"]
+      ("grid"/"flood-fill"/"contour"), ["steps"], ["samples"],
+      ["engine"].
     - ["batch"]: ["jobs"] is an array of job objects (no nested version
       field); jobs are admitted, dispatched across the worker pool, and
       answered one response per job in order.
@@ -71,11 +76,32 @@ type yield_params = {
 }
 
 type sim_engine = Sim_exhaustive | Sim_pruned | Sim_quicksim
-(** Ground-state engine for simulate jobs (field ["engine"]; the
+(** Ground-state engine for simulate/domain jobs (field ["engine"]; the
     protocol stays independent of the simulation stack — handlers map
     this onto {!Sidb.Bdl.engine}).  Omitted = the server's default. *)
 
 val sim_engine_to_string : sim_engine -> string
+
+type domain_algorithm = Dom_grid | Dom_flood_fill | Dom_contour
+(** Operational-domain sweep algorithm (field ["algorithm"]:
+    "grid"/"exhaustive", "flood-fill"/"ff", "contour"/"ct"; default
+    flood fill). *)
+
+val domain_algorithm_to_string : domain_algorithm -> string
+
+type domain_target = Dom_gate of string | Dom_layout of source
+(** What to sweep: a named Bestagon gate (["gate"]) or a whole
+    placed-and-routed layout from a ["benchmark"]/["verilog"] source. *)
+
+type domain_params = {
+  d_target : domain_target;
+  d_algorithm : domain_algorithm;
+  d_steps : int;  (** Grid steps per axis (["steps"], 2–256, default 8). *)
+  d_samples : int;  (** Seed probes (["samples"]; 0 = auto). *)
+  d_engine : sim_engine option;
+  d_timeout_ms : float option;
+  d_chaos : chaos option;
+}
 
 type job =
   | Design of design_params
@@ -86,6 +112,7 @@ type job =
       sim_chaos : chaos option;
     }
   | Yield of yield_params
+  | Domain of domain_params
 
 val job_kind : job -> string
 val job_timeout_ms : job -> float option

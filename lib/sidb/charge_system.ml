@@ -27,6 +27,25 @@ let create ?v_ext model sites =
   in
   { model; sites; v = Model.interaction_matrix model sites; v_ext }
 
+let create_from_distances ?v_ext model sites ~distances =
+  (* Sweep fast path: the caller has already deduplicated [sites] and
+     computed their distance matrix once; only the screened-Coulomb
+     kernel depends on the model, so re-applying it here is bit-identical
+     to [create] without the O(n^2) duplicate scan or any
+     [Lattice.distance] recomputation. *)
+  let n = Array.length sites in
+  if Array.length distances <> n then
+    invalid_arg "Charge_system.create_from_distances: distance size mismatch";
+  let v_ext =
+    match v_ext with
+    | None -> Array.make n 0.
+    | Some v ->
+        if Array.length v <> n then
+          invalid_arg "Charge_system.create_from_distances: v_ext length mismatch"
+        else Array.copy v
+  in
+  { model; sites; v = Model.interaction_matrix_of_distances model distances; v_ext }
+
 let size t = Array.length t.sites
 let sites t = t.sites
 let model t = t.model

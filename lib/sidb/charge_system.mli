@@ -8,6 +8,20 @@ val create : ?v_ext:float array -> Model.t -> Lattice.site array -> t
     clocking electrodes); defaults to zero.
     @raise Invalid_argument on duplicate sites or length mismatch. *)
 
+val create_from_distances :
+  ?v_ext:float array ->
+  Model.t ->
+  Lattice.site array ->
+  distances:float array array ->
+  t
+(** Like {!create}, but re-applies the screened-Coulomb kernel to a
+    precomputed {!Model.distance_matrix} of [sites] instead of
+    recomputing the geometry — the fast path for parameter sweeps, where
+    only the kernel changes between points.  Bit-identical to {!create}
+    when [distances = Model.distance_matrix sites].  The caller
+    guarantees [sites] are distinct (no duplicate scan is performed).
+    @raise Invalid_argument on a size mismatch. *)
+
 val size : t -> int
 val sites : t -> Lattice.site array
 val model : t -> Model.t

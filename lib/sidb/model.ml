@@ -23,3 +23,32 @@ let interaction_matrix model sites =
     done
   done;
   m
+
+let distance_matrix sites =
+  let n = Array.length sites in
+  let m = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Lattice.distance sites.(i) sites.(j) in
+      m.(i).(j) <- d;
+      m.(j).(i) <- d
+    done
+  done;
+  m
+
+let interaction_matrix_of_distances model distances =
+  (* Same upper-triangle-then-mirror evaluation order as
+     [interaction_matrix], so the result is bit-identical to computing
+     the matrix from the sites directly. *)
+  let n = Array.length distances in
+  let m = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    if Array.length distances.(i) <> n then
+      invalid_arg "Model.interaction_matrix_of_distances: ragged matrix";
+    for j = i + 1 to n - 1 do
+      let v = potential model distances.(i).(j) in
+      m.(i).(j) <- v;
+      m.(j).(i) <- v
+    done
+  done;
+  m

@@ -38,3 +38,16 @@ val interaction : t -> Lattice.site -> Lattice.site -> float
 
 val interaction_matrix : t -> Lattice.site array -> float array array
 (** Symmetric matrix of pairwise interactions, zero diagonal. *)
+
+val distance_matrix : Lattice.site array -> float array array
+(** Symmetric matrix of pairwise distances in Å, zero diagonal.  The
+    distances do not depend on the model, so a sweep over model
+    parameters can compute them once and re-apply the screened-Coulomb
+    kernel per point via {!interaction_matrix_of_distances}. *)
+
+val interaction_matrix_of_distances : t -> float array array -> float array array
+(** [interaction_matrix_of_distances model d] applies the screened
+    pair-interaction kernel entrywise to a precomputed
+    {!distance_matrix}.  Bit-identical to {!interaction_matrix} on the
+    sites the distances came from (same evaluation order).
+    @raise Invalid_argument if [d] is ragged. *)

@@ -3,8 +3,23 @@
     The paper's outlook (Sec. 6) calls for a "streamlined operational
     domain evaluation framework": the region of physical-parameter space
     (μ₋, ε_r, λ_TF) in which a gate keeps computing its Boolean function.
-    This module sweeps a 2-D slice of that space, classifying each sample
-    with the exact ground-state engine. *)
+    This module sweeps a 2-D slice of that space with one of three
+    algorithms (after the fiction framework, arXiv 1905.02477):
+
+    - {!Grid} classifies every point exhaustively;
+    - {!Flood_fill} classifies random probe points and grows each
+      operational hit breadth-first over its 8-connected neighbours, so
+      only the operational regions and their immediate borders are ever
+      evaluated;
+    - {!Contour_tracing} walks each seeded region's boundary
+      (Moore-neighbour tracing with Jacob's stopping criterion) and
+      infers the enclosed interior without evaluating it.
+
+    All three agree exactly on every point they evaluate; the sampled
+    algorithms under-count regions no probe hits, and contour tracing
+    over-counts non-operational holes enclosed in a region — both report
+    which points were actually evaluated ({!sample.evaluated},
+    {!stats}). *)
 
 type parameter = Mu_minus | Epsilon_r | Lambda_tf
 
@@ -15,10 +30,54 @@ type axis = {
   steps : int;  (** Number of samples (at least 2). *)
 }
 
+type algorithm = Grid | Flood_fill | Contour_tracing
+
+type config = {
+  algorithm : algorithm;
+  samples : int;  (** Random probes seeding Flood_fill / Contour_tracing. *)
+  seed : int;  (** splitmix64 stream for the probes — fully deterministic. *)
+  shared_geometry : bool;
+      (** Hoist the site-union index and distance matrix to per-sweep
+          scope; only the screened-Coulomb kernel is re-applied per
+          point.  Bit-identical results, one geometry build instead of
+          [nx * ny]. *)
+  adaptive_rows : bool;
+      (** Try the most recently failing truth-table row first at each
+          point so non-operational points short-circuit after ~1 solve.
+          The verdict is order-invariant, so results are unchanged (and
+          still bit-identical at any job count). *)
+}
+
+val default_config : config
+(** [Grid] with shared geometry and adaptive row ordering: same samples
+    as the historical exhaustive sweep, computed faster. *)
+
+val baseline_config : config
+(** The pre-overhaul engine preserved verbatim — exhaustive grid through
+    the per-point {!operational_at} path, no hoisting, no adaptive
+    ordering.  The benchmark harness measures every other configuration
+    against this one. *)
+
+val algorithm_name : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+
 type sample = {
   x_value : float;
   y_value : float;
   operational : bool;
+  evaluated : bool;
+      (** [true] when the classifier actually ran at this point; sampled
+          algorithms report skipped points with their inferred
+          classification and [evaluated = false]. *)
+}
+
+type stats = {
+  total_points : int;
+  points_evaluated : int;  (** Distinct grid points actually classified. *)
+  seed_probes : int;  (** Random probes used to seed region discovery. *)
+  solver_calls_saved : int;
+      (** [(total_points - points_evaluated) * 2^arity] — the worst-case
+          ground-state solves the skipped points would have cost. *)
 }
 
 type t = {
@@ -26,30 +85,35 @@ type t = {
   y_axis : axis;
   samples : sample list;  (** Row-major, y outer. *)
   operational_fraction : float;
+  algorithm : algorithm;
+  stats : stats;
 }
 
 val sweep :
   ?base:Model.t ->
   ?jobs:int ->
   ?engine:Bdl.engine ->
+  ?config:config ->
   x_axis:axis ->
   y_axis:axis ->
   Bdl.structure ->
   spec:(bool array -> bool array) ->
   t
-(** Exhaustively classify every grid point: a sample is operational when
-    every input row's complete ground-state set reads back [spec].
-    [engine] defaults to {!Bdl.default_engine} (exact pruned search
-    unless overridden); a heuristic engine makes the classification an
-    estimate.  Grid points are independent and are classified by [jobs]
-    domains (default {!Parallel.Pool.default_jobs}); results are
-    bit-identical to the serial ([jobs = 1]) sweep.
+(** Classify the grid with [config] (default {!default_config}): a
+    point is operational when every input row's complete ground-state
+    set reads back [spec].  [engine] defaults to {!Bdl.default_engine}
+    (exact pruned search unless overridden); a heuristic engine makes
+    the classification an estimate.  Evaluation batches are classified
+    by [jobs] domains (default {!Parallel.Pool.default_jobs}); every
+    algorithm's batches are deterministic, so results are bit-identical
+    to the serial ([jobs = 1]) sweep at any job count.
     @raise Invalid_argument when an axis has fewer than 2 steps or the
     two axes use the same parameter. *)
 
 val operational_at :
   ?interaction_cache:bool ->
   ?engine:Bdl.engine ->
+  ?first_row:int ->
   Model.t ->
   Bdl.structure ->
   spec:(bool array -> bool array) ->
@@ -59,12 +123,22 @@ val operational_at :
     sites and every truth-table row's subsystem is sliced out of it —
     same entries bit-for-bit, 2^arity fewer screened-Coulomb matrix
     builds; [~interaction_cache:false] rebuilds per row (the reference
-    path, kept for the cache-agreement test). *)
+    path, kept for the cache-agreement test).  [first_row] (default 0)
+    is the truth-table row checked first — the verdict is the same for
+    any value (out-of-range values fall back to 0); the sweep's adaptive
+    row ordering feeds the most recently failing row through it. *)
 
 val set_parameter : Model.t -> parameter -> float -> Model.t
 
 val to_ascii : t -> string
 (** Render the domain ('#' operational, '.' not), one row per y sample,
-    y increasing downwards. *)
+    y increasing downwards, preceded by a ["# "]-prefixed legend giving
+    both axes, the origin corner, the algorithm, and the evaluated-point
+    count. *)
+
+val to_csv : t -> string
+(** One header line naming the two swept parameters plus
+    [operational,evaluated] flags, then one [x,y,0/1,0/1] line per
+    sample in row-major order — ready for any plotting tool. *)
 
 val parameter_name : parameter -> string

@@ -55,44 +55,52 @@
 #                              quicksim finishes with valid states,
 #                              exact engines refuse with a structured
 #                              error)
+#  14. opdomain smoke         (operational-domain algorithm fuzz:
+#                              flood fill / contour tracing must agree
+#                              with the exhaustive grid on every point
+#                              they evaluate, bit-identically at any
+#                              job count; then the opdomain bench in
+#                              smoke mode must write a well-formed
+#                              BENCH_opdomain.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/13 type check =="
+echo "== 1/14 type check =="
 dune build @check
 
-echo "== 2/13 full build =="
+echo "== 2/14 full build =="
 dune build
 
-echo "== 3/13 test suite =="
+echo "== 3/14 test suite =="
 start=$(date +%s)
 dune runtest --force
 end=$(date +%s)
 echo "tests passed in $((end - start))s"
 
-echo "== 4/13 property fuzzing =="
+echo "== 4/14 property fuzzing =="
 # Fixed seed: reproducible in CI, >= 500 iterations across the eight
 # properties (CNF, at-most-one encodings, XAG, priority-vs-exhaustive
 # cuts, defect parameters, charge systems, defect-aware P&R, and
 # server line-noise: Serve.Server.handle_line must answer every byte
 # sequence with structured JSON, never an exception).  The simplify and
-# portfolio properties get a dedicated run in stage 12.
-dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40 -defect-aware 25 -serve 200 -simplify 0 -portfolio 0 -quicksim 0
+# portfolio properties get a dedicated run in stage 12, quicksim in
+# stage 13, and the operational-domain algorithms in stage 14.
+dune exec test/fuzz.exe -- -seed 61442 -cnf 300 -amo 60 -xag 150 -cuts 60 -defect 60 -system 40 -defect-aware 25 -serve 200 -simplify 0 -portfolio 0 -quicksim 0 -opdomain 0
 
-echo "== 5/13 budgeted-flow smoke test =="
+echo "== 5/14 budgeted-flow smoke test =="
 # Must return a verified layout without raising, degrading to the
 # scalable engine if the exact share of the deadline runs out.
 dune exec bin/fictionette.exe -- run mux21 -e fallback -d 1
 
-echo "== 6/13 certification smoke test =="
+echo "== 6/14 certification smoke test =="
 # Benchmark "t" needs one candidate size refuted before its minimal
 # layout: paranoid mode proof-checks that UNSAT and replays the
 # equivalence certificate; any failed check exits nonzero.
 dune exec bin/fictionette.exe -- check t | grep "certified refutations"
 dune exec bin/fictionette.exe -- check t
 
-echo "== 7/13 bench smoke (parallel determinism + BENCH_sim.json shape) =="
+echo "== 7/14 bench smoke (parallel determinism + BENCH_sim.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sim --smoke --jobs 2 --out "$out"
 # Shape check: schema marker, host cores, at least one result row with
@@ -108,7 +116,7 @@ if grep -q '"identical_to_serial": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 8/13 SAT bench smoke (config parity + BENCH_sat.json shape) =="
+echo "== 8/14 SAT bench smoke (config parity + BENCH_sat.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- sat --smoke --out "$out"
 # Shape check: schema marker, both solver configurations, per-solve
@@ -126,7 +134,7 @@ if grep -q '"verdict_matches_legacy": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 9/13 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
+echo "== 9/14 logic bench smoke (netlist identity + BENCH_logic.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- logic --smoke --out "$out"
 # Shape check: schema marker, both enumeration configurations, cut and
@@ -144,7 +152,7 @@ if grep -q '"identical_netlist": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 10/13 defect bench smoke (aware >= oblivious + BENCH_defects.json shape) =="
+echo "== 10/14 defect bench smoke (aware >= oblivious + BENCH_defects.json shape) =="
 out=$(mktemp)
 dune exec bench/main.exe -- defects --smoke --aware --out "$out"
 # Shape check: schema marker, the aware-never-worse verdict the harness
@@ -159,7 +167,7 @@ if grep -q '"aware_ge_oblivious": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 11/13 design-server smoke (protocol + fault isolation) =="
+echo "== 11/14 design-server smoke (protocol + fault isolation) =="
 out=$(mktemp)
 # A real server session over stdio: two flow requests, one malformed
 # line, one stats probe, then EOF.  The malformed line must get a
@@ -182,11 +190,11 @@ grep -q '"protocol_errors":1' "$out"
 dune exec bin/fictionette.exe -- run c17 --json | grep -q '"kind":"design","status":"ok"'
 rm -f "$out"
 
-echo "== 12/13 SAT portfolio smoke (simplify equisat + deterministic races) =="
+echo "== 12/14 SAT portfolio smoke (simplify equisat + deterministic races) =="
 # The two dedicated fuzz properties: Simplify preserves satisfiability
 # (models reconstruct, refutations DRAT-check), and a k-wide portfolio
 # agrees with a single solver on every random instance.
-dune exec test/fuzz.exe -- -seed 61442 -cnf 0 -amo 0 -xag 0 -cuts 0 -defect 0 -system 0 -defect-aware 0 -serve 0 -simplify 150 -portfolio 80 -quicksim 0
+dune exec test/fuzz.exe -- -seed 61442 -cnf 0 -amo 0 -xag 0 -cuts 0 -defect 0 -system 0 -defect-aware 0 -serve 0 -simplify 150 -portfolio 80 -quicksim 0 -opdomain 0
 # Portfolio bench races (k=4, jobs 1 and 2 in smoke mode): the harness
 # itself exits nonzero on a verdict mismatch against the single solver,
 # a winner that differs across --jobs, or a rejected DRAT proof.
@@ -203,12 +211,12 @@ if grep -q '"verdict_matches_single": false' "$out"; then
 fi
 rm -f "$out"
 
-echo "== 13/13 quicksim smoke (heuristic-vs-exact fuzz + whole-layout) =="
+echo "== 13/14 quicksim smoke (heuristic-vs-exact fuzz + whole-layout) =="
 # The dedicated quicksim fuzz property: on random systems up to 16
 # sites the heuristic engine's default configuration must reproduce the
 # pruned exact engine's ground energy exactly, returning only
 # physically valid states.
-dune exec test/fuzz.exe -- -seed 61442 -cnf 0 -amo 0 -xag 0 -cuts 0 -defect 0 -system 0 -defect-aware 0 -serve 0 -simplify 0 -portfolio 0 -quicksim 120
+dune exec test/fuzz.exe -- -seed 61442 -cnf 0 -amo 0 -xag 0 -cuts 0 -defect 0 -system 0 -defect-aware 0 -serve 0 -simplify 0 -portfolio 0 -quicksim 120 -opdomain 0
 # Whole-layout smoke: a complete Table-1 design (c17, ~360 DBs) as one
 # charge system — far beyond any exact engine.  Quicksim must finish
 # with physically valid states (exit 0); an exact engine must refuse
@@ -218,5 +226,30 @@ if dune exec bin/fictionette.exe -- simulate c17 --layout --engine pruned 2> /de
     echo "quicksim smoke: exact engine did not refuse the whole layout" >&2
     exit 1
 fi
+
+echo "== 14/14 opdomain smoke (algorithm agreement + BENCH_opdomain.json shape) =="
+# The dedicated operational-domain fuzz property: on random library
+# gates over random 2-D parameter slices, the tuned grid must match the
+# preserved baseline sweep bit for bit, flood fill / contour tracing
+# must carry the grid's classification on every point they evaluate,
+# and each algorithm must be bit-identical at any job count.
+dune exec test/fuzz.exe -- -seed 61442 -cnf 0 -amo 0 -xag 0 -cuts 0 -defect 0 -system 0 -defect-aware 0 -serve 0 -simplify 0 -portfolio 0 -quicksim 0 -opdomain 40
+# Opdomain bench in smoke mode: the harness itself exits nonzero on any
+# classification mismatch against the baseline grid or any job-count
+# divergence; the report must be well-formed.
+out=$(mktemp)
+dune exec bench/main.exe -- opdomain --smoke --jobs 2 --out "$out"
+grep -q '"schema": "fictionette-bench-opdomain/1"' "$out"
+grep -q '"algorithm": "flood-fill"' "$out"
+grep -q '"algorithm": "contour"' "$out"
+grep -q '"solver_calls_saved":' "$out"
+grep -q '"identical_to_baseline": true' "$out"
+grep -q '"layouts": \[' "$out"
+grep -q '"engine": "quicksim"' "$out"
+if grep -q '"identical_to_baseline": false' "$out"; then
+    echo "opdomain smoke: sampled algorithm differed from the baseline grid" >&2
+    exit 1
+fi
+rm -f "$out"
 
 echo "CI OK"

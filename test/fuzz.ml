@@ -528,6 +528,124 @@ let quicksim_property sites =
   then Error "quicksim returned a physically invalid state"
   else Ok ()
 
+(* Operational-domain algorithms: on a random library gate over a random
+   2-D parameter slice, the tuned grid must match the preserved baseline
+   sweep bit for bit, every point flood fill / contour tracing actually
+   evaluates must carry the grid's classification, the sampled sweeps
+   must never evaluate more points than the grid has, and each algorithm
+   must be bit-identical at any job count. *)
+
+module OD = Sidb.Operational_domain
+
+type opdomain_case = {
+  oc_gate : string;
+  oc_x : OD.axis;
+  oc_y : OD.axis;
+  oc_samples : int;
+  oc_jobs : int;
+}
+
+let opdomain_gates =
+  lazy
+    (let module T = Layout.Tile in
+     let module D = Hexlib.Direction in
+     let module M = Logic.Mapped in
+     let gate2 fn =
+       T.Gate { fn; ins = [ D.North_west; D.North_east ]; outs = [ D.South_east ] }
+     in
+     List.filter_map
+       (fun (name, tile) ->
+         match
+           ( Bestagon.Library.validation_structure tile,
+             Bestagon.Library.tile_spec tile )
+         with
+         | Some s, Some spec -> Some (name, s, spec)
+         | _ -> None)
+       [
+         ("wire", T.Wire { segments = [ (D.North_west, D.South_east) ] });
+         ("inverter",
+          T.Gate { fn = M.Inv; ins = [ D.North_west ]; outs = [ D.South_east ] });
+         ("or2", gate2 M.Or2);
+         ("and2", gate2 M.And2);
+         ("nor2", gate2 M.Nor2);
+         ("nand2", gate2 M.Nand2);
+         ("xor2", gate2 M.Xor2);
+         ("xnor2", gate2 M.Xnor2);
+       ])
+
+let opdomain_arb : opdomain_case P.arbitrary =
+  let parameter_range = function
+    | OD.Mu_minus -> (-1.2, 0.)
+    | OD.Epsilon_r -> (1., 14.)
+    | OD.Lambda_tf -> (3., 8.)
+  in
+  let gen rng =
+    let gates = Lazy.force opdomain_gates in
+    let name, _, _ = List.nth gates (P.Rng.int rng (List.length gates)) in
+    let params = [| OD.Mu_minus; OD.Epsilon_r; OD.Lambda_tf |] in
+    let i = P.Rng.int rng 3 in
+    let j = (i + 1 + P.Rng.int rng 2) mod 3 in
+    let axis parameter =
+      let lo, hi = parameter_range parameter in
+      let u () = float_of_int (P.Rng.int rng 1001) /. 1000. in
+      let from_value = lo +. ((hi -. lo) *. 0.5 *. u ()) in
+      let to_value = from_value +. Float.max 0.1 ((hi -. lo) *. 0.5 *. u ()) in
+      { OD.parameter; from_value; to_value; steps = 3 + P.Rng.int rng 3 }
+    in
+    {
+      oc_gate = name;
+      oc_x = axis params.(i);
+      oc_y = axis params.(j);
+      oc_samples = 1 + P.Rng.int rng 12;
+      oc_jobs = 2 + P.Rng.int rng 3;
+    }
+  in
+  let pp ppf c =
+    Format.fprintf ppf "%s: %s [%g, %g]x%d vs %s [%g, %g]x%d, %d probes, %d jobs"
+      c.oc_gate
+      (OD.parameter_name c.oc_x.OD.parameter)
+      c.oc_x.OD.from_value c.oc_x.OD.to_value c.oc_x.OD.steps
+      (OD.parameter_name c.oc_y.OD.parameter)
+      c.oc_y.OD.from_value c.oc_y.OD.to_value c.oc_y.OD.steps c.oc_samples
+      c.oc_jobs
+  in
+  { P.gen; shrink = (fun _ -> []); pp }
+
+let opdomain_property c =
+  let _, structure, spec =
+    List.find (fun (n, _, _) -> n = c.oc_gate) (Lazy.force opdomain_gates)
+  in
+  let x_axis = c.oc_x and y_axis = c.oc_y in
+  let run config jobs = OD.sweep ~jobs ~config ~x_axis ~y_axis structure ~spec in
+  let baseline = run OD.baseline_config 1 in
+  let grid = run { OD.default_config with OD.algorithm = OD.Grid } 1 in
+  if grid.OD.samples <> baseline.OD.samples
+     || grid.OD.operational_fraction <> baseline.OD.operational_fraction
+  then Error "tuned grid differs from the baseline sweep"
+  else
+    let check name algorithm =
+      let config =
+        { OD.default_config with OD.algorithm; samples = c.oc_samples }
+      in
+      let d1 = run config 1 in
+      let dj = run config c.oc_jobs in
+      if dj <> d1 then
+        Error (Printf.sprintf "%s differs at jobs=%d" name c.oc_jobs)
+      else if d1.OD.stats.OD.points_evaluated > d1.OD.stats.OD.total_points
+      then Error (name ^ " evaluated more points than the grid has")
+      else if
+        not
+          (List.for_all2
+             (fun (b : OD.sample) (s : OD.sample) ->
+               (not s.OD.evaluated) || s.OD.operational = b.OD.operational)
+             baseline.OD.samples d1.OD.samples)
+      then Error (name ^ " disagrees with the grid on an evaluated point")
+      else Ok ()
+    in
+    match check "flood-fill" OD.Flood_fill with
+    | Error _ as e -> e
+    | Ok () -> check "contour" OD.Contour_tracing
+
 (* Driver. *)
 
 (* Design-server loop: random byte noise, JSON soup, and truncated or
@@ -621,6 +739,7 @@ let () =
   let defect_aware_iters = ref 25 in
   let system_iters = ref 40 in
   let quicksim_iters = ref 40 in
+  let opdomain_iters = ref 30 in
   let serve_iters = ref 150 in
   let simplify_iters = ref 200 in
   let portfolio_iters = ref 100 in
@@ -653,6 +772,9 @@ let () =
       ( "-quicksim",
         Arg.Set_int quicksim_iters,
         "quicksim-vs-pruned iterations (default 40)" );
+      ( "-opdomain",
+        Arg.Set_int opdomain_iters,
+        "operational-domain algorithm iterations (default 30)" );
       ( "-serve",
         Arg.Set_int serve_iters,
         "design-server line-noise iterations (default 150)" );
@@ -660,7 +782,7 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "fuzz [-seed N] [-cnf N] [-simplify N] [-portfolio N] [-amo N] [-xag N] \
      [-cuts N] [-defect N] [-defect-aware N] [-system N] [-quicksim N] \
-     [-serve N]";
+     [-opdomain N] [-serve N]";
   let failed = ref false in
   let run name iterations arb prop =
     let outcome = P.check ~seed:!seed ~iterations arb prop in
@@ -679,5 +801,6 @@ let () =
     defect_aware_property;
   run "pruned-vs-exhaustive" !system_iters system_arb system_property;
   run "quicksim-vs-pruned" !quicksim_iters system_arb quicksim_property;
+  run "opdomain-algorithms" !opdomain_iters opdomain_arb opdomain_property;
   run "serve-line-noise" !serve_iters serve_arb serve_property;
   if !failed then exit 1

@@ -316,6 +316,73 @@ let test_spacing_same_dimer () =
   Alcotest.(check int) "row pitch legal" 0
     (List.length (G.spacing_violations [ a; d ]))
 
+(* --- operational-domain algorithms on the library gates ----------------- *)
+
+let library_gates () =
+  [
+    ("wire", Tile.Wire { segments = [ (D.North_west, D.South_east) ] });
+    ("inverter", Tile.Gate { fn = M.Inv; ins = [ D.North_west ]; outs = [ D.South_east ] });
+    ("or2", gate2 M.Or2 D.South_east);
+    ("and2", gate2 M.And2 D.South_east);
+    ("nor2", gate2 M.Nor2 D.South_east);
+    ("nand2", gate2 M.Nand2 D.South_east);
+    ("xor2", gate2 M.Xor2 D.South_east);
+    ("xnor2", gate2 M.Xnor2 D.South_east);
+  ]
+
+let test_domain_algorithms () =
+  (* Flood fill and contour tracing vs the exhaustive grid on every
+     library gate at a matched grid: any point a sampled algorithm
+     evaluated must carry the grid's exact classification, the tuned
+     grid (shared geometry + adaptive rows) must be identical to the
+     preserved baseline everywhere, and flood fill's fraction is a lower
+     bound on the grid's. *)
+  let module OD = Sidb.Operational_domain in
+  (* The (μ₋, ε_r) plane at λ_TF = 5 nm holds a real connected region for
+     the big-domain gates (wire/or2/and2), so the sampled algorithms have
+     something to find; λ_TF sweeps read empty off the λ = 5 band. *)
+  let x_axis =
+    { OD.parameter = OD.Mu_minus; from_value = -1.2; to_value = 0.0; steps = 6 }
+  in
+  let y_axis =
+    { OD.parameter = OD.Epsilon_r; from_value = 1.0; to_value = 14.0; steps = 6 }
+  in
+  List.iter
+    (fun (name, tile) ->
+      match (Lib.validation_structure tile, Lib.tile_spec tile) with
+      | Some s, Some spec ->
+          let run config = OD.sweep ~config ~x_axis ~y_axis s ~spec in
+          let ops d = List.map (fun sm -> sm.OD.operational) d.OD.samples in
+          let grid = run OD.baseline_config in
+          let tuned = run OD.default_config in
+          Alcotest.(check bool) (name ^ ": tuned grid = baseline grid") true
+            (ops grid = ops tuned);
+          Alcotest.(check int) (name ^ ": baseline evaluates everything")
+            grid.OD.stats.OD.total_points grid.OD.stats.OD.points_evaluated;
+          List.iter
+            (fun algorithm ->
+              let d = run { OD.default_config with algorithm; samples = 10 } in
+              let aname = OD.algorithm_name algorithm in
+              List.iter2
+                (fun g a ->
+                  if a.OD.evaluated then
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s/%s: evaluated point agrees" name aname)
+                      g.OD.operational a.OD.operational)
+                grid.OD.samples d.OD.samples;
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s: evaluated count consistent" name aname)
+                (List.length (List.filter (fun sm -> sm.OD.evaluated) d.OD.samples))
+                d.OD.stats.OD.points_evaluated;
+              if algorithm = OD.Flood_fill then
+                Alcotest.(check bool)
+                  (name ^ "/flood-fill: fraction is a lower bound") true
+                  (d.OD.operational_fraction
+                  <= grid.OD.operational_fraction +. 1e-12))
+            [ OD.Flood_fill; OD.Contour_tracing ]
+      | _ -> Alcotest.fail (name ^ ": no validation structure"))
+    (library_gates ())
+
 let test_yield_tile_seeds_distinct () =
   (* The per-tile seed mix must separate neighboring (seed, index)
      pairs: seed s at tile i must not draw like seed s+1 at tile i-1
@@ -368,6 +435,8 @@ let () =
           Alcotest.test_case "tile seeds distinct" `Quick
             test_yield_tile_seeds_distinct;
         ] );
+      ( "operational-domain",
+        [ Alcotest.test_case "algorithms vs grid" `Slow test_domain_algorithms ] );
       ( "library",
         [
           Alcotest.test_case "implement all" `Quick test_implement_all_tiles;

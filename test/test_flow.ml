@@ -100,6 +100,57 @@ let test_simulate_layout_exact_refusal () =
             (contains e "refused"))
     [ Sidb.Bdl.Exhaustive; Sidb.Bdl.Pruned; Sidb.Bdl.Branch_and_bound ]
 
+let test_domain_of_layout_quicksim () =
+  (* Whole-layout operational domain on the heuristic engine: a tiny
+     grid must come back structurally sound and bit-identical at any job
+     count.  (The fraction itself is honestly 0 today: individually
+     validated tiles do not yet cascade through an unclocked multi-tile
+     layout — see EXPERIMENTS.md.) *)
+  let r = run_ok "xor2" in
+  let module OD = Sidb.Operational_domain in
+  let x_axis =
+    { F.default_domain_x_axis with OD.steps = 3 }
+  and y_axis =
+    { F.default_domain_y_axis with OD.steps = 3 }
+  in
+  let engine = Sidb.Bdl.Quicksim Sidb.Ground_state.default_quicksim in
+  match F.domain_of_layout ~engine ~jobs:1 ~x_axis ~y_axis r with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check string) "quicksim engine" "quicksim" d.F.dom_engine;
+      Alcotest.(check bool) "flagged heuristic" false d.F.dom_exact;
+      Alcotest.(check bool) "past the exact limit" true
+        (d.F.dom_sites > F.exact_site_limit);
+      Alcotest.(check int) "two inputs" 2 d.F.dom_inputs;
+      Alcotest.(check int) "one output" 1 d.F.dom_outputs;
+      Alcotest.(check int) "grid covered" 9
+        d.F.dom_domain.OD.stats.OD.total_points;
+      Alcotest.(check bool) "fraction in range" true
+        (d.F.dom_domain.OD.operational_fraction >= 0.
+        && d.F.dom_domain.OD.operational_fraction <= 1.);
+      (match F.domain_of_layout ~engine ~jobs:4 ~x_axis ~y_axis r with
+      | Error e -> Alcotest.fail e
+      | Ok d4 ->
+          Alcotest.(check bool) "jobs=4 bit-identical" true
+            (d4.F.dom_domain = d.F.dom_domain))
+
+let test_domain_of_layout_exact_refusal () =
+  (* The exact engines refuse whole-layout sweeps past the site limit,
+     exactly as simulate_layout does. *)
+  let r = run_ok "xor2" in
+  match F.domain_of_layout ~engine:Sidb.Bdl.Pruned r with
+  | Ok _ -> Alcotest.fail "expected a refusal"
+  | Error e ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "mentions the refusal" true
+        (contains e "refused")
+
 let small_benchmarks = [ "xor2"; "xnor2"; "par_gen"; "mux21"; "par_check"; "c17" ]
 
 let test_small_benchmarks_verified () =
@@ -396,6 +447,10 @@ let () =
             test_simulate_layout_quicksim;
           Alcotest.test_case "exact-engine refusal" `Quick
             test_simulate_layout_exact_refusal;
+          Alcotest.test_case "whole-layout domain" `Quick
+            test_domain_of_layout_quicksim;
+          Alcotest.test_case "domain exact-engine refusal" `Quick
+            test_domain_of_layout_exact_refusal;
           Alcotest.test_case "small benchmarks" `Slow
             test_small_benchmarks_verified;
           Alcotest.test_case "scalable engine" `Slow test_scalable_engine;

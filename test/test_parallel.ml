@@ -168,6 +168,41 @@ let test_sweep_serial_parallel_identical () =
         par.Sidb.Operational_domain.operational_fraction)
     [ 2; 4 ]
 
+let test_sweep_algorithms_jobs_identical () =
+  (* Flood fill and contour tracing batch their evaluations through the
+     pool in deterministic waves: the whole result record — samples,
+     evaluated flags, fraction, and stats — must be identical at jobs
+     1, 2, and 4. *)
+  let s, spec = or_structure () in
+  let x_axis, y_axis = small_axes () in
+  List.iter
+    (fun algorithm ->
+      let config =
+        { Sidb.Operational_domain.default_config with
+          Sidb.Operational_domain.algorithm;
+          samples = 6;
+        }
+      in
+      let serial =
+        Sidb.Operational_domain.sweep ~jobs:1 ~config ~x_axis ~y_axis s ~spec
+      in
+      List.iter
+        (fun jobs ->
+          let par =
+            Sidb.Operational_domain.sweep ~jobs ~config ~x_axis ~y_axis s ~spec
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s identical at jobs=%d"
+               (Sidb.Operational_domain.algorithm_name algorithm)
+               jobs)
+            true (par = serial))
+        [ 2; 4 ])
+    [
+      Sidb.Operational_domain.Grid;
+      Sidb.Operational_domain.Flood_fill;
+      Sidb.Operational_domain.Contour_tracing;
+    ]
+
 let test_interaction_cache_agrees () =
   (* The hoisted interaction matrix must not change a single verdict. *)
   let s, spec = or_structure () in
@@ -315,6 +350,8 @@ let () =
         [
           Alcotest.test_case "sweep jobs=1/2/4" `Slow
             test_sweep_serial_parallel_identical;
+          Alcotest.test_case "sweep algorithms jobs=1/2/4" `Slow
+            test_sweep_algorithms_jobs_identical;
           Alcotest.test_case "interaction cache" `Slow
             test_interaction_cache_agrees;
           Alcotest.test_case "yield jobs=1/2/4" `Slow

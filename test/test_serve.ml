@@ -370,6 +370,64 @@ let test_simulate_engine_selection () =
   Alcotest.(check bool) "invalid_request kind" true
     (J.str (field "kind" (field "error" r)) = Some "invalid_request")
 
+let test_domain_job () =
+  let server = S.create ~config:quick_config () in
+  (* Gate sweep: exhaustive grid so the payload is fully deterministic. *)
+  let r =
+    one server
+      {|{"fictionette-serve":1,"kind":"domain","gate":"or2","algorithm":"grid","steps":4,"id":1}|}
+  in
+  Alcotest.(check string) "gate domain ok" "ok" (status r);
+  let result = field "result" r in
+  Alcotest.(check bool) "algorithm echoed" true
+    (J.str (field "algorithm" result) = Some "grid");
+  Alcotest.(check bool) "grid evaluates everything" true
+    (J.num (field "points_evaluated" result) = Some 16.
+    && J.num (field "total_points" result) = Some 16.);
+  (* Flood fill may evaluate fewer points, never more. *)
+  let r =
+    one server
+      {|{"fictionette-serve":1,"kind":"domain","gate":"or2","algorithm":"ff","steps":4,"samples":4,"id":2}|}
+  in
+  Alcotest.(check string) "flood-fill ok" "ok" (status r);
+  let result = field "result" r in
+  (match (J.num (field "points_evaluated" result),
+          J.num (field "total_points" result)) with
+  | Some ev, Some total ->
+      Alcotest.(check bool) "ff evaluates a subset" true (ev <= total)
+  | _ -> Alcotest.fail "no point counts");
+  (* Whole-layout sweep on the heuristic engine. *)
+  let r =
+    one server
+      {|{"fictionette-serve":1,"kind":"domain","benchmark":"xor2","engine":"quicksim","steps":2,"id":3}|}
+  in
+  Alcotest.(check string) "layout domain ok" "ok" (status r);
+  let result = field "result" r in
+  Alcotest.(check bool) "heuristic flagged" true
+    (J.bool_ (field "exact" result) = Some false);
+  Alcotest.(check bool) "sites reported" true
+    (match J.num (field "sites" result) with Some n -> n > 0. | None -> false);
+  (* Exact engines refuse whole layouts past the site limit — a
+     structured infeasible, not a crash. *)
+  let r =
+    one server
+      {|{"fictionette-serve":1,"kind":"domain","benchmark":"xor2","engine":"pruned","steps":2,"id":4}|}
+  in
+  Alcotest.(check string) "exact refusal errors" "error" (status r);
+  Alcotest.(check string) "infeasible kind" "infeasible" (error_kind r);
+  (* Target validation. *)
+  let r = one server {|{"fictionette-serve":1,"kind":"domain","id":5}|} in
+  Alcotest.(check string) "missing target rejected" "error" (status r);
+  Alcotest.(check string) "invalid_request kind" "invalid_request"
+    (error_kind r);
+  let r =
+    one server
+      {|{"fictionette-serve":1,"kind":"domain","gate":"or2","benchmark":"xor2","id":6}|}
+  in
+  Alcotest.(check string) "ambiguous target rejected" "error" (status r);
+  Alcotest.(check string) "ambiguous is invalid_request" "invalid_request"
+    (error_kind r)
+
 (* --- server: lifecycle and stats ----------------------------------------- *)
 
 let test_stats_and_shutdown () =
@@ -438,6 +496,7 @@ let () =
             test_admission_budget_mass_shedding;
           Alcotest.test_case "simulate engine selection" `Quick
             test_simulate_engine_selection;
+          Alcotest.test_case "domain job" `Quick test_domain_job;
           Alcotest.test_case "stats + shutdown" `Quick test_stats_and_shutdown;
         ] );
     ]

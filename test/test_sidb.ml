@@ -326,13 +326,57 @@ let test_operational_domain () =
       dom.Sidb.Operational_domain.samples
   in
   Alcotest.(check bool) "operational at the paper's parameters" true at_default;
-  (* ASCII rendering has one row per y sample. *)
+  (* Exhaustive grid: every point evaluated, nothing saved. *)
+  Alcotest.(check int) "grid evaluates everything" 15
+    dom.Sidb.Operational_domain.stats.Sidb.Operational_domain.points_evaluated;
+  Alcotest.(check int) "grid saves nothing" 0
+    dom.Sidb.Operational_domain.stats.Sidb.Operational_domain.solver_calls_saved;
+  Alcotest.(check bool) "grid samples all evaluated" true
+    (List.for_all
+       (fun sm -> sm.Sidb.Operational_domain.evaluated)
+       dom.Sidb.Operational_domain.samples);
+  (* ASCII rendering: a "# "-prefixed legend, then one row per y sample. *)
   let lines =
     List.filter (fun l -> l <> "")
       (String.split_on_char '
 ' (Sidb.Operational_domain.to_ascii dom))
   in
-  Alcotest.(check int) "ascii rows" 3 (List.length lines)
+  let legend, grid =
+    List.partition (fun l -> String.length l > 1 && String.sub l 0 2 = "# ") lines
+  in
+  Alcotest.(check int) "ascii rows" 3 (List.length grid);
+  Alcotest.(check bool) "ascii legend names both axes" true
+    (List.exists (fun l -> String.length l > 4 && String.sub l 0 4 = "# x:") legend
+    && List.exists (fun l -> String.length l > 4 && String.sub l 0 4 = "# y:") legend);
+  (* CSV: a header naming the swept parameters, then one line per sample. *)
+  let csv_lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '
+' (Sidb.Operational_domain.to_csv dom))
+  in
+  Alcotest.(check int) "csv rows" 16 (List.length csv_lines);
+  Alcotest.(check string) "csv header" "mu_minus,lambda_tf,operational,evaluated"
+    (List.hd csv_lines)
+
+let test_operational_domain_first_row () =
+  (* The adaptive row hint only reorders the truth-table rows; the
+     verdict must be identical for every starting row, operational or
+     not (a point is operational iff all rows pass). *)
+  let s = wire_structure () in
+  let spec i = [| i.(0) |] in
+  let inside = Sidb.Model.default in
+  let outside = { Sidb.Model.default with Sidb.Model.mu_minus = -0.05 } in
+  List.iter
+    (fun model ->
+      let reference = Sidb.Operational_domain.operational_at model s ~spec in
+      List.iter
+        (fun first_row ->
+          Alcotest.(check bool)
+            (Printf.sprintf "first_row %d equivalent" first_row)
+            reference
+            (Sidb.Operational_domain.operational_at ~first_row model s ~spec))
+        [ 0; 1; 7; -3 ])
+    [ inside; outside ]
 
 let test_operational_domain_errors () =
   let s = wire_structure () in
@@ -584,6 +628,8 @@ let () =
           Alcotest.test_case "critical temperature" `Quick
             test_critical_temperature_wire;
           Alcotest.test_case "operational domain" `Slow test_operational_domain;
+          Alcotest.test_case "domain first row" `Slow
+            test_operational_domain_first_row;
           Alcotest.test_case "domain errors" `Quick test_operational_domain_errors;
           Alcotest.test_case "degenerate spectrum" `Quick
             test_spectrum_probabilities_degenerate;
